@@ -1,0 +1,84 @@
+"""Ablation A3: sensitivity of Fig. 2's shape to the CPU copy cost.
+
+The paper does not give a numeric CPU-copy cost for the Giotto-CPU
+baseline (DESIGN.md §3 documents our default: 0.010 us/B, 5x the DMA's
+per-byte cost).  This bench sweeps omega_cpu and reports the resulting
+worst latency ratio of the proposed protocol against Giotto-CPU,
+locating the crossover below which the CPU baseline would win (tiny
+labels / free copies) — evidence that Fig. 2's shape is robust for any
+plausible cost, not an artifact of our chosen constant.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import assign_acquisition_deadlines
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    all_profiles,
+)
+from repro.model import CpuCopyParameters
+from repro.reporting import render_table
+from repro.waters import waters_application
+
+#: omega_cpu sweep, us per byte.  The DMA moves bytes at 0.002 us/B.
+CPU_COSTS = [0.002, 0.005, 0.010, 0.020]
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("cpu_cost", CPU_COSTS)
+def test_cpu_cost_sweep(benchmark, cpu_cost):
+    app = assign_acquisition_deadlines(
+        waters_application(
+            cpu_copy=CpuCopyParameters(copy_cost_us_per_byte=cpu_cost)
+        ),
+        0.2,
+    )
+
+    def solve_and_profile():
+        result = LetDmaFormulation(
+            app,
+            FormulationConfig(
+                objective=Objective.MIN_DELAY_RATIO, time_limit_seconds=60
+            ),
+        ).solve()
+        return all_profiles(app, result)
+
+    profiles = run_once(benchmark, solve_and_profile)
+    ratios = profiles["proposed"].ratio_to(profiles["giotto-cpu"])
+    _ROWS.append(
+        (
+            f"{cpu_cost:.3f}",
+            f"{min(ratios.values()):.3f}",
+            f"{max(ratios.values()):.3f}",
+            f"{ratios['DASM']:.3f}",
+        )
+    )
+    # Even when the CPU copies bytes as fast as the DMA, the proposed
+    # protocol keeps the latency-sensitive DASM far ahead (it stops
+    # waiting for unrelated communications).
+    assert ratios["DASM"] < 1.0
+
+
+def test_render_cpu_cost_table(benchmark):
+    run_once(benchmark, lambda: _ROWS)
+    print(
+        "\n"
+        + render_table(
+            [
+                "omega_cpu (us/B)",
+                "min ratio",
+                "max ratio",
+                "DASM ratio",
+            ],
+            _ROWS,
+            title="Ablation A3: lambda(ours)/lambda(giotto-cpu) vs CPU copy cost",
+        )
+    )
+    assert len(_ROWS) == len(CPU_COSTS)
+    # More expensive CPU copies -> our relative advantage grows.
+    dasm = [float(row[3]) for row in _ROWS]
+    assert dasm == sorted(dasm, reverse=True)

@@ -1,0 +1,95 @@
+"""Ablation A2: greedy heuristic vs exact MILP solution quality.
+
+Measures, over a batch of synthetic workloads, how far the greedy
+allocator's transfer count and worst latency ratio are from the MILP
+optimum.  DESIGN.md lists the heuristic as the scalable fallback; this
+bench quantifies the optimality gap being traded away.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    greedy_allocation,
+    improve_transfer_order,
+)
+from repro.reporting import render_table
+from repro.workloads import WorkloadSpec, generate_application
+
+SEEDS = list(range(8))
+
+_ROWS = []
+
+
+def make_app(seed):
+    return generate_application(
+        WorkloadSpec(
+            num_tasks=5,
+            communication_density=0.5,
+            total_utilization=0.5,
+            periods_ms=(5, 10, 20),
+            seed=seed,
+        )
+    )
+
+
+def worst_ratio(app, result):
+    latencies = result.latencies_at(app, 0)
+    return max(
+        latency / app.tasks[name].period_us for name, latency in latencies.items()
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_quality_gap(benchmark, seed):
+    app = make_app(seed)
+
+    def run_pair():
+        milp = LetDmaFormulation(
+            app,
+            FormulationConfig(
+                objective=Objective.MIN_TRANSFERS, time_limit_seconds=60
+            ),
+        ).solve()
+        greedy = greedy_allocation(app)
+        improved = improve_transfer_order(app, greedy)
+        return milp, greedy, improved
+
+    milp, greedy, improved = run_once(benchmark, run_pair)
+    if not milp.feasible:
+        pytest.skip("MILP infeasible for this synthetic instance")
+    assert milp.num_transfers <= greedy.num_transfers
+    assert worst_ratio(app, improved) <= worst_ratio(app, greedy) + 1e-12
+    _ROWS.append(
+        (
+            seed,
+            milp.num_transfers,
+            greedy.num_transfers,
+            f"{worst_ratio(app, milp):.4f}",
+            f"{worst_ratio(app, greedy):.4f}",
+            f"{worst_ratio(app, improved):.4f}",
+        )
+    )
+
+
+def test_render_quality_table(benchmark):
+    run_once(benchmark, lambda: _ROWS)
+    print(
+        "\n"
+        + render_table(
+            [
+                "seed",
+                "MILP #DMAT",
+                "greedy #DMAT",
+                "MILP worst l/T",
+                "greedy worst l/T",
+                "greedy+LS worst l/T",
+            ],
+            _ROWS,
+            title="Ablation A2: heuristic (and local search) vs MILP",
+        )
+    )
+    assert _ROWS, "no feasible instances recorded"

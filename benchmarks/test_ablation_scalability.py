@@ -1,0 +1,90 @@
+"""Ablation A1: MILP scalability with problem size.
+
+Not a paper artifact: DESIGN.md calls out the MILP's growth (Constraint
+6 is cubic in communications per group x transfer slots) and this bench
+quantifies it on synthetic workloads, comparing against the greedy
+heuristic's construction time.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    greedy_allocation,
+    verify_allocation,
+)
+from repro.reporting import render_table
+from repro.workloads import WorkloadSpec, generate_application
+
+SIZES = [3, 5, 7, 9]
+
+_ROWS = []
+
+
+def make_app(num_tasks):
+    return generate_application(
+        WorkloadSpec(
+            num_tasks=num_tasks,
+            communication_density=0.5,
+            total_utilization=0.5,
+            periods_ms=(5, 10, 20),
+            seed=1234 + num_tasks,
+        )
+    )
+
+
+@pytest.mark.parametrize("num_tasks", SIZES)
+def test_milp_scaling(benchmark, num_tasks):
+    app = make_app(num_tasks)
+
+    def solve():
+        formulation = LetDmaFormulation(
+            app, FormulationConfig(time_limit_seconds=60)
+        )
+        return formulation, formulation.solve()
+
+    formulation, result = run_once(benchmark, solve)
+    t0 = time.perf_counter()
+    greedy = greedy_allocation(app)
+    greedy_seconds = time.perf_counter() - t0
+    if result.feasible:
+        verify_allocation(app, result).raise_if_failed()
+    _ROWS.append(
+        (
+            num_tasks,
+            len(formulation.comms),
+            formulation.model.num_variables,
+            formulation.model.num_constraints,
+            f"{result.runtime_seconds:.2f} s",
+            f"{greedy_seconds * 1e3:.1f} ms",
+            result.status.value,
+        )
+    )
+
+
+def test_render_scaling_table(benchmark):
+    run_once(benchmark, lambda: _ROWS)
+    print(
+        "\n"
+        + render_table(
+            [
+                "#tasks",
+                "#comms",
+                "MILP vars",
+                "MILP rows",
+                "MILP time",
+                "greedy time",
+                "status",
+            ],
+            _ROWS,
+            title="Ablation A1: MILP size/time scaling vs greedy heuristic",
+        )
+    )
+    assert len(_ROWS) == len(SIZES)
+    # Model size must grow with the instance.
+    variables = [row[2] for row in _ROWS]
+    assert variables == sorted(variables)

@@ -1,0 +1,108 @@
+"""Fig. 2 reproduction: per-task data acquisition latency ratios.
+
+The paper's Fig. 2 has six panels — objectives {NO-OBJ, OBJ-DMAT,
+OBJ-DEL} x alpha {0.2, 0.4} — each showing, for the nine WATERS tasks,
+the ratio between the latency under the proposed approach and under
+Giotto-CPU / Giotto-DMA-A / Giotto-DMA-B.
+
+Shape to reproduce:
+
+* ratios <= 1 essentially everywhere (the proposed protocol wins);
+* very small ratios for the short-period tasks DASM, CAN (and SFM in
+  the paper's parameterization) vs Giotto-CPU — "improvements up to
+  98%";
+* OBJ-DEL gives the uniformly best (smallest) worst ratio.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import Objective, all_profiles
+from repro.reporting import render_ratio_figure, save_fig2_panel_svg
+from repro.waters import TASK_NAMES
+
+PANELS = [
+    ("a", Objective.NONE, 0.2),
+    ("b", Objective.MIN_TRANSFERS, 0.2),
+    ("c", Objective.MIN_DELAY_RATIO, 0.2),
+    ("d", Objective.NONE, 0.4),
+    ("e", Objective.MIN_TRANSFERS, 0.4),
+    ("f", Objective.MIN_DELAY_RATIO, 0.4),
+]
+
+_RATIOS: dict = {}
+
+
+@pytest.mark.parametrize("panel,objective,alpha", PANELS, ids=lambda v: str(v))
+def test_fig2_panel(benchmark, solve_cache, panel, objective, alpha):
+    app, result, _ = solve_cache(objective, alpha)
+    assert result.feasible
+
+    def compute():
+        profiles = all_profiles(app, result)
+        ours = profiles["proposed"]
+        return {
+            name: ours.ratio_to(profiles[name])
+            for name in ("giotto-cpu", "giotto-dma-a", "giotto-dma-b")
+        }
+
+    ratios = run_once(benchmark, compute)
+    _RATIOS[(objective, alpha)] = ratios
+
+    title = f"Fig. 2({panel}): {objective.value}, alpha={alpha}"
+    print(render_ratio_figure({title: ratios}, TASK_NAMES))
+    output_dir = Path(__file__).parent / "output"
+    output_dir.mkdir(exist_ok=True)
+    save_fig2_panel_svg(
+        ratios, TASK_NAMES, title, output_dir / f"fig2_{panel}.svg"
+    )
+
+    # Shape assertions.
+    for competitor, per_task in ratios.items():
+        assert set(per_task) == set(TASK_NAMES)
+    # Proposed never loses to Giotto-DMA-A (same per-communication cost
+    # model, strictly more scheduling freedom).
+    for task, ratio in ratios["giotto-dma-a"].items():
+        assert ratio <= 1.0 + 1e-6, ("giotto-dma-a", task)
+    # Against Giotto-DMA-B only the *last-scheduled* task can tie or
+    # marginally lose (DMA-B merges across tasks, while the proposed
+    # schedule may fragment transfers to release short-period tasks
+    # early); everyone must still win on average and nobody by much.
+    dma_b = ratios["giotto-dma-b"]
+    assert sum(dma_b.values()) / len(dma_b) < 1.0
+    for task, ratio in dma_b.items():
+        assert ratio <= 1.1, ("giotto-dma-b", task)
+    # The latency-sensitive tasks see the headline improvements vs the
+    # CPU-copy baseline.
+    assert ratios["giotto-cpu"]["DASM"] < 0.3
+    assert ratios["giotto-cpu"]["CAN"] < 0.3
+
+
+def test_fig2_obj_del_is_best(benchmark, solve_cache):
+    """OBJ-DEL minimizes the worst lambda_i / T_i: its optimum is no
+    worse than what the other objectives happen to achieve."""
+    def collect():
+        out = {}
+        for objective in (
+            Objective.NONE,
+            Objective.MIN_TRANSFERS,
+            Objective.MIN_DELAY_RATIO,
+        ):
+            app, result, _ = solve_cache(objective, 0.2)
+            latencies = result.latencies_at(app, 0)
+            out[objective] = max(
+                latency / app.tasks[name].period_us
+                for name, latency in latencies.items()
+            )
+        return out
+
+    worst_ratio = run_once(benchmark, collect)
+    print("\nworst lambda_i/T_i by objective:", {
+        k.value: round(v, 5) for k, v in worst_ratio.items()
+    })
+    assert (
+        worst_ratio[Objective.MIN_DELAY_RATIO]
+        <= min(worst_ratio.values()) + 1e-9
+    )

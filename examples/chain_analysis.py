@@ -1,0 +1,98 @@
+"""Cause-effect chains and the co-design loop on WATERS.
+
+The WATERS challenge scores solutions by end-to-end chain latency.
+This example:
+
+1. computes exact LET reaction times and data ages for the challenge's
+   chains (sensing -> fusion -> planning -> actuation);
+2. shows how little the DMA protocol perturbs them compared with
+   CPU-driven Giotto copies (the final-output delivery delay);
+3. runs the iterative co-design loop: solve the allocation, verify
+   schedulability with the *measured* latencies as jitter, tighten the
+   data acquisition deadlines if needed, repeat.
+
+Run with:  python examples/chain_analysis.py
+"""
+
+from repro import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    assign_acquisition_deadlines,
+    waters_application,
+)
+from repro.analysis import CauseEffectChain, analyze_chain, iterate_codesign
+from repro.core import giotto_cpu_profile, proposed_profile
+from repro.reporting import render_table
+
+CHAINS = [
+    CauseEffectChain("steer", ("CAN", "EKF", "DASM")),
+    CauseEffectChain("plan", ("CAN", "EKF", "PLAN")),
+    CauseEffectChain("perceive", ("SFM", "LOC", "EKF", "PLAN")),
+    CauseEffectChain("detect", ("DET", "PLAN", "DASM")),
+]
+
+
+def main() -> None:
+    app = assign_acquisition_deadlines(waters_application(), 0.2)
+    print("Solving the allocation (OBJ-DEL) ...")
+    result = LetDmaFormulation(
+        app,
+        FormulationConfig(
+            objective=Objective.MIN_DELAY_RATIO, time_limit_seconds=120
+        ),
+    ).solve()
+    if not result.feasible:
+        raise SystemExit(f"MILP is {result.status.value}")
+
+    ours = proposed_profile(app, result).worst_case
+    cpu = giotto_cpu_profile(app).worst_case
+
+    rows = []
+    for chain in CHAINS:
+        last = chain.tasks[-1]
+        ideal = analyze_chain(app, chain)
+        with_dma = analyze_chain(app, chain, final_output_delay_us=ours[last])
+        with_cpu = analyze_chain(app, chain, final_output_delay_us=cpu[last])
+        rows.append(
+            (
+                chain.name,
+                " -> ".join(chain.tasks),
+                f"{ideal.reaction_time_us / 1000:.1f} ms",
+                f"+{(with_dma.reaction_time_us - ideal.reaction_time_us):.0f} us",
+                f"+{(with_cpu.reaction_time_us - ideal.reaction_time_us):.0f} us",
+                f"{ideal.data_age_us / 1000:.1f} ms",
+            )
+        )
+    print(
+        render_table(
+            [
+                "chain",
+                "tasks",
+                "reaction (ideal LET)",
+                "DMA adds",
+                "Giotto-CPU adds",
+                "data age",
+            ],
+            rows,
+            title="End-to-end chain latencies: the LET grid dominates; the "
+            "protocol choice only shifts the final delivery",
+        )
+    )
+
+    print("\nCo-design loop (alpha=0.3, shrink=0.5):")
+    report = iterate_codesign(
+        waters_application(), alpha=0.3, time_limit_seconds=120
+    )
+    print(report.summary())
+    if report.converged:
+        final = report.iterations[-1]
+        worst = max(final.measured_latencies_us.values())
+        print(
+            f"converged: worst measured acquisition latency "
+            f"{worst:.1f} us, schedulable with RTA"
+        )
+
+
+if __name__ == "__main__":
+    main()

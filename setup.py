@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` / legacy editable installs offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""repro — reproduction of "Optimal Memory Allocation and Scheduling
+for DMA Data Transfers under the LET Paradigm" (Pazzaglia, Casini,
+Biondi, Di Natale — DAC 2021).
+
+Quick start::
+
+    from repro import (
+        waters_application, assign_acquisition_deadlines,
+        LetDmaFormulation, FormulationConfig, Objective, verify_allocation,
+    )
+
+    app = assign_acquisition_deadlines(waters_application(), alpha=0.2)
+    result = LetDmaFormulation(
+        app, FormulationConfig(objective=Objective.MIN_DELAY_RATIO)
+    ).solve()
+    verify_allocation(app, result).raise_if_failed()
+    print(result.summary())
+
+Package map:
+
+* :mod:`repro.model`     — platform, tasks, labels, application;
+* :mod:`repro.let`       — LET semantics: skip rules, Algorithm 1, properties;
+* :mod:`repro.milp`      — MILP modeling layer (HiGHS via scipy + pure-Python B&B);
+* :mod:`repro.core`      — the paper's MILP formulation, protocol, baselines,
+  greedy heuristic, and solution verifier;
+* :mod:`repro.sim`       — discrete-event simulation of communications and tasks;
+* :mod:`repro.analysis`  — response-time analysis and the gamma sensitivity sweep;
+* :mod:`repro.waters`    — the WATERS 2019 case study (reconstructed);
+* :mod:`repro.workloads` — synthetic taskset/communication generation;
+* :mod:`repro.reporting` — experiment drivers and text tables/figures.
+"""
+
+from repro.analysis import (
+    analyze,
+    assign_acquisition_deadlines,
+    compute_slacks,
+    schedulable_with_jitter,
+)
+from repro.core import (
+    AllocationResult,
+    FormulationConfig,
+    GreedyAllocator,
+    LetDmaFormulation,
+    LetDmaProtocol,
+    Objective,
+    all_profiles,
+    greedy_allocation,
+    verify_allocation,
+)
+from repro.model import (
+    Application,
+    CpuCopyParameters,
+    DmaParameters,
+    Label,
+    Platform,
+    Task,
+    TaskSet,
+)
+from repro.sim import simulate, timeline_for
+from repro.waters import waters_application
+from repro.workloads import WorkloadSpec, generate_application
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "analyze",
+    "assign_acquisition_deadlines",
+    "compute_slacks",
+    "schedulable_with_jitter",
+    "AllocationResult",
+    "FormulationConfig",
+    "GreedyAllocator",
+    "LetDmaFormulation",
+    "LetDmaProtocol",
+    "Objective",
+    "all_profiles",
+    "greedy_allocation",
+    "verify_allocation",
+    "Application",
+    "CpuCopyParameters",
+    "DmaParameters",
+    "Label",
+    "Platform",
+    "Task",
+    "TaskSet",
+    "simulate",
+    "timeline_for",
+    "waters_application",
+    "WorkloadSpec",
+    "generate_application",
+    "__version__",
+]

@@ -1,0 +1,54 @@
+"""Schedulability analysis: RTA with jitter, LET-task interference,
+and the paper's gamma sensitivity procedure."""
+
+from repro.analysis.chains import CauseEffectChain, ChainLatencies, analyze_chain
+from repro.analysis.codesign import (
+    CodesignIteration,
+    CodesignReport,
+    iterate_codesign,
+)
+from repro.analysis.let_interference import let_task_interference
+from repro.analysis.response_time import (
+    InterferenceSource,
+    SchedulabilityReport,
+    TaskAnalysis,
+    analyze,
+    analyze_core,
+    response_time,
+)
+from repro.analysis.sensitivity import (
+    alpha_sweep,
+    assign_acquisition_deadlines,
+    compute_slacks,
+    schedulable_with_jitter,
+)
+from repro.analysis.utilization import (
+    hyperbolic_test,
+    liu_layland_bound,
+    liu_layland_test,
+    quick_schedulability,
+)
+
+__all__ = [
+    "CauseEffectChain",
+    "ChainLatencies",
+    "analyze_chain",
+    "CodesignIteration",
+    "CodesignReport",
+    "iterate_codesign",
+    "let_task_interference",
+    "InterferenceSource",
+    "SchedulabilityReport",
+    "TaskAnalysis",
+    "analyze",
+    "analyze_core",
+    "response_time",
+    "alpha_sweep",
+    "assign_acquisition_deadlines",
+    "compute_slacks",
+    "schedulable_with_jitter",
+    "hyperbolic_test",
+    "liu_layland_bound",
+    "liu_layland_test",
+    "quick_schedulability",
+]

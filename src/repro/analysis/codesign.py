@@ -1,0 +1,154 @@
+"""Iterative latency/schedulability co-design.
+
+The paper's flow is one-shot: pick gamma_i = alpha * S_i, solve the
+MILP, and verify schedulability treating the data acquisition latencies
+as release jitter.  When that verification *fails* (the jitters inflate
+some response time past its deadline), the designer must tighten the
+deadlines and re-solve — this module automates that loop:
+
+1. start from gamma_i = alpha * S_i;
+2. solve the allocation MILP;
+3. run RTA with the *measured* worst-case latencies as jitter (plus the
+   LET task interference);
+4. if schedulable, stop; otherwise shrink the gammas of the tasks whose
+   jitter interferes with a failing core and go to 2.
+
+The loop terminates: gammas shrink geometrically, and either the system
+becomes schedulable or the MILP becomes infeasible (reported as such).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.let_interference import let_task_interference
+from repro.analysis.response_time import analyze
+from repro.analysis.sensitivity import assign_acquisition_deadlines
+from repro.core.formulation import FormulationConfig, LetDmaFormulation, Objective
+from repro.core.solution import AllocationResult
+from repro.model.application import Application
+
+__all__ = ["CodesignIteration", "CodesignReport", "iterate_codesign"]
+
+
+@dataclass
+class CodesignIteration:
+    """One pass of the solve-analyze loop."""
+
+    index: int
+    gammas_us: dict[str, float]
+    solve_status: str
+    measured_latencies_us: dict[str, float] = field(default_factory=dict)
+    schedulable: bool = False
+    failing_tasks: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CodesignReport:
+    """Outcome of the co-design loop."""
+
+    converged: bool
+    iterations: list[CodesignIteration] = field(default_factory=list)
+    final_app: Application | None = None
+    final_result: AllocationResult | None = None
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+    def summary(self) -> str:
+        lines = [
+            f"co-design {'converged' if self.converged else 'FAILED'} "
+            f"after {self.num_iterations} iteration(s)"
+        ]
+        for iteration in self.iterations:
+            failing = (
+                f", failing: {', '.join(iteration.failing_tasks)}"
+                if iteration.failing_tasks
+                else ""
+            )
+            lines.append(
+                f"  #{iteration.index}: solve={iteration.solve_status}, "
+                f"schedulable={iteration.schedulable}{failing}"
+            )
+        return "\n".join(lines)
+
+
+def iterate_codesign(
+    app: Application,
+    objective: Objective = Objective.MIN_DELAY_RATIO,
+    alpha: float = 0.3,
+    shrink: float = 0.5,
+    max_iterations: int = 6,
+    time_limit_seconds: float = 120.0,
+) -> CodesignReport:
+    """Run the co-design loop; see the module docstring.
+
+    Args:
+        app: The application (gammas are assigned internally).
+        objective: MILP objective for each solve.
+        alpha: Initial slack fraction for gamma_i.
+        shrink: Multiplicative tightening applied to the gammas of
+            tasks implicated in a schedulability failure.
+        max_iterations: Bail-out bound.
+        time_limit_seconds: Per-solve MILP budget.
+    """
+    if not 0.0 < shrink < 1.0:
+        raise ValueError("shrink must be in (0, 1)")
+    report = CodesignReport(converged=False)
+    configured = assign_acquisition_deadlines(app, alpha)
+    gammas = {
+        task.name: task.acquisition_deadline_us
+        for task in configured.tasks
+        if task.acquisition_deadline_us is not None
+    }
+
+    for index in range(max_iterations):
+        iteration = CodesignIteration(
+            index=index, gammas_us=dict(gammas), solve_status="", schedulable=False
+        )
+        report.iterations.append(iteration)
+
+        formulation = LetDmaFormulation(
+            configured,
+            FormulationConfig(
+                objective=objective, time_limit_seconds=time_limit_seconds
+            ),
+        )
+        result = formulation.solve()
+        iteration.solve_status = result.status.value
+        if not result.feasible:
+            return report  # tightened past feasibility: give up
+
+        latencies = result.worst_case_latencies(configured)
+        iteration.measured_latencies_us = latencies
+        interference = let_task_interference(configured, result)
+        analysis = analyze(configured, jitters=latencies, interference=interference)
+        failing = [
+            name
+            for name, entry in analysis.per_task.items()
+            if not entry.schedulable
+        ]
+        iteration.failing_tasks = failing
+        iteration.schedulable = not failing
+
+        if not failing:
+            report.converged = True
+            report.final_app = configured
+            report.final_result = result
+            return report
+
+        # Tighten the gammas of every communicating task on a failing
+        # core: their jitter is what inflates the failing response
+        # times (including the failing tasks' own jitter).
+        failing_cores = {configured.tasks[name].core_id for name in failing}
+        for task in configured.tasks:
+            if task.core_id in failing_cores and task.name in gammas:
+                gammas[task.name] *= shrink
+        configured = Application(
+            configured.platform,
+            configured.tasks.with_acquisition_deadlines(gammas),
+            configured.labels,
+        )
+
+    return report

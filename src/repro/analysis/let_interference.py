@@ -1,0 +1,79 @@
+"""Modeling the per-core LET task as interference for RTA.
+
+Section V-C: the LET task tau_LET,k runs at the highest priority on its
+core and behaves as a generalized multiframe task whose jobs exhibit a
+segmented self-suspending pattern (program the DMA, suspend, be woken
+by the completion ISR).  Following the spirit of [14], we over-
+approximate it with a sporadic task — but at *burst* granularity: all
+the dispatch segments a core executes at one release instant form one
+burst (they run back to back), so the sporadic abstraction uses
+
+* WCET  = the largest per-instant busy time of the core
+  (sum of o_DP + o_ISR over the transfers it programs at that instant);
+* inter-arrival = the smallest gap between consecutive instants at
+  which the core programs at least one transfer (hyperperiod
+  wrap-around included).
+
+Modeling each individual segment as its own sporadic task with the
+segment-to-segment gap would be sound but hopelessly pessimistic:
+back-to-back dispatches at one instant would yield an inter-arrival
+close to the segment WCET, i.e. a fictitious ~100%-utilization
+interferer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.response_time import InterferenceSource
+from repro.core.protocol import LetDmaProtocol
+from repro.core.solution import AllocationResult
+from repro.model.application import Application
+
+__all__ = ["let_task_interference"]
+
+
+def let_task_interference(
+    app: Application, result: AllocationResult
+) -> dict[str, list[InterferenceSource]]:
+    """Burst-granularity sporadic over-approximation of each core's LET
+    task.  Returns, per core, a one-element list with the interference
+    source (empty list for cores that never program the DMA)."""
+    protocol = LetDmaProtocol(app, result)
+    dma = app.platform.dma
+    segment_wcet = dma.programming_overhead_us + dma.isr_overhead_us
+
+    burst_starts: dict[str, list[float]] = {
+        core.core_id: [] for core in app.platform.cores
+    }
+    burst_busy: dict[str, dict[float, float]] = {
+        core.core_id: {} for core in app.platform.cores
+    }
+    for schedule in protocol.hyperperiod_schedule():
+        t = float(schedule.instant_us)
+        for dispatch in schedule.dispatches:
+            core_id = dispatch.programming_core
+            if t not in burst_busy[core_id]:
+                burst_busy[core_id][t] = 0.0
+                burst_starts[core_id].append(t)
+            burst_busy[core_id][t] += segment_wcet
+
+    interference: dict[str, list[InterferenceSource]] = {}
+    hyperperiod = app.tasks.hyperperiod_us()
+    for core_id, starts in burst_starts.items():
+        if not starts:
+            interference[core_id] = []
+            continue
+        starts.sort()
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        # Wrap-around gap between the last burst and the first of the
+        # next hyperperiod.
+        gaps.append(hyperperiod + starts[0] - starts[-1])
+        wcet = max(burst_busy[core_id].values())
+        min_gap = max(min(gaps), wcet)
+        interference[core_id] = [
+            InterferenceSource(
+                name=f"LET[{core_id}]",
+                wcet_us=wcet,
+                min_interarrival_us=min_gap,
+            )
+        ]
+    return interference

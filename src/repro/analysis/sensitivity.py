@@ -1,0 +1,82 @@
+"""The paper's sensitivity procedure for data acquisition deadlines.
+
+The WATERS 2019 challenge does not provide data acquisition deadlines
+gamma_i, so Section VII derives them:
+
+1. compute the worst-case response time R_i of each task with no
+   release jitter;
+2. slack S_i = D_i - R_i;
+3. set gamma_i = alpha * S_i for alpha in {0.1, ..., 0.5};
+4. confirm schedulability by re-running RTA with J_i = gamma_i.
+
+:func:`assign_acquisition_deadlines` performs steps 1-3 and returns a
+new application; :func:`schedulable_with_jitter` performs step 4.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.response_time import InterferenceSource, analyze
+from repro.model.application import Application
+
+__all__ = [
+    "compute_slacks",
+    "assign_acquisition_deadlines",
+    "schedulable_with_jitter",
+    "alpha_sweep",
+]
+
+
+def compute_slacks(
+    app: Application,
+    interference: dict[str, list[InterferenceSource]] | None = None,
+) -> dict[str, float]:
+    """S_i = D_i - R_i for every task, with zero release jitter."""
+    report = analyze(app, jitters=None, interference=interference)
+    return report.slacks()
+
+
+def assign_acquisition_deadlines(
+    app: Application,
+    alpha: float,
+    interference: dict[str, list[InterferenceSource]] | None = None,
+) -> Application:
+    """A copy of the application with gamma_i = alpha * S_i.
+
+    Only communicating tasks receive a deadline; tasks without
+    inter-core communication have no data acquisition phase.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    slacks = compute_slacks(app, interference)
+    communicating = {task.name for task in app.communicating_tasks()}
+    gammas = {
+        name: alpha * slack
+        for name, slack in slacks.items()
+        if name in communicating
+    }
+    tasks = app.tasks.with_acquisition_deadlines(gammas)
+    return Application(app.platform, tasks, app.labels)
+
+
+def schedulable_with_jitter(
+    app: Application,
+    jitters: dict[str, float] | None = None,
+    interference: dict[str, list[InterferenceSource]] | None = None,
+) -> bool:
+    """Step 4: is the application schedulable when each task's release
+    jitter is bounded by ``jitters`` (default: its gamma_i)?"""
+    if jitters is None:
+        jitters = {
+            task.name: task.acquisition_deadline_us
+            for task in app.tasks
+            if task.acquisition_deadline_us is not None
+        }
+    return analyze(app, jitters=jitters, interference=interference).schedulable
+
+
+def alpha_sweep(
+    app: Application,
+    alphas: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5),
+) -> dict[float, Application]:
+    """Applications with gamma_i assigned for each alpha (paper's sweep)."""
+    return {alpha: assign_acquisition_deadlines(app, alpha) for alpha in alphas}

@@ -1,0 +1,67 @@
+"""Utilization-based schedulability tests (quick sufficient checks).
+
+Exact RTA (:mod:`repro.analysis.response_time`) is the authority, but
+cheap sufficient tests are useful as pre-filters when generating or
+sweeping thousands of synthetic tasksets:
+
+* the Liu & Layland bound — a rate-monotonic core is schedulable when
+  its utilization does not exceed ``n (2^{1/n} - 1)``;
+* the hyperbolic bound (Bini, Buttazzo & Buttazzo) — strictly less
+  pessimistic: schedulable when ``prod_i (U_i + 1) <= 2``.
+
+Both assume implicit deadlines, preemptive rate-monotonic priorities,
+independent tasks, and no release jitter — they are *sufficient only*,
+and apply per core under partitioned scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.model.application import Application
+from repro.model.task import TaskSet
+
+__all__ = [
+    "liu_layland_bound",
+    "liu_layland_test",
+    "hyperbolic_test",
+    "quick_schedulability",
+]
+
+
+def liu_layland_bound(num_tasks: int) -> float:
+    """The RM utilization bound n(2^{1/n} − 1); ln 2 in the limit."""
+    if num_tasks <= 0:
+        raise ValueError("need at least one task")
+    return num_tasks * (2 ** (1.0 / num_tasks) - 1.0)
+
+
+def liu_layland_test(tasks: TaskSet, core_id: str) -> bool:
+    """Sufficient RM test for one core via the Liu & Layland bound."""
+    members = tasks.on_core(core_id)
+    if not members:
+        return True
+    utilization = sum(task.utilization for task in members)
+    return utilization <= liu_layland_bound(len(members)) + 1e-12
+
+
+def hyperbolic_test(tasks: TaskSet, core_id: str) -> bool:
+    """Sufficient RM test for one core via the hyperbolic bound."""
+    product = 1.0
+    for task in tasks.on_core(core_id):
+        product *= task.utilization + 1.0
+    return product <= 2.0 + 1e-12
+
+
+def quick_schedulability(app: Application) -> dict[str, str]:
+    """Cheapest verdict per core: ``"LL"`` (Liu & Layland passes),
+    ``"hyperbolic"`` (only the hyperbolic bound passes), or
+    ``"needs-RTA"`` (neither sufficient test applies — run the exact
+    analysis; the core may still be schedulable)."""
+    verdicts = {}
+    for core in app.platform.cores:
+        if liu_layland_test(app.tasks, core.core_id):
+            verdicts[core.core_id] = "LL"
+        elif hyperbolic_test(app.tasks, core.core_id):
+            verdicts[core.core_id] = "hyperbolic"
+        else:
+            verdicts[core.core_id] = "needs-RTA"
+    return verdicts

@@ -1,0 +1,278 @@
+"""Command-line interface: ``letdma <command>``.
+
+Commands:
+
+* ``table1``  — reproduce Table I (MILP times and transfer counts);
+* ``fig2``    — reproduce one Fig. 2 panel (latency ratios);
+* ``alphas``  — the alpha feasibility sweep;
+* ``solve``   — solve the WATERS case study once and print the
+  allocation (layouts + transfer schedule);
+* ``simulate``— run the discrete-event simulator for one approach.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import Objective
+from repro.reporting import (
+    render_ratio_figure,
+    render_table,
+    run_alpha_feasibility,
+    run_fig2_panel,
+    run_table1,
+    solve_waters,
+)
+from repro.waters import TASK_NAMES
+
+_OBJECTIVES = {obj.value.lower(): obj for obj in Objective}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=120.0,
+        help="MILP time limit in seconds (default: 120)",
+    )
+
+
+def _objective(value: str) -> Objective:
+    try:
+        return _OBJECTIVES[value.lower()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown objective {value!r}; choose from {sorted(_OBJECTIVES)}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="letdma",
+        description="LET-DMA memory allocation and scheduling (DAC 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="reproduce Table I")
+    p_table1.add_argument(
+        "--alphas", type=float, nargs="+", default=[0.2, 0.4]
+    )
+    _add_common(p_table1)
+
+    p_fig2 = sub.add_parser("fig2", help="reproduce one Fig. 2 panel")
+    p_fig2.add_argument("--objective", type=_objective, default=Objective.NONE)
+    p_fig2.add_argument("--alpha", type=float, default=0.2)
+    _add_common(p_fig2)
+
+    p_alphas = sub.add_parser("alphas", help="alpha feasibility sweep")
+    p_alphas.add_argument(
+        "--alphas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4, 0.5]
+    )
+    _add_common(p_alphas)
+
+    p_solve = sub.add_parser("solve", help="solve WATERS and print the allocation")
+    p_solve.add_argument("--objective", type=_objective, default=Objective.NONE)
+    p_solve.add_argument("--alpha", type=float, default=0.2)
+    _add_common(p_solve)
+
+    p_sim = sub.add_parser("simulate", help="simulate one approach on WATERS")
+    p_sim.add_argument(
+        "--approach",
+        choices=["proposed", "giotto-cpu", "giotto-dma-a", "giotto-dma-b"],
+        default="proposed",
+    )
+    p_sim.add_argument("--alpha", type=float, default=0.2)
+    _add_common(p_sim)
+
+    p_export = sub.add_parser(
+        "export",
+        help="solve WATERS and write firmware artifacts (C header, "
+        "linker script, VCD trace, JSON model/result)",
+    )
+    p_export.add_argument("--objective", type=_objective, default=Objective.MIN_DELAY_RATIO)
+    p_export.add_argument("--alpha", type=float, default=0.2)
+    p_export.add_argument("--out", default="letdma-out", help="output directory")
+    _add_common(p_export)
+
+    p_chains = sub.add_parser(
+        "chains", help="cause-effect chain latencies on WATERS"
+    )
+    p_chains.add_argument("--alpha", type=float, default=0.2)
+    _add_common(p_chains)
+
+    p_codesign = sub.add_parser(
+        "codesign", help="iterative gamma tightening until schedulable"
+    )
+    p_codesign.add_argument("--alpha", type=float, default=0.3)
+    p_codesign.add_argument("--shrink", type=float, default=0.5)
+    p_codesign.add_argument("--max-iterations", type=int, default=6)
+    _add_common(p_codesign)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="independently verify a stored allocation against its model",
+    )
+    p_verify.add_argument(
+        "application", help="model file (.json or .xml, see repro.io)"
+    )
+    p_verify.add_argument("allocation", help="allocation file (.json)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        rows = run_table1(
+            alphas=tuple(args.alphas), time_limit_seconds=args.time_limit
+        )
+        print(
+            render_table(
+                ["objective", "alpha", "MILP time", "status", "# DMA transfers"],
+                [row.as_tuple() for row in rows],
+                title="Table I (reproduction): running times and DMA transfer counts",
+            )
+        )
+    elif args.command == "fig2":
+        panel = run_fig2_panel(
+            args.objective, args.alpha, time_limit_seconds=args.time_limit
+        )
+        title = f"Fig. 2 panel: {args.objective.value}, alpha={args.alpha}"
+        print(render_ratio_figure({title: panel}, TASK_NAMES))
+    elif args.command == "alphas":
+        outcome = run_alpha_feasibility(
+            alphas=tuple(args.alphas), time_limit_seconds=args.time_limit
+        )
+        rows = [
+            (f"{alpha:.1f}", "feasible" if ok else "INFEASIBLE")
+            for alpha, ok in outcome.items()
+        ]
+        print(render_table(["alpha", "outcome"], rows, title="Alpha sensitivity"))
+    elif args.command == "solve":
+        app, result = solve_waters(
+            args.objective, args.alpha, time_limit_seconds=args.time_limit
+        )
+        print(result.summary())
+        for memory_id, layout in result.layouts.items():
+            slots = ", ".join(layout.order) if layout.order else "(empty)"
+            print(f"{memory_id}: {slots}")
+    elif args.command == "simulate":
+        from repro.sim import simulate, timeline_for
+
+        app, result = solve_waters(
+            Objective.MIN_DELAY_RATIO, args.alpha, time_limit_seconds=args.time_limit
+        )
+        timeline = timeline_for(args.approach, app, result)
+        sim = simulate(app, timeline)
+        rows = [
+            (
+                task,
+                f"{sim.worst_acquisition_latency_us(task):.1f}",
+                f"{sim.worst_response_us(task):.1f}",
+            )
+            for task in TASK_NAMES
+        ]
+        print(
+            render_table(
+                ["task", "worst acquisition latency (us)", "worst response (us)"],
+                rows,
+                title=f"Simulation ({args.approach}, alpha={args.alpha}): "
+                f"deadlines {'met' if sim.all_deadlines_met else 'MISSED'}",
+            )
+        )
+    elif args.command == "export":
+        from pathlib import Path
+
+        from repro.core import LetDmaProtocol
+        from repro.io import (
+            generate_c_header,
+            generate_linker_script,
+            protocol_to_vcd,
+            save_application,
+            save_result,
+        )
+
+        app, result = solve_waters(
+            args.objective, args.alpha, time_limit_seconds=args.time_limit
+        )
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "let_dma_layout.h").write_text(generate_c_header(app, result))
+        (out / "let_dma_layout.ld").write_text(generate_linker_script(app, result))
+        protocol_to_vcd(app, LetDmaProtocol(app, result)).save(out / "protocol.vcd")
+        save_application(app, out / "application.json")
+        save_result(result, out / "allocation.json")
+        print(f"wrote let_dma_layout.h, let_dma_layout.ld, protocol.vcd, "
+              f"application.json, allocation.json to {out}/")
+    elif args.command == "chains":
+        from repro.analysis import CauseEffectChain, analyze_chain
+        from repro.core import proposed_profile
+        from repro.waters import waters_application
+
+        app, result = solve_waters(
+            Objective.MIN_DELAY_RATIO, args.alpha, time_limit_seconds=args.time_limit
+        )
+        latencies = proposed_profile(app, result).worst_case
+        chains = [
+            CauseEffectChain("steer", ("CAN", "EKF", "DASM")),
+            CauseEffectChain("plan", ("CAN", "EKF", "PLAN")),
+            CauseEffectChain("perceive", ("SFM", "LOC", "EKF", "PLAN")),
+            CauseEffectChain("detect", ("DET", "PLAN", "DASM")),
+        ]
+        rows = []
+        for chain in chains:
+            outcome = analyze_chain(
+                app, chain, final_output_delay_us=latencies[chain.tasks[-1]]
+            )
+            rows.append(
+                (
+                    chain.name,
+                    " -> ".join(chain.tasks),
+                    f"{outcome.reaction_time_us / 1000:.2f} ms",
+                    f"{outcome.data_age_us / 1000:.2f} ms",
+                )
+            )
+        print(
+            render_table(
+                ["chain", "tasks", "reaction time", "data age"],
+                rows,
+                title=f"WATERS cause-effect chains (alpha={args.alpha})",
+            )
+        )
+    elif args.command == "codesign":
+        from repro.analysis import iterate_codesign
+        from repro.waters import waters_application
+
+        report = iterate_codesign(
+            waters_application(),
+            alpha=args.alpha,
+            shrink=args.shrink,
+            max_iterations=args.max_iterations,
+            time_limit_seconds=args.time_limit,
+        )
+        print(report.summary())
+    elif args.command == "verify":
+        from repro.core import verify_allocation
+        from repro.io import load_application, load_result, load_system_xml
+
+        if args.application.endswith(".xml"):
+            app = load_system_xml(args.application)
+        else:
+            app = load_application(args.application)
+        result = load_result(args.allocation)
+        report = verify_allocation(app, result)
+        if report.ok:
+            print(
+                f"OK: {result.num_transfers} transfers verified over "
+                f"{report.checked_instants} instants"
+            )
+        else:
+            print("FAILED:")
+            for violation in report.violations:
+                print(f"  {violation}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

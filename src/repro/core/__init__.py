@@ -1,0 +1,51 @@
+"""The paper's primary contribution: the LET-DMA protocol, its MILP
+allocation/scheduling problem, baselines, a heuristic, and a verifier."""
+
+from repro.core.baselines import (
+    LatencyProfile,
+    all_profiles,
+    giotto_cpu_profile,
+    giotto_dma_a_profile,
+    giotto_dma_b_profile,
+    proposed_profile,
+)
+from repro.core.formulation import FormulationConfig, LetDmaFormulation, Objective
+from repro.core.double_buffer import (
+    DoubleBuffer,
+    DoubleBufferManager,
+    intra_core_shared_labels,
+)
+from repro.core.heuristic import GreedyAllocator, greedy_allocation
+from repro.core.local_search import improve_transfer_order, worst_delay_ratio
+from repro.core.positional import PositionalLetDmaFormulation
+from repro.core.protocol import InstantSchedule, LetDmaProtocol, TransferDispatch
+from repro.core.solution import AllocationResult, DmaTransfer, MemoryLayout
+from repro.core.verifier import VerificationReport, verify_allocation
+
+__all__ = [
+    "LatencyProfile",
+    "all_profiles",
+    "giotto_cpu_profile",
+    "giotto_dma_a_profile",
+    "giotto_dma_b_profile",
+    "proposed_profile",
+    "FormulationConfig",
+    "LetDmaFormulation",
+    "Objective",
+    "DoubleBuffer",
+    "DoubleBufferManager",
+    "intra_core_shared_labels",
+    "GreedyAllocator",
+    "greedy_allocation",
+    "improve_transfer_order",
+    "worst_delay_ratio",
+    "PositionalLetDmaFormulation",
+    "InstantSchedule",
+    "LetDmaProtocol",
+    "TransferDispatch",
+    "AllocationResult",
+    "DmaTransfer",
+    "MemoryLayout",
+    "VerificationReport",
+    "verify_allocation",
+]

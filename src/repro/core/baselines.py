@@ -1,0 +1,198 @@
+"""Baseline LET communication approaches (Section VII of the paper).
+
+The paper compares its protocol against three alternatives:
+
+* **Giotto-CPU** — the classic implementation [1, 3]: at every active
+  instant, a highest-priority software routine performs all LET writes,
+  then all LET reads, one label at a time, on the CPU; every task
+  released at that instant becomes ready only when *all* copies are
+  done.
+* **Giotto-DMA-A** — same strict ordering, but each label copy is
+  offloaded to the DMA as its own transfer (no knowledge of memory
+  layout, hence no grouping); tasks still wait for everything.
+* **Giotto-DMA-B** — Giotto ordering, DMA copies, and the *memory
+  layout produced by the MILP*: copies that happen to be contiguous in
+  both memories are merged into one transfer, but communications are
+  not reordered and tasks still wait for all of them.
+
+Each function returns a :class:`LatencyProfile` with per-instant and
+worst-case data acquisition latencies, directly comparable with the
+proposed protocol's profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.solution import AllocationResult, MemoryLayout, _slots_of
+from repro.let.communication import Communication
+from repro.let.giotto import giotto_order
+from repro.let.grouping import active_instants
+from repro.model.application import Application
+
+__all__ = [
+    "LatencyProfile",
+    "proposed_profile",
+    "giotto_cpu_profile",
+    "giotto_dma_a_profile",
+    "giotto_dma_b_profile",
+    "all_profiles",
+]
+
+
+@dataclass
+class LatencyProfile:
+    """Data acquisition latencies of one communication approach.
+
+    Attributes:
+        approach: Human-readable approach name.
+        per_instant: For each active instant t, the latency (us) that a
+            task released at t would experience, per task.
+        worst_case: lambda_i, the worst latency of each task over its
+            releases in one hyperperiod.
+    """
+
+    approach: str
+    per_instant: dict[int, dict[str, float]] = field(default_factory=dict)
+    worst_case: dict[str, float] = field(default_factory=dict)
+
+    def ratio_to(self, other: "LatencyProfile") -> dict[str, float]:
+        """lambda_self / lambda_other per task (the paper's Fig. 2 metric).
+
+        Tasks with zero latency under ``other`` are skipped (no
+        meaningful ratio exists).
+        """
+        ratios = {}
+        for task, ours in self.worst_case.items():
+            theirs = other.worst_case.get(task, 0.0)
+            if theirs > 0.0:
+                ratios[task] = ours / theirs
+        return ratios
+
+
+def _finalize(
+    app: Application,
+    approach: str,
+    per_instant: dict[int, dict[str, float]],
+) -> LatencyProfile:
+    worst: dict[str, float] = {task.name: 0.0 for task in app.tasks}
+    for latencies in per_instant.values():
+        for task, value in latencies.items():
+            worst[task] = max(worst[task], value)
+    return LatencyProfile(approach=approach, per_instant=per_instant, worst_case=worst)
+
+
+def _released_at(app: Application, t: int) -> list[str]:
+    return [task.name for task in app.tasks if t % task.period_us == 0]
+
+
+def proposed_profile(app: Application, result: AllocationResult) -> LatencyProfile:
+    """The proposed protocol: tasks become ready as soon as *their*
+    communications complete (rules R1-R3)."""
+    per_instant: dict[int, dict[str, float]] = {}
+    for t in active_instants(app):
+        per_instant[t] = result.latencies_at(app, t)
+    return _finalize(app, "proposed", per_instant)
+
+
+def giotto_cpu_profile(app: Application) -> LatencyProfile:
+    """Giotto with CPU-driven copies: one label at a time, everyone waits."""
+    cpu = app.platform.cpu_copy
+    per_instant: dict[int, dict[str, float]] = {}
+    for t in active_instants(app):
+        total = sum(
+            cpu.copy_duration_us(comm.size_bytes(app)) for comm in giotto_order(app, t)
+        )
+        per_instant[t] = {task: total for task in _released_at(app, t)}
+    return _finalize(app, "giotto-cpu", per_instant)
+
+
+def giotto_dma_a_profile(app: Application) -> LatencyProfile:
+    """Giotto with one DMA transfer per label copy, everyone waits."""
+    dma = app.platform.dma
+    per_instant: dict[int, dict[str, float]] = {}
+    for t in active_instants(app):
+        total = sum(
+            dma.transfer_duration_us(comm.size_bytes(app))
+            for comm in giotto_order(app, t)
+        )
+        per_instant[t] = {task: total for task in _released_at(app, t)}
+    return _finalize(app, "giotto-dma-a", per_instant)
+
+
+def giotto_dma_b_profile(
+    app: Application, result: AllocationResult
+) -> LatencyProfile:
+    """Giotto ordering with DMA and the MILP's memory layout.
+
+    Writes first, then reads; within each phase, copies sharing a route
+    that happen to be contiguous (same order) in both memories are
+    merged into one transfer.  Tasks still wait for all transfers.
+    """
+    dma = app.platform.dma
+    per_instant: dict[int, dict[str, float]] = {}
+    for t in active_instants(app):
+        order = giotto_order(app, t)
+        writes = [c for c in order if c.is_write]
+        reads = [c for c in order if c.is_read]
+        total = 0.0
+        for phase in (writes, reads):
+            for run in _contiguous_runs(app, result.layouts, phase):
+                run_bytes = sum(c.size_bytes(app) for c in run)
+                total += dma.transfer_duration_us(run_bytes)
+        per_instant[t] = {task: total for task in _released_at(app, t)}
+    return _finalize(app, "giotto-dma-b", per_instant)
+
+
+def _contiguous_runs(
+    app: Application,
+    layouts: dict[str, MemoryLayout],
+    comms: list[Communication],
+) -> list[list[Communication]]:
+    """Greedy maximal runs of same-route copies that are contiguous in
+    the same order in both the source and destination memory."""
+    remaining = list(comms)
+    runs: list[list[Communication]] = []
+    # Process per route, in source-address order, splitting on gaps.
+    by_route: dict[tuple[str, str], list[Communication]] = {}
+    for comm in remaining:
+        by_route.setdefault(comm.route(app), []).append(comm)
+    for route, members in sorted(by_route.items()):
+        source_layout = layouts[route[0]]
+        dest_layout = layouts[route[1]]
+        members.sort(key=lambda c: source_layout.addresses[_slots_of(app, c)[0]])
+        run: list[Communication] = []
+        for comm in members:
+            if not run:
+                run = [comm]
+                continue
+            prev = run[-1]
+            prev_src, prev_dst = _slots_of(app, prev)
+            cur_src, cur_dst = _slots_of(app, comm)
+            src_adjacent = (
+                source_layout.position(cur_src)
+                == source_layout.position(prev_src) + 1
+            )
+            dst_adjacent = (
+                dest_layout.position(cur_dst) == dest_layout.position(prev_dst) + 1
+            )
+            if src_adjacent and dst_adjacent:
+                run.append(comm)
+            else:
+                runs.append(run)
+                run = [comm]
+        if run:
+            runs.append(run)
+    return runs
+
+
+def all_profiles(
+    app: Application, result: AllocationResult
+) -> dict[str, LatencyProfile]:
+    """All four approaches of the paper's evaluation, keyed by name."""
+    return {
+        "proposed": proposed_profile(app, result),
+        "giotto-cpu": giotto_cpu_profile(app),
+        "giotto-dma-a": giotto_dma_a_profile(app),
+        "giotto-dma-b": giotto_dma_b_profile(app, result),
+    }

@@ -1,0 +1,192 @@
+"""Double buffering for intra-core LET communication (Section III-B).
+
+The DMA machinery of this paper only concerns *inter-core* labels.
+Labels shared between tasks on the **same** core are handled, per the
+paper (and Hamann et al. [2]), with a double buffer: the label gets two
+slots in the core-local memory; the producer always writes into the
+*back* buffer, readers always read the *front* buffer, and the two are
+swapped at the LET instants where a write is published — so readers
+never observe a torn or half-new value and LET's value determinism is
+preserved without any copying.
+
+This module provides:
+
+* :func:`intra_core_shared_labels` — which labels need a double buffer;
+* :class:`DoubleBuffer` — the swap state machine of one label;
+* :class:`DoubleBufferManager` — the per-application manager that
+  drives the swaps from the LET skip rules and answers "which version
+  of the data does job v of the reader observe?", the question the
+  value-determinism tests check.
+
+Versions are modeled functionally: the producer's job index is the data
+version, ``version -1`` is the initial value present before any
+publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.let.skipping import write_instants
+from repro.model.application import Application
+from repro.model.label import Label
+
+__all__ = ["intra_core_shared_labels", "DoubleBuffer", "DoubleBufferManager"]
+
+
+def intra_core_shared_labels(app: Application) -> list[Label]:
+    """Labels written and read by tasks mapped to the same core.
+
+    A label with both same-core and cross-core readers appears here
+    *and* in the inter-core machinery — each mechanism serves its own
+    readers.
+    """
+    result = []
+    for label in app.labels:
+        if label.writer is None:
+            continue
+        writer_core = app.tasks[label.writer].core_id
+        if any(
+            app.tasks[reader].core_id == writer_core for reader in label.readers
+        ):
+            result.append(label)
+    return result
+
+
+@dataclass
+class DoubleBuffer:
+    """Swap state of one double-buffered label.
+
+    Attributes:
+        label_name: The label.
+        front_version: Data version readers currently observe.
+        back_version: Version staged by the producer (not yet published).
+        swaps: Number of publications so far.
+    """
+
+    label_name: str
+    front_version: int = -1
+    back_version: int = -1
+    swaps: int = 0
+
+    def stage(self, version: int) -> None:
+        """Producer finished job ``version``: stage it in the back buffer."""
+        if version < 0:
+            raise ValueError("versions are non-negative job indices")
+        self.back_version = version
+
+    def publish(self) -> None:
+        """Swap front and back at a LET write instant.
+
+        After the swap the old front buffer becomes the producer's new
+        back buffer (its stale content will be overwritten before the
+        next publish).
+        """
+        self.front_version, self.back_version = (
+            self.back_version,
+            self.front_version,
+        )
+        self.swaps += 1
+
+    def read(self) -> int:
+        """The version a reader observes right now."""
+        return self.front_version
+
+
+class DoubleBufferManager:
+    """Drives the double buffers of an application along the LET grid.
+
+    The manager replays one hyperperiod: at every release instant of a
+    producer it stages the just-finished job's output, and at every
+    *necessary* LET write instant (skip rules of Eqs. (1)-(2)) it
+    publishes by swapping.  Readers sample the front buffer at their
+    release instants.
+    """
+
+    def __init__(self, app: Application):
+        self.app = app
+        self.labels = intra_core_shared_labels(app)
+        self.buffers: dict[str, DoubleBuffer] = {
+            label.name: DoubleBuffer(label.name) for label in self.labels
+        }
+        self._publication_instants: dict[str, set[int]] = {}
+        horizon = app.tasks.hyperperiod_us()
+        for label in self.labels:
+            producer = app.tasks[label.writer]
+            instants: set[int] = set()
+            for reader_name in label.readers:
+                reader = app.tasks[reader_name]
+                if reader.core_id != producer.core_id:
+                    continue
+                instants.update(write_instants(producer, reader, horizon))
+            self._publication_instants[label.name] = instants
+
+    def publication_instants(self, label_name: str) -> list[int]:
+        """Sorted instants at which the label's buffers swap."""
+        return sorted(self._publication_instants[label_name])
+
+    def observed_version(self, label_name: str, reader_release_us: int) -> int:
+        """The data version a reader sampling at ``reader_release_us``
+        observes, replaying the buffer protocol from time zero.
+
+        LET semantics: job v of the producer (period T_w) runs in
+        ``[v*T_w, (v+1)*T_w)`` and its output is published at the
+        producer release following it — so the version visible at time
+        t is the job that *finished* by the most recent publication at
+        or before t.
+        """
+        if label_name not in self.buffers:
+            raise KeyError(f"label {label_name!r} is not double-buffered")
+        label = self.app.label(label_name)
+        producer = self.app.tasks[label.writer]
+        buffer = DoubleBuffer(label_name)
+        # Replay: at every producer release k*T_w (k >= 1) job k-1 has
+        # completed; stage it, and publish if this instant is a
+        # necessary write instant (instants repeat with the hyperperiod).
+        publications = self._publication_instants[label_name]
+        cycle = self.app.tasks.hyperperiod_us()
+        k = 1
+        while k * producer.period_us <= reader_release_us:
+            instant = k * producer.period_us
+            buffer.stage(k - 1)
+            if instant % cycle in publications:
+                buffer.publish()
+            k += 1
+        return buffer.read()
+
+    def verify_value_determinism(self) -> list[str]:
+        """Check the fundamental LET guarantee on every double-buffered
+        label: at each reader release, the observed version equals the
+        producer job whose publication most recently preceded the
+        release.  Returns violation descriptions (empty = all good)."""
+        violations = []
+        horizon = self.app.tasks.hyperperiod_us()
+        for label in self.labels:
+            producer = self.app.tasks[label.writer]
+            for reader_name in label.readers:
+                reader = self.app.tasks[reader_name]
+                if reader.core_id != producer.core_id:
+                    continue
+                for release in reader.release_instants(horizon):
+                    observed = self.observed_version(label.name, release)
+                    expected = self._expected_version(label.name, release)
+                    if observed != expected:
+                        violations.append(
+                            f"label {label.name}: reader {reader_name} at "
+                            f"t={release} observed v{observed}, expected "
+                            f"v{expected}"
+                        )
+        return violations
+
+    def _expected_version(self, label_name: str, release_us: int) -> int:
+        """Ground truth, *independent of the skip rules*: under plain
+        LET (publish at every producer release), a reader at t observes
+        the job that finished at the latest producer release at or
+        before t.  Write skipping is an optimization that must never
+        change what a reader observes at its releases — so the
+        double-buffer replay must match this value exactly."""
+        producer = self.app.tasks[self.app.label(label_name).writer]
+        latest_release = (release_us // producer.period_us) * producer.period_us
+        if latest_release == 0:
+            return -1
+        return latest_release // producer.period_us - 1

@@ -1,0 +1,206 @@
+"""A greedy, polynomial-time allocator for the LET-DMA problem.
+
+The MILP of :mod:`repro.core.formulation` is exact but exponential in
+the worst case.  This module provides a fast constructive heuristic for
+large instances and as a quality baseline for the ablation benchmarks:
+
+1. **Ordering** — tasks are visited by increasing period (latency-
+   sensitive first).  Visiting a task schedules (a) all of its not-yet-
+   scheduled writes (Property 1), (b) the writes of every producer it
+   reads from (Property 2), then (c) its reads.  The result is a total
+   order of communications satisfying both LET properties with the
+   shortest-period tasks becoming ready as early as the causal
+   constraints allow.
+2. **Grouping** — consecutive communications are merged into one DMA
+   transfer when they share the (source, destination) route, have the
+   *same presence pattern* over T* (so every reduced instant keeps the
+   block contiguous, the condition behind Theorem 1), and their labels
+   can be placed adjacently in both memories.  The memory layout is
+   built on the fly: slots are appended to each memory in first-use
+   order, so a merged run is contiguous by construction.
+
+The heuristic always returns a feasible *ordering* (Properties 1 and 2
+hold by construction); data acquisition deadlines and Property 3 are
+not optimized for and must be checked with
+:func:`repro.core.verifier.verify_allocation` — the MILP remains the
+tool of choice when those constraints are tight.
+"""
+
+from __future__ import annotations
+
+from repro.core.solution import AllocationResult, DmaTransfer, MemoryLayout, _slots_of
+from repro.let.communication import Communication
+from repro.let.grouping import active_instants, communications_at
+from repro.milp.result import SolveStatus
+from repro.model.application import Application
+
+__all__ = ["GreedyAllocator", "greedy_allocation"]
+
+
+class GreedyAllocator:
+    """Constructive allocator; see module docstring for the algorithm."""
+
+    def __init__(self, app: Application, merge: bool = True):
+        self.app = app
+        self.merge = merge
+        self.comms = communications_at(app, 0)
+        if not self.comms:
+            raise ValueError("application has no inter-core LET communications")
+
+    # ------------------------------------------------------------------
+
+    def allocate(self) -> AllocationResult:
+        sequence = self._order_communications()
+        patterns = self._presence_patterns()
+        transfers, layouts = self._group_and_place(sequence, patterns)
+        result = AllocationResult(
+            status=SolveStatus.FEASIBLE,
+            layouts=layouts,
+            transfers=tuple(transfers),
+        )
+        result.latencies_us = result.latencies_at(self.app, 0)
+        return result
+
+    # ------------------------------------------------------------------
+    # Step 1: total order of communications
+    # ------------------------------------------------------------------
+
+    def _order_communications(self) -> list[Communication]:
+        app = self.app
+        writes_of: dict[str, list[Communication]] = {}
+        reads_of: dict[str, list[Communication]] = {}
+        for comm in self.comms:
+            bucket = writes_of if comm.is_write else reads_of
+            bucket.setdefault(comm.task, []).append(comm)
+
+        sequence: list[Communication] = []
+        written: set[str] = set()
+
+        def schedule_writes(task_name: str) -> None:
+            for write in writes_of.get(task_name, []):
+                if write.label not in written:
+                    written.add(write.label)
+                    sequence.append(write)
+
+        by_period = sorted(app.tasks, key=lambda task: (task.period_us, task.name))
+        for task in by_period:
+            schedule_writes(task.name)
+            reads = reads_of.get(task.name, [])
+            for read in reads:
+                producer = app.label(read.label).writer
+                if producer is not None:
+                    schedule_writes(producer)
+            sequence.extend(reads)
+        assert len(sequence) == len(self.comms)
+        return sequence
+
+    # ------------------------------------------------------------------
+    # Step 2: presence patterns over T*
+    # ------------------------------------------------------------------
+
+    def _presence_patterns(self) -> dict[Communication, frozenset[int]]:
+        patterns: dict[Communication, set[int]] = {comm: set() for comm in self.comms}
+        for t in active_instants(self.app):
+            for comm in communications_at(self.app, t):
+                patterns[comm].add(t)
+        return {comm: frozenset(ts) for comm, ts in patterns.items()}
+
+    # ------------------------------------------------------------------
+    # Step 3: grouping + on-the-fly layout
+    # ------------------------------------------------------------------
+
+    def _group_and_place(
+        self,
+        sequence: list[Communication],
+        patterns: dict[Communication, frozenset[int]],
+    ) -> tuple[list[DmaTransfer], dict[str, MemoryLayout]]:
+        app = self.app
+        order: dict[str, list[str]] = {
+            memory.memory_id: [] for memory in app.platform.memories
+        }
+
+        def place(memory_id: str, slot: str) -> None:
+            if slot not in order[memory_id]:
+                order[memory_id].append(slot)
+
+        groups: list[list[Communication]] = []
+        current: list[Communication] = []
+        for comm in sequence:
+            src_mem, dst_mem = comm.route(app)
+            src_slot, dst_slot = _slots_of(app, comm)
+            mergeable = bool(current) and self.merge
+            if mergeable:
+                prev = current[-1]
+                same_route = prev.route(app) == (src_mem, dst_mem)
+                same_pattern = patterns[prev] == patterns[comm]
+                mergeable = same_route and same_pattern
+            if mergeable:
+                prev_src, prev_dst = _slots_of(app, current[-1])
+                mergeable = self._adjacent_or_fresh(
+                    order[src_mem], prev_src, src_slot
+                ) and self._adjacent_or_fresh(order[dst_mem], prev_dst, dst_slot)
+            if mergeable:
+                current.append(comm)
+            else:
+                if current:
+                    groups.append(current)
+                current = [comm]
+            place(src_mem, src_slot)
+            place(dst_mem, dst_slot)
+        if current:
+            groups.append(current)
+
+        layouts = self._build_layouts(order)
+        transfers = []
+        for g, comms in enumerate(groups):
+            source, dest = comms[0].route(app)
+            src_slot, dst_slot = _slots_of(app, comms[0])
+            transfers.append(
+                DmaTransfer(
+                    index=g,
+                    source_memory=source,
+                    dest_memory=dest,
+                    communications=tuple(comms),
+                    total_bytes=sum(c.size_bytes(app) for c in comms),
+                    source_address=layouts[source].addresses[src_slot],
+                    dest_address=layouts[dest].addresses[dst_slot],
+                )
+            )
+        return transfers, layouts
+
+    @staticmethod
+    def _adjacent_or_fresh(order: list[str], prev_slot: str, slot: str) -> bool:
+        """Can ``slot`` extend a run right after ``prev_slot``?
+
+        True when the slot is not yet placed (it will be appended right
+        after the run, which ends at the list tail because the run's
+        slots were appended just before) or when it is already placed
+        immediately after ``prev_slot``.
+        """
+        if slot not in order:
+            return order[-1] == prev_slot if order else False
+        prev_index = order.index(prev_slot)
+        return order.index(slot) == prev_index + 1
+
+    def _build_layouts(self, order: dict[str, list[str]]) -> dict[str, MemoryLayout]:
+        app = self.app
+        layouts = {}
+        for memory_id, slots in order.items():
+            addresses: dict[str, int] = {}
+            sizes: dict[str, int] = {}
+            cursor = 0
+            for slot in slots:
+                label_name = slot.split("@")[0]
+                size = app.label(label_name).size_bytes
+                addresses[slot] = cursor
+                sizes[slot] = size
+                cursor += size
+            layouts[memory_id] = MemoryLayout(
+                memory_id, tuple(slots), addresses, sizes
+            )
+        return layouts
+
+
+def greedy_allocation(app: Application, merge: bool = True) -> AllocationResult:
+    """One-call convenience wrapper around :class:`GreedyAllocator`."""
+    return GreedyAllocator(app, merge=merge).allocate()

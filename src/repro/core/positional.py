@@ -1,0 +1,101 @@
+"""An alternative MILP encoding of the memory layout (cross-check).
+
+The paper encodes layouts with adjacency binaries AD and big-M position
+propagation (Constraints 4-5).  This module provides an independent
+encoding of the same solution space:
+
+* assignment binaries ``POS[k][slot][p]`` — slot occupies position p of
+  memory k (one-hot per slot and per position);
+* positions ``PL[k][slot] = sum_p p * POS[k][slot][p]``;
+* *derived* adjacency ``AD[k][a][b] <= sum_p AND(POS[a][p], POS[b][p+1])``
+  — upper-linked only, which suffices because adjacency appears solely
+  on the large side of Constraint 6.
+
+Everything else (transfer grouping, contiguity, LET ordering, latency,
+Property 3) is inherited unchanged from
+:class:`~repro.core.formulation.LetDmaFormulation`.
+
+Two structurally different encodings agreeing on optimal objective
+values over randomized instances is strong evidence that the paper
+formulation is implemented correctly; the integration tests assert
+exactly that.  The positional encoding is denser (O(n^3) auxiliaries
+per memory) and is intended for verification, not production use.
+"""
+
+from __future__ import annotations
+
+from repro.core.formulation import LetDmaFormulation
+from repro.milp import Var, lin_sum
+
+__all__ = ["PositionalLetDmaFormulation"]
+
+
+class PositionalLetDmaFormulation(LetDmaFormulation):
+    """The formulation with assignment-based layout variables."""
+
+    def _add_allocation_variables(self) -> None:
+        model = self.model
+        self.pos: dict[tuple[str, str, int], Var] = {}
+        self.pl: dict[tuple[str, str], Var] = {}
+        self.ad: dict[tuple[str, str, str], Var] = {}
+        for memory_id, slots in self.slots.items():
+            if not slots:
+                continue
+            n = len(slots)
+            for slot in slots:
+                for p in range(n):
+                    self.pos[(memory_id, slot, p)] = model.add_binary(
+                        f"POS[{memory_id}][{slot}][{p}]"
+                    )
+            for slot in slots:
+                pl = model.add_continuous(f"PL[{memory_id}][{slot}]", 0.0, n - 1)
+                model.add(
+                    pl
+                    == lin_sum(
+                        p * self.pos[(memory_id, slot, p)] for p in range(1, n)
+                    ),
+                    name=f"PL_def[{memory_id}][{slot}]",
+                )
+                self.pl[(memory_id, slot)] = pl
+            # Derived adjacency for every ordered slot pair.
+            for a in slots:
+                for b in slots:
+                    if a == b:
+                        continue
+                    terms = []
+                    for p in range(n - 1):
+                        follower = model.add_binary(
+                            f"FOLLOW[{memory_id}][{a}][{b}][{p}]"
+                        )
+                        model.add(
+                            follower <= self.pos[(memory_id, a, p)],
+                            name=f"FOLLOW_a[{memory_id}][{a}][{b}][{p}]",
+                        )
+                        model.add(
+                            follower <= self.pos[(memory_id, b, p + 1)],
+                            name=f"FOLLOW_b[{memory_id}][{a}][{b}][{p}]",
+                        )
+                        terms.append(follower)
+                    ad = model.add_binary(f"AD[{memory_id}][{a}][{b}]")
+                    model.add(
+                        ad <= lin_sum(terms), name=f"AD_def[{memory_id}][{a}][{b}]"
+                    )
+                    self.ad[(memory_id, a, b)] = ad
+
+    def _constraint_4_5_memory_chains(self) -> None:
+        """Assignment one-hots replace the chain/degree constraints."""
+        model = self.model
+        for memory_id, slots in self.slots.items():
+            if not slots:
+                continue
+            n = len(slots)
+            for slot in slots:
+                model.add(
+                    lin_sum(self.pos[(memory_id, slot, p)] for p in range(n)) == 1,
+                    name=f"slot_onehot[{memory_id}][{slot}]",
+                )
+            for p in range(n):
+                model.add(
+                    lin_sum(self.pos[(memory_id, slot, p)] for slot in slots) == 1,
+                    name=f"pos_onehot[{memory_id}][{p}]",
+                )

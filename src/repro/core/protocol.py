@@ -1,0 +1,152 @@
+"""The runtime LET-DMA protocol (Section V-B, rules R1-R3).
+
+This module turns a solved allocation into an explicit timed schedule
+of what happens at every active instant:
+
+* the per-core LET task programs the DMA for the next transfer
+  (``o_DP``), then suspends (rule R2);
+* the DMA moves the bytes (``omega_c`` per byte);
+* the completion ISR runs (``o_ISR``) and wakes the LET task that will
+  program the next transfer — possibly on another core — and marks
+  ready every task whose data dependencies are now satisfied (rule R3).
+
+The timed schedules are what the discrete-event simulator executes and
+what the analytical latency accounting (Constraint 9) must agree with —
+that agreement is asserted in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.solution import AllocationResult, DmaTransfer
+from repro.let.grouping import active_instants, let_groups
+from repro.model.application import Application
+
+__all__ = ["TransferDispatch", "InstantSchedule", "LetDmaProtocol"]
+
+
+@dataclass(frozen=True)
+class TransferDispatch:
+    """One DMA transfer with its absolute timing at a given instant.
+
+    Attributes:
+        transfer: The (possibly restricted) DMA transfer.
+        programming_core: Core whose LET task programs this transfer
+            (the core owning the local memory involved).
+        start_us: Absolute time the LET task starts programming.
+        copy_start_us: Absolute time the DMA starts moving bytes.
+        isr_start_us: Absolute time the completion ISR starts.
+        end_us: Absolute time the ISR finishes (tasks become ready).
+    """
+
+    transfer: DmaTransfer
+    programming_core: str
+    start_us: float
+    copy_start_us: float
+    isr_start_us: float
+    end_us: float
+
+
+@dataclass
+class InstantSchedule:
+    """Everything the protocol does at one release instant.
+
+    Attributes:
+        instant_us: The release instant t.
+        dispatches: Transfer dispatches in execution order.
+        ready_at_us: Absolute readiness time of each task released at t
+            (equals t for tasks with no communications at t).
+    """
+
+    instant_us: int
+    dispatches: list[TransferDispatch] = field(default_factory=list)
+    ready_at_us: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        if not self.dispatches:
+            return float(self.instant_us)
+        return self.dispatches[-1].end_us
+
+    def latency_of(self, task_name: str) -> float:
+        """Data acquisition latency of a task at this instant."""
+        return self.ready_at_us[task_name] - self.instant_us
+
+
+class LetDmaProtocol:
+    """Executes rules R1-R3 on top of a solved allocation."""
+
+    def __init__(self, app: Application, result: AllocationResult):
+        if not result.feasible:
+            raise ValueError("cannot run the protocol on an infeasible allocation")
+        self.app = app
+        self.result = result
+
+    def programming_core_of(self, transfer: DmaTransfer) -> str:
+        """The core whose LET task programs a transfer: the owner of the
+        local memory endpoint."""
+        local = (
+            transfer.source_memory
+            if transfer.dest_memory == self.app.platform.global_memory.memory_id
+            else transfer.dest_memory
+        )
+        for core in self.app.platform.cores:
+            if core.local_memory.memory_id == local:
+                return core.core_id
+        raise ValueError(f"transfer {transfer} has no local endpoint")
+
+    def schedule_at(self, t: int) -> InstantSchedule:
+        """The timed protocol schedule for release instant t."""
+        app = self.app
+        dma = app.platform.dma
+        schedule = InstantSchedule(instant_us=t)
+        clock = float(t)
+        for transfer in self.result.transfers_at(app, t):
+            start = clock
+            copy_start = start + dma.programming_overhead_us
+            isr_start = copy_start + dma.copy_cost_us_per_byte * transfer.total_bytes
+            end = isr_start + dma.isr_overhead_us
+            schedule.dispatches.append(
+                TransferDispatch(
+                    transfer=transfer,
+                    programming_core=self.programming_core_of(transfer),
+                    start_us=start,
+                    copy_start_us=copy_start,
+                    isr_start_us=isr_start,
+                    end_us=end,
+                )
+            )
+            clock = end
+
+        # Rule R1/R3: a released task is ready once its own writes and
+        # reads at t have completed; immediately if it has none.
+        for task in app.tasks:
+            if t % task.period_us != 0:
+                continue
+            writes, reads = let_groups(app, t, task.name)
+            needed = set(writes) | set(reads)
+            if not needed:
+                schedule.ready_at_us[task.name] = float(t)
+                continue
+            ready = float(t)
+            for dispatch in schedule.dispatches:
+                if needed & set(dispatch.transfer.communications):
+                    ready = max(ready, dispatch.end_us)
+            schedule.ready_at_us[task.name] = ready
+        return schedule
+
+    def hyperperiod_schedule(self) -> list[InstantSchedule]:
+        """Schedules for every active instant in one hyperperiod."""
+        return [self.schedule_at(t) for t in active_instants(self.app)]
+
+    def let_task_load(self) -> dict[str, float]:
+        """Per-core LET-task busy time (programming overhead) over one
+        hyperperiod, in microseconds — the processor intervention that
+        the DMA offloading is designed to minimize."""
+        o_dp = self.app.platform.dma.programming_overhead_us
+        load: dict[str, float] = {core.core_id: 0.0 for core in self.app.platform.cores}
+        for schedule in self.hyperperiod_schedule():
+            for dispatch in schedule.dispatches:
+                load[dispatch.programming_core] += o_dp
+        return load

@@ -1,0 +1,208 @@
+"""Independent verification of a solved LET-DMA allocation.
+
+The verifier re-checks every property the MILP is supposed to enforce,
+*without* trusting the solver: layout sanity, transfer contiguity (for
+the full s_0 set and for every reduced instant), the LET Properties
+1-3, the data acquisition deadlines, and the monotonicity of Theorem 1.
+It is used by the tests, the examples, and the benchmark harness to
+certify results before reporting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.solution import AllocationResult, _slots_of
+from repro.let import properties
+from repro.let.grouping import active_instants, communications_at
+from repro.model.application import Application
+
+__all__ = ["VerificationReport", "verify_allocation"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying an allocation.
+
+    ``ok`` is True when no violations were found; ``violations`` lists
+    human-readable descriptions otherwise.
+    """
+
+    ok: bool = True
+    violations: list[str] = field(default_factory=list)
+    checked_instants: int = 0
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "allocation verification failed:\n  " + "\n  ".join(self.violations)
+            )
+
+
+def verify_allocation(
+    app: Application, result: AllocationResult
+) -> VerificationReport:
+    """Run every check against a feasible allocation."""
+    report = VerificationReport()
+    if not result.feasible:
+        report.fail(f"result is not feasible: {result.status.value}")
+        return report
+
+    _check_layouts(app, result, report)
+    _check_coverage(app, result, report)
+    instants = active_instants(app)
+    report.checked_instants = len(instants)
+    # A malformed allocation (e.g. a transfer whose communications do
+    # not belong to its declared memories) can make the per-instant
+    # replay itself blow up; that is a verification failure, never an
+    # uncaught exception.
+    checks = (
+        lambda: [_check_instant(app, result, t, report) for t in instants],
+        lambda: _check_property3(app, result, instants, report),
+        lambda: _check_deadlines(app, result, instants, report),
+        lambda: _check_theorem1(app, result, instants, report),
+    )
+    for check in checks:
+        try:
+            check()
+        except (KeyError, ValueError, IndexError) as defect:
+            report.fail(f"malformed allocation: {defect!r}")
+    return report
+
+
+def _check_layouts(
+    app: Application, result: AllocationResult, report: VerificationReport
+) -> None:
+    for memory_id, layout in result.layouts.items():
+        capacity = app.platform.memory(memory_id).size_bytes
+        if layout.total_bytes > capacity:
+            report.fail(
+                f"layout of {memory_id} needs {layout.total_bytes} B, "
+                f"capacity is {capacity} B"
+            )
+        cursor = 0
+        for slot in layout.order:
+            if layout.addresses[slot] != cursor:
+                report.fail(
+                    f"layout of {memory_id}: slot {slot} at "
+                    f"{layout.addresses[slot]}, expected {cursor} (gap/overlap)"
+                )
+            cursor += layout.sizes[slot]
+
+
+def _check_coverage(
+    app: Application, result: AllocationResult, report: VerificationReport
+) -> None:
+    """Every communication at s_0 appears in exactly one transfer."""
+    scheduled: list = []
+    for transfer in result.transfers:
+        scheduled.extend(transfer.communications)
+    required = communications_at(app, 0)
+    if sorted(scheduled, key=lambda c: c.sort_key) != required:
+        report.fail(
+            f"transfers cover {len(scheduled)} communications, "
+            f"required set at s0 has {len(required)}"
+        )
+    if len(set(scheduled)) != len(scheduled):
+        report.fail("a communication appears in more than one transfer")
+
+
+def _check_instant(
+    app: Application, result: AllocationResult, t: int, report: VerificationReport
+) -> None:
+    schedule = result.transfers_at(app, t)
+
+    # Each dispatched transfer must be route-homogeneous and contiguous
+    # (in the same order) in both memories.
+    for transfer in schedule:
+        routes = {comm.route(app) for comm in transfer.communications}
+        if len(routes) != 1:
+            report.fail(f"t={t}: transfer {transfer.index} mixes routes {routes}")
+            continue
+        source_slots = [_slots_of(app, c)[0] for c in transfer.communications]
+        dest_slots = [_slots_of(app, c)[1] for c in transfer.communications]
+        source_layout = result.layouts[transfer.source_memory]
+        dest_layout = result.layouts[transfer.dest_memory]
+        if not source_layout.is_contiguous_run(source_slots):
+            report.fail(
+                f"t={t}: transfer {transfer.index} not contiguous in "
+                f"{transfer.source_memory}: {source_slots}"
+            )
+        if not dest_layout.is_contiguous_run(dest_slots):
+            report.fail(
+                f"t={t}: transfer {transfer.index} not contiguous in "
+                f"{transfer.dest_memory}: {dest_slots}"
+            )
+
+    # LET ordering properties on the batch sequence.
+    batches = [list(transfer.communications) for transfer in schedule]
+    try:
+        properties.check_property1(batches)
+        properties.check_property2(batches)
+        properties.check_intra_batch_direction(batches)
+    except properties.PropertyViolation as violation:
+        report.fail(f"t={t}: {violation}")
+
+
+def _check_property3(
+    app: Application,
+    result: AllocationResult,
+    instants: list[int],
+    report: VerificationReport,
+) -> None:
+    if not instants:
+        return
+    hyperperiod = app.tasks.hyperperiod_us()
+    pairs = list(zip(instants, instants[1:]))
+    pairs.append((instants[-1], hyperperiod + instants[0]))
+    for t1, t2 in pairs:
+        durations = [
+            transfer.duration_us(app) for transfer in result.transfers_at(app, t1)
+        ]
+        try:
+            properties.check_property3(durations, t1, t2)
+        except properties.PropertyViolation as violation:
+            report.fail(str(violation))
+
+
+def _check_deadlines(
+    app: Application,
+    result: AllocationResult,
+    instants: list[int],
+    report: VerificationReport,
+) -> None:
+    for t in instants:
+        for task_name, latency in result.latencies_at(app, t).items():
+            gamma = app.tasks[task_name].acquisition_deadline_us
+            if gamma is not None and latency > gamma + 1e-6:
+                report.fail(
+                    f"t={t}: task {task_name} ready after {latency:.2f} us, "
+                    f"deadline gamma={gamma:.2f} us"
+                )
+
+
+def _check_theorem1(
+    app: Application,
+    result: AllocationResult,
+    instants: list[int],
+    report: VerificationReport,
+) -> None:
+    """Theorem 1: no instant is worse than the synchronous release."""
+    at_s0 = result.latencies_at(app, 0)
+    for t in instants:
+        for task_name, latency in result.latencies_at(app, t).items():
+            baseline = at_s0.get(task_name)
+            if baseline is None:
+                report.fail(
+                    f"t={t}: task {task_name} communicates at t but not at s0"
+                )
+                continue
+            if latency > baseline + 1e-6:
+                report.fail(
+                    f"t={t}: task {task_name} latency {latency:.2f} us exceeds "
+                    f"its s0 latency {baseline:.2f} us (Theorem 1)"
+                )

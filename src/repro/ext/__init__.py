@@ -1,0 +1,24 @@
+"""Extensions beyond the paper: multi-channel DMA, incremental
+allocation, and alignment-aware modeling."""
+
+from repro.ext.alignment import (
+    align_up,
+    aligned_application,
+    alignment_overhead_bytes,
+)
+from repro.ext.incremental import extend_allocation
+from repro.ext.multichannel import (
+    ChannelDispatch,
+    MultiChannelSchedule,
+    MultiChannelScheduler,
+)
+
+__all__ = [
+    "align_up",
+    "aligned_application",
+    "alignment_overhead_bytes",
+    "extend_allocation",
+    "ChannelDispatch",
+    "MultiChannelSchedule",
+    "MultiChannelScheduler",
+]

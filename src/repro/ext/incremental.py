@@ -1,0 +1,178 @@
+"""Extension: incremental allocation for evolving systems.
+
+Automotive software ships, then grows: a new signal is added between
+two existing tasks after the memory map is frozen in object code and
+linker scripts.  Re-running the MILP would move existing labels; this
+module instead *extends* a committed allocation:
+
+* existing slots keep their addresses exactly (the invariant burned
+  into compiled artifacts);
+* new slots are appended at the end of each affected memory (capacity
+  checked);
+* new communications run as their own singleton transfers, spliced into
+  the transfer order so the LET properties still hold: a new write goes
+  right before the earliest transfer carrying a read of the writing
+  task (Property 1), new reads go to the end (after their write —
+  Property 2 — and after the consumer's writes, which always precede
+  its reads);
+* the result is re-verified by the caller like any other allocation
+  (Property 3 and gamma deadlines may of course become infeasible —
+  that is a real re-design signal, not something to paper over).
+
+The cost of incrementality is optimality: each new communication pays
+its own o_DP + o_ISR.  When the accumulated overhead matters, re-run
+the MILP and plan a re-flash.
+"""
+
+from __future__ import annotations
+
+from repro.core.solution import AllocationResult, DmaTransfer, MemoryLayout, _slots_of
+from repro.let.grouping import communications_at
+from repro.model.application import Application
+
+__all__ = ["extend_allocation"]
+
+
+def extend_allocation(
+    old_app: Application,
+    new_app: Application,
+    result: AllocationResult,
+) -> AllocationResult:
+    """Extend ``result`` (solved for ``old_app``) to cover ``new_app``.
+
+    ``new_app`` must be ``old_app`` plus additional labels (tasks and
+    platform unchanged; existing labels unchanged).
+    """
+    _check_compatible(old_app, new_app)
+    if not result.feasible:
+        raise ValueError("cannot extend an infeasible allocation")
+
+    old_comms = set(communications_at(old_app, 0))
+    new_comms = [
+        comm for comm in communications_at(new_app, 0) if comm not in old_comms
+    ]
+    if not new_comms:
+        return result
+
+    layouts = _extend_layouts(new_app, result, new_comms)
+    transfers = _splice_transfers(new_app, result, new_comms, layouts)
+    extended = AllocationResult(
+        status=result.status,
+        objective_value=result.objective_value,
+        runtime_seconds=result.runtime_seconds,
+        layouts=layouts,
+        transfers=tuple(transfers),
+    )
+    extended.latencies_us = extended.latencies_at(new_app, 0)
+    return extended
+
+
+def _check_compatible(old_app: Application, new_app: Application) -> None:
+    if old_app.tasks.names != new_app.tasks.names:
+        raise ValueError("incremental extension cannot change the task set")
+    old_labels = {label.name: label for label in old_app.labels}
+    for name, label in old_labels.items():
+        counterpart = next(
+            (l for l in new_app.labels if l.name == name), None
+        )
+        if counterpart is None or counterpart != label:
+            raise ValueError(
+                f"existing label {name!r} changed or removed; incremental "
+                "extension only supports additions"
+            )
+
+
+def _extend_layouts(
+    app: Application,
+    result: AllocationResult,
+    new_comms,
+) -> dict[str, MemoryLayout]:
+    additions: dict[str, list[str]] = {}
+    for comm in new_comms:
+        src_slot, dst_slot = _slots_of(app, comm)
+        src_mem, dst_mem = comm.route(app)
+        for memory_id, slot in ((src_mem, src_slot), (dst_mem, dst_slot)):
+            existing = result.layouts.get(memory_id)
+            already = existing is not None and slot in existing.addresses
+            pending = slot in additions.get(memory_id, [])
+            if not already and not pending:
+                additions.setdefault(memory_id, []).append(slot)
+
+    layouts: dict[str, MemoryLayout] = dict(result.layouts)
+    for memory_id, slots in additions.items():
+        base = layouts.get(memory_id) or MemoryLayout(memory_id, (), {}, {})
+        order = list(base.order)
+        addresses = dict(base.addresses)
+        sizes = dict(base.sizes)
+        cursor = base.total_bytes
+        for slot in slots:
+            label_name = slot.split("@")[0]
+            size = app.label(label_name).size_bytes
+            order.append(slot)
+            addresses[slot] = cursor
+            sizes[slot] = size
+            cursor += size
+        capacity = app.platform.memory(memory_id).size_bytes
+        if cursor > capacity:
+            raise ValueError(
+                f"memory {memory_id} cannot hold the new labels: "
+                f"{cursor} bytes needed, {capacity} available"
+            )
+        layouts[memory_id] = MemoryLayout(
+            memory_id, tuple(order), addresses, sizes
+        )
+    return layouts
+
+
+def _splice_transfers(
+    app: Application,
+    result: AllocationResult,
+    new_comms,
+    layouts: dict[str, MemoryLayout],
+) -> list[DmaTransfer]:
+    """Ordered transfer list: old transfers with new singletons spliced
+    in so Properties 1 and 2 hold."""
+    ordered: list = list(result.transfers)
+
+    # Earliest position (in the current order) carrying a read of a task.
+    def first_read_position(task_name: str) -> int:
+        for position, transfer in enumerate(ordered):
+            for comm in transfer.communications:
+                if comm.is_read and comm.task == task_name:
+                    return position
+        return len(ordered)
+
+    writes = [c for c in new_comms if c.is_write]
+    reads = [c for c in new_comms if c.is_read]
+    for write in sorted(writes, key=lambda c: c.sort_key):
+        position = first_read_position(write.task)
+        ordered.insert(position, _singleton(app, write, layouts))
+    for read in sorted(reads, key=lambda c: c.sort_key):
+        ordered.append(_singleton(app, read, layouts))
+
+    return [
+        DmaTransfer(
+            index=index,
+            source_memory=transfer.source_memory,
+            dest_memory=transfer.dest_memory,
+            communications=transfer.communications,
+            total_bytes=transfer.total_bytes,
+            source_address=transfer.source_address,
+            dest_address=transfer.dest_address,
+        )
+        for index, transfer in enumerate(ordered)
+    ]
+
+
+def _singleton(app, comm, layouts: dict[str, MemoryLayout]) -> DmaTransfer:
+    src_mem, dst_mem = comm.route(app)
+    src_slot, dst_slot = _slots_of(app, comm)
+    return DmaTransfer(
+        index=-1,  # re-indexed by the caller
+        source_memory=src_mem,
+        dest_memory=dst_mem,
+        communications=(comm,),
+        total_bytes=comm.size_bytes(app),
+        source_address=layouts[src_mem].addresses[src_slot],
+        dest_address=layouts[dst_mem].addresses[dst_slot],
+    )

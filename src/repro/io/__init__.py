@@ -1,0 +1,50 @@
+"""Model/result serialization, embedded code generation, trace export."""
+
+from repro.io.cache import cache_key, clear_cache, solve_cached
+from repro.io.codegen import (
+    default_base_addresses,
+    generate_c_header,
+    generate_linker_script,
+)
+from repro.io.serialization import (
+    application_from_dict,
+    application_to_dict,
+    load_application,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_application,
+    save_result,
+)
+from repro.io.system_xml import (
+    application_from_xml,
+    application_to_xml,
+    load_system_xml,
+    save_system_xml,
+)
+from repro.io.traces import VcdWriter, ascii_gantt, execution_to_vcd, protocol_to_vcd
+
+__all__ = [
+    "cache_key",
+    "clear_cache",
+    "solve_cached",
+    "application_from_xml",
+    "application_to_xml",
+    "load_system_xml",
+    "save_system_xml",
+    "default_base_addresses",
+    "generate_c_header",
+    "generate_linker_script",
+    "application_from_dict",
+    "application_to_dict",
+    "load_application",
+    "load_result",
+    "result_from_dict",
+    "result_to_dict",
+    "save_application",
+    "save_result",
+    "VcdWriter",
+    "ascii_gantt",
+    "execution_to_vcd",
+    "protocol_to_vcd",
+]

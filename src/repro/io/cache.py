@@ -1,0 +1,90 @@
+"""Persistent cache for solved allocations.
+
+MILP solves on realistic instances take minutes; re-running a CLI
+command or notebook cell should not pay twice.  ``solve_cached`` keys a
+solve by a content hash of (application, formulation config, library
+version) and stores results as the JSON of
+:mod:`repro.io.serialization` under a cache directory (default
+``.letdma-cache/`` in the working directory).
+
+Only *feasible or infeasible* outcomes are cached; errors and
+timeout-limited incumbents (status ``feasible``, which might improve
+with more time) are returned but not stored, so a longer rerun is never
+masked by a cached weaker incumbent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.core.formulation import FormulationConfig, LetDmaFormulation
+from repro.core.solution import AllocationResult
+from repro.io.serialization import (
+    application_to_dict,
+    load_result,
+    save_result,
+)
+from repro.milp.result import SolveStatus
+from repro.model.application import Application
+
+__all__ = ["cache_key", "solve_cached", "clear_cache"]
+
+_CACHEABLE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+
+
+def cache_key(app: Application, config: FormulationConfig) -> str:
+    """Content hash identifying one solve."""
+    import repro
+
+    payload = {
+        "library_version": repro.__version__,
+        "application": application_to_dict(app),
+        "objective": config.objective.value,
+        "max_transfers": config.max_transfers,
+        "enforce_deadlines": config.enforce_deadlines,
+        "enforce_property3": config.enforce_property3,
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+    return digest[:24]
+
+
+def solve_cached(
+    app: Application,
+    config: FormulationConfig | None = None,
+    cache_dir: str | Path = ".letdma-cache",
+) -> AllocationResult:
+    """Solve (or load) the MILP for ``app`` under ``config``.
+
+    A cache hit returns instantly with ``runtime_seconds`` as recorded
+    at solve time.  Corrupt cache entries are ignored and re-solved.
+    """
+    config = config or FormulationConfig()
+    directory = Path(cache_dir)
+    path = directory / f"{cache_key(app, config)}.json"
+    if path.exists():
+        try:
+            return load_result(path)
+        except (ValueError, KeyError, json.JSONDecodeError):
+            path.unlink(missing_ok=True)  # corrupt entry: re-solve
+
+    result = LetDmaFormulation(app, config).solve()
+    if result.status in _CACHEABLE:
+        directory.mkdir(parents=True, exist_ok=True)
+        save_result(result, path)
+    return result
+
+
+def clear_cache(cache_dir: str | Path = ".letdma-cache") -> int:
+    """Delete all cached solves; returns the number of entries removed."""
+    directory = Path(cache_dir)
+    if not directory.exists():
+        return 0
+    removed = 0
+    for entry in directory.glob("*.json"):
+        entry.unlink()
+        removed += 1
+    return removed

@@ -1,0 +1,216 @@
+"""Amalthea-inspired XML model interchange.
+
+The WATERS challenges distribute their systems as Amalthea XML models.
+Full Amalthea is enormous; this module implements the small subset the
+LET-DMA problem needs, in a self-describing dialect::
+
+    <letdma-system version="1">
+      <platform globalMemoryBytes="16777216">
+        <core id="P1" localMemoryBytes="2097152"/>
+        <core id="P2" localMemoryBytes="2097152"/>
+        <dma programmingOverheadUs="3.36" isrOverheadUs="10.0"
+             copyCostUsPerByte="0.002"/>
+        <cpuCopy copyCostUsPerByte="0.01" perLabelOverheadUs="1.0"/>
+      </platform>
+      <tasks>
+        <task name="LID" periodUs="33000" wcetUs="4000" core="P1"
+              priority="2" acquisitionDeadlineUs="1234.5"/>
+      </tasks>
+      <labels>
+        <label name="point_cloud" sizeBytes="131072" writer="LID">
+          <reader task="LOC"/>
+        </label>
+      </labels>
+    </letdma-system>
+
+:func:`save_system_xml` / :func:`load_system_xml` round-trip an
+:class:`~repro.model.Application` through this format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.etree import ElementTree
+
+from repro.model import (
+    Application,
+    Core,
+    CpuCopyParameters,
+    DmaParameters,
+    Label,
+    Memory,
+    Platform,
+    Task,
+    TaskSet,
+)
+
+__all__ = ["application_to_xml", "application_from_xml", "save_system_xml", "load_system_xml"]
+
+FORMAT_VERSION = "1"
+
+
+def application_to_xml(app: Application) -> ElementTree.Element:
+    """Build the XML tree for an application."""
+    root = ElementTree.Element("letdma-system", version=FORMAT_VERSION)
+
+    platform = ElementTree.SubElement(
+        root,
+        "platform",
+        globalMemoryBytes=str(app.platform.global_memory.size_bytes),
+    )
+    for core in app.platform.cores:
+        ElementTree.SubElement(
+            platform,
+            "core",
+            id=core.core_id,
+            localMemoryBytes=str(core.local_memory.size_bytes),
+        )
+    dma = app.platform.dma
+    ElementTree.SubElement(
+        platform,
+        "dma",
+        programmingOverheadUs=repr(dma.programming_overhead_us),
+        isrOverheadUs=repr(dma.isr_overhead_us),
+        copyCostUsPerByte=repr(dma.copy_cost_us_per_byte),
+    )
+    cpu = app.platform.cpu_copy
+    ElementTree.SubElement(
+        platform,
+        "cpuCopy",
+        copyCostUsPerByte=repr(cpu.copy_cost_us_per_byte),
+        perLabelOverheadUs=repr(cpu.per_label_overhead_us),
+    )
+
+    tasks = ElementTree.SubElement(root, "tasks")
+    for task in app.tasks:
+        attributes = {
+            "name": task.name,
+            "periodUs": str(task.period_us),
+            "wcetUs": repr(task.wcet_us),
+            "core": task.core_id,
+            "priority": str(task.priority),
+        }
+        if task.acquisition_deadline_us is not None:
+            attributes["acquisitionDeadlineUs"] = repr(task.acquisition_deadline_us)
+        ElementTree.SubElement(tasks, "task", attributes)
+
+    labels = ElementTree.SubElement(root, "labels")
+    for label in app.labels:
+        attributes = {"name": label.name, "sizeBytes": str(label.size_bytes)}
+        if label.writer is not None:
+            attributes["writer"] = label.writer
+        element = ElementTree.SubElement(labels, "label", attributes)
+        for reader in label.readers:
+            ElementTree.SubElement(element, "reader", task=reader)
+    return root
+
+
+def application_from_xml(root: ElementTree.Element) -> Application:
+    """Parse an application from the XML tree."""
+    if root.tag != "letdma-system":
+        raise ValueError(f"not a letdma-system document (root: {root.tag!r})")
+    version = root.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {version!r}")
+
+    platform_element = _require(root, "platform")
+    cores = []
+    for index, element in enumerate(platform_element.findall("core")):
+        cores.append(
+            Core(
+                core_id=_require_attr(element, "id"),
+                local_memory=Memory(
+                    memory_id=f"M{index + 1}",
+                    size_bytes=int(_require_attr(element, "localMemoryBytes")),
+                ),
+            )
+        )
+    if not cores:
+        raise ValueError("platform declares no cores")
+    dma_element = platform_element.find("dma")
+    dma = (
+        DmaParameters(
+            programming_overhead_us=float(dma_element.get("programmingOverheadUs", 3.36)),
+            isr_overhead_us=float(dma_element.get("isrOverheadUs", 10.0)),
+            copy_cost_us_per_byte=float(dma_element.get("copyCostUsPerByte", 0.002)),
+        )
+        if dma_element is not None
+        else DmaParameters()
+    )
+    cpu_element = platform_element.find("cpuCopy")
+    cpu = (
+        CpuCopyParameters(
+            copy_cost_us_per_byte=float(cpu_element.get("copyCostUsPerByte", 0.01)),
+            per_label_overhead_us=float(cpu_element.get("perLabelOverheadUs", 1.0)),
+        )
+        if cpu_element is not None
+        else CpuCopyParameters()
+    )
+    platform = Platform(
+        cores=tuple(cores),
+        global_memory=Memory(
+            memory_id="MG",
+            size_bytes=int(_require_attr(platform_element, "globalMemoryBytes")),
+            is_global=True,
+        ),
+        dma=dma,
+        cpu_copy=cpu,
+    )
+
+    task_elements = _require(root, "tasks").findall("task")
+    tasks = TaskSet(
+        Task(
+            name=_require_attr(element, "name"),
+            period_us=int(_require_attr(element, "periodUs")),
+            wcet_us=float(_require_attr(element, "wcetUs")),
+            core_id=_require_attr(element, "core"),
+            priority=int(_require_attr(element, "priority")),
+            acquisition_deadline_us=(
+                float(element.get("acquisitionDeadlineUs"))
+                if element.get("acquisitionDeadlineUs") is not None
+                else None
+            ),
+        )
+        for element in task_elements
+    )
+
+    labels = []
+    for element in _require(root, "labels").findall("label"):
+        labels.append(
+            Label(
+                name=_require_attr(element, "name"),
+                size_bytes=int(_require_attr(element, "sizeBytes")),
+                writer=element.get("writer"),
+                readers=tuple(
+                    _require_attr(reader, "task")
+                    for reader in element.findall("reader")
+                ),
+            )
+        )
+    return Application(platform, tasks, labels)
+
+
+def _require(root: ElementTree.Element, tag: str) -> ElementTree.Element:
+    element = root.find(tag)
+    if element is None:
+        raise ValueError(f"missing <{tag}> section")
+    return element
+
+
+def _require_attr(element: ElementTree.Element, name: str) -> str:
+    value = element.get(name)
+    if value is None:
+        raise ValueError(f"<{element.tag}> is missing attribute {name!r}")
+    return value
+
+
+def save_system_xml(app: Application, path: str | Path) -> None:
+    """Write the application in the XML dialect (indented, declared)."""
+    tree = ElementTree.ElementTree(application_to_xml(app))
+    ElementTree.indent(tree)
+    tree.write(path, encoding="unicode", xml_declaration=True)
+
+
+def load_system_xml(path: str | Path) -> Application:
+    """Read an application from an XML file."""
+    return application_from_xml(ElementTree.parse(path).getroot())

@@ -1,0 +1,51 @@
+"""LET semantics: communications, skip rules, grouping, properties."""
+
+from repro.let.communication import Communication, Direction
+from repro.let.giotto import giotto_batches, giotto_order
+from repro.let.grouping import (
+    active_instants,
+    communications_at,
+    let_groups,
+    read_group,
+    reads_at_memory,
+    write_group,
+    writes_at_memory,
+)
+from repro.let.properties import (
+    PropertyViolation,
+    check_intra_batch_direction,
+    check_property1,
+    check_property2,
+    check_property3,
+)
+from repro.let.skipping import (
+    communication_hyperperiod,
+    eta_read,
+    eta_write,
+    read_instants,
+    write_instants,
+)
+
+__all__ = [
+    "Communication",
+    "Direction",
+    "giotto_batches",
+    "giotto_order",
+    "active_instants",
+    "communications_at",
+    "let_groups",
+    "read_group",
+    "reads_at_memory",
+    "write_group",
+    "writes_at_memory",
+    "PropertyViolation",
+    "check_intra_batch_direction",
+    "check_property1",
+    "check_property2",
+    "check_property3",
+    "communication_hyperperiod",
+    "eta_read",
+    "eta_write",
+    "read_instants",
+    "write_instants",
+]

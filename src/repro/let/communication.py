@@ -1,0 +1,103 @@
+"""LET communications: the atomic read/write copy operations.
+
+A *communication* is one label copy performed by the LET machinery at a
+release instant (Section III-B of the paper):
+
+* a **write** ``W(tau_p, l)`` copies the producer-side local copy of
+  label ``l`` from M(tau_p) to the shared label in global memory;
+* a **read** ``R(l, tau_c)`` copies the shared label from global memory
+  to the consumer-side local copy in M(tau_c).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.model.application import Application
+
+__all__ = ["Direction", "Communication"]
+
+
+class Direction(enum.Enum):
+    """Direction of a LET communication with respect to global memory."""
+
+    WRITE = "W"  # local memory -> global memory
+    READ = "R"  # global memory -> local memory
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Communication:
+    """One LET copy operation on a single inter-core shared label.
+
+    Attributes:
+        direction: WRITE for ``W(task, label)``, READ for ``R(label, task)``.
+        task: The task on whose behalf the copy is performed (the
+            producer for a write, the consumer for a read).
+        label: Name of the inter-core shared label being copied.
+    """
+
+    direction: Direction
+    task: str
+    label: str
+
+    @classmethod
+    def write(cls, task: str, label: str) -> "Communication":
+        """The LET write W(task, label)."""
+        return cls(direction=Direction.WRITE, task=task, label=label)
+
+    @classmethod
+    def read(cls, label: str, task: str) -> "Communication":
+        """The LET read R(label, task)."""
+        return cls(direction=Direction.READ, task=task, label=label)
+
+    @property
+    def is_write(self) -> bool:
+        return self.direction is Direction.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.direction is Direction.READ
+
+    def local_memory_id(self, app: Application) -> str:
+        """The local memory M_k this communication touches.
+
+        For a write this is the producer's scratchpad (the source); for
+        a read it is the consumer's scratchpad (the destination).  The
+        other endpoint is always the global memory.
+        """
+        return app.platform.local_memory_of(app.tasks[self.task].core_id).memory_id
+
+    def source_memory_id(self, app: Application) -> str:
+        """M_s of the copy (local for writes, global for reads)."""
+        if self.is_write:
+            return self.local_memory_id(app)
+        return app.platform.global_memory.memory_id
+
+    def destination_memory_id(self, app: Application) -> str:
+        """M_d of the copy (global for writes, local for reads)."""
+        if self.is_write:
+            return app.platform.global_memory.memory_id
+        return self.local_memory_id(app)
+
+    def route(self, app: Application) -> tuple[str, str]:
+        """(source, destination) memory pair of this communication."""
+        return self.source_memory_id(app), self.destination_memory_id(app)
+
+    def size_bytes(self, app: Application) -> int:
+        """sigma_l of the label moved by this communication."""
+        return app.label(self.label).size_bytes
+
+    @property
+    def sort_key(self) -> tuple[int, str, str]:
+        """Deterministic ordering key (writes before reads, then by task
+        and label name); used to make set iterations reproducible."""
+        return (0 if self.is_write else 1, self.task, self.label)
+
+    def __str__(self) -> str:
+        if self.is_write:
+            return f"W({self.task},{self.label})"
+        return f"R({self.label},{self.task})"

@@ -1,0 +1,159 @@
+"""Grouping of LET communications (Algorithm 1 and Section V-A).
+
+Given an application and a release instant t, this module computes:
+
+* ``G^W(t, tau_i)`` / ``G^R(t, tau_i)``: the necessary LET writes and
+  reads of task tau_i at t (Algorithm 1 of the paper);
+* ``C^W(t, M_k)`` / ``C^R(t, M_k)``: all writes/reads at t touching the
+  local memory M_k;
+* ``C(t)``: all LET communications at t;
+* ``T*``: the release instants that require at least one communication.
+
+Communications repeat with the per-task communication hyperperiod H_i*
+(Eq. (3)); instants are reduced modulo H_i* so queries work for any t
+in the full hyperperiod.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.let.communication import Communication
+from repro.let.skipping import read_instants, write_instants
+from repro.model.application import Application
+
+__all__ = [
+    "let_groups",
+    "write_group",
+    "read_group",
+    "communications_at",
+    "writes_at_memory",
+    "reads_at_memory",
+    "active_instants",
+]
+
+
+def let_groups(
+    app: Application, t: int, task_name: str
+) -> tuple[list[Communication], list[Communication]]:
+    """Algorithm 1: the sets G^W(t, tau_i) and G^R(t, tau_i).
+
+    Returns the necessary LET writes and reads of ``task_name`` at the
+    absolute release instant ``t`` (microseconds).  Instants that are
+    not releases of the task yield empty groups.  Results are sorted
+    deterministically (by peer task, then label name).
+    """
+    if t < 0:
+        raise ValueError(f"release instant must be non-negative, got {t}")
+    task = app.tasks[task_name]
+    if t % task.period_us != 0:
+        return [], []
+
+    cache: dict[tuple[int, str], tuple[list, list]] = app.__dict__.setdefault(
+        "_let_groups_cache", {}
+    )
+    cached = cache.get((t, task_name))
+    if cached is not None:
+        return list(cached[0]), list(cached[1])
+
+    writes: set[Communication] = set()
+    reads: set[Communication] = set()
+    for peer in app.tasks:
+        if peer.name == task_name:
+            continue
+        labels_out = app.shared_between(task_name, peer.name)
+        labels_in = app.shared_between(peer.name, task_name)
+        if labels_out:
+            cycle = math.lcm(task.period_us, peer.period_us)
+            if t % cycle in write_instants(task, peer, cycle):
+                writes.update(
+                    Communication.write(task_name, label.name) for label in labels_out
+                )
+        if labels_in:
+            cycle = math.lcm(task.period_us, peer.period_us)
+            if t % cycle in read_instants(task, peer, cycle):
+                reads.update(
+                    Communication.read(label.name, task_name) for label in labels_in
+                )
+
+    write_list = sorted(writes, key=lambda c: c.sort_key)
+    read_list = sorted(reads, key=lambda c: c.sort_key)
+    cache[(t, task_name)] = (write_list, read_list)
+    return list(write_list), list(read_list)
+
+
+def write_group(app: Application, t: int, task_name: str) -> list[Communication]:
+    """G^W(t, tau_i): the necessary LET writes of a task at instant t."""
+    writes, _ = let_groups(app, t, task_name)
+    return writes
+
+
+def read_group(app: Application, t: int, task_name: str) -> list[Communication]:
+    """G^R(t, tau_i): the necessary LET reads of a task at instant t."""
+    _, reads = let_groups(app, t, task_name)
+    return reads
+
+
+def communications_at(app: Application, t: int) -> list[Communication]:
+    """C(t): all LET communications required at instant t, over all tasks.
+
+    Results are memoized per application instance (applications are
+    immutable after construction and this query dominates the runtime
+    of the verifier and the baseline profiles).
+    """
+    cache: dict[int, list[Communication]] = app.__dict__.setdefault(
+        "_communications_cache", {}
+    )
+    cached = cache.get(t)
+    if cached is not None:
+        return list(cached)
+    comms: list[Communication] = []
+    for task in app.tasks:
+        writes, reads = let_groups(app, t, task.name)
+        comms.extend(writes)
+        comms.extend(reads)
+    result = sorted(set(comms), key=lambda c: c.sort_key)
+    cache[t] = result
+    return list(result)
+
+
+def writes_at_memory(app: Application, t: int, memory_id: str) -> list[Communication]:
+    """C^W(t, M_k): LET writes at t whose source is local memory M_k."""
+    return [
+        comm
+        for comm in communications_at(app, t)
+        if comm.is_write and comm.local_memory_id(app) == memory_id
+    ]
+
+
+def reads_at_memory(app: Application, t: int, memory_id: str) -> list[Communication]:
+    """C^R(t, M_k): LET reads at t whose destination is local memory M_k."""
+    return [
+        comm
+        for comm in communications_at(app, t)
+        if comm.is_read and comm.local_memory_id(app) == memory_id
+    ]
+
+
+def active_instants(app: Application, horizon_us: int | None = None) -> list[int]:
+    """T*: release instants in ``[0, horizon)`` with at least one
+    LET communication.
+
+    Defaults to one full hyperperiod.  Only release instants of
+    communicating tasks are candidates, which keeps the scan cheap even
+    for long hyperperiods.
+    """
+    if horizon_us is None:
+        horizon_us = app.tasks.hyperperiod_us()
+    cache: dict[int, list[int]] = app.__dict__.setdefault(
+        "_active_instants_cache", {}
+    )
+    cached = cache.get(horizon_us)
+    if cached is not None:
+        return list(cached)
+    candidates: set[int] = set()
+    for task in app.communicating_tasks():
+        candidates.update(task.release_instants(horizon_us))
+    result = [t for t in sorted(candidates) if communications_at(app, t)]
+    cache[horizon_us] = result
+    return list(result)

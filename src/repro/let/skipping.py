@@ -1,0 +1,178 @@
+"""LET communication skip rules, Eqs. (1)-(3) of the paper.
+
+Depending on the relative rates of a producer/consumer pair, some LET
+writes and reads are unnecessary and can be skipped (Biondi & Di Natale,
+RTAS 2018, ref. [3] of the paper):
+
+* an oversampled **producer** may skip writes whose data would be
+  overwritten before any consumer reads it — only the last write before
+  each consumer activation is needed;
+* an oversampled **consumer** may skip reads when the data has not
+  changed since its previous activation — only the first read after
+  each producer write is needed.
+
+Derivation (synchronous release, producer period ``T_w``, consumer
+period ``T_r``):
+
+* the consumer activation at ``v * T_r`` consumes the most recent write
+  at or before it, i.e. the producer release ``floor(v*T_r/T_w) * T_w``;
+  hence the necessary write instants are exactly
+  ``{floor(v*T_r/T_w) * T_w | v >= 0}``;
+* the write at ``k * T_w`` is first consumed at the earliest consumer
+  release not before it, i.e. ``ceil(k*T_w/T_r) * T_r``; hence the
+  necessary read instants are exactly ``{ceil(k*T_w/T_r) * T_r | k >= 0}``.
+
+Both instant sets repeat with period ``LCM(T_w, T_r)``; over all peers
+of a task they repeat with the communication hyperperiod H_i* of
+Eq. (3).
+
+.. note:: **Erratum in the paper's Eqs. (1)-(2).**  As printed, Eq. (1)
+   reads ``floor(v*T_i/T_p) if T_p < T_i else v`` and Eq. (2)
+   ``ceil(v*T_i/T_c) if T_c > T_i else v``, with the communication
+   instants on the ``T_i`` grid.  Taken literally (T_i = the
+   communicating task's own period) these formulas never skip anything:
+   the floor/ceil branches fire exactly when their output is the
+   identity as a set.  The subscripts of the periods inside the
+   floor/ceil are evidently transposed; the derivation above restores
+   the behaviour the paper describes in prose ("a producer task that is
+   oversampled with respect to a consumer might skip some writes", and
+   dually for reads) and matches the worked example of the paper's
+   Fig. 1.  See DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.application import Application
+from repro.model.task import Task
+
+__all__ = [
+    "eta_write",
+    "eta_read",
+    "necessary_write_indices",
+    "necessary_read_indices",
+    "write_instants",
+    "read_instants",
+    "communication_hyperperiod",
+]
+
+
+def eta_write(producer_period: int, v: int, consumer_period: int) -> int:
+    """Eq. (1), corrected: producer job index carrying the v-th
+    necessary LET write toward a consumer.
+
+    When the consumer is slower (``T_r > T_w``), ``v`` enumerates
+    consumer activations and the returned index is the last producer
+    release at or before the v-th consumer activation; otherwise every
+    producer release carries a write and ``v`` is returned unchanged.
+    """
+    _check_args(producer_period, v, consumer_period)
+    if consumer_period > producer_period:
+        return math.floor(v * consumer_period / producer_period)
+    return v
+
+
+def eta_read(consumer_period: int, v: int, producer_period: int) -> int:
+    """Eq. (2), corrected: consumer job index carrying the v-th
+    necessary LET read from a producer.
+
+    When the producer is slower (``T_w > T_r``), ``v`` enumerates
+    producer writes and the returned index is the first consumer
+    release at or after the v-th write; otherwise every consumer
+    release carries a read.
+    """
+    _check_args(consumer_period, v, producer_period)
+    if producer_period > consumer_period:
+        return math.ceil(v * producer_period / consumer_period)
+    return v
+
+
+def _check_args(period: int, v: int, peer_period: int) -> None:
+    if period <= 0 or peer_period <= 0:
+        raise ValueError("periods must be positive")
+    if v < 0:
+        raise ValueError("job index must be non-negative")
+
+
+def necessary_write_indices(producer_period: int, consumer_period: int) -> list[int]:
+    """Producer job indices with a necessary write, within one
+    LCM(T_w, T_r) cycle."""
+    cycle = math.lcm(producer_period, consumer_period)
+    if consumer_period > producer_period:
+        count = cycle // consumer_period
+    else:
+        count = cycle // producer_period
+    indices = {eta_write(producer_period, v, consumer_period) for v in range(count)}
+    return sorted(indices)
+
+
+def necessary_read_indices(consumer_period: int, producer_period: int) -> list[int]:
+    """Consumer job indices with a necessary read, within one
+    LCM(T_w, T_r) cycle (indices reduced modulo the cycle)."""
+    cycle = math.lcm(producer_period, consumer_period)
+    jobs_in_cycle = cycle // consumer_period
+    if producer_period > consumer_period:
+        count = cycle // producer_period
+    else:
+        count = jobs_in_cycle
+    indices = {
+        eta_read(consumer_period, v, producer_period) % jobs_in_cycle
+        for v in range(count)
+    }
+    return sorted(indices)
+
+
+def write_instants(producer: Task, consumer: Task, horizon_us: int) -> list[int]:
+    """Release instants of ``producer`` in ``[0, horizon_us)`` at which a
+    LET write toward ``consumer`` is necessary."""
+    if horizon_us <= 0:
+        return []
+    cycle = math.lcm(producer.period_us, consumer.period_us)
+    base = [
+        index * producer.period_us
+        for index in necessary_write_indices(producer.period_us, consumer.period_us)
+    ]
+    return _tile(base, cycle, horizon_us)
+
+
+def read_instants(consumer: Task, producer: Task, horizon_us: int) -> list[int]:
+    """Release instants of ``consumer`` in ``[0, horizon_us)`` at which a
+    LET read of data produced by ``producer`` is necessary."""
+    if horizon_us <= 0:
+        return []
+    cycle = math.lcm(producer.period_us, consumer.period_us)
+    base = [
+        index * consumer.period_us
+        for index in necessary_read_indices(consumer.period_us, producer.period_us)
+    ]
+    return _tile(base, cycle, horizon_us)
+
+
+def _tile(base_instants: list[int], cycle_us: int, horizon_us: int) -> list[int]:
+    """Repeat one cycle's instants across ``[0, horizon_us)``."""
+    instants = []
+    offset = 0
+    while offset < horizon_us:
+        for instant in base_instants:
+            absolute = offset + instant
+            if absolute < horizon_us:
+                instants.append(absolute)
+        offset += cycle_us
+    return instants
+
+
+def communication_hyperperiod(app: Application, task_name: str) -> int:
+    """H_i* of Eq. (3): the period with which the LET communications of
+    ``task_name`` repeat.
+
+    It is the LCM of the task's own period and the periods of every
+    task it shares at least one inter-core label with (in either
+    direction).  For a task with no inter-core communication, H_i* is
+    simply its own period.
+    """
+    task = app.tasks[task_name]
+    periods = [task.period_us]
+    for peer in app.communication_peers(task_name):
+        periods.append(app.tasks[peer].period_us)
+    return math.lcm(*periods)

@@ -1,0 +1,31 @@
+"""A small MILP modeling layer over scipy's HiGHS solver.
+
+Substrate for the paper's optimization problem (Section VI).  The API
+is deliberately PuLP-like::
+
+    from repro.milp import MilpModel, VarType
+
+    model = MilpModel("example")
+    x = model.add_integer("x", upper=10)
+    y = model.add_integer("y", upper=10)
+    model.add(2 * x + y <= 14)
+    model.maximize(x + 3 * y)
+    solution = model.solve()
+"""
+
+from repro.milp.expr import Constraint, LinExpr, Sense, Var, VarType, lin_sum
+from repro.milp.model import MilpModel, ObjectiveSense
+from repro.milp.result import Solution, SolveStatus
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Sense",
+    "Var",
+    "VarType",
+    "lin_sum",
+    "MilpModel",
+    "ObjectiveSense",
+    "Solution",
+    "SolveStatus",
+]

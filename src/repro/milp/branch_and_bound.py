@@ -1,0 +1,191 @@
+"""A pure-Python branch-and-bound MILP solver.
+
+This fallback exists for two reasons: (i) it removes the dependency on
+any particular MILP backend for *small* models, and (ii) it provides an
+independent oracle for testing the HiGHS backend — both must agree on
+optimal objective values.
+
+The implementation is a textbook LP-based branch and bound: solve the
+LP relaxation with :func:`scipy.optimize.linprog` (HiGHS simplex),
+branch on the most fractional integral variable, prune by bound, and
+keep the best incumbent.  It is exponential in the worst case and is
+only intended for models with up to a few dozen integer variables.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.milp.expr import Sense, VarType
+from repro.milp.model import MilpModel, ObjectiveSense
+from repro.milp.result import Solution, SolveStatus
+
+__all__ = ["solve_with_branch_and_bound"]
+
+_INTEGRALITY_TOL = 1e-6
+
+
+def solve_with_branch_and_bound(
+    model: MilpModel, time_limit_seconds: float | None = None
+) -> Solution:
+    """Solve a small :class:`MilpModel` exactly by branch and bound."""
+    start = time.perf_counter()
+    deadline = start + time_limit_seconds if time_limit_seconds is not None else None
+
+    problem = _StandardForm(model)
+    integral_indices = [
+        var.index
+        for var in model.variables
+        if var.var_type in (VarType.INTEGER, VarType.BINARY)
+    ]
+
+    best_objective = math.inf
+    best_solution: np.ndarray | None = None
+    hit_limit = False
+
+    # Depth-first stack of (lower-bound overrides, upper-bound overrides).
+    stack: list[tuple[dict[int, float], dict[int, float]]] = [({}, {})]
+    while stack:
+        if deadline is not None and time.perf_counter() > deadline:
+            hit_limit = True
+            break
+        lower_over, upper_over = stack.pop()
+        relaxation = problem.solve_relaxation(lower_over, upper_over)
+        if relaxation is None:
+            continue  # infeasible subproblem
+        objective, values = relaxation
+        if objective >= best_objective - 1e-9:
+            continue  # pruned by bound
+        branch_var = _most_fractional(values, integral_indices)
+        if branch_var is None:
+            best_objective = objective
+            best_solution = values
+            continue
+        fractional = values[branch_var]
+        floor_val = math.floor(fractional + _INTEGRALITY_TOL)
+        # Explore the "round down" child last (popped first): downward
+        # rounding tends to reach feasible packings sooner here.
+        up_lower = dict(lower_over)
+        up_lower[branch_var] = floor_val + 1
+        stack.append((up_lower, upper_over))
+        down_upper = dict(upper_over)
+        down_upper[branch_var] = floor_val
+        stack.append((lower_over, down_upper))
+
+    elapsed = time.perf_counter() - start
+    if best_solution is None:
+        status = SolveStatus.ERROR if hit_limit else SolveStatus.INFEASIBLE
+        return Solution(status=status, runtime_seconds=elapsed)
+
+    values_by_var = {
+        var: _snap(float(best_solution[var.index]), var.var_type)
+        for var in model.variables
+    }
+    sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0
+    status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
+    return Solution(
+        status=status,
+        objective=sign * best_objective,
+        values=values_by_var,
+        runtime_seconds=elapsed,
+        message="branch-and-bound",
+    )
+
+
+def _snap(value: float, var_type: VarType) -> float:
+    if var_type is VarType.CONTINUOUS:
+        return value
+    return float(round(value))
+
+
+def _most_fractional(values: np.ndarray, integral_indices: list[int]) -> int | None:
+    """The integral variable farthest from an integer, or None if all
+    integral variables are (numerically) integer-valued."""
+    best_index = None
+    best_distance = _INTEGRALITY_TOL
+    for index in integral_indices:
+        distance = abs(values[index] - round(values[index]))
+        if distance > best_distance:
+            best_distance = distance
+            best_index = index
+    return best_index
+
+
+class _StandardForm:
+    """The model converted once into scipy ``linprog`` arrays."""
+
+    def __init__(self, model: MilpModel):
+        num_vars = model.num_variables
+        sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0
+        self.cost = np.zeros(num_vars)
+        for var, coef in model.objective.terms.items():
+            self.cost[var.index] += sign * coef
+        self.base_lower = np.array([var.lower for var in model.variables])
+        self.base_upper = np.array([var.upper for var in model.variables])
+
+        ub_rows: list[tuple[int, dict[int, float], float]] = []
+        eq_rows: list[tuple[int, dict[int, float], float]] = []
+        for constraint in model.constraints:
+            coeffs = {var.index: coef for var, coef in constraint.expr.terms.items()}
+            rhs = -constraint.expr.constant
+            if constraint.sense is Sense.LE:
+                ub_rows.append((len(ub_rows), coeffs, rhs))
+            elif constraint.sense is Sense.GE:
+                negated = {index: -coef for index, coef in coeffs.items()}
+                ub_rows.append((len(ub_rows), negated, -rhs))
+            else:
+                eq_rows.append((len(eq_rows), coeffs, rhs))
+        self.a_ub, self.b_ub = _to_sparse(ub_rows, num_vars)
+        self.a_eq, self.b_eq = _to_sparse(eq_rows, num_vars)
+
+    def solve_relaxation(
+        self, lower_over: dict[int, float], upper_over: dict[int, float]
+    ) -> tuple[float, np.ndarray] | None:
+        """LP relaxation under branching bound overrides.
+
+        Returns (objective, values) or None when infeasible.
+        """
+        lower = self.base_lower.copy()
+        upper = self.base_upper.copy()
+        for index, bound in lower_over.items():
+            lower[index] = max(lower[index], bound)
+        for index, bound in upper_over.items():
+            upper[index] = min(upper[index], bound)
+        if np.any(lower > upper):
+            return None
+        result = linprog(
+            c=self.cost,
+            A_ub=self.a_ub,
+            b_ub=self.b_ub,
+            A_eq=self.a_eq,
+            b_eq=self.b_eq,
+            bounds=np.column_stack([lower, upper]),
+            method="highs",
+        )
+        if not result.success:
+            return None
+        return float(result.fun), result.x
+
+
+def _to_sparse(rows, num_vars):
+    if not rows:
+        return None, None
+    data = []
+    row_indices = []
+    col_indices = []
+    rhs = []
+    for row_index, coeffs, bound in rows:
+        for col, coef in coeffs.items():
+            row_indices.append(row_index)
+            col_indices.append(col)
+            data.append(coef)
+        rhs.append(bound)
+    matrix = sparse.csr_matrix(
+        (data, (row_indices, col_indices)), shape=(len(rows), num_vars)
+    )
+    return matrix, np.array(rhs)

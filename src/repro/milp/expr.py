@@ -1,0 +1,232 @@
+"""Linear expressions and decision variables for the MILP layer.
+
+A tiny PuLP-like algebraic front end: :class:`Var` objects combine with
+``+ - *`` into :class:`LinExpr`, and comparisons (``<=``, ``>=``, ``==``)
+produce :class:`Constraint` records consumed by
+:class:`repro.milp.model.MilpModel`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["VarType", "Var", "LinExpr", "Sense", "Constraint", "lin_sum"]
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    INTEGER = "integer"
+    BINARY = "binary"
+
+
+class Var:
+    """A decision variable.
+
+    Create variables through :meth:`repro.milp.model.MilpModel.add_var`
+    so they receive a column index; direct construction is reserved for
+    the model itself.
+    """
+
+    __slots__ = ("name", "var_type", "lower", "upper", "index")
+
+    def __init__(
+        self,
+        name: str,
+        var_type: VarType,
+        lower: float,
+        upper: float,
+        index: int,
+    ):
+        if lower > upper:
+            raise ValueError(f"variable {name}: lower bound {lower} exceeds upper {upper}")
+        self.name = name
+        self.var_type = var_type
+        self.lower = lower
+        self.upper = upper
+        self.index = index
+
+    # -- algebra -------------------------------------------------------
+
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0}, 0.0)
+
+    def __add__(self, other) -> "LinExpr":
+        return self._as_expr() + other
+
+    def __radd__(self, other) -> "LinExpr":
+        return self._as_expr() + other
+
+    def __sub__(self, other) -> "LinExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (-1.0 * self._as_expr()) + other
+
+    def __mul__(self, scalar) -> "LinExpr":
+        return self._as_expr() * scalar
+
+    def __rmul__(self, scalar) -> "LinExpr":
+        return self._as_expr() * scalar
+
+    def __neg__(self) -> "LinExpr":
+        return self._as_expr() * -1.0
+
+    # -- comparisons build constraints --------------------------------
+
+    def __le__(self, other) -> "Constraint":
+        return self._as_expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self._as_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            return self._as_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Var({self.name})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coef * var) + constant``."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: dict[Var, float] | None = None, constant: float = 0.0):
+        self.terms: dict[Var, float] = dict(terms) if terms else {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Var):
+            return value._as_expr()
+        if isinstance(value, (int, float)):
+            return LinExpr({}, float(value))
+        raise TypeError(f"cannot use {type(value).__name__} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.terms, self.constant)
+
+    # -- algebra -------------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        other = self._coerce(other)
+        result = self.copy()
+        for var, coef in other.terms.items():
+            result.terms[var] = result.terms.get(var, 0.0) + coef
+        result.constant += other.constant
+        return result
+
+    def __radd__(self, other) -> "LinExpr":
+        return self + other
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return (self * -1.0) + other
+
+    def __mul__(self, scalar) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("linear expressions can only be scaled by numbers")
+        return LinExpr(
+            {var: coef * scalar for var, coef in self.terms.items()},
+            self.constant * scalar,
+        )
+
+    def __rmul__(self, scalar) -> "LinExpr":
+        return self * scalar
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons ---------------------------------------------------
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), Sense.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), Sense.GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            return Constraint(self - self._coerce(other), Sense.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def value(self, assignment: dict[Var, float]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        return self.constant + sum(
+            coef * assignment[var] for var, coef in self.terms.items()
+        )
+
+    def __repr__(self) -> str:
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+class Sense(enum.Enum):
+    """Direction of a linear constraint (expression vs zero)."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr (sense) 0`` with an optional name.
+
+    ``expr`` already folds the right-hand side: ``a <= b`` is stored as
+    ``a - b <= 0``.
+    """
+
+    expr: LinExpr
+    sense: Sense
+    name: str = ""
+
+    def named(self, name: str) -> "Constraint":
+        self.name = name
+        return self
+
+    def is_satisfied(self, assignment: dict[Var, float], tol: float = 1e-6) -> bool:
+        """Check the constraint under a concrete assignment."""
+        value = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return value <= tol
+        if self.sense is Sense.GE:
+            return value >= -tol
+        return abs(value) <= tol
+
+    def __repr__(self) -> str:
+        label = f"[{self.name}] " if self.name else ""
+        return f"{label}{self.expr!r} {self.sense.value} 0"
+
+
+def lin_sum(items: Iterable) -> LinExpr:
+    """Sum of variables/expressions/numbers as a :class:`LinExpr`.
+
+    Unlike built-in :func:`sum`, avoids quadratic re-copying for long
+    sequences and returns an empty expression for an empty iterable.
+    """
+    result = LinExpr()
+    for item in items:
+        item = LinExpr._coerce(item)
+        for var, coef in item.terms.items():
+            result.terms[var] = result.terms.get(var, 0.0) + coef
+        result.constant += item.constant
+    return result

@@ -1,0 +1,65 @@
+"""Solve results for the MILP layer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.milp.expr import LinExpr, Var
+
+__all__ = ["SolveStatus", "Solution"]
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # stopped early (time limit) with an incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """The result of solving a :class:`repro.milp.model.MilpModel`.
+
+    Attributes:
+        status: Solver outcome.
+        objective: Objective value (0.0 for pure feasibility problems).
+        values: Assignment for every model variable (empty when no
+            solution was found).
+        runtime_seconds: Wall-clock solve time.
+        message: Backend-specific diagnostic text.
+    """
+
+    status: SolveStatus
+    objective: float = 0.0
+    values: dict[Var, float] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    message: str = ""
+
+    def __getitem__(self, var: Var) -> float:
+        return self.values[var]
+
+    def value(self, item: Var | LinExpr) -> float:
+        """Value of a variable or linear expression under this solution."""
+        if isinstance(item, Var):
+            return self.values[item]
+        return item.value(self.values)
+
+    def rounded(self, var: Var) -> int:
+        """Integer value of a (possibly relaxed) integral variable."""
+        value = self.values[var]
+        rounded = round(value)
+        if abs(value - rounded) > 1e-4:
+            raise ValueError(f"{var.name} = {value} is not integral")
+        return int(rounded)
+
+    def is_one(self, var: Var) -> bool:
+        """True when a binary variable is set in this solution."""
+        return self.values[var] > 0.5

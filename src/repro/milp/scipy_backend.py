@@ -1,0 +1,124 @@
+"""HiGHS backend for the MILP layer, via :func:`scipy.optimize.milp`.
+
+This substitutes the IBM CPLEX solver used in the paper's evaluation.
+HiGHS is an exact branch-and-cut MILP solver, so optimal solutions are
+equivalent; only solve times differ (documented in DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.milp.expr import Sense, VarType
+from repro.milp.model import MilpModel, ObjectiveSense
+from repro.milp.result import Solution, SolveStatus
+
+__all__ = ["solve_with_highs"]
+
+# scipy.optimize.milp status codes.
+_STATUS_OPTIMAL = 0
+_STATUS_LIMIT = 1
+_STATUS_INFEASIBLE = 2
+_STATUS_UNBOUNDED = 3
+
+
+def solve_with_highs(
+    model: MilpModel,
+    time_limit_seconds: float | None = None,
+    mip_gap: float | None = None,
+) -> Solution:
+    """Solve a :class:`MilpModel` with HiGHS and map back the result."""
+    num_vars = model.num_variables
+
+    sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0
+    cost = np.zeros(num_vars)
+    for var, coef in model.objective.terms.items():
+        cost[var.index] += sign * coef
+
+    integrality = np.array(
+        [0 if var.var_type is VarType.CONTINUOUS else 1 for var in model.variables]
+    )
+    bounds = Bounds(
+        lb=np.array([var.lower for var in model.variables]),
+        ub=np.array([var.upper for var in model.variables]),
+    )
+
+    constraints = _build_constraint_matrix(model, num_vars)
+
+    options: dict[str, object] = {"presolve": True}
+    if time_limit_seconds is not None:
+        options["time_limit"] = float(time_limit_seconds)
+    if mip_gap is not None:
+        options["mip_rel_gap"] = float(mip_gap)
+
+    start = time.perf_counter()
+    result = milp(
+        c=cost,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=bounds,
+        options=options,
+    )
+    elapsed = time.perf_counter() - start
+
+    status = _map_status(result.status, result.x is not None)
+    if not status.has_solution:
+        return Solution(
+            status=status, runtime_seconds=elapsed, message=str(result.message)
+        )
+
+    values = {var: float(result.x[var.index]) for var in model.variables}
+    objective = sign * float(result.fun) if result.fun is not None else 0.0
+    return Solution(
+        status=status,
+        objective=objective,
+        values=values,
+        runtime_seconds=elapsed,
+        message=str(result.message),
+    )
+
+
+def _build_constraint_matrix(model: MilpModel, num_vars: int):
+    """Assemble one sparse LinearConstraint covering every model row."""
+    if not model.constraints:
+        return []
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    lower = []
+    upper = []
+    for row_index, constraint in enumerate(model.constraints):
+        for var, coef in constraint.expr.terms.items():
+            rows.append(row_index)
+            cols.append(var.index)
+            data.append(coef)
+        rhs = -constraint.expr.constant
+        if constraint.sense is Sense.LE:
+            lower.append(-np.inf)
+            upper.append(rhs)
+        elif constraint.sense is Sense.GE:
+            lower.append(rhs)
+            upper.append(np.inf)
+        else:
+            lower.append(rhs)
+            upper.append(rhs)
+    matrix = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(len(model.constraints), num_vars)
+    )
+    return LinearConstraint(matrix, np.array(lower), np.array(upper))
+
+
+def _map_status(code: int, has_incumbent: bool) -> SolveStatus:
+    if code == _STATUS_OPTIMAL:
+        return SolveStatus.OPTIMAL
+    if code == _STATUS_LIMIT:
+        return SolveStatus.FEASIBLE if has_incumbent else SolveStatus.ERROR
+    if code == _STATUS_INFEASIBLE:
+        return SolveStatus.INFEASIBLE
+    if code == _STATUS_UNBOUNDED:
+        return SolveStatus.UNBOUNDED
+    return SolveStatus.ERROR

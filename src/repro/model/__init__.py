@@ -1,0 +1,27 @@
+"""System model: platform, tasks, labels, and the application container."""
+
+from repro.model.application import Application
+from repro.model.label import Label, LocalCopy
+from repro.model.platform import (
+    GLOBAL_MEMORY_ID,
+    Core,
+    CpuCopyParameters,
+    DmaParameters,
+    Memory,
+    Platform,
+)
+from repro.model.task import Task, TaskSet
+
+__all__ = [
+    "Application",
+    "Label",
+    "LocalCopy",
+    "GLOBAL_MEMORY_ID",
+    "Core",
+    "CpuCopyParameters",
+    "DmaParameters",
+    "Memory",
+    "Platform",
+    "Task",
+    "TaskSet",
+]

@@ -1,0 +1,195 @@
+"""Application model: a task set, its labels, and the platform.
+
+This module ties together the pieces of Section III of the paper and
+derives the quantities the LET machinery needs:
+
+* the per-task read/write label sets L^R(tau_i) and L^W(tau_i);
+* the inter-core shared label sets L^S(tau_p, tau_c);
+* the local copies of every inter-core shared label;
+* structural validation (single writer, mapped tasks, memory capacity).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.model.label import Label, LocalCopy
+from repro.model.platform import Platform
+from repro.model.task import Task, TaskSet
+
+__all__ = ["Application"]
+
+
+class Application:
+    """A complete LET application instance.
+
+    Args:
+        platform: The multicore platform.
+        tasks: The partitioned periodic task set.
+        labels: All communication labels.  Labels whose writer and some
+            reader are on different cores are treated as inter-core
+            shared labels (master copy in global memory plus local
+            copies); all other labels are core-local and irrelevant to
+            the DMA allocation problem (handled by double buffering,
+            Section III-B).
+    """
+
+    def __init__(self, platform: Platform, tasks: TaskSet, labels: Iterable[Label]):
+        self.platform = platform
+        self.tasks = tasks
+        self.labels: tuple[Label, ...] = tuple(labels)
+        self._by_name = {label.name: label for label in self.labels}
+        if len(self._by_name) != len(self.labels):
+            names = [label.name for label in self.labels]
+            raise ValueError(f"duplicate label names: {names}")
+        self._validate_references()
+        self._shared = self._compute_shared_labels()
+        self._local_copies = self._compute_local_copies()
+        self._validate_capacity()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate_references(self) -> None:
+        core_ids = {core.core_id for core in self.platform.cores}
+        for task in self.tasks:
+            if task.core_id not in core_ids:
+                raise ValueError(f"task {task.name} mapped to unknown core {task.core_id}")
+        for label in self.labels:
+            if label.writer is not None and label.writer not in self.tasks:
+                raise ValueError(f"label {label.name}: unknown writer {label.writer}")
+            for reader in label.readers:
+                if reader not in self.tasks:
+                    raise ValueError(f"label {label.name}: unknown reader {reader}")
+
+    def _validate_capacity(self) -> None:
+        demand: dict[str, int] = {memory.memory_id: 0 for memory in self.platform.memories}
+        for label in self.shared_labels:
+            demand[self.platform.global_memory.memory_id] += label.size_bytes
+        for copy in self._local_copies:
+            demand[copy.memory_id] += self._by_name[copy.label_name].size_bytes
+        for memory in self.platform.memories:
+            used = demand[memory.memory_id]
+            if used > memory.size_bytes:
+                raise ValueError(
+                    f"memory {memory.memory_id} over capacity: "
+                    f"{used} bytes needed, {memory.size_bytes} available"
+                )
+
+    # ------------------------------------------------------------------
+    # Shared labels and copies
+    # ------------------------------------------------------------------
+
+    def _compute_shared_labels(self) -> dict[tuple[str, str], list[Label]]:
+        """L^S(tau_p, tau_c) for every inter-core producer/consumer pair."""
+        shared: dict[tuple[str, str], list[Label]] = {}
+        for label in self.labels:
+            if label.writer is None:
+                continue
+            producer = self.tasks[label.writer]
+            for reader in label.readers:
+                consumer = self.tasks[reader]
+                if producer.core_id != consumer.core_id:
+                    shared.setdefault((producer.name, consumer.name), []).append(label)
+        return shared
+
+    def _compute_local_copies(self) -> tuple[LocalCopy, ...]:
+        copies: dict[str, LocalCopy] = {}
+        for (producer, consumer), labels in self._shared.items():
+            producer_memory = self.platform.local_memory_of(self.tasks[producer].core_id)
+            consumer_memory = self.platform.local_memory_of(self.tasks[consumer].core_id)
+            for label in labels:
+                writer_copy = LocalCopy(
+                    label_name=label.name,
+                    memory_id=producer_memory.memory_id,
+                    owner_task=producer,
+                    is_writer_side=True,
+                )
+                reader_copy = LocalCopy(
+                    label_name=label.name,
+                    memory_id=consumer_memory.memory_id,
+                    owner_task=consumer,
+                    is_writer_side=False,
+                )
+                copies.setdefault(writer_copy.copy_id, writer_copy)
+                copies.setdefault(reader_copy.copy_id, reader_copy)
+        return tuple(copies.values())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def label(self, name: str) -> Label:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown label {name!r}") from None
+
+    @property
+    def shared_labels(self) -> list[Label]:
+        """All inter-core shared labels, in declaration order."""
+        shared_names = {label.name for labels in self._shared.values() for label in labels}
+        return [label for label in self.labels if label.name in shared_names]
+
+    @property
+    def local_copies(self) -> tuple[LocalCopy, ...]:
+        return self._local_copies
+
+    def shared_between(self, producer: str, consumer: str) -> list[Label]:
+        """L^S(tau_p, tau_c): inter-core labels written by ``producer``
+        and read by ``consumer`` (empty when none, or same core)."""
+        return list(self._shared.get((producer, consumer), []))
+
+    def communicating_pairs(self) -> list[tuple[str, str]]:
+        """All (producer, consumer) pairs with L^S(tau_p, tau_c) != {}."""
+        return sorted(self._shared)
+
+    def labels_written_by(self, task_name: str) -> list[Label]:
+        """L^W(tau_i) restricted to inter-core shared labels."""
+        shared_names = {label.name for label in self.shared_labels}
+        return [
+            label
+            for label in self.labels
+            if label.writer == task_name and label.name in shared_names
+        ]
+
+    def labels_read_by(self, task_name: str) -> list[Label]:
+        """L^R(tau_i) restricted to inter-core shared labels."""
+        task = self.tasks[task_name]
+        result = []
+        for label in self.labels:
+            if task_name not in label.readers or label.writer is None:
+                continue
+            writer = self.tasks[label.writer]
+            if writer.core_id != task.core_id:
+                result.append(label)
+        return result
+
+    def producers_of(self, task_name: str) -> list[str]:
+        """Tasks tau_p with L^S(tau_p, task) != {}."""
+        return sorted(p for (p, c) in self._shared if c == task_name)
+
+    def consumers_of(self, task_name: str) -> list[str]:
+        """Tasks tau_c with L^S(task, tau_c) != {}."""
+        return sorted(c for (p, c) in self._shared if p == task_name)
+
+    def communication_peers(self, task_name: str) -> list[str]:
+        """All tasks sharing at least one label with ``task_name``
+        in either direction (used by Eq. (3) for H_i*)."""
+        peers = set(self.producers_of(task_name)) | set(self.consumers_of(task_name))
+        return sorted(peers)
+
+    def communicating_tasks(self) -> list[Task]:
+        """Tasks participating in at least one inter-core communication."""
+        names = {name for pair in self._shared for name in pair}
+        return [task for task in self.tasks if task.name in names]
+
+    def total_shared_bytes(self) -> int:
+        return sum(label.size_bytes for label in self.shared_labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"Application(cores={self.platform.num_cores}, tasks={len(self.tasks)}, "
+            f"labels={len(self.labels)}, shared={len(self.shared_labels)})"
+        )

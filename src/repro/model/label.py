@@ -1,0 +1,85 @@
+"""Label model (Section III-B of the paper).
+
+Tasks exchange data through memory slots called *labels*.  Each label
+has a size in bytes, exactly one writer, and any number of readers.
+Labels whose writer and a reader live on different cores are *inter-core
+shared*: the shared master copy lives in global memory and per-core
+local copies are maintained in the communicating tasks' scratchpads,
+kept coherent by DMA transfers under the LET protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Label", "LocalCopy"]
+
+
+@dataclass(frozen=True)
+class Label:
+    """A communication label.
+
+    Attributes:
+        name: Unique label name (e.g. ``"lidar_cloud"``).
+        size_bytes: sigma_l, the size of the label in bytes.
+        writer: Name of the unique producer task, or ``None`` for a
+            constant/input label written by the environment.
+        readers: Names of the consumer tasks (may be empty for pure
+            actuation outputs).
+    """
+
+    name: str
+    size_bytes: int
+    writer: str | None
+    readers: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"label {self.name}: size must be positive")
+        if self.writer is not None and self.writer in self.readers:
+            raise ValueError(
+                f"label {self.name}: writer {self.writer} cannot also be a reader; "
+                "intra-task state does not need a label"
+            )
+        if len(set(self.readers)) != len(self.readers):
+            raise ValueError(f"label {self.name}: duplicate readers {self.readers}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LocalCopy:
+    """A per-core local copy of an inter-core shared label.
+
+    For a shared label ``l`` written by tau_p and read by tau_c on a
+    different core, the model provides a writer-side copy in M(tau_p)
+    and a reader-side copy in M(tau_c) (Section III-B).  Copies are what
+    the memory-allocation MILP actually places in local memories.
+
+    Attributes:
+        label_name: Name of the shared label this copy mirrors.
+        memory_id: The local memory holding this copy.
+        owner_task: The task accessing this copy directly.
+        is_writer_side: True for the producer-side copy (source of LET
+            writes), False for a consumer-side copy (destination of LET
+            reads).
+    """
+
+    label_name: str
+    memory_id: str
+    owner_task: str
+    is_writer_side: bool
+
+    @property
+    def copy_id(self) -> str:
+        """Stable identifier, e.g. ``"lidar_cloud@M1#LID"``.
+
+        The owner is part of the identity: two consumers on the same
+        core each keep their own copy of a shared label (Section III-B
+        provides one copy per communicating task, not per memory).
+        """
+        return f"{self.label_name}@{self.memory_id}#{self.owner_task}"
+
+    def __str__(self) -> str:
+        return self.copy_id

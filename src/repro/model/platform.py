@@ -1,0 +1,234 @@
+"""Platform model: cores, memories, DMA engine, and copy-cost parameters.
+
+The platform mirrors Section III-A of the paper: N identical cores, each
+with a private dual-ported local memory (scratchpad), one global memory
+shared by all cores, and a single DMA engine moving data between a local
+memory and the global memory.  This is representative of the Infineon
+AURIX TC2xx/TC3xx family the paper targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GLOBAL_MEMORY_ID",
+    "Memory",
+    "Core",
+    "DmaParameters",
+    "CpuCopyParameters",
+    "Platform",
+]
+
+#: Identifier of the global memory M_G in every :class:`Platform`.
+GLOBAL_MEMORY_ID = "MG"
+
+
+@dataclass(frozen=True)
+class Memory:
+    """A memory module: either a core-local scratchpad or the global memory.
+
+    Attributes:
+        memory_id: Unique identifier (``"M1"``, ..., ``"MG"``).
+        size_bytes: Capacity of the memory in bytes.
+        is_global: True for the single global memory M_G.
+    """
+
+    memory_id: str
+    size_bytes: int
+    is_global: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"memory {self.memory_id}: size must be positive")
+
+    def __str__(self) -> str:
+        return self.memory_id
+
+
+@dataclass(frozen=True)
+class Core:
+    """A processing core with its private local memory.
+
+    Attributes:
+        core_id: Unique identifier (``"P1"``, ``"P2"``, ...).
+        local_memory: The dual-ported scratchpad private to this core.
+    """
+
+    core_id: str
+    local_memory: Memory
+
+    def __post_init__(self) -> None:
+        if self.local_memory.is_global:
+            raise ValueError(f"core {self.core_id}: local memory cannot be the global memory")
+
+    def __str__(self) -> str:
+        return self.core_id
+
+
+@dataclass(frozen=True)
+class DmaParameters:
+    """Timing parameters of the DMA engine (Section V of the paper).
+
+    Attributes:
+        programming_overhead_us: o_DP, worst-case time for a LET task to
+            program one regular DMA transfer.  The paper uses 3.36 us,
+            from the measurements of Tabish et al. [8].
+        isr_overhead_us: o_ISR, worst-case execution time of the
+            interrupt service routine notifying transfer completion.
+            The paper uses 10 us.
+        copy_cost_us_per_byte: omega_c, per-byte cost of the actual DMA
+            data movement between a scratchpad and the global memory.
+    """
+
+    programming_overhead_us: float = 3.36
+    isr_overhead_us: float = 10.0
+    copy_cost_us_per_byte: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.programming_overhead_us < 0:
+            raise ValueError("o_DP must be non-negative")
+        if self.isr_overhead_us < 0:
+            raise ValueError("o_ISR must be non-negative")
+        if self.copy_cost_us_per_byte <= 0:
+            raise ValueError("omega_c must be positive")
+
+    @property
+    def per_transfer_overhead_us(self) -> float:
+        """lambda_O = o_DP + o_ISR, the fixed cost of one DMA transfer."""
+        return self.programming_overhead_us + self.isr_overhead_us
+
+    def transfer_duration_us(self, total_bytes: int) -> float:
+        """Worst-case duration of one DMA transfer moving ``total_bytes``."""
+        if total_bytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        return self.per_transfer_overhead_us + self.copy_cost_us_per_byte * total_bytes
+
+
+@dataclass(frozen=True)
+class CpuCopyParameters:
+    """Cost model for CPU-driven LET copies (the Giotto-CPU baseline).
+
+    The paper does not give numeric CPU-copy costs; only the *ratios*
+    between approaches matter for its Fig. 2.  Defaults make a CPU copy
+    five times slower per byte than the DMA (a core must load the datum
+    from one memory and store it to the other, crossing the crossbar
+    twice and stalling on global-memory latency), plus a small per-label
+    software dispatch overhead.  An ablation bench sweeps these values.
+
+    Attributes:
+        copy_cost_us_per_byte: omega_cpu, per-byte cost of a CPU copy.
+        per_label_overhead_us: software overhead to set up one label copy
+            (function dispatch, address computation).
+    """
+
+    copy_cost_us_per_byte: float = 0.010
+    per_label_overhead_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.copy_cost_us_per_byte <= 0:
+            raise ValueError("omega_cpu must be positive")
+        if self.per_label_overhead_us < 0:
+            raise ValueError("per-label overhead must be non-negative")
+
+    def copy_duration_us(self, size_bytes: int) -> float:
+        """Worst-case duration of one CPU-driven label copy."""
+        if size_bytes < 0:
+            raise ValueError("label size must be non-negative")
+        return self.per_label_overhead_us + self.copy_cost_us_per_byte * size_bytes
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A multicore platform with per-core scratchpads and a global memory.
+
+    Use :meth:`Platform.symmetric` for the common case of N identical
+    cores.
+
+    Attributes:
+        cores: The processing cores P_1..P_N.
+        global_memory: The shared global memory M_G.
+        dma: Timing parameters of the single DMA engine.
+        cpu_copy: Cost model for CPU-driven copies (baselines only).
+    """
+
+    cores: tuple[Core, ...]
+    global_memory: Memory
+    dma: DmaParameters = field(default_factory=DmaParameters)
+    cpu_copy: CpuCopyParameters = field(default_factory=CpuCopyParameters)
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            raise ValueError("a platform needs at least one core")
+        if not self.global_memory.is_global:
+            raise ValueError("global_memory must have is_global=True")
+        ids = [core.core_id for core in self.cores]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate core identifiers: {ids}")
+        memory_ids = [memory.memory_id for memory in self.memories]
+        if len(set(memory_ids)) != len(memory_ids):
+            raise ValueError(f"duplicate memory identifiers: {memory_ids}")
+
+    @classmethod
+    def symmetric(
+        cls,
+        num_cores: int,
+        local_memory_bytes: int = 1 << 20,
+        global_memory_bytes: int = 1 << 24,
+        dma: DmaParameters | None = None,
+        cpu_copy: CpuCopyParameters | None = None,
+    ) -> "Platform":
+        """Build a platform of ``num_cores`` identical cores.
+
+        Cores are named ``P1..PN`` and local memories ``M1..MN``; the
+        global memory is ``MG`` (matching the paper's notation).
+        """
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        cores = tuple(
+            Core(
+                core_id=f"P{k}",
+                local_memory=Memory(memory_id=f"M{k}", size_bytes=local_memory_bytes),
+            )
+            for k in range(1, num_cores + 1)
+        )
+        global_memory = Memory(
+            memory_id=GLOBAL_MEMORY_ID, size_bytes=global_memory_bytes, is_global=True
+        )
+        return cls(
+            cores=cores,
+            global_memory=global_memory,
+            dma=dma if dma is not None else DmaParameters(),
+            cpu_copy=cpu_copy if cpu_copy is not None else CpuCopyParameters(),
+        )
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def memories(self) -> tuple[Memory, ...]:
+        """All memories: local memories first, the global memory last."""
+        return tuple(core.local_memory for core in self.cores) + (self.global_memory,)
+
+    @property
+    def local_memories(self) -> tuple[Memory, ...]:
+        return tuple(core.local_memory for core in self.cores)
+
+    def core(self, core_id: str) -> Core:
+        """Look up a core by identifier."""
+        for candidate in self.cores:
+            if candidate.core_id == core_id:
+                return candidate
+        raise KeyError(f"unknown core {core_id!r}")
+
+    def memory(self, memory_id: str) -> Memory:
+        """Look up a memory by identifier."""
+        for candidate in self.memories:
+            if candidate.memory_id == memory_id:
+                return candidate
+        raise KeyError(f"unknown memory {memory_id!r}")
+
+    def local_memory_of(self, core_id: str) -> Memory:
+        """The scratchpad M_k private to core ``core_id``."""
+        return self.core(core_id).local_memory

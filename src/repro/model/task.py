@@ -1,0 +1,174 @@
+"""Periodic task model (Section III-A of the paper).
+
+Tasks are periodic with implicit deadlines (D_i = T_i), statically
+partitioned onto cores, and synchronously released at system startup
+s_0 = 0.  Scheduling on each core is fixed-priority preemptive; the
+per-core LET task runs at the highest priority (handled separately by
+the protocol layer, see :mod:`repro.core.protocol`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+from repro.model import timing
+
+__all__ = ["Task", "TaskSet"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A periodic real-time task.
+
+    Attributes:
+        name: Unique task name (e.g. ``"EKF"``).
+        period_us: Period T_i in integer microseconds; also the implicit
+            deadline D_i.
+        wcet_us: Worst-case execution time C_i in microseconds.
+        core_id: Identifier of the core P(tau_i) the task is mapped to.
+        priority: Fixed priority; *lower numbers mean higher priority*
+            (priority 0 preempts priority 1).  Priorities are compared
+            only between tasks on the same core.
+        acquisition_deadline_us: gamma_i, the data acquisition deadline:
+            the latest relative time at which a job may become ready
+            while preserving schedulability.  ``None`` until assigned
+            (e.g. by the sensitivity procedure of Section VII).
+    """
+
+    name: str
+    period_us: int
+    wcet_us: float
+    core_id: str
+    priority: int
+    acquisition_deadline_us: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.period_us <= 0:
+            raise ValueError(f"task {self.name}: period must be positive")
+        if self.wcet_us <= 0:
+            raise ValueError(f"task {self.name}: WCET must be positive")
+        if self.wcet_us > self.period_us:
+            raise ValueError(
+                f"task {self.name}: WCET {self.wcet_us} exceeds period {self.period_us}"
+            )
+        if self.acquisition_deadline_us is not None and self.acquisition_deadline_us < 0:
+            raise ValueError(f"task {self.name}: acquisition deadline must be non-negative")
+
+    @property
+    def deadline_us(self) -> int:
+        """Implicit relative deadline D_i = T_i."""
+        return self.period_us
+
+    @property
+    def utilization(self) -> float:
+        """Processor utilization C_i / T_i."""
+        return self.wcet_us / self.period_us
+
+    def release_instants(self, horizon_us: int) -> list[int]:
+        """The set T_i of release instants in ``[0, horizon_us)``."""
+        return timing.release_instants(self.period_us, horizon_us)
+
+    def with_acquisition_deadline(self, gamma_us: float) -> "Task":
+        """A copy of this task with gamma_i set to ``gamma_us``."""
+        return Task(
+            name=self.name,
+            period_us=self.period_us,
+            wcet_us=self.wcet_us,
+            core_id=self.core_id,
+            priority=self.priority,
+            acquisition_deadline_us=gamma_us,
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class TaskSet:
+    """An ordered collection of tasks with unique names.
+
+    Provides the by-core and by-name views used throughout the LET
+    machinery, plus hyperperiod computation over the integer time base.
+    """
+
+    def __init__(self, tasks: Iterable[Task]):
+        self._tasks: tuple[Task, ...] = tuple(tasks)
+        if not self._tasks:
+            raise ValueError("a task set needs at least one task")
+        names = [task.name for task in self._tasks]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate task names: {names}")
+        self._by_name = {task.name: task for task in self._tasks}
+        self._check_unique_priorities()
+
+    def _check_unique_priorities(self) -> None:
+        for core_id in self.core_ids:
+            priorities = [task.priority for task in self.on_core(core_id)]
+            if len(set(priorities)) != len(priorities):
+                raise ValueError(
+                    f"tasks on core {core_id} must have distinct priorities, got {priorities}"
+                )
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Task:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown task {name!r}") from None
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return self._tasks
+
+    @property
+    def names(self) -> list[str]:
+        return [task.name for task in self._tasks]
+
+    @property
+    def core_ids(self) -> list[str]:
+        """Core identifiers that host at least one task, in first-seen order."""
+        seen: list[str] = []
+        for task in self._tasks:
+            if task.core_id not in seen:
+                seen.append(task.core_id)
+        return seen
+
+    def on_core(self, core_id: str) -> list[Task]:
+        """The subset Gamma_k of tasks mapped onto ``core_id``."""
+        return [task for task in self._tasks if task.core_id == core_id]
+
+    def hyperperiod_us(self) -> int:
+        """The hyperperiod H = LCM of all task periods."""
+        return timing.hyperperiod(task.period_us for task in self._tasks)
+
+    def utilization_of_core(self, core_id: str) -> float:
+        return sum(task.utilization for task in self.on_core(core_id))
+
+    def total_utilization(self) -> float:
+        return sum(task.utilization for task in self._tasks)
+
+    def with_acquisition_deadlines(self, gammas_us: dict[str, float]) -> "TaskSet":
+        """A copy of the set with gamma_i assigned from ``gammas_us``.
+
+        Tasks absent from the mapping keep their current deadline.
+        """
+        unknown = set(gammas_us) - set(self._by_name)
+        if unknown:
+            raise KeyError(f"unknown tasks in gamma assignment: {sorted(unknown)}")
+        return TaskSet(
+            task.with_acquisition_deadline(gammas_us[task.name])
+            if task.name in gammas_us
+            else task
+            for task in self._tasks
+        )
+
+    def __repr__(self) -> str:
+        return f"TaskSet({', '.join(self.names)})"

@@ -1,0 +1,114 @@
+"""Time-base utilities for the LET-DMA model.
+
+All release instants, periods, and deadlines are expressed as integer
+microseconds.  Using an integer time base keeps hyperperiod arithmetic
+exact (LCM computations never suffer floating-point drift), which
+matters because the LET skip rules of Eqs. (1)-(2) in the paper compare
+release instants for *equality*.
+
+Durations that come out of cost models (DMA programming overhead,
+per-byte copy cost, response times) are ordinary floats in microseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "MICROSECONDS_PER_MILLISECOND",
+    "ms",
+    "us",
+    "lcm",
+    "hyperperiod",
+    "release_instants",
+    "divisors",
+    "is_integer_multiple",
+    "merge_instants",
+]
+
+MICROSECONDS_PER_MILLISECOND = 1_000
+
+
+def ms(value: float) -> int:
+    """Convert a duration in milliseconds to integer microseconds.
+
+    Raises :class:`ValueError` when the value does not map onto the
+    integer microsecond grid, as silently rounding a period would break
+    hyperperiod arithmetic.
+    """
+    scaled = value * MICROSECONDS_PER_MILLISECOND
+    rounded = round(scaled)
+    if abs(scaled - rounded) > 1e-6:
+        raise ValueError(f"{value} ms is not an integer number of microseconds")
+    return int(rounded)
+
+
+def us(value: int) -> int:
+    """Identity helper naming a value already in integer microseconds."""
+    if not isinstance(value, int):
+        raise TypeError(f"microsecond values must be int, got {type(value).__name__}")
+    return value
+
+
+def lcm(values: Iterable[int]) -> int:
+    """Least common multiple of a collection of positive integers."""
+    result = 1
+    seen_any = False
+    for value in values:
+        seen_any = True
+        if value <= 0:
+            raise ValueError(f"lcm requires positive integers, got {value}")
+        result = math.lcm(result, value)
+    if not seen_any:
+        raise ValueError("lcm of an empty collection is undefined")
+    return result
+
+
+def hyperperiod(periods: Iterable[int]) -> int:
+    """Hyperperiod H of a set of task periods (integer microseconds)."""
+    return lcm(periods)
+
+
+def release_instants(period: int, horizon: int, offset: int = 0) -> list[int]:
+    """Release instants of a periodic task in ``[offset, horizon)``.
+
+    Mirrors the paper's definition of the set T_i: ``t_{i,0} = offset``
+    and ``t_{i,j+1} = t_{i,j} + T_i``.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if horizon < offset:
+        raise ValueError("horizon must not precede the offset")
+    return list(range(offset, horizon, period))
+
+
+def divisors(value: int) -> list[int]:
+    """All positive divisors of ``value`` in ascending order."""
+    if value <= 0:
+        raise ValueError(f"divisors requires a positive integer, got {value}")
+    small = []
+    large = []
+    limit = int(math.isqrt(value))
+    for candidate in range(1, limit + 1):
+        if value % candidate == 0:
+            small.append(candidate)
+            pair = value // candidate
+            if pair != candidate:
+                large.append(pair)
+    return small + large[::-1]
+
+
+def is_integer_multiple(value: int, base: int) -> bool:
+    """True when ``value`` is a non-negative integer multiple of ``base``."""
+    if base <= 0:
+        raise ValueError(f"base must be positive, got {base}")
+    return value >= 0 and value % base == 0
+
+
+def merge_instants(instant_sets: Sequence[Iterable[int]]) -> list[int]:
+    """Sorted union of several sets of release instants."""
+    merged: set[int] = set()
+    for instants in instant_sets:
+        merged.update(instants)
+    return sorted(merged)

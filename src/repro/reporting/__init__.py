@@ -1,0 +1,38 @@
+"""Rendering and experiment drivers for the paper's tables and figures."""
+
+from repro.reporting.experiments import (
+    COMPETITORS,
+    Table1Row,
+    run_alpha_feasibility,
+    run_fig2_panel,
+    run_table1,
+    solve_waters,
+)
+from repro.reporting.memory_report import (
+    MemoryUsage,
+    memory_usage,
+    render_memory_map,
+)
+from repro.reporting.latex import latex_escape, latex_fig2_panel, latex_table
+from repro.reporting.svg import grouped_bar_chart_svg, save_fig2_panel_svg
+from repro.reporting.tables import render_bar_panel, render_ratio_figure, render_table
+
+__all__ = [
+    "MemoryUsage",
+    "memory_usage",
+    "render_memory_map",
+    "grouped_bar_chart_svg",
+    "save_fig2_panel_svg",
+    "latex_escape",
+    "latex_fig2_panel",
+    "latex_table",
+    "COMPETITORS",
+    "Table1Row",
+    "run_alpha_feasibility",
+    "run_fig2_panel",
+    "run_table1",
+    "solve_waters",
+    "render_bar_panel",
+    "render_ratio_figure",
+    "render_table",
+]

@@ -1,0 +1,149 @@
+"""Experiment drivers for the paper's evaluation (Section VII).
+
+Shared by the benchmark harness, the examples, and the CLI so that
+"Table I" and "Fig. 2" always mean the same computation:
+
+* :func:`run_table1` — MILP running times and transfer counts per
+  objective and alpha;
+* :func:`run_fig2_panel` — per-task latency ratios of the proposed
+  approach against the three Giotto baselines for one configuration;
+* :func:`run_alpha_feasibility` — the paper's observation that the
+  sweep is feasible for alpha in {0.2..0.5} and which alphas fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import assign_acquisition_deadlines
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    all_profiles,
+    verify_allocation,
+)
+from repro.model.application import Application
+from repro.waters import waters_application
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "run_fig2_panel",
+    "run_alpha_feasibility",
+    "solve_waters",
+]
+
+#: Fig. 2 competitor order.
+COMPETITORS = ("giotto-cpu", "giotto-dma-a", "giotto-dma-b")
+
+
+def solve_waters(
+    objective: Objective,
+    alpha: float,
+    time_limit_seconds: float = 120.0,
+    app: Application | None = None,
+    verify: bool = True,
+):
+    """Assign gammas for ``alpha``, solve the MILP, optionally verify.
+
+    Returns (application-with-gammas, AllocationResult).
+    """
+    base = app if app is not None else waters_application()
+    configured = assign_acquisition_deadlines(base, alpha)
+    formulation = LetDmaFormulation(
+        configured,
+        FormulationConfig(objective=objective, time_limit_seconds=time_limit_seconds),
+    )
+    result = formulation.solve()
+    if verify and result.feasible:
+        verify_allocation(configured, result).raise_if_failed()
+    return configured, result
+
+
+@dataclass
+class Table1Row:
+    """One row of the Table I reproduction."""
+
+    objective: Objective
+    alpha: float
+    runtime_seconds: float
+    status: str
+    num_transfers: int
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.objective.value,
+            f"{self.alpha:.1f}",
+            f"{self.runtime_seconds:.2f} s",
+            self.status,
+            self.num_transfers,
+        )
+
+
+def run_table1(
+    alphas: tuple[float, ...] = (0.2, 0.4),
+    objectives: tuple[Objective, ...] = (
+        Objective.NONE,
+        Objective.MIN_TRANSFERS,
+        Objective.MIN_DELAY_RATIO,
+    ),
+    time_limit_seconds: float = 120.0,
+    app: Application | None = None,
+) -> list[Table1Row]:
+    """The Table I experiment: times and transfer counts per config."""
+    rows = []
+    base = app if app is not None else waters_application()
+    for objective in objectives:
+        for alpha in alphas:
+            _, result = solve_waters(
+                objective, alpha, time_limit_seconds, app=base
+            )
+            rows.append(
+                Table1Row(
+                    objective=objective,
+                    alpha=alpha,
+                    runtime_seconds=result.runtime_seconds,
+                    status=result.status.value,
+                    num_transfers=result.num_transfers,
+                )
+            )
+    return rows
+
+
+def run_fig2_panel(
+    objective: Objective,
+    alpha: float,
+    time_limit_seconds: float = 120.0,
+    app: Application | None = None,
+) -> dict[str, dict[str, float]]:
+    """One Fig. 2 panel: {competitor: {task: lambda ratio}}."""
+    configured, result = solve_waters(
+        objective, alpha, time_limit_seconds, app=app
+    )
+    if not result.feasible:
+        raise RuntimeError(
+            f"MILP infeasible for objective={objective}, alpha={alpha}"
+        )
+    profiles = all_profiles(configured, result)
+    ours = profiles["proposed"]
+    return {
+        competitor: ours.ratio_to(profiles[competitor])
+        for competitor in COMPETITORS
+    }
+
+
+def run_alpha_feasibility(
+    alphas: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    time_limit_seconds: float = 60.0,
+    app: Application | None = None,
+) -> dict[float, bool]:
+    """Which alphas admit a feasible allocation (paper: 0.1 fails)."""
+    outcome = {}
+    base = app if app is not None else waters_application()
+    for alpha in alphas:
+        _, result = solve_waters(
+            Objective.NONE, alpha, time_limit_seconds, app=base
+        )
+        outcome[alpha] = result.feasible
+    return outcome

@@ -1,0 +1,114 @@
+"""LaTeX export of the reproduction's tables and figures.
+
+For dropping results straight into a paper: booktabs tables and
+pgfplots grouped-bar figures matching the paper's Table I / Fig. 2
+shapes.  Output is plain strings; no LaTeX toolchain is required here
+(the tests check structure, not rendering).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["latex_table", "latex_fig2_panel"]
+
+_SPECIALS = {
+    "&": r"\&",
+    "%": r"\%",
+    "$": r"\$",
+    "#": r"\#",
+    "_": r"\_",
+    "{": r"\{",
+    "}": r"\}",
+    "~": r"\textasciitilde{}",
+    "^": r"\textasciicircum{}",
+    "\\": r"\textbackslash{}",
+}
+
+
+def latex_escape(text: str) -> str:
+    """Escape LaTeX special characters."""
+    return "".join(_SPECIALS.get(char, char) for char in str(text))
+
+
+def latex_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    caption: str = "",
+    label: str = "",
+) -> str:
+    """A booktabs ``table`` environment."""
+    column_spec = "l" * len(headers)
+    lines = [
+        r"\begin{table}[t]",
+        r"  \centering",
+    ]
+    if caption:
+        lines.append(rf"  \caption{{{latex_escape(caption)}}}")
+    if label:
+        lines.append(rf"  \label{{{label}}}")
+    lines.append(rf"  \begin{{tabular}}{{{column_spec}}}")
+    lines.append(r"    \toprule")
+    lines.append(
+        "    " + " & ".join(latex_escape(h) for h in headers) + r" \\"
+    )
+    lines.append(r"    \midrule")
+    for row in rows:
+        lines.append(
+            "    " + " & ".join(latex_escape(cell) for cell in row) + r" \\"
+        )
+    lines.append(r"    \bottomrule")
+    lines.append(r"  \end{tabular}")
+    lines.append(r"\end{table}")
+    return "\n".join(lines) + "\n"
+
+
+def latex_fig2_panel(
+    ratios: dict[str, dict[str, float]],
+    task_order: Sequence[str],
+    caption: str = "",
+    label: str = "",
+) -> str:
+    """A pgfplots grouped ``ybar`` axis of one Fig. 2 panel.
+
+    ``ratios`` maps competitor name to per-task latency ratios; the
+    dashed reference line marks ratio 1.0.
+    """
+    if not ratios:
+        raise ValueError("need at least one competitor series")
+    symbolic = ",".join(task_order)
+    lines = [
+        r"\begin{figure}[t]",
+        r"  \centering",
+        r"  \begin{tikzpicture}",
+        r"  \begin{axis}[",
+        r"      ybar, bar width=3pt,",
+        rf"      symbolic x coords={{{symbolic}}},",
+        r"      xtick=data, x tick label style={rotate=45, anchor=east},",
+        r"      ymin=0, ymax=1.1,",
+        r"      ylabel={$\lambda_\mathrm{ours} / \lambda_\mathrm{other}$},",
+        r"      legend style={font=\footnotesize},",
+        r"  ]",
+    ]
+    for competitor, per_task in ratios.items():
+        coordinates = " ".join(
+            f"({task},{per_task[task]:.4f})"
+            for task in task_order
+            if task in per_task
+        )
+        lines.append(rf"    \addplot coordinates {{{coordinates}}};")
+        lines.append(
+            rf"    \addlegendentry{{{latex_escape(competitor)}}}"
+        )
+    first, last = task_order[0], task_order[-1]
+    lines.append(
+        rf"    \draw[dashed] (axis cs:{first},1.0) -- (axis cs:{last},1.0);"
+    )
+    lines.append(r"  \end{axis}")
+    lines.append(r"  \end{tikzpicture}")
+    if caption:
+        lines.append(rf"  \caption{{{latex_escape(caption)}}}")
+    if label:
+        lines.append(rf"  \label{{{label}}}")
+    lines.append(r"\end{figure}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,87 @@
+"""Memory-map reporting for solved allocations.
+
+Renders the layouts of an :class:`~repro.core.AllocationResult` as a
+human-readable memory map — slot table plus a proportional usage bar —
+and computes the utilization statistics embedded-software reviews ask
+for (bytes used per memory, free headroom, largest slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.solution import AllocationResult
+from repro.model.application import Application
+
+__all__ = ["MemoryUsage", "memory_usage", "render_memory_map"]
+
+
+@dataclass(frozen=True)
+class MemoryUsage:
+    """Utilization statistics of one memory."""
+
+    memory_id: str
+    capacity_bytes: int
+    used_bytes: int
+    num_slots: int
+    largest_slot_bytes: int
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.used_bytes / self.capacity_bytes
+
+
+def memory_usage(
+    app: Application, result: AllocationResult
+) -> dict[str, MemoryUsage]:
+    """Usage statistics per memory."""
+    usage = {}
+    for memory in app.platform.memories:
+        layout = result.layouts.get(memory.memory_id)
+        if layout is None or not layout.order:
+            usage[memory.memory_id] = MemoryUsage(
+                memory_id=memory.memory_id,
+                capacity_bytes=memory.size_bytes,
+                used_bytes=0,
+                num_slots=0,
+                largest_slot_bytes=0,
+            )
+            continue
+        usage[memory.memory_id] = MemoryUsage(
+            memory_id=memory.memory_id,
+            capacity_bytes=memory.size_bytes,
+            used_bytes=layout.total_bytes,
+            num_slots=len(layout.order),
+            largest_slot_bytes=max(layout.sizes.values()),
+        )
+    return usage
+
+
+def render_memory_map(
+    app: Application,
+    result: AllocationResult,
+    bar_width: int = 40,
+) -> str:
+    """A full memory map: per-memory usage bar and slot table."""
+    lines = []
+    usage = memory_usage(app, result)
+    for memory_id, stats in sorted(usage.items()):
+        percent = stats.utilization * 100
+        filled = round(bar_width * stats.utilization)
+        bar = "#" * filled + "." * (bar_width - filled)
+        lines.append(
+            f"{memory_id}: [{bar}] {stats.used_bytes}/{stats.capacity_bytes} B "
+            f"({percent:.1f}%), {stats.num_slots} slots"
+        )
+        layout = result.layouts.get(memory_id)
+        if layout is None:
+            continue
+        for slot in layout.order:
+            start = layout.addresses[slot]
+            end = layout.end_address(slot)
+            lines.append(f"    0x{start:06X}..0x{end:06X}  {slot}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Standalone SVG rendering of grouped bar charts (Fig. 2 style).
+
+No plotting dependency is available offline, so this is a small,
+dependency-free SVG generator good enough for the paper's figures: a
+grouped bar chart — one group per task, one bar per competitor — with
+axis, gridlines, reference line at ratio 1.0, and a legend.  Output is
+valid standalone SVG (parsed back by the tests with ElementTree).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+__all__ = ["grouped_bar_chart_svg", "save_fig2_panel_svg"]
+
+#: Colorblind-safe series palette (Okabe-Ito).
+_PALETTE = ("#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00")
+
+
+def grouped_bar_chart_svg(
+    series: dict[str, dict[str, float]],
+    categories: Sequence[str],
+    title: str = "",
+    y_label: str = "",
+    width: int = 720,
+    height: int = 360,
+    y_max: float | None = None,
+    reference_line: float | None = None,
+) -> str:
+    """Render ``{series name: {category: value}}`` as a grouped bar SVG."""
+    if not series:
+        raise ValueError("need at least one series")
+    margin_left, margin_right = 56, 16
+    margin_top, margin_bottom = 34, 46
+    plot_width = width - margin_left - margin_right
+    plot_height = height - margin_top - margin_bottom
+
+    values = [
+        series_values.get(category, 0.0)
+        for series_values in series.values()
+        for category in categories
+    ]
+    peak = y_max if y_max is not None else max(values + [1e-9]) * 1.05
+
+    def x_of(group: int, bar: int) -> float:
+        group_width = plot_width / max(len(categories), 1)
+        bar_width = group_width * 0.8 / len(series)
+        return margin_left + group * group_width + group_width * 0.1 + bar * bar_width
+
+    def y_of(value: float) -> float:
+        clamped = min(max(value, 0.0), peak)
+        return margin_top + plot_height * (1 - clamped / peak)
+
+    group_width = plot_width / max(len(categories), 1)
+    bar_width = group_width * 0.8 / len(series)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="20" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="14">{escape(title)}</text>'
+        )
+
+    # Gridlines + y-axis ticks.
+    for tick in range(5):
+        value = peak * tick / 4
+        y = y_of(value)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" x2="{width - margin_right}" '
+            f'y2="{y:.1f}" stroke="#ddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-family="sans-serif" font-size="10">{value:.2f}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{margin_top + plot_height / 2}" '
+            f'font-family="sans-serif" font-size="11" text-anchor="middle" '
+            f'transform="rotate(-90 14 {margin_top + plot_height / 2})">'
+            f"{escape(y_label)}</text>"
+        )
+    if reference_line is not None and reference_line <= peak:
+        y = y_of(reference_line)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" x2="{width - margin_right}" '
+            f'y2="{y:.1f}" stroke="#888" stroke-width="1" stroke-dasharray="5,4"/>'
+        )
+
+    # Bars.
+    for bar_index, (series_name, series_values) in enumerate(series.items()):
+        color = _PALETTE[bar_index % len(_PALETTE)]
+        for group_index, category in enumerate(categories):
+            value = series_values.get(category)
+            if value is None:
+                continue
+            x = x_of(group_index, bar_index)
+            y = y_of(value)
+            bar_height = margin_top + plot_height - y
+            stroke = ' stroke="black"' if value > peak else ""
+            parts.append(
+                f'<rect class="bar" x="{x:.1f}" y="{y:.1f}" '
+                f'width="{bar_width:.1f}" height="{bar_height:.1f}" '
+                f'fill="{color}"{stroke}>'
+                f"<title>{escape(series_name)} / {escape(category)}: "
+                f"{value:.4f}</title></rect>"
+            )
+
+    # Category labels.
+    for group_index, category in enumerate(categories):
+        x = margin_left + (group_index + 0.5) * group_width
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - margin_bottom + 16}" '
+            f'text-anchor="middle" font-family="sans-serif" font-size="10">'
+            f"{escape(category)}</text>"
+        )
+
+    # Legend.
+    legend_x = margin_left
+    legend_y = height - 14
+    for index, series_name in enumerate(series):
+        color = _PALETTE[index % len(_PALETTE)]
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 9}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}" font-family="sans-serif" '
+            f'font-size="10">{escape(series_name)}</text>'
+        )
+        legend_x += 16 + 7 * len(series_name)
+
+    # Axes.
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{margin_top + plot_height}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top + plot_height}" '
+        f'x2="{width - margin_right}" y2="{margin_top + plot_height}" '
+        f'stroke="black"/>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def save_fig2_panel_svg(
+    ratios: dict[str, dict[str, float]],
+    task_order: Sequence[str],
+    title: str,
+    path: str | Path,
+) -> None:
+    """Save one Fig. 2 panel (competitor -> task -> ratio) as SVG."""
+    svg = grouped_bar_chart_svg(
+        ratios,
+        task_order,
+        title=title,
+        y_label="lambda(ours) / lambda(other)",
+        y_max=1.05,
+        reference_line=1.0,
+    )
+    Path(path).write_text(svg)

@@ -1,0 +1,94 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports:
+Table I (MILP running times and transfer counts) and Fig. 2 (per-task
+latency ratios, one panel per objective x alpha configuration).  Output
+is monospace text so results live in logs and CI output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_bar_panel", "render_ratio_figure"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A boxed monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(char: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(char * (width + 2) for width in widths) + joint
+
+    def fmt(row: Sequence[str]) -> str:
+        padded = [f" {value:<{width}} " for value, width in zip(row, widths)]
+        return "|" + "|".join(padded) + "|"
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line())
+    parts.append(fmt(list(headers)))
+    parts.append(line("="))
+    for row in cells:
+        parts.append(fmt(row))
+    parts.append(line())
+    return "\n".join(parts)
+
+
+def render_bar_panel(
+    values: dict[str, float],
+    title: str = "",
+    width: int = 40,
+    max_value: float | None = None,
+) -> str:
+    """A horizontal ASCII bar chart (one bar per key)."""
+    if not values:
+        return f"{title}\n(empty)"
+    peak = max_value if max_value is not None else max(values.values())
+    peak = max(peak, 1e-12)
+    label_width = max(len(key) for key in values)
+    lines = [title] if title else []
+    for key, value in values.items():
+        bar = "#" * max(0, round(width * min(value, peak) / peak))
+        overflow = ">" if value > peak else ""
+        lines.append(f"{key:<{label_width}} | {bar}{overflow} {value:.3f}")
+    return "\n".join(lines)
+
+
+def render_ratio_figure(
+    panels: dict[str, dict[str, dict[str, float]]],
+    task_order: Sequence[str],
+    width: int = 36,
+) -> str:
+    """Fig. 2-style output: one panel per configuration.
+
+    Args:
+        panels: ``{panel title: {competitor: {task: ratio}}}``.
+        task_order: X-axis task order (the paper's Fig. 2 order).
+        width: Bar width in characters.
+    """
+    parts = []
+    for title, by_competitor in panels.items():
+        parts.append(f"\n=== {title} ===")
+        for competitor, ratios in by_competitor.items():
+            ordered = {
+                task: ratios[task] for task in task_order if task in ratios
+            }
+            parts.append(
+                render_bar_panel(
+                    ordered,
+                    title=f"lambda(ours) / lambda({competitor})  [<1 means ours wins]",
+                    width=width,
+                    max_value=1.0,
+                )
+            )
+    return "\n".join(parts)

@@ -1,0 +1,37 @@
+"""Discrete-event simulation of LET communications and task execution."""
+
+from repro.sim.dma_device import (
+    BusConfig,
+    MemoryTiming,
+    calibrate_dma_parameters,
+    effective_copy_cost_us_per_byte,
+    transfer_cycles,
+)
+from repro.sim.engine import Simulator, simulate
+from repro.sim.timeline import (
+    CommunicationTimeline,
+    giotto_cpu_timeline,
+    giotto_dma_a_timeline,
+    giotto_dma_b_timeline,
+    proposed_timeline,
+    timeline_for,
+)
+from repro.sim.trace import JobRecord, SimulationResult
+
+__all__ = [
+    "BusConfig",
+    "MemoryTiming",
+    "calibrate_dma_parameters",
+    "effective_copy_cost_us_per_byte",
+    "transfer_cycles",
+    "Simulator",
+    "simulate",
+    "CommunicationTimeline",
+    "giotto_cpu_timeline",
+    "giotto_dma_a_timeline",
+    "giotto_dma_b_timeline",
+    "proposed_timeline",
+    "timeline_for",
+    "JobRecord",
+    "SimulationResult",
+]

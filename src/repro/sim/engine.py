@@ -1,0 +1,203 @@
+"""Event-driven simulation of partitioned fixed-priority execution.
+
+The simulator executes the application's jobs on their cores under
+preemptive fixed-priority scheduling, with two inputs from the
+communication layer (see :mod:`repro.sim.timeline`):
+
+* *blackout intervals* — highest-priority CPU time consumed by the
+  communication machinery (LET copy loops, DMA programming, ISRs);
+* *ready times* — the absolute instant each job's LET inputs are in
+  place (release + data acquisition latency, rule R1).
+
+Output is a :class:`repro.sim.trace.SimulationResult` with one record
+per job, from which response times, observed acquisition latencies, and
+deadline misses are read.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.model.application import Application
+from repro.sim.timeline import CommunicationTimeline
+from repro.sim.trace import ExecutionSegment, JobRecord, SimulationResult
+
+__all__ = ["Simulator", "simulate"]
+
+_COMPLETE, _BLACKOUT_END, _JOB_READY, _BLACKOUT_START = range(4)
+
+
+@dataclass
+class _Job:
+    record: JobRecord
+    priority: int
+    remaining_us: float
+    core_id: str
+
+
+@dataclass
+class _CoreState:
+    blackout_depth: int = 0
+    ready: list[_Job] = field(default_factory=list)
+    running: _Job | None = None
+    running_since: float = 0.0
+    version: int = 0
+
+
+class Simulator:
+    """Simulates one application over a horizon with a fixed timeline."""
+
+    def __init__(
+        self,
+        app: Application,
+        timeline: CommunicationTimeline,
+        horizon_us: int | None = None,
+        record_execution: bool = False,
+    ):
+        self.app = app
+        self.timeline = timeline
+        self.record_execution = record_execution
+        self._result: SimulationResult | None = None
+        self.horizon_us = horizon_us or app.tasks.hyperperiod_us()
+        self._sequence = itertools.count()
+        self._events: list[tuple[float, int, int, object]] = []
+        self._cores: dict[str, _CoreState] = {
+            core.core_id: _CoreState() for core in app.platform.cores
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        result = SimulationResult(horizon_us=self.horizon_us)
+        self._result = result
+        self._seed_events(result)
+        now = 0.0
+        while self._events:
+            now, kind, _, payload = heapq.heappop(self._events)
+            if kind == _COMPLETE:
+                self._on_complete(now, payload)
+            elif kind == _BLACKOUT_END:
+                self._on_blackout_end(now, payload)
+            elif kind == _JOB_READY:
+                self._on_job_ready(now, payload)
+            else:
+                self._on_blackout_start(now, payload)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _push(self, time: float, kind: int, payload: object) -> None:
+        heapq.heappush(self._events, (time, kind, next(self._sequence), payload))
+
+    def _seed_events(self, result: SimulationResult) -> None:
+        for task in self.app.tasks:
+            for release in task.release_instants(self.horizon_us):
+                ready = self.timeline.ready_times.get(
+                    (task.name, release), float(release)
+                )
+                record = JobRecord(
+                    task=task.name,
+                    release_us=release,
+                    ready_us=ready,
+                    deadline_us=release + task.deadline_us,
+                )
+                result.jobs.append(record)
+                job = _Job(
+                    record=record,
+                    priority=task.priority,
+                    remaining_us=task.wcet_us,
+                    core_id=task.core_id,
+                )
+                self._push(ready, _JOB_READY, job)
+        for core_id, intervals in self.timeline.blackouts.items():
+            if core_id not in self._cores:
+                continue
+            for start, end in intervals:
+                self._push(start, _BLACKOUT_START, core_id)
+                self._push(end, _BLACKOUT_END, core_id)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _on_job_ready(self, now: float, job: _Job) -> None:
+        core = self._cores[job.core_id]
+        core.ready.append(job)
+        self._reschedule(now, job.core_id)
+
+    def _on_blackout_start(self, now: float, core_id: str) -> None:
+        core = self._cores[core_id]
+        core.blackout_depth += 1
+        self._reschedule(now, core_id)
+
+    def _on_blackout_end(self, now: float, core_id: str) -> None:
+        core = self._cores[core_id]
+        core.blackout_depth -= 1
+        self._reschedule(now, core_id)
+
+    def _on_complete(self, now: float, payload: object) -> None:
+        core_id, version, job = payload
+        core = self._cores[core_id]
+        if core.version != version or core.running is not job:
+            return  # stale completion from before a preemption
+        self._record_segment(job, core.running_since, now)
+        job.remaining_us = 0.0
+        job.record.completion_us = now
+        core.ready.remove(job)
+        core.running = None
+        self._reschedule(now, core_id)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def _reschedule(self, now: float, core_id: str) -> None:
+        core = self._cores[core_id]
+        # Account progress of the job that ran until now.
+        if core.running is not None:
+            self._record_segment(core.running, core.running_since, now)
+            core.running.remaining_us -= now - core.running_since
+            core.running.remaining_us = max(core.running.remaining_us, 0.0)
+        next_job = None
+        if core.blackout_depth == 0 and core.ready:
+            next_job = min(
+                core.ready,
+                key=lambda job: (job.priority, job.record.release_us),
+            )
+        if next_job is core.running and next_job is not None:
+            core.running_since = now
+            return
+        core.version += 1
+        core.running = next_job
+        core.running_since = now
+        if next_job is not None:
+            self._push(
+                now + next_job.remaining_us,
+                _COMPLETE,
+                (core_id, core.version, next_job),
+            )
+
+
+    def _record_segment(self, job: _Job, start: float, end: float) -> None:
+        if not self.record_execution or self._result is None or end <= start:
+            return
+        self._result.segments.append(
+            ExecutionSegment(
+                task=job.record.task,
+                core_id=job.core_id,
+                start_us=start,
+                end_us=end,
+            )
+        )
+
+
+def simulate(
+    app: Application,
+    timeline: CommunicationTimeline,
+    horizon_us: int | None = None,
+    record_execution: bool = False,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    return Simulator(app, timeline, horizon_us, record_execution).run()

@@ -1,0 +1,252 @@
+"""Communication timelines: what the LET machinery does to the cores.
+
+A :class:`CommunicationTimeline` captures, for one approach over one
+horizon, (i) the CPU time the communication machinery steals from each
+core at the highest priority (*blackout intervals*), and (ii) the
+absolute time every job becomes ready.  LET communications are
+load-independent (LET tasks and ISRs outrank everything), so the
+timeline can be computed up front and fed to the task-execution
+simulator.
+
+The four builders mirror the approaches of the paper's evaluation:
+
+* :func:`proposed_timeline` — DMA transfers per the solved allocation;
+  only the programming (o_DP) and ISR (o_ISR) slices hit the
+  programming core; tasks get ready per rules R1-R3.
+* :func:`giotto_cpu_timeline` — every copy is CPU work on the core of
+  the task it serves, serialized globally in Giotto order; every task
+  released at the instant waits for everything.
+* :func:`giotto_dma_a_timeline` — one DMA transfer per copy, Giotto
+  order, everyone waits.
+* :func:`giotto_dma_b_timeline` — DMA with the MILP's layout (merged
+  contiguous runs), Giotto order, everyone waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import _contiguous_runs
+from repro.core.protocol import LetDmaProtocol
+from repro.core.solution import AllocationResult
+from repro.let.communication import Communication
+from repro.let.giotto import giotto_order
+from repro.let.grouping import active_instants
+from repro.model.application import Application
+
+__all__ = [
+    "CommunicationTimeline",
+    "proposed_timeline",
+    "giotto_cpu_timeline",
+    "giotto_dma_a_timeline",
+    "giotto_dma_b_timeline",
+    "timeline_for",
+]
+
+
+@dataclass
+class CommunicationTimeline:
+    """Per-core blackout intervals plus job readiness times.
+
+    Attributes:
+        blackouts: For each core, sorted disjoint (start, end) intervals
+            during which the communication machinery occupies the core.
+        ready_times: Absolute readiness per (task name, release instant).
+    """
+
+    blackouts: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    ready_times: dict[tuple[str, int], float] = field(default_factory=dict)
+
+    def add_blackout(self, core_id: str, start: float, end: float) -> None:
+        if end > start:
+            self.blackouts.setdefault(core_id, []).append((start, end))
+
+    def busy_us(self, core_id: str) -> float:
+        return sum(end - start for start, end in self.blackouts.get(core_id, []))
+
+
+def _releases(app: Application, horizon_us: int) -> list[tuple[str, int]]:
+    pairs = []
+    for task in app.tasks:
+        for t in task.release_instants(horizon_us):
+            pairs.append((task.name, t))
+    return pairs
+
+
+def _core_of(app: Application, task_name: str) -> str:
+    return app.tasks[task_name].core_id
+
+
+def proposed_timeline(
+    app: Application, result: AllocationResult, horizon_us: int | None = None
+) -> CommunicationTimeline:
+    """Timeline of the proposed protocol (rules R1-R3)."""
+    if horizon_us is None:
+        horizon_us = app.tasks.hyperperiod_us()
+    protocol = LetDmaProtocol(app, result)
+    timeline = CommunicationTimeline()
+    ready_defaults = {
+        (task, t): float(t) for task, t in _releases(app, horizon_us)
+    }
+    timeline.ready_times.update(ready_defaults)
+
+    hyperperiod = app.tasks.hyperperiod_us()
+    base_schedules = {t: protocol.schedule_at(t) for t in active_instants(app)}
+    for cycle_start in range(0, horizon_us, hyperperiod):
+        for t, schedule in base_schedules.items():
+            shift = cycle_start
+            if t + shift >= horizon_us:
+                continue
+            for dispatch in schedule.dispatches:
+                core = dispatch.programming_core
+                timeline.add_blackout(
+                    core, dispatch.start_us + shift, dispatch.copy_start_us + shift
+                )
+                timeline.add_blackout(
+                    core, dispatch.isr_start_us + shift, dispatch.end_us + shift
+                )
+            for task, ready in schedule.ready_at_us.items():
+                timeline.ready_times[(task, t + shift)] = ready + shift
+    _sort_blackouts(timeline)
+    return timeline
+
+
+def _giotto_waits(
+    app: Application,
+    timeline: CommunicationTimeline,
+    t: int,
+    end: float,
+) -> None:
+    """All tasks released at t become ready when everything is done."""
+    for task in app.tasks:
+        if t % task.period_us == 0:
+            timeline.ready_times[(task.name, t)] = end
+
+
+def giotto_cpu_timeline(
+    app: Application, horizon_us: int | None = None
+) -> CommunicationTimeline:
+    """Timeline of Giotto with CPU copies: each copy occupies the core
+    of the task it serves; every released task waits for everything."""
+    if horizon_us is None:
+        horizon_us = app.tasks.hyperperiod_us()
+    cpu = app.platform.cpu_copy
+    timeline = CommunicationTimeline()
+    timeline.ready_times.update(
+        {(task, t): float(t) for task, t in _releases(app, horizon_us)}
+    )
+    for t in _active_until(app, horizon_us):
+        clock = float(t)
+        order = giotto_order(app, t % app.tasks.hyperperiod_us())
+        for comm in order:
+            duration = cpu.copy_duration_us(comm.size_bytes(app))
+            timeline.add_blackout(_core_of(app, comm.task), clock, clock + duration)
+            clock += duration
+        _giotto_waits(app, timeline, t, clock)
+    _sort_blackouts(timeline)
+    return timeline
+
+
+def giotto_dma_a_timeline(
+    app: Application, horizon_us: int | None = None
+) -> CommunicationTimeline:
+    """Timeline of Giotto with one DMA transfer per label copy."""
+    if horizon_us is None:
+        horizon_us = app.tasks.hyperperiod_us()
+    dma = app.platform.dma
+    timeline = CommunicationTimeline()
+    timeline.ready_times.update(
+        {(task, t): float(t) for task, t in _releases(app, horizon_us)}
+    )
+    for t in _active_until(app, horizon_us):
+        clock = float(t)
+        for comm in giotto_order(app, t % app.tasks.hyperperiod_us()):
+            clock = _dispatch_blackouts(
+                app, timeline, _core_of(app, comm.task), clock, comm.size_bytes(app)
+            )
+        _giotto_waits(app, timeline, t, clock)
+    _sort_blackouts(timeline)
+    return timeline
+
+
+def giotto_dma_b_timeline(
+    app: Application, result: AllocationResult, horizon_us: int | None = None
+) -> CommunicationTimeline:
+    """Timeline of Giotto with DMA copies merged by the MILP's layout."""
+    if horizon_us is None:
+        horizon_us = app.tasks.hyperperiod_us()
+    timeline = CommunicationTimeline()
+    timeline.ready_times.update(
+        {(task, t): float(t) for task, t in _releases(app, horizon_us)}
+    )
+    for t in _active_until(app, horizon_us):
+        base_t = t % app.tasks.hyperperiod_us()
+        order = giotto_order(app, base_t)
+        clock = float(t)
+        for phase_filter in (lambda c: c.is_write, lambda c: c.is_read):
+            phase = [c for c in order if phase_filter(c)]
+            for run in _contiguous_runs(app, result.layouts, phase):
+                run_bytes = sum(c.size_bytes(app) for c in run)
+                clock = _dispatch_blackouts(
+                    app, timeline, _core_of(app, run[0].task), clock, run_bytes
+                )
+        _giotto_waits(app, timeline, t, clock)
+    _sort_blackouts(timeline)
+    return timeline
+
+
+def _dispatch_blackouts(
+    app: Application,
+    timeline: CommunicationTimeline,
+    core_id: str,
+    clock: float,
+    total_bytes: int,
+) -> float:
+    """One DMA dispatch: o_DP on the core, copy off-core, o_ISR on the
+    core.  Returns the completion time."""
+    dma = app.platform.dma
+    program_end = clock + dma.programming_overhead_us
+    copy_end = program_end + dma.copy_cost_us_per_byte * total_bytes
+    isr_end = copy_end + dma.isr_overhead_us
+    timeline.add_blackout(core_id, clock, program_end)
+    timeline.add_blackout(core_id, copy_end, isr_end)
+    return isr_end
+
+
+def _active_until(app: Application, horizon_us: int) -> list[int]:
+    hyperperiod = app.tasks.hyperperiod_us()
+    base = active_instants(app)
+    instants = []
+    for cycle_start in range(0, horizon_us, hyperperiod):
+        instants.extend(
+            t + cycle_start for t in base if t + cycle_start < horizon_us
+        )
+    return instants
+
+
+def _sort_blackouts(timeline: CommunicationTimeline) -> None:
+    for intervals in timeline.blackouts.values():
+        intervals.sort()
+
+
+def timeline_for(
+    approach: str,
+    app: Application,
+    result: AllocationResult | None = None,
+    horizon_us: int | None = None,
+) -> CommunicationTimeline:
+    """Dispatch by approach name ("proposed", "giotto-cpu",
+    "giotto-dma-a", "giotto-dma-b")."""
+    if approach == "proposed":
+        if result is None:
+            raise ValueError("the proposed protocol needs a solved allocation")
+        return proposed_timeline(app, result, horizon_us)
+    if approach == "giotto-cpu":
+        return giotto_cpu_timeline(app, horizon_us)
+    if approach == "giotto-dma-a":
+        return giotto_dma_a_timeline(app, horizon_us)
+    if approach == "giotto-dma-b":
+        if result is None:
+            raise ValueError("giotto-dma-b needs the MILP's memory layout")
+        return giotto_dma_b_timeline(app, result, horizon_us)
+    raise ValueError(f"unknown approach {approach!r}")

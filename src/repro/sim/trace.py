@@ -1,0 +1,120 @@
+"""Simulation records and result queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["JobRecord", "SimulationResult"]
+
+
+@dataclass
+class JobRecord:
+    """One job observed by the simulator.
+
+    Attributes:
+        task: Task name.
+        release_us: Absolute release instant.
+        ready_us: Absolute time the job became eligible to execute
+            (release + data acquisition latency).
+        completion_us: Absolute completion time; None when the job did
+            not finish within the simulated horizon.
+        deadline_us: Absolute deadline (release + D_i).
+    """
+
+    task: str
+    release_us: int
+    ready_us: float
+    deadline_us: float
+    completion_us: float | None = None
+
+    @property
+    def acquisition_latency_us(self) -> float:
+        return self.ready_us - self.release_us
+
+    @property
+    def response_time_us(self) -> float | None:
+        if self.completion_us is None:
+            return None
+        return self.completion_us - self.release_us
+
+    @property
+    def missed_deadline(self) -> bool:
+        if self.completion_us is None:
+            return True
+        return self.completion_us > self.deadline_us + 1e-6
+
+
+@dataclass(frozen=True)
+class ExecutionSegment:
+    """A maximal interval during which one job ran uninterrupted."""
+
+    task: str
+    core_id: str
+    start_us: float
+    end_us: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class SimulationResult:
+    """All jobs simulated over the horizon, with aggregate queries."""
+
+    horizon_us: int
+    jobs: list[JobRecord] = field(default_factory=list)
+    segments: list[ExecutionSegment] = field(default_factory=list)
+
+    def jobs_of(self, task: str) -> list[JobRecord]:
+        return [job for job in self.jobs if job.task == task]
+
+    def worst_response_us(self, task: str) -> float | None:
+        """Largest observed response time; None when a job never finished."""
+        responses = []
+        for job in self.jobs_of(task):
+            if job.response_time_us is None:
+                return None
+            responses.append(job.response_time_us)
+        return max(responses) if responses else 0.0
+
+    def worst_acquisition_latency_us(self, task: str) -> float:
+        latencies = [job.acquisition_latency_us for job in self.jobs_of(task)]
+        return max(latencies) if latencies else 0.0
+
+    def acquisition_latencies(self) -> dict[str, float]:
+        tasks = {job.task for job in self.jobs}
+        return {task: self.worst_acquisition_latency_us(task) for task in tasks}
+
+    def deadline_misses(self) -> list[JobRecord]:
+        return [job for job in self.jobs if job.missed_deadline]
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        return not self.deadline_misses()
+
+    # -- execution-trace queries (populated when the simulator runs
+    #    with record_execution=True) ---------------------------------
+
+    def segments_of(self, task: str) -> list["ExecutionSegment"]:
+        """Execution segments of one task, merged when contiguous."""
+        raw = sorted(
+            (s for s in self.segments if s.task == task),
+            key=lambda s: s.start_us,
+        )
+        merged: list[ExecutionSegment] = []
+        for segment in raw:
+            if merged and abs(merged[-1].end_us - segment.start_us) < 1e-9:
+                merged[-1] = ExecutionSegment(
+                    task=segment.task,
+                    core_id=segment.core_id,
+                    start_us=merged[-1].start_us,
+                    end_us=segment.end_us,
+                )
+            else:
+                merged.append(segment)
+        return merged
+
+    def core_busy_us(self, core_id: str) -> float:
+        """Total application execution time observed on one core."""
+        return sum(s.duration_us for s in self.segments if s.core_id == core_id)

@@ -1,0 +1,17 @@
+"""The WATERS 2019 industrial challenge case study (reconstructed)."""
+
+from repro.waters.case_study import (
+    TASK_NAMES,
+    waters_application,
+    waters_labels,
+    waters_platform,
+    waters_tasks,
+)
+
+__all__ = [
+    "TASK_NAMES",
+    "waters_application",
+    "waters_labels",
+    "waters_platform",
+    "waters_tasks",
+]

@@ -1,0 +1,21 @@
+"""Synthetic workload generation: UUniFast tasksets, random graphs,
+and WATERS-like perception/control applications."""
+
+from repro.workloads.generator import (
+    AUTOMOTIVE_PERIODS_MS,
+    WorkloadSpec,
+    generate_application,
+    generate_taskset,
+    uunifast,
+)
+from repro.workloads.waters_like import WatersLikeSpec, generate_waters_like
+
+__all__ = [
+    "AUTOMOTIVE_PERIODS_MS",
+    "WorkloadSpec",
+    "generate_application",
+    "generate_taskset",
+    "uunifast",
+    "WatersLikeSpec",
+    "generate_waters_like",
+]

@@ -1,0 +1,132 @@
+"""Tests for the response-time analysis."""
+
+import pytest
+
+from repro.analysis import InterferenceSource, analyze, analyze_core, response_time
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+
+def task(name, period, wcet, core="P1", prio=0):
+    return Task(name, period, wcet, core, prio)
+
+
+class TestResponseTime:
+    def test_single_task(self):
+        assert response_time(task("A", 10_000, 3_000.0), []) == pytest.approx(3_000.0)
+
+    def test_classic_two_task_case(self):
+        hi = task("HI", 5_000, 2_000.0)
+        lo = task("LO", 20_000, 4_000.0, prio=1)
+        # R = 4000 + ceil(R/5000)*2000 -> R = 4000+2000*2 = 8000?
+        # iterate: 4000 -> 4000+2000=6000 -> 4000+4000=8000 -> 4000+4000=8000.
+        assert response_time(lo, [hi]) == pytest.approx(8_000.0)
+
+    def test_divergence_returns_none(self):
+        hi = task("HI", 2_000, 1_500.0)
+        lo = task("LO", 10_000, 3_000.0, prio=1)
+        # Demand exceeds capacity for LO within its deadline.
+        assert response_time(lo, [hi]) is None
+
+    def test_jitter_of_higher_task_increases_interference(self):
+        hi = task("HI", 5_000, 2_000.0)
+        lo = task("LO", 20_000, 4_000.0, prio=1)
+        without = response_time(lo, [hi])
+        with_jitter = response_time(lo, [hi], jitters={"HI": 2_100.0})
+        assert with_jitter > without
+
+    def test_blocking_term(self):
+        a = task("A", 10_000, 3_000.0)
+        assert response_time(a, [], blocking_us=500.0) == pytest.approx(3_500.0)
+
+    def test_interference_source(self):
+        a = task("A", 10_000, 3_000.0)
+        src = InterferenceSource("LET", wcet_us=100.0, min_interarrival_us=1_000.0)
+        r = response_time(a, [], interference=[src])
+        # R = 3000 + ceil(R/1000)*100: iterate 3000 -> 3300 -> 3400 -> 3400.
+        assert r == pytest.approx(3_400.0)
+
+    def test_interference_validation(self):
+        with pytest.raises(ValueError):
+            InterferenceSource("X", wcet_us=-1.0, min_interarrival_us=1.0)
+        with pytest.raises(ValueError):
+            InterferenceSource("X", wcet_us=1.0, min_interarrival_us=0.0)
+
+
+class TestAnalyzeCore:
+    def test_priority_order_respected(self):
+        tasks = TaskSet(
+            [
+                task("LO", 20_000, 4_000.0, prio=1),
+                task("HI", 5_000, 2_000.0, prio=0),
+            ]
+        )
+        results = analyze_core(tasks, "P1")
+        assert results["HI"].response_time_us == pytest.approx(2_000.0)
+        assert results["LO"].response_time_us == pytest.approx(8_000.0)
+
+    def test_own_jitter_reduces_slack(self):
+        tasks = TaskSet([task("A", 10_000, 3_000.0)])
+        plain = analyze_core(tasks, "A".replace("A", "P1"))
+        jittery = analyze_core(tasks, "P1", jitters={"A": 1_000.0})
+        assert jittery["A"].slack_us == pytest.approx(plain["A"].slack_us - 1_000.0)
+
+    def test_unschedulable_flagged(self):
+        tasks = TaskSet(
+            [
+                task("HI", 2_000, 1_500.0, prio=0),
+                task("LO", 10_000, 3_000.0, prio=1),
+            ]
+        )
+        results = analyze_core(tasks, "P1")
+        assert not results["LO"].schedulable
+        assert results["LO"].total_response_us is None
+        assert results["LO"].slack_us is None
+
+
+class TestAnalyzeApplication:
+    @pytest.fixture
+    def app(self):
+        platform = Platform.symmetric(2)
+        tasks = TaskSet(
+            [
+                task("A", 10_000, 2_000.0, "P1", 0),
+                task("B", 20_000, 4_000.0, "P1", 1),
+                task("C", 10_000, 3_000.0, "P2", 0),
+            ]
+        )
+        return Application(platform, tasks, [Label("x", 8, "A", ("C",))])
+
+    def test_all_cores_analyzed(self, app):
+        report = analyze(app)
+        assert set(report.per_task) == {"A", "B", "C"}
+        assert report.schedulable
+
+    def test_slacks(self, app):
+        slacks = analyze(app).slacks()
+        assert slacks["A"] == pytest.approx(8_000.0)
+        assert slacks["C"] == pytest.approx(7_000.0)
+
+    def test_slacks_raise_when_unschedulable(self):
+        platform = Platform.symmetric(1)
+        tasks = TaskSet(
+            [
+                task("HI", 2_000, 1_500.0, prio=0),
+                task("LO", 10_000, 3_000.0, prio=1),
+            ]
+        )
+        app = Application(platform, tasks, [])
+        with pytest.raises(ValueError, match="unschedulable"):
+            analyze(app).slacks()
+
+    def test_per_core_interference(self, app):
+        src = InterferenceSource("LET", wcet_us=500.0, min_interarrival_us=5_000.0)
+        report = analyze(app, interference={"P1": [src]})
+        plain = analyze(app)
+        assert (
+            report.per_task["A"].response_time_us
+            > plain.per_task["A"].response_time_us
+        )
+        # P2 unaffected.
+        assert report.per_task["C"].response_time_us == pytest.approx(
+            plain.per_task["C"].response_time_us
+        )

@@ -1,0 +1,86 @@
+"""Tests for the gamma sensitivity procedure."""
+
+import pytest
+
+from repro.analysis import (
+    alpha_sweep,
+    assign_acquisition_deadlines,
+    compute_slacks,
+    schedulable_with_jitter,
+)
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+
+@pytest.fixture
+def app():
+    platform = Platform.symmetric(2)
+    tasks = TaskSet(
+        [
+            Task("A", 10_000, 2_000.0, "P1", 0),
+            Task("B", 20_000, 4_000.0, "P1", 1),
+            Task("C", 10_000, 3_000.0, "P2", 0),
+        ]
+    )
+    return Application(platform, tasks, [Label("x", 64, "A", ("C",))])
+
+
+class TestSlacks:
+    def test_slacks_positive_for_schedulable(self, app):
+        slacks = compute_slacks(app)
+        assert all(s > 0 for s in slacks.values())
+
+
+class TestAssignment:
+    def test_gamma_is_alpha_times_slack(self, app):
+        slacks = compute_slacks(app)
+        configured = assign_acquisition_deadlines(app, 0.3)
+        assert configured.tasks["A"].acquisition_deadline_us == pytest.approx(
+            0.3 * slacks["A"]
+        )
+
+    def test_only_communicating_tasks_get_gamma(self, app):
+        configured = assign_acquisition_deadlines(app, 0.3)
+        assert configured.tasks["B"].acquisition_deadline_us is None
+        assert configured.tasks["A"].acquisition_deadline_us is not None
+        assert configured.tasks["C"].acquisition_deadline_us is not None
+
+    def test_alpha_bounds(self, app):
+        with pytest.raises(ValueError):
+            assign_acquisition_deadlines(app, 0.0)
+        with pytest.raises(ValueError):
+            assign_acquisition_deadlines(app, 1.5)
+
+    def test_original_untouched(self, app):
+        assign_acquisition_deadlines(app, 0.2)
+        assert app.tasks["A"].acquisition_deadline_us is None
+
+    def test_larger_alpha_larger_gamma(self, app):
+        small = assign_acquisition_deadlines(app, 0.1)
+        large = assign_acquisition_deadlines(app, 0.5)
+        assert (
+            large.tasks["A"].acquisition_deadline_us
+            > small.tasks["A"].acquisition_deadline_us
+        )
+
+
+class TestJitterCheck:
+    def test_schedulable_with_assigned_gammas(self, app):
+        """The paper's procedure: with J_i = gamma_i = alpha * S_i and
+        alpha <= 0.5 the system stays schedulable for this workload."""
+        for alpha in (0.1, 0.2, 0.3, 0.4, 0.5):
+            configured = assign_acquisition_deadlines(app, alpha)
+            assert schedulable_with_jitter(configured), alpha
+
+    def test_explicit_jitters(self, app):
+        assert schedulable_with_jitter(app, jitters={"A": 100.0})
+        # A jitter bigger than A's slack breaks A itself.
+        slack = compute_slacks(app)["A"]
+        assert not schedulable_with_jitter(app, jitters={"A": slack + 1.0})
+
+
+class TestAlphaSweep:
+    def test_sweep_returns_all_alphas(self, app):
+        sweep = alpha_sweep(app, alphas=(0.1, 0.2))
+        assert set(sweep) == {0.1, 0.2}
+        for alpha, configured in sweep.items():
+            assert configured.tasks["A"].acquisition_deadline_us is not None

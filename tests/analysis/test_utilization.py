@@ -1,0 +1,112 @@
+"""Tests for the utilization-based schedulability pre-checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.response_time import analyze_core
+from repro.analysis.utilization import (
+    hyperbolic_test,
+    liu_layland_bound,
+    liu_layland_test,
+    quick_schedulability,
+)
+from repro.model import Application, Platform, Task, TaskSet
+from repro.workloads import WorkloadSpec, generate_taskset
+
+
+class TestBound:
+    def test_single_task(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+
+    def test_two_tasks(self):
+        assert liu_layland_bound(2) == pytest.approx(2 * (math.sqrt(2) - 1))
+
+    def test_limit_is_ln2(self):
+        assert liu_layland_bound(10_000) == pytest.approx(math.log(2), abs=1e-4)
+
+    def test_monotone_decreasing(self):
+        bounds = [liu_layland_bound(n) for n in range(1, 20)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)
+
+
+def make_core(utilizations, periods=None):
+    periods = periods or [10_000 * (i + 1) for i in range(len(utilizations))]
+    return TaskSet(
+        Task(f"T{i}", p, u * p, "P1", i)
+        for i, (u, p) in enumerate(zip(utilizations, periods))
+    )
+
+
+class TestTests:
+    def test_underloaded_passes_both(self):
+        tasks = make_core([0.2, 0.2])
+        assert liu_layland_test(tasks, "P1")
+        assert hyperbolic_test(tasks, "P1")
+
+    def test_hyperbolic_dominates_ll(self):
+        # U = {0.5, 0.33}: total 0.83 exceeds the LL bound (0.8284) but
+        # the hyperbolic product 1.5 * 1.33 = 1.995 <= 2 passes.
+        tasks = make_core([0.5, 0.33])
+        assert not liu_layland_test(tasks, "P1")
+        assert hyperbolic_test(tasks, "P1")
+
+    def test_overloaded_fails_both(self):
+        tasks = make_core([0.6, 0.6])
+        assert not liu_layland_test(tasks, "P1")
+        assert not hyperbolic_test(tasks, "P1")
+
+    def test_empty_core_trivially_schedulable(self):
+        tasks = make_core([0.5])
+        assert liu_layland_test(tasks, "P2")
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_sufficient_tests_sound_vs_rta(self, seed):
+        """Whenever a sufficient test passes, exact RTA must agree."""
+        tasks = generate_taskset(
+            WorkloadSpec(
+                num_tasks=5,
+                num_cores=1,
+                total_utilization=0.9,
+                periods_ms=(5, 10, 20, 50),
+                seed=seed,
+            )
+        )
+        for test in (liu_layland_test, hyperbolic_test):
+            if test(tasks, "P1"):
+                analysis = analyze_core(tasks, "P1")
+                assert all(entry.schedulable for entry in analysis.values())
+
+
+class TestQuickSchedulability:
+    def test_verdicts(self):
+        platform = Platform.symmetric(2)
+        tasks = TaskSet(
+            [
+                Task("EASY", 10_000, 1_000.0, "P1", 0),
+                Task("H1", 10_000, 5_000.0, "P2", 0),
+                Task("H2", 20_000, 6_600.0, "P2", 1),
+            ]
+        )
+        app = Application(platform, tasks, [])
+        verdicts = quick_schedulability(app)
+        assert verdicts["P1"] == "LL"
+        assert verdicts["P2"] == "hyperbolic"
+
+    def test_needs_rta(self):
+        platform = Platform.symmetric(1)
+        tasks = TaskSet(
+            [
+                Task("H1", 10_000, 5_000.0, "P1", 0),
+                Task("H2", 20_000, 9_000.0, "P1", 1),
+            ]
+        )
+        app = Application(platform, tasks, [])
+        assert quick_schedulability(app)["P1"] == "needs-RTA"

@@ -1,0 +1,117 @@
+"""Tests for the Giotto baselines and latency profiles."""
+
+import pytest
+
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    all_profiles,
+    giotto_cpu_profile,
+    giotto_dma_a_profile,
+    giotto_dma_b_profile,
+    proposed_profile,
+)
+from repro.let.giotto import giotto_order
+from repro.let.grouping import active_instants
+
+
+@pytest.fixture
+def result(fig1_app):
+    return LetDmaFormulation(
+        fig1_app, FormulationConfig(objective=Objective.MIN_DELAY_RATIO)
+    ).solve()
+
+
+class TestGiottoCpu:
+    def test_everyone_waits_the_same(self, fig1_app):
+        profile = giotto_cpu_profile(fig1_app)
+        for latencies in profile.per_instant.values():
+            assert len(set(latencies.values())) == 1
+
+    def test_total_is_sum_of_copies(self, fig1_app):
+        profile = giotto_cpu_profile(fig1_app)
+        cpu = fig1_app.platform.cpu_copy
+        expected = sum(
+            cpu.copy_duration_us(c.size_bytes(fig1_app))
+            for c in giotto_order(fig1_app, 0)
+        )
+        assert profile.per_instant[0]["t1"] == pytest.approx(expected)
+
+    def test_all_released_tasks_covered(self, fig1_app):
+        profile = giotto_cpu_profile(fig1_app)
+        assert set(profile.per_instant[0]) == {t.name for t in fig1_app.tasks}
+
+
+class TestGiottoDmaA:
+    def test_per_label_overhead_paid(self, fig1_app):
+        profile = giotto_dma_a_profile(fig1_app)
+        dma = fig1_app.platform.dma
+        comms = giotto_order(fig1_app, 0)
+        expected = sum(
+            dma.transfer_duration_us(c.size_bytes(fig1_app)) for c in comms
+        )
+        assert profile.per_instant[0]["t2"] == pytest.approx(expected)
+
+    def test_dma_a_never_beats_dma_b(self, fig1_app, result):
+        """Merging contiguous runs can only reduce total overhead."""
+        a = giotto_dma_a_profile(fig1_app)
+        b = giotto_dma_b_profile(fig1_app, result)
+        for task in a.worst_case:
+            assert b.worst_case[task] <= a.worst_case[task] + 1e-9
+
+
+class TestGiottoDmaB:
+    def test_merges_contiguous_runs(self, fig1_app, result):
+        """With the MILP layout at least one pair of writes from M1 is
+        contiguous, so DMA-B must pay fewer overheads than DMA-A."""
+        a = giotto_dma_a_profile(fig1_app)
+        b = giotto_dma_b_profile(fig1_app, result)
+        assert b.worst_case["t1"] < a.worst_case["t1"]
+
+
+class TestProposedProfile:
+    def test_matches_result_latencies(self, fig1_app, result):
+        profile = proposed_profile(fig1_app, result)
+        assert profile.per_instant[0] == result.latencies_at(fig1_app, 0)
+
+    def test_proposed_beats_giotto_dma_for_everyone(self, fig1_app, result):
+        """Same DMA cost model, but tasks stop waiting for unrelated
+        communications: the proposed protocol can only improve on
+        Giotto-DMA-A."""
+        ours = proposed_profile(fig1_app, result)
+        theirs = giotto_dma_a_profile(fig1_app)
+        for task in ours.worst_case:
+            assert ours.worst_case[task] <= theirs.worst_case[task] + 1e-9
+
+    def test_ratio_to(self, fig1_app, result):
+        profiles = all_profiles(fig1_app, result)
+        ratios = profiles["proposed"].ratio_to(profiles["giotto-dma-a"])
+        assert set(ratios) == {t.name for t in fig1_app.tasks}
+        assert all(0 < r <= 1 + 1e-9 for r in ratios.values())
+
+    def test_ratio_skips_zero_baseline(self, fig1_app, result):
+        from repro.core.baselines import LatencyProfile
+
+        ours = proposed_profile(fig1_app, result)
+        zero = LatencyProfile("zero", worst_case={t: 0.0 for t in ours.worst_case})
+        assert ours.ratio_to(zero) == {}
+
+
+class TestMultiratePorfiles:
+    def test_skips_reflected_in_profiles(self, multirate_app):
+        result = LetDmaFormulation(multirate_app, FormulationConfig()).solve()
+        profiles = all_profiles(multirate_app, result)
+        for profile in profiles.values():
+            assert set(profile.per_instant) == set(active_instants(multirate_app))
+
+    def test_worst_case_is_max_over_instants(self, multirate_app):
+        result = LetDmaFormulation(multirate_app, FormulationConfig()).solve()
+        profile = proposed_profile(multirate_app, result)
+        for task in multirate_app.tasks:
+            observed = [
+                latencies[task.name]
+                for latencies in profile.per_instant.values()
+                if task.name in latencies
+            ]
+            assert profile.worst_case[task.name] == pytest.approx(max(observed))

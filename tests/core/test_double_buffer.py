@@ -1,0 +1,131 @@
+"""Tests for intra-core double buffering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.double_buffer import (
+    DoubleBuffer,
+    DoubleBufferManager,
+    intra_core_shared_labels,
+)
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+periods = st.sampled_from([2_000, 4_000, 5_000, 6_000, 10_000, 12_000])
+
+
+def same_core_app(producer_period, reader_period, extra_reader_period=None):
+    platform = Platform.symmetric(2)
+    tasks = [
+        Task("W", producer_period, producer_period * 0.05, "P1", 0),
+        Task("R", reader_period, reader_period * 0.05, "P1", 1),
+    ]
+    readers = ["R"]
+    if extra_reader_period is not None:
+        tasks.append(Task("R2", extra_reader_period, extra_reader_period * 0.05, "P1", 2))
+        readers.append("R2")
+    return Application(
+        platform,
+        TaskSet(tasks),
+        [Label("x", 64, "W", tuple(readers))],
+    )
+
+
+class TestIntraCoreDetection:
+    def test_same_core_label_detected(self):
+        app = same_core_app(5_000, 10_000)
+        assert [l.name for l in intra_core_shared_labels(app)] == ["x"]
+
+    def test_cross_core_label_excluded(self, simple_app):
+        assert intra_core_shared_labels(simple_app) == []
+
+    def test_mixed_readers_counted_once(self):
+        platform = Platform.symmetric(2)
+        tasks = TaskSet(
+            [
+                Task("W", 5_000, 100.0, "P1", 0),
+                Task("SAME", 5_000, 100.0, "P1", 1),
+                Task("OTHER", 5_000, 100.0, "P2", 0),
+            ]
+        )
+        app = Application(
+            platform, tasks, [Label("x", 8, "W", ("SAME", "OTHER"))]
+        )
+        assert [l.name for l in intra_core_shared_labels(app)] == ["x"]
+        # And the inter-core machinery still sees it for OTHER.
+        assert [l.name for l in app.shared_labels] == ["x"]
+
+
+class TestDoubleBuffer:
+    def test_initial_state(self):
+        buffer = DoubleBuffer("x")
+        assert buffer.read() == -1
+
+    def test_stage_then_publish(self):
+        buffer = DoubleBuffer("x")
+        buffer.stage(0)
+        assert buffer.read() == -1  # not yet visible
+        buffer.publish()
+        assert buffer.read() == 0
+
+    def test_double_publish_swaps_back(self):
+        buffer = DoubleBuffer("x")
+        buffer.stage(3)
+        buffer.publish()
+        buffer.publish()  # swap back without a new stage
+        assert buffer.read() == -1
+        assert buffer.swaps == 2
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ValueError):
+            DoubleBuffer("x").stage(-1)
+
+
+class TestManager:
+    def test_oversampled_producer_publications_sparse(self):
+        # Producer 5 ms, reader 10 ms: publish every second release.
+        app = same_core_app(5_000, 10_000)
+        manager = DoubleBufferManager(app)
+        assert manager.publication_instants("x") == [0]  # within lcm=10ms
+
+    def test_observed_version_progression(self):
+        app = same_core_app(5_000, 5_000)
+        manager = DoubleBufferManager(app)
+        assert manager.observed_version("x", 0) == -1
+        assert manager.observed_version("x", 5_000) == 0
+        assert manager.observed_version("x", 10_000) == 1
+
+    def test_slow_reader_sees_latest_finished(self):
+        app = same_core_app(5_000, 20_000)
+        manager = DoubleBufferManager(app)
+        # At t=20ms the producer finished jobs 0..2 (job 3 completes at
+        # t=20ms boundary: the release at 20ms publishes job 3).
+        assert manager.observed_version("x", 20_000) == 3
+
+    def test_unknown_label_rejected(self):
+        app = same_core_app(5_000, 10_000)
+        manager = DoubleBufferManager(app)
+        with pytest.raises(KeyError):
+            manager.observed_version("nope", 0)
+
+    @given(producer_period=periods, reader_period=periods)
+    @settings(max_examples=30, deadline=None)
+    def test_value_determinism_holds(self, producer_period, reader_period):
+        """The fundamental property: skipping publications never
+        changes what a reader observes at its releases."""
+        app = same_core_app(producer_period, reader_period)
+        manager = DoubleBufferManager(app)
+        assert manager.verify_value_determinism() == []
+
+    @given(
+        producer_period=periods,
+        reader_period=periods,
+        extra_period=periods,
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_determinism_with_two_readers(
+        self, producer_period, reader_period, extra_period
+    ):
+        app = same_core_app(producer_period, reader_period, extra_period)
+        manager = DoubleBufferManager(app)
+        assert manager.verify_value_determinism() == []

@@ -1,0 +1,65 @@
+"""Model-based testing of the DoubleBuffer state machine.
+
+Hypothesis drives random stage/publish sequences against a trivial
+reference model (two named cells and a pointer); the production class
+must agree after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.double_buffer import DoubleBuffer
+
+
+class ReferenceModel:
+    """Obviously-correct two-cell model."""
+
+    def __init__(self):
+        self.cells = [-1, -1]
+        self.front = 0
+
+    def stage(self, version):
+        self.cells[1 - self.front] = version
+
+    def publish(self):
+        self.front = 1 - self.front
+
+    def read(self):
+        return self.cells[self.front]
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("stage"), st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("publish"), st.none()),
+    ),
+    max_size=40,
+)
+
+
+class TestAgainstReference:
+    @given(ops=operations)
+    @settings(max_examples=100, deadline=None)
+    def test_trace_equivalence(self, ops):
+        real = DoubleBuffer("x")
+        model = ReferenceModel()
+        for op, argument in ops:
+            if op == "stage":
+                real.stage(argument)
+                model.stage(argument)
+            else:
+                real.publish()
+                model.publish()
+            assert real.read() == model.read()
+
+    @given(ops=operations)
+    @settings(max_examples=50, deadline=None)
+    def test_swap_count(self, ops):
+        real = DoubleBuffer("x")
+        publishes = sum(1 for op, _ in ops if op == "publish")
+        for op, argument in ops:
+            if op == "stage":
+                real.stage(argument)
+            else:
+                real.publish()
+        assert real.swaps == publishes

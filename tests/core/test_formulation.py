@@ -1,0 +1,219 @@
+"""Tests for the MILP formulation (Constraints 1-10, objectives)."""
+
+import pytest
+
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    verify_allocation,
+)
+from repro.let.grouping import communications_at
+from repro.milp import SolveStatus
+from repro.model import Application, DmaParameters, Label, Platform, Task, TaskSet
+
+
+def solve(app, objective=Objective.NONE, **kwargs):
+    config = FormulationConfig(objective=objective, **kwargs)
+    return LetDmaFormulation(app, config).solve()
+
+
+class TestBasics:
+    def test_simple_app_feasible(self, simple_app):
+        result = solve(simple_app)
+        assert result.status is SolveStatus.OPTIMAL
+        verify_allocation(simple_app, result).raise_if_failed()
+
+    def test_no_communication_rejected(self, platform2):
+        tasks = TaskSet([Task("A", 5_000, 100.0, "P1", 0)])
+        app = Application(platform2, tasks, [])
+        with pytest.raises(ValueError, match="no inter-core"):
+            LetDmaFormulation(app)
+
+    def test_every_comm_in_exactly_one_transfer(self, fig1_app):
+        result = solve(fig1_app)
+        scheduled = [c for tr in result.transfers for c in tr.communications]
+        assert sorted(scheduled, key=lambda c: c.sort_key) == communications_at(
+            fig1_app, 0
+        )
+        assert len(set(scheduled)) == len(scheduled)
+
+    def test_transfer_indices_compact(self, fig1_app):
+        result = solve(fig1_app)
+        assert [tr.index for tr in result.transfers] == list(
+            range(len(result.transfers))
+        )
+
+    def test_transfers_route_homogeneous(self, fig1_app):
+        result = solve(fig1_app)
+        for transfer in result.transfers:
+            routes = {c.route(fig1_app) for c in transfer.communications}
+            assert len(routes) == 1
+
+    def test_max_transfers_one_infeasible_when_order_needed(self, simple_app):
+        # One write must precede one read; a single transfer slot
+        # cannot host both (Constraint 8 forces distinct indices).
+        result = solve(simple_app, max_transfers=1)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_invalid_max_transfers(self, simple_app):
+        with pytest.raises(ValueError):
+            LetDmaFormulation(simple_app, FormulationConfig(max_transfers=0))
+
+
+class TestLetOrdering:
+    def test_write_precedes_read_same_label(self, simple_app):
+        result = solve(simple_app)
+        index = {}
+        for transfer in result.transfers:
+            for comm in transfer.communications:
+                index[str(comm)] = transfer.index
+        assert index["W(PROD,x)"] < index["R(x,CONS)"]
+
+    def test_task_writes_precede_its_reads(self, fig1_app):
+        # t1 writes l12 and reads l61; t6 writes l61 and reads l56.
+        result = solve(fig1_app)
+        index = {}
+        for transfer in result.transfers:
+            for comm in transfer.communications:
+                index[str(comm)] = transfer.index
+        assert index["W(t1,l12)"] < index["R(l61,t1)"]
+        assert index["W(t6,l61)"] < index["R(l56,t6)"]
+
+    def test_verifier_passes_all_objectives(self, fig1_app):
+        for objective in Objective:
+            result = solve(fig1_app, objective)
+            assert result.feasible, objective
+            verify_allocation(fig1_app, result).raise_if_failed()
+
+
+class TestObjectives:
+    def test_min_transfers_no_worse_than_feasibility(self, fig1_app):
+        base = solve(fig1_app, Objective.NONE)
+        optimized = solve(fig1_app, Objective.MIN_TRANSFERS)
+        assert optimized.num_transfers <= base.num_transfers
+
+    def test_min_transfers_reaches_theoretical_bound(self, fig1_app):
+        # Fig. 1: writes from M1 can merge into one transfer; the chain
+        # W(t6,l61) -> R(l61,t1) and W(*) -> R(*) needs >= 4 transfers
+        # (two directions x two memories, with causality).
+        optimized = solve(fig1_app, Objective.MIN_TRANSFERS)
+        assert optimized.num_transfers == 4
+
+    def test_min_delay_ratio_improves_worst_ratio(self, fig1_app):
+        base = solve(fig1_app, Objective.NONE)
+        optimized = solve(fig1_app, Objective.MIN_DELAY_RATIO)
+
+        def worst_ratio(result):
+            latencies = result.latencies_at(fig1_app, 0)
+            return max(
+                latency / fig1_app.tasks[name].period_us
+                for name, latency in latencies.items()
+            )
+
+        assert worst_ratio(optimized) <= worst_ratio(base) + 1e-9
+
+    def test_objective_value_matches_extraction(self, fig1_app):
+        result = solve(fig1_app, Objective.MIN_DELAY_RATIO)
+        latencies = result.latencies_at(fig1_app, 0)
+        worst = max(
+            latency / fig1_app.tasks[name].period_us
+            for name, latency in latencies.items()
+        )
+        assert result.objective_value == pytest.approx(worst, rel=1e-4)
+
+
+class TestDeadlines:
+    def test_tight_deadline_shapes_schedule(self, fig1_app):
+        # Give t2 a deadline only achievable if its read is early.
+        dma = fig1_app.platform.dma
+        tight = 2 * dma.per_transfer_overhead_us + 0.002 * 800
+        tasks = fig1_app.tasks.with_acquisition_deadlines({"t2": tight})
+        app = Application(fig1_app.platform, tasks, fig1_app.labels)
+        result = solve(app)
+        assert result.feasible
+        assert result.latencies_at(app, 0)["t2"] <= tight + 1e-6
+
+    def test_impossible_deadline_infeasible(self, fig1_app):
+        tasks = fig1_app.tasks.with_acquisition_deadlines({"t2": 1.0})
+        app = Application(fig1_app.platform, tasks, fig1_app.labels)
+        result = solve(app)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_deadline_ignored_when_disabled(self, fig1_app):
+        tasks = fig1_app.tasks.with_acquisition_deadlines({"t2": 1.0})
+        app = Application(fig1_app.platform, tasks, fig1_app.labels)
+        result = solve(app, enforce_deadlines=False)
+        assert result.feasible
+
+
+class TestProperty3Constraint:
+    def test_separation_enforced(self):
+        """With a huge per-transfer overhead relative to the period,
+        Property 3 cannot hold and the model must be infeasible."""
+        platform = Platform.symmetric(
+            2, dma=DmaParameters(programming_overhead_us=400.0, isr_overhead_us=400.0)
+        )
+        tasks = TaskSet(
+            [
+                Task("W", 1_000, 100.0, "P1", 0),
+                Task("R", 1_000, 100.0, "P2", 0),
+            ]
+        )
+        app = Application(platform, tasks, [Label("x", 8, "W", ("R",))])
+        # Two transfers are required (write then read) -> 1600 us of
+        # overhead per 1000 us period: Property 3 fails.
+        result = solve(app)
+        assert result.status is SolveStatus.INFEASIBLE
+
+    def test_separation_disabled_allows_solution(self):
+        platform = Platform.symmetric(
+            2, dma=DmaParameters(programming_overhead_us=400.0, isr_overhead_us=400.0)
+        )
+        tasks = TaskSet(
+            [
+                Task("W", 1_000, 100.0, "P1", 0),
+                Task("R", 1_000, 100.0, "P2", 0),
+            ]
+        )
+        app = Application(platform, tasks, [Label("x", 8, "W", ("R",))])
+        result = solve(app, enforce_property3=False)
+        assert result.feasible
+
+
+class TestMultirate:
+    def test_multirate_verifies(self, multirate_app):
+        result = solve(multirate_app, Objective.MIN_DELAY_RATIO)
+        assert result.feasible
+        verify_allocation(multirate_app, result).raise_if_failed()
+
+    def test_subset_contiguity_at_reduced_instants(self, multirate_app):
+        """At instants where only part of a transfer's communications
+        occur, the reduced run must still be contiguous (Theorem 1)."""
+        result = solve(multirate_app, Objective.MIN_TRANSFERS)
+        assert result.feasible
+        # The verifier checks exactly this for every t in T*.
+        verify_allocation(multirate_app, result).raise_if_failed()
+
+
+class TestSameLabelTwoConsumers:
+    def test_two_same_core_consumers_get_distinct_transfers(self, platform2):
+        tasks = TaskSet(
+            [
+                Task("W", 10_000, 100.0, "P1", 0),
+                Task("R1", 10_000, 100.0, "P2", 0),
+                Task("R2", 10_000, 100.0, "P2", 1),
+            ]
+        )
+        app = Application(
+            platform2, tasks, [Label("x", 64, "W", ("R1", "R2"))]
+        )
+        result = solve(app)
+        assert result.feasible
+        verify_allocation(app, result).raise_if_failed()
+        reads = [
+            tr for tr in result.transfers
+            if any(c.is_read for c in tr.communications)
+        ]
+        # The two reads of the same label cannot share a transfer.
+        assert len(reads) == 2

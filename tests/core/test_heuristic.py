@@ -1,0 +1,145 @@
+"""Tests for the greedy allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    greedy_allocation,
+    verify_allocation,
+)
+from repro.let.grouping import communications_at
+from repro.model import Application, Label, Platform, Task, TaskSet
+from repro.workloads import WorkloadSpec, generate_application
+
+
+class TestFeasibility:
+    def test_simple_app(self, simple_app):
+        result = greedy_allocation(simple_app)
+        verify_allocation(simple_app, result).raise_if_failed()
+
+    def test_fig1_app(self, fig1_app):
+        result = greedy_allocation(fig1_app)
+        verify_allocation(fig1_app, result).raise_if_failed()
+
+    def test_multirate_app(self, multirate_app):
+        result = greedy_allocation(multirate_app)
+        verify_allocation(multirate_app, result).raise_if_failed()
+
+    def test_no_merge_mode(self, fig1_app):
+        merged = greedy_allocation(fig1_app, merge=True)
+        unmerged = greedy_allocation(fig1_app, merge=False)
+        verify_allocation(fig1_app, unmerged).raise_if_failed()
+        assert unmerged.num_transfers == len(communications_at(fig1_app, 0))
+        assert merged.num_transfers <= unmerged.num_transfers
+
+    def test_empty_app_rejected(self, platform2):
+        tasks = TaskSet([Task("A", 5_000, 100.0, "P1", 0)])
+        app = Application(platform2, tasks, [])
+        with pytest.raises(ValueError):
+            greedy_allocation(app)
+
+
+class TestOrderingQuality:
+    def test_short_period_tasks_ready_early(self, platform2):
+        """The greedy order visits tasks by period: the fast consumer's
+        read must land in an earlier transfer than the slow one's."""
+        tasks = TaskSet(
+            [
+                Task("W", 5_000, 100.0, "P1", 0),
+                Task("FASTR", 5_000, 100.0, "P2", 0),
+                Task("SLOWR", 40_000, 100.0, "P2", 1),
+            ]
+        )
+        app = Application(
+            platform2,
+            tasks,
+            [
+                Label("xf", 64, "W", ("FASTR",)),
+                Label("xs", 64, "W", ("SLOWR",)),
+            ],
+        )
+        result = greedy_allocation(app)
+        verify_allocation(app, result).raise_if_failed()
+        latencies = result.latencies_at(app, 0)
+        assert latencies["FASTR"] <= latencies["SLOWR"]
+
+    def test_merging_reduces_transfers(self, platform2):
+        """A writer producing several labels for the same consumer
+        emits them back to back: the greedy allocator must merge those
+        writes (and the matching reads) into shared transfers."""
+        tasks = TaskSet(
+            [
+                Task("W", 10_000, 100.0, "P1", 0),
+                Task("R", 10_000, 100.0, "P2", 0),
+            ]
+        )
+        app = Application(
+            platform2,
+            tasks,
+            [
+                Label("a", 64, "W", ("R",)),
+                Label("b", 64, "W", ("R",)),
+                Label("c", 64, "W", ("R",)),
+            ],
+        )
+        result = greedy_allocation(app)
+        verify_allocation(app, result).raise_if_failed()
+        # 6 communications collapse to one write + one read transfer.
+        assert result.num_transfers == 2
+
+
+class TestAgainstMilp:
+    def test_milp_never_worse_on_transfer_count(self, fig1_app):
+        milp = LetDmaFormulation(
+            fig1_app, FormulationConfig(objective=Objective.MIN_TRANSFERS)
+        ).solve()
+        greedy = greedy_allocation(fig1_app)
+        assert milp.num_transfers <= greedy.num_transfers
+
+    def test_milp_never_worse_on_delay_ratio(self, fig1_app):
+        milp = LetDmaFormulation(
+            fig1_app, FormulationConfig(objective=Objective.MIN_DELAY_RATIO)
+        ).solve()
+        greedy = greedy_allocation(fig1_app)
+
+        def worst_ratio(result):
+            return max(
+                lat / fig1_app.tasks[name].period_us
+                for name, lat in result.latencies_at(fig1_app, 0).items()
+            )
+
+        assert worst_ratio(milp) <= worst_ratio(greedy) + 1e-9
+
+
+class TestRandomizedFeasibility:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        num_tasks=st.integers(min_value=2, max_value=10),
+        density=st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_always_verifies(self, seed, num_tasks, density):
+        spec = WorkloadSpec(
+            num_tasks=num_tasks,
+            num_cores=2,
+            total_utilization=0.6,
+            communication_density=density,
+            seed=seed,
+            periods_ms=(5, 10, 20, 50, 100),
+        )
+        app = generate_application(spec)
+        result = greedy_allocation(app)
+        report = verify_allocation(app, result)
+        # Property 3 may legitimately fail for extreme workloads (the
+        # heuristic does not optimize for it); everything structural
+        # must always hold.
+        structural = [
+            v
+            for v in report.violations
+            if "Property 3" not in v and "deadline" not in v
+        ]
+        assert structural == []

@@ -1,0 +1,122 @@
+"""Tests for the transfer-order local search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    greedy_allocation,
+    verify_allocation,
+)
+from repro.core.local_search import improve_transfer_order, worst_delay_ratio
+from repro.core.solution import AllocationResult
+from repro.milp import SolveStatus
+from repro.model import Application, Label, Platform, Task, TaskSet
+from repro.workloads import WorkloadSpec, generate_application
+
+
+@pytest.fixture
+def ordering_matters_app():
+    """One producer feeding a huge label to a slow consumer and a tiny
+    label to a fast consumer.  The greedy allocator schedules *all* of
+    the producer's writes when it is first needed — the huge write
+    lands before the fast consumer's tiny read, inflating its latency.
+    Reordering the independent huge write behind the tiny read is
+    exactly the move the local search must find."""
+    platform = Platform.symmetric(2)
+    tasks = TaskSet(
+        [
+            Task("WBOTH", 40_000, 500.0, "P1", 0),
+            # SLOW's period differs from FAST's so the two labels have
+            # different presence patterns and the greedy allocator
+            # cannot merge the two writes into one transfer.
+            Task("SLOW", 80_000, 500.0, "P2", 0),
+            Task("FAST", 5_000, 500.0, "P2", 1),
+        ]
+    )
+    labels = [
+        Label("big", 50_000, "WBOTH", ("SLOW",)),
+        Label("small", 64, "WBOTH", ("FAST",)),
+    ]
+    return Application(platform, tasks, labels)
+
+
+class TestImprovement:
+    def test_never_worse(self, fig1_app):
+        greedy = greedy_allocation(fig1_app)
+        improved = improve_transfer_order(fig1_app, greedy)
+        assert worst_delay_ratio(fig1_app, improved) <= worst_delay_ratio(
+            fig1_app, greedy
+        ) + 1e-12
+
+    def test_still_verifies(self, fig1_app):
+        improved = improve_transfer_order(fig1_app, greedy_allocation(fig1_app))
+        verify_allocation(fig1_app, improved).raise_if_failed()
+
+    def test_input_not_modified(self, fig1_app):
+        greedy = greedy_allocation(fig1_app)
+        before = [t.index for t in greedy.transfers]
+        improve_transfer_order(fig1_app, greedy)
+        assert [t.index for t in greedy.transfers] == before
+
+    def test_indices_compact_after_search(self, multirate_app):
+        improved = improve_transfer_order(
+            multirate_app, greedy_allocation(multirate_app)
+        )
+        assert [t.index for t in improved.transfers] == list(
+            range(len(improved.transfers))
+        )
+
+    def test_infeasible_rejected(self, fig1_app):
+        with pytest.raises(ValueError):
+            improve_transfer_order(
+                fig1_app, AllocationResult(status=SolveStatus.INFEASIBLE)
+            )
+
+
+class TestClosesGapTowardMilp:
+    def test_strict_improvement_possible(self, ordering_matters_app):
+        app = ordering_matters_app
+        greedy = greedy_allocation(app)
+        improved = improve_transfer_order(app, greedy)
+        verify_allocation(app, improved).raise_if_failed()
+        # FAST's tiny read must not sit behind the 50 KB transfer.
+        assert worst_delay_ratio(app, improved) < worst_delay_ratio(app, greedy)
+
+    def test_milp_still_dominates(self, ordering_matters_app):
+        app = ordering_matters_app
+        milp = LetDmaFormulation(
+            app, FormulationConfig(objective=Objective.MIN_DELAY_RATIO)
+        ).solve()
+        improved = improve_transfer_order(app, greedy_allocation(app))
+        assert worst_delay_ratio(app, milp) <= worst_delay_ratio(
+            app, improved
+        ) + 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=10, deadline=None)
+    def test_random_apps_improve_and_verify(self, seed):
+        app = generate_application(
+            WorkloadSpec(
+                num_tasks=5,
+                communication_density=0.5,
+                total_utilization=0.5,
+                periods_ms=(5, 10, 20, 50),
+                seed=seed,
+            )
+        )
+        greedy = greedy_allocation(app)
+        improved = improve_transfer_order(app, greedy)
+        assert worst_delay_ratio(app, improved) <= worst_delay_ratio(
+            app, greedy
+        ) + 1e-12
+        report = verify_allocation(app, improved)
+        structural = [
+            v
+            for v in report.violations
+            if "Property 3" not in v and "deadline" not in v
+        ]
+        assert structural == []

@@ -1,0 +1,72 @@
+"""Cross-checks between the adjacency (paper) and positional (ours)
+MILP encodings of the layout problem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FormulationConfig, LetDmaFormulation, Objective, verify_allocation
+from repro.core.positional import PositionalLetDmaFormulation
+from repro.workloads import WorkloadSpec, generate_application
+
+
+def solve_both(app, objective):
+    config = FormulationConfig(objective=objective, time_limit_seconds=60)
+    paper = LetDmaFormulation(app, config).solve()
+    positional = PositionalLetDmaFormulation(app, config).solve()
+    return paper, positional
+
+
+class TestBasicAgreement:
+    def test_simple_app_both_feasible(self, simple_app):
+        paper, positional = solve_both(simple_app, Objective.NONE)
+        assert paper.feasible and positional.feasible
+        verify_allocation(simple_app, positional).raise_if_failed()
+
+    def test_fig1_min_transfers_agree(self, fig1_app):
+        paper, positional = solve_both(fig1_app, Objective.MIN_TRANSFERS)
+        assert paper.feasible and positional.feasible
+        assert paper.objective_value == pytest.approx(
+            positional.objective_value, abs=1e-6
+        )
+        assert paper.num_transfers == positional.num_transfers
+
+    def test_fig1_min_delay_agree(self, fig1_app):
+        paper, positional = solve_both(fig1_app, Objective.MIN_DELAY_RATIO)
+        assert paper.objective_value == pytest.approx(
+            positional.objective_value, rel=1e-4
+        )
+
+    def test_positional_solution_verifies(self, multirate_app):
+        _, positional = solve_both(multirate_app, Objective.MIN_DELAY_RATIO)
+        assert positional.feasible
+        verify_allocation(multirate_app, positional).raise_if_failed()
+
+    def test_infeasibility_agrees(self, simple_app):
+        config = FormulationConfig(max_transfers=1)
+        paper = LetDmaFormulation(simple_app, config).solve()
+        positional = PositionalLetDmaFormulation(simple_app, config).solve()
+        assert not paper.feasible
+        assert not positional.feasible
+
+
+class TestRandomizedAgreement:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=6, deadline=None)
+    def test_min_transfers_objectives_agree(self, seed):
+        app = generate_application(
+            WorkloadSpec(
+                num_tasks=4,
+                communication_density=0.5,
+                total_utilization=0.4,
+                periods_ms=(10, 20),
+                seed=seed,
+            )
+        )
+        paper, positional = solve_both(app, Objective.MIN_TRANSFERS)
+        assert paper.feasible == positional.feasible
+        if paper.feasible:
+            assert paper.objective_value == pytest.approx(
+                positional.objective_value, abs=1e-6
+            )
+            verify_allocation(app, positional).raise_if_failed()

@@ -1,0 +1,167 @@
+"""Tests for layout/transfer extraction and per-instant queries."""
+
+import pytest
+
+from repro.core import FormulationConfig, LetDmaFormulation, Objective
+from repro.core.solution import DmaTransfer, MemoryLayout
+from repro.let import Communication
+from repro.let.grouping import communications_at
+
+
+@pytest.fixture
+def fig1_result(fig1_app):
+    return LetDmaFormulation(
+        fig1_app, FormulationConfig(objective=Objective.MIN_TRANSFERS)
+    ).solve()
+
+
+class TestMemoryLayout:
+    @pytest.fixture
+    def layout(self):
+        return MemoryLayout(
+            memory_id="M1",
+            order=("a", "b", "c"),
+            addresses={"a": 0, "b": 100, "c": 150},
+            sizes={"a": 100, "b": 50, "c": 25},
+        )
+
+    def test_total_bytes(self, layout):
+        assert layout.total_bytes == 175
+
+    def test_position(self, layout):
+        assert layout.position("b") == 1
+
+    def test_end_address(self, layout):
+        assert layout.end_address("b") == 150
+
+    def test_contiguous_run(self, layout):
+        assert layout.is_contiguous_run(["a", "b"])
+        assert layout.is_contiguous_run(["b", "c"])
+        assert layout.is_contiguous_run([])
+        assert not layout.is_contiguous_run(["a", "c"])
+        assert not layout.is_contiguous_run(["b", "a"])  # order matters
+
+
+class TestExtractedLayouts:
+    def test_layouts_cover_all_memories(self, fig1_app, fig1_result):
+        assert set(fig1_result.layouts) == {"M1", "M2", "MG"}
+
+    def test_global_layout_holds_all_shared_labels(self, fig1_app, fig1_result):
+        assert set(fig1_result.layouts["MG"].order) == {
+            label.name for label in fig1_app.shared_labels
+        }
+
+    def test_addresses_are_packed(self, fig1_result):
+        for layout in fig1_result.layouts.values():
+            cursor = 0
+            for slot in layout.order:
+                assert layout.addresses[slot] == cursor
+                cursor += layout.sizes[slot]
+
+    def test_local_layouts_hold_copies(self, fig1_app, fig1_result):
+        m1 = fig1_result.layouts["M1"]
+        # M1 hosts copies of labels written/read by tasks on P1.
+        assert {slot.split("@")[0] for slot in m1.order} == {"l12", "l34", "l56", "l61"}
+
+
+class TestTransfers:
+    def test_transfer_duration(self, fig1_app, fig1_result):
+        dma = fig1_app.platform.dma
+        for transfer in fig1_result.transfers:
+            expected = dma.per_transfer_overhead_us + dma.copy_cost_us_per_byte * (
+                transfer.total_bytes
+            )
+            assert transfer.duration_us(fig1_app) == pytest.approx(expected)
+
+    def test_transfer_str(self, fig1_result):
+        text = str(fig1_result.transfers[0])
+        assert text.startswith("d0(")
+        assert "B)" in text
+
+    def test_transfer_communications_are_address_ordered(
+        self, fig1_app, fig1_result
+    ):
+        from repro.core.solution import _slots_of
+
+        for transfer in fig1_result.transfers:
+            layout = fig1_result.layouts[transfer.source_memory]
+            addresses = [
+                layout.addresses[_slots_of(fig1_app, c)[0]]
+                for c in transfer.communications
+            ]
+            assert addresses == sorted(addresses)
+
+    def test_source_address_matches_first_comm(self, fig1_app, fig1_result):
+        from repro.core.solution import _slots_of
+
+        for transfer in fig1_result.transfers:
+            first = transfer.communications[0]
+            layout = fig1_result.layouts[transfer.source_memory]
+            assert transfer.source_address == layout.addresses[
+                _slots_of(fig1_app, first)[0]
+            ]
+
+
+class TestPerInstantQueries:
+    def test_transfers_at_s0_equal_schedule(self, fig1_app, fig1_result):
+        at0 = fig1_result.transfers_at(fig1_app, 0)
+        assert [t.index for t in at0] == [t.index for t in fig1_result.transfers]
+
+    def test_transfers_at_quiet_instant_empty(self, fig1_app, fig1_result):
+        assert fig1_result.transfers_at(fig1_app, 1_234) == []
+
+    def test_latencies_at_monotone_in_transfer_order(self, fig1_app, fig1_result):
+        latencies = fig1_result.latencies_at(fig1_app, 0)
+        # Every communicating task has a latency, all positive.
+        assert set(latencies) == {t.name for t in fig1_app.tasks}
+        assert all(v > 0 for v in latencies.values())
+
+    def test_latency_equals_milp_accounting(self, fig1_app, fig1_result):
+        """Constraint 9's lambda accounting equals the replayed
+        protocol latency at s0 for every task."""
+        replay = fig1_result.latencies_at(fig1_app, 0)
+        for task, modeled in fig1_result.latencies_us.items():
+            assert modeled == pytest.approx(replay[task], rel=1e-6)
+
+    def test_worst_case_latencies(self, multirate_app):
+        result = LetDmaFormulation(multirate_app, FormulationConfig()).solve()
+        worst = result.worst_case_latencies(multirate_app)
+        at0 = result.latencies_at(multirate_app, 0)
+        for task, value in at0.items():
+            assert worst[task] >= value - 1e-9  # s0 is the worst (Thm 1)
+            assert worst[task] == pytest.approx(value)
+
+    def test_reduced_transfer_total_bytes(self, multirate_app):
+        result = LetDmaFormulation(multirate_app, FormulationConfig()).solve()
+        for t in (4_000, 6_000, 8_000):
+            needed = set(communications_at(multirate_app, t))
+            for transfer in result.transfers_at(multirate_app, t):
+                assert set(transfer.communications) <= needed
+                assert transfer.total_bytes == sum(
+                    c.size_bytes(multirate_app) for c in transfer.communications
+                )
+
+
+class TestInfeasibleResult:
+    def test_empty_result_queries(self, simple_app):
+        result = LetDmaFormulation(
+            simple_app, FormulationConfig(max_transfers=1)
+        ).solve()
+        assert not result.feasible
+        assert result.num_transfers == 0
+        assert result.transfers == ()
+        assert "infeasible" in result.summary()
+
+
+def test_dma_transfer_tasks():
+    transfer = DmaTransfer(
+        index=0,
+        source_memory="M1",
+        dest_memory="MG",
+        communications=(
+            Communication.write("A", "x"),
+            Communication.write("B", "y"),
+        ),
+        total_bytes=10,
+    )
+    assert transfer.tasks() == {"A", "B"}

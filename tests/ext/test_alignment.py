@@ -1,0 +1,81 @@
+"""Tests for alignment-aware allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FormulationConfig, LetDmaFormulation, verify_allocation
+from repro.ext.alignment import (
+    align_up,
+    aligned_application,
+    alignment_overhead_bytes,
+)
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(64, 32) == 64
+
+    def test_rounds_up(self):
+        assert align_up(65, 32) == 96
+
+    def test_zero(self):
+        assert align_up(0, 8) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            align_up(1, 0)
+        with pytest.raises(ValueError):
+            align_up(-1, 8)
+
+    @given(
+        value=st.integers(min_value=0, max_value=1 << 20),
+        alignment=st.sampled_from([1, 2, 4, 8, 32, 64]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_properties(self, value, alignment):
+        result = align_up(value, alignment)
+        assert result >= value
+        assert result % alignment == 0
+        assert result - value < alignment
+
+
+class TestAlignedApplication:
+    def test_sizes_padded(self, simple_app):
+        aligned = aligned_application(simple_app, 64)
+        for label in aligned.labels:
+            assert label.size_bytes % 64 == 0
+
+    def test_alignment_one_is_identity(self, simple_app):
+        assert aligned_application(simple_app, 1) is simple_app
+
+    def test_structure_preserved(self, multirate_app):
+        aligned = aligned_application(multirate_app, 32)
+        assert aligned.tasks.names == multirate_app.tasks.names
+        assert aligned.communicating_pairs() == multirate_app.communicating_pairs()
+
+    def test_overhead_accounting(self, simple_app):
+        # The single label is 64 B: aligning to 64 costs nothing, to
+        # 128 costs 64 B.
+        assert alignment_overhead_bytes(simple_app, 64) == 0
+        assert alignment_overhead_bytes(simple_app, 128) == 64
+        assert alignment_overhead_bytes(simple_app, 1) == 0
+
+    def test_aligned_solution_addresses_aligned(self, multirate_app):
+        aligned = aligned_application(multirate_app, 32)
+        result = LetDmaFormulation(aligned, FormulationConfig()).solve()
+        verify_allocation(aligned, result).raise_if_failed()
+        for layout in result.layouts.values():
+            for slot in layout.order:
+                assert layout.addresses[slot] % 32 == 0
+
+    def test_codegen_emits_aligned_addresses(self, multirate_app):
+        import re
+
+        from repro.io import generate_c_header
+
+        aligned = aligned_application(multirate_app, 64)
+        result = LetDmaFormulation(aligned, FormulationConfig()).solve()
+        header = generate_c_header(aligned, result)
+        for match in re.finditer(r"0x([0-9A-F]{8})u", header):
+            assert int(match.group(1), 16) % 64 == 0

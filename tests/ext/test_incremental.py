@@ -1,0 +1,141 @@
+"""Tests for incremental allocation extension."""
+
+import pytest
+
+from repro.core import FormulationConfig, LetDmaFormulation, verify_allocation
+from repro.ext.incremental import extend_allocation
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+
+@pytest.fixture
+def base():
+    platform = Platform.symmetric(2)
+    tasks = TaskSet(
+        [
+            Task("A", 10_000, 500.0, "P1", 0),
+            Task("B", 10_000, 500.0, "P1", 1),
+            Task("C", 10_000, 500.0, "P2", 0),
+        ]
+    )
+    labels = [
+        Label("ac", 1_000, "A", ("C",)),
+        Label("ca", 500, "C", ("A",)),
+    ]
+    app = Application(platform, tasks, labels)
+    result = LetDmaFormulation(app, FormulationConfig()).solve()
+    verify_allocation(app, result).raise_if_failed()
+    return app, result
+
+
+def with_extra_labels(app, extra):
+    return Application(app.platform, app.tasks, list(app.labels) + extra)
+
+
+class TestCompatibility:
+    def test_task_set_must_match(self, base):
+        app, result = base
+        other = Application(
+            app.platform,
+            TaskSet([Task("A", 10_000, 500.0, "P1", 0)]),
+            [],
+        )
+        with pytest.raises(ValueError, match="task set"):
+            extend_allocation(app, other, result)
+
+    def test_existing_label_cannot_change(self, base):
+        app, result = base
+        mutated = Application(
+            app.platform,
+            app.tasks,
+            [Label("ac", 2_000, "A", ("C",)), Label("ca", 500, "C", ("A",))],
+        )
+        with pytest.raises(ValueError, match="changed or removed"):
+            extend_allocation(app, mutated, result)
+
+    def test_no_new_labels_is_identity(self, base):
+        app, result = base
+        assert extend_allocation(app, app, result) is result
+
+
+class TestExtension:
+    def test_new_label_verifies(self, base):
+        app, result = base
+        new_app = with_extra_labels(app, [Label("bc", 750, "B", ("C",))])
+        extended = extend_allocation(app, new_app, result)
+        report = verify_allocation(new_app, extended)
+        structural = [
+            v for v in report.violations if "Property 3" not in v
+        ]
+        assert structural == []
+
+    def test_existing_addresses_preserved(self, base):
+        app, result = base
+        new_app = with_extra_labels(app, [Label("bc", 750, "B", ("C",))])
+        extended = extend_allocation(app, new_app, result)
+        for memory_id, layout in result.layouts.items():
+            for slot in layout.order:
+                assert (
+                    extended.layouts[memory_id].addresses[slot]
+                    == layout.addresses[slot]
+                )
+
+    def test_new_slots_appended_after_existing(self, base):
+        app, result = base
+        new_app = with_extra_labels(app, [Label("bc", 750, "B", ("C",))])
+        extended = extend_allocation(app, new_app, result)
+        mg = extended.layouts["MG"]
+        assert mg.order[-1] == "bc"
+        assert mg.addresses["bc"] == result.layouts["MG"].total_bytes
+
+    def test_new_comms_are_singletons(self, base):
+        app, result = base
+        new_app = with_extra_labels(app, [Label("bc", 750, "B", ("C",))])
+        extended = extend_allocation(app, new_app, result)
+        new_transfers = [
+            t
+            for t in extended.transfers
+            if any(c.label == "bc" for c in t.communications)
+        ]
+        assert len(new_transfers) == 2  # one write, one read
+        assert all(len(t.communications) == 1 for t in new_transfers)
+
+    def test_write_before_consumer_read(self, base):
+        """Splicing keeps Property 1 for the *writer*: B's new write
+        lands before any transfer carrying a read of B."""
+        app, result = base
+        new_app = with_extra_labels(
+            app,
+            [
+                Label("cb", 300, "C", ("B",)),  # B now reads too
+                Label("bc", 750, "B", ("C",)),
+            ],
+        )
+        extended = extend_allocation(app, new_app, result)
+        report = verify_allocation(new_app, extended)
+        structural = [v for v in report.violations if "Property 3" not in v]
+        assert structural == []
+
+    def test_capacity_guard_is_defense_in_depth(self, base):
+        """Over-capacity extensions are already rejected when the new
+        Application is constructed (model-level validation); the
+        allocator's own check only fires for hand-built results."""
+        app, result = base
+        tiny_platform = Platform.symmetric(
+            2, local_memory_bytes=2_000, global_memory_bytes=2_000
+        )
+        with pytest.raises(ValueError, match="over capacity"):
+            Application(
+                tiny_platform,
+                app.tasks,
+                list(app.labels) + [Label("huge", 900, "B", ("C",))],
+            )
+
+    def test_infeasible_base_rejected(self, base):
+        app, _ = base
+        from repro.core.solution import AllocationResult
+        from repro.milp import SolveStatus
+
+        with pytest.raises(ValueError, match="infeasible"):
+            extend_allocation(
+                app, app, AllocationResult(status=SolveStatus.INFEASIBLE)
+            )

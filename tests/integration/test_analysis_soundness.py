@@ -1,0 +1,139 @@
+"""Soundness cross-checks between the analysis and the simulator.
+
+The RTA bound with the measured acquisition latencies as jitter must
+upper-bound every response time the discrete-event simulator observes —
+for the proposed protocol and for the Giotto baselines.  Any violation
+would mean either the analysis is optimistic or the simulator is wrong;
+both are bugs this test exists to catch.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze, let_task_interference
+from repro.core import FormulationConfig, LetDmaFormulation, Objective
+from repro.sim import simulate, timeline_for
+from repro.workloads import WorkloadSpec, generate_application
+
+
+def build_solved(seed, num_tasks=4):
+    app = generate_application(
+        WorkloadSpec(
+            num_tasks=num_tasks,
+            communication_density=0.4,
+            total_utilization=0.4,
+            periods_ms=(5, 10, 20),
+            seed=seed,
+        )
+    )
+    result = LetDmaFormulation(
+        app,
+        FormulationConfig(
+            objective=Objective.MIN_DELAY_RATIO, time_limit_seconds=60
+        ),
+    ).solve()
+    return app, result
+
+
+class TestRtaUpperBoundsSimulation:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=6, deadline=None)
+    def test_proposed_protocol(self, seed):
+        app, result = build_solved(seed)
+        if not result.feasible:
+            return
+        latencies = result.worst_case_latencies(app)
+        interference = let_task_interference(app, result)
+        report = analyze(app, jitters=latencies, interference=interference)
+        sim = simulate(app, timeline_for("proposed", app, result))
+        for task in app.tasks:
+            bound = report.per_task[task.name].total_response_us
+            observed = sim.worst_response_us(task.name)
+            if bound is None:
+                continue  # analysis gave up; nothing claimed
+            assert observed is not None
+            assert observed <= bound + 1e-6, (
+                task.name,
+                observed,
+                bound,
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=4, deadline=None)
+    def test_giotto_cpu_with_blackout_blocking(self, seed):
+        """For Giotto-CPU the copies steal CPU; the RTA must use the
+        copy work as extra interference.  We conservatively bound it by
+        treating each instant's full copy time as jitter on every task
+        AND as a blocking-style interference source; the simulated
+        response must stay below the resulting bound whenever the
+        analysis produces one."""
+        from repro.analysis.response_time import InterferenceSource
+        from repro.core import giotto_cpu_profile
+
+        app, result = build_solved(seed)
+        if not result.feasible:
+            return
+        profile = giotto_cpu_profile(app)
+        jitters = profile.worst_case
+        timeline = timeline_for("giotto-cpu", app, result)
+        # Worst per-instant busy time per core as a sporadic interferer
+        # with the smallest gap between active instants.
+        from repro.let.grouping import active_instants
+
+        instants = active_instants(app)
+        gaps = [b - a for a, b in zip(instants, instants[1:])]
+        gaps.append(app.tasks.hyperperiod_us() + instants[0] - instants[-1])
+        min_gap = min(gaps) if gaps else app.tasks.hyperperiod_us()
+        interference = {}
+        for core in app.platform.cores:
+            busy = timeline.busy_us(core.core_id)
+            worst_burst = max(
+                (
+                    end - start
+                    for start, end in timeline.blackouts.get(core.core_id, [])
+                ),
+                default=0.0,
+            )
+            del busy
+            if worst_burst > 0:
+                interference[core.core_id] = [
+                    InterferenceSource(
+                        name=f"copy[{core.core_id}]",
+                        wcet_us=worst_burst,
+                        min_interarrival_us=max(min_gap, worst_burst),
+                    )
+                ]
+        report = analyze(app, jitters=jitters, interference=interference)
+        sim = simulate(app, timeline)
+        for task in app.tasks:
+            bound = report.per_task[task.name].total_response_us
+            observed = sim.worst_response_us(task.name)
+            if bound is None or observed is None:
+                continue
+            assert observed <= bound + 1e-6
+
+
+class TestSimulatedLatencyNeverExceedsGamma:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=6, deadline=None)
+    def test_gamma_respected_in_simulation(self, seed):
+        from repro.analysis import assign_acquisition_deadlines
+        from repro.analysis.response_time import analyze as rta
+
+        app, _ = build_solved(seed)
+        slacked = rta(app)
+        if not slacked.schedulable:
+            return
+        configured = assign_acquisition_deadlines(app, 0.4)
+        result = LetDmaFormulation(
+            configured, FormulationConfig(time_limit_seconds=60)
+        ).solve()
+        if not result.feasible:
+            return
+        sim = simulate(configured, timeline_for("proposed", configured, result))
+        for task in configured.tasks:
+            gamma = configured.tasks[task.name].acquisition_deadline_us
+            if gamma is None:
+                continue
+            assert sim.worst_acquisition_latency_us(task.name) <= gamma + 1e-6

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.alphas == [0.2, 0.4]
+        assert args.time_limit == 120.0
+
+    def test_fig2_objective_parsing(self):
+        from repro.core import Objective
+
+        args = build_parser().parse_args(["fig2", "--objective", "obj-del"])
+        assert args.objective is Objective.MIN_DELAY_RATIO
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--objective", "nope"])
+
+    def test_simulate_approach_choices(self):
+        args = build_parser().parse_args(["simulate", "--approach", "giotto-cpu"])
+        assert args.approach == "giotto-cpu"
+
+
+    def test_chains_and_codesign_registered(self):
+        args = build_parser().parse_args(["chains", "--alpha", "0.3"])
+        assert args.alpha == 0.3
+        args = build_parser().parse_args(["codesign", "--shrink", "0.7"])
+        assert args.shrink == 0.7
+
+    def test_export_defaults(self):
+        args = build_parser().parse_args(["export"])
+        assert args.out == "letdma-out"
+
+
+class TestMainSmoke:
+    """Run the cheapest real commands end to end."""
+
+    def test_solve_command(self, capsys):
+        code = main(["solve", "--alpha", "0.4", "--time-limit", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "status: optimal" in out or "status: feasible" in out
+        assert "MG:" in out
+
+    def test_export_command(self, capsys, tmp_path):
+        out_dir = tmp_path / "fw"
+        code = main(
+            ["export", "--alpha", "0.4", "--time-limit", "60", "--out", str(out_dir)]
+        )
+        assert code == 0
+        names = {p.name for p in out_dir.iterdir()}
+        assert names == {
+            "let_dma_layout.h",
+            "let_dma_layout.ld",
+            "protocol.vcd",
+            "application.json",
+            "allocation.json",
+        }
+
+    def test_chains_command(self, capsys):
+        code = main(["chains", "--alpha", "0.4", "--time-limit", "60"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "steer" in out and "perceive" in out
+        assert "reaction time" in out

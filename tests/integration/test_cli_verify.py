@@ -1,0 +1,47 @@
+"""End-to-end test of the ``letdma verify`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import FormulationConfig, LetDmaFormulation
+from repro.io import save_application, save_result, save_system_xml
+
+
+@pytest.fixture
+def stored(tmp_path, simple_app):
+    result = LetDmaFormulation(simple_app, FormulationConfig()).solve()
+    app_json = tmp_path / "app.json"
+    app_xml = tmp_path / "app.xml"
+    alloc = tmp_path / "alloc.json"
+    save_application(simple_app, app_json)
+    save_system_xml(simple_app, app_xml)
+    save_result(result, alloc)
+    return app_json, app_xml, alloc
+
+
+class TestVerifyCommand:
+    def test_valid_allocation_passes(self, stored, capsys):
+        app_json, _, alloc = stored
+        code = main(["verify", str(app_json), str(alloc)])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_xml_model_accepted(self, stored, capsys):
+        _, app_xml, alloc = stored
+        assert main(["verify", str(app_xml), str(alloc)]) == 0
+
+    def test_corrupted_allocation_fails(self, stored, capsys, tmp_path):
+        app_json, _, alloc = stored
+        data = json.loads(alloc.read_text())
+        # Reverse the transfer order: breaks Property 2.
+        count = len(data["transfers"])
+        for entry in data["transfers"]:
+            entry["index"] = count - 1 - entry["index"]
+        data["transfers"].sort(key=lambda e: e["index"])
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(data))
+        code = main(["verify", str(app_json), str(broken)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out

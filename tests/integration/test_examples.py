@@ -1,0 +1,53 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the fast examples run here (the WATERS-scale ones are exercised by
+the benchmark harness); each is executed in-process with a controlled
+argv.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv, capsys):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "Memory layouts" in out
+        assert "ready after" in out
+
+    def test_protocol_trace(self, capsys):
+        out = run_example("protocol_trace.py", [], capsys)
+        assert "Protocol trace" in out
+        assert "All deadlines met: True" in out
+
+    def test_synthetic_sweep_small(self, capsys):
+        out = run_example(
+            "synthetic_sweep.py",
+            ["--instances", "2", "--tasks", "3", "--time-limit", "30"],
+            capsys,
+        )
+        assert "Synthetic sweep" in out
+        assert "MILP time" in out
+
+    def test_models_directory_has_waters_xml(self):
+        from repro.io import load_system_xml
+
+        path = EXAMPLES / "models" / "waters2019.xml"
+        assert path.exists()
+        app = load_system_xml(path)
+        assert len(app.tasks) == 9

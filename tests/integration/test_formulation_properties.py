@@ -1,0 +1,125 @@
+"""Hypothesis property tests on the full formulation pipeline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    verify_allocation,
+)
+from repro.model import Application, DmaParameters, Platform
+from repro.workloads import WorkloadSpec, generate_application
+
+
+def make_app(seed, num_tasks=4, density=0.5):
+    return generate_application(
+        WorkloadSpec(
+            num_tasks=num_tasks,
+            communication_density=density,
+            total_utilization=0.4,
+            periods_ms=(5, 10, 20),
+            seed=seed,
+        )
+    )
+
+
+def solve(app, objective=Objective.NONE, **kwargs):
+    return LetDmaFormulation(
+        app, FormulationConfig(objective=objective, time_limit_seconds=60, **kwargs)
+    ).solve()
+
+
+class TestEveryFeasibleSolutionVerifies:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=8, deadline=None)
+    def test_no_obj(self, seed):
+        app = make_app(seed)
+        result = solve(app)
+        if result.feasible:
+            verify_allocation(app, result).raise_if_failed()
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_obj_del(self, seed):
+        app = make_app(seed)
+        result = solve(app, Objective.MIN_DELAY_RATIO)
+        if result.feasible:
+            verify_allocation(app, result).raise_if_failed()
+
+
+class TestObjectiveOrderings:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_min_transfers_never_more_than_feasible(self, seed):
+        app = make_app(seed)
+        base = solve(app)
+        optimized = solve(app, Objective.MIN_TRANSFERS)
+        if base.feasible and optimized.feasible:
+            assert optimized.num_transfers <= base.num_transfers
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=6, deadline=None)
+    def test_min_delay_ratio_optimum_dominates(self, seed):
+        app = make_app(seed)
+        base = solve(app)
+        optimized = solve(app, Objective.MIN_DELAY_RATIO)
+        if not (base.feasible and optimized.feasible):
+            return
+
+        def worst(result):
+            return max(
+                lat / app.tasks[name].period_us
+                for name, lat in result.latencies_at(app, 0).items()
+            )
+
+        assert worst(optimized) <= worst(base) + 1e-9
+
+
+class TestCostMonotonicity:
+    @given(
+        seed=st.integers(min_value=0, max_value=300),
+        scale=st.sampled_from([2.0, 5.0]),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_latency_grows_with_copy_cost(self, seed, scale):
+        """Scaling omega_c up can only increase (or keep) the optimal
+        worst latency ratio — assuming both instances stay feasible."""
+        app = make_app(seed)
+        cheap = solve(app, Objective.MIN_DELAY_RATIO)
+        dear_dma = DmaParameters(
+            programming_overhead_us=app.platform.dma.programming_overhead_us,
+            isr_overhead_us=app.platform.dma.isr_overhead_us,
+            copy_cost_us_per_byte=app.platform.dma.copy_cost_us_per_byte * scale,
+        )
+        dear_platform = Platform(
+            cores=app.platform.cores,
+            global_memory=app.platform.global_memory,
+            dma=dear_dma,
+            cpu_copy=app.platform.cpu_copy,
+        )
+        dear_app = Application(dear_platform, app.tasks, app.labels)
+        dear = solve(dear_app, Objective.MIN_DELAY_RATIO)
+        if cheap.feasible and dear.feasible:
+            assert dear.objective_value >= cheap.objective_value - 1e-9
+
+
+class TestTransferSlotsMonotonicity:
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=5, deadline=None)
+    def test_more_slots_never_hurt(self, seed):
+        """Feasibility is monotone in the number of transfer slots G."""
+        app = make_app(seed, num_tasks=3)
+        from repro.let.grouping import communications_at
+
+        full = len(communications_at(app, 0))
+        tight = LetDmaFormulation(
+            app, FormulationConfig(max_transfers=full, time_limit_seconds=60)
+        ).solve()
+        loose = LetDmaFormulation(
+            app, FormulationConfig(max_transfers=full + 2, time_limit_seconds=60)
+        ).solve()
+        if tight.feasible:
+            assert loose.feasible

@@ -1,0 +1,148 @@
+"""Mutation testing of the verifier.
+
+The verifier is the safety net of the whole pipeline, so it gets its
+own adversarial test: take a *valid* solved allocation, apply a random
+semantics-breaking mutation, and demand the verifier notices.  A
+verifier that accepts a mutated allocation would silently bless broken
+firmware layouts.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    verify_allocation,
+)
+from repro.core.solution import DmaTransfer, MemoryLayout
+from repro.workloads import WorkloadSpec, generate_application
+
+
+def solved_app(seed):
+    app = generate_application(
+        WorkloadSpec(
+            num_tasks=4,
+            communication_density=0.6,
+            total_utilization=0.4,
+            periods_ms=(10, 20),
+            seed=seed,
+        )
+    )
+    result = LetDmaFormulation(
+        app,
+        FormulationConfig(objective=Objective.MIN_TRANSFERS, time_limit_seconds=60),
+    ).solve()
+    if not result.feasible:
+        return None
+    assert verify_allocation(app, result).ok
+    return app, result
+
+
+def mutate_reverse_order(rng, app, result):
+    """Reverse the full transfer order: breaks Property 1/2 whenever
+    there is at least one write->read dependency (always, at s0)."""
+    reversed_transfers = [
+        dataclasses.replace(t, index=len(result.transfers) - 1 - t.index)
+        for t in result.transfers
+    ]
+    reversed_transfers.sort(key=lambda t: t.index)
+    return dataclasses.replace(result, transfers=tuple(reversed_transfers))
+
+
+def mutate_drop_transfer(rng, app, result):
+    """Drop one transfer: breaks coverage."""
+    victim = rng.randrange(len(result.transfers))
+    kept = [t for i, t in enumerate(result.transfers) if i != victim]
+    return dataclasses.replace(result, transfers=tuple(kept))
+
+
+def mutate_shuffle_layout(rng, app, result):
+    """Reverse the slot order of the global memory while keeping the
+    recorded addresses: creates gaps/overlaps or breaks contiguity."""
+    layout = result.layouts["MG"]
+    if len(layout.order) < 2:
+        return None
+    mutated = MemoryLayout(
+        memory_id=layout.memory_id,
+        order=tuple(reversed(layout.order)),
+        addresses=layout.addresses,
+        sizes=layout.sizes,
+    )
+    return dataclasses.replace(
+        result, layouts={**result.layouts, "MG": mutated}
+    )
+
+
+def mutate_duplicate_communication(rng, app, result):
+    """Duplicate one transfer at the end: a communication appears twice."""
+    victim = result.transfers[rng.randrange(len(result.transfers))]
+    clone = dataclasses.replace(victim, index=len(result.transfers))
+    return dataclasses.replace(
+        result, transfers=tuple(result.transfers) + (clone,)
+    )
+
+
+def mutate_merge_incompatible(rng, app, result):
+    """Merge the first and last transfer when their routes differ:
+    breaks route homogeneity (and usually direction homogeneity)."""
+    if len(result.transfers) < 2:
+        return None
+    first, last = result.transfers[0], result.transfers[-1]
+    if (first.source_memory, first.dest_memory) == (
+        last.source_memory,
+        last.dest_memory,
+    ):
+        return None
+    merged = DmaTransfer(
+        index=first.index,
+        source_memory=first.source_memory,
+        dest_memory=first.dest_memory,
+        communications=first.communications + last.communications,
+        total_bytes=first.total_bytes + last.total_bytes,
+    )
+    kept = [merged] + list(result.transfers[1:-1])
+    return dataclasses.replace(result, transfers=tuple(kept))
+
+
+MUTATIONS = [
+    mutate_reverse_order,
+    mutate_drop_transfer,
+    mutate_shuffle_layout,
+    mutate_duplicate_communication,
+    mutate_merge_incompatible,
+]
+
+
+class TestVerifierCatchesMutations:
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        mutation_index=st.integers(min_value=0, max_value=len(MUTATIONS) - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_mutation_detected(self, seed, mutation_index):
+        solved = solved_app(seed)
+        if solved is None:
+            return
+        app, result = solved
+        rng = random.Random(seed * 31 + mutation_index)
+        mutated = MUTATIONS[mutation_index](rng, app, result)
+        if mutated is None:
+            return  # mutation not applicable to this instance
+        report = verify_allocation(app, mutated)
+        assert not report.ok, (
+            MUTATIONS[mutation_index].__name__,
+            "verifier accepted a broken allocation",
+        )
+
+    def test_unmutated_still_passes(self):
+        solved = solved_app(0)
+        if solved is None:
+            pytest.skip("seed 0 infeasible")
+        app, result = solved
+        assert verify_allocation(app, result).ok

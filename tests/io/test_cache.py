@@ -1,0 +1,71 @@
+"""Tests for the persistent solve cache."""
+
+import pytest
+
+from repro.core import FormulationConfig, Objective
+from repro.io.cache import cache_key, clear_cache, solve_cached
+from repro.milp import SolveStatus
+
+
+class TestCacheKey:
+    def test_deterministic(self, simple_app):
+        config = FormulationConfig()
+        assert cache_key(simple_app, config) == cache_key(simple_app, config)
+
+    def test_objective_changes_key(self, simple_app):
+        a = cache_key(simple_app, FormulationConfig(objective=Objective.NONE))
+        b = cache_key(
+            simple_app, FormulationConfig(objective=Objective.MIN_TRANSFERS)
+        )
+        assert a != b
+
+    def test_application_changes_key(self, simple_app, multirate_app):
+        config = FormulationConfig()
+        assert cache_key(simple_app, config) != cache_key(multirate_app, config)
+
+    def test_time_limit_does_not_change_key(self, simple_app):
+        a = cache_key(simple_app, FormulationConfig(time_limit_seconds=10))
+        b = cache_key(simple_app, FormulationConfig(time_limit_seconds=600))
+        assert a == b
+
+
+class TestSolveCached:
+    def test_miss_then_hit(self, tmp_path, simple_app):
+        config = FormulationConfig()
+        first = solve_cached(simple_app, config, cache_dir=tmp_path)
+        assert first.status is SolveStatus.OPTIMAL
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+        second = solve_cached(simple_app, config, cache_dir=tmp_path)
+        assert second.num_transfers == first.num_transfers
+        assert second.layouts["MG"].order == first.layouts["MG"].order
+
+    def test_hit_result_usable(self, tmp_path, simple_app):
+        from repro.core import verify_allocation
+
+        config = FormulationConfig()
+        solve_cached(simple_app, config, cache_dir=tmp_path)
+        cached = solve_cached(simple_app, config, cache_dir=tmp_path)
+        verify_allocation(simple_app, cached).raise_if_failed()
+
+    def test_infeasible_cached(self, tmp_path, simple_app):
+        config = FormulationConfig(max_transfers=1)
+        first = solve_cached(simple_app, config, cache_dir=tmp_path)
+        assert first.status is SolveStatus.INFEASIBLE
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        second = solve_cached(simple_app, config, cache_dir=tmp_path)
+        assert second.status is SolveStatus.INFEASIBLE
+
+    def test_corrupt_entry_resolved(self, tmp_path, simple_app):
+        config = FormulationConfig()
+        solve_cached(simple_app, config, cache_dir=tmp_path)
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{not json")
+        result = solve_cached(simple_app, config, cache_dir=tmp_path)
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_clear_cache(self, tmp_path, simple_app):
+        solve_cached(simple_app, FormulationConfig(), cache_dir=tmp_path)
+        assert clear_cache(tmp_path) == 1
+        assert clear_cache(tmp_path) == 0
+        assert clear_cache(tmp_path / "missing") == 0

@@ -1,0 +1,106 @@
+"""Tests for C header and linker-script generation."""
+
+import re
+
+import pytest
+
+from repro.core import FormulationConfig, LetDmaFormulation
+from repro.core.solution import AllocationResult
+from repro.io import default_base_addresses, generate_c_header, generate_linker_script
+from repro.milp import SolveStatus
+
+
+@pytest.fixture
+def solved(simple_app):
+    result = LetDmaFormulation(simple_app, FormulationConfig()).solve()
+    return simple_app, result
+
+
+class TestBaseAddresses:
+    def test_every_memory_covered(self, simple_app):
+        bases = default_base_addresses(simple_app)
+        assert set(bases) == {"M1", "M2", "MG"}
+
+    def test_distinct_bases(self, simple_app):
+        bases = default_base_addresses(simple_app)
+        assert len(set(bases.values())) == 3
+
+
+class TestCHeader:
+    def test_contains_guard_and_descriptor_type(self, solved):
+        app, result = solved
+        header = generate_c_header(app, result)
+        assert "#ifndef LET_DMA_LAYOUT_H" in header
+        assert "let_dma_descriptor_t" in header
+        assert f"#define LET_DMA_NUM_TRANSFERS {len(result.transfers)}u" in header
+
+    def test_one_define_per_slot(self, solved):
+        app, result = solved
+        header = generate_c_header(app, result)
+        defines = re.findall(r"#define LET_ADDR_(\w+)", header)
+        total_slots = sum(len(l.order) for l in result.layouts.values())
+        assert len(defines) == total_slots
+        assert len(set(defines)) == total_slots  # symbols unique
+
+    def test_descriptor_addresses_resolve_layouts(self, solved):
+        app, result = solved
+        bases = default_base_addresses(app)
+        header = generate_c_header(app, result)
+        rows = re.findall(r"\{0x([0-9A-F]+)u, 0x([0-9A-F]+)u, (\d+)u\}", header)
+        assert len(rows) == len(result.transfers)
+        for row, transfer in zip(rows, result.transfers):
+            assert int(row[0], 16) == bases[transfer.source_memory] + (
+                transfer.source_address
+            )
+            assert int(row[1], 16) == bases[transfer.dest_memory] + (
+                transfer.dest_address
+            )
+            assert int(row[2]) == transfer.total_bytes
+
+    def test_custom_bases(self, solved):
+        app, result = solved
+        header = generate_c_header(
+            app, result, base_addresses={"M1": 0x1000, "M2": 0x2000, "MG": 0x3000}
+        )
+        assert "0x90000000" not in header
+
+    def test_infeasible_rejected(self, simple_app):
+        bad = AllocationResult(status=SolveStatus.INFEASIBLE)
+        with pytest.raises(ValueError):
+            generate_c_header(simple_app, bad)
+
+    def test_symbols_are_valid_c_identifiers(self, solved):
+        app, result = solved
+        header = generate_c_header(app, result)
+        for symbol in re.findall(r"#define (LET_ADDR_\w+)", header):
+            assert re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", symbol)
+
+
+class TestLinkerScript:
+    def test_memory_regions(self, solved):
+        app, result = solved
+        script = generate_linker_script(app, result)
+        assert "MEMORY" in script
+        for memory in app.platform.memories:
+            assert memory.memory_id.lower() in script
+
+    def test_one_section_per_slot(self, solved):
+        app, result = solved
+        script = generate_linker_script(app, result)
+        sections = re.findall(r"\.let\.(\w+) 0x", script)
+        total_slots = sum(len(l.order) for l in result.layouts.values())
+        assert len(sections) == total_slots
+
+    def test_section_addresses_match_layout(self, solved):
+        app, result = solved
+        bases = default_base_addresses(app)
+        script = generate_linker_script(app, result)
+        for memory_id, layout in result.layouts.items():
+            for slot in layout.order:
+                expected = bases[memory_id] + layout.addresses[slot]
+                assert f"0x{expected:08X}" in script
+
+    def test_infeasible_rejected(self, simple_app):
+        bad = AllocationResult(status=SolveStatus.INFEASIBLE)
+        with pytest.raises(ValueError):
+            generate_linker_script(simple_app, bad)

@@ -1,0 +1,100 @@
+"""Tests for JSON (de)serialization of applications and results."""
+
+import json
+
+import pytest
+
+from repro.core import FormulationConfig, LetDmaFormulation, Objective
+from repro.io import (
+    application_from_dict,
+    application_to_dict,
+    load_application,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_application,
+    save_result,
+)
+from repro.waters import waters_application
+
+
+class TestApplicationRoundTrip:
+    def test_simple_round_trip(self, simple_app):
+        restored = application_from_dict(application_to_dict(simple_app))
+        assert restored.tasks.names == simple_app.tasks.names
+        assert [l.name for l in restored.labels] == [
+            l.name for l in simple_app.labels
+        ]
+        assert restored.platform.num_cores == simple_app.platform.num_cores
+
+    def test_waters_round_trip(self):
+        app = waters_application()
+        restored = application_from_dict(application_to_dict(app))
+        assert restored.tasks.hyperperiod_us() == app.tasks.hyperperiod_us()
+        assert restored.total_shared_bytes() == app.total_shared_bytes()
+        assert restored.platform.dma.programming_overhead_us == pytest.approx(3.36)
+
+    def test_gamma_preserved(self, simple_app):
+        from repro.model import Application
+
+        tasks = simple_app.tasks.with_acquisition_deadlines({"CONS": 123.0})
+        app = Application(simple_app.platform, tasks, simple_app.labels)
+        restored = application_from_dict(application_to_dict(app))
+        assert restored.tasks["CONS"].acquisition_deadline_us == 123.0
+        assert restored.tasks["PROD"].acquisition_deadline_us is None
+
+    def test_dict_is_json_compatible(self, multirate_app):
+        text = json.dumps(application_to_dict(multirate_app))
+        restored = application_from_dict(json.loads(text))
+        assert len(restored.labels) == len(multirate_app.labels)
+
+    def test_file_round_trip(self, tmp_path, simple_app):
+        path = tmp_path / "app.json"
+        save_application(simple_app, path)
+        restored = load_application(path)
+        assert restored.tasks.names == simple_app.tasks.names
+
+    def test_schema_version_checked(self, simple_app):
+        data = application_to_dict(simple_app)
+        data["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema version"):
+            application_from_dict(data)
+
+
+class TestResultRoundTrip:
+    @pytest.fixture
+    def result(self, fig1_app):
+        return LetDmaFormulation(
+            fig1_app, FormulationConfig(objective=Objective.MIN_TRANSFERS)
+        ).solve()
+
+    def test_round_trip_preserves_everything(self, fig1_app, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.status == result.status
+        assert restored.num_transfers == result.num_transfers
+        assert restored.layouts["MG"].order == result.layouts["MG"].order
+        for before, after in zip(result.transfers, restored.transfers):
+            assert before.communications == after.communications
+            assert before.total_bytes == after.total_bytes
+
+    def test_restored_result_still_verifies(self, fig1_app, result):
+        from repro.core import verify_allocation
+
+        restored = result_from_dict(result_to_dict(result))
+        verify_allocation(fig1_app, restored).raise_if_failed()
+
+    def test_restored_latency_queries_work(self, fig1_app, result):
+        restored = result_from_dict(result_to_dict(result))
+        assert restored.latencies_at(fig1_app, 0) == result.latencies_at(fig1_app, 0)
+
+    def test_file_round_trip(self, tmp_path, fig1_app, result):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        restored = load_result(path)
+        assert restored.num_transfers == result.num_transfers
+
+    def test_schema_version_checked(self, result):
+        data = result_to_dict(result)
+        data["schema_version"] = 0
+        with pytest.raises(ValueError, match="schema version"):
+            result_from_dict(data)

@@ -1,0 +1,93 @@
+"""Tests for the XML model interchange."""
+
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.io.system_xml import (
+    application_from_xml,
+    application_to_xml,
+    load_system_xml,
+    save_system_xml,
+)
+from repro.waters import waters_application
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, simple_app):
+        restored = application_from_xml(application_to_xml(simple_app))
+        assert restored.tasks.names == simple_app.tasks.names
+        assert [l.name for l in restored.labels] == [l.name for l in simple_app.labels]
+
+    def test_waters_round_trip(self):
+        app = waters_application()
+        restored = application_from_xml(application_to_xml(app))
+        assert restored.tasks.hyperperiod_us() == app.tasks.hyperperiod_us()
+        assert restored.communicating_pairs() == app.communicating_pairs()
+        assert restored.platform.dma.programming_overhead_us == pytest.approx(3.36)
+
+    def test_gamma_round_trip(self, simple_app):
+        from repro.model import Application
+
+        tasks = simple_app.tasks.with_acquisition_deadlines({"CONS": 42.5})
+        app = Application(simple_app.platform, tasks, simple_app.labels)
+        restored = application_from_xml(application_to_xml(app))
+        assert restored.tasks["CONS"].acquisition_deadline_us == pytest.approx(42.5)
+        assert restored.tasks["PROD"].acquisition_deadline_us is None
+
+    def test_file_round_trip(self, tmp_path, multirate_app):
+        path = tmp_path / "system.xml"
+        save_system_xml(multirate_app, path)
+        text = path.read_text()
+        assert text.startswith("<?xml")
+        restored = load_system_xml(path)
+        assert restored.tasks.names == multirate_app.tasks.names
+
+    def test_solvable_after_round_trip(self, simple_app):
+        from repro.core import FormulationConfig, LetDmaFormulation, verify_allocation
+
+        restored = application_from_xml(application_to_xml(simple_app))
+        result = LetDmaFormulation(restored, FormulationConfig()).solve()
+        verify_allocation(restored, result).raise_if_failed()
+
+
+class TestValidation:
+    def test_wrong_root_rejected(self):
+        root = ElementTree.Element("not-a-system")
+        with pytest.raises(ValueError, match="letdma-system"):
+            application_from_xml(root)
+
+    def test_wrong_version_rejected(self, simple_app):
+        root = application_to_xml(simple_app)
+        root.set("version", "99")
+        with pytest.raises(ValueError, match="version"):
+            application_from_xml(root)
+
+    def test_missing_cores_rejected(self, simple_app):
+        root = application_to_xml(simple_app)
+        platform = root.find("platform")
+        for core in platform.findall("core"):
+            platform.remove(core)
+        with pytest.raises(ValueError, match="no cores"):
+            application_from_xml(root)
+
+    def test_missing_attribute_rejected(self, simple_app):
+        root = application_to_xml(simple_app)
+        task = root.find("tasks").find("task")
+        del task.attrib["periodUs"]
+        with pytest.raises(ValueError, match="periodUs"):
+            application_from_xml(root)
+
+    def test_missing_section_rejected(self, simple_app):
+        root = application_to_xml(simple_app)
+        root.remove(root.find("labels"))
+        with pytest.raises(ValueError, match="labels"):
+            application_from_xml(root)
+
+    def test_defaults_when_cost_elements_absent(self, simple_app):
+        root = application_to_xml(simple_app)
+        platform = root.find("platform")
+        platform.remove(platform.find("dma"))
+        platform.remove(platform.find("cpuCopy"))
+        restored = application_from_xml(root)
+        assert restored.platform.dma.programming_overhead_us == pytest.approx(3.36)

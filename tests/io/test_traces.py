@@ -1,0 +1,114 @@
+"""Tests for VCD export and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.core import FormulationConfig, LetDmaFormulation, LetDmaProtocol
+from repro.io import VcdWriter, ascii_gantt, protocol_to_vcd
+
+
+@pytest.fixture
+def protocol(fig1_app):
+    result = LetDmaFormulation(fig1_app, FormulationConfig()).solve()
+    return LetDmaProtocol(fig1_app, result)
+
+
+class TestVcdWriter:
+    def test_header_structure(self):
+        writer = VcdWriter()
+        writer.add_signal("clk")
+        text = writer.render()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1 ! clk $end" in text
+        assert "$enddefinitions $end" in text
+
+    def test_initial_values_dumped(self):
+        writer = VcdWriter()
+        writer.add_signal("a")
+        writer.add_signal("b")
+        text = writer.render()
+        dump = text.split("$dumpvars")[1].split("$end")[0]
+        assert "0!" in dump and '0"' in dump
+
+    def test_changes_sorted_by_time(self):
+        writer = VcdWriter()
+        writer.add_signal("x")
+        writer.change(200, "x", 0)
+        writer.change(100, "x", 1)
+        text = writer.render()
+        assert text.index("#100") < text.index("#200")
+
+    def test_duplicate_signal_rejected(self):
+        writer = VcdWriter()
+        writer.add_signal("x")
+        with pytest.raises(ValueError):
+            writer.add_signal("x")
+
+    def test_unknown_signal_rejected(self):
+        writer = VcdWriter()
+        with pytest.raises(KeyError):
+            writer.change(0, "nope", 1)
+
+    def test_invalid_value_rejected(self):
+        writer = VcdWriter()
+        writer.add_signal("x")
+        with pytest.raises(ValueError):
+            writer.change(0, "x", 2)
+        with pytest.raises(ValueError):
+            writer.change(-1, "x", 1)
+
+    def test_many_signals_get_unique_ids(self):
+        writer = VcdWriter()
+        for index in range(200):  # crosses the 94-character id rollover
+            writer.add_signal(f"s{index}")
+        ids = set(writer._signals.values())
+        assert len(ids) == 200
+
+    def test_save(self, tmp_path):
+        writer = VcdWriter()
+        writer.add_signal("x")
+        path = tmp_path / "trace.vcd"
+        writer.save(path)
+        assert path.read_text().startswith("$date")
+
+
+class TestProtocolToVcd:
+    def test_signals_exist(self, fig1_app, protocol):
+        writer = protocol_to_vcd(fig1_app, protocol)
+        text = writer.render()
+        assert "dma_busy" in text
+        assert "let_busy_P1" in text and "let_busy_P2" in text
+        for task in fig1_app.tasks:
+            assert f"ready_{task.name}" in text
+
+    def test_dma_busy_toggles_per_transfer(self, fig1_app, protocol):
+        writer = protocol_to_vcd(fig1_app, protocol, horizon_us=10_000)
+        schedule = protocol.schedule_at(0)
+        # One rise and one fall per dispatch.
+        rises = sum(
+            1 for _, code, v in writer._changes
+            if code == writer._signals["dma_busy"] and v == 1
+        )
+        assert rises == len(schedule.dispatches)
+
+    def test_timestamps_nanoseconds(self, fig1_app, protocol):
+        writer = protocol_to_vcd(fig1_app, protocol, horizon_us=10_000)
+        first_copy = protocol.schedule_at(0).dispatches[0].copy_start_us
+        assert any(
+            t == round(first_copy * 1_000) for t, _, _ in writer._changes
+        )
+
+
+class TestAsciiGantt:
+    def test_contains_rows(self, fig1_app, protocol):
+        text = ascii_gantt(fig1_app, protocol.schedule_at(0))
+        assert "DMA" in text
+        assert "LET P1" in text and "LET P2" in text
+        assert "P" in text and "=" in text and "I" in text
+
+    def test_quiet_instant(self, fig1_app, protocol):
+        text = ascii_gantt(fig1_app, protocol.schedule_at(1))
+        assert "no communications" in text
+
+    def test_ready_markers(self, fig1_app, protocol):
+        text = ascii_gantt(fig1_app, protocol.schedule_at(0))
+        assert "ready:" in text

@@ -1,0 +1,45 @@
+"""Tests for the Communication value type."""
+
+from repro.let import Communication, Direction
+
+
+class TestConstruction:
+    def test_write(self):
+        comm = Communication.write("A", "x")
+        assert comm.is_write and not comm.is_read
+        assert comm.task == "A" and comm.label == "x"
+        assert str(comm) == "W(A,x)"
+
+    def test_read(self):
+        comm = Communication.read("x", "B")
+        assert comm.is_read and not comm.is_write
+        assert str(comm) == "R(x,B)"
+
+    def test_equality_and_hash(self):
+        assert Communication.write("A", "x") == Communication.write("A", "x")
+        assert Communication.write("A", "x") != Communication.read("x", "A")
+        assert len({Communication.write("A", "x"), Communication.write("A", "x")}) == 1
+
+    def test_sort_key_orders_writes_before_reads(self):
+        write = Communication.write("A", "x")
+        read = Communication.read("x", "B")
+        assert sorted([read, write], key=lambda c: c.sort_key)[0] is write
+
+
+class TestRouting:
+    def test_write_routes_local_to_global(self, simple_app):
+        comm = Communication.write("PROD", "x")
+        assert comm.local_memory_id(simple_app) == "M1"
+        assert comm.route(simple_app) == ("M1", "MG")
+
+    def test_read_routes_global_to_local(self, simple_app):
+        comm = Communication.read("x", "CONS")
+        assert comm.local_memory_id(simple_app) == "M2"
+        assert comm.route(simple_app) == ("MG", "M2")
+
+    def test_size(self, simple_app):
+        assert Communication.write("PROD", "x").size_bytes(simple_app) == 64
+
+    def test_direction_enum_str(self):
+        assert str(Direction.WRITE) == "W"
+        assert str(Direction.READ) == "R"

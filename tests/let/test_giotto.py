@@ -1,0 +1,30 @@
+"""Tests for the Giotto reference ordering."""
+
+from repro.let import (
+    check_property1,
+    check_property2,
+    communications_at,
+    giotto_batches,
+    giotto_order,
+)
+
+
+class TestGiottoOrder:
+    def test_writes_strictly_precede_reads(self, fig1_app):
+        order = giotto_order(fig1_app, 0)
+        kinds = [c.direction.value for c in order]
+        assert kinds == sorted(kinds, reverse=True)  # all 'W' then all 'R'
+
+    def test_covers_all_communications(self, fig1_app):
+        assert set(giotto_order(fig1_app, 0)) == set(communications_at(fig1_app, 0))
+
+    def test_skips_apply(self, simple_app):
+        assert giotto_order(simple_app, 5_000) == []
+
+    def test_satisfies_let_properties(self, multirate_app):
+        batches = giotto_batches(multirate_app, 0)
+        check_property1(batches)
+        check_property2(batches)
+
+    def test_batches_are_singletons(self, fig1_app):
+        assert all(len(batch) == 1 for batch in giotto_batches(fig1_app, 0))

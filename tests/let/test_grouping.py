@@ -1,0 +1,161 @@
+"""Tests for Algorithm 1 and the communication-set machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.let import (
+    active_instants,
+    communications_at,
+    let_groups,
+    read_group,
+    reads_at_memory,
+    write_group,
+    writes_at_memory,
+)
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+
+class TestLetGroups:
+    def test_groups_at_s0(self, simple_app):
+        writes, reads = let_groups(simple_app, 0, "PROD")
+        assert [str(c) for c in writes] == ["W(PROD,x)"]
+        assert reads == []
+        writes, reads = let_groups(simple_app, 0, "CONS")
+        assert writes == []
+        assert [str(c) for c in reads] == ["R(x,CONS)"]
+
+    def test_oversampled_producer_skips_mid_period_write(self, simple_app):
+        writes, reads = let_groups(simple_app, 5_000, "PROD")
+        assert writes == [] and reads == []
+
+    def test_non_release_instant_is_empty(self, simple_app):
+        assert let_groups(simple_app, 1_234, "PROD") == ([], [])
+
+    def test_negative_instant_rejected(self, simple_app):
+        with pytest.raises(ValueError):
+            let_groups(simple_app, -1, "PROD")
+
+    def test_convenience_wrappers(self, simple_app):
+        assert [str(c) for c in write_group(simple_app, 0, "PROD")] == ["W(PROD,x)"]
+        assert [str(c) for c in read_group(simple_app, 0, "CONS")] == ["R(x,CONS)"]
+
+    def test_bidirectional_pair(self, multirate_app):
+        writes, reads = let_groups(multirate_app, 0, "FAST")
+        assert {str(c) for c in writes} == {"W(FAST,f2m)", "W(FAST,f2s)"}
+        assert {str(c) for c in reads} == {"R(m2f,FAST)"}
+
+
+class TestCommunicationsAt:
+    def test_s0_includes_everything(self, multirate_app):
+        c0 = {str(c) for c in communications_at(multirate_app, 0)}
+        assert c0 == {
+            "W(FAST,f2m)",
+            "W(FAST,f2s)",
+            "W(MID,m2f)",
+            "R(f2m,MID)",
+            "R(f2s,SLOW)",
+            "R(m2f,FAST)",
+        }
+
+    def test_subset_property(self, multirate_app):
+        """C(t) is a subset of C(s0) for every t in T* (paper, Sec. V-A)."""
+        c0 = set(communications_at(multirate_app, 0))
+        for t in active_instants(multirate_app):
+            assert set(communications_at(multirate_app, t)) <= c0
+
+    def test_fig1_all_comms_every_period(self, fig1_app):
+        c0 = {str(c) for c in communications_at(fig1_app, 0)}
+        assert c0 == {
+            "W(t1,l12)",
+            "W(t3,l34)",
+            "W(t5,l56)",
+            "W(t6,l61)",
+            "R(l12,t2)",
+            "R(l34,t4)",
+            "R(l56,t6)",
+            "R(l61,t1)",
+        }
+        # Same period everywhere: the set repeats at every release.
+        assert set(communications_at(fig1_app, 10_000)) == set(
+            communications_at(fig1_app, 0)
+        )
+
+
+class TestPerMemorySets:
+    def test_writes_at_memory(self, fig1_app):
+        w1 = {str(c) for c in writes_at_memory(fig1_app, 0, "M1")}
+        assert w1 == {"W(t1,l12)", "W(t3,l34)", "W(t5,l56)"}
+        w2 = {str(c) for c in writes_at_memory(fig1_app, 0, "M2")}
+        assert w2 == {"W(t6,l61)"}
+
+    def test_reads_at_memory(self, fig1_app):
+        r1 = {str(c) for c in reads_at_memory(fig1_app, 0, "M1")}
+        assert r1 == {"R(l61,t1)"}
+        r2 = {str(c) for c in reads_at_memory(fig1_app, 0, "M2")}
+        assert r2 == {"R(l12,t2)", "R(l34,t4)", "R(l56,t6)"}
+
+    def test_partition_is_complete(self, multirate_app):
+        """C(t) is exactly the union of per-memory write and read sets."""
+        app = multirate_app
+        for t in active_instants(app):
+            union = []
+            for memory in app.platform.local_memories:
+                union.extend(writes_at_memory(app, t, memory.memory_id))
+                union.extend(reads_at_memory(app, t, memory.memory_id))
+            assert sorted(union, key=lambda c: c.sort_key) == communications_at(app, t)
+
+
+class TestActiveInstants:
+    def test_simple(self, simple_app):
+        assert active_instants(simple_app) == [0]
+
+    def test_multirate(self, multirate_app):
+        instants = active_instants(multirate_app)
+        assert instants[0] == 0
+        assert all(t < multirate_app.tasks.hyperperiod_us() for t in instants)
+        # FAST (4 ms) and MID (6 ms) exchange data both ways; every
+        # release of either task carries at least a write or a read.
+        assert 4_000 in instants and 6_000 in instants
+
+    def test_explicit_horizon(self, multirate_app):
+        assert active_instants(multirate_app, 4_001) == [0, 4_000]
+
+    def test_no_communication(self):
+        platform = Platform.symmetric(2)
+        tasks = TaskSet([Task("A", 5_000, 100.0, "P1", 0)])
+        app = Application(platform, tasks, [])
+        assert active_instants(app) == []
+
+
+@st.composite
+def random_two_task_app(draw):
+    period_choices = [2_000, 4_000, 5_000, 8_000, 10_000]
+    p1 = draw(st.sampled_from(period_choices))
+    p2 = draw(st.sampled_from(period_choices))
+    platform = Platform.symmetric(2)
+    tasks = TaskSet(
+        [Task("W", p1, p1 * 0.1, "P1", 0), Task("R", p2, p2 * 0.1, "P2", 0)]
+    )
+    return Application(platform, tasks, [Label("x", 8, "W", ("R",))])
+
+
+class TestGroupingProperties:
+    @given(random_two_task_app())
+    @settings(max_examples=30, deadline=None)
+    def test_c0_superset_of_all(self, app):
+        c0 = set(communications_at(app, 0))
+        for t in active_instants(app):
+            assert set(communications_at(app, t)) <= c0
+
+    @given(random_two_task_app())
+    @settings(max_examples=30, deadline=None)
+    def test_write_read_counts_balance_over_hyperperiod(self, app):
+        """Writes and reads of a 1-producer/1-consumer pair are equally
+        many over the hyperperiod (each version written is read once)."""
+        writes = reads = 0
+        for t in active_instants(app):
+            comms = communications_at(app, t)
+            writes += sum(1 for c in comms if c.is_write)
+            reads += sum(1 for c in comms if c.is_read)
+        assert writes == reads

@@ -1,0 +1,33 @@
+"""The grouping caches must be invisible: repeated queries agree, and
+mutating a returned list must never corrupt later results."""
+
+from repro.let.grouping import active_instants, communications_at, let_groups
+
+
+class TestCacheTransparency:
+    def test_repeated_queries_identical(self, multirate_app):
+        first = communications_at(multirate_app, 0)
+        second = communications_at(multirate_app, 0)
+        assert first == second
+        assert first is not second  # defensive copies
+
+    def test_mutating_result_is_safe(self, multirate_app):
+        polluted = communications_at(multirate_app, 0)
+        polluted.clear()
+        assert communications_at(multirate_app, 0) != []
+
+    def test_let_groups_copies(self, multirate_app):
+        writes, reads = let_groups(multirate_app, 0, "FAST")
+        writes.append("garbage")
+        writes_again, _ = let_groups(multirate_app, 0, "FAST")
+        assert "garbage" not in writes_again
+
+    def test_active_instants_copies(self, multirate_app):
+        instants = active_instants(multirate_app)
+        instants.append(-1)
+        assert -1 not in active_instants(multirate_app)
+
+    def test_cache_is_per_application(self, multirate_app, simple_app):
+        assert communications_at(multirate_app, 0) != communications_at(
+            simple_app, 0
+        )

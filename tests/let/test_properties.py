@@ -1,0 +1,81 @@
+"""Tests for the LET property checkers."""
+
+import pytest
+
+from repro.let import (
+    Communication,
+    PropertyViolation,
+    check_intra_batch_direction,
+    check_property1,
+    check_property2,
+    check_property3,
+)
+
+W = Communication.write
+R = Communication.read
+
+
+class TestProperty1:
+    def test_write_before_read_ok(self):
+        check_property1([[W("A", "x")], [R("y", "A")]])
+
+    def test_read_before_write_fails(self):
+        with pytest.raises(PropertyViolation, match="Property 1"):
+            check_property1([[R("y", "A")], [W("A", "x")]])
+
+    def test_same_batch_fails(self):
+        with pytest.raises(PropertyViolation, match="Property 1"):
+            check_property1([[W("A", "x"), R("y", "A")]])
+
+    def test_different_tasks_unconstrained(self):
+        check_property1([[R("y", "B")], [W("A", "x")]])
+
+    def test_duplicate_communication_rejected(self):
+        with pytest.raises(PropertyViolation, match="appears in batches"):
+            check_property1([[W("A", "x")], [W("A", "x")]])
+
+
+class TestProperty2:
+    def test_label_write_before_its_read_ok(self):
+        check_property2([[W("A", "x")], [R("x", "B")]])
+
+    def test_label_read_before_its_write_fails(self):
+        with pytest.raises(PropertyViolation, match="Property 2"):
+            check_property2([[R("x", "B")], [W("A", "x")]])
+
+    def test_same_batch_fails(self):
+        with pytest.raises(PropertyViolation, match="Property 2"):
+            check_property2([[W("A", "x"), R("x", "B")]])
+
+    def test_unrelated_labels_unconstrained(self):
+        check_property2([[R("y", "B")], [W("A", "x")]])
+
+    def test_read_without_write_at_instant_ok(self):
+        # The matching write may have happened at an earlier instant.
+        check_property2([[R("x", "B")]])
+
+    def test_double_write_rejected(self):
+        with pytest.raises(PropertyViolation, match="written twice"):
+            check_property2([[W("A", "x")], [W("B", "x")]])
+
+
+class TestIntraBatchDirection:
+    def test_homogeneous_ok(self):
+        check_intra_batch_direction([[W("A", "x"), W("B", "y")], [R("x", "C")]])
+
+    def test_mixed_batch_fails(self):
+        with pytest.raises(PropertyViolation, match="mixes"):
+            check_intra_batch_direction([[W("A", "x"), R("y", "A")]])
+
+
+class TestProperty3:
+    def test_fits_in_window(self):
+        check_property3([100.0, 200.0], 0, 1_000)
+
+    def test_exceeds_window(self):
+        with pytest.raises(PropertyViolation, match="Property 3"):
+            check_property3([600.0, 500.0], 0, 1_000)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            check_property3([1.0], 1_000, 1_000)

@@ -1,0 +1,169 @@
+"""Tests for the corrected LET skip rules (Eqs. (1)-(3))."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.let import skipping
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+periods = st.sampled_from([1_000, 2_000, 4_000, 5_000, 6_000, 10_000, 12_000, 20_000])
+
+
+def make_pair(producer_period, consumer_period):
+    producer = Task("W", producer_period, producer_period * 0.1, "P1", 0)
+    consumer = Task("R", consumer_period, consumer_period * 0.1, "P2", 0)
+    return producer, consumer
+
+
+class TestEtaWrite:
+    def test_equal_periods_identity(self):
+        assert skipping.eta_write(5_000, 3, 5_000) == 3
+
+    def test_faster_consumer_identity(self):
+        # Consumer faster: every producer write is consumed.
+        assert skipping.eta_write(10_000, 4, 5_000) == 4
+
+    def test_slower_consumer_skips(self):
+        # Producer 5 ms, consumer 10 ms: only every second write needed.
+        indices = {skipping.eta_write(5_000, v, 10_000) for v in range(3)}
+        assert indices == {0, 2, 4}
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            skipping.eta_write(5_000, -1, 10_000)
+
+
+class TestEtaRead:
+    def test_equal_periods_identity(self):
+        assert skipping.eta_read(5_000, 3, 5_000) == 3
+
+    def test_slower_producer_skips(self):
+        # Consumer 5 ms, producer 10 ms: only every second read needed.
+        indices = {skipping.eta_read(5_000, v, 10_000) for v in range(3)}
+        assert indices == {0, 2, 4}
+
+    def test_faster_producer_identity(self):
+        assert skipping.eta_read(10_000, 4, 5_000) == 4
+
+
+class TestWriteInstants:
+    def test_oversampled_producer(self):
+        producer, consumer = make_pair(5_000, 10_000)
+        assert skipping.write_instants(producer, consumer, 20_000) == [0, 10_000]
+
+    def test_undersampled_producer_writes_every_period(self):
+        producer, consumer = make_pair(10_000, 5_000)
+        assert skipping.write_instants(producer, consumer, 20_000) == [0, 10_000]
+
+    def test_non_harmonic(self):
+        producer, consumer = make_pair(6_000, 4_000)
+        # Consumer reads at 0,4,8 use writes at 0,0(skip dup),6 (ms).
+        assert skipping.write_instants(producer, consumer, 12_000) == [0, 6_000]
+
+    def test_empty_horizon(self):
+        producer, consumer = make_pair(5_000, 5_000)
+        assert skipping.write_instants(producer, consumer, 0) == []
+
+
+class TestReadInstants:
+    def test_oversampled_consumer(self):
+        producer, consumer = make_pair(10_000, 5_000)
+        assert skipping.read_instants(consumer, producer, 20_000) == [0, 10_000]
+
+    def test_undersampled_consumer_reads_every_period(self):
+        producer, consumer = make_pair(5_000, 10_000)
+        assert skipping.read_instants(consumer, producer, 20_000) == [0, 10_000]
+
+    def test_non_harmonic(self):
+        producer, consumer = make_pair(6_000, 4_000)
+        # Reads at 0 and 8 ms; the read at 4 ms would re-read the
+        # value written at 0 and is skipped.
+        assert skipping.read_instants(consumer, producer, 12_000) == [0, 8_000]
+
+
+class TestSemanticInvariants:
+    """Property-based checks of the first-principles semantics."""
+
+    @given(producer_period=periods, consumer_period=periods)
+    def test_writes_on_producer_grid(self, producer_period, consumer_period):
+        producer, consumer = make_pair(producer_period, consumer_period)
+        horizon = math.lcm(producer_period, consumer_period)
+        for t in skipping.write_instants(producer, consumer, horizon):
+            assert t % producer_period == 0
+
+    @given(producer_period=periods, consumer_period=periods)
+    def test_reads_on_consumer_grid(self, producer_period, consumer_period):
+        producer, consumer = make_pair(producer_period, consumer_period)
+        horizon = math.lcm(producer_period, consumer_period)
+        for t in skipping.read_instants(consumer, producer, horizon):
+            assert t % consumer_period == 0
+
+    @given(producer_period=periods, consumer_period=periods)
+    def test_every_read_sees_fresh_write(self, producer_period, consumer_period):
+        """The latest necessary write at or before each necessary read
+        equals the latest write overall — skipping loses no data."""
+        producer, consumer = make_pair(producer_period, consumer_period)
+        horizon = 2 * math.lcm(producer_period, consumer_period)
+        writes = skipping.write_instants(producer, consumer, horizon)
+        reads = skipping.read_instants(consumer, producer, horizon)
+        for read_t in reads:
+            latest_kept = max((w for w in writes if w <= read_t), default=None)
+            all_writes = range(0, read_t + 1, producer_period)
+            latest_any = max(all_writes)
+            # The data version seen: produced in the period ending at
+            # the write instant.  The kept write must deliver the same
+            # version as the full (unskipped) scheme.
+            assert latest_kept is not None
+            assert latest_kept == (latest_any // producer_period) * producer_period \
+                or latest_kept >= latest_any - producer_period
+
+    @given(producer_period=periods, consumer_period=periods)
+    def test_first_instants_are_zero(self, producer_period, consumer_period):
+        producer, consumer = make_pair(producer_period, consumer_period)
+        horizon = math.lcm(producer_period, consumer_period)
+        assert skipping.write_instants(producer, consumer, horizon)[0] == 0
+        assert skipping.read_instants(consumer, producer, horizon)[0] == 0
+
+    @given(producer_period=periods, consumer_period=periods)
+    def test_instants_repeat_with_lcm(self, producer_period, consumer_period):
+        producer, consumer = make_pair(producer_period, consumer_period)
+        cycle = math.lcm(producer_period, consumer_period)
+        one = skipping.write_instants(producer, consumer, cycle)
+        two = skipping.write_instants(producer, consumer, 2 * cycle)
+        assert two == one + [t + cycle for t in one]
+
+    @given(producer_period=periods, consumer_period=periods)
+    def test_counts_match_min_rate(self, producer_period, consumer_period):
+        """Necessary writes and reads per cycle both equal the number of
+        distinct data versions consumed, min(jobs_w, jobs_r) per cycle."""
+        producer, consumer = make_pair(producer_period, consumer_period)
+        cycle = math.lcm(producer_period, consumer_period)
+        writes = skipping.write_instants(producer, consumer, cycle)
+        reads = skipping.read_instants(consumer, producer, cycle)
+        expected = cycle // max(producer_period, consumer_period)
+        assert len(writes) == expected
+        assert len(reads) == expected
+
+
+class TestCommunicationHyperperiod:
+    def test_includes_peers_only(self):
+        platform = Platform.symmetric(2)
+        tasks = TaskSet(
+            [
+                Task("A", 4_000, 100.0, "P1", 0),
+                Task("B", 6_000, 100.0, "P2", 0),
+                Task("LONER", 7_000, 100.0, "P2", 1),
+            ]
+        )
+        app = Application(platform, tasks, [Label("x", 8, "A", ("B",))])
+        assert skipping.communication_hyperperiod(app, "A") == 12_000
+        assert skipping.communication_hyperperiod(app, "LONER") == 7_000
+
+    def test_divides_hyperperiod(self, multirate_app):
+        h = multirate_app.tasks.hyperperiod_us()
+        for task in multirate_app.tasks:
+            h_star = skipping.communication_hyperperiod(multirate_app, task.name)
+            assert h % h_star == 0

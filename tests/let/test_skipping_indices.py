@@ -1,0 +1,69 @@
+"""Direct tests of the necessary-index helpers of the skip rules."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.let.skipping import necessary_read_indices, necessary_write_indices
+
+periods = st.sampled_from([1_000, 2_000, 3_000, 4_000, 5_000, 6_000, 10_000, 12_000])
+
+
+class TestWriteIndices:
+    def test_equal_periods_all_jobs(self):
+        assert necessary_write_indices(5_000, 5_000) == [0]
+
+    def test_oversampled_producer_skips(self):
+        # Producer 5 ms, consumer 10 ms: one write per consumer period.
+        assert necessary_write_indices(5_000, 10_000) == [0]
+
+    def test_undersampled_producer_all(self):
+        # Producer 10 ms, consumer 5 ms: every producer job writes.
+        assert necessary_write_indices(10_000, 5_000) == [0]
+
+    def test_non_harmonic(self):
+        # Producer 6 ms, consumer 4 ms, cycle 12 ms: producer jobs 0, 1.
+        assert necessary_write_indices(6_000, 4_000) == [0, 1]
+        # Producer 4 ms, consumer 6 ms: consumer activations at 0 and
+        # 6 ms consume the writes at 0 ms (job 0) and 4 ms (job 1); the
+        # write at 8 ms (job 2) is overwritten unconsumed.
+        assert necessary_write_indices(4_000, 6_000) == [0, 1]
+
+    @given(producer=periods, consumer=periods)
+    @settings(max_examples=40, deadline=None)
+    def test_count_is_min_rate(self, producer, consumer):
+        cycle = math.lcm(producer, consumer)
+        indices = necessary_write_indices(producer, consumer)
+        assert len(indices) == cycle // max(producer, consumer)
+        assert all(0 <= i < cycle // producer for i in indices)
+        assert indices == sorted(set(indices))
+
+
+class TestReadIndices:
+    def test_equal_periods_all_jobs(self):
+        assert necessary_read_indices(5_000, 5_000) == [0]
+
+    def test_oversampled_consumer_skips(self):
+        # Consumer 5 ms, producer 10 ms: one read per producer period.
+        assert necessary_read_indices(5_000, 10_000) == [0]
+
+    def test_non_harmonic(self):
+        # Consumer 4 ms, producer 6 ms, cycle 12: reads at jobs 0, 2.
+        assert necessary_read_indices(4_000, 6_000) == [0, 2]
+
+    @given(consumer=periods, producer=periods)
+    @settings(max_examples=40, deadline=None)
+    def test_count_is_min_rate(self, consumer, producer):
+        cycle = math.lcm(producer, consumer)
+        indices = necessary_read_indices(consumer, producer)
+        assert len(indices) == cycle // max(producer, consumer)
+        assert all(0 <= i < cycle // consumer for i in indices)
+        assert indices == sorted(set(indices))
+
+    @given(consumer=periods, producer=periods)
+    @settings(max_examples=40, deadline=None)
+    def test_first_index_zero(self, consumer, producer):
+        assert necessary_read_indices(consumer, producer)[0] == 0
+        assert necessary_write_indices(producer, consumer)[0] == 0

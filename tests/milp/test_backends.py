@@ -1,0 +1,127 @@
+"""Cross-checks between the HiGHS backend and the pure-Python
+branch-and-bound oracle, including randomized equivalence tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import MilpModel, SolveStatus
+
+
+def build_knapsack(weights, values, capacity):
+    model = MilpModel("knapsack")
+    take = [model.add_binary(f"take{i}") for i in range(len(weights))]
+    model.add(
+        sum(w * t for w, t in zip(weights, take)) <= capacity, name="capacity"
+    )
+    model.maximize(sum(v * t for v, t in zip(values, take)))
+    return model
+
+
+class TestAgreement:
+    def test_knapsack_both_backends(self):
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        highs = model.solve(backend="highs")
+        bnb = model.solve(backend="bnb")
+        assert highs.status is SolveStatus.OPTIMAL
+        assert bnb.status is SolveStatus.OPTIMAL
+        assert highs.objective == pytest.approx(bnb.objective)
+
+    def test_infeasible_agrees(self):
+        model = MilpModel("inf")
+        x = model.add_binary("x")
+        model.add(x >= 1)
+        model.add(x <= 0)
+        assert model.solve(backend="highs").status is SolveStatus.INFEASIBLE
+        assert model.solve(backend="bnb").status is SolveStatus.INFEASIBLE
+
+    def test_mixed_integer_continuous(self):
+        model = MilpModel("mix")
+        x = model.add_integer("x", upper=5)
+        y = model.add_continuous("y", upper=5)
+        model.add(x + y <= 7.5)
+        model.maximize(2 * x + y)
+        highs = model.solve(backend="highs")
+        bnb = model.solve(backend="bnb")
+        assert highs.objective == pytest.approx(bnb.objective)
+        assert highs.objective == pytest.approx(12.5)
+
+    @given(
+        weights=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=8),
+        values_seed=st.lists(st.integers(min_value=1, max_value=30), min_size=8, max_size=8),
+        capacity=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_knapsacks_agree(self, weights, values_seed, capacity):
+        values = values_seed[: len(weights)]
+        model = build_knapsack(weights, values, capacity)
+        highs = model.solve(backend="highs")
+        bnb = model.solve(backend="bnb")
+        assert highs.status is SolveStatus.OPTIMAL
+        assert bnb.status is SolveStatus.OPTIMAL
+        assert highs.objective == pytest.approx(bnb.objective)
+
+    @given(
+        rhs=st.integers(min_value=0, max_value=30),
+        coefs=st.lists(st.integers(min_value=1, max_value=9), min_size=2, max_size=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_covering_agrees(self, rhs, coefs):
+        """Minimum covering problems: min sum x_i s.t. sum c_i x_i >= rhs."""
+
+        def build():
+            model = MilpModel("cover")
+            xs = [model.add_integer(f"x{i}", upper=10) for i in range(len(coefs))]
+            model.add(sum(c * x for c, x in zip(coefs, xs)) >= rhs)
+            model.minimize(sum(xs))
+            return model
+
+        highs = build().solve(backend="highs")
+        bnb = build().solve(backend="bnb")
+        assert highs.objective == pytest.approx(bnb.objective)
+
+
+class TestBnbSpecifics:
+    def test_equality_rows(self):
+        model = MilpModel("eq")
+        x = model.add_integer("x", upper=10)
+        y = model.add_integer("y", upper=10)
+        model.add(x + y == 7)
+        model.maximize(x)
+        assert model.solve(backend="bnb").objective == pytest.approx(7.0)
+
+    def test_solution_values_feasible(self):
+        model = build_knapsack([2, 3, 4], [3, 4, 5], 6)
+        solution = model.solve(backend="bnb")
+        assert model.check_assignment(solution.values) == []
+
+    def test_time_limit_zero_reports_error_or_solution(self):
+        # With a zero budget the solver may not finish any node; the
+        # status must never claim optimality falsely.
+        model = build_knapsack(list(range(1, 10)), list(range(1, 10)), 20)
+        solution = model.solve(backend="bnb", time_limit_seconds=0.0)
+        assert solution.status in (
+            SolveStatus.ERROR,
+            SolveStatus.FEASIBLE,
+            SolveStatus.OPTIMAL,
+        )
+
+
+class TestHighsSpecifics:
+    def test_unbounded(self):
+        model = MilpModel("unbounded")
+        x = model.add_continuous("x")
+        model.maximize(x)
+        status = model.solve(backend="highs").status
+        assert status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)
+
+    def test_runtime_recorded(self):
+        model = build_knapsack([1, 2], [1, 2], 2)
+        solution = model.solve(backend="highs")
+        assert solution.runtime_seconds >= 0.0
+
+    def test_no_constraints(self):
+        model = MilpModel("free")
+        x = model.add_integer("x", upper=3)
+        model.maximize(x)
+        assert model.solve().objective == pytest.approx(3.0)

@@ -1,0 +1,130 @@
+"""Tests for the MILP expression algebra."""
+
+import pytest
+
+from repro.milp import LinExpr, MilpModel, Sense, VarType, lin_sum
+
+
+@pytest.fixture
+def model():
+    return MilpModel("t")
+
+
+@pytest.fixture
+def xy(model):
+    return model.add_continuous("x"), model.add_continuous("y")
+
+
+class TestAlgebra:
+    def test_var_plus_var(self, xy):
+        x, y = xy
+        expr = x + y
+        assert expr.terms == {x: 1.0, y: 1.0}
+
+    def test_scalar_operations(self, xy):
+        x, y = xy
+        expr = 2 * x - y + 3
+        assert expr.terms == {x: 2.0, y: -1.0}
+        assert expr.constant == 3.0
+
+    def test_rsub(self, xy):
+        x, _ = xy
+        expr = 5 - x
+        assert expr.terms == {x: -1.0}
+        assert expr.constant == 5.0
+
+    def test_negation(self, xy):
+        x, _ = xy
+        assert (-x).terms == {x: -1.0}
+
+    def test_term_cancellation(self, xy):
+        x, y = xy
+        expr = (x + y) - x
+        assert expr.terms[x] == 0.0
+        assert expr.terms[y] == 1.0
+
+    def test_scaling_distributes(self, xy):
+        x, y = xy
+        expr = 3 * (x + 2 * y + 1)
+        assert expr.terms == {x: 3.0, y: 6.0}
+        assert expr.constant == 3.0
+
+    def test_invalid_multiplication_rejected(self, xy):
+        x, y = xy
+        with pytest.raises(TypeError):
+            x * y  # nonlinear
+
+    def test_invalid_operand_rejected(self, xy):
+        x, _ = xy
+        with pytest.raises(TypeError):
+            x + "nope"
+
+    def test_value(self, xy):
+        x, y = xy
+        expr = 2 * x + y + 1
+        assert expr.value({x: 3.0, y: 4.0}) == pytest.approx(11.0)
+
+
+class TestLinSum:
+    def test_empty(self):
+        expr = lin_sum([])
+        assert expr.terms == {} and expr.constant == 0.0
+
+    def test_mixed_items(self, xy):
+        x, y = xy
+        expr = lin_sum([x, 2 * y, 5])
+        assert expr.terms == {x: 1.0, y: 2.0}
+        assert expr.constant == 5.0
+
+    def test_repeated_var_accumulates(self, xy):
+        x, _ = xy
+        assert lin_sum([x, x, x]).terms == {x: 3.0}
+
+
+class TestConstraints:
+    def test_le_folds_rhs(self, xy):
+        x, y = xy
+        constraint = x + 1 <= y
+        assert constraint.sense is Sense.LE
+        assert constraint.expr.terms == {x: 1.0, y: -1.0}
+        assert constraint.expr.constant == 1.0
+
+    def test_ge(self, xy):
+        x, _ = xy
+        assert (x >= 3).sense is Sense.GE
+
+    def test_eq(self, xy):
+        x, y = xy
+        assert (x == y).sense is Sense.EQ
+
+    def test_is_satisfied(self, xy):
+        x, y = xy
+        constraint = x + y <= 5
+        assert constraint.is_satisfied({x: 2.0, y: 3.0})
+        assert not constraint.is_satisfied({x: 3.0, y: 3.0})
+
+    def test_named(self, xy):
+        x, _ = xy
+        constraint = (x <= 1).named("cap")
+        assert constraint.name == "cap"
+        assert "cap" in repr(constraint)
+
+
+class TestVarBounds:
+    def test_invalid_bounds_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_var("bad", VarType.CONTINUOUS, lower=2.0, upper=1.0)
+
+    def test_binary_bounds_forced(self, model):
+        b = model.add_binary("b")
+        assert (b.lower, b.upper) == (0.0, 1.0)
+
+    def test_duplicate_names_rejected(self, model):
+        model.add_binary("b")
+        with pytest.raises(ValueError):
+            model.add_binary("b")
+
+    def test_repr(self, model):
+        x = model.add_continuous("x")
+        assert "x" in repr(x)
+        assert "x" in repr(LinExpr({x: 1.0}, 2.0))

@@ -1,0 +1,97 @@
+"""Tests for the LP-format exporter."""
+
+import re
+
+import pytest
+
+from repro.milp import MilpModel
+from repro.milp.lp_writer import lp_string, write_lp
+
+
+@pytest.fixture
+def model():
+    m = MilpModel("export-me")
+    x = m.add_integer("x", upper=10)
+    y = m.add_binary("flag[1]")
+    z = m.add_continuous("z", lower=-5, upper=5)
+    m.add(2 * x + 3 * y <= 14, name="cap")
+    m.add(x - z >= 1, name="gap[a]")
+    m.add(x + z == 4)
+    m.maximize(x + 2 * y)
+    return m
+
+
+class TestLpString:
+    def test_sections_present(self, model):
+        text = lp_string(model)
+        for section in ("Maximize", "Subject To", "Bounds", "General", "Binary", "End"):
+            assert section in text
+
+    def test_objective_rendered(self, model):
+        text = lp_string(model)
+        objective_line = [l for l in text.splitlines() if l.startswith(" obj:")][0]
+        assert "x" in objective_line
+        assert "2 flag_1" in objective_line
+
+    def test_constraint_operators(self, model):
+        text = lp_string(model)
+        assert "<= 14" in text
+        assert ">= 1" in text
+        assert "= 4" in text
+
+    def test_names_sanitized(self, model):
+        text = lp_string(model)
+        assert "[" not in text.split("\\")[-1]  # no brackets outside comment
+        assert "flag_1" in text
+
+    def test_binary_not_in_bounds(self, model):
+        text = lp_string(model)
+        bounds = text.split("Bounds")[1].split("General")[0]
+        assert "flag_1" not in bounds
+
+    def test_continuous_bounds_emitted(self, model):
+        text = lp_string(model)
+        assert "-5 <= z <= 5" in text
+
+    def test_minimize_header(self):
+        m = MilpModel("min")
+        x = m.add_integer("x", upper=3)
+        m.minimize(x)
+        assert "Minimize" in lp_string(m)
+
+    def test_duplicate_sanitized_names_disambiguated(self):
+        m = MilpModel("dups")
+        m.add_binary("a[1]")
+        m.add_binary("a(1)")
+        text = lp_string(m)
+        binaries = text.split("Binary")[1]
+        names = binaries.split()
+        assert len(set(names[:2])) == 2
+
+
+class TestWriteLp:
+    def test_round_trip_to_file(self, tmp_path, model):
+        path = tmp_path / "model.lp"
+        write_lp(model, path)
+        assert path.read_text().endswith("End\n")
+
+    def test_formulation_exports(self, tmp_path, simple_app):
+        """The actual paper formulation must export cleanly."""
+        from repro.core import FormulationConfig, LetDmaFormulation
+
+        formulation = LetDmaFormulation(simple_app, FormulationConfig())
+        text = lp_string(formulation.model)
+        assert text.count("\n") > formulation.model.num_constraints
+        # Every line of the Subject To block parses as name: expr op rhs.
+        body = text.split("Subject To")[1].split("Bounds")[0]
+        for line in body.strip().splitlines():
+            assert re.match(r"^\s*\w+:\s.+(<=|>=|=)\s-?[\d.e+]+$", line), line
+
+
+class TestHighsAgreesWithExportedModel:
+    def test_objective_unchanged_by_export(self, model):
+        """Exporting must not mutate the model."""
+        before = model.solve().objective
+        lp_string(model)
+        after = model.solve().objective
+        assert before == after

@@ -1,0 +1,181 @@
+"""Tests for the MILP model container and linearization gadgets."""
+
+import pytest
+
+from repro.milp import MilpModel, SolveStatus, VarType, lin_sum
+
+
+@pytest.fixture
+def model():
+    return MilpModel("t")
+
+
+class TestBasicSolve:
+    def test_simple_ip(self, model):
+        x = model.add_integer("x", upper=10)
+        y = model.add_integer("y", upper=10)
+        model.add(2 * x + y <= 14)
+        model.maximize(x + 3 * y)
+        solution = model.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(32.0)
+        assert solution.value(y) == pytest.approx(10.0)
+
+    def test_feasibility_problem(self, model):
+        x = model.add_binary("x")
+        model.add(x >= 1)
+        solution = model.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.is_one(x)
+
+    def test_infeasible(self, model):
+        x = model.add_binary("x")
+        model.add(x >= 1)
+        model.add(x <= 0)
+        assert model.solve().status is SolveStatus.INFEASIBLE
+
+    def test_equality_constraint(self, model):
+        x = model.add_continuous("x", upper=10)
+        model.add(2 * x == 6)
+        solution = model.solve()
+        assert solution.value(x) == pytest.approx(3.0)
+
+    def test_minimize(self, model):
+        x = model.add_integer("x", lower=2, upper=10)
+        model.minimize(3 * x)
+        assert model.solve().objective == pytest.approx(6.0)
+
+    def test_add_requires_constraint(self, model):
+        with pytest.raises(TypeError):
+            model.add("x <= 1")
+
+    def test_unknown_backend(self, model):
+        model.add_binary("x")
+        with pytest.raises(ValueError):
+            model.solve(backend="cplex")
+
+
+class TestConjunction:
+    def test_and_is_one_when_all_one(self, model):
+        a = model.add_binary("a")
+        b = model.add_binary("b")
+        w = model.add_conjunction([a, b], name="w")
+        model.add(a >= 1)
+        model.add(b >= 1)
+        model.maximize(w)
+        assert model.solve().objective == pytest.approx(1.0)
+
+    def test_and_is_zero_when_any_zero(self, model):
+        a = model.add_binary("a")
+        b = model.add_binary("b")
+        w = model.add_conjunction([a, b])
+        model.add(a <= 0)
+        model.maximize(w)
+        assert model.solve().objective == pytest.approx(0.0)
+
+    def test_non_binary_rejected(self, model):
+        x = model.add_continuous("x")
+        with pytest.raises(ValueError):
+            model.add_conjunction([x])
+
+    def test_empty_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.add_conjunction([])
+
+
+class TestMaxEquality:
+    def test_max_pins_to_largest(self, model):
+        a = model.add_integer("a", lower=3, upper=3)
+        b = model.add_integer("b", lower=7, upper=7)
+        z = model.add_continuous("z", upper=100)
+        model.add_max_equality(z, [a, b], big_m=100)
+        model.minimize(z)  # even minimizing, z must equal the max
+        solution = model.solve()
+        assert solution.value(z) == pytest.approx(7.0)
+
+    def test_reused_selectors(self, model):
+        a = model.add_integer("a", lower=2, upper=2)
+        b = model.add_integer("b", lower=9, upper=9)
+        sel_a = model.add_binary("sel_a")
+        sel_b = model.add_binary("sel_b")
+        model.add(lin_sum([sel_a, sel_b]) == 1)
+        z = model.add_continuous("z", upper=100)
+        model.add_max_equality(z, [a, b], big_m=100, selectors=[sel_a, sel_b])
+        model.minimize(z)
+        solution = model.solve()
+        assert solution.value(z) == pytest.approx(9.0)
+        assert solution.is_one(sel_b)
+
+    def test_selector_count_mismatch(self, model):
+        z = model.add_continuous("z")
+        a = model.add_integer("a")
+        s = model.add_binary("s")
+        with pytest.raises(ValueError):
+            model.add_max_equality(z, [a, a + 1], big_m=10, selectors=[s])
+
+
+class TestIndicators:
+    def test_indicator_le_active(self, model):
+        flag = model.add_binary("flag")
+        x = model.add_continuous("x", upper=100)
+        model.add_indicator_le(flag, x, 5, big_m=1_000)
+        model.add(flag >= 1)
+        model.maximize(x)
+        assert model.solve().objective == pytest.approx(5.0)
+
+    def test_indicator_le_inactive(self, model):
+        flag = model.add_binary("flag")
+        x = model.add_continuous("x", upper=100)
+        model.add_indicator_le(flag, x, 5, big_m=1_000)
+        model.add(flag <= 0)
+        model.maximize(x)
+        assert model.solve().objective == pytest.approx(100.0)
+
+    def test_indicator_ge_active(self, model):
+        flag = model.add_binary("flag")
+        x = model.add_continuous("x", upper=100)
+        model.add_indicator_ge(flag, x, 42, big_m=1_000)
+        model.add(flag >= 1)
+        model.minimize(x)
+        assert model.solve().objective == pytest.approx(42.0)
+
+    def test_condition_must_be_binary(self, model):
+        x = model.add_continuous("x")
+        with pytest.raises(ValueError):
+            model.add_indicator_le(x, x, 1, big_m=10)
+
+
+class TestMinimizeMax:
+    def test_epigraph(self, model):
+        a = model.add_integer("a", lower=4, upper=4)
+        b = model.add_integer("b", lower=6, upper=6)
+        model.minimize_max([a, b], upper_bound=100)
+        assert model.solve().objective == pytest.approx(6.0)
+
+
+class TestIntrospection:
+    def test_stats(self, model):
+        model.add_binary("b")
+        x = model.add_continuous("x")
+        model.add(x <= 1)
+        assert model.num_variables == 2
+        assert model.num_binary == 1
+        assert model.num_constraints == 1
+        assert "2 vars" in model.stats()
+
+    def test_check_assignment(self, model):
+        x = model.add_continuous("x")
+        c = model.add(x <= 1, name="cap")
+        assert model.check_assignment({x: 0.5}) == []
+        assert model.check_assignment({x: 2.0}) == [c]
+
+    def test_solution_rounded(self, model):
+        x = model.add_integer("x", lower=3, upper=3)
+        solution = model.solve()
+        assert solution.rounded(x) == 3
+
+    def test_solution_rounded_rejects_fractional(self, model):
+        x = model.add_continuous("x", lower=0.5, upper=0.5)
+        solution = model.solve()
+        with pytest.raises(ValueError):
+            solution.rounded(x)

@@ -1,0 +1,123 @@
+"""Tests for the application container."""
+
+import pytest
+
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+
+@pytest.fixture
+def platform():
+    return Platform.symmetric(2)
+
+
+def make_tasks():
+    return TaskSet(
+        [
+            Task("A", 5_000, 500.0, "P1", 0),
+            Task("B", 10_000, 500.0, "P2", 0),
+            Task("C", 10_000, 500.0, "P1", 1),
+        ]
+    )
+
+
+class TestValidation:
+    def test_unknown_writer_rejected(self, platform):
+        with pytest.raises(ValueError, match="unknown writer"):
+            Application(platform, make_tasks(), [Label("x", 8, writer="ZZZ")])
+
+    def test_unknown_reader_rejected(self, platform):
+        with pytest.raises(ValueError, match="unknown reader"):
+            Application(
+                platform, make_tasks(), [Label("x", 8, writer="A", readers=("ZZZ",))]
+            )
+
+    def test_unknown_core_rejected(self, platform):
+        tasks = TaskSet([Task("A", 5_000, 500.0, "P9", 0)])
+        with pytest.raises(ValueError, match="unknown core"):
+            Application(platform, tasks, [])
+
+    def test_duplicate_label_names_rejected(self, platform):
+        with pytest.raises(ValueError, match="duplicate label"):
+            Application(
+                platform,
+                make_tasks(),
+                [Label("x", 8, writer="A"), Label("x", 16, writer="B")],
+            )
+
+    def test_capacity_enforced(self):
+        tiny = Platform.symmetric(2, local_memory_bytes=100, global_memory_bytes=100)
+        with pytest.raises(ValueError, match="over capacity"):
+            Application(
+                tiny,
+                make_tasks(),
+                [Label("big", 101, writer="A", readers=("B",))],
+            )
+
+
+class TestSharedLabels:
+    def test_inter_core_label_is_shared(self, platform):
+        app = Application(
+            platform, make_tasks(), [Label("x", 8, writer="A", readers=("B",))]
+        )
+        assert [label.name for label in app.shared_labels] == ["x"]
+        assert app.shared_between("A", "B")[0].name == "x"
+
+    def test_same_core_label_not_shared(self, platform):
+        app = Application(
+            platform, make_tasks(), [Label("x", 8, writer="A", readers=("C",))]
+        )
+        assert app.shared_labels == []
+        assert app.shared_between("A", "C") == []
+
+    def test_mixed_readers(self, platform):
+        # B is on another core (shared); C is on A's core (not shared).
+        app = Application(
+            platform, make_tasks(), [Label("x", 8, writer="A", readers=("B", "C"))]
+        )
+        assert [label.name for label in app.shared_labels] == ["x"]
+        assert app.communicating_pairs() == [("A", "B")]
+
+    def test_local_copies_created_on_both_sides(self, platform):
+        app = Application(
+            platform, make_tasks(), [Label("x", 8, writer="A", readers=("B",))]
+        )
+        ids = sorted(copy.copy_id for copy in app.local_copies)
+        assert ids == ["x@M1#A", "x@M2#B"]
+        sides = {copy.memory_id: copy.is_writer_side for copy in app.local_copies}
+        assert sides == {"M1": True, "M2": False}
+
+
+class TestQueries:
+    @pytest.fixture
+    def app(self, platform):
+        return Application(
+            platform,
+            make_tasks(),
+            [
+                Label("ab", 8, writer="A", readers=("B",)),
+                Label("ba", 16, writer="B", readers=("A",)),
+                Label("ac", 4, writer="A", readers=("C",)),  # same core, ignored
+            ],
+        )
+
+    def test_labels_written_by(self, app):
+        assert [label.name for label in app.labels_written_by("A")] == ["ab"]
+
+    def test_labels_read_by(self, app):
+        assert [label.name for label in app.labels_read_by("A")] == ["ba"]
+        assert [label.name for label in app.labels_read_by("B")] == ["ab"]
+
+    def test_producers_and_consumers(self, app):
+        assert app.producers_of("A") == ["B"]
+        assert app.consumers_of("A") == ["B"]
+        assert app.communication_peers("A") == ["B"]
+
+    def test_communicating_tasks(self, app):
+        assert [task.name for task in app.communicating_tasks()] == ["A", "B"]
+
+    def test_total_shared_bytes(self, app):
+        assert app.total_shared_bytes() == 24
+
+    def test_unknown_label_raises(self, app):
+        with pytest.raises(KeyError):
+            app.label("nope")

@@ -1,0 +1,41 @@
+"""Tests for labels and local copies."""
+
+import pytest
+
+from repro.model import Label, LocalCopy
+
+
+class TestLabel:
+    def test_basic(self):
+        label = Label("cloud", 4096, writer="LID", readers=("SFM", "DET"))
+        assert label.size_bytes == 4096
+        assert label.writer == "LID"
+        assert "SFM" in label.readers
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Label("x", 0, writer="A")
+
+    def test_writer_cannot_read_own_label(self):
+        with pytest.raises(ValueError):
+            Label("x", 8, writer="A", readers=("A",))
+
+    def test_duplicate_readers_rejected(self):
+        with pytest.raises(ValueError):
+            Label("x", 8, writer="A", readers=("B", "B"))
+
+    def test_environment_label_has_no_writer(self):
+        label = Label("sensor_raw", 16, writer=None, readers=("A",))
+        assert label.writer is None
+
+
+class TestLocalCopy:
+    def test_copy_id(self):
+        copy = LocalCopy("cloud", "M1", "LID", is_writer_side=True)
+        assert copy.copy_id == "cloud@M1#LID"
+        assert str(copy) == "cloud@M1#LID"
+
+    def test_copies_distinct_per_owner(self):
+        one = LocalCopy("cloud", "M1", "SFM", is_writer_side=False)
+        two = LocalCopy("cloud", "M1", "DET", is_writer_side=False)
+        assert one.copy_id != two.copy_id

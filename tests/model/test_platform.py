@@ -1,0 +1,103 @@
+"""Tests for the platform model."""
+
+import pytest
+
+from repro.model import Core, CpuCopyParameters, DmaParameters, Memory, Platform
+
+
+class TestMemory:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Memory("M1", 0)
+
+    def test_str(self):
+        assert str(Memory("M1", 1024)) == "M1"
+
+
+class TestCore:
+    def test_local_memory_cannot_be_global(self):
+        with pytest.raises(ValueError):
+            Core("P1", Memory("MG", 1024, is_global=True))
+
+
+class TestDmaParameters:
+    def test_paper_defaults(self):
+        dma = DmaParameters()
+        assert dma.programming_overhead_us == pytest.approx(3.36)
+        assert dma.isr_overhead_us == pytest.approx(10.0)
+
+    def test_per_transfer_overhead(self):
+        dma = DmaParameters(programming_overhead_us=3.0, isr_overhead_us=7.0)
+        assert dma.per_transfer_overhead_us == pytest.approx(10.0)
+
+    def test_transfer_duration_scales_with_bytes(self):
+        dma = DmaParameters(
+            programming_overhead_us=1.0, isr_overhead_us=1.0, copy_cost_us_per_byte=0.5
+        )
+        assert dma.transfer_duration_us(10) == pytest.approx(2.0 + 5.0)
+
+    def test_zero_bytes_costs_only_overhead(self):
+        dma = DmaParameters()
+        assert dma.transfer_duration_us(0) == pytest.approx(dma.per_transfer_overhead_us)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DmaParameters().transfer_duration_us(-1)
+
+    def test_nonpositive_copy_cost_rejected(self):
+        with pytest.raises(ValueError):
+            DmaParameters(copy_cost_us_per_byte=0.0)
+
+
+class TestCpuCopyParameters:
+    def test_copy_duration(self):
+        cpu = CpuCopyParameters(copy_cost_us_per_byte=0.01, per_label_overhead_us=2.0)
+        assert cpu.copy_duration_us(100) == pytest.approx(3.0)
+
+    def test_cpu_slower_than_dma_by_default(self):
+        assert (
+            CpuCopyParameters().copy_cost_us_per_byte
+            > DmaParameters().copy_cost_us_per_byte
+        )
+
+
+class TestPlatform:
+    def test_symmetric_naming(self):
+        platform = Platform.symmetric(3)
+        assert [core.core_id for core in platform.cores] == ["P1", "P2", "P3"]
+        assert [m.memory_id for m in platform.memories] == ["M1", "M2", "M3", "MG"]
+
+    def test_global_memory_is_last(self):
+        platform = Platform.symmetric(2)
+        assert platform.memories[-1].is_global
+
+    def test_local_memory_of(self):
+        platform = Platform.symmetric(2)
+        assert platform.local_memory_of("P2").memory_id == "M2"
+
+    def test_unknown_core_raises(self):
+        with pytest.raises(KeyError):
+            Platform.symmetric(1).core("P9")
+
+    def test_unknown_memory_raises(self):
+        with pytest.raises(KeyError):
+            Platform.symmetric(1).memory("M9")
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            Platform.symmetric(0)
+
+    def test_duplicate_core_ids_rejected(self):
+        memory = Memory("M1", 1024)
+        with pytest.raises(ValueError):
+            Platform(
+                cores=(Core("P1", memory), Core("P1", Memory("M2", 1024))),
+                global_memory=Memory("MG", 1024, is_global=True),
+            )
+
+    def test_global_flag_enforced(self):
+        with pytest.raises(ValueError):
+            Platform(
+                cores=(Core("P1", Memory("M1", 1024)),),
+                global_memory=Memory("MG", 1024, is_global=False),
+            )

@@ -1,0 +1,111 @@
+"""Tests for the task model."""
+
+import pytest
+
+from repro.model import Task, TaskSet
+
+
+def make_task(name="T", period=10_000, wcet=1_000.0, core="P1", priority=0, **kw):
+    return Task(name, period, wcet, core, priority, **kw)
+
+
+class TestTask:
+    def test_implicit_deadline(self):
+        assert make_task(period=5_000).deadline_us == 5_000
+
+    def test_utilization(self):
+        assert make_task(period=10_000, wcet=2_500.0).utilization == pytest.approx(0.25)
+
+    def test_release_instants(self):
+        assert make_task(period=4_000).release_instants(12_000) == [0, 4_000, 8_000]
+
+    def test_wcet_exceeding_period_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(period=1_000, wcet=2_000.0)
+
+    def test_nonpositive_period_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(period=0)
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(acquisition_deadline_us=-1.0)
+
+    def test_with_acquisition_deadline(self):
+        task = make_task()
+        updated = task.with_acquisition_deadline(123.0)
+        assert updated.acquisition_deadline_us == 123.0
+        assert task.acquisition_deadline_us is None  # original untouched
+        assert updated.name == task.name
+
+
+class TestTaskSet:
+    def test_lookup_by_name(self):
+        ts = TaskSet([make_task("A"), make_task("B", priority=1)])
+        assert ts["A"].name == "A"
+        assert "A" in ts
+        assert "Z" not in ts
+
+    def test_unknown_name_raises(self):
+        ts = TaskSet([make_task("A")])
+        with pytest.raises(KeyError):
+            ts["Z"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([make_task("A"), make_task("A", priority=1)])
+
+    def test_duplicate_priorities_on_same_core_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([make_task("A", priority=0), make_task("B", priority=0)])
+
+    def test_same_priority_on_different_cores_allowed(self):
+        ts = TaskSet(
+            [make_task("A", core="P1", priority=0), make_task("B", core="P2", priority=0)]
+        )
+        assert len(ts) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskSet([])
+
+    def test_on_core(self):
+        ts = TaskSet(
+            [
+                make_task("A", core="P1", priority=0),
+                make_task("B", core="P2", priority=0),
+                make_task("C", core="P1", priority=1),
+            ]
+        )
+        assert [t.name for t in ts.on_core("P1")] == ["A", "C"]
+        assert ts.core_ids == ["P1", "P2"]
+
+    def test_hyperperiod(self):
+        ts = TaskSet(
+            [
+                make_task("A", period=4_000),
+                make_task("B", period=6_000, priority=1),
+            ]
+        )
+        assert ts.hyperperiod_us() == 12_000
+
+    def test_utilizations(self):
+        ts = TaskSet(
+            [
+                make_task("A", period=10_000, wcet=2_000.0, priority=0),
+                make_task("B", period=10_000, wcet=3_000.0, priority=1),
+            ]
+        )
+        assert ts.utilization_of_core("P1") == pytest.approx(0.5)
+        assert ts.total_utilization() == pytest.approx(0.5)
+
+    def test_with_acquisition_deadlines(self):
+        ts = TaskSet([make_task("A"), make_task("B", priority=1)])
+        updated = ts.with_acquisition_deadlines({"A": 100.0})
+        assert updated["A"].acquisition_deadline_us == 100.0
+        assert updated["B"].acquisition_deadline_us is None
+
+    def test_with_acquisition_deadlines_unknown_task(self):
+        ts = TaskSet([make_task("A")])
+        with pytest.raises(KeyError):
+            ts.with_acquisition_deadlines({"Z": 1.0})

@@ -1,0 +1,103 @@
+"""Tests for the integer time-base utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import timing
+
+
+class TestMs:
+    def test_converts_milliseconds(self):
+        assert timing.ms(5) == 5_000
+
+    def test_accepts_fractional_on_grid(self):
+        assert timing.ms(0.5) == 500
+
+    def test_rejects_off_grid(self):
+        with pytest.raises(ValueError):
+            timing.ms(0.0001234)
+
+
+class TestUs:
+    def test_identity(self):
+        assert timing.us(42) == 42
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            timing.us(1.5)
+
+
+class TestLcm:
+    def test_pairwise(self):
+        assert timing.lcm([4, 6]) == 12
+
+    def test_many(self):
+        assert timing.lcm([5, 10, 15]) == 30
+
+    def test_single(self):
+        assert timing.lcm([7]) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            timing.lcm([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            timing.lcm([4, 0])
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=5))
+    def test_lcm_divisible_by_all(self, values):
+        result = timing.lcm(values)
+        assert all(result % v == 0 for v in values)
+
+
+class TestReleaseInstants:
+    def test_basic(self):
+        assert timing.release_instants(5, 20) == [0, 5, 10, 15]
+
+    def test_with_offset(self):
+        assert timing.release_instants(5, 20, offset=3) == [3, 8, 13, 18]
+
+    def test_horizon_equals_offset(self):
+        assert timing.release_instants(5, 0) == []
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            timing.release_instants(0, 10)
+
+    @given(
+        period=st.integers(min_value=1, max_value=50),
+        cycles=st.integers(min_value=0, max_value=20),
+    )
+    def test_count_matches_horizon(self, period, cycles):
+        horizon = period * cycles
+        instants = timing.release_instants(period, horizon)
+        assert len(instants) == cycles
+        assert all(t % period == 0 for t in instants)
+
+
+class TestDivisors:
+    def test_twelve(self):
+        assert timing.divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_prime(self):
+        assert timing.divisors(13) == [1, 13]
+
+    def test_one(self):
+        assert timing.divisors(1) == [1]
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_all_divide(self, value):
+        for d in timing.divisors(value):
+            assert value % d == 0
+
+
+class TestHelpers:
+    def test_is_integer_multiple(self):
+        assert timing.is_integer_multiple(15, 5)
+        assert not timing.is_integer_multiple(14, 5)
+        assert not timing.is_integer_multiple(-5, 5)
+
+    def test_merge_instants(self):
+        assert timing.merge_instants([[0, 10], [5, 10]]) == [0, 5, 10]

@@ -1,0 +1,83 @@
+"""Tests for the shared experiment drivers (on a small fast app)."""
+
+import pytest
+
+from repro.core import Objective
+from repro.model import Application, Label, Platform, Task, TaskSet
+from repro.reporting import (
+    run_alpha_feasibility,
+    run_fig2_panel,
+    run_table1,
+    solve_waters,
+)
+
+
+@pytest.fixture(scope="module")
+def small_app():
+    """A fast-solving stand-in for the WATERS case study."""
+    platform = Platform.symmetric(2)
+    tasks = TaskSet(
+        [
+            Task("A", 10_000, 1_000.0, "P1", 0),
+            Task("B", 20_000, 2_000.0, "P1", 1),
+            Task("C", 10_000, 1_500.0, "P2", 0),
+        ]
+    )
+    labels = [
+        Label("ac", 4_096, "A", ("C",)),
+        Label("cb", 512, "C", ("B",)),
+    ]
+    return Application(platform, tasks, labels)
+
+
+class TestSolveWaters:
+    def test_assigns_gammas_and_solves(self, small_app):
+        app, result = solve_waters(
+            Objective.NONE, 0.3, time_limit_seconds=30, app=small_app
+        )
+        assert result.feasible
+        for task in app.communicating_tasks():
+            assert app.tasks[task.name].acquisition_deadline_us is not None
+
+    def test_verification_is_on_by_default(self, small_app):
+        # Would raise if the solution did not verify.
+        solve_waters(Objective.NONE, 0.3, time_limit_seconds=30, app=small_app)
+
+
+class TestRunTable1:
+    def test_rows_cover_grid(self, small_app):
+        rows = run_table1(
+            alphas=(0.3,),
+            objectives=(Objective.NONE, Objective.MIN_TRANSFERS),
+            time_limit_seconds=30,
+            app=small_app,
+        )
+        assert len(rows) == 2
+        assert {row.objective for row in rows} == {
+            Objective.NONE,
+            Objective.MIN_TRANSFERS,
+        }
+        for row in rows:
+            assert row.num_transfers >= 1
+            assert row.runtime_seconds >= 0
+            assert len(row.as_tuple()) == 5
+
+
+class TestRunFig2Panel:
+    def test_panel_structure(self, small_app):
+        panel = run_fig2_panel(
+            Objective.MIN_DELAY_RATIO, 0.3, time_limit_seconds=30, app=small_app
+        )
+        assert set(panel) == {"giotto-cpu", "giotto-dma-a", "giotto-dma-b"}
+        for ratios in panel.values():
+            assert set(ratios) == {"A", "B", "C"}
+            assert all(r > 0 for r in ratios.values())
+
+
+class TestAlphaFeasibility:
+    def test_sweep(self, small_app):
+        outcome = run_alpha_feasibility(
+            alphas=(0.2, 0.5), time_limit_seconds=30, app=small_app
+        )
+        assert set(outcome) == {0.2, 0.5}
+        assert outcome[0.5]  # plenty of slack: must be feasible

@@ -1,0 +1,73 @@
+"""Tests for the LaTeX exporters."""
+
+import pytest
+
+from repro.reporting.latex import latex_escape, latex_fig2_panel, latex_table
+
+
+class TestEscape:
+    def test_specials(self):
+        assert latex_escape("50%") == r"50\%"
+        assert latex_escape("a_b") == r"a\_b"
+        assert latex_escape("x&y") == r"x\&y"
+
+    def test_plain_untouched(self):
+        assert latex_escape("DASM") == "DASM"
+
+    def test_numbers_coerced(self):
+        assert latex_escape(12) == "12"
+
+
+class TestLatexTable:
+    def test_structure(self):
+        text = latex_table(
+            ["obj", "time"],
+            [["NO-OBJ", "8 s"], ["OBJ-DMAT", "1 h"]],
+            caption="Table I",
+            label="tab:one",
+        )
+        for token in (
+            r"\begin{table}",
+            r"\toprule",
+            r"\midrule",
+            r"\bottomrule",
+            r"\caption{Table I}",
+            r"\label{tab:one}",
+            r"NO-OBJ & 8 s \\",
+        ):
+            assert token in text
+
+    def test_column_spec_matches_headers(self):
+        text = latex_table(["a", "b", "c"], [[1, 2, 3]])
+        assert r"\begin{tabular}{lll}" in text
+
+    def test_cells_escaped(self):
+        text = latex_table(["x"], [["50%"]])
+        assert r"50\%" in text
+
+
+class TestLatexFig2Panel:
+    def test_structure(self):
+        text = latex_fig2_panel(
+            {"giotto-cpu": {"A": 0.1, "B": 0.9}},
+            ["A", "B"],
+            caption="Fig 2(a)",
+            label="fig:two",
+        )
+        for token in (
+            r"\begin{tikzpicture}",
+            "symbolic x coords={A,B}",
+            r"\addplot coordinates {(A,0.1000) (B,0.9000)};",
+            r"\addlegendentry{giotto-cpu}",
+            r"\draw[dashed]",
+            r"\caption{Fig 2(a)}",
+        ):
+            assert token in text
+
+    def test_missing_task_skipped(self):
+        text = latex_fig2_panel({"c": {"A": 0.5}}, ["A", "B"])
+        assert "(B," not in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latex_fig2_panel({}, ["A"])

@@ -1,0 +1,64 @@
+"""Tests for the memory-map report."""
+
+import pytest
+
+from repro.core import FormulationConfig, LetDmaFormulation
+from repro.reporting.memory_report import memory_usage, render_memory_map
+
+
+@pytest.fixture
+def solved(simple_app):
+    result = LetDmaFormulation(simple_app, FormulationConfig()).solve()
+    return simple_app, result
+
+
+class TestMemoryUsage:
+    def test_every_memory_reported(self, solved):
+        app, result = solved
+        usage = memory_usage(app, result)
+        assert set(usage) == {"M1", "M2", "MG"}
+
+    def test_used_bytes_match_layout(self, solved):
+        app, result = solved
+        usage = memory_usage(app, result)
+        assert usage["MG"].used_bytes == result.layouts["MG"].total_bytes
+        assert usage["MG"].num_slots == len(result.layouts["MG"].order)
+
+    def test_free_and_utilization(self, solved):
+        app, result = solved
+        usage = memory_usage(app, result)["M1"]
+        assert usage.free_bytes == usage.capacity_bytes - usage.used_bytes
+        assert 0 <= usage.utilization <= 1
+
+    def test_largest_slot(self, solved):
+        app, result = solved
+        usage = memory_usage(app, result)["MG"]
+        assert usage.largest_slot_bytes == max(
+            result.layouts["MG"].sizes.values()
+        )
+
+    def test_empty_memory(self, solved):
+        """A platform memory with no slots reports zero usage."""
+        from dataclasses import replace
+
+        app, result = solved
+        stripped = replace(result, layouts={**result.layouts, "M1": None})
+        stripped.layouts.pop("M1")
+        usage = memory_usage(app, stripped)
+        assert usage["M1"].used_bytes == 0
+        assert usage["M1"].num_slots == 0
+
+
+class TestRenderMemoryMap:
+    def test_contains_bars_and_slots(self, solved):
+        app, result = solved
+        text = render_memory_map(app, result)
+        assert "MG: [" in text
+        assert "0x000000.." in text
+        for slot in result.layouts["MG"].order:
+            assert slot in text
+
+    def test_percentages_rendered(self, solved):
+        app, result = solved
+        text = render_memory_map(app, result)
+        assert "%" in text

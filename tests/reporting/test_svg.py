@@ -1,0 +1,83 @@
+"""Tests for the SVG chart generator."""
+
+from xml.etree import ElementTree
+
+import pytest
+
+from repro.reporting.svg import grouped_bar_chart_svg, save_fig2_panel_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ElementTree.Element:
+    return ElementTree.fromstring(svg)
+
+
+@pytest.fixture
+def data():
+    return {
+        "giotto-cpu": {"A": 0.1, "B": 0.5, "C": 0.9},
+        "giotto-dma-a": {"A": 0.3, "B": 0.6, "C": 1.2},
+    }
+
+
+class TestGroupedBarChart:
+    def test_valid_xml(self, data):
+        root = parse(grouped_bar_chart_svg(data, ["A", "B", "C"]))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_bar_count(self, data):
+        root = parse(grouped_bar_chart_svg(data, ["A", "B", "C"]))
+        bars = [r for r in root.iter(f"{SVG_NS}rect") if r.get("class") == "bar"]
+        assert len(bars) == 6
+
+    def test_missing_category_skipped(self, data):
+        del data["giotto-cpu"]["B"]
+        root = parse(grouped_bar_chart_svg(data, ["A", "B", "C"]))
+        bars = [r for r in root.iter(f"{SVG_NS}rect") if r.get("class") == "bar"]
+        assert len(bars) == 5
+
+    def test_taller_value_taller_bar(self, data):
+        root = parse(grouped_bar_chart_svg(data, ["A", "B", "C"]))
+        bars = [r for r in root.iter(f"{SVG_NS}rect") if r.get("class") == "bar"]
+        titles = {
+            bar.find(f"{SVG_NS}title").text: float(bar.get("height"))
+            for bar in bars
+        }
+        assert titles["giotto-cpu / B: 0.5000"] > titles["giotto-cpu / A: 0.1000"]
+
+    def test_title_and_labels(self, data):
+        svg = grouped_bar_chart_svg(
+            data, ["A", "B", "C"], title="Panel (a)", y_label="ratio"
+        )
+        assert "Panel (a)" in svg
+        assert "ratio" in svg
+        for category in ("A", "B", "C"):
+            assert f">{category}</text>" in svg
+
+    def test_reference_line_dashed(self, data):
+        svg = grouped_bar_chart_svg(data, ["A"], reference_line=1.0, y_max=1.5)
+        assert "stroke-dasharray" in svg
+
+    def test_values_clamped_to_ymax(self, data):
+        root = parse(grouped_bar_chart_svg(data, ["C"], y_max=1.0))
+        bars = [r for r in root.iter(f"{SVG_NS}rect") if r.get("class") == "bar"]
+        # The 1.2 value is clamped: its top must not go above the plot.
+        for bar in bars:
+            assert float(bar.get("y")) >= 33.9
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart_svg({}, ["A"])
+
+    def test_escaping(self):
+        svg = grouped_bar_chart_svg({"a<b": {"x&y": 0.5}}, ["x&y"], title="t<t>")
+        parse(svg)  # must stay well-formed
+
+
+class TestSaveFig2Panel:
+    def test_save(self, tmp_path, data):
+        path = tmp_path / "panel.svg"
+        save_fig2_panel_svg(data, ["A", "B", "C"], "Fig 2(a)", path)
+        root = parse(path.read_text())
+        assert root.tag == f"{SVG_NS}svg"

@@ -1,0 +1,55 @@
+"""Tests for the text rendering helpers."""
+
+from repro.reporting import render_bar_panel, render_ratio_figure, render_table
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["a", "b"], [[1, "xy"], [22, "z"]], title="T")
+        assert "T" in text
+        assert "| a " in text and "| b " in text
+        assert "| 22" in text
+
+    def test_column_width_adapts(self):
+        text = render_table(["col"], [["wide-value-here"]])
+        assert "wide-value-here" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # box is rectangular
+
+
+class TestRenderBarPanel:
+    def test_bars_scale(self):
+        text = render_bar_panel({"a": 1.0, "b": 0.5}, width=10, max_value=1.0)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_overflow_marker(self):
+        text = render_bar_panel({"a": 2.0}, width=10, max_value=1.0)
+        assert ">" in text
+
+    def test_empty(self):
+        assert "(empty)" in render_bar_panel({}, title="x")
+
+    def test_values_printed(self):
+        text = render_bar_panel({"task": 0.123})
+        assert "0.123" in text
+
+
+class TestRenderRatioFigure:
+    def test_panels_and_competitors(self):
+        panels = {
+            "NO-OBJ alpha=0.2": {
+                "giotto-cpu": {"A": 0.1, "B": 0.5},
+                "giotto-dma-a": {"A": 0.9, "B": 0.2},
+            }
+        }
+        text = render_ratio_figure(panels, ["A", "B"])
+        assert "NO-OBJ alpha=0.2" in text
+        assert "giotto-cpu" in text
+        assert "giotto-dma-a" in text
+
+    def test_task_order_respected(self):
+        panels = {"p": {"c": {"B": 0.2, "A": 0.4}}}
+        text = render_ratio_figure(panels, ["B", "A"])
+        assert text.index("B ") < text.index("A ")

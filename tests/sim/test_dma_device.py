@@ -1,0 +1,150 @@
+"""Tests for the bus-level DMA device model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.dma_device import (
+    BusConfig,
+    MemoryTiming,
+    calibrate_dma_parameters,
+    effective_copy_cost_us_per_byte,
+    transfer_cycles,
+    transfer_duration_us,
+)
+
+
+class TestValidation:
+    def test_negative_wait_states(self):
+        with pytest.raises(ValueError):
+            MemoryTiming(read_wait_states=-1)
+
+    def test_bad_bus_width(self):
+        with pytest.raises(ValueError):
+            BusConfig(bus_width_bytes=0)
+
+    def test_bad_contention(self):
+        with pytest.raises(ValueError):
+            BusConfig(contention_factor=0.5)
+
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            transfer_cycles(BusConfig(), -1, False, True)
+
+
+class TestTransferCycles:
+    def test_zero_bytes_zero_cycles(self):
+        assert transfer_cycles(BusConfig(), 0, False, True) == 0
+
+    def test_single_beat(self):
+        config = BusConfig(
+            bus_width_bytes=8,
+            burst_beats=8,
+            arbitration_cycles=2,
+            burst_setup_cycles=4,
+            local_timing=MemoryTiming(0, 0),
+            global_timing=MemoryTiming(5, 3),
+        )
+        # 1 beat: read local (1+0) + write global (1+3) = 5; one burst:
+        # 2 + 4 = 6.  Total 11.
+        assert transfer_cycles(config, 8, False, True) == 11
+
+    def test_partial_beat_rounds_up(self):
+        config = BusConfig(bus_width_bytes=8)
+        assert transfer_cycles(config, 1, False, True) == transfer_cycles(
+            config, 8, False, True
+        )
+
+    def test_burst_boundaries(self):
+        config = BusConfig(bus_width_bytes=8, burst_beats=4)
+        eight_beats = transfer_cycles(config, 64, False, True)
+        nine_beats = transfer_cycles(config, 72, False, True)
+        # The ninth beat opens a third burst: more than one beat's jump.
+        per_beat = (1 + 0) + (1 + 3)
+        assert nine_beats - eight_beats > per_beat
+
+    def test_wait_states_add_per_beat(self):
+        slow = BusConfig(global_timing=MemoryTiming(10, 10))
+        fast = BusConfig(global_timing=MemoryTiming(0, 0))
+        assert transfer_cycles(slow, 4096, False, True) > transfer_cycles(
+            fast, 4096, False, True
+        )
+
+    def test_contention_inflates(self):
+        calm = BusConfig(contention_factor=1.0)
+        jammed = BusConfig(contention_factor=3.0)
+        assert transfer_cycles(jammed, 4096, False, True) > transfer_cycles(
+            calm, 4096, False, True
+        )
+
+    @given(
+        num_bytes=st.integers(min_value=1, max_value=1 << 20),
+        width=st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_size(self, num_bytes, width):
+        config = BusConfig(bus_width_bytes=width)
+        assert transfer_cycles(config, num_bytes + width, False, True) >= (
+            transfer_cycles(config, num_bytes, False, True)
+        )
+
+
+class TestDuration:
+    def test_duration_scales_with_clock(self):
+        slow = BusConfig(bus_clock_mhz=100.0)
+        fast = BusConfig(bus_clock_mhz=300.0)
+        assert transfer_duration_us(slow, 4096, False, True) == pytest.approx(
+            3 * transfer_duration_us(fast, 4096, False, True)
+        )
+
+
+class TestEffectiveCost:
+    def test_bigger_bursts_amortize_better(self):
+        small = BusConfig(burst_beats=2)
+        large = BusConfig(burst_beats=16)
+        assert effective_copy_cost_us_per_byte(
+            large, False, True
+        ) < effective_copy_cost_us_per_byte(small, False, True)
+
+    def test_wider_bus_cheaper(self):
+        narrow = BusConfig(bus_width_bytes=4)
+        wide = BusConfig(bus_width_bytes=16)
+        assert effective_copy_cost_us_per_byte(
+            wide, False, True
+        ) < effective_copy_cost_us_per_byte(narrow, False, True)
+
+    def test_default_cost_in_plausible_range(self):
+        """The default TC3xx-flavored config lands near the library's
+        default omega_c = 0.002 us/B (same order of magnitude)."""
+        cost = effective_copy_cost_us_per_byte(BusConfig(), False, True)
+        assert 0.0005 <= cost <= 0.01
+
+    def test_reference_size_validated(self):
+        with pytest.raises(ValueError):
+            effective_copy_cost_us_per_byte(BusConfig(), False, True, 0)
+
+
+class TestCalibration:
+    def test_calibrated_parameters_valid(self):
+        params = calibrate_dma_parameters(BusConfig())
+        assert params.programming_overhead_us == pytest.approx(3.36)
+        assert params.copy_cost_us_per_byte > 0
+
+    def test_worst_route_chosen(self):
+        config = BusConfig(global_timing=MemoryTiming(read_wait_states=9, write_wait_states=1))
+        params = calibrate_dma_parameters(config)
+        # Reading the global memory is the slow direction here.
+        from_global = effective_copy_cost_us_per_byte(config, True, False)
+        assert params.copy_cost_us_per_byte == pytest.approx(from_global)
+
+    def test_end_to_end_with_calibrated_platform(self, simple_app):
+        """A platform built from calibrated parameters flows through
+        the whole pipeline."""
+        from repro.core import FormulationConfig, LetDmaFormulation, verify_allocation
+        from repro.model import Application, Platform
+
+        params = calibrate_dma_parameters(BusConfig())
+        platform = Platform.symmetric(2, dma=params)
+        app = Application(platform, simple_app.tasks, simple_app.labels)
+        result = LetDmaFormulation(app, FormulationConfig()).solve()
+        verify_allocation(app, result).raise_if_failed()

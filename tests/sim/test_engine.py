@@ -1,0 +1,174 @@
+"""Tests for the event-driven execution simulator."""
+
+import pytest
+
+from repro.model import Application, Label, Platform, Task, TaskSet
+from repro.sim import CommunicationTimeline, simulate
+from repro.sim.engine import Simulator
+
+
+def make_app(tasks, labels=()):
+    return Application(Platform.symmetric(2), TaskSet(tasks), labels)
+
+
+def empty_timeline(app, horizon):
+    timeline = CommunicationTimeline()
+    for task in app.tasks:
+        for t in task.release_instants(horizon):
+            timeline.ready_times[(task.name, t)] = float(t)
+    return timeline
+
+
+class TestSingleTask:
+    def test_runs_to_completion(self):
+        app = make_app([Task("A", 10_000, 3_000.0, "P1", 0)])
+        result = simulate(app, empty_timeline(app, 10_000), 10_000)
+        assert len(result.jobs) == 1
+        assert result.jobs[0].completion_us == pytest.approx(3_000.0)
+        assert result.worst_response_us("A") == pytest.approx(3_000.0)
+        assert result.all_deadlines_met
+
+    def test_every_job_recorded(self):
+        app = make_app([Task("A", 2_000, 500.0, "P1", 0)])
+        result = simulate(app, empty_timeline(app, 10_000), 10_000)
+        assert len(result.jobs_of("A")) == 5
+
+
+class TestPreemption:
+    def test_high_priority_preempts(self):
+        app = make_app(
+            [
+                Task("HI", 10_000, 2_000.0, "P1", 0),
+                Task("LO", 20_000, 5_000.0, "P1", 1),
+            ]
+        )
+        result = simulate(app, empty_timeline(app, 20_000), 20_000)
+        # LO runs 2000..10000 minus nothing, but HI's second job at
+        # t=10000 preempts it: LO executes [2000,7000]? No: LO needs
+        # 5000, starts after HI's first job (0..2000), finishes at 7000
+        # before HI's second release.
+        assert result.worst_response_us("LO") == pytest.approx(7_000.0)
+        assert result.worst_response_us("HI") == pytest.approx(2_000.0)
+
+    def test_preemption_splits_execution(self):
+        app = make_app(
+            [
+                Task("HI", 5_000, 1_000.0, "P1", 0),
+                Task("LO", 20_000, 6_000.0, "P1", 1),
+            ]
+        )
+        result = simulate(app, empty_timeline(app, 20_000), 20_000)
+        # LO: starts at 1000, preempted at 5000 (ran 4000), resumes at
+        # 6000, needs 2000 more -> completes at 8000.
+        assert result.worst_response_us("LO") == pytest.approx(8_000.0)
+
+    def test_same_core_only(self):
+        app = make_app(
+            [
+                Task("HI", 5_000, 4_000.0, "P1", 0),
+                Task("OTHER", 5_000, 4_000.0, "P2", 0),
+            ]
+        )
+        result = simulate(app, empty_timeline(app, 5_000), 5_000)
+        # Different cores: no interference.
+        assert result.worst_response_us("OTHER") == pytest.approx(4_000.0)
+
+
+class TestBlackouts:
+    def test_blackout_delays_start(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P1", 0.0, 500.0)
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(1_500.0)
+
+    def test_blackout_preempts_running_job(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P1", 400.0, 700.0)
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(1_300.0)
+
+    def test_blackout_on_other_core_harmless(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P2", 0.0, 5_000.0)
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(1_000.0)
+
+    def test_overlapping_blackouts(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P1", 0.0, 600.0)
+        timeline.add_blackout("P1", 300.0, 800.0)
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(1_800.0)
+
+    def test_zero_length_blackout_ignored(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P1", 100.0, 100.0)
+        assert timeline.blackouts.get("P1", []) == []
+
+
+class TestReadyTimes:
+    def test_acquisition_latency_recorded(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.ready_times[("A", 0)] = 250.0
+        result = simulate(app, timeline, 10_000)
+        job = result.jobs_of("A")[0]
+        assert job.acquisition_latency_us == pytest.approx(250.0)
+        assert job.completion_us == pytest.approx(1_250.0)
+
+    def test_priority_inversion_avoided_by_jitter(self):
+        """A delayed high-priority job lets the low one start first,
+        then preempts it on arrival."""
+        app = make_app(
+            [
+                Task("HI", 10_000, 1_000.0, "P1", 0),
+                Task("LO", 10_000, 2_000.0, "P1", 1),
+            ]
+        )
+        timeline = empty_timeline(app, 10_000)
+        timeline.ready_times[("HI", 0)] = 500.0
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("HI") == pytest.approx(1_500.0)
+        assert result.worst_response_us("LO") == pytest.approx(3_000.0)
+
+
+class TestDeadlineDetection:
+    def test_overload_misses_deadlines(self):
+        app = make_app(
+            [
+                Task("HI", 2_000, 1_500.0, "P1", 0),
+                Task("LO", 4_000, 1_600.0, "P1", 1),
+            ]
+        )
+        result = simulate(app, empty_timeline(app, 8_000), 8_000)
+        assert not result.all_deadlines_met
+        assert any(j.task == "LO" for j in result.deadline_misses())
+
+    def test_late_completion_counts_as_miss(self):
+        """Jobs released in the horizon run to completion even past it;
+        a completion after the absolute deadline is a miss."""
+        app = make_app([Task("A", 10_000, 9_999.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P1", 0.0, 9_000.0)
+        result = simulate(app, timeline, 10_000)
+        job = result.jobs_of("A")[0]
+        assert job.completion_us == pytest.approx(18_999.0)
+        assert job.missed_deadline
+        assert not result.all_deadlines_met
+
+
+class TestSimulatorConstruction:
+    def test_default_horizon_is_hyperperiod(self):
+        app = make_app(
+            [
+                Task("A", 4_000, 100.0, "P1", 0),
+                Task("B", 6_000, 100.0, "P2", 0),
+            ]
+        )
+        sim = Simulator(app, empty_timeline(app, 12_000))
+        assert sim.horizon_us == 12_000

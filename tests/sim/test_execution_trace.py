@@ -1,0 +1,98 @@
+"""Tests for execution-segment recording and its VCD export."""
+
+import pytest
+
+from repro.io import execution_to_vcd
+from repro.model import Application, Platform, Task, TaskSet
+from repro.sim import CommunicationTimeline, simulate
+
+
+def make_app(tasks):
+    return Application(Platform.symmetric(2), TaskSet(tasks), [])
+
+
+def empty_timeline(app, horizon):
+    timeline = CommunicationTimeline()
+    for task in app.tasks:
+        for t in task.release_instants(horizon):
+            timeline.ready_times[(task.name, t)] = float(t)
+    return timeline
+
+
+@pytest.fixture
+def traced():
+    app = make_app(
+        [
+            Task("HI", 5_000, 1_000.0, "P1", 0),
+            Task("LO", 20_000, 6_000.0, "P1", 1),
+        ]
+    )
+    result = simulate(app, empty_timeline(app, 20_000), 20_000, record_execution=True)
+    return app, result
+
+
+class TestSegments:
+    def test_disabled_by_default(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        result = simulate(app, empty_timeline(app, 10_000), 10_000)
+        assert result.segments == []
+
+    def test_total_execution_time_matches_wcet(self, traced):
+        app, result = traced
+        for task in app.tasks:
+            jobs = len(result.jobs_of(task.name))
+            total = sum(s.duration_us for s in result.segments_of(task.name))
+            assert total == pytest.approx(jobs * app.tasks[task.name].wcet_us)
+
+    def test_preemption_splits_lo_into_segments(self, traced):
+        app, result = traced
+        # LO runs 1000..5000, preempted by HI 5000..6000, resumes
+        # 6000..8000: two merged segments.
+        segments = result.segments_of("LO")
+        assert len(segments) == 2
+        assert segments[0].start_us == pytest.approx(1_000.0)
+        assert segments[0].end_us == pytest.approx(5_000.0)
+        assert segments[1].start_us == pytest.approx(6_000.0)
+
+    def test_no_overlap_on_core(self, traced):
+        app, result = traced
+        ordered = sorted(
+            (s for s in result.segments if s.core_id == "P1"),
+            key=lambda s: s.start_us,
+        )
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.start_us >= a.end_us - 1e-9
+
+    def test_core_busy(self, traced):
+        app, result = traced
+        # 4 HI jobs x 1000 + 1 LO job x 6000.
+        assert result.core_busy_us("P1") == pytest.approx(10_000.0)
+        assert result.core_busy_us("P2") == pytest.approx(0.0)
+
+
+class TestExecutionVcd:
+    def test_signals_and_toggles(self, traced):
+        app, result = traced
+        writer = execution_to_vcd(app, result)
+        text = writer.render()
+        assert "run_HI" in text and "run_LO" in text
+        assert "busy_P1" in text
+        # HI runs four times: four rises of run_HI.
+        code = writer._signals["run_HI"]
+        rises = sum(1 for _, c, v in writer._changes if c == code and v == 1)
+        assert rises == 4
+
+    def test_empty_trace_renders(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        result = simulate(app, empty_timeline(app, 10_000), 10_000)
+        writer = execution_to_vcd(app, result)
+        assert "run_A" in writer.render()
+
+    def test_core_busy_merges_back_to_back_jobs(self, traced):
+        app, result = traced
+        writer = execution_to_vcd(app, result)
+        code = writer._signals["busy_P1"]
+        rises = sum(1 for _, c, v in writer._changes if c == code and v == 1)
+        # P1 busy periods: 0..8000 (HI+LO+HI interleaved), 10000..11000
+        # and 15000..16000 (the remaining HI jobs): 3 rises.
+        assert rises == 3

@@ -1,0 +1,121 @@
+"""Tests for communication-timeline construction."""
+
+import pytest
+
+from repro.core import FormulationConfig, LetDmaFormulation, Objective, all_profiles
+from repro.sim import (
+    giotto_cpu_timeline,
+    giotto_dma_a_timeline,
+    giotto_dma_b_timeline,
+    proposed_timeline,
+    simulate,
+    timeline_for,
+)
+
+
+@pytest.fixture
+def result(fig1_app):
+    return LetDmaFormulation(
+        fig1_app, FormulationConfig(objective=Objective.MIN_DELAY_RATIO)
+    ).solve()
+
+
+class TestProposedTimeline:
+    def test_ready_matches_protocol(self, fig1_app, result):
+        timeline = proposed_timeline(fig1_app, result)
+        latencies = result.latencies_at(fig1_app, 0)
+        for task, latency in latencies.items():
+            assert timeline.ready_times[(task, 0)] == pytest.approx(latency)
+
+    def test_blackouts_only_overheads(self, fig1_app, result):
+        """The proposed protocol steals exactly (o_DP + o_ISR) of CPU
+        per dispatched transfer."""
+        timeline = proposed_timeline(fig1_app, result)
+        dma = fig1_app.platform.dma
+        dispatches = sum(
+            len(result.transfers_at(fig1_app, t))
+            for t in [0]  # fig1: all instants identical, one per period
+        ) * (fig1_app.tasks.hyperperiod_us() // 10_000)
+        busy = sum(timeline.busy_us(c) for c in ("P1", "P2"))
+        assert busy == pytest.approx(
+            dispatches * (dma.programming_overhead_us + dma.isr_overhead_us)
+        )
+
+    def test_horizon_extension_repeats_pattern(self, fig1_app, result):
+        one = proposed_timeline(fig1_app, result, 10_000)
+        two = proposed_timeline(fig1_app, result, 20_000)
+        assert len(two.blackouts["P1"]) == 2 * len(one.blackouts["P1"])
+
+
+class TestGiottoTimelines:
+    def test_cpu_blackout_equals_copy_time(self, fig1_app):
+        timeline = giotto_cpu_timeline(fig1_app, 10_000)
+        cpu = fig1_app.platform.cpu_copy
+        from repro.let.giotto import giotto_order
+
+        expected = sum(
+            cpu.copy_duration_us(c.size_bytes(fig1_app))
+            for c in giotto_order(fig1_app, 0)
+        )
+        busy = timeline.busy_us("P1") + timeline.busy_us("P2")
+        assert busy == pytest.approx(expected)
+
+    def test_cpu_everyone_ready_at_end(self, fig1_app):
+        timeline = giotto_cpu_timeline(fig1_app, 10_000)
+        values = {timeline.ready_times[(t.name, 0)] for t in fig1_app.tasks}
+        assert len(values) == 1
+
+    def test_dma_a_ready_time(self, fig1_app):
+        timeline = giotto_dma_a_timeline(fig1_app, 10_000)
+        dma = fig1_app.platform.dma
+        from repro.let.giotto import giotto_order
+
+        expected = sum(
+            dma.transfer_duration_us(c.size_bytes(fig1_app))
+            for c in giotto_order(fig1_app, 0)
+        )
+        assert timeline.ready_times[("t1", 0)] == pytest.approx(expected)
+
+    def test_dma_b_no_slower_than_dma_a(self, fig1_app, result):
+        a = giotto_dma_a_timeline(fig1_app, 10_000)
+        b = giotto_dma_b_timeline(fig1_app, result, 10_000)
+        assert b.ready_times[("t1", 0)] <= a.ready_times[("t1", 0)] + 1e-9
+
+
+class TestDispatch:
+    def test_timeline_for_names(self, fig1_app, result):
+        for approach in ("proposed", "giotto-cpu", "giotto-dma-a", "giotto-dma-b"):
+            timeline = timeline_for(approach, fig1_app, result)
+            assert timeline.ready_times
+
+    def test_unknown_approach(self, fig1_app):
+        with pytest.raises(ValueError, match="unknown approach"):
+            timeline_for("magic", fig1_app)
+
+    def test_result_required(self, fig1_app):
+        with pytest.raises(ValueError):
+            timeline_for("proposed", fig1_app)
+        with pytest.raises(ValueError):
+            timeline_for("giotto-dma-b", fig1_app)
+
+
+class TestSimulationAgreement:
+    """The simulator's observed acquisition latencies must equal the
+    analytical profiles for every approach (end-to-end consistency)."""
+
+    @pytest.mark.parametrize(
+        "approach", ["proposed", "giotto-cpu", "giotto-dma-a", "giotto-dma-b"]
+    )
+    def test_simulated_latency_matches_analysis(
+        self, multirate_app, approach
+    ):
+        result = LetDmaFormulation(
+            multirate_app, FormulationConfig(objective=Objective.MIN_DELAY_RATIO)
+        ).solve()
+        profiles = all_profiles(multirate_app, result)
+        timeline = timeline_for(approach, multirate_app, result)
+        sim = simulate(multirate_app, timeline)
+        for task, expected in profiles[approach].worst_case.items():
+            assert sim.worst_acquisition_latency_us(task) == pytest.approx(
+                expected, abs=1e-6
+            ), (approach, task)

@@ -1,0 +1,78 @@
+"""Public API hygiene: everything exported must exist, import cleanly,
+and carry a docstring; modules must declare coherent __all__ lists."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.model",
+    "repro.let",
+    "repro.milp",
+    "repro.core",
+    "repro.sim",
+    "repro.analysis",
+    "repro.waters",
+    "repro.workloads",
+    "repro.io",
+    "repro.ext",
+    "repro.reporting",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestPackage:
+    def test_imports(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__, f"{package_name} has no module docstring"
+
+    def test_all_entries_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{package_name}.__all__ lists {name}"
+
+    def test_public_callables_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{package_name}.{name} lacks a docstring"
+
+
+def test_every_source_module_has_docstring():
+    undocumented = []
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(module_info.name)
+        if not module.__doc__:
+            undocumented.append(module_info.name)
+    assert undocumented == []
+
+
+def test_top_level_reexports_cover_core_workflow():
+    for name in (
+        "waters_application",
+        "assign_acquisition_deadlines",
+        "LetDmaFormulation",
+        "FormulationConfig",
+        "Objective",
+        "verify_allocation",
+        "all_profiles",
+        "simulate",
+        "timeline_for",
+    ):
+        assert name in repro.__all__
+        assert hasattr(repro, name)
+
+
+def test_version_matches_pyproject():
+    import tomllib
+    from pathlib import Path
+
+    pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+    data = tomllib.loads(pyproject.read_text())
+    assert repro.__version__ == data["project"]["version"]

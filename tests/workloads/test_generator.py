@@ -1,0 +1,113 @@
+"""Tests for the synthetic workload generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import WorkloadSpec, generate_application, generate_taskset, uunifast
+
+
+class TestUUniFast:
+    @given(
+        n=st.integers(min_value=1, max_value=50),
+        total=st.floats(min_value=0.1, max_value=4.0),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sums_to_total(self, n, total, seed):
+        values = uunifast(random.Random(seed), n, total)
+        assert len(values) == n
+        assert sum(values) == pytest.approx(total)
+        assert all(v >= 0 for v in values)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            uunifast(random.Random(0), 0, 1.0)
+
+
+class TestSpecValidation:
+    def test_too_few_tasks(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(num_tasks=1)
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(communication_density=1.5)
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(min_label_bytes=100, max_label_bytes=10)
+
+
+class TestGenerateTaskset:
+    def test_deterministic(self):
+        spec = WorkloadSpec(seed=42)
+        one = generate_taskset(spec)
+        two = generate_taskset(spec)
+        assert [(t.name, t.period_us, t.wcet_us) for t in one] == [
+            (t.name, t.period_us, t.wcet_us) for t in two
+        ]
+
+    def test_task_count(self):
+        assert len(generate_taskset(WorkloadSpec(num_tasks=12, seed=1))) == 12
+
+    def test_rate_monotonic_priorities(self):
+        tasks = generate_taskset(WorkloadSpec(num_tasks=10, seed=3))
+        for core_id in tasks.core_ids:
+            members = sorted(tasks.on_core(core_id), key=lambda t: t.priority)
+            periods = [t.period_us for t in members]
+            assert periods == sorted(periods)
+
+    def test_periods_from_catalog(self):
+        spec = WorkloadSpec(num_tasks=20, seed=5, periods_ms=(5, 10))
+        for task in generate_taskset(spec):
+            assert task.period_us in (5_000, 10_000)
+
+    def test_wcet_within_period(self):
+        for seed in range(5):
+            for task in generate_taskset(
+                WorkloadSpec(num_tasks=8, total_utilization=2.0, seed=seed)
+            ):
+                assert 0 < task.wcet_us <= task.period_us
+
+
+class TestGenerateApplication:
+    def test_at_least_one_label(self):
+        spec = WorkloadSpec(num_tasks=4, communication_density=0.0, seed=7)
+        app = generate_application(spec)
+        assert len(app.shared_labels) >= 1
+
+    def test_labels_only_inter_core(self):
+        spec = WorkloadSpec(num_tasks=10, communication_density=0.5, seed=9)
+        app = generate_application(spec)
+        for label in app.labels:
+            writer_core = app.tasks[label.writer].core_id
+            for reader in label.readers:
+                assert app.tasks[reader].core_id != writer_core
+
+    def test_label_sizes_in_range(self):
+        spec = WorkloadSpec(
+            num_tasks=10,
+            communication_density=0.8,
+            min_label_bytes=100,
+            max_label_bytes=1_000,
+            seed=11,
+        )
+        app = generate_application(spec)
+        for label in app.labels:
+            # log-uniform rounding may exceed bounds by <1.
+            assert 99 <= label.size_bytes <= 1_001
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_apps_are_valid(self, seed):
+        spec = WorkloadSpec(
+            num_tasks=6,
+            communication_density=0.4,
+            seed=seed,
+            periods_ms=(5, 10, 20, 50),
+        )
+        app = generate_application(spec)  # Application validates itself
+        assert len(app.tasks) == 6

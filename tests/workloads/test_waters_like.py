@@ -1,0 +1,76 @@
+"""Tests for the WATERS-like workload generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.double_buffer import intra_core_shared_labels
+from repro.workloads.waters_like import WatersLikeSpec, generate_waters_like
+
+
+class TestSpecValidation:
+    def test_minimum_counts(self):
+        with pytest.raises(ValueError):
+            WatersLikeSpec(num_perception=0)
+        with pytest.raises(ValueError):
+            WatersLikeSpec(num_control=1)
+
+    def test_payload_ranges(self):
+        with pytest.raises(ValueError):
+            WatersLikeSpec(perception_payload_range=(100, 10))
+        with pytest.raises(ValueError):
+            WatersLikeSpec(control_payload_range=(0, 10))
+
+
+class TestShape:
+    @pytest.fixture
+    def app(self):
+        return generate_waters_like(WatersLikeSpec(seed=7))
+
+    def test_task_partitioning(self, app):
+        assert all(t.core_id == "P1" for t in app.tasks if t.name.startswith("PER"))
+        assert all(t.core_id == "P2" for t in app.tasks if t.name.startswith("CTL"))
+
+    def test_perception_payloads_dominate(self, app):
+        perception = [
+            l.size_bytes for l in app.labels if l.name.startswith("percept_")
+        ]
+        control = [l.size_bytes for l in app.labels if l.name.startswith("state_")]
+        assert min(perception) > max(control)
+
+    def test_perception_periods_longer(self, app):
+        perception = [t.period_us for t in app.tasks if t.name.startswith("PER")]
+        control = [t.period_us for t in app.tasks if t.name.startswith("CTL")]
+        assert min(perception) > max(control)
+
+    def test_has_intra_core_label(self, app):
+        assert any(l.name == "ctl_chain" for l in intra_core_shared_labels(app))
+
+    def test_deterministic(self):
+        one = generate_waters_like(WatersLikeSpec(seed=3))
+        two = generate_waters_like(WatersLikeSpec(seed=3))
+        assert [l.size_bytes for l in one.labels] == [
+            l.size_bytes for l in two.labels
+        ]
+
+    def test_rm_priorities(self, app):
+        for core_id in app.tasks.core_ids:
+            members = sorted(app.tasks.on_core(core_id), key=lambda t: t.priority)
+            periods = [t.period_us for t in members]
+            assert periods == sorted(periods)
+
+
+class TestSolvability:
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=5, deadline=None)
+    def test_generated_apps_solve_and_verify(self, seed):
+        from repro.core import FormulationConfig, LetDmaFormulation, verify_allocation
+
+        app = generate_waters_like(
+            WatersLikeSpec(num_perception=2, num_control=2, seed=seed)
+        )
+        result = LetDmaFormulation(
+            app, FormulationConfig(time_limit_seconds=60)
+        ).solve()
+        if result.feasible:
+            verify_allocation(app, result).raise_if_failed()
