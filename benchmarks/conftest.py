@@ -5,9 +5,10 @@ the corresponding rows/series (run with ``pytest benchmarks/
 --benchmark-only -s`` to see them; they are also always written to
 stdout captured by pytest).
 
-MILP solves are cached per (objective, alpha) for the whole session so
-Table I (which times the solves) and the Fig. 2 panels (which reuse the
-solutions) do not pay twice.
+MILP solves go through the :func:`repro.solve` portfolio facade and are
+cached per (objective, alpha) for the whole session so Table I (which
+times the solves) and the Fig. 2 panels (which reuse the solutions) do
+not pay twice.
 """
 
 from __future__ import annotations
@@ -17,10 +18,10 @@ import pytest
 from repro.analysis import assign_acquisition_deadlines
 from repro.core import (
     FormulationConfig,
-    LetDmaFormulation,
     Objective,
     verify_allocation,
 )
+from repro.runtime import solve_recorded
 from repro.waters import waters_application
 
 #: Wall-clock budget per MILP solve (the paper used a 1-hour CPLEX
@@ -35,27 +36,23 @@ def waters_base():
 
 @pytest.fixture(scope="session")
 def solve_cache(waters_base):
-    """{(objective, alpha): (configured_app, AllocationResult, build_s)}."""
+    """{(objective, alpha): (configured_app, AllocationResult, wall_s)}."""
     cache: dict = {}
 
     def get(objective: Objective, alpha: float):
         key = (objective, alpha)
         if key not in cache:
-            import time
-
             app = assign_acquisition_deadlines(waters_base, alpha)
-            t0 = time.perf_counter()
-            formulation = LetDmaFormulation(
+            result, record = solve_recorded(
                 app,
                 FormulationConfig(
                     objective=objective, time_limit_seconds=MILP_TIME_LIMIT_S
                 ),
+                tags={"objective": objective.value, "alpha": alpha},
             )
-            build_seconds = time.perf_counter() - t0
-            result = formulation.solve()
-            if result.feasible:
+            if result.feasible and result.backend != "greedy":
                 verify_allocation(app, result).raise_if_failed()
-            cache[key] = (app, result, build_seconds)
+            cache[key] = (app, result, record["wall_seconds"])
         return cache[key]
 
     return get

@@ -7,11 +7,11 @@ and DMA transfer schedule, verifies the solution, and prints everything.
 Run with:  python examples/quickstart.py
 """
 
+import repro
 from repro import (
     Application,
     FormulationConfig,
     Label,
-    LetDmaFormulation,
     Objective,
     Platform,
     Task,
@@ -44,11 +44,13 @@ def main() -> None:
     ]
     app = Application(platform, tasks, labels)
 
-    # 4. Solve the MILP, minimizing the worst latency/period ratio
-    #    (Eq. (5) of the paper), and verify every LET property.
-    result = LetDmaFormulation(
+    # 4. Solve, minimizing the worst latency/period ratio (Eq. (5) of
+    #    the paper), and verify every LET property.  repro.solve runs
+    #    the solver portfolio: exact MILP first, with graceful
+    #    degradation on timeout.
+    result = repro.solve(
         app, FormulationConfig(objective=Objective.MIN_DELAY_RATIO)
-    ).solve()
+    )
     verify_allocation(app, result).raise_if_failed()
 
     # 5. Inspect the outcome.

@@ -4,17 +4,24 @@ Biondi, Di Natale — DAC 2021).
 
 Quick start::
 
+    import repro
     from repro import (
         waters_application, assign_acquisition_deadlines,
-        LetDmaFormulation, FormulationConfig, Objective, verify_allocation,
+        FormulationConfig, Objective, verify_allocation,
     )
 
     app = assign_acquisition_deadlines(waters_application(), alpha=0.2)
-    result = LetDmaFormulation(
+    result = repro.solve(
         app, FormulationConfig(objective=Objective.MIN_DELAY_RATIO)
-    ).solve()
+    )
     verify_allocation(app, result).raise_if_failed()
     print(result.summary())
+
+:func:`repro.solve` is the single front door to the solver: a portfolio
+of HiGHS → branch-and-bound → greedy with graceful degradation on
+timeouts, an optional persistent cache, and optional JSONL telemetry.
+Grids of solves run in parallel through
+:class:`repro.runtime.ExperimentRunner`.
 
 Package map:
 
@@ -27,6 +34,8 @@ Package map:
 * :mod:`repro.analysis`  — response-time analysis and the gamma sensitivity sweep;
 * :mod:`repro.waters`    — the WATERS 2019 case study (reconstructed);
 * :mod:`repro.workloads` — synthetic taskset/communication generation;
+* :mod:`repro.runtime`   — the solve facade, solver portfolio, parallel
+  experiment runner, and run telemetry;
 * :mod:`repro.reporting` — experiment drivers and text tables/figures.
 """
 
@@ -38,6 +47,7 @@ from repro.analysis import (
 )
 from repro.core import (
     AllocationResult,
+    FallbackAttempt,
     FormulationConfig,
     GreedyAllocator,
     LetDmaFormulation,
@@ -56,6 +66,15 @@ from repro.model import (
     Task,
     TaskSet,
 )
+from repro.runtime import (
+    ExperimentRunner,
+    SolveJob,
+    TelemetryWriter,
+    read_telemetry,
+    solve,
+    solve_with_portfolio,
+    summarize_telemetry,
+)
 from repro.sim import simulate, timeline_for
 from repro.waters import waters_application
 from repro.workloads import WorkloadSpec, generate_application
@@ -68,6 +87,7 @@ __all__ = [
     "compute_slacks",
     "schedulable_with_jitter",
     "AllocationResult",
+    "FallbackAttempt",
     "FormulationConfig",
     "GreedyAllocator",
     "LetDmaFormulation",
@@ -83,6 +103,13 @@ __all__ = [
     "Platform",
     "Task",
     "TaskSet",
+    "ExperimentRunner",
+    "SolveJob",
+    "TelemetryWriter",
+    "read_telemetry",
+    "solve",
+    "solve_with_portfolio",
+    "summarize_telemetry",
     "simulate",
     "timeline_for",
     "waters_application",

@@ -5,9 +5,16 @@ Commands:
 * ``table1``  — reproduce Table I (MILP times and transfer counts);
 * ``fig2``    — reproduce one Fig. 2 panel (latency ratios);
 * ``alphas``  — the alpha feasibility sweep;
-* ``solve``   — solve the WATERS case study once and print the
-  allocation (layouts + transfer schedule);
+* ``sweep``   — run a (objective x alpha) solve grid in parallel
+  (``--jobs N``) with optional JSONL telemetry (``--telemetry DIR``);
+* ``solve``   — solve the WATERS case study once through the
+  :func:`repro.solve` facade and print the allocation;
+* ``telemetry`` — summarize a telemetry JSONL file / run directory;
 * ``simulate``— run the discrete-event simulator for one approach.
+
+Grid commands (``table1``, ``alphas``, ``sweep``) accept ``--jobs`` and
+``--telemetry``; all solver commands share the solver knob defaults of
+:mod:`repro.defaults`.
 """
 
 from __future__ import annotations
@@ -16,25 +23,78 @@ import argparse
 import sys
 
 from repro.core import Objective
+from repro.defaults import (
+    DEFAULT_MILP_BACKEND,
+    DEFAULT_SOLVE_BACKEND,
+    DEFAULT_TIME_LIMIT_SECONDS,
+)
 from repro.reporting import (
     render_ratio_figure,
     render_table,
     run_alpha_feasibility,
     run_fig2_panel,
     run_table1,
-    solve_waters,
+    solve_instance,
 )
 from repro.waters import TASK_NAMES
 
 _OBJECTIVES = {obj.value.lower(): obj for obj in Objective}
+
+_BACKENDS = ("portfolio", "highs", "bnb", "greedy")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--time-limit",
         type=float,
-        default=120.0,
-        help="MILP time limit in seconds (default: 120)",
+        default=DEFAULT_TIME_LIMIT_SECONDS,
+        help="MILP time limit in seconds per solver rung "
+        f"(default: {DEFAULT_TIME_LIMIT_SECONDS:g})",
+    )
+    parser.add_argument(
+        "--mip-gap",
+        type=float,
+        default=None,
+        help="relative MIP gap at which to stop (default: prove optimality)",
+    )
+
+
+def _positive_int(value: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer") from None
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return number
+
+
+def _add_grid(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the grid-shaped commands (table1/alphas/sweep)."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the solve grid (default: 1)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write one JSONL telemetry record per solve to PATH "
+        "(a .jsonl file or a run directory)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=_BACKENDS,
+        default=DEFAULT_SOLVE_BACKEND,
+        help=f"solver backend (default: {DEFAULT_SOLVE_BACKEND})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent solve cache shared by all jobs (default: off)",
     )
 
 
@@ -59,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--alphas", type=float, nargs="+", default=[0.2, 0.4]
     )
     _add_common(p_table1)
+    _add_grid(p_table1)
 
     p_fig2 = sub.add_parser("fig2", help="reproduce one Fig. 2 panel")
     p_fig2.add_argument("--objective", type=_objective, default=Objective.NONE)
@@ -70,10 +131,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--alphas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4, 0.5]
     )
     _add_common(p_alphas)
+    _add_grid(p_alphas)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a (objective x alpha) solve grid in parallel worker "
+        "processes, with portfolio fallback and telemetry",
+    )
+    p_sweep.add_argument(
+        "--objectives",
+        type=_objective,
+        nargs="+",
+        default=list(Objective),
+        help="objectives to sweep (default: all three)",
+    )
+    p_sweep.add_argument(
+        "--alphas", type=float, nargs="+", default=[0.2, 0.4]
+    )
+    _add_common(p_sweep)
+    _add_grid(p_sweep)
+
+    p_telemetry = sub.add_parser(
+        "telemetry", help="summarize a telemetry JSONL file or run directory"
+    )
+    p_telemetry.add_argument("path", help="telemetry .jsonl file or run directory")
 
     p_solve = sub.add_parser("solve", help="solve WATERS and print the allocation")
     p_solve.add_argument("--objective", type=_objective, default=Objective.NONE)
     p_solve.add_argument("--alpha", type=float, default=0.2)
+    p_solve.add_argument(
+        "--backend", choices=_BACKENDS, default=DEFAULT_MILP_BACKEND
+    )
+    p_solve.add_argument("--telemetry", default=None, metavar="PATH")
+    p_solve.add_argument("--cache-dir", default=None, metavar="DIR")
     _add_common(p_solve)
 
     p_sim = sub.add_parser("simulate", help="simulate one approach on WATERS")
@@ -124,7 +214,12 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table1":
         rows = run_table1(
-            alphas=tuple(args.alphas), time_limit_seconds=args.time_limit
+            alphas=tuple(args.alphas),
+            time_limit_seconds=args.time_limit,
+            jobs=args.jobs,
+            telemetry=args.telemetry,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
         )
         print(
             render_table(
@@ -141,16 +236,65 @@ def main(argv: list[str] | None = None) -> int:
         print(render_ratio_figure({title: panel}, TASK_NAMES))
     elif args.command == "alphas":
         outcome = run_alpha_feasibility(
-            alphas=tuple(args.alphas), time_limit_seconds=args.time_limit
+            alphas=tuple(args.alphas),
+            time_limit_seconds=args.time_limit,
+            jobs=args.jobs,
+            telemetry=args.telemetry,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
         )
         rows = [
             (f"{alpha:.1f}", "feasible" if ok else "INFEASIBLE")
             for alpha, ok in outcome.items()
         ]
         print(render_table(["alpha", "outcome"], rows, title="Alpha sensitivity"))
+    elif args.command == "sweep":
+        rows = run_table1(
+            alphas=tuple(args.alphas),
+            objectives=tuple(args.objectives),
+            time_limit_seconds=args.time_limit,
+            jobs=args.jobs,
+            telemetry=args.telemetry,
+            cache_dir=args.cache_dir,
+            backend=args.backend,
+        )
+        print(
+            render_table(
+                [
+                    "objective",
+                    "alpha",
+                    "MILP time",
+                    "status",
+                    "# DMA transfers",
+                    "backend",
+                ],
+                [row.as_tuple() + (row.backend,) for row in rows],
+                title=f"Sweep: {len(rows)} solves, jobs={args.jobs}, "
+                f"backend={args.backend}",
+            )
+        )
+        if args.telemetry:
+            from repro.runtime import read_telemetry, render_telemetry_summary
+
+            print(render_telemetry_summary(read_telemetry(args.telemetry)))
+    elif args.command == "telemetry":
+        from repro.runtime import read_telemetry, render_telemetry_summary
+
+        try:
+            records = read_telemetry(args.path)
+        except FileNotFoundError:
+            print(f"error: no telemetry found at {args.path!r}", file=sys.stderr)
+            return 1
+        print(render_telemetry_summary(records))
     elif args.command == "solve":
-        app, result = solve_waters(
-            args.objective, args.alpha, time_limit_seconds=args.time_limit
+        app, result = solve_instance(
+            args.objective,
+            args.alpha,
+            time_limit_seconds=args.time_limit,
+            backend=args.backend,
+            mip_gap=args.mip_gap,
+            cache=args.cache_dir,
+            telemetry=args.telemetry,
         )
         print(result.summary())
         for memory_id, layout in result.layouts.items():
@@ -159,7 +303,7 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "simulate":
         from repro.sim import simulate, timeline_for
 
-        app, result = solve_waters(
+        app, result = solve_instance(
             Objective.MIN_DELAY_RATIO, args.alpha, time_limit_seconds=args.time_limit
         )
         timeline = timeline_for(args.approach, app, result)
@@ -192,7 +336,7 @@ def main(argv: list[str] | None = None) -> int:
             save_result,
         )
 
-        app, result = solve_waters(
+        app, result = solve_instance(
             args.objective, args.alpha, time_limit_seconds=args.time_limit
         )
         out = Path(args.out)
@@ -209,7 +353,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core import proposed_profile
         from repro.waters import waters_application
 
-        app, result = solve_waters(
+        app, result = solve_instance(
             Objective.MIN_DELAY_RATIO, args.alpha, time_limit_seconds=args.time_limit
         )
         latencies = proposed_profile(app, result).worst_case

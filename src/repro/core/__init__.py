@@ -19,7 +19,12 @@ from repro.core.heuristic import GreedyAllocator, greedy_allocation
 from repro.core.local_search import improve_transfer_order, worst_delay_ratio
 from repro.core.positional import PositionalLetDmaFormulation
 from repro.core.protocol import InstantSchedule, LetDmaProtocol, TransferDispatch
-from repro.core.solution import AllocationResult, DmaTransfer, MemoryLayout
+from repro.core.solution import (
+    AllocationResult,
+    DmaTransfer,
+    FallbackAttempt,
+    MemoryLayout,
+)
 from repro.core.verifier import VerificationReport, verify_allocation
 
 __all__ = [
@@ -45,6 +50,7 @@ __all__ = [
     "TransferDispatch",
     "AllocationResult",
     "DmaTransfer",
+    "FallbackAttempt",
     "MemoryLayout",
     "VerificationReport",
     "verify_allocation",

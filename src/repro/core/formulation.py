@@ -40,6 +40,11 @@ import enum
 import math
 from dataclasses import dataclass
 
+from repro.defaults import (
+    DEFAULT_MILP_BACKEND,
+    DEFAULT_MIP_GAP,
+    DEFAULT_TIME_LIMIT_SECONDS,
+)
 from repro.let.communication import Communication
 from repro.let.grouping import active_instants, communications_at
 from repro.milp import LinExpr, MilpModel, Var, lin_sum
@@ -79,7 +84,10 @@ class FormulationConfig:
             active instants (including the hyperperiod wrap-around).
         backend: MILP backend ("highs" or "bnb").
         time_limit_seconds: Solver wall-clock budget (the paper used a
-            1-hour CPLEX timeout).
+            1-hour CPLEX timeout).  Defaults, like ``backend`` and
+            ``mip_gap``, come from :mod:`repro.defaults` — the single
+            source of solver defaults shared with the cache, the
+            :func:`repro.solve` facade, and the CLI.
         mip_gap: Optional relative optimality gap at which to stop.
     """
 
@@ -87,9 +95,9 @@ class FormulationConfig:
     max_transfers: int | None = None
     enforce_deadlines: bool = True
     enforce_property3: bool = True
-    backend: str = "highs"
-    time_limit_seconds: float | None = 600.0
-    mip_gap: float | None = None
+    backend: str = DEFAULT_MILP_BACKEND
+    time_limit_seconds: float | None = DEFAULT_TIME_LIMIT_SECONDS
+    mip_gap: float | None = DEFAULT_MIP_GAP
 
 
 class LetDmaFormulation:

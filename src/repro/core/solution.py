@@ -16,7 +16,59 @@ from repro.let.grouping import communications_at
 from repro.milp.result import Solution, SolveStatus
 from repro.model.application import Application
 
-__all__ = ["MemoryLayout", "DmaTransfer", "AllocationResult", "extract_result"]
+__all__ = [
+    "FallbackAttempt",
+    "MemoryLayout",
+    "DmaTransfer",
+    "AllocationResult",
+    "extract_result",
+]
+
+
+@dataclass(frozen=True)
+class FallbackAttempt:
+    """One rung of a solver portfolio, as attempted for a solve.
+
+    A portfolio solve (see :mod:`repro.runtime.portfolio`) records one
+    attempt per rung it ran, in order; the last attempt is the one that
+    produced the returned result.
+
+    Attributes:
+        backend: Rung name ("highs", "bnb", "greedy").
+        status: The rung's :class:`SolveStatus` value (or ``"error"``
+            when the rung raised instead of returning).
+        runtime_seconds: Wall-clock time spent in the rung.
+        reason: Why the portfolio moved past this rung (empty for the
+            accepted rung).
+    """
+
+    backend: str
+    status: str
+    runtime_seconds: float = 0.0
+    reason: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (telemetry / serialization)."""
+        return {
+            "backend": self.backend,
+            "status": self.status,
+            "runtime_seconds": self.runtime_seconds,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FallbackAttempt":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            backend=data["backend"],
+            status=data["status"],
+            runtime_seconds=float(data.get("runtime_seconds", 0.0)),
+            reason=data.get("reason", ""),
+        )
+
+    def __str__(self) -> str:
+        suffix = f" ({self.reason})" if self.reason else ""
+        return f"{self.backend}:{self.status}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -107,6 +159,10 @@ class AllocationResult:
             task at s_0 as accounted by Constraint 9.
         num_variables / num_constraints: Model size, for Table I-style
             reporting.
+        backend: The solver that produced this result ("highs", "bnb",
+            "greedy"); empty when solved outside the runtime layer.
+        fallback_chain: Portfolio attempts leading to this result, in
+            order (empty for direct single-backend solves).
     """
 
     status: SolveStatus
@@ -117,6 +173,8 @@ class AllocationResult:
     latencies_us: dict[str, float] = field(default_factory=dict)
     num_variables: int = 0
     num_constraints: int = 0
+    backend: str = ""
+    fallback_chain: tuple[FallbackAttempt, ...] = ()
 
     @property
     def feasible(self) -> bool:
@@ -191,7 +249,8 @@ class AllocationResult:
 
     def summary(self) -> str:
         lines = [
-            f"status: {self.status.value}",
+            f"status: {self.status.value}"
+            + (f" ({self.backend})" if self.backend else ""),
             f"objective: {self.objective_value:.4f}",
             f"transfers at s0: {self.num_transfers}",
             f"solve time: {self.runtime_seconds:.2f} s",

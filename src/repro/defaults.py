@@ -1,0 +1,48 @@
+"""Single source of solver defaults.
+
+Every layer that exposes solver knobs — :class:`repro.core.FormulationConfig`,
+the persistent cache in :mod:`repro.io.cache`, the :func:`repro.solve`
+facade, the :class:`repro.runtime.ExperimentRunner`, and the ``letdma``
+CLI — reads its defaults from this module, so a knob has exactly one
+default value across the whole library.  (Before this module existed the
+CLI defaulted ``--time-limit`` to 120 s while ``FormulationConfig``
+defaulted to 600 s; grids silently solved under different budgets
+depending on the entrypoint.)
+
+This module is a leaf: it imports nothing from :mod:`repro`, so it can
+be used from any layer without creating import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DEFAULT_TIME_LIMIT_SECONDS",
+    "DEFAULT_MIP_GAP",
+    "DEFAULT_MILP_BACKEND",
+    "DEFAULT_SOLVE_BACKEND",
+    "DEFAULT_PORTFOLIO",
+    "DEFAULT_CACHE_DIR",
+]
+
+#: Wall-clock budget per solver rung (the paper used a 1-hour CPLEX
+#: timeout on a 40-core Xeon; HiGHS on the reproduction's instances
+#: finishes in seconds to minutes).
+DEFAULT_TIME_LIMIT_SECONDS: float = 120.0
+
+#: Relative MIP gap at which to stop (None = solve to proven optimality).
+DEFAULT_MIP_GAP: float | None = None
+
+#: The exact MILP backend used when a single backend is requested.
+DEFAULT_MILP_BACKEND: str = "highs"
+
+#: The backend of :func:`repro.solve`: the graceful-degradation
+#: portfolio (HiGHS, then pure-Python branch and bound, then the greedy
+#: heuristic).
+DEFAULT_SOLVE_BACKEND: str = "portfolio"
+
+#: Rung order of the default solver portfolio.
+DEFAULT_PORTFOLIO: tuple[str, ...] = ("highs", "bnb", "greedy")
+
+#: Default persistent cache directory of :func:`repro.solve` callers
+#: that enable caching without naming a directory.
+DEFAULT_CACHE_DIR: str = ".letdma-cache"

@@ -1,41 +1,55 @@
 """Persistent cache for solved allocations.
 
 MILP solves on realistic instances take minutes; re-running a CLI
-command or notebook cell should not pay twice.  ``solve_cached`` keys a
-solve by a content hash of (application, formulation config, library
-version) and stores results as the JSON of
+command or notebook cell should not pay twice.  Solves are keyed by a
+content hash of (application, formulation config, solver backend,
+MIP gap, library version) and stored as the JSON of
 :mod:`repro.io.serialization` under a cache directory (default
 ``.letdma-cache/`` in the working directory).
 
-Only *feasible or infeasible* outcomes are cached; errors and
-timeout-limited incumbents (status ``feasible``, which might improve
-with more time) are returned but not stored, so a longer rerun is never
-masked by a cached weaker incumbent.
+The backend and the MIP gap are part of the key on purpose: a
+portfolio-fallback result (greedy, or a gap-relaxed incumbent) must
+never alias an exact HiGHS solve of the same instance.
+
+Only *proven* outcomes are cached (:data:`CACHEABLE_STATUSES`:
+optimal or infeasible); errors and timeout-limited incumbents (status
+``feasible``, which might improve with more time) are returned but not
+stored, so a longer rerun is never masked by a cached weaker incumbent.
+
+.. deprecated::
+    :func:`solve_cached` is a shim over :func:`repro.solve`; call
+    ``repro.solve(app, config, cache=cache_dir)`` instead.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from pathlib import Path
 
-from repro.core.formulation import FormulationConfig, LetDmaFormulation
+from repro.core.formulation import FormulationConfig
 from repro.core.solution import AllocationResult
-from repro.io.serialization import (
-    application_to_dict,
-    load_result,
-    save_result,
-)
+from repro.defaults import DEFAULT_CACHE_DIR
+from repro.io.serialization import application_to_dict
 from repro.milp.result import SolveStatus
 from repro.model.application import Application
 
-__all__ = ["cache_key", "solve_cached", "clear_cache"]
+__all__ = ["CACHEABLE_STATUSES", "cache_key", "solve_cached", "clear_cache"]
 
-_CACHEABLE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+#: Outcomes worth persisting: proven optimal or proven infeasible.
+CACHEABLE_STATUSES = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
 
 
 def cache_key(app: Application, config: FormulationConfig) -> str:
-    """Content hash identifying one solve."""
+    """Content hash identifying one solve.
+
+    Includes everything that can change the *answer*: the application,
+    the formulation knobs, the backend (``config.backend``; the facade
+    keys portfolio solves as ``"portfolio"``), the MIP gap, and the
+    library version.  The time limit is deliberately excluded — a
+    proven optimum is the same optimum under any budget.
+    """
     import repro
 
     payload = {
@@ -45,6 +59,8 @@ def cache_key(app: Application, config: FormulationConfig) -> str:
         "max_transfers": config.max_transfers,
         "enforce_deadlines": config.enforce_deadlines,
         "enforce_property3": config.enforce_property3,
+        "backend": config.backend,
+        "mip_gap": config.mip_gap,
     }
     digest = hashlib.sha256(
         json.dumps(payload, sort_keys=True).encode()
@@ -55,30 +71,28 @@ def cache_key(app: Application, config: FormulationConfig) -> str:
 def solve_cached(
     app: Application,
     config: FormulationConfig | None = None,
-    cache_dir: str | Path = ".letdma-cache",
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
 ) -> AllocationResult:
     """Solve (or load) the MILP for ``app`` under ``config``.
 
-    A cache hit returns instantly with ``runtime_seconds`` as recorded
-    at solve time.  Corrupt cache entries are ignored and re-solved.
+    .. deprecated::
+        Use ``repro.solve(app, config, backend=config.backend,
+        cache=cache_dir)`` — same behavior, plus portfolio fallback and
+        telemetry when wanted.
     """
+    warnings.warn(
+        "solve_cached() is deprecated; use "
+        "repro.solve(app, config, cache=cache_dir) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.runtime.facade import solve
+
     config = config or FormulationConfig()
-    directory = Path(cache_dir)
-    path = directory / f"{cache_key(app, config)}.json"
-    if path.exists():
-        try:
-            return load_result(path)
-        except (ValueError, KeyError, json.JSONDecodeError):
-            path.unlink(missing_ok=True)  # corrupt entry: re-solve
-
-    result = LetDmaFormulation(app, config).solve()
-    if result.status in _CACHEABLE:
-        directory.mkdir(parents=True, exist_ok=True)
-        save_result(result, path)
-    return result
+    return solve(app, config, backend=config.backend, cache=cache_dir)
 
 
-def clear_cache(cache_dir: str | Path = ".letdma-cache") -> int:
+def clear_cache(cache_dir: str | Path = DEFAULT_CACHE_DIR) -> int:
     """Delete all cached solves; returns the number of entries removed."""
     directory = Path(cache_dir)
     if not directory.exists():

@@ -31,7 +31,12 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.core.solution import AllocationResult, DmaTransfer, MemoryLayout
+from repro.core.solution import (
+    AllocationResult,
+    DmaTransfer,
+    FallbackAttempt,
+    MemoryLayout,
+)
 from repro.let.communication import Communication, Direction
 from repro.milp.result import SolveStatus
 from repro.model import (
@@ -185,6 +190,10 @@ def result_to_dict(result: AllocationResult) -> dict:
         "status": result.status.value,
         "objective_value": result.objective_value,
         "runtime_seconds": result.runtime_seconds,
+        "backend": result.backend,
+        "fallback_chain": [
+            attempt.to_dict() for attempt in result.fallback_chain
+        ],
         "layouts": {
             memory_id: {
                 "order": list(layout.order),
@@ -258,6 +267,11 @@ def result_from_dict(data: dict) -> AllocationResult:
         layouts=layouts,
         transfers=transfers,
         latencies_us=dict(data.get("latencies_us", {})),
+        backend=data.get("backend", ""),
+        fallback_chain=tuple(
+            FallbackAttempt.from_dict(entry)
+            for entry in data.get("fallback_chain", ())
+        ),
     )
 
 

@@ -6,6 +6,7 @@ from repro.reporting.experiments import (
     run_alpha_feasibility,
     run_fig2_panel,
     run_table1,
+    solve_instance,
     solve_waters,
 )
 from repro.reporting.memory_report import (
@@ -31,6 +32,7 @@ __all__ = [
     "run_alpha_feasibility",
     "run_fig2_panel",
     "run_table1",
+    "solve_instance",
     "solve_waters",
     "render_bar_panel",
     "render_ratio_figure",

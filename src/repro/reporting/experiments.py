@@ -3,31 +3,45 @@
 Shared by the benchmark harness, the examples, and the CLI so that
 "Table I" and "Fig. 2" always mean the same computation:
 
+* :func:`solve_instance` — gamma assignment + one :func:`repro.solve`
+  call (portfolio/cache/telemetry aware) + optional verification;
 * :func:`run_table1` — MILP running times and transfer counts per
-  objective and alpha;
+  objective and alpha, fanned across worker processes by the
+  :class:`~repro.runtime.ExperimentRunner`;
 * :func:`run_fig2_panel` — per-task latency ratios of the proposed
   approach against the three Giotto baselines for one configuration;
 * :func:`run_alpha_feasibility` — the paper's observation that the
   sweep is feasible for alpha in {0.2..0.5} and which alphas fail.
+
+``solve_waters`` remains as a deprecation shim over
+:func:`solve_instance`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.analysis import assign_acquisition_deadlines
 from repro.core import (
     FormulationConfig,
-    LetDmaFormulation,
     Objective,
     all_profiles,
     verify_allocation,
 )
+from repro.defaults import (
+    DEFAULT_MILP_BACKEND,
+    DEFAULT_SOLVE_BACKEND,
+    DEFAULT_TIME_LIMIT_SECONDS,
+)
 from repro.model.application import Application
+from repro.runtime import ExperimentRunner, SolveJob
+from repro.runtime.facade import solve as _facade_solve
 from repro.waters import waters_application
 
 __all__ = [
     "Table1Row",
+    "solve_instance",
     "run_table1",
     "run_fig2_panel",
     "run_alpha_feasibility",
@@ -38,27 +52,76 @@ __all__ = [
 COMPETITORS = ("giotto-cpu", "giotto-dma-a", "giotto-dma-b")
 
 
+def solve_instance(
+    objective: Objective,
+    alpha: float,
+    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS,
+    app: Application | None = None,
+    verify: bool = True,
+    *,
+    backend: str = DEFAULT_MILP_BACKEND,
+    mip_gap: float | None = None,
+    cache: str | None = None,
+    telemetry=None,
+):
+    """Assign gammas for ``alpha``, solve via :func:`repro.solve`,
+    optionally verify.
+
+    Returns (application-with-gammas, AllocationResult).  Verification
+    is skipped for greedy-produced results: the heuristic guarantees
+    Properties 1 and 2 by construction but does not optimize for
+    deadlines/Property 3, which is exactly why it is a *degraded*
+    portfolio rung.
+    """
+    base = app if app is not None else waters_application()
+    configured = assign_acquisition_deadlines(base, alpha)
+    config = FormulationConfig(
+        objective=objective,
+        time_limit_seconds=time_limit_seconds,
+        mip_gap=mip_gap,
+    )
+    result = _facade_solve(
+        configured,
+        config,
+        backend=backend,
+        cache=cache,
+        telemetry=telemetry,
+        tags={"objective": objective.value, "alpha": alpha},
+    )
+    if verify and result.feasible and result.backend != "greedy":
+        verify_allocation(configured, result).raise_if_failed()
+    return configured, result
+
+
 def solve_waters(
     objective: Objective,
     alpha: float,
-    time_limit_seconds: float = 120.0,
+    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS,
     app: Application | None = None,
     verify: bool = True,
 ):
     """Assign gammas for ``alpha``, solve the MILP, optionally verify.
 
     Returns (application-with-gammas, AllocationResult).
+
+    .. deprecated::
+        Use :func:`solve_instance` (or :func:`repro.solve` directly);
+        this shim keeps the historical exact-HiGHS behavior.
     """
-    base = app if app is not None else waters_application()
-    configured = assign_acquisition_deadlines(base, alpha)
-    formulation = LetDmaFormulation(
-        configured,
-        FormulationConfig(objective=objective, time_limit_seconds=time_limit_seconds),
+    warnings.warn(
+        "solve_waters() is deprecated; use repro.reporting.solve_instance() "
+        "or repro.solve() instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    result = formulation.solve()
-    if verify and result.feasible:
-        verify_allocation(configured, result).raise_if_failed()
-    return configured, result
+    return solve_instance(
+        objective,
+        alpha,
+        time_limit_seconds=time_limit_seconds,
+        app=app,
+        verify=verify,
+        backend=DEFAULT_MILP_BACKEND,
+    )
 
 
 @dataclass
@@ -70,6 +133,7 @@ class Table1Row:
     runtime_seconds: float
     status: str
     num_transfers: int
+    backend: str = ""
 
     def as_tuple(self) -> tuple:
         return (
@@ -81,6 +145,33 @@ class Table1Row:
         )
 
 
+def _waters_grid(
+    prefix: str,
+    base: Application,
+    objectives: tuple[Objective, ...],
+    alphas: tuple[float, ...],
+    time_limit_seconds: float,
+    backend: str,
+) -> list[SolveJob]:
+    """One SolveJob per (objective, alpha) grid point."""
+    grid = []
+    for objective in objectives:
+        for alpha in alphas:
+            grid.append(
+                SolveJob(
+                    job_id=f"{prefix}[{objective.value}][alpha={alpha:g}]",
+                    app=assign_acquisition_deadlines(base, alpha),
+                    config=FormulationConfig(
+                        objective=objective,
+                        time_limit_seconds=time_limit_seconds,
+                    ),
+                    backend=backend,
+                    tags={"objective": objective.value, "alpha": alpha},
+                )
+            )
+    return grid
+
+
 def run_table1(
     alphas: tuple[float, ...] = (0.2, 0.4),
     objectives: tuple[Objective, ...] = (
@@ -88,38 +179,59 @@ def run_table1(
         Objective.MIN_TRANSFERS,
         Objective.MIN_DELAY_RATIO,
     ),
-    time_limit_seconds: float = 120.0,
+    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS,
     app: Application | None = None,
+    *,
+    jobs: int = 1,
+    telemetry=None,
+    cache_dir: str | None = None,
+    backend: str = DEFAULT_SOLVE_BACKEND,
 ) -> list[Table1Row]:
-    """The Table I experiment: times and transfer counts per config."""
-    rows = []
+    """The Table I experiment: times and transfer counts per config.
+
+    ``jobs > 1`` fans the grid across worker processes; rows come back
+    in grid order either way.
+    """
     base = app if app is not None else waters_application()
-    for objective in objectives:
-        for alpha in alphas:
-            _, result = solve_waters(
-                objective, alpha, time_limit_seconds, app=base
+    grid = _waters_grid(
+        "table1", base, objectives, tuple(alphas), time_limit_seconds, backend
+    )
+    runner = ExperimentRunner(jobs=jobs, telemetry=telemetry, cache_dir=cache_dir)
+    rows = []
+    for job, outcome in zip(grid, runner.run(grid)):
+        result = outcome.result
+        if result.feasible and result.backend != "greedy":
+            verify_allocation(job.app, result).raise_if_failed()
+        rows.append(
+            Table1Row(
+                objective=Objective(job.tags["objective"]),
+                alpha=job.tags["alpha"],
+                runtime_seconds=result.runtime_seconds,
+                status=result.status.value,
+                num_transfers=result.num_transfers,
+                backend=result.backend,
             )
-            rows.append(
-                Table1Row(
-                    objective=objective,
-                    alpha=alpha,
-                    runtime_seconds=result.runtime_seconds,
-                    status=result.status.value,
-                    num_transfers=result.num_transfers,
-                )
-            )
+        )
     return rows
 
 
 def run_fig2_panel(
     objective: Objective,
     alpha: float,
-    time_limit_seconds: float = 120.0,
+    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS,
     app: Application | None = None,
+    *,
+    telemetry=None,
+    cache: str | None = None,
 ) -> dict[str, dict[str, float]]:
     """One Fig. 2 panel: {competitor: {task: lambda ratio}}."""
-    configured, result = solve_waters(
-        objective, alpha, time_limit_seconds, app=app
+    configured, result = solve_instance(
+        objective,
+        alpha,
+        time_limit_seconds,
+        app=app,
+        cache=cache,
+        telemetry=telemetry,
     )
     if not result.feasible:
         raise RuntimeError(
@@ -137,13 +249,19 @@ def run_alpha_feasibility(
     alphas: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5),
     time_limit_seconds: float = 60.0,
     app: Application | None = None,
+    *,
+    jobs: int = 1,
+    telemetry=None,
+    cache_dir: str | None = None,
+    backend: str = DEFAULT_SOLVE_BACKEND,
 ) -> dict[float, bool]:
     """Which alphas admit a feasible allocation (paper: 0.1 fails)."""
-    outcome = {}
     base = app if app is not None else waters_application()
-    for alpha in alphas:
-        _, result = solve_waters(
-            Objective.NONE, alpha, time_limit_seconds, app=base
-        )
-        outcome[alpha] = result.feasible
-    return outcome
+    grid = _waters_grid(
+        "alphas", base, (Objective.NONE,), tuple(alphas), time_limit_seconds, backend
+    )
+    runner = ExperimentRunner(jobs=jobs, telemetry=telemetry, cache_dir=cache_dir)
+    return {
+        job.tags["alpha"]: outcome.result.feasible
+        for job, outcome in zip(grid, runner.run(grid))
+    }

@@ -1,0 +1,160 @@
+"""The one-call solve facade: :func:`repro.solve`.
+
+Historically callers reached the solver through four entrypoints
+(``LetDmaFormulation.solve``, ``solve_cached``, ``solve_waters``,
+``greedy_allocation``), each with its own defaults and no shared
+timeout/fallback/telemetry story.  This module is the single front
+door: it composes the solver portfolio of
+:mod:`repro.runtime.portfolio`, the persistent cache of
+:mod:`repro.io.cache`, and the JSONL telemetry of
+:mod:`repro.runtime.telemetry` behind one call::
+
+    import repro
+
+    result = repro.solve(app)                          # portfolio solve
+    result = repro.solve(app, config, backend="highs") # exact only
+    result = repro.solve(app, cache=".letdma-cache",   # cached + observed
+                         telemetry="runs/today")
+
+The low-level entrypoints remain for building blocks
+(``LetDmaFormulation`` for model introspection, ``greedy_allocation``
+as a library primitive); ``solve_cached`` and ``solve_waters`` are
+deprecation shims over this facade.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.core.formulation import FormulationConfig
+from repro.core.solution import AllocationResult
+from repro.defaults import DEFAULT_PORTFOLIO, DEFAULT_SOLVE_BACKEND
+from repro.io.cache import CACHEABLE_STATUSES, cache_key
+from repro.io.serialization import load_result, save_result
+from repro.model.application import Application
+from repro.runtime.portfolio import solve_with_portfolio
+from repro.runtime.telemetry import TelemetryWriter, build_solve_record
+
+__all__ = ["solve", "solve_recorded"]
+
+
+def solve(
+    app: Application,
+    config: FormulationConfig | None = None,
+    *,
+    backend: str = DEFAULT_SOLVE_BACKEND,
+    cache: "str | Path | None" = None,
+    telemetry: "TelemetryWriter | str | Path | None" = None,
+    job_id: str | None = None,
+    tags: dict | None = None,
+) -> AllocationResult:
+    """Solve the LET-DMA allocation problem for ``app``.
+
+    Args:
+        app: The application to allocate and schedule.
+        config: Formulation tunables (objective, time limit, MIP gap,
+            ...); defaults to :class:`FormulationConfig` with the shared
+            defaults of :mod:`repro.defaults`.  ``config.backend`` is
+            ignored here — the ``backend`` argument decides the solve
+            path.
+        backend: ``"portfolio"`` (default: HiGHS → branch and bound →
+            greedy with graceful degradation), or a single backend
+            ``"highs"``, ``"bnb"``, ``"greedy"``.
+        cache: Optional persistent cache directory; proven outcomes
+            (optimal/infeasible) are stored and reused by content hash.
+        telemetry: Optional telemetry sink (a
+            :class:`~repro.runtime.telemetry.TelemetryWriter`, a
+            ``.jsonl`` path, or a run directory); one record is emitted
+            per call.
+        job_id / tags: Recorded in telemetry; used by the
+            :class:`~repro.runtime.ExperimentRunner` to label grid
+            points.
+
+    Returns:
+        The :class:`AllocationResult`, with ``backend`` and
+        ``fallback_chain`` recording its provenance.  Never raises on
+        solver timeout when the portfolio backend is used — the greedy
+        rung degrades gracefully.
+    """
+    result, record = solve_recorded(
+        app,
+        config,
+        backend=backend,
+        cache=cache,
+        job_id=job_id,
+        tags=tags,
+    )
+    writer = TelemetryWriter.coerce(telemetry)
+    if writer is not None:
+        writer.write(record)
+    return result
+
+
+def solve_recorded(
+    app: Application,
+    config: FormulationConfig | None = None,
+    *,
+    backend: str = DEFAULT_SOLVE_BACKEND,
+    cache: "str | Path | None" = None,
+    job_id: str | None = None,
+    tags: dict | None = None,
+) -> tuple[AllocationResult, dict]:
+    """:func:`solve`, returning ``(result, telemetry_record)``.
+
+    The record is *returned, not written* — this is the worker-side
+    half used by :class:`~repro.runtime.ExperimentRunner`, whose parent
+    process owns the telemetry file (workers never share a handle).
+    """
+    config = config or FormulationConfig()
+    keyed = replace(config, backend=backend)
+    instance = cache_key(app, keyed)
+    start = time.perf_counter()
+
+    result: AllocationResult | None = None
+    cached = False
+    cache_path = None
+    if cache is not None:
+        cache_path = Path(cache) / f"{instance}.json"
+        result = _load_cached(cache_path)
+        cached = result is not None
+
+    if result is None:
+        result = _dispatch(app, config, backend)
+        if cache_path is not None and result.status in CACHEABLE_STATUSES:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            save_result(result, cache_path)
+
+    record = build_solve_record(
+        instance=instance,
+        requested_backend=backend,
+        result=result,
+        wall_seconds=time.perf_counter() - start,
+        mip_gap=config.mip_gap,
+        cached=cached,
+        job_id=job_id,
+        tags=tags,
+    )
+    return result, record
+
+
+def _dispatch(
+    app: Application, config: FormulationConfig, backend: str
+) -> AllocationResult:
+    if backend == "portfolio":
+        return solve_with_portfolio(app, config, rungs=DEFAULT_PORTFOLIO)
+    return solve_with_portfolio(app, config, rungs=(backend,))
+
+
+def _load_cached(path: Path) -> AllocationResult | None:
+    """A valid cached result, or None (corrupt entries are evicted)."""
+    import json
+
+    if not path.exists():
+        return None
+    try:
+        return load_result(path)
+    except (ValueError, KeyError, json.JSONDecodeError):
+        path.unlink(missing_ok=True)
+        return None

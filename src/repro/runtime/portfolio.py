@@ -1,0 +1,119 @@
+"""Graceful-degradation solver portfolio.
+
+The exact MILP is the tool of choice, but on large instances it can
+exhaust its wall-clock budget without even an incumbent (HiGHS and the
+pure-Python branch and bound both report ``ERROR`` in that case).  A
+portfolio runs a ladder of solvers and returns the first *usable*
+outcome instead of raising or handing back an empty result:
+
+1. ``"highs"``  — exact branch and cut (scipy/HiGHS);
+2. ``"bnb"``    — the pure-Python branch and bound (independent oracle,
+   small models);
+3. ``"greedy"`` — the constructive heuristic, which never times out and
+   always returns a feasible ordering (Properties 1 and 2 hold by
+   construction; deadlines/Property 3 must be re-checked).
+
+A rung's outcome is accepted when it is ``OPTIMAL``, a ``FEASIBLE``
+incumbent, or a definitive ``INFEASIBLE``; the portfolio falls through
+on a time limit without incumbent, a backend error, or an exception.
+Every attempt is recorded on the returned result's ``fallback_chain``
+(and from there into run telemetry), so a degraded answer is always
+distinguishable from an exact one.
+
+Each rung receives the configured ``time_limit_seconds`` as its own
+budget; use :class:`repro.runtime.ExperimentRunner`'s per-job deadline
+to bound the whole ladder.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.core.formulation import FormulationConfig, LetDmaFormulation
+from repro.core.heuristic import greedy_allocation
+from repro.core.solution import AllocationResult, FallbackAttempt
+from repro.defaults import DEFAULT_PORTFOLIO
+from repro.milp.result import SolveStatus
+from repro.model.application import Application
+
+__all__ = ["PORTFOLIO_RUNGS", "solve_with_portfolio"]
+
+#: Default rung order (re-exported for introspection).
+PORTFOLIO_RUNGS = DEFAULT_PORTFOLIO
+
+#: Statuses that stop the ladder: a proven optimum, a usable incumbent,
+#: or a definitive proof that no allocation exists.
+_ACCEPTED = (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE, SolveStatus.INFEASIBLE)
+
+
+def solve_with_portfolio(
+    app: Application,
+    config: FormulationConfig | None = None,
+    rungs: tuple[str, ...] = DEFAULT_PORTFOLIO,
+) -> AllocationResult:
+    """Solve ``app`` down the rung ladder; see the module docstring.
+
+    The returned result carries ``backend`` (the rung that produced it)
+    and ``fallback_chain`` (every attempt, in order).  A single-rung
+    portfolio returns that rung's outcome verbatim — even an ``ERROR``
+    — so direct-backend solves keep their non-raising contract.
+    """
+    config = config or FormulationConfig()
+    if not rungs:
+        raise ValueError("portfolio needs at least one rung")
+    attempts: list[FallbackAttempt] = []
+    result: AllocationResult | None = None
+    for position, rung in enumerate(rungs):
+        is_last = position == len(rungs) - 1
+        start = time.perf_counter()
+        try:
+            result = _run_rung(app, config, rung)
+        except Exception as exc:
+            elapsed = time.perf_counter() - start
+            attempts.append(
+                FallbackAttempt(
+                    backend=rung,
+                    status="error",
+                    runtime_seconds=elapsed,
+                    reason=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            if is_last:
+                raise
+            continue
+        accepted = result.status in _ACCEPTED
+        attempts.append(
+            FallbackAttempt(
+                backend=rung,
+                status=result.status.value,
+                runtime_seconds=result.runtime_seconds,
+                reason="" if accepted or is_last else _fail_reason(result),
+            )
+        )
+        if accepted or is_last:
+            break
+        result = None
+    if result is None:  # every rung raised except a non-final error status
+        result = AllocationResult(status=SolveStatus.ERROR)
+    result.backend = attempts[-1].backend
+    result.fallback_chain = tuple(attempts)
+    return result
+
+
+def _run_rung(
+    app: Application, config: FormulationConfig, rung: str
+) -> AllocationResult:
+    """Run one rung and return its raw result (exceptions propagate)."""
+    if rung == "greedy":
+        start = time.perf_counter()
+        result = greedy_allocation(app)
+        result.runtime_seconds = time.perf_counter() - start
+        return result
+    return LetDmaFormulation(app, replace(config, backend=rung)).solve()
+
+
+def _fail_reason(result: AllocationResult) -> str:
+    if result.status is SolveStatus.ERROR:
+        return "no solution within the time limit"
+    return f"status {result.status.value}"

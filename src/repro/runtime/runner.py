@@ -1,0 +1,220 @@
+"""Parallel experiment runtime: fan a grid of solves across processes.
+
+Every grid-shaped workload in the repository — Table I rows, Fig. 2
+panels, alpha sweeps, synthetic sweeps — is "solve N independent MILP
+instances".  :class:`ExperimentRunner` executes such a grid through the
+:func:`repro.solve` facade, optionally across worker processes
+(``concurrent.futures.ProcessPoolExecutor``), with:
+
+* **per-job wall-clock deadlines** — ``deadline_seconds`` caps each
+  portfolio rung's budget, so one pathological instance cannot stall a
+  sweep;
+* **graceful degradation** — jobs default to the solver portfolio, so
+  a timed-out MILP still yields a feasible greedy allocation, with the
+  fallback chain recorded;
+* **fault tolerance** — a crashing job becomes an ``ERROR`` outcome
+  (with the exception text in its telemetry record) instead of killing
+  the sweep;
+* **telemetry** — the parent process writes one JSONL record per solve
+  (workers never share a file handle), in submission order;
+* **caching** — a shared ``cache_dir`` lets re-runs skip solved
+  instances.
+
+Results are returned in submission order regardless of completion
+order, so ``--jobs 4`` and ``--jobs 1`` produce identical outputs for
+deterministic backends.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.core.formulation import FormulationConfig
+from repro.core.solution import AllocationResult
+from repro.defaults import DEFAULT_SOLVE_BACKEND
+from repro.milp.result import SolveStatus
+from repro.model.application import Application
+from repro.runtime.facade import solve_recorded
+from repro.runtime.telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryWriter
+
+__all__ = ["SolveJob", "JobOutcome", "ExperimentRunner"]
+
+
+@dataclass
+class SolveJob:
+    """One solve of an experiment grid.
+
+    Attributes:
+        job_id: Unique identifier within the grid (appears in
+            telemetry).
+        app: The (already gamma-configured) application to solve.
+        config: Formulation tunables for this instance.
+        backend: Facade backend; defaults to the solver portfolio.
+        tags: Grid coordinates (objective, alpha, seed, ...) carried
+            into the telemetry record.
+    """
+
+    job_id: str
+    app: Application
+    config: FormulationConfig = field(default_factory=FormulationConfig)
+    backend: str = DEFAULT_SOLVE_BACKEND
+    tags: dict = field(default_factory=dict)
+
+
+@dataclass
+class JobOutcome:
+    """The result of one :class:`SolveJob`.
+
+    Attributes:
+        job_id: The job's identifier.
+        result: The allocation result (``status`` is ``ERROR`` when the
+            job raised; see ``record["error"]`` for the exception).
+        wall_seconds: End-to-end wall-clock time of the job.
+        record: The telemetry record emitted for this solve.
+        tags: The job's tags (echoed for convenience).
+    """
+
+    job_id: str
+    result: AllocationResult
+    wall_seconds: float
+    record: dict
+    tags: dict = field(default_factory=dict)
+
+
+class ExperimentRunner:
+    """Run a grid of :class:`SolveJob`\\ s, optionally in parallel.
+
+    Args:
+        jobs: Worker process count; ``1`` (default) runs in-process,
+            which is also the fully deterministic reference mode.
+        telemetry: Optional sink (writer, ``.jsonl`` path, or run
+            directory); the parent writes one record per job, in
+            submission order.
+        cache_dir: Optional persistent cache shared by all jobs.
+        deadline_seconds: Optional per-job wall-clock deadline; caps
+            each portfolio rung's time budget.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        telemetry: "TelemetryWriter | str | None" = None,
+        cache_dir: "str | None" = None,
+        deadline_seconds: float | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = int(jobs)
+        self.telemetry = TelemetryWriter.coerce(telemetry)
+        self.cache_dir = cache_dir
+        self.deadline_seconds = deadline_seconds
+
+    def run(self, grid: "list[SolveJob] | tuple[SolveJob, ...]") -> list[JobOutcome]:
+        """Execute every job; outcomes come back in submission order."""
+        grid = list(grid)
+        seen: set[str] = set()
+        for job in grid:
+            if job.job_id in seen:
+                raise ValueError(f"duplicate job_id {job.job_id!r} in grid")
+            seen.add(job.job_id)
+
+        if self.jobs == 1 or len(grid) <= 1:
+            outcomes = [
+                _execute_job(job, self.cache_dir, self.deadline_seconds)
+                for job in grid
+            ]
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(grid))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _execute_job, job, self.cache_dir, self.deadline_seconds
+                    )
+                    for job in grid
+                ]
+                outcomes = [
+                    _outcome_or_error(job, future)
+                    for job, future in zip(grid, futures)
+                ]
+
+        if self.telemetry is not None:
+            for outcome in outcomes:
+                self.telemetry.write(outcome.record)
+        return outcomes
+
+
+def _execute_job(
+    job: SolveJob, cache_dir: "str | None", deadline_seconds: float | None
+) -> JobOutcome:
+    """Worker-side body: solve one job through the facade.
+
+    Must stay a module-level function — it is pickled into worker
+    processes.  Exceptions are converted to ``ERROR`` outcomes so one
+    bad instance never aborts the grid.
+    """
+    config = job.config
+    if deadline_seconds is not None:
+        limit = config.time_limit_seconds
+        capped = (
+            deadline_seconds if limit is None else min(limit, deadline_seconds)
+        )
+        config = replace(config, time_limit_seconds=capped)
+    start = time.perf_counter()
+    try:
+        result, record = solve_recorded(
+            job.app,
+            config,
+            backend=job.backend,
+            cache=cache_dir,
+            job_id=job.job_id,
+            tags=job.tags,
+        )
+    except Exception as exc:
+        return _error_outcome(job, time.perf_counter() - start, exc)
+    return JobOutcome(
+        job_id=job.job_id,
+        result=result,
+        wall_seconds=time.perf_counter() - start,
+        record=record,
+        tags=dict(job.tags),
+    )
+
+
+def _outcome_or_error(job: SolveJob, future) -> JobOutcome:
+    """Harvest a future, converting executor-level failures (worker
+    death, unpicklable payloads) into ``ERROR`` outcomes."""
+    try:
+        return future.result()
+    except Exception as exc:
+        return _error_outcome(job, 0.0, exc)
+
+
+def _error_outcome(job: SolveJob, wall_seconds: float, exc: Exception) -> JobOutcome:
+    record = {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "event": "solve",
+        "job_id": job.job_id,
+        "instance": "",
+        "requested_backend": job.backend,
+        "backend": "",
+        "status": "error",
+        "objective": 0.0,
+        "num_transfers": 0,
+        "mip_gap": job.config.mip_gap,
+        "wall_seconds": wall_seconds,
+        "solver_seconds": 0.0,
+        "cached": False,
+        "fallback_chain": [],
+        "tags": dict(job.tags),
+        "error": f"{type(exc).__name__}: {exc}",
+    }
+    return JobOutcome(
+        job_id=job.job_id,
+        result=AllocationResult(status=SolveStatus.ERROR),
+        wall_seconds=wall_seconds,
+        record=record,
+        tags=dict(job.tags),
+    )

@@ -1,0 +1,187 @@
+"""Structured JSON-lines run telemetry.
+
+Every solve that goes through :func:`repro.solve` or the
+:class:`repro.runtime.ExperimentRunner` can emit exactly one record to
+a telemetry sink — a JSONL file (one JSON object per line), appended
+and flushed per record so a crashed run keeps everything solved so far.
+Pointing the writer at a directory stores records in
+``<dir>/solves.jsonl`` (the "run directory" convention).
+
+Schema (version 1), one object per line::
+
+    {
+      "schema_version": 1,            # this format
+      "event": "solve",
+      "job_id": str | null,           # ExperimentRunner job id
+      "instance": str,                # content hash of (app, config, backend)
+      "requested_backend": str,       # "portfolio", "highs", "bnb", "greedy"
+      "backend": str,                 # rung that produced the result
+      "status": str,                  # SolveStatus value, or "error"
+      "objective": float,
+      "num_transfers": int,
+      "mip_gap": float | null,        # requested relative gap
+      "wall_seconds": float,          # end-to-end, incl. cache/build
+      "solver_seconds": float,        # backend-reported solve time
+      "cached": bool,                 # served from the persistent cache
+      "fallback_chain": [             # one entry per portfolio rung tried
+        {"backend": str, "status": str,
+         "runtime_seconds": float, "reason": str}, ...
+      ],
+      "tags": {str: any}              # caller-defined grid coordinates
+    }
+
+The reader and summarizer tolerate unknown keys, so the schema can grow
+additively without a version bump.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.core.solution import AllocationResult
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "TELEMETRY_FILENAME",
+    "TelemetryWriter",
+    "build_solve_record",
+    "read_telemetry",
+    "summarize_telemetry",
+    "render_telemetry_summary",
+]
+
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: File name used inside a run directory.
+TELEMETRY_FILENAME = "solves.jsonl"
+
+
+class TelemetryWriter:
+    """Append-only JSONL sink for solve records.
+
+    ``path`` may be a ``.jsonl`` file or a run directory (the file
+    ``solves.jsonl`` is created inside it).  Writes are line-buffered
+    appends, so sequential writers (the runner's parent process) never
+    interleave records.
+    """
+
+    def __init__(self, path: str | Path):
+        path = Path(path)
+        if path.suffix != ".jsonl":
+            path = path / TELEMETRY_FILENAME
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.path = path
+
+    @classmethod
+    def coerce(cls, sink: "TelemetryWriter | str | Path | None") -> "TelemetryWriter | None":
+        """Accept a writer, a path, or None (no telemetry)."""
+        if sink is None or isinstance(sink, TelemetryWriter):
+            return sink
+        return cls(sink)
+
+    def write(self, record: dict) -> None:
+        """Append one record as a compact JSON line and flush."""
+        with self.path.open("a", encoding="utf-8") as stream:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def __repr__(self) -> str:
+        return f"TelemetryWriter({str(self.path)!r})"
+
+
+def build_solve_record(
+    *,
+    instance: str,
+    requested_backend: str,
+    result: AllocationResult,
+    wall_seconds: float,
+    mip_gap: float | None,
+    cached: bool = False,
+    job_id: str | None = None,
+    tags: dict | None = None,
+) -> dict:
+    """The schema-v1 record for one solve (see module docstring)."""
+    return {
+        "schema_version": TELEMETRY_SCHEMA_VERSION,
+        "event": "solve",
+        "job_id": job_id,
+        "instance": instance,
+        "requested_backend": requested_backend,
+        "backend": result.backend,
+        "status": result.status.value,
+        "objective": result.objective_value,
+        "num_transfers": result.num_transfers,
+        "mip_gap": mip_gap,
+        "wall_seconds": wall_seconds,
+        "solver_seconds": result.runtime_seconds,
+        "cached": cached,
+        "fallback_chain": [
+            attempt.to_dict() for attempt in result.fallback_chain
+        ],
+        "tags": dict(tags or {}),
+    }
+
+
+def read_telemetry(path: str | Path) -> list[dict]:
+    """Load all records from a JSONL file or a run directory."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / TELEMETRY_FILENAME
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def summarize_telemetry(records: Iterable[dict]) -> dict:
+    """Aggregate counts and times over solve records.
+
+    Returns ``{"solves", "by_backend", "by_status", "cache_hits",
+    "fallbacks", "wall_seconds", "solver_seconds"}`` where
+    ``fallbacks`` counts solves whose portfolio needed more than one
+    rung.
+    """
+    summary = {
+        "solves": 0,
+        "by_backend": {},
+        "by_status": {},
+        "cache_hits": 0,
+        "fallbacks": 0,
+        "wall_seconds": 0.0,
+        "solver_seconds": 0.0,
+    }
+    for record in records:
+        if record.get("event") != "solve":
+            continue
+        summary["solves"] += 1
+        backend = record.get("backend", "")
+        status = record.get("status", "")
+        summary["by_backend"][backend] = summary["by_backend"].get(backend, 0) + 1
+        summary["by_status"][status] = summary["by_status"].get(status, 0) + 1
+        summary["cache_hits"] += bool(record.get("cached"))
+        summary["fallbacks"] += len(record.get("fallback_chain", [])) > 1
+        summary["wall_seconds"] += float(record.get("wall_seconds", 0.0))
+        summary["solver_seconds"] += float(record.get("solver_seconds", 0.0))
+    return summary
+
+
+def render_telemetry_summary(records: Sequence[dict]) -> str:
+    """Monospace table of the aggregate run summary."""
+    from repro.reporting.tables import render_table
+
+    summary = summarize_telemetry(records)
+    rows = [
+        ("solves", str(summary["solves"])),
+        ("cache hits", str(summary["cache_hits"])),
+        ("fallback solves", str(summary["fallbacks"])),
+        ("wall time", f"{summary['wall_seconds']:.2f} s"),
+        ("solver time", f"{summary['solver_seconds']:.2f} s"),
+    ]
+    for backend, count in sorted(summary["by_backend"].items()):
+        rows.append((f"backend: {backend or '(none)'}", str(count)))
+    for status, count in sorted(summary["by_status"].items()):
+        rows.append((f"status: {status}", str(count)))
+    return render_table(["metric", "value"], rows, title="Run telemetry")

@@ -40,6 +40,54 @@ class TestParser:
         args = build_parser().parse_args(["export"])
         assert args.out == "letdma-out"
 
+    def test_sweep_defaults(self):
+        from repro.core import Objective
+
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.telemetry is None
+        assert args.backend == "portfolio"
+        assert args.cache_dir is None
+        assert set(args.objectives) == set(Objective)
+        assert args.alphas == [0.2, 0.4]
+
+    def test_sweep_grid_flags(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--jobs",
+                "4",
+                "--telemetry",
+                "runs/today",
+                "--backend",
+                "greedy",
+                "--objectives",
+                "no-obj",
+                "--alphas",
+                "0.3",
+            ]
+        )
+        assert args.jobs == 4
+        assert args.telemetry == "runs/today"
+        assert args.backend == "greedy"
+        assert [o.value for o in args.objectives] == ["NO-OBJ"]
+
+    def test_table1_and_alphas_accept_grid_flags(self):
+        args = build_parser().parse_args(["table1", "--jobs", "2"])
+        assert args.jobs == 2
+        args = build_parser().parse_args(["alphas", "--jobs", "3"])
+        assert args.jobs == 3
+
+    def test_solve_backend_choices(self):
+        args = build_parser().parse_args(["solve", "--backend", "portfolio"])
+        assert args.backend == "portfolio"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "--backend", "cplex"])
+
+    def test_telemetry_command_registered(self):
+        args = build_parser().parse_args(["telemetry", "runs/today"])
+        assert args.path == "runs/today"
+
 
 class TestMainSmoke:
     """Run the cheapest real commands end to end."""
@@ -65,6 +113,27 @@ class TestMainSmoke:
             "application.json",
             "allocation.json",
         }
+
+    def test_telemetry_command(self, capsys, tmp_path):
+        import repro
+        from repro.model import Application, Label, Platform, Task, TaskSet
+
+        platform = Platform.symmetric(2)
+        tasks = TaskSet(
+            [
+                Task("PROD", 5_000, 1_000.0, "P1", 0),
+                Task("CONS", 10_000, 2_000.0, "P2", 0),
+            ]
+        )
+        app = Application(
+            platform, tasks, [Label("x", 64, writer="PROD", readers=("CONS",))]
+        )
+        repro.solve(app, telemetry=tmp_path)
+        code = main(["telemetry", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Run telemetry" in out
+        assert "backend: highs" in out
 
     def test_chains_command(self, capsys):
         code = main(["chains", "--alpha", "0.4", "--time-limit", "60"])

@@ -42,7 +42,8 @@ class TestExamples:
             capsys,
         )
         assert "Synthetic sweep" in out
-        assert "MILP time" in out
+        assert "portfolio time" in out
+        assert "jobs=1" in out
 
     def test_models_directory_has_waters_xml(self):
         from repro.io import load_system_xml

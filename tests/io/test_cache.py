@@ -28,7 +28,18 @@ class TestCacheKey:
         b = cache_key(simple_app, FormulationConfig(time_limit_seconds=600))
         assert a == b
 
+    def test_backend_changes_key(self, simple_app):
+        a = cache_key(simple_app, FormulationConfig(backend="highs"))
+        b = cache_key(simple_app, FormulationConfig(backend="bnb"))
+        assert a != b
 
+    def test_mip_gap_changes_key(self, simple_app):
+        a = cache_key(simple_app, FormulationConfig(mip_gap=None))
+        b = cache_key(simple_app, FormulationConfig(mip_gap=0.05))
+        assert a != b
+
+
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestSolveCached:
     def test_miss_then_hit(self, tmp_path, simple_app):
         config = FormulationConfig()
@@ -69,3 +80,8 @@ class TestSolveCached:
         assert clear_cache(tmp_path) == 1
         assert clear_cache(tmp_path) == 0
         assert clear_cache(tmp_path / "missing") == 0
+
+
+def test_solve_cached_is_deprecated(tmp_path, simple_app):
+    with pytest.warns(DeprecationWarning, match="repro.solve"):
+        solve_cached(simple_app, FormulationConfig(), cache_dir=tmp_path)

@@ -8,6 +8,7 @@ from repro.reporting import (
     run_alpha_feasibility,
     run_fig2_panel,
     run_table1,
+    solve_instance,
     solve_waters,
 )
 
@@ -30,18 +31,41 @@ def small_app():
     return Application(platform, tasks, labels)
 
 
-class TestSolveWaters:
+class TestSolveInstance:
     def test_assigns_gammas_and_solves(self, small_app):
-        app, result = solve_waters(
+        app, result = solve_instance(
             Objective.NONE, 0.3, time_limit_seconds=30, app=small_app
         )
         assert result.feasible
+        assert result.backend == "highs"
         for task in app.communicating_tasks():
             assert app.tasks[task.name].acquisition_deadline_us is not None
 
     def test_verification_is_on_by_default(self, small_app):
         # Would raise if the solution did not verify.
-        solve_waters(Objective.NONE, 0.3, time_limit_seconds=30, app=small_app)
+        solve_instance(Objective.NONE, 0.3, time_limit_seconds=30, app=small_app)
+
+    def test_telemetry_emitted(self, tmp_path, small_app):
+        from repro.runtime import read_telemetry
+
+        solve_instance(
+            Objective.NONE,
+            0.3,
+            time_limit_seconds=30,
+            app=small_app,
+            telemetry=tmp_path,
+        )
+        (record,) = read_telemetry(tmp_path)
+        assert record["tags"] == {"objective": "NO-OBJ", "alpha": 0.3}
+
+
+class TestSolveWatersShim:
+    def test_warns_and_delegates(self, small_app):
+        with pytest.warns(DeprecationWarning, match="solve_instance"):
+            app, result = solve_waters(
+                Objective.NONE, 0.3, time_limit_seconds=30, app=small_app
+            )
+        assert result.feasible
 
 
 class TestRunTable1:
@@ -61,6 +85,23 @@ class TestRunTable1:
             assert row.num_transfers >= 1
             assert row.runtime_seconds >= 0
             assert len(row.as_tuple()) == 5
+            assert row.backend == "highs"
+
+    @pytest.mark.slow
+    def test_parallel_matches_sequential(self, small_app):
+        kwargs = dict(
+            alphas=(0.3, 0.5),
+            objectives=(Objective.NONE, Objective.MIN_TRANSFERS),
+            time_limit_seconds=30,
+            app=small_app,
+        )
+        serial = run_table1(jobs=1, **kwargs)
+        parallel = run_table1(jobs=4, **kwargs)
+        assert [
+            (r.objective, r.alpha, r.status, r.num_transfers) for r in serial
+        ] == [
+            (r.objective, r.alpha, r.status, r.num_transfers) for r in parallel
+        ]
 
 
 class TestRunFig2Panel:

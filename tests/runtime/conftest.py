@@ -1,0 +1,37 @@
+"""Fixtures for the runtime subsystem tests.
+
+``timeout_app``/``timeout_config`` is a synthetic instance on which
+both exact backends (HiGHS and the pure-Python branch and bound) hit a
+microscopic time limit *before producing an incumbent*, so the
+portfolio must fall all the way to the greedy rung.  Trivial apps do
+not work for this: HiGHS presolve solves them to optimality regardless
+of the limit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FormulationConfig, Objective
+from repro.workloads import WorkloadSpec, generate_application
+
+
+@pytest.fixture(scope="session")
+def timeout_app():
+    spec = WorkloadSpec(
+        num_tasks=4,
+        num_cores=2,
+        total_utilization=0.5,
+        communication_density=0.6,
+        periods_ms=(5, 10, 20),
+        seed=7,
+    )
+    return generate_application(spec)
+
+
+@pytest.fixture
+def timeout_config():
+    return FormulationConfig(
+        objective=Objective.MIN_TRANSFERS,
+        time_limit_seconds=1e-4,
+    )

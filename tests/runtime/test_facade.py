@@ -1,0 +1,129 @@
+"""Tests for :func:`repro.solve` and the deprecation shims routed
+through it."""
+
+import json
+
+import pytest
+
+import repro
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    verify_allocation,
+)
+from repro.milp import SolveStatus
+from repro.runtime import read_telemetry, solve_recorded
+
+pytestmark = pytest.mark.runtime
+
+
+class TestSolve:
+    def test_portfolio_default(self, simple_app):
+        result = repro.solve(simple_app)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.backend == "highs"
+        verify_allocation(simple_app, result).raise_if_failed()
+
+    def test_matches_direct_formulation(self, simple_app):
+        config = FormulationConfig(objective=Objective.MIN_TRANSFERS)
+        facade = repro.solve(simple_app, config, backend="highs")
+        direct = LetDmaFormulation(simple_app, config).solve()
+        assert facade.status is direct.status
+        assert facade.num_transfers == direct.num_transfers
+        assert facade.objective_value == pytest.approx(direct.objective_value)
+
+    def test_greedy_backend(self, simple_app):
+        result = repro.solve(simple_app, backend="greedy")
+        assert result.feasible
+        assert result.backend == "greedy"
+
+    def test_timeout_degrades_instead_of_raising(
+        self, timeout_app, timeout_config
+    ):
+        result = repro.solve(timeout_app, timeout_config)
+        assert result.feasible
+        assert result.backend == "greedy"
+
+
+class TestCacheIntegration:
+    def test_second_call_is_cache_hit(self, tmp_path, simple_app):
+        _, first = solve_recorded(simple_app, cache=tmp_path)
+        assert first["cached"] is False
+        result, second = solve_recorded(simple_app, cache=tmp_path)
+        assert second["cached"] is True
+        assert result.status is SolveStatus.OPTIMAL
+        verify_allocation(simple_app, result).raise_if_failed()
+
+    def test_backend_separates_entries(self, tmp_path, simple_app):
+        repro.solve(simple_app, backend="highs", cache=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        repro.solve(simple_app, backend="bnb", cache=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_greedy_results_not_cached(self, tmp_path, simple_app):
+        # Only proven outcomes (optimal/infeasible) are worth persisting.
+        repro.solve(simple_app, backend="greedy", cache=tmp_path)
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestTelemetryIntegration:
+    def test_one_record_per_solve(self, tmp_path, simple_app):
+        repro.solve(simple_app, telemetry=tmp_path)
+        repro.solve(simple_app, telemetry=tmp_path)
+        records = read_telemetry(tmp_path)
+        assert len(records) == 2
+        record = records[0]
+        assert record["schema_version"] == 1
+        assert record["event"] == "solve"
+        assert record["requested_backend"] == "portfolio"
+        assert record["backend"] == "highs"
+        assert record["status"] == "optimal"
+        assert record["instance"]
+        assert record["wall_seconds"] > 0
+        assert record["fallback_chain"][0]["backend"] == "highs"
+
+    def test_fallback_chain_recorded(self, tmp_path, timeout_app, timeout_config):
+        repro.solve(timeout_app, timeout_config, telemetry=tmp_path)
+        (record,) = read_telemetry(tmp_path)
+        assert record["backend"] == "greedy"
+        assert [a["backend"] for a in record["fallback_chain"]] == [
+            "highs",
+            "bnb",
+            "greedy",
+        ]
+
+    def test_records_are_json_lines(self, tmp_path, simple_app):
+        target = tmp_path / "run.jsonl"
+        repro.solve(simple_app, telemetry=target)
+        lines = target.read_text().splitlines()
+        assert len(lines) == 1
+        json.loads(lines[0])
+
+
+class TestDeprecationShims:
+    def test_solve_cached_warns_and_matches(self, tmp_path, simple_app):
+        from repro.io.cache import solve_cached
+
+        config = FormulationConfig()
+        with pytest.warns(DeprecationWarning):
+            shimmed = solve_cached(simple_app, config, cache_dir=tmp_path)
+        fresh = repro.solve(simple_app, config, backend=config.backend)
+        assert shimmed.status is fresh.status
+        assert shimmed.num_transfers == fresh.num_transfers
+
+    def test_solve_waters_warns_and_matches(self, simple_app):
+        from repro.reporting import solve_instance, solve_waters
+
+        with pytest.warns(DeprecationWarning):
+            app_shim, shimmed = solve_waters(
+                Objective.NONE, 0.3, time_limit_seconds=30, app=simple_app
+            )
+        app_new, fresh = solve_instance(
+            Objective.NONE, 0.3, time_limit_seconds=30, app=simple_app
+        )
+        assert shimmed.status is fresh.status
+        assert shimmed.num_transfers == fresh.num_transfers
+        assert {
+            t.name: t.acquisition_deadline_us for t in app_shim.tasks
+        } == {t.name: t.acquisition_deadline_us for t in app_new.tasks}

@@ -1,0 +1,132 @@
+"""Tests for the parallel experiment runner."""
+
+import pytest
+
+from repro.core import FormulationConfig, Objective
+from repro.milp import SolveStatus
+from repro.runtime import ExperimentRunner, SolveJob, read_telemetry
+
+pytestmark = pytest.mark.runtime
+
+
+def small_grid(simple_app, multirate_app, fig1_app):
+    """Four fast, deterministic jobs spanning apps and objectives."""
+    config = FormulationConfig(time_limit_seconds=30)
+    return [
+        SolveJob("simple-none", simple_app, config),
+        SolveJob(
+            "simple-min-transfers",
+            simple_app,
+            FormulationConfig(
+                objective=Objective.MIN_TRANSFERS, time_limit_seconds=30
+            ),
+        ),
+        SolveJob("multirate-none", multirate_app, config),
+        SolveJob("fig1-none", fig1_app, config),
+    ]
+
+
+class TestSequential:
+    def test_outcomes_in_submission_order(
+        self, simple_app, multirate_app, fig1_app
+    ):
+        grid = small_grid(simple_app, multirate_app, fig1_app)
+        outcomes = ExperimentRunner(jobs=1).run(grid)
+        assert [o.job_id for o in outcomes] == [j.job_id for j in grid]
+        for outcome in outcomes:
+            assert outcome.result.status is SolveStatus.OPTIMAL
+            assert outcome.wall_seconds > 0
+            assert outcome.record["job_id"] == outcome.job_id
+
+    def test_duplicate_job_id_rejected(self, simple_app):
+        grid = [SolveJob("dup", simple_app), SolveJob("dup", simple_app)]
+        with pytest.raises(ValueError, match="duplicate job_id"):
+            ExperimentRunner().run(grid)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(jobs=0)
+
+    def test_tags_flow_into_records(self, simple_app):
+        job = SolveJob("tagged", simple_app, tags={"alpha": 0.3, "seed": 1})
+        (outcome,) = ExperimentRunner().run([job])
+        assert outcome.tags == {"alpha": 0.3, "seed": 1}
+        assert outcome.record["tags"] == {"alpha": 0.3, "seed": 1}
+
+
+class TestDeadline:
+    def test_deadline_caps_rung_budget(self, timeout_app):
+        # A generous per-config limit, but a microscopic per-job
+        # deadline: the portfolio must degrade to greedy.
+        job = SolveJob(
+            "deadline",
+            timeout_app,
+            FormulationConfig(
+                objective=Objective.MIN_TRANSFERS, time_limit_seconds=600
+            ),
+        )
+        (outcome,) = ExperimentRunner(deadline_seconds=1e-4).run([job])
+        assert outcome.result.feasible
+        assert outcome.result.backend == "greedy"
+
+
+class TestFaultTolerance:
+    def test_bad_job_becomes_error_outcome(self, simple_app):
+        grid = [
+            SolveJob("bad", simple_app, backend="bogus"),
+            SolveJob("good", simple_app),
+        ]
+        bad, good = ExperimentRunner().run(grid)
+        assert bad.result.status is SolveStatus.ERROR
+        assert "ValueError" in bad.record["error"]
+        assert good.result.status is SolveStatus.OPTIMAL
+
+
+class TestTelemetryAndCache:
+    def test_parent_writes_records_in_order(self, tmp_path, simple_app):
+        grid = [
+            SolveJob("a", simple_app),
+            SolveJob(
+                "b",
+                simple_app,
+                FormulationConfig(objective=Objective.MIN_TRANSFERS),
+            ),
+        ]
+        ExperimentRunner(telemetry=tmp_path / "run").run(grid)
+        records = read_telemetry(tmp_path / "run")
+        assert [r["job_id"] for r in records] == ["a", "b"]
+
+    def test_shared_cache_skips_resolves(self, tmp_path, simple_app):
+        grid = [SolveJob("a", simple_app)]
+        runner = ExperimentRunner(cache_dir=str(tmp_path))
+        first = runner.run(grid)[0]
+        second = runner.run(grid)[0]
+        assert first.record["cached"] is False
+        assert second.record["cached"] is True
+        assert second.result.num_transfers == first.result.num_transfers
+
+
+@pytest.mark.slow
+class TestParallel:
+    def test_jobs4_matches_jobs1(self, simple_app, multirate_app, fig1_app):
+        grid = small_grid(simple_app, multirate_app, fig1_app)
+        serial = ExperimentRunner(jobs=1).run(grid)
+        parallel = ExperimentRunner(jobs=4).run(grid)
+        assert [o.job_id for o in parallel] == [o.job_id for o in serial]
+        for s, p in zip(serial, parallel):
+            assert p.result.status is s.result.status
+            assert p.result.num_transfers == s.result.num_transfers
+            assert p.result.objective_value == pytest.approx(
+                s.result.objective_value
+            )
+            assert {
+                m: layout.order for m, layout in p.result.layouts.items()
+            } == {m: layout.order for m, layout in s.result.layouts.items()}
+
+    def test_parallel_telemetry_in_submission_order(
+        self, tmp_path, simple_app, multirate_app, fig1_app
+    ):
+        grid = small_grid(simple_app, multirate_app, fig1_app)
+        ExperimentRunner(jobs=4, telemetry=tmp_path).run(grid)
+        records = read_telemetry(tmp_path)
+        assert [r["job_id"] for r in records] == [j.job_id for j in grid]

@@ -1,0 +1,130 @@
+"""Tests for the JSONL telemetry sink, reader, and summarizer."""
+
+import json
+
+import pytest
+
+from repro.core.solution import AllocationResult, FallbackAttempt
+from repro.milp import SolveStatus
+from repro.runtime import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryWriter,
+    build_solve_record,
+    read_telemetry,
+    render_telemetry_summary,
+    summarize_telemetry,
+)
+
+pytestmark = pytest.mark.runtime
+
+
+def record(**overrides):
+    base = build_solve_record(
+        instance="abc123",
+        requested_backend="portfolio",
+        result=AllocationResult(
+            status=SolveStatus.OPTIMAL,
+            objective_value=3.0,
+            runtime_seconds=0.5,
+            backend="highs",
+            fallback_chain=(FallbackAttempt("highs", "optimal", 0.5),),
+        ),
+        wall_seconds=0.6,
+        mip_gap=None,
+    )
+    base.update(overrides)
+    return base
+
+
+class TestWriter:
+    def test_directory_becomes_run_dir(self, tmp_path):
+        writer = TelemetryWriter(tmp_path / "run")
+        writer.write(record())
+        assert (tmp_path / "run" / "solves.jsonl").exists()
+
+    def test_jsonl_path_used_verbatim(self, tmp_path):
+        target = tmp_path / "custom.jsonl"
+        TelemetryWriter(target).write(record())
+        assert target.exists()
+
+    def test_coerce(self, tmp_path):
+        assert TelemetryWriter.coerce(None) is None
+        writer = TelemetryWriter(tmp_path)
+        assert TelemetryWriter.coerce(writer) is writer
+        assert isinstance(TelemetryWriter.coerce(tmp_path), TelemetryWriter)
+
+    def test_appends_one_line_per_record(self, tmp_path):
+        writer = TelemetryWriter(tmp_path)
+        writer.write(record(job_id="one"))
+        writer.write(record(job_id="two"))
+        lines = (tmp_path / "solves.jsonl").read_text().splitlines()
+        assert [json.loads(line)["job_id"] for line in lines] == ["one", "two"]
+
+
+class TestRecord:
+    def test_schema_fields(self):
+        rec = record()
+        assert rec["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert rec["event"] == "solve"
+        assert rec["instance"] == "abc123"
+        assert rec["requested_backend"] == "portfolio"
+        assert rec["backend"] == "highs"
+        assert rec["status"] == "optimal"
+        assert rec["solver_seconds"] == 0.5
+        assert rec["wall_seconds"] == 0.6
+        assert rec["cached"] is False
+        assert rec["fallback_chain"] == [
+            {
+                "backend": "highs",
+                "status": "optimal",
+                "runtime_seconds": 0.5,
+                "reason": "",
+            }
+        ]
+
+    def test_round_trips_through_json(self):
+        assert json.loads(json.dumps(record())) == record()
+
+
+class TestReader:
+    def test_reads_file_or_directory(self, tmp_path):
+        writer = TelemetryWriter(tmp_path)
+        writer.write(record())
+        assert read_telemetry(tmp_path) == read_telemetry(writer.path)
+        assert len(read_telemetry(tmp_path)) == 1
+
+    def test_skips_blank_lines(self, tmp_path):
+        target = tmp_path / "solves.jsonl"
+        target.write_text(json.dumps(record()) + "\n\n")
+        assert len(read_telemetry(tmp_path)) == 1
+
+
+class TestSummary:
+    def test_aggregates(self):
+        records = [
+            record(),
+            record(cached=True),
+            record(
+                backend="greedy",
+                status="feasible",
+                fallback_chain=[
+                    {"backend": "highs", "status": "error"},
+                    {"backend": "bnb", "status": "error"},
+                    {"backend": "greedy", "status": "feasible"},
+                ],
+            ),
+            {"event": "not-a-solve"},
+        ]
+        summary = summarize_telemetry(records)
+        assert summary["solves"] == 3
+        assert summary["cache_hits"] == 1
+        assert summary["fallbacks"] == 1
+        assert summary["by_backend"] == {"highs": 2, "greedy": 1}
+        assert summary["by_status"] == {"optimal": 2, "feasible": 1}
+        assert summary["wall_seconds"] == pytest.approx(1.8)
+
+    def test_render(self):
+        text = render_telemetry_summary([record()])
+        assert "Run telemetry" in text
+        assert "solves" in text
+        assert "backend: highs" in text

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.io",
     "repro.ext",
     "repro.reporting",
+    "repro.runtime",
 ]
 
 
@@ -64,6 +65,10 @@ def test_top_level_reexports_cover_core_workflow():
         "all_profiles",
         "simulate",
         "timeline_for",
+        "solve",
+        "ExperimentRunner",
+        "SolveJob",
+        "TelemetryWriter",
     ):
         assert name in repro.__all__
         assert hasattr(repro, name)
