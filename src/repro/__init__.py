@@ -36,6 +36,9 @@ Package map:
 * :mod:`repro.workloads` — synthetic taskset/communication generation;
 * :mod:`repro.runtime`   — the solve facade, solver portfolio, parallel
   experiment runner, and run telemetry;
+* :mod:`repro.check`     — differential correctness harness: backend
+  cross-checking, end-to-end oracle, fuzzing (``letdma fuzz``),
+  instance shrinking, and the reproducer corpus;
 * :mod:`repro.reporting` — experiment drivers and text tables/figures.
 """
 

@@ -1,0 +1,72 @@
+"""Differential correctness harness: ``repro.check``.
+
+The solver portfolio of :mod:`repro.runtime` gives three independent
+ways to solve the same problem — an exact MILP (HiGHS), a pure-Python
+branch and bound, and a constructive greedy heuristic.  This package
+turns that redundancy into a correctness tool:
+
+* :mod:`repro.check.oracle` — the end-to-end oracle: analytical
+  verification (LET Properties 1-3, contiguity, deadlines, Theorem 1)
+  plus a replay of the allocation through the protocol timeline and
+  the discrete-event simulator;
+* :mod:`repro.check.differential` — solve one instance with every
+  backend and cross-check statuses, objectives, and oracle verdicts;
+* :mod:`repro.check.shrink` — minimize a failing instance (drop
+  tasks/labels, halve sizes, unify periods) while it keeps failing;
+* :mod:`repro.check.corpus` — committed reproducer corpus under
+  ``tests/corpus/`` replayed as a regression suite;
+* :mod:`repro.check.fuzz` — the budgeted campaign behind
+  ``letdma fuzz``, fanned out through
+  :class:`repro.runtime.ExperimentRunner` with JSONL telemetry.
+
+See ``docs/fuzzing.md`` for the workflow.
+"""
+
+from repro.check.corpus import (
+    CORPUS_SCHEMA_VERSION,
+    DEFAULT_CORPUS_DIR,
+    Reproducer,
+    iter_corpus,
+    load_reproducer,
+    replay_reproducer,
+    save_reproducer,
+)
+from repro.check.differential import (
+    EXACT_BACKENDS,
+    BackendRun,
+    DifferentialConfig,
+    InstanceVerdict,
+    applicable_backends,
+    check_instance,
+    compare_runs,
+    evaluate_metric,
+)
+from repro.check.fuzz import FuzzConfig, FuzzFailure, FuzzReport, run_fuzz
+from repro.check.oracle import OracleReport, oracle_check
+from repro.check.shrink import ShrinkOutcome, shrink_application
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "DEFAULT_CORPUS_DIR",
+    "Reproducer",
+    "iter_corpus",
+    "load_reproducer",
+    "replay_reproducer",
+    "save_reproducer",
+    "EXACT_BACKENDS",
+    "BackendRun",
+    "DifferentialConfig",
+    "InstanceVerdict",
+    "applicable_backends",
+    "check_instance",
+    "compare_runs",
+    "evaluate_metric",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "OracleReport",
+    "oracle_check",
+    "ShrinkOutcome",
+    "shrink_application",
+]

@@ -1,0 +1,138 @@
+"""Committed reproducer corpus for the differential harness.
+
+Every disagreement the fuzzer finds is shrunk and written as a
+*reproducer*: a self-contained JSON file holding the minimized
+application, the objective under which the backends disagreed, and the
+original disagreement messages.  Reproducers found in CI are uploaded
+as artifacts; once the underlying bug is fixed, the file is committed
+under ``tests/corpus/`` where ``tests/check/test_corpus.py`` replays
+every entry on every run — the corpus is the harness's regression
+suite.
+
+File schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "description": "...why this instance exists...",
+      "objective": "OBJ-DMAT",
+      "backends": ["highs", "bnb", "greedy"],
+      "disagreements": ["..."],
+      "application": { ...repro.io.serialization application dict... }
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.check.differential import DifferentialConfig, InstanceVerdict, check_instance
+from repro.core.formulation import Objective
+from repro.io.serialization import application_from_dict, application_to_dict
+from repro.model.application import Application
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "DEFAULT_CORPUS_DIR",
+    "Reproducer",
+    "save_reproducer",
+    "load_reproducer",
+    "iter_corpus",
+    "replay_reproducer",
+]
+
+CORPUS_SCHEMA_VERSION = 1
+
+#: The committed regression corpus, relative to the repository root.
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+
+@dataclass
+class Reproducer:
+    """One corpus entry: a minimized instance plus its provenance."""
+
+    app: Application
+    objective: Objective
+    backends: tuple[str, ...] = ("highs", "bnb", "greedy")
+    description: str = ""
+    disagreements: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": CORPUS_SCHEMA_VERSION,
+            "description": self.description,
+            "objective": self.objective.value,
+            "backends": list(self.backends),
+            "disagreements": list(self.disagreements),
+            "application": application_to_dict(self.app),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Reproducer":
+        version = data.get("schema_version")
+        if version != CORPUS_SCHEMA_VERSION:
+            raise ValueError(f"unsupported corpus schema version {version!r}")
+        return cls(
+            app=application_from_dict(data["application"]),
+            objective=_objective_from_value(data["objective"]),
+            backends=tuple(data.get("backends", ("highs", "bnb", "greedy"))),
+            description=data.get("description", ""),
+            disagreements=list(data.get("disagreements", [])),
+        )
+
+
+def save_reproducer(
+    reproducer: Reproducer, directory: "str | Path" = DEFAULT_CORPUS_DIR
+) -> Path:
+    """Write a reproducer; the filename is a content hash, so re-finding
+    the same minimized instance never creates a duplicate entry."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = reproducer.to_dict()
+    stable = {
+        "objective": payload["objective"],
+        "application": payload["application"],
+    }
+    digest = hashlib.sha256(
+        json.dumps(stable, sort_keys=True).encode()
+    ).hexdigest()[:12]
+    path = directory / f"repro-{payload['objective'].lower()}-{digest}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: "str | Path") -> Reproducer:
+    return Reproducer.from_dict(json.loads(Path(path).read_text()))
+
+
+def iter_corpus(
+    directory: "str | Path" = DEFAULT_CORPUS_DIR,
+) -> list[tuple[Path, Reproducer]]:
+    """All corpus entries, sorted by filename for determinism."""
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    return [
+        (path, load_reproducer(path))
+        for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def replay_reproducer(
+    reproducer: Reproducer, config: DifferentialConfig | None = None
+) -> InstanceVerdict:
+    """Re-run the differential check a corpus entry was minimized under."""
+    if config is None:
+        config = DifferentialConfig(
+            backends=reproducer.backends, objective=reproducer.objective
+        )
+    return check_instance(reproducer.app, config)
+
+
+def _objective_from_value(value: str) -> Objective:
+    for objective in Objective:
+        if objective.value == value:
+            return objective
+    raise ValueError(f"unknown objective {value!r}")

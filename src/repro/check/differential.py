@@ -1,0 +1,310 @@
+"""Differential solving: one instance, every backend, cross-checked.
+
+The portfolio of :mod:`repro.runtime.portfolio` trusts each rung
+individually; this module is the layer that makes the rungs check each
+other.  For one application it solves with every applicable backend and
+applies the agreement rules:
+
+* **exact vs exact** (``highs``, ``bnb``): when both *prove* their
+  outcome, the verdicts must match — OPTIMAL objectives equal within
+  tolerance (the configured MIP gap), INFEASIBLE only with INFEASIBLE.
+  Timeouts and unproven incumbents yield no verdict (recorded as a
+  note, never a disagreement).
+* **every feasible result** must pass the end-to-end oracle of
+  :mod:`repro.check.oracle` — strict for exact backends, structural
+  for the greedy heuristic.
+* **greedy vs exact**: greedy must return a feasible ordering and its
+  evaluated objective must be no better than a proven optimum (it is a
+  primal heuristic for a minimization problem).
+* if every exact backend proves INFEASIBLE but greedy's result passes
+  the *strict* oracle, the infeasibility proof is wrong — disagreement.
+
+Objectives are compared on *evaluated metrics* recomputed from the
+returned schedule (transfer counts, replayed latency ratios), never on
+solver-internal objective values, so a backend cannot agree with
+itself by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.check.oracle import OracleReport, oracle_check
+from repro.core.formulation import FormulationConfig, Objective
+from repro.core.solution import AllocationResult
+from repro.let.grouping import communications_at
+from repro.milp.result import SolveStatus
+from repro.model.application import Application
+
+__all__ = [
+    "EXACT_BACKENDS",
+    "DifferentialConfig",
+    "BackendRun",
+    "InstanceVerdict",
+    "evaluate_metric",
+    "applicable_backends",
+    "compare_runs",
+    "check_instance",
+]
+
+#: Backends whose OPTIMAL/INFEASIBLE answers are proofs.
+EXACT_BACKENDS = ("highs", "bnb")
+
+#: Statuses that constitute a proof usable for cross-checking.
+_PROVEN = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+
+
+@dataclass(frozen=True)
+class DifferentialConfig:
+    """Tunables of one differential check.
+
+    Attributes:
+        backends: Backends to run (subset of highs/bnb/greedy).
+        objective: Objective mode solved and compared.
+        time_limit_seconds: Per-backend wall-clock budget.
+        mip_gap: Relative MIP gap granted to the exact backends; also
+            the relative tolerance of objective comparisons.
+        bnb_max_comms: Skip the pure-Python branch and bound above this
+            many communications at s0 (it is exponential and exists as
+            a small-model oracle).
+    """
+
+    backends: tuple[str, ...] = ("highs", "bnb", "greedy")
+    objective: Objective = Objective.MIN_TRANSFERS
+    time_limit_seconds: float = 20.0
+    mip_gap: float | None = None
+    bnb_max_comms: int = 6
+
+    @property
+    def tolerance(self) -> float:
+        return self.mip_gap if self.mip_gap is not None else 1e-6
+
+    def formulation_config(self) -> FormulationConfig:
+        return FormulationConfig(
+            objective=self.objective,
+            time_limit_seconds=self.time_limit_seconds,
+            mip_gap=self.mip_gap,
+        )
+
+
+@dataclass
+class BackendRun:
+    """One backend's attempt at an instance.
+
+    ``result`` is None when the backend was skipped (``skip_reason``
+    says why — e.g. bnb gated out on model size).
+    """
+
+    backend: str
+    result: AllocationResult | None = None
+    skip_reason: str = ""
+    oracle: OracleReport | None = None
+
+    @property
+    def proven(self) -> bool:
+        return self.result is not None and self.result.status in _PROVEN
+
+
+@dataclass
+class InstanceVerdict:
+    """The differential verdict on one instance.
+
+    Attributes:
+        objective: The compared objective mode.
+        runs: Per-backend runs, keyed by backend name.
+        disagreements: Cross-backend contradictions and oracle
+            violations; empty means the backends agree.
+        notes: Non-verdict observations (timeouts, skipped backends).
+    """
+
+    objective: Objective
+    runs: dict[str, BackendRun] = field(default_factory=dict)
+    disagreements: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+
+def evaluate_metric(
+    app: Application, result: AllocationResult, objective: Objective
+) -> float | None:
+    """Recompute the objective metric from the returned schedule.
+
+    Independent of solver-reported objective values: MIN_TRANSFERS
+    counts the s0 transfers, MIN_DELAY_RATIO replays the s0 latencies
+    (Theorem 1 makes s0 the worst instant).  NONE has no metric.
+    """
+    if not result.feasible:
+        return None
+    if objective is Objective.MIN_TRANSFERS:
+        return float(result.num_transfers)
+    if objective is Objective.MIN_DELAY_RATIO:
+        latencies = result.latencies_at(app, 0)
+        return max(
+            (
+                latency / app.tasks[task].period_us
+                for task, latency in latencies.items()
+            ),
+            default=0.0,
+        )
+    return None
+
+
+def applicable_backends(
+    app: Application, config: DifferentialConfig
+) -> list[tuple[str, str]]:
+    """(backend, skip_reason) pairs; an empty reason means "run it"."""
+    num_comms = len(communications_at(app, 0))
+    pairs = []
+    for backend in config.backends:
+        reason = ""
+        if backend == "bnb" and num_comms > config.bnb_max_comms:
+            reason = (
+                f"bnb gated out: {num_comms} communications > "
+                f"bnb_max_comms={config.bnb_max_comms}"
+            )
+        pairs.append((backend, reason))
+    return pairs
+
+
+def check_instance(
+    app: Application, config: DifferentialConfig | None = None
+) -> InstanceVerdict:
+    """Solve ``app`` with every applicable backend and cross-check.
+
+    This is the in-process path used by the tests and by the shrinker's
+    still-failing predicate; the fuzz campaign fans the same solves out
+    through :class:`repro.runtime.ExperimentRunner` and feeds the
+    outcomes to :func:`compare_runs`.
+    """
+    from repro.runtime.facade import solve
+
+    config = config or DifferentialConfig()
+    results: dict[str, AllocationResult | None] = {}
+    skip_reasons: dict[str, str] = {}
+    for backend, reason in applicable_backends(app, config):
+        if reason:
+            results[backend] = None
+            skip_reasons[backend] = reason
+            continue
+        results[backend] = solve(
+            app, config.formulation_config(), backend=backend
+        )
+    return compare_runs(app, config, results, skip_reasons)
+
+
+def compare_runs(
+    app: Application,
+    config: DifferentialConfig,
+    results: "dict[str, AllocationResult | None]",
+    skip_reasons: "dict[str, str] | None" = None,
+) -> InstanceVerdict:
+    """Apply the agreement rules to already-computed backend results."""
+    skip_reasons = skip_reasons or {}
+    verdict = InstanceVerdict(objective=config.objective)
+    for backend, result in results.items():
+        run = BackendRun(
+            backend=backend,
+            result=result,
+            skip_reason=skip_reasons.get(backend, ""),
+        )
+        verdict.runs[backend] = run
+        if result is None:
+            verdict.notes.append(f"{backend}: skipped ({run.skip_reason})")
+            continue
+        if result.feasible:
+            run.oracle = oracle_check(app, result, strict=backend != "greedy")
+            for violation in run.oracle.violations:
+                verdict.disagreements.append(f"{backend}: {violation}")
+        elif result.status not in _PROVEN:
+            verdict.notes.append(
+                f"{backend}: no verdict (status {result.status.value})"
+            )
+
+    _compare_exact_pairs(app, config, verdict)
+    _compare_greedy(app, config, verdict)
+    return verdict
+
+
+def _compare_exact_pairs(
+    app: Application, config: DifferentialConfig, verdict: InstanceVerdict
+) -> None:
+    proven = [
+        run
+        for backend, run in verdict.runs.items()
+        if backend in EXACT_BACKENDS and run.proven
+    ]
+    for i, first in enumerate(proven):
+        for second in proven[i + 1 :]:
+            a, b = first.result, second.result
+            if (a.status is SolveStatus.INFEASIBLE) != (
+                b.status is SolveStatus.INFEASIBLE
+            ):
+                verdict.disagreements.append(
+                    f"{first.backend} says {a.status.value}, "
+                    f"{second.backend} says {b.status.value}"
+                )
+                continue
+            if a.status is SolveStatus.INFEASIBLE:
+                continue
+            metric_a = evaluate_metric(app, a, config.objective)
+            metric_b = evaluate_metric(app, b, config.objective)
+            if metric_a is None or metric_b is None:
+                continue
+            if not _close(metric_a, metric_b, config.tolerance):
+                verdict.disagreements.append(
+                    f"optimal objectives diverge: {first.backend}="
+                    f"{metric_a:.6f} vs {second.backend}={metric_b:.6f} "
+                    f"({config.objective.value}, tolerance {config.tolerance:g})"
+                )
+
+
+def _compare_greedy(
+    app: Application, config: DifferentialConfig, verdict: InstanceVerdict
+) -> None:
+    greedy = verdict.runs.get("greedy")
+    if greedy is None or greedy.result is None:
+        return
+    exact_proven = [
+        run
+        for backend, run in verdict.runs.items()
+        if backend in EXACT_BACKENDS and run.proven
+    ]
+    if any(
+        run.result.status is not SolveStatus.INFEASIBLE for run in exact_proven
+    ):
+        if not greedy.result.feasible:
+            verdict.disagreements.append(
+                "an exact backend found a solution but greedy returned "
+                f"status {greedy.result.status.value}"
+            )
+    for run in exact_proven:
+        if run.result.status is SolveStatus.INFEASIBLE:
+            # Greedy ignores Property 3 and the deadlines; only a
+            # strict-oracle-verified greedy solution contradicts an
+            # infeasibility proof.
+            if greedy.result.feasible and oracle_check(
+                app, greedy.result, strict=True
+            ).ok:
+                verdict.disagreements.append(
+                    f"{run.backend} proved INFEASIBLE but the greedy "
+                    "solution passes the strict oracle"
+                )
+            continue
+        if not greedy.result.feasible:
+            continue
+        optimum = evaluate_metric(app, run.result, config.objective)
+        achieved = evaluate_metric(app, greedy.result, config.objective)
+        if optimum is None or achieved is None:
+            continue
+        if achieved < optimum - config.tolerance - abs(optimum) * 1e-9:
+            verdict.disagreements.append(
+                f"greedy beat the proven optimum of {run.backend}: "
+                f"{achieved:.6f} < {optimum:.6f} ({config.objective.value})"
+            )
+
+
+def _close(a: float, b: float, tolerance: float) -> bool:
+    return abs(a - b) <= tolerance + max(abs(a), abs(b)) * tolerance

@@ -1,0 +1,188 @@
+"""End-to-end solution oracle: verifier + simulated-timeline replay.
+
+The MILP verifier of :mod:`repro.core.verifier` re-checks the paper's
+constraints analytically.  This module goes one layer further and
+*executes* the allocation: it builds the proposed protocol's
+communication timeline, replays it through the discrete-event simulator
+of :mod:`repro.sim`, and cross-checks the simulated world against the
+analytical accounting:
+
+* the verifier's structural checks (layouts, coverage, per-instant
+  contiguity, LET Properties 1-2) must pass — plus Property 3, the
+  data acquisition deadlines, and Theorem 1 in strict mode;
+* the DMA dispatch slices on each core's timeline must be
+  non-overlapping and time-ordered (strict mode; a Property 3 violation
+  legitimately makes instants bleed into each other otherwise);
+* every job's readiness on the timeline must equal the analytical
+  latency accounting of Constraint 9 (``AllocationResult.latencies_at``);
+* the simulator must observe exactly the analytical worst-case
+  acquisition latency for every communicating task over one
+  hyperperiod, and must never see a task become ready before release.
+
+Exact backends must satisfy the *strict* oracle; the greedy heuristic
+guarantees only the structural half by construction (Properties 1-2 and
+contiguity), so the differential harness checks it with
+``strict=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.solution import AllocationResult
+from repro.core.verifier import VerificationReport, verify_allocation
+from repro.model.application import Application
+from repro.sim import CommunicationTimeline, proposed_timeline, simulate
+
+__all__ = ["OracleReport", "oracle_check"]
+
+#: Absolute tolerance for floating-point time comparisons, microseconds.
+_EPS_US = 1e-6
+
+
+@dataclass
+class OracleReport:
+    """Outcome of the end-to-end oracle.
+
+    Attributes:
+        ok: True when neither the verifier nor the replay found a
+            violation.
+        violations: Human-readable descriptions of every defect.
+        verifier: The underlying analytical verification report.
+        simulated_jobs: Number of jobs replayed through the simulator
+            (0 when the structure was too broken to replay).
+        strict: Whether Property 3 / deadline / timeline-overlap checks
+            were included.
+    """
+
+    ok: bool = True
+    violations: list[str] = field(default_factory=list)
+    verifier: VerificationReport | None = None
+    simulated_jobs: int = 0
+    strict: bool = True
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "oracle check failed:\n  " + "\n  ".join(self.violations)
+            )
+
+
+def oracle_check(
+    app: Application, result: AllocationResult, *, strict: bool = True
+) -> OracleReport:
+    """Verify ``result`` analytically, then replay it end to end.
+
+    Args:
+        app: The application the result claims to solve.
+        result: A (claimed) feasible allocation.
+        strict: Include Property 3, data-acquisition deadlines, and the
+            timeline-overlap check.  Use ``False`` for heuristic
+            results, which guarantee only the structural properties.
+    """
+    report = OracleReport(strict=strict)
+    report.verifier = verify_allocation(
+        app,
+        result,
+        check_property3=strict,
+        check_deadlines=strict,
+    )
+    for violation in report.verifier.violations:
+        report.fail(f"verifier: {violation}")
+    if not result.feasible:
+        return report
+
+    # Replaying a structurally broken allocation can blow up inside the
+    # protocol/timeline machinery; convert that to a violation.
+    try:
+        timeline = proposed_timeline(app, result)
+        _check_timeline(app, result, timeline, report)
+        _check_simulation(app, result, timeline, report)
+    except (KeyError, ValueError, IndexError) as defect:
+        report.fail(f"replay failed on malformed allocation: {defect!r}")
+    return report
+
+
+def _check_timeline(
+    app: Application,
+    result: AllocationResult,
+    timeline: CommunicationTimeline,
+    report: OracleReport,
+) -> None:
+    """Timeline sanity + agreement with the analytical accounting."""
+    if report.strict:
+        for core_id, intervals in timeline.blackouts.items():
+            previous_end = None
+            for start, end in intervals:
+                if end < start - _EPS_US:
+                    report.fail(
+                        f"timeline: inverted blackout [{start}, {end}] on {core_id}"
+                    )
+                if previous_end is not None and start < previous_end - _EPS_US:
+                    report.fail(
+                        f"timeline: overlapping DMA slices on {core_id} "
+                        f"({start:.3f} us starts before {previous_end:.3f} us ends)"
+                    )
+                previous_end = max(previous_end or end, end)
+
+    hyperperiod = app.tasks.hyperperiod_us()
+    analytic = {t: result.latencies_at(app, t) for t in _instants(app)}
+    for (task, release), ready in timeline.ready_times.items():
+        latency = ready - release
+        if latency < -_EPS_US:
+            report.fail(
+                f"timeline: job ({task}, {release}) ready {-latency:.3f} us "
+                "before its release"
+            )
+        expected = analytic.get(release % hyperperiod, {}).get(task, 0.0)
+        if abs(latency - expected) > _EPS_US:
+            report.fail(
+                f"timeline: job ({task}, {release}) ready after "
+                f"{latency:.3f} us, analytical accounting says "
+                f"{expected:.3f} us"
+            )
+
+
+def _check_simulation(
+    app: Application,
+    result: AllocationResult,
+    timeline: CommunicationTimeline,
+    report: OracleReport,
+) -> None:
+    """Replay one hyperperiod and compare observed latencies."""
+    sim = simulate(app, timeline)
+    report.simulated_jobs = len(sim.jobs)
+    expected_jobs = sum(
+        len(task.release_instants(sim.horizon_us)) for task in app.tasks
+    )
+    if len(sim.jobs) != expected_jobs:
+        report.fail(
+            f"simulation: {len(sim.jobs)} jobs replayed, expected {expected_jobs}"
+        )
+    worst = result.worst_case_latencies(app)
+    for task in app.tasks:
+        observed = sim.worst_acquisition_latency_us(task.name)
+        expected = worst.get(task.name, 0.0)
+        if abs(observed - expected) > _EPS_US:
+            report.fail(
+                f"simulation: task {task.name} observed worst acquisition "
+                f"latency {observed:.3f} us, analytical worst case is "
+                f"{expected:.3f} us"
+            )
+        if report.strict:
+            gamma = task.acquisition_deadline_us
+            if gamma is not None and observed > gamma + _EPS_US:
+                report.fail(
+                    f"simulation: task {task.name} ready after {observed:.3f} us,"
+                    f" deadline gamma={gamma:.3f} us"
+                )
+
+
+def _instants(app: Application) -> list[int]:
+    from repro.let.grouping import active_instants
+
+    return active_instants(app)

@@ -1,0 +1,168 @@
+"""Greedy minimization of failing instances (delta debugging).
+
+When the differential runner finds a disagreeing instance, a raw
+generated application is a poor reproducer: a dozen tasks and labels
+obscure the two communications that actually trigger the bug.  This
+module shrinks an application while a caller-supplied predicate keeps
+holding ("still fails the differential check"), using the classic
+reduction moves, largest cuts first:
+
+1. drop a task (and every label orphaned by it);
+2. drop a label;
+3. halve every label size (sizes rarely matter; shrink them fast);
+4. unify all periods to the smallest one in the app (collapses the
+   hyperperiod and with it the number of active instants).
+
+Every candidate must remain a *valid* application — at least two tasks,
+at least one inter-core communication (the greedy backend requires
+one), constructible without validation errors — so the reproducer can
+always be replayed through the same pipeline that found it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.model import Application, Label, Task, TaskSet
+
+__all__ = ["ShrinkOutcome", "shrink_application"]
+
+
+@dataclass
+class ShrinkOutcome:
+    """The result of a shrink run.
+
+    Attributes:
+        app: The smallest still-failing application found.
+        rounds: Number of accepted reductions.
+        attempts: Number of predicate evaluations.
+    """
+
+    app: Application
+    rounds: int = 0
+    attempts: int = 0
+
+
+def shrink_application(
+    app: Application,
+    still_fails: Callable[[Application], bool],
+    *,
+    max_attempts: int = 200,
+) -> ShrinkOutcome:
+    """Minimize ``app`` while ``still_fails`` keeps returning True.
+
+    The predicate is assumed to hold for ``app`` itself (the caller
+    found it failing); it is only invoked on reduced candidates.
+    Greedy first-improvement search: apply the first accepted
+    reduction, restart from the reduced app, stop at a fixpoint or
+    after ``max_attempts`` predicate calls.
+    """
+    outcome = ShrinkOutcome(app=app)
+    improved = True
+    while improved and outcome.attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(outcome.app):
+            if outcome.attempts >= max_attempts:
+                break
+            outcome.attempts += 1
+            if still_fails(candidate):
+                outcome.app = candidate
+                outcome.rounds += 1
+                improved = True
+                break
+    return outcome
+
+
+def _candidates(app: Application):
+    """Yield valid reduced applications, largest reductions first."""
+    for task in app.tasks:
+        reduced = _try(lambda t=task: _drop_task(app, t.name))
+        if reduced is not None:
+            yield reduced
+    for label in app.labels:
+        reduced = _try(lambda lab=label: _drop_label(app, lab.name))
+        if reduced is not None:
+            yield reduced
+    reduced = _try(lambda: _halve_sizes(app))
+    if reduced is not None and _smaller_sizes(reduced, app):
+        yield reduced
+    reduced = _try(lambda: _unify_periods(app))
+    if reduced is not None and _fewer_periods(reduced, app):
+        yield reduced
+
+
+def _try(build: Callable[[], Application]) -> Application | None:
+    try:
+        candidate = build()
+    except ValueError:
+        return None
+    return candidate if _is_viable(candidate) else None
+
+
+def _is_viable(app: Application) -> bool:
+    """Valid for the whole pipeline: greedy needs an inter-core comm."""
+    if len(list(app.tasks)) < 2:
+        return False
+    return bool(app.shared_labels)
+
+
+def _drop_task(app: Application, name: str) -> Application:
+    tasks = [task for task in app.tasks if task.name != name]
+    labels = []
+    for label in app.labels:
+        if label.writer == name:
+            continue
+        readers = tuple(reader for reader in label.readers if reader != name)
+        if not readers:
+            continue
+        labels.append(
+            Label(label.name, label.size_bytes, writer=label.writer, readers=readers)
+        )
+    return Application(app.platform, TaskSet(tasks), labels)
+
+
+def _drop_label(app: Application, name: str) -> Application:
+    labels = [label for label in app.labels if label.name != name]
+    return Application(app.platform, app.tasks, labels)
+
+
+def _halve_sizes(app: Application) -> Application:
+    labels = [
+        Label(
+            label.name,
+            max(1, label.size_bytes // 2),
+            writer=label.writer,
+            readers=label.readers,
+        )
+        for label in app.labels
+    ]
+    return Application(app.platform, app.tasks, labels)
+
+
+def _unify_periods(app: Application) -> Application:
+    period = min(task.period_us for task in app.tasks)
+    tasks = [
+        Task(
+            name=task.name,
+            period_us=period,
+            wcet_us=min(task.wcet_us, 0.9 * period),
+            core_id=task.core_id,
+            priority=task.priority,
+            acquisition_deadline_us=task.acquisition_deadline_us,
+        )
+        for task in app.tasks
+    ]
+    return Application(app.platform, TaskSet(tasks), app.labels)
+
+
+def _smaller_sizes(candidate: Application, app: Application) -> bool:
+    return sum(l.size_bytes for l in candidate.labels) < sum(
+        l.size_bytes for l in app.labels
+    )
+
+
+def _fewer_periods(candidate: Application, app: Application) -> bool:
+    return len({t.period_us for t in candidate.tasks}) < len(
+        {t.period_us for t in app.tasks}
+    )

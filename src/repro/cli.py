@@ -10,7 +10,10 @@ Commands:
 * ``solve``   — solve the WATERS case study once through the
   :func:`repro.solve` facade and print the allocation;
 * ``telemetry`` — summarize a telemetry JSONL file / run directory;
-* ``simulate``— run the discrete-event simulator for one approach.
+* ``simulate``— run the discrete-event simulator for one approach;
+* ``fuzz``    — differential fuzzing of the solver backends
+  (``--budget/--seed/--jobs``), shrinking any disagreement to a
+  corpus reproducer (see ``docs/fuzzing.md``).
 
 Grid commands (``table1``, ``alphas``, ``sweep``) accept ``--jobs`` and
 ``--telemetry``; all solver commands share the solver knob defaults of
@@ -198,6 +201,57 @@ def build_parser() -> argparse.ArgumentParser:
     p_codesign.add_argument("--shrink", type=float, default=0.5)
     p_codesign.add_argument("--max-iterations", type=int, default=6)
     _add_common(p_codesign)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random instances, every backend, "
+        "cross-checked; disagreements are shrunk to reproducers",
+    )
+    p_fuzz.add_argument(
+        "--budget",
+        type=_positive_int,
+        default=50,
+        help="number of random instances to cross-check (default: 50)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default: 0)"
+    )
+    p_fuzz.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the solve grid (default: 1)",
+    )
+    p_fuzz.add_argument(
+        "--backends",
+        nargs="+",
+        choices=("highs", "bnb", "greedy"),
+        default=["highs", "bnb", "greedy"],
+        help="backends to cross-check (default: all three)",
+    )
+    p_fuzz.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write one JSONL telemetry record per solve to PATH",
+    )
+    p_fuzz.add_argument(
+        "--corpus",
+        default="fuzz-corpus",
+        metavar="DIR",
+        help="directory for shrunk reproducers (default: fuzz-corpus)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failing instances without minimizing them",
+    )
+    p_fuzz.add_argument(
+        "--time-limit",
+        type=float,
+        default=20.0,
+        help="per-backend budget per instance in seconds (default: 20)",
+    )
 
     p_verify = sub.add_parser(
         "verify",
@@ -395,6 +449,27 @@ def main(argv: list[str] | None = None) -> int:
             time_limit_seconds=args.time_limit,
         )
         print(report.summary())
+    elif args.command == "fuzz":
+        from repro.check import FuzzConfig, run_fuzz
+
+        report = run_fuzz(
+            FuzzConfig(
+                budget=args.budget,
+                seed=args.seed,
+                jobs=args.jobs,
+                backends=tuple(args.backends),
+                telemetry=args.telemetry,
+                corpus_dir=args.corpus,
+                shrink=not args.no_shrink,
+                time_limit_seconds=args.time_limit,
+            )
+        )
+        print(report.summary())
+        if args.telemetry:
+            from repro.runtime import read_telemetry, render_telemetry_summary
+
+            print(render_telemetry_summary(read_telemetry(args.telemetry)))
+        return 0 if report.ok else 1
     elif args.command == "verify":
         from repro.core import verify_allocation
         from repro.io import load_application, load_result, load_system_xml

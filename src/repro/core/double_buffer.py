@@ -25,7 +25,7 @@ publication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.let.skipping import write_instants
 from repro.model.application import Application

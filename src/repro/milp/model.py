@@ -14,7 +14,7 @@ import math
 from collections.abc import Iterable, Sequence
 
 from repro.milp.expr import Constraint, LinExpr, Sense, Var, VarType, lin_sum
-from repro.milp.result import Solution, SolveStatus
+from repro.milp.result import Solution
 
 __all__ = ["MilpModel", "ObjectiveSense"]
 

@@ -3,18 +3,22 @@ and WATERS-like perception/control applications."""
 
 from repro.workloads.generator import (
     AUTOMOTIVE_PERIODS_MS,
+    FUZZ_PERIODS_MS,
     WorkloadSpec,
     generate_application,
     generate_taskset,
+    random_spec,
     uunifast,
 )
 from repro.workloads.waters_like import WatersLikeSpec, generate_waters_like
 
 __all__ = [
     "AUTOMOTIVE_PERIODS_MS",
+    "FUZZ_PERIODS_MS",
     "WorkloadSpec",
     "generate_application",
     "generate_taskset",
+    "random_spec",
     "uunifast",
     "WatersLikeSpec",
     "generate_waters_like",

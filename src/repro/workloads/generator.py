@@ -16,12 +16,18 @@ standard practice in the real-time literature:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.model import Application, Label, Platform, Task, TaskSet
 from repro.model.timing import ms
 
-__all__ = ["WorkloadSpec", "uunifast", "generate_taskset", "generate_application"]
+__all__ = [
+    "WorkloadSpec",
+    "uunifast",
+    "generate_taskset",
+    "generate_application",
+    "random_spec",
+]
 
 #: Typical automotive task periods, in milliseconds.
 AUTOMOTIVE_PERIODS_MS = (1, 2, 5, 10, 20, 50, 100, 200, 1000)
@@ -166,6 +172,46 @@ def generate_application(spec: WorkloadSpec) -> Application:
             )
         )
     return Application(platform, tasks, labels)
+
+
+#: Period pool of :func:`random_spec`: small divisible periods keep the
+#: hyperperiod (and hence the number of active instants the exact
+#: backends must model) bounded, which is what the fuzz harness needs.
+FUZZ_PERIODS_MS = (5, 10, 20)
+
+
+def random_spec(
+    rng: random.Random,
+    *,
+    min_tasks: int = 3,
+    max_tasks: int = 6,
+    max_cores: int = 3,
+    periods_ms: tuple[int, ...] = FUZZ_PERIODS_MS,
+    max_label_bytes: int = 16_384,
+) -> WorkloadSpec:
+    """Draw a randomized, fuzz-sized :class:`WorkloadSpec`.
+
+    The draw targets the sweet spot of the differential harness
+    (:mod:`repro.check`): instances small enough that the exact
+    backends finish in seconds, yet diverse in task count, partitioning
+    pressure, communication density, and label sizes.  The spec carries
+    its own ``seed``, so the spec alone reproduces the application.
+    """
+    if min_tasks < 2 or max_tasks < min_tasks:
+        raise ValueError("need min_tasks >= 2 and max_tasks >= min_tasks")
+    num_tasks = rng.randint(min_tasks, max_tasks)
+    num_cores = rng.randint(2, max(2, min(max_cores, num_tasks - 1)))
+    num_periods = rng.randint(1, len(periods_ms))
+    return WorkloadSpec(
+        num_tasks=num_tasks,
+        num_cores=num_cores,
+        total_utilization=rng.uniform(0.2, 0.6),
+        communication_density=rng.uniform(0.1, 0.45),
+        min_label_bytes=64,
+        max_label_bytes=rng.choice((1024, 4096, max_label_bytes)),
+        periods_ms=tuple(sorted(rng.sample(periods_ms, num_periods))),
+        seed=rng.randrange(2**31),
+    )
 
 
 def _log_uniform_size(rng: random.Random, low: int, high: int) -> int:

@@ -1,7 +1,5 @@
 """Tests for cause-effect chain analysis under LET."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,0 +1,22 @@
+"""Fixtures for the differential-harness tests: tiny solved instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FormulationConfig, LetDmaFormulation, Objective
+
+
+@pytest.fixture
+def tiny_config() -> FormulationConfig:
+    return FormulationConfig(
+        objective=Objective.MIN_TRANSFERS, time_limit_seconds=30
+    )
+
+
+@pytest.fixture
+def solved_simple(simple_app, tiny_config):
+    """(app, exact optimal result) for the one-label fixture app."""
+    result = LetDmaFormulation(simple_app, tiny_config).solve()
+    assert result.feasible
+    return simple_app, result

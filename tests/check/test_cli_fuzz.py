@@ -1,0 +1,46 @@
+"""CLI wiring tests for ``letdma fuzz``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.slow
+def test_fuzz_command_exits_zero_on_agreement(tmp_path, capsys):
+    telemetry = tmp_path / "fuzz.jsonl"
+    code = main(
+        [
+            "fuzz",
+            "--budget",
+            "2",
+            "--seed",
+            "0",
+            "--backends",
+            "highs",
+            "greedy",
+            "--telemetry",
+            str(telemetry),
+            "--corpus",
+            str(tmp_path / "corpus"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 instances" in out
+    assert "all backends agree" in out
+    # The telemetry summary is appended after the fuzz summary.
+    assert "telemetry" in out.lower() or "solves" in out.lower()
+    records = [json.loads(line) for line in telemetry.read_text().splitlines()]
+    assert records and all(r["event"] == "solve" for r in records)
+
+
+def test_fuzz_rejects_bad_budget(capsys):
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--budget", "0"])
+
+
+def test_fuzz_rejects_unknown_backend(capsys):
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--backends", "cplex"])

@@ -1,0 +1,91 @@
+"""Corpus round-trip tests plus replay of every committed reproducer.
+
+The committed entries under ``tests/corpus/`` are regression instances:
+each one is replayed through the full differential check on every run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    DifferentialConfig,
+    Reproducer,
+    iter_corpus,
+    load_reproducer,
+    replay_reproducer,
+    save_reproducer,
+)
+from repro.core import Objective
+
+#: The committed corpus, resolved relative to this file so the tests
+#: work from any pytest invocation directory.
+COMMITTED_CORPUS = Path(__file__).resolve().parent.parent / "corpus"
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, simple_app, tmp_path):
+        reproducer = Reproducer(
+            app=simple_app,
+            objective=Objective.MIN_TRANSFERS,
+            description="round-trip test",
+            disagreements=["synthetic"],
+        )
+        path = save_reproducer(reproducer, tmp_path)
+        assert path.exists()
+        loaded = load_reproducer(path)
+        assert loaded.objective is Objective.MIN_TRANSFERS
+        assert loaded.description == "round-trip test"
+        assert loaded.disagreements == ["synthetic"]
+        assert [t.name for t in loaded.app.tasks] == [
+            t.name for t in simple_app.tasks
+        ]
+        assert [(l.name, l.size_bytes) for l in loaded.app.labels] == [
+            (l.name, l.size_bytes) for l in simple_app.labels
+        ]
+
+    def test_content_hash_filenames_deduplicate(self, simple_app, tmp_path):
+        reproducer = Reproducer(app=simple_app, objective=Objective.NONE)
+        first = save_reproducer(reproducer, tmp_path)
+        second = save_reproducer(reproducer, tmp_path)
+        assert first == second
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_unknown_schema_version_rejected(self, simple_app, tmp_path):
+        reproducer = Reproducer(app=simple_app, objective=Objective.NONE)
+        path = save_reproducer(reproducer, tmp_path)
+        data = json.loads(path.read_text())
+        data["schema_version"] = 999
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema version"):
+            load_reproducer(path)
+
+    def test_iter_corpus_of_missing_directory_is_empty(self, tmp_path):
+        assert iter_corpus(tmp_path / "does-not-exist") == []
+
+
+class TestCommittedCorpus:
+    def test_corpus_is_not_empty(self):
+        assert iter_corpus(COMMITTED_CORPUS), (
+            "the committed corpus must hold at least the seed entries"
+        )
+
+    @pytest.mark.parametrize(
+        "path_and_entry",
+        iter_corpus(COMMITTED_CORPUS),
+        ids=lambda pair: pair[0].name,
+    )
+    def test_replay_agrees(self, path_and_entry):
+        """Every committed reproducer must pass the differential check:
+        entries are committed once their bug is fixed."""
+        path, entry = path_and_entry
+        verdict = replay_reproducer(
+            entry,
+            DifferentialConfig(
+                backends=entry.backends,
+                objective=entry.objective,
+                time_limit_seconds=60,
+            ),
+        )
+        assert verdict.ok, (path.name, verdict.disagreements)

@@ -1,0 +1,154 @@
+"""Differential-runner tests: agreement on healthy backends, detection
+of injected disagreements."""
+
+import dataclasses
+
+import pytest
+
+from repro.check import (
+    DifferentialConfig,
+    applicable_backends,
+    check_instance,
+    compare_runs,
+    evaluate_metric,
+)
+from repro.core import (
+    FormulationConfig,
+    LetDmaFormulation,
+    Objective,
+    greedy_allocation,
+)
+from repro.core.solution import AllocationResult
+from repro.milp import SolveStatus
+
+
+class TestEvaluateMetric:
+    def test_min_transfers_counts_transfers(self, solved_simple):
+        app, result = solved_simple
+        assert evaluate_metric(app, result, Objective.MIN_TRANSFERS) == float(
+            result.num_transfers
+        )
+
+    def test_min_delay_ratio_replays_latencies(self, solved_simple):
+        app, result = solved_simple
+        metric = evaluate_metric(app, result, Objective.MIN_DELAY_RATIO)
+        expected = max(
+            latency / app.tasks[task].period_us
+            for task, latency in result.latencies_at(app, 0).items()
+        )
+        assert metric == pytest.approx(expected)
+
+    def test_none_objective_has_no_metric(self, solved_simple):
+        app, result = solved_simple
+        assert evaluate_metric(app, result, Objective.NONE) is None
+
+    def test_infeasible_has_no_metric(self, simple_app):
+        infeasible = AllocationResult(status=SolveStatus.INFEASIBLE)
+        assert (
+            evaluate_metric(simple_app, infeasible, Objective.MIN_TRANSFERS)
+            is None
+        )
+
+
+class TestBackendGating:
+    def test_bnb_gated_by_communication_count(self, fig1_app):
+        config = DifferentialConfig(bnb_max_comms=2)
+        pairs = dict(applicable_backends(fig1_app, config))
+        assert pairs["bnb"]  # skip reason set
+        assert not pairs["highs"]
+        assert not pairs["greedy"]
+
+    def test_small_instance_runs_all_backends(self, simple_app):
+        pairs = dict(applicable_backends(simple_app, DifferentialConfig()))
+        assert all(reason == "" for reason in pairs.values())
+
+
+class TestHealthyAgreement:
+    def test_all_backends_agree_on_simple_app(self, simple_app):
+        verdict = check_instance(
+            simple_app, DifferentialConfig(time_limit_seconds=30)
+        )
+        assert verdict.ok, verdict.disagreements
+        assert set(verdict.runs) == {"highs", "bnb", "greedy"}
+        assert verdict.runs["highs"].proven
+        assert verdict.runs["highs"].oracle.ok
+
+    def test_delay_ratio_objective_agrees(self, simple_app):
+        verdict = check_instance(
+            simple_app,
+            DifferentialConfig(
+                objective=Objective.MIN_DELAY_RATIO, time_limit_seconds=30
+            ),
+        )
+        assert verdict.ok, verdict.disagreements
+
+
+class TestDisagreementDetection:
+    def test_status_contradiction_detected(self, solved_simple):
+        app, good = solved_simple
+        config = DifferentialConfig(backends=("highs", "bnb"))
+        verdict = compare_runs(
+            app,
+            config,
+            {
+                "highs": good,
+                "bnb": AllocationResult(status=SolveStatus.INFEASIBLE),
+            },
+        )
+        assert not verdict.ok
+        assert any("INFEASIBLE" in d.upper() for d in verdict.disagreements)
+
+    def test_corrupted_result_fails_oracle(self, solved_simple):
+        app, good = solved_simple
+        broken = dataclasses.replace(good, transfers=good.transfers[:-1])
+        config = DifferentialConfig(backends=("highs",))
+        verdict = compare_runs(app, config, {"highs": broken})
+        assert not verdict.ok
+        assert any(d.startswith("highs:") for d in verdict.disagreements)
+
+    def test_greedy_beating_proven_optimum_detected(self, fig1_app):
+        """A 'proven optimum' worse than the heuristic is a solver bug."""
+        exact = LetDmaFormulation(
+            fig1_app,
+            FormulationConfig(
+                objective=Objective.MIN_TRANSFERS, time_limit_seconds=60
+            ),
+        ).solve()
+        greedy = greedy_allocation(fig1_app)
+        assert greedy.num_transfers > exact.num_transfers  # fixture sanity
+        fake_optimal = dataclasses.replace(
+            greedy, status=SolveStatus.OPTIMAL
+        )
+        config = DifferentialConfig(backends=("highs", "greedy"))
+        verdict = compare_runs(
+            app=fig1_app,
+            config=config,
+            # The real optimum presented as greedy's answer: it beats
+            # the claimed "optimal" 8-transfer schedule.
+            results={"highs": fake_optimal, "greedy": exact},
+        )
+        assert not verdict.ok
+        assert any("beat the proven optimum" in d for d in verdict.disagreements)
+
+    def test_skipped_backend_is_a_note_not_a_disagreement(self, solved_simple):
+        app, good = solved_simple
+        config = DifferentialConfig(backends=("highs", "bnb"))
+        verdict = compare_runs(
+            app,
+            config,
+            {"highs": good, "bnb": None},
+            {"bnb": "gated out for the test"},
+        )
+        assert verdict.ok
+        assert any("skipped" in note for note in verdict.notes)
+
+    def test_timeout_is_a_note_not_a_disagreement(self, solved_simple):
+        app, good = solved_simple
+        config = DifferentialConfig(backends=("highs", "bnb"))
+        verdict = compare_runs(
+            app,
+            config,
+            {"highs": good, "bnb": AllocationResult(status=SolveStatus.ERROR)},
+        )
+        assert verdict.ok
+        assert any("no verdict" in note for note in verdict.notes)

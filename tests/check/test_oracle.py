@@ -1,0 +1,93 @@
+"""End-to-end oracle tests: good allocations pass, corrupted ones fail."""
+
+import dataclasses
+
+from repro.check import oracle_check
+from repro.core import greedy_allocation
+from repro.core.solution import MemoryLayout
+
+
+class TestHappyPath:
+    def test_exact_solution_passes_strict(self, solved_simple):
+        app, result = solved_simple
+        report = oracle_check(app, result, strict=True)
+        assert report.ok, report.violations
+        assert report.simulated_jobs > 0
+        report.raise_if_failed()
+
+    def test_greedy_passes_structural(self, fig1_app):
+        result = greedy_allocation(fig1_app)
+        report = oracle_check(fig1_app, result, strict=False)
+        assert report.ok, report.violations
+        assert report.strict is False
+
+    def test_verifier_report_is_attached(self, solved_simple):
+        app, result = solved_simple
+        report = oracle_check(app, result)
+        assert report.verifier is not None
+        assert report.verifier.ok
+
+
+class TestReplayCatchesCorruption:
+    def test_wrong_transfer_order_fails(self, fig1_app, tiny_config):
+        from repro.core import LetDmaFormulation
+
+        result = LetDmaFormulation(fig1_app, tiny_config).solve()
+        reversed_transfers = sorted(
+            (
+                dataclasses.replace(t, index=len(result.transfers) - 1 - t.index)
+                for t in result.transfers
+            ),
+            key=lambda t: t.index,
+        )
+        bad = dataclasses.replace(result, transfers=tuple(reversed_transfers))
+        report = oracle_check(fig1_app, bad)
+        assert not report.ok
+
+    def test_shuffled_layout_fails(self, solved_simple):
+        app, result = solved_simple
+        layout = result.layouts["MG"]
+        corrupted = MemoryLayout(
+            memory_id=layout.memory_id,
+            order=layout.order,
+            addresses={slot: 7 for slot in layout.order},
+            sizes=layout.sizes,
+        )
+        bad = dataclasses.replace(
+            result, layouts={**result.layouts, "MG": corrupted}
+        )
+        report = oracle_check(app, bad)
+        assert not report.ok
+        assert any("gap/overlap" in v for v in report.violations)
+
+    def test_lying_latency_accounting_fails(self, solved_simple):
+        """The protocol replay and the analytical accounting are
+        independent implementations; a result whose accounting lies is
+        caught by the timeline/simulation cross-check."""
+        from repro.core.solution import AllocationResult
+
+        app, result = solved_simple
+
+        class LyingResult(AllocationResult):
+            def latencies_at(self, app, t):
+                return {
+                    task: 0.0 for task in super().latencies_at(app, t)
+                }
+
+        fields = {
+            f.name: getattr(result, f.name)
+            for f in dataclasses.fields(result)
+        }
+        bad = LyingResult(**fields)
+        report = oracle_check(app, bad)
+        assert not report.ok
+        assert any("analytical" in v for v in report.violations)
+
+    def test_infeasible_result_fails(self, simple_app):
+        from repro.core.solution import AllocationResult
+        from repro.milp import SolveStatus
+
+        report = oracle_check(
+            simple_app, AllocationResult(status=SolveStatus.INFEASIBLE)
+        )
+        assert not report.ok

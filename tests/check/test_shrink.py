@@ -1,0 +1,72 @@
+"""Shrinker tests: minimization under a predicate, validity of output."""
+
+from repro.check import shrink_application
+from repro.workloads import WorkloadSpec, generate_application
+
+
+def big_app():
+    return generate_application(
+        WorkloadSpec(
+            num_tasks=8,
+            num_cores=2,
+            communication_density=0.4,
+            total_utilization=0.5,
+            periods_ms=(5, 10, 20),
+            seed=7,
+        )
+    )
+
+
+class TestShrink:
+    def test_always_failing_predicate_minimizes_hard(self):
+        app = big_app()
+        outcome = shrink_application(app, lambda candidate: True)
+        assert len(list(outcome.app.tasks)) == 2
+        assert len(outcome.app.labels) == 1
+        assert outcome.app.shared_labels  # still an inter-core instance
+        assert outcome.rounds > 0
+
+    def test_never_failing_predicate_keeps_app(self):
+        app = big_app()
+        outcome = shrink_application(app, lambda candidate: False)
+        assert outcome.app is app
+        assert outcome.rounds == 0
+        assert outcome.attempts > 0
+
+    def test_predicate_guides_the_minimum(self):
+        """Shrinking stops at the smallest app still containing the
+        'bug' — here, a specific label."""
+        app = big_app()
+        needle = app.shared_labels[0].name
+
+        def still_fails(candidate):
+            return any(label.name == needle for label in candidate.labels)
+
+        outcome = shrink_application(app, still_fails)
+        names = [label.name for label in outcome.app.labels]
+        assert needle in names
+        assert len(names) == 1
+        assert len(list(outcome.app.tasks)) == 2
+
+    def test_sizes_are_halved(self):
+        app = big_app()
+        outcome = shrink_application(app, lambda candidate: True)
+        assert all(label.size_bytes == 1 for label in outcome.app.labels)
+
+    def test_periods_are_unified(self):
+        app = big_app()
+        outcome = shrink_application(app, lambda candidate: True)
+        assert len({task.period_us for task in outcome.app.tasks}) == 1
+
+    def test_attempt_budget_is_respected(self):
+        app = big_app()
+        outcome = shrink_application(app, lambda candidate: True, max_attempts=3)
+        assert outcome.attempts <= 3
+
+    def test_shrunk_app_is_solvable(self):
+        """The reproducer must replay through the same pipeline."""
+        from repro.core import greedy_allocation
+
+        outcome = shrink_application(big_app(), lambda candidate: True)
+        result = greedy_allocation(outcome.app)
+        assert result.feasible

@@ -12,7 +12,7 @@ from repro.core import (
     verify_allocation,
 )
 from repro.let.grouping import communications_at
-from repro.model import Application, Label, Platform, Task, TaskSet
+from repro.model import Application, Label, Task, TaskSet
 from repro.workloads import WorkloadSpec, generate_application
 
 

@@ -1,0 +1,209 @@
+"""Deterministic rejection paths of the allocation verifier.
+
+Complements ``test_verifier.py``: each test here constructs a schedule
+that violates exactly one property (overlapping layout, LET Properties
+1-3, a data-acquisition deadline) and asserts the verifier names it.
+The selective-check flags added for the differential harness are
+exercised on the same instances.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import greedy_allocation, verify_allocation
+from repro.core.solution import DmaTransfer, MemoryLayout
+from repro.let.communication import Communication
+from repro.let.grouping import communications_at
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+
+def singleton_schedule(app, result, order):
+    """Rebuild ``result`` with one singleton transfer per communication,
+    executed in the given order (layouts are kept, so every singleton
+    run is trivially contiguous)."""
+    transfers = tuple(
+        DmaTransfer(
+            index=i,
+            source_memory=comm.source_memory_id(app),
+            dest_memory=comm.destination_memory_id(app),
+            communications=(comm,),
+            total_bytes=comm.size_bytes(app),
+        )
+        for i, comm in enumerate(order)
+    )
+    return dataclasses.replace(result, transfers=transfers)
+
+
+@pytest.fixture
+def fig1_greedy(fig1_app):
+    result = greedy_allocation(fig1_app)
+    assert verify_allocation(fig1_app, result).ok
+    return result
+
+
+class TestOverlappingAllocations:
+    def test_overlapping_addresses_rejected(self, fig1_app, fig1_greedy):
+        layout = fig1_greedy.layouts["MG"]
+        assert len(layout.order) > 1  # fixture sanity: overlap possible
+        overlapped = MemoryLayout(
+            memory_id=layout.memory_id,
+            order=layout.order,
+            addresses=dict.fromkeys(layout.order, 0),
+            sizes=layout.sizes,
+        )
+        bad = dataclasses.replace(
+            fig1_greedy, layouts={**fig1_greedy.layouts, "MG": overlapped}
+        )
+        report = verify_allocation(fig1_app, bad)
+        assert not report.ok
+        assert any("gap/overlap" in v for v in report.violations)
+
+    def test_layout_with_gaps_rejected(self, fig1_app, fig1_greedy):
+        layout = fig1_greedy.layouts["MG"]
+        shifted = MemoryLayout(
+            memory_id=layout.memory_id,
+            order=layout.order,
+            addresses={
+                slot: address + 8 for slot, address in layout.addresses.items()
+            },
+            sizes=layout.sizes,
+        )
+        bad = dataclasses.replace(
+            fig1_greedy, layouts={**fig1_greedy.layouts, "MG": shifted}
+        )
+        report = verify_allocation(fig1_app, bad)
+        assert not report.ok
+        assert any("gap/overlap" in v for v in report.violations)
+
+
+class TestOrderingProperties:
+    def test_property1_violation_rejected(self, fig1_app, fig1_greedy):
+        """t1's read of l61 scheduled before t1's write of l12: every
+        label write still precedes its own read (Property 2 holds), but
+        Property 1 is violated for t1."""
+        order = [
+            Communication.write("t6", "l61"),
+            Communication.read("l61", "t1"),
+            Communication.write("t1", "l12"),
+            Communication.write("t3", "l34"),
+            Communication.write("t5", "l56"),
+            Communication.read("l12", "t2"),
+            Communication.read("l34", "t4"),
+            Communication.read("l56", "t6"),
+        ]
+        assert sorted(order, key=lambda c: c.sort_key) == communications_at(
+            fig1_app, 0
+        )
+        bad = singleton_schedule(fig1_app, fig1_greedy, order)
+        report = verify_allocation(fig1_app, bad)
+        assert not report.ok
+        assert any("Property 1" in v for v in report.violations)
+        assert not any("Property 2" in v for v in report.violations)
+
+    def test_property2_violation_rejected(self, fig1_app, fig1_greedy):
+        """A label read before its write violates Property 2."""
+        order = [
+            Communication.read("l12", "t2"),
+            Communication.write("t1", "l12"),
+            Communication.write("t3", "l34"),
+            Communication.write("t5", "l56"),
+            Communication.write("t6", "l61"),
+            Communication.read("l34", "t4"),
+            Communication.read("l56", "t6"),
+            Communication.read("l61", "t1"),
+        ]
+        bad = singleton_schedule(fig1_app, fig1_greedy, order)
+        report = verify_allocation(fig1_app, bad)
+        assert not report.ok
+        assert any("Property 2" in v for v in report.violations)
+
+    def test_mixed_direction_batch_rejected(self, fig1_app, fig1_greedy):
+        """One transfer serving a write and a read mixes routes."""
+        write = Communication.write("t1", "l12")
+        read = Communication.read("l61", "t1")
+        rest = [
+            c
+            for c in communications_at(fig1_app, 0)
+            if c not in (write, read)
+        ]
+        mixed = DmaTransfer(
+            index=0,
+            source_memory="M1",
+            dest_memory="MG",
+            communications=(write, read),
+            total_bytes=write.size_bytes(fig1_app) + read.size_bytes(fig1_app),
+        )
+        bad = dataclasses.replace(
+            fig1_greedy,
+            transfers=(mixed,)
+            + singleton_schedule(fig1_app, fig1_greedy, rest).transfers,
+        )
+        report = verify_allocation(fig1_app, bad)
+        assert not report.ok
+        assert any("mixes routes" in v for v in report.violations)
+
+
+def overloaded_app() -> Application:
+    """Two tasks whose single communication pair cannot complete inside
+    the 200 us hyperperiod: each of the two transfers alone costs
+    13.36 us of overhead plus 240 us of copy time."""
+    tasks = TaskSet(
+        [
+            Task("W", 100, 10.0, "P1", 0),
+            Task("R", 200, 10.0, "P2", 0),
+        ]
+    )
+    labels = [Label("big", 120_000, writer="W", readers=("R",))]
+    return Application(Platform.symmetric(2), tasks, labels)
+
+
+class TestProperty3AndDeadlines:
+    def test_property3_violation_rejected(self):
+        app = overloaded_app()
+        result = greedy_allocation(app)  # greedy ignores Property 3
+        report = verify_allocation(app, result)
+        assert not report.ok
+        assert any("Property 3" in v for v in report.violations)
+
+    def test_property3_check_can_be_disabled(self):
+        app = overloaded_app()
+        result = greedy_allocation(app)
+        report = verify_allocation(
+            app, result, check_property3=False, check_deadlines=False
+        )
+        assert report.ok, report.violations
+
+    def test_missed_acquisition_deadline_rejected(self, simple_app):
+        """A 1 us gamma can never be met: one transfer alone costs
+        13.36 us of fixed overhead."""
+        tasks = simple_app.tasks.with_acquisition_deadlines({"CONS": 1.0})
+        app = Application(simple_app.platform, tasks, simple_app.labels)
+        result = greedy_allocation(app)
+        report = verify_allocation(app, result, check_property3=False)
+        assert not report.ok
+        assert any("deadline" in v for v in report.violations)
+        assert any("gamma" in v for v in report.violations)
+
+    def test_deadline_check_can_be_disabled(self, simple_app):
+        tasks = simple_app.tasks.with_acquisition_deadlines({"CONS": 1.0})
+        app = Application(simple_app.platform, tasks, simple_app.labels)
+        result = greedy_allocation(app)
+        report = verify_allocation(
+            app, result, check_property3=False, check_deadlines=False
+        )
+        assert report.ok, report.violations
+
+    def test_structural_checks_always_run(self, simple_app):
+        """Disabling the optional checks never disables coverage."""
+        result = greedy_allocation(simple_app)
+        bad = dataclasses.replace(result, transfers=result.transfers[:-1])
+        report = verify_allocation(
+            simple_app,
+            bad,
+            check_property3=False,
+            check_deadlines=False,
+            check_theorem1=False,
+        )
+        assert not report.ok
+        assert any("cover" in v for v in report.violations)

@@ -7,7 +7,6 @@ would mean either the analysis is optimistic or the simulator is wrong;
 both are bugs this test exists to catch.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

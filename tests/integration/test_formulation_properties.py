@@ -1,6 +1,5 @@
 """Hypothesis property tests on the full formulation pipeline."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

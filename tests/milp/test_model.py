@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.milp import MilpModel, SolveStatus, VarType, lin_sum
+from repro.milp import MilpModel, SolveStatus, lin_sum
 
 
 @pytest.fixture

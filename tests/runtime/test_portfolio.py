@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import FormulationConfig, Objective, verify_allocation
+from repro.core import FormulationConfig, verify_allocation
 from repro.milp import SolveStatus
 from repro.runtime import PORTFOLIO_RUNGS, solve_with_portfolio
 

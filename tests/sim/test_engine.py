@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.model import Application, Label, Platform, Task, TaskSet
+from repro.model import Application, Platform, Task, TaskSet
 from repro.sim import CommunicationTimeline, simulate
 from repro.sim.engine import Simulator
 

@@ -1,0 +1,41 @@
+"""The deprecation shims must warn, and internal callers must not use
+them: ``filterwarnings`` in pyproject.toml turns any DeprecationWarning
+raised from ``repro.*`` modules into an error, so CI surfaces internal
+callers the moment one sneaks back in."""
+
+import pytest
+
+from repro.core import FormulationConfig, Objective
+from repro.io.cache import solve_cached
+from repro.reporting.experiments import solve_waters
+
+
+def test_solve_cached_warns(simple_app, tmp_path):
+    with pytest.warns(DeprecationWarning, match="solve_cached.*deprecated"):
+        result = solve_cached(simple_app, FormulationConfig(), str(tmp_path))
+    assert result.feasible
+
+
+@pytest.mark.slow
+def test_solve_waters_warns():
+    with pytest.warns(DeprecationWarning, match="solve_waters.*deprecated"):
+        app, result = solve_waters(Objective.NONE, 0.2, time_limit_seconds=60)
+    assert result.feasible
+
+
+def test_no_internal_caller_filter_is_active():
+    """The error filter for repro-internal DeprecationWarnings is part
+    of the pytest configuration this suite runs under."""
+    import repro
+
+    with pytest.raises(DeprecationWarning):
+        import warnings
+
+        # Emitted as if from inside the repro package: must escalate.
+        warnings.warn_explicit(
+            "internal deprecation",
+            DeprecationWarning,
+            filename=repro.__file__,
+            lineno=1,
+            module="repro.fake_internal",
+        )
