@@ -39,6 +39,9 @@ Package map:
 * :mod:`repro.check`     — differential correctness harness: backend
   cross-checking, end-to-end oracle, fuzzing (``letdma fuzz``),
   instance shrinking, and the reproducer corpus;
+* :mod:`repro.faults`    — fault injection over the simulator's hook
+  points, graceful-degradation policies, robustness reports, and the
+  ``letdma chaos`` campaign grids;
 * :mod:`repro.reporting` — experiment drivers and text tables/figures.
 """
 
@@ -60,6 +63,7 @@ from repro.core import (
     greedy_allocation,
     verify_allocation,
 )
+from repro.faults import FaultSpec, evaluate_robustness
 from repro.model import (
     Application,
     CpuCopyParameters,
@@ -99,6 +103,8 @@ __all__ = [
     "all_profiles",
     "greedy_allocation",
     "verify_allocation",
+    "FaultSpec",
+    "evaluate_robustness",
     "Application",
     "CpuCopyParameters",
     "DmaParameters",

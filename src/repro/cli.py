@@ -13,11 +13,17 @@ Commands:
 * ``simulate``— run the discrete-event simulator for one approach;
 * ``fuzz``    — differential fuzzing of the solver backends
   (``--budget/--seed/--jobs``), shrinking any disagreement to a
-  corpus reproducer (see ``docs/fuzzing.md``).
+  corpus reproducer (see ``docs/fuzzing.md``);
+* ``chaos``   — fault-injection campaigns: sweep a fault-intensity x
+  seed x policy grid over solved allocations (``--resume`` continues a
+  killed campaign from its telemetry; see ``docs/robustness.md``).
 
-Grid commands (``table1``, ``alphas``, ``sweep``) accept ``--jobs`` and
-``--telemetry``; all solver commands share the solver knob defaults of
-:mod:`repro.defaults`.
+Grid commands (``table1``, ``alphas``, ``sweep``, ``chaos``) accept
+``--jobs`` and ``--telemetry``; all solver commands share the solver
+knob defaults of :mod:`repro.defaults`.  Campaign commands (``sweep``,
+``fuzz``, ``chaos``) handle Ctrl-C gracefully: finished jobs are
+already flushed to telemetry, a partial summary is printed, and the
+exit status is 130.
 """
 
 from __future__ import annotations
@@ -253,6 +259,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-backend budget per instance in seconds (default: 20)",
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign: sweep a fault-intensity grid "
+        "over solved allocations with graceful-degradation policies",
+    )
+    p_chaos.add_argument(
+        "--alphas", type=float, nargs="+", default=[0.3],
+        help="LET-window scaling factors to solve at (default: 0.3)",
+    )
+    p_chaos.add_argument(
+        "--intensities",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.25, 0.5, 1.0],
+        help="fault intensities in [0, 1]; 0 is the null-fault control "
+        "point (default: 0 0.25 0.5 1)",
+    )
+    p_chaos.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="fault seeds (default: 0)",
+    )
+    p_chaos.add_argument(
+        "--policies",
+        nargs="+",
+        choices=("stale-data", "fail-stop"),
+        default=["stale-data"],
+        help="graceful-degradation policies to evaluate (default: stale-data)",
+    )
+    p_chaos.add_argument(
+        "--objective", type=_objective, default=Objective.MIN_TRANSFERS
+    )
+    p_chaos.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip grid points whose records already exist in --telemetry "
+        "(continue a killed campaign)",
+    )
+    _add_common(p_chaos)
+    _add_grid(p_chaos)
+
     p_verify = sub.add_parser(
         "verify",
         help="independently verify a stored allocation against its model",
@@ -262,6 +308,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument("allocation", help="allocation file (.json)")
     return parser
+
+
+def _interrupted_exit(command: str, telemetry, resumable: bool = False) -> int:
+    """Shared Ctrl-C epilogue for campaign commands: summarize what was
+    flushed before the interrupt and exit with the conventional 130."""
+    print(f"{command}: interrupted", file=sys.stderr)
+    if telemetry:
+        from repro.runtime import read_telemetry, render_telemetry_summary
+
+        try:
+            records = read_telemetry(telemetry)
+        except FileNotFoundError:
+            records = []
+        print(
+            f"{len(records)} completed record(s) flushed to {telemetry}",
+            file=sys.stderr,
+        )
+        if records:
+            print(render_telemetry_summary(records))
+        if resumable:
+            print(
+                f"continue with: --resume --telemetry {telemetry}",
+                file=sys.stderr,
+            )
+    else:
+        print(
+            "no --telemetry sink was set; completed work was discarded",
+            file=sys.stderr,
+        )
+    return 130
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -303,15 +379,18 @@ def main(argv: list[str] | None = None) -> int:
         ]
         print(render_table(["alpha", "outcome"], rows, title="Alpha sensitivity"))
     elif args.command == "sweep":
-        rows = run_table1(
-            alphas=tuple(args.alphas),
-            objectives=tuple(args.objectives),
-            time_limit_seconds=args.time_limit,
-            jobs=args.jobs,
-            telemetry=args.telemetry,
-            cache_dir=args.cache_dir,
-            backend=args.backend,
-        )
+        try:
+            rows = run_table1(
+                alphas=tuple(args.alphas),
+                objectives=tuple(args.objectives),
+                time_limit_seconds=args.time_limit,
+                jobs=args.jobs,
+                telemetry=args.telemetry,
+                cache_dir=args.cache_dir,
+                backend=args.backend,
+            )
+        except KeyboardInterrupt:
+            return _interrupted_exit("sweep", args.telemetry)
         print(
             render_table(
                 [
@@ -452,24 +531,70 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "fuzz":
         from repro.check import FuzzConfig, run_fuzz
 
-        report = run_fuzz(
-            FuzzConfig(
-                budget=args.budget,
-                seed=args.seed,
-                jobs=args.jobs,
-                backends=tuple(args.backends),
-                telemetry=args.telemetry,
-                corpus_dir=args.corpus,
-                shrink=not args.no_shrink,
-                time_limit_seconds=args.time_limit,
+        try:
+            report = run_fuzz(
+                FuzzConfig(
+                    budget=args.budget,
+                    seed=args.seed,
+                    jobs=args.jobs,
+                    backends=tuple(args.backends),
+                    telemetry=args.telemetry,
+                    corpus_dir=args.corpus,
+                    shrink=not args.no_shrink,
+                    time_limit_seconds=args.time_limit,
+                )
             )
-        )
+        except KeyboardInterrupt:
+            return _interrupted_exit("fuzz", args.telemetry)
         print(report.summary())
         if args.telemetry:
             from repro.runtime import read_telemetry, render_telemetry_summary
 
             print(render_telemetry_summary(read_telemetry(args.telemetry)))
         return 0 if report.ok else 1
+    elif args.command == "chaos":
+        from repro.faults import ChaosConfig, render_chaos_table, run_chaos
+
+        if args.resume and not args.telemetry:
+            print("error: --resume needs --telemetry", file=sys.stderr)
+            return 2
+        config = ChaosConfig(
+            alphas=tuple(args.alphas),
+            intensities=tuple(args.intensities),
+            seeds=tuple(args.seeds),
+            policies=tuple(args.policies),
+            objective=args.objective,
+            backend=args.backend,
+            time_limit_seconds=args.time_limit,
+        )
+        try:
+            outcomes = run_chaos(
+                config,
+                jobs=args.jobs,
+                telemetry=args.telemetry,
+                cache_dir=args.cache_dir,
+                resume=args.resume,
+            )
+        except KeyboardInterrupt:
+            return _interrupted_exit("chaos", args.telemetry, resumable=True)
+        print(render_chaos_table(outcomes))
+        resumed = sum(outcome.resumed for outcome in outcomes)
+        if resumed:
+            print(f"({resumed} grid point(s) resumed from {args.telemetry})")
+        degraded = sum(
+            1
+            for outcome in outcomes
+            if outcome.record.get("robustness")
+            and not outcome.record["robustness"]["clean"]
+        )
+        errors = sum(
+            outcome.record.get("status") == "error" for outcome in outcomes
+        )
+        print(
+            f"{len(outcomes)} grid point(s): {degraded} degraded, "
+            f"{errors} error(s)"
+        )
+        return 1 if errors else 0
     elif args.command == "verify":
         from repro.core import verify_allocation
         from repro.io import load_application, load_result, load_system_xml

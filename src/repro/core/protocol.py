@@ -75,13 +75,29 @@ class InstantSchedule:
 
 
 class LetDmaProtocol:
-    """Executes rules R1-R3 on top of a solved allocation."""
+    """Executes rules R1-R3 on top of a solved allocation.
 
-    def __init__(self, app: Application, result: AllocationResult):
+    ``transfer_hook`` is an optional per-dispatch extension point with
+    the shape of :class:`repro.sim.dma_device.DmaTransferHook` (held by
+    duck type to keep ``repro.core`` import-independent of
+    ``repro.sim``): its ``copy_duration_us(transfer_index, instant_us,
+    nominal_us)`` may stretch the data-movement time of individual
+    dispatches, which is how :mod:`repro.faults` injects transient
+    transfer failures with bounded retry.  ``None`` (the default) keeps
+    the nominal timing.
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        result: AllocationResult,
+        transfer_hook=None,
+    ):
         if not result.feasible:
             raise ValueError("cannot run the protocol on an infeasible allocation")
         self.app = app
         self.result = result
+        self.transfer_hook = transfer_hook
 
     def programming_core_of(self, transfer: DmaTransfer) -> str:
         """The core whose LET task programs a transfer: the owner of the
@@ -105,7 +121,12 @@ class LetDmaProtocol:
         for transfer in self.result.transfers_at(app, t):
             start = clock
             copy_start = start + dma.programming_overhead_us
-            isr_start = copy_start + dma.copy_cost_us_per_byte * transfer.total_bytes
+            copy_us = dma.copy_cost_us_per_byte * transfer.total_bytes
+            if self.transfer_hook is not None:
+                copy_us = self.transfer_hook.copy_duration_us(
+                    transfer.index, t, copy_us
+                )
+            isr_start = copy_start + copy_us
             end = isr_start + dma.isr_overhead_us
             schedule.dispatches.append(
                 TransferDispatch(

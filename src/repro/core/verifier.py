@@ -25,16 +25,27 @@ class VerificationReport:
     """Outcome of verifying an allocation.
 
     ``ok`` is True when no violations were found; ``violations`` lists
-    human-readable descriptions otherwise.
+    human-readable descriptions otherwise.  Every violation also lands
+    in ``by_category`` under one of ``"infeasible"``, ``"layout"``,
+    ``"coverage"``, ``"ordering"``, ``"property3"``, ``"deadline"``,
+    ``"theorem1"``, or ``"malformed"`` — the robustness harness
+    (:mod:`repro.faults`) reruns the verifier in diagnostic mode and
+    counts violations per category instead of failing fast.
     """
 
     ok: bool = True
     violations: list[str] = field(default_factory=list)
+    by_category: dict[str, list[str]] = field(default_factory=dict)
     checked_instants: int = 0
 
-    def fail(self, message: str) -> None:
+    def fail(self, message: str, category: str = "general") -> None:
         self.ok = False
         self.violations.append(message)
+        self.by_category.setdefault(category, []).append(message)
+
+    def count(self, category: str) -> int:
+        """Number of violations recorded under one category."""
+        return len(self.by_category.get(category, []))
 
     def raise_if_failed(self) -> None:
         if not self.ok:
@@ -63,7 +74,9 @@ def verify_allocation(
     """
     report = VerificationReport()
     if not result.feasible:
-        report.fail(f"result is not feasible: {result.status.value}")
+        report.fail(
+            f"result is not feasible: {result.status.value}", "infeasible"
+        )
         return report
 
     _check_layouts(app, result, report)
@@ -85,7 +98,7 @@ def verify_allocation(
         try:
             check()
         except (KeyError, ValueError, IndexError) as defect:
-            report.fail(f"malformed allocation: {defect!r}")
+            report.fail(f"malformed allocation: {defect!r}", "malformed")
     return report
 
 
@@ -97,14 +110,16 @@ def _check_layouts(
         if layout.total_bytes > capacity:
             report.fail(
                 f"layout of {memory_id} needs {layout.total_bytes} B, "
-                f"capacity is {capacity} B"
+                f"capacity is {capacity} B",
+                "layout",
             )
         cursor = 0
         for slot in layout.order:
             if layout.addresses[slot] != cursor:
                 report.fail(
                     f"layout of {memory_id}: slot {slot} at "
-                    f"{layout.addresses[slot]}, expected {cursor} (gap/overlap)"
+                    f"{layout.addresses[slot]}, expected {cursor} (gap/overlap)",
+                    "layout",
                 )
             cursor += layout.sizes[slot]
 
@@ -120,10 +135,13 @@ def _check_coverage(
     if sorted(scheduled, key=lambda c: c.sort_key) != required:
         report.fail(
             f"transfers cover {len(scheduled)} communications, "
-            f"required set at s0 has {len(required)}"
+            f"required set at s0 has {len(required)}",
+            "coverage",
         )
     if len(set(scheduled)) != len(scheduled):
-        report.fail("a communication appears in more than one transfer")
+        report.fail(
+            "a communication appears in more than one transfer", "coverage"
+        )
 
 
 def _check_instant(
@@ -136,7 +154,10 @@ def _check_instant(
     for transfer in schedule:
         routes = {comm.route(app) for comm in transfer.communications}
         if len(routes) != 1:
-            report.fail(f"t={t}: transfer {transfer.index} mixes routes {routes}")
+            report.fail(
+                f"t={t}: transfer {transfer.index} mixes routes {routes}",
+                "ordering",
+            )
             continue
         source_slots = [_slots_of(app, c)[0] for c in transfer.communications]
         dest_slots = [_slots_of(app, c)[1] for c in transfer.communications]
@@ -145,12 +166,14 @@ def _check_instant(
         if not source_layout.is_contiguous_run(source_slots):
             report.fail(
                 f"t={t}: transfer {transfer.index} not contiguous in "
-                f"{transfer.source_memory}: {source_slots}"
+                f"{transfer.source_memory}: {source_slots}",
+                "ordering",
             )
         if not dest_layout.is_contiguous_run(dest_slots):
             report.fail(
                 f"t={t}: transfer {transfer.index} not contiguous in "
-                f"{transfer.dest_memory}: {dest_slots}"
+                f"{transfer.dest_memory}: {dest_slots}",
+                "ordering",
             )
 
     # LET ordering properties on the batch sequence.
@@ -160,7 +183,7 @@ def _check_instant(
         properties.check_property2(batches)
         properties.check_intra_batch_direction(batches)
     except properties.PropertyViolation as violation:
-        report.fail(f"t={t}: {violation}")
+        report.fail(f"t={t}: {violation}", "ordering")
 
 
 def _check_property3(
@@ -181,7 +204,7 @@ def _check_property3(
         try:
             properties.check_property3(durations, t1, t2)
         except properties.PropertyViolation as violation:
-            report.fail(str(violation))
+            report.fail(str(violation), "property3")
 
 
 def _check_deadlines(
@@ -196,7 +219,8 @@ def _check_deadlines(
             if gamma is not None and latency > gamma + 1e-6:
                 report.fail(
                     f"t={t}: task {task_name} ready after {latency:.2f} us, "
-                    f"deadline gamma={gamma:.2f} us"
+                    f"deadline gamma={gamma:.2f} us",
+                    "deadline",
                 )
 
 
@@ -213,11 +237,13 @@ def _check_theorem1(
             baseline = at_s0.get(task_name)
             if baseline is None:
                 report.fail(
-                    f"t={t}: task {task_name} communicates at t but not at s0"
+                    f"t={t}: task {task_name} communicates at t but not at s0",
+                    "theorem1",
                 )
                 continue
             if latency > baseline + 1e-6:
                 report.fail(
                     f"t={t}: task {task_name} latency {latency:.2f} us exceeds "
-                    f"its s0 latency {baseline:.2f} us (Theorem 1)"
+                    f"its s0 latency {baseline:.2f} us (Theorem 1)",
+                    "theorem1",
                 )

@@ -1,0 +1,234 @@
+"""Chaos campaigns: sweep fault-intensity grids through the runner.
+
+A chaos campaign asks "how does an *optimal* allocation degrade when
+the platform misbehaves?".  Each grid point solves one WATERS instance
+(alpha, objective) — cached, so repeated points are free — then replays
+it under a :class:`~repro.faults.spec.FaultSpec` derived from a scalar
+fault intensity and a seed, under one graceful-degradation policy.
+
+The grid runs through :class:`~repro.runtime.ExperimentRunner`, which
+supplies parallelism, per-job retries, incremental JSONL telemetry,
+checkpoint/resume (``--resume``), and graceful SIGINT/SIGTERM
+handling; :class:`ChaosJob` is the runner's duck-typed campaign-job
+shape (``job_id``/``tags``/``execute``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.formulation import Objective
+from repro.defaults import DEFAULT_SOLVE_BACKEND, DEFAULT_TIME_LIMIT_SECONDS
+from repro.faults.report import evaluate_robustness
+from repro.faults.spec import FaultSpec
+from repro.runtime.runner import ExperimentRunner, JobOutcome
+from repro.runtime.telemetry import TELEMETRY_SCHEMA_VERSION
+
+__all__ = ["ChaosJob", "ChaosConfig", "chaos_grid", "run_chaos", "render_chaos_table"]
+
+
+@dataclass
+class ChaosJob:
+    """One chaos grid point: solve, inject, simulate, report.
+
+    Duck-typed for :class:`~repro.runtime.ExperimentRunner`: exposes
+    ``job_id``, ``tags``, and ``execute(cache_dir, deadline_seconds)``
+    returning ``(AllocationResult, telemetry record)``.  The record is
+    an ``event: "chaos"`` JSONL line embedding the
+    :meth:`~repro.faults.report.RobustnessReport.to_record` metrics.
+    """
+
+    job_id: str
+    alpha: float
+    intensity: float
+    seed: int
+    policy: str = "stale-data"
+    objective: Objective = Objective.MIN_TRANSFERS
+    backend: str = DEFAULT_SOLVE_BACKEND
+    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS
+    tags: dict = field(default_factory=dict)
+
+    #: Telemetry event name (used by the runner's error records too).
+    event = "chaos"
+
+    def execute(self, cache_dir, deadline_seconds):
+        """Worker-side body (runs inside the runner's processes)."""
+        from repro.reporting.experiments import solve_instance
+
+        start = time.perf_counter()
+        limit = self.time_limit_seconds
+        if deadline_seconds is not None:
+            limit = min(limit, deadline_seconds)
+        app, result = solve_instance(
+            self.objective,
+            self.alpha,
+            time_limit_seconds=limit,
+            backend=self.backend,
+            cache=cache_dir,
+            verify=False,
+        )
+        spec = FaultSpec.from_intensity(self.intensity, seed=self.seed)
+        if not result.feasible:
+            record = self._record(result, None, start)
+            return result, record
+        report = evaluate_robustness(app, result, spec, policy=self.policy)
+        return result, self._record(result, report, start)
+
+    def _record(self, result, report, start) -> dict:
+        record = {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "event": self.event,
+            "job_id": self.job_id,
+            "instance": "",
+            "requested_backend": self.backend,
+            "backend": result.backend,
+            "status": result.status.value,
+            "objective": result.objective_value,
+            "num_transfers": result.num_transfers,
+            "mip_gap": None,
+            "wall_seconds": time.perf_counter() - start,
+            "solver_seconds": result.runtime_seconds,
+            "cached": False,
+            "fallback_chain": [],
+            "tags": dict(self.tags),
+            "robustness": report.to_record() if report is not None else None,
+        }
+        return record
+
+
+@dataclass
+class ChaosConfig:
+    """Shape of a chaos campaign grid.
+
+    Attributes:
+        alphas: LET-window scaling factors to solve at.
+        intensities: Scalar fault intensities in [0, 1]; 0 is the
+            byte-identical null-fault control point.
+        seeds: Fault seeds; the grid is the full cross product.
+        policies: Degradation policies to evaluate at each point.
+        objective: MILP objective for the underlying solves.
+        backend: Solver backend for the underlying solves.
+        time_limit_seconds: Per-solve time limit.
+    """
+
+    alphas: tuple = (0.3,)
+    intensities: tuple = (0.0, 0.25, 0.5, 1.0)
+    seeds: tuple = (0,)
+    policies: tuple = ("stale-data",)
+    objective: Objective = Objective.MIN_TRANSFERS
+    backend: str = DEFAULT_SOLVE_BACKEND
+    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS
+
+
+def chaos_grid(config: ChaosConfig) -> list[ChaosJob]:
+    """Expand a :class:`ChaosConfig` into its cross-product job list."""
+    jobs = []
+    for alpha in config.alphas:
+        for intensity in config.intensities:
+            for seed in config.seeds:
+                for policy in config.policies:
+                    job_id = (
+                        f"chaos-a{alpha:g}-i{intensity:g}-s{seed}-{policy}"
+                    )
+                    jobs.append(
+                        ChaosJob(
+                            job_id=job_id,
+                            alpha=alpha,
+                            intensity=intensity,
+                            seed=seed,
+                            policy=policy,
+                            objective=config.objective,
+                            backend=config.backend,
+                            time_limit_seconds=config.time_limit_seconds,
+                            tags={
+                                "alpha": alpha,
+                                "intensity": intensity,
+                                "seed": seed,
+                                "policy": policy,
+                                "objective": config.objective.value,
+                            },
+                        )
+                    )
+    return jobs
+
+
+def run_chaos(
+    config: ChaosConfig,
+    *,
+    jobs: int = 1,
+    telemetry=None,
+    cache_dir: str | None = None,
+    resume: bool = False,
+    max_retries: int = 1,
+    deadline_seconds: float | None = None,
+) -> list[JobOutcome]:
+    """Run the campaign grid through the experiment runner.
+
+    Propagates :class:`~repro.runtime.runner.RunInterrupted` on
+    SIGINT/SIGTERM; everything harvested before the signal is already
+    flushed to ``telemetry``, so a re-run with ``resume=True`` picks up
+    where the campaign stopped.
+    """
+    runner = ExperimentRunner(
+        jobs=jobs,
+        telemetry=telemetry,
+        cache_dir=cache_dir,
+        deadline_seconds=deadline_seconds,
+        max_retries=max_retries,
+        resume=resume,
+    )
+    return runner.run(chaos_grid(config))
+
+
+def render_chaos_table(outcomes: list[JobOutcome]) -> str:
+    """Monospace table of campaign results, one row per grid point."""
+    from repro.reporting.tables import render_table
+
+    rows = []
+    for outcome in outcomes:
+        robustness = outcome.record.get("robustness")
+        tags = outcome.record.get("tags", {})
+        if robustness is None:
+            rows.append(
+                (
+                    str(tags.get("alpha", "?")),
+                    str(tags.get("intensity", "?")),
+                    str(tags.get("seed", "?")),
+                    str(tags.get("policy", "?")),
+                    outcome.record.get("status", "?"),
+                    "-",
+                    "-",
+                    "-",
+                    "resumed" if outcome.resumed else "-",
+                )
+            )
+            continue
+        rows.append(
+            (
+                str(tags.get("alpha", "?")),
+                str(tags.get("intensity", "?")),
+                str(tags.get("seed", "?")),
+                robustness["policy"],
+                "clean" if robustness["clean"] else "degraded",
+                str(robustness["deadline_misses"]),
+                str(robustness["acquisition_misses"]),
+                str(robustness["worst_staleness"]),
+                "resumed" if outcome.resumed else "-",
+            )
+        )
+    return render_table(
+        [
+            "alpha",
+            "intensity",
+            "seed",
+            "policy",
+            "outcome",
+            "deadline misses",
+            "acq misses",
+            "staleness",
+            "note",
+        ],
+        rows,
+        title="Chaos campaign",
+    )

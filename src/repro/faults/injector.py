@@ -1,0 +1,86 @@
+"""Deterministic fault injection over the simulator hook points.
+
+:class:`FaultInjector` implements both hook surfaces the engine layer
+exposes — :class:`repro.sim.engine.SimulatorHooks` for per-job faults
+(WCET overruns, release jitter) and the per-dispatch
+:class:`repro.sim.dma_device.DmaTransferHook` shape for transient
+transfer failures — from a single :class:`~repro.faults.spec.FaultSpec`.
+
+Every random draw is keyed on ``(spec.seed, site identity)`` rather
+than on a shared stream, so the injected faults are independent of
+event-processing order and identical across ``--jobs 1`` and parallel
+campaign runs.  A null spec short-circuits every hook to the identity,
+which keeps zero-intensity traces byte-identical to the baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.faults.spec import FaultSpec
+from repro.sim.dma_device import retried_copy_duration_us
+from repro.sim.engine import SimulatorHooks
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector(SimulatorHooks):
+    """Turns a :class:`FaultSpec` into simulator and DMA hooks.
+
+    The same instance is passed as ``hooks=`` to the simulator and as
+    ``transfer_hook=`` to :class:`repro.core.protocol.LetDmaProtocol`
+    (or :func:`repro.sim.timeline.proposed_timeline`), so one spec
+    drives both fault surfaces coherently.
+    """
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+
+    # -- site-keyed determinism ----------------------------------------
+
+    def _rng(self, *site: object) -> random.Random:
+        """A private stream for one fault site (order-independent)."""
+        return random.Random(f"{self.spec.seed}|" + "|".join(map(str, site)))
+
+    # -- SimulatorHooks surface ----------------------------------------
+
+    def job_wcet_us(self, task: str, release_us: int, wcet_us: float) -> float:
+        """WCET overrun: scale the job's execution demand."""
+        factor = self.spec.wcet_factor_of(task)
+        if factor == 1.0:
+            return wcet_us
+        return wcet_us * factor
+
+    def job_ready_us(self, task: str, release_us: int, ready_us: float) -> float:
+        """Release jitter: delay readiness by a bounded uniform draw."""
+        bound = self.spec.release_jitter_us
+        if bound == 0.0:
+            return ready_us
+        return ready_us + self._rng("jitter", task, release_us).uniform(0.0, bound)
+
+    # -- DmaTransferHook surface ---------------------------------------
+
+    def transfer_failed_attempts(self, transfer_index: int, instant_us: int) -> int:
+        """How many transient failures precede this dispatch's success.
+
+        Bernoulli per attempt with the spec's failure rate, capped at
+        ``max_transfer_retries``; deterministic per dispatch site.
+        """
+        rate = self.spec.transfer_failure_rate
+        if rate == 0.0:
+            return 0
+        rng = self._rng("transfer", transfer_index, instant_us)
+        failures = 0
+        while failures < self.spec.max_transfer_retries and rng.random() < rate:
+            failures += 1
+        return failures
+
+    def copy_duration_us(
+        self, transfer_index: int, instant_us: int, nominal_us: float
+    ) -> float:
+        """Stretch one dispatch's copy time by its failed attempts."""
+        if self.spec.transfer_failure_rate == 0.0:
+            return nominal_us
+        return retried_copy_duration_us(
+            nominal_us, self.transfer_failed_attempts(transfer_index, instant_us)
+        )

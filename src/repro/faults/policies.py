@@ -1,0 +1,197 @@
+"""Graceful-degradation policies grounded in LET semantics.
+
+Under the nominal protocol a job never starts before its LET inputs are
+in place (rule R1).  Under fault, a job's data acquisition can overrun
+its deadline gamma_i; the policies decide what the runtime does then:
+
+* **stale-data fallback** (:class:`StaleDataPolicy`) — the reader runs
+  at its release anyway, consuming the *previous* LET instance's value
+  that is still sitting in its local copy (double buffering makes this
+  safe).  The output is computed from stale inputs; the policy counts,
+  per label, the longest run of consecutive stale consumptions.
+* **fail-stop** (:class:`FailStopPolicy`) — the job is dropped: its
+  record keeps ``completion_us = None`` so the drop shows up as a
+  deadline miss, and no stale value ever propagates.
+
+Policies are :class:`~repro.sim.engine.SimulatorHooks` that optionally
+chain an inner hook (typically the
+:class:`~repro.faults.injector.FaultInjector`), so fault injection and
+degradation compose without engine changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.let.grouping import let_groups
+from repro.model.application import Application
+from repro.sim.engine import SimulatorHooks
+
+__all__ = [
+    "POLICIES",
+    "PolicyStats",
+    "DegradationPolicy",
+    "StaleDataPolicy",
+    "FailStopPolicy",
+    "make_policy",
+]
+
+_EPSILON_US = 1e-6
+
+
+@dataclass
+class PolicyStats:
+    """What a degradation policy observed during one simulation.
+
+    Attributes:
+        acquisition_misses: Per task, jobs whose LET inputs were not in
+            place by the acquisition deadline gamma_i.
+        dropped_jobs: Per task, jobs the policy refused to run
+            (fail-stop only).
+        stale_consumptions: Per label, total reads served from the
+            previous LET instance's value (stale-data only).
+        max_staleness: Per label, the longest run of *consecutive*
+            instances a consumer read stale data — staleness 1 means a
+            single missed refresh, higher values mean the consumer kept
+            computing on ever-older data.
+    """
+
+    acquisition_misses: dict[str, int] = field(default_factory=dict)
+    dropped_jobs: dict[str, int] = field(default_factory=dict)
+    stale_consumptions: dict[str, int] = field(default_factory=dict)
+    max_staleness: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_acquisition_misses(self) -> int:
+        return sum(self.acquisition_misses.values())
+
+    @property
+    def total_dropped_jobs(self) -> int:
+        return sum(self.dropped_jobs.values())
+
+
+class DegradationPolicy(SimulatorHooks):
+    """Base policy: detects acquisition-deadline misses, delegates the
+    reaction to a subclass, and chains an optional inner hook."""
+
+    name = "none"
+
+    def __init__(self, app: Application, inner: SimulatorHooks | None = None):
+        self.app = app
+        self.inner = inner
+        self.stats = PolicyStats()
+        self._hyperperiod = app.tasks.hyperperiod_us()
+        # Per (label, consumer) age of the consumer's local copy, in
+        # missed refreshes; the per-label maximum is the report metric.
+        self._staleness_age: dict[tuple[str, str], int] = {}
+
+    # -- chaining ------------------------------------------------------
+
+    def job_wcet_us(self, task: str, release_us: int, wcet_us: float) -> float:
+        if self.inner is not None:
+            wcet_us = self.inner.job_wcet_us(task, release_us, wcet_us)
+        return wcet_us
+
+    def job_ready_us(self, task: str, release_us: int, ready_us: float) -> float:
+        if self.inner is not None:
+            ready_us = self.inner.job_ready_us(task, release_us, ready_us)
+        if self._misses_acquisition(task, release_us, ready_us):
+            bucket = self.stats.acquisition_misses
+            bucket[task] = bucket.get(task, 0) + 1
+            return self.on_acquisition_miss(task, release_us, ready_us)
+        self._refresh_labels(task, release_us)
+        return ready_us
+
+    # -- miss semantics ------------------------------------------------
+
+    def _misses_acquisition(
+        self, task: str, release_us: int, ready_us: float
+    ) -> bool:
+        gamma = self.app.tasks[task].acquisition_deadline_us
+        if gamma is None:
+            return False
+        return ready_us > release_us + gamma + _EPSILON_US
+
+    def on_acquisition_miss(
+        self, task: str, release_us: int, ready_us: float
+    ) -> float:
+        """Reaction to a missed acquisition deadline; returns the
+        effective readiness instant the simulator should use."""
+        raise NotImplementedError
+
+    # -- staleness bookkeeping -----------------------------------------
+
+    def _labels_read_at(self, task: str, release_us: int) -> list[str]:
+        _writes, reads = let_groups(
+            self.app, release_us % self._hyperperiod, task
+        )
+        return [comm.label for comm in reads]
+
+    def _refresh_labels(self, task: str, release_us: int) -> None:
+        for label in self._labels_read_at(task, release_us):
+            self._staleness_age[(label, task)] = 0
+
+    def _age_labels(self, task: str, release_us: int) -> None:
+        for label in self._labels_read_at(task, release_us):
+            age = self._staleness_age.get((label, task), 0) + 1
+            self._staleness_age[(label, task)] = age
+            worst = self.stats.max_staleness.get(label, 0)
+            self.stats.max_staleness[label] = max(worst, age)
+            bucket = self.stats.stale_consumptions
+            bucket[label] = bucket.get(label, 0) + 1
+
+
+class StaleDataPolicy(DegradationPolicy):
+    """Stale-data fallback: a late reader runs at its release on the
+    previous LET instance's value, with the staleness counted."""
+
+    name = "stale-data"
+
+    def on_acquisition_miss(
+        self, task: str, release_us: int, ready_us: float
+    ) -> float:
+        self._age_labels(task, release_us)
+        # The previous instance's value is already local: no waiting.
+        return float(release_us)
+
+
+class FailStopPolicy(DegradationPolicy):
+    """Fail-stop: a late reader's job is dropped; the drop is recorded
+    as a deadline miss (completion never set)."""
+
+    name = "fail-stop"
+
+    def on_acquisition_miss(
+        self, task: str, release_us: int, ready_us: float
+    ) -> float:
+        # Keep the late readiness; admit_job below vetoes the job.
+        return ready_us
+
+    def admit_job(
+        self, task: str, release_us: int, ready_us: float, deadline_us: float
+    ) -> bool:
+        if self._misses_acquisition(task, release_us, ready_us):
+            bucket = self.stats.dropped_jobs
+            bucket[task] = bucket.get(task, 0) + 1
+            return False
+        return True
+
+
+#: Registry used by the CLI and the campaign grid.
+POLICIES = {
+    StaleDataPolicy.name: StaleDataPolicy,
+    FailStopPolicy.name: FailStopPolicy,
+}
+
+
+def make_policy(
+    name: str, app: Application, inner: SimulatorHooks | None = None
+) -> DegradationPolicy:
+    """Instantiate a degradation policy by registry name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown degradation policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls(app, inner)

@@ -1,0 +1,130 @@
+"""Parameterized fault models for the robustness harness.
+
+A :class:`FaultSpec` bundles the four fault axes the harness can
+inject over the discrete-event simulation:
+
+* **WCET overruns** — per-task (or global) multiplicative factors on
+  execution demand, modeling mis-measured or data-dependent WCETs;
+* **DMA rate degradation** — a scaling of the paper's per-byte copy
+  cost omega_c, modeling sustained crossbar contention;
+* **transient transfer failures** — each DMA dispatch fails with some
+  probability and is re-issued, up to a bounded retry count, burning a
+  full copy per failed attempt;
+* **release jitter** — a bounded random delay added to each job's data
+  readiness instant.
+
+``FaultSpec.none()`` is the identity: injecting it must reproduce the
+baseline simulation byte for byte (asserted by the tests).  For chaos
+grids, :meth:`FaultSpec.from_intensity` maps a scalar intensity in
+``[0, 1]`` onto a canonical mix of all four axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from collections.abc import Mapping
+
+__all__ = ["FaultSpec"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault configuration for a robustness run.
+
+    Attributes:
+        wcet_factor: Global multiplicative WCET overrun (>= 1); applied
+            to every task not listed in ``wcet_factors``.
+        wcet_factors: Per-task overrides of ``wcet_factor`` (>= 1 each).
+        dma_slowdown: Scaling of omega_c (>= 1); 1 means nominal rate.
+        transfer_failure_rate: Probability in ``[0, 1)`` that one DMA
+            dispatch attempt fails transiently and is retried.
+        max_transfer_retries: Bound on re-issues per dispatch; after the
+            last retry the transfer is assumed to go through (the LET
+            data still arrives, only late).
+        release_jitter_us: Upper bound of the uniform random delay added
+            to each job's readiness instant.
+        seed: Seed of the deterministic fault stream; two runs with the
+            same spec produce identical fault sequences.
+    """
+
+    wcet_factor: float = 1.0
+    wcet_factors: Mapping[str, float] = field(default_factory=dict)
+    dma_slowdown: float = 1.0
+    transfer_failure_rate: float = 0.0
+    max_transfer_retries: int = 2
+    release_jitter_us: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.wcet_factor < 1.0:
+            raise ValueError("WCET overrun factor must be >= 1")
+        for task, factor in self.wcet_factors.items():
+            if factor < 1.0:
+                raise ValueError(f"WCET factor of {task} must be >= 1")
+        if self.dma_slowdown < 1.0:
+            raise ValueError("DMA slowdown must be >= 1")
+        if not 0.0 <= self.transfer_failure_rate < 1.0:
+            raise ValueError("transfer failure rate must be in [0, 1)")
+        if self.max_transfer_retries < 0:
+            raise ValueError("retry bound must be non-negative")
+        if self.release_jitter_us < 0:
+            raise ValueError("release jitter must be non-negative")
+        # Freeze the mapping so the spec is hashable/picklable as a value.
+        object.__setattr__(self, "wcet_factors", dict(self.wcet_factors))
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultSpec":
+        """The identity spec: no faults on any axis."""
+        return cls(seed=seed)
+
+    @classmethod
+    def from_intensity(cls, intensity: float, seed: int = 0) -> "FaultSpec":
+        """The canonical chaos-grid mix for a scalar intensity.
+
+        ``intensity == 0`` is exactly :meth:`none`; ``intensity == 1``
+        is the harshest point of the default grid: 1.5x WCETs, 2x
+        omega_c, 30% transient failure rate, and 200 us of release
+        jitter.
+        """
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError("intensity must be in [0, 1]")
+        if intensity == 0.0:
+            return cls.none(seed=seed)
+        return cls(
+            wcet_factor=1.0 + 0.5 * intensity,
+            dma_slowdown=1.0 + intensity,
+            transfer_failure_rate=0.3 * intensity,
+            release_jitter_us=200.0 * intensity,
+            seed=seed,
+        )
+
+    @property
+    def is_null(self) -> bool:
+        """True when every axis is at its identity value."""
+        return (
+            self.wcet_factor == 1.0
+            and all(f == 1.0 for f in self.wcet_factors.values())
+            and self.dma_slowdown == 1.0
+            and self.transfer_failure_rate == 0.0
+            and self.release_jitter_us == 0.0
+        )
+
+    def wcet_factor_of(self, task: str) -> float:
+        """The effective WCET overrun factor for one task."""
+        return self.wcet_factors.get(task, self.wcet_factor)
+
+    def with_seed(self, seed: int) -> "FaultSpec":
+        """The same fault mix with a different deterministic stream."""
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (for telemetry records)."""
+        return {
+            "wcet_factor": self.wcet_factor,
+            "wcet_factors": dict(self.wcet_factors),
+            "dma_slowdown": self.dma_slowdown,
+            "transfer_failure_rate": self.transfer_failure_rate,
+            "max_transfer_retries": self.max_transfer_retries,
+            "release_jitter_us": self.release_jitter_us,
+            "seed": self.seed,
+        }

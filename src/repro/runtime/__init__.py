@@ -18,7 +18,12 @@ See ``docs/runtime.md`` for the telemetry schema and CLI integration
 
 from repro.runtime.facade import solve, solve_recorded
 from repro.runtime.portfolio import PORTFOLIO_RUNGS, solve_with_portfolio
-from repro.runtime.runner import ExperimentRunner, JobOutcome, SolveJob
+from repro.runtime.runner import (
+    ExperimentRunner,
+    JobOutcome,
+    RunInterrupted,
+    SolveJob,
+)
 from repro.runtime.telemetry import (
     TELEMETRY_SCHEMA_VERSION,
     TelemetryWriter,
@@ -35,6 +40,7 @@ __all__ = [
     "solve_with_portfolio",
     "ExperimentRunner",
     "JobOutcome",
+    "RunInterrupted",
     "SolveJob",
     "TELEMETRY_SCHEMA_VERSION",
     "TelemetryWriter",

@@ -1,24 +1,37 @@
-"""Parallel experiment runtime: fan a grid of solves across processes.
+"""Parallel experiment runtime: fan a grid of jobs across processes.
 
 Every grid-shaped workload in the repository — Table I rows, Fig. 2
-panels, alpha sweeps, synthetic sweeps — is "solve N independent MILP
-instances".  :class:`ExperimentRunner` executes such a grid through the
-:func:`repro.solve` facade, optionally across worker processes
+panels, alpha sweeps, fuzz campaigns, chaos campaigns — is "run N
+independent jobs".  :class:`ExperimentRunner` executes such a grid,
+optionally across worker processes
 (``concurrent.futures.ProcessPoolExecutor``), with:
 
 * **per-job wall-clock deadlines** — ``deadline_seconds`` caps each
   portfolio rung's budget, so one pathological instance cannot stall a
   sweep;
-* **graceful degradation** — jobs default to the solver portfolio, so
-  a timed-out MILP still yields a feasible greedy allocation, with the
-  fallback chain recorded;
-* **fault tolerance** — a crashing job becomes an ``ERROR`` outcome
-  (with the exception text in its telemetry record) instead of killing
-  the sweep;
-* **telemetry** — the parent process writes one JSONL record per solve
-  (workers never share a file handle), in submission order;
+* **graceful degradation** — solve jobs default to the solver
+  portfolio, so a timed-out MILP still yields a feasible greedy
+  allocation, with the fallback chain recorded;
+* **fault tolerance** — a crashing job is retried with exponential
+  backoff (``max_retries``/``retry_backoff_seconds``) and becomes an
+  ``ERROR`` outcome only once the retries are exhausted, instead of
+  killing the sweep;
+* **telemetry** — the parent process writes one JSONL record per job
+  *as it is harvested* (workers never share a file handle), in
+  submission order, so a killed campaign keeps everything finished;
+* **checkpoint/resume** — ``resume=True`` skips jobs whose records
+  already exist in the telemetry file (the ``--resume`` CLI mode);
+* **graceful interruption** — SIGINT/SIGTERM stop the grid at the next
+  job boundary, flush telemetry, and raise :class:`RunInterrupted`
+  (a ``KeyboardInterrupt``) carrying the partial outcomes;
 * **caching** — a shared ``cache_dir`` lets re-runs skip solved
   instances.
+
+The grid accepts two kinds of jobs: :class:`SolveJob` (one MILP solve
+through the :func:`repro.solve` facade) and any duck-typed *campaign
+job* exposing ``job_id``, ``tags``, and
+``execute(cache_dir, deadline_seconds) -> (result, record)`` — that is
+how ``letdma chaos`` reuses this machinery for robustness grids.
 
 Results are returned in submission order regardless of completion
 order, so ``--jobs 4`` and ``--jobs 1`` produce identical outputs for
@@ -27,8 +40,11 @@ deterministic backends.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field, replace
 
 from repro.core.formulation import FormulationConfig
@@ -37,9 +53,26 @@ from repro.defaults import DEFAULT_SOLVE_BACKEND
 from repro.milp.result import SolveStatus
 from repro.model.application import Application
 from repro.runtime.facade import solve_recorded
-from repro.runtime.telemetry import TELEMETRY_SCHEMA_VERSION, TelemetryWriter
+from repro.runtime.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryWriter,
+    read_telemetry,
+)
 
-__all__ = ["SolveJob", "JobOutcome", "ExperimentRunner"]
+__all__ = ["SolveJob", "JobOutcome", "ExperimentRunner", "RunInterrupted"]
+
+
+class RunInterrupted(KeyboardInterrupt):
+    """A grid was stopped by SIGINT/SIGTERM at a job boundary.
+
+    Raised *after* the telemetry of every finished job has been
+    flushed; ``outcomes`` holds the partial results (resumed and
+    completed jobs, in submission order).
+    """
+
+    def __init__(self, outcomes: "list[JobOutcome]"):
+        super().__init__("experiment grid interrupted")
+        self.outcomes = outcomes
 
 
 @dataclass
@@ -65,15 +98,18 @@ class SolveJob:
 
 @dataclass
 class JobOutcome:
-    """The result of one :class:`SolveJob`.
+    """The result of one grid job.
 
     Attributes:
         job_id: The job's identifier.
         result: The allocation result (``status`` is ``ERROR`` when the
             job raised; see ``record["error"]`` for the exception).
         wall_seconds: End-to-end wall-clock time of the job.
-        record: The telemetry record emitted for this solve.
+        record: The telemetry record emitted for this job.
         tags: The job's tags (echoed for convenience).
+        resumed: True when the job was skipped because ``resume=True``
+            found its record in the telemetry file; ``result`` is then
+            a status-only skeleton reconstructed from the record.
     """
 
     job_id: str
@@ -81,20 +117,29 @@ class JobOutcome:
     wall_seconds: float
     record: dict
     tags: dict = field(default_factory=dict)
+    resumed: bool = False
 
 
 class ExperimentRunner:
-    """Run a grid of :class:`SolveJob`\\ s, optionally in parallel.
+    """Run a grid of jobs, optionally in parallel.
 
     Args:
         jobs: Worker process count; ``1`` (default) runs in-process,
             which is also the fully deterministic reference mode.
         telemetry: Optional sink (writer, ``.jsonl`` path, or run
             directory); the parent writes one record per job, in
-            submission order.
+            submission order, flushed as each job is harvested.
         cache_dir: Optional persistent cache shared by all jobs.
         deadline_seconds: Optional per-job wall-clock deadline; caps
             each portfolio rung's time budget.
+        max_retries: How many times a *crashing* job is re-executed
+            before it becomes an ``ERROR`` outcome.
+        retry_backoff_seconds: Base of the exponential backoff between
+            retries (attempt ``n`` sleeps ``base * 2**n`` seconds).
+        resume: Skip jobs whose ``job_id`` already has a record in the
+            telemetry sink (requires ``telemetry``); their outcomes are
+            reconstructed from the existing records and flagged
+            ``resumed=True``, and their records are not rewritten.
     """
 
     def __init__(
@@ -103,16 +148,36 @@ class ExperimentRunner:
         telemetry: "TelemetryWriter | str | None" = None,
         cache_dir: "str | None" = None,
         deadline_seconds: float | None = None,
+        max_retries: int = 0,
+        retry_backoff_seconds: float = 0.5,
+        resume: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if retry_backoff_seconds < 0:
+            raise ValueError("retry backoff must be non-negative")
+        if resume and telemetry is None:
+            raise ValueError("resume=True needs a telemetry sink to read from")
         self.jobs = int(jobs)
         self.telemetry = TelemetryWriter.coerce(telemetry)
         self.cache_dir = cache_dir
         self.deadline_seconds = deadline_seconds
+        self.max_retries = int(max_retries)
+        self.retry_backoff_seconds = retry_backoff_seconds
+        self.resume = resume
+        self._interrupted = False
 
-    def run(self, grid: "list[SolveJob] | tuple[SolveJob, ...]") -> list[JobOutcome]:
-        """Execute every job; outcomes come back in submission order."""
+    # ------------------------------------------------------------------
+
+    def run(self, grid) -> list[JobOutcome]:
+        """Execute every job; outcomes come back in submission order.
+
+        Raises :class:`RunInterrupted` (a ``KeyboardInterrupt``) when a
+        SIGINT/SIGTERM arrives mid-grid, after flushing the telemetry
+        of every job that finished.
+        """
         grid = list(grid)
         seen: set[str] = set()
         for job in grid:
@@ -120,41 +185,183 @@ class ExperimentRunner:
                 raise ValueError(f"duplicate job_id {job.job_id!r} in grid")
             seen.add(job.job_id)
 
-        if self.jobs == 1 or len(grid) <= 1:
-            outcomes = [
-                _execute_job(job, self.cache_dir, self.deadline_seconds)
-                for job in grid
+        completed = self._load_checkpoint(grid)
+        pending = [job for job in grid if job.job_id not in completed]
+
+        outcomes: dict[str, JobOutcome] = {
+            job.job_id: _resumed_outcome(job, completed[job.job_id])
+            for job in grid
+            if job.job_id in completed
+        }
+
+        self._interrupted = False
+        with self._signal_guard():
+            if self.jobs == 1 or len(pending) <= 1:
+                self._run_sequential(pending, outcomes)
+            else:
+                self._run_parallel(pending, outcomes)
+
+        ordered = [
+            outcomes[job.job_id] for job in grid if job.job_id in outcomes
+        ]
+        if self._interrupted:
+            raise RunInterrupted(ordered)
+        return ordered
+
+    # ------------------------------------------------------------------
+
+    def _run_sequential(self, pending, outcomes) -> None:
+        for job in pending:
+            if self._interrupted:
+                break
+            outcome = _execute_with_retries(
+                job,
+                self.cache_dir,
+                self.deadline_seconds,
+                self.max_retries,
+                self.retry_backoff_seconds,
+            )
+            self._harvest(outcome, outcomes)
+
+    def _run_parallel(self, pending, outcomes) -> None:
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _execute_with_retries,
+                    job,
+                    self.cache_dir,
+                    self.deadline_seconds,
+                    self.max_retries,
+                    self.retry_backoff_seconds,
+                )
+                for job in pending
             ]
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(grid))
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _execute_job, job, self.cache_dir, self.deadline_seconds
-                    )
-                    for job in grid
-                ]
-                outcomes = [
-                    _outcome_or_error(job, future)
-                    for job, future in zip(grid, futures)
-                ]
+            for job, future in zip(pending, futures):
+                outcome = self._await_future(job, future)
+                if outcome is None:  # interrupted
+                    for remaining in futures:
+                        remaining.cancel()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    break
+                self._harvest(outcome, outcomes)
 
+    def _await_future(self, job, future) -> "JobOutcome | None":
+        """Harvest one future, polling so signal flags are honored;
+        executor-level failures (worker death, unpicklable payloads)
+        become ``ERROR`` outcomes."""
+        while True:
+            if self._interrupted:
+                return None
+            try:
+                return future.result(timeout=0.2)
+            except FutureTimeoutError:
+                continue
+            except Exception as exc:
+                return _error_outcome(job, 0.0, exc)
+
+    def _harvest(self, outcome: JobOutcome, outcomes: dict) -> None:
+        outcomes[outcome.job_id] = outcome
         if self.telemetry is not None:
-            for outcome in outcomes:
-                self.telemetry.write(outcome.record)
-        return outcomes
+            self.telemetry.write(outcome.record)
+
+    # ------------------------------------------------------------------
+
+    def _load_checkpoint(self, grid) -> dict[str, dict]:
+        """Records of already-finished jobs, keyed by job_id."""
+        if not self.resume or self.telemetry is None:
+            return {}
+        try:
+            records = read_telemetry(self.telemetry.path)
+        except FileNotFoundError:
+            return {}
+        # Compact the file to the records that parsed: a killed writer
+        # can leave a torn trailing line, and appending after it would
+        # corrupt the next record too.
+        self.telemetry.rewrite(records)
+        wanted = {job.job_id for job in grid}
+        return {
+            record["job_id"]: record
+            for record in records
+            if record.get("job_id") in wanted
+        }
+
+    def _signal_guard(self):
+        """Install SIGINT/SIGTERM handlers that request a graceful stop
+        at the next job boundary (main thread only; a no-op context
+        elsewhere, where ``signal.signal`` is unavailable)."""
+        runner = self
+
+        class _Guard:
+            def __enter__(self):
+                self.previous = {}
+                if threading.current_thread() is not threading.main_thread():
+                    return self
+
+                def request_stop(signum, frame):
+                    runner._interrupted = True
+
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    self.previous[signum] = signal.signal(signum, request_stop)
+                return self
+
+            def __exit__(self, *exc_info):
+                for signum, handler in self.previous.items():
+                    signal.signal(signum, handler)
+                return False
+
+        return _Guard()
 
 
-def _execute_job(
-    job: SolveJob, cache_dir: "str | None", deadline_seconds: float | None
+# ----------------------------------------------------------------------
+# Worker-side bodies (module-level: they are pickled into workers).
+# ----------------------------------------------------------------------
+
+
+def _execute_with_retries(
+    job,
+    cache_dir: "str | None",
+    deadline_seconds: float | None,
+    max_retries: int,
+    backoff_seconds: float,
 ) -> JobOutcome:
-    """Worker-side body: solve one job through the facade.
+    """Run one job, retrying crashes with exponential backoff.
 
-    Must stay a module-level function — it is pickled into worker
-    processes.  Exceptions are converted to ``ERROR`` outcomes so one
-    bad instance never aborts the grid.
+    Attempt ``n`` (0-based) sleeps ``backoff_seconds * 2**n`` before
+    re-executing; once the budget is exhausted the last exception
+    becomes an ``ERROR`` outcome so one bad job never aborts the grid.
     """
+    start = time.perf_counter()
+    for attempt in range(max_retries + 1):
+        try:
+            outcome = _execute_job(job, cache_dir, deadline_seconds)
+        except Exception as exc:
+            if attempt >= max_retries:
+                failed = _error_outcome(job, time.perf_counter() - start, exc)
+                failed.record["attempts"] = attempt + 1
+                return failed
+            time.sleep(backoff_seconds * (2**attempt))
+            continue
+        if attempt:
+            outcome.record["attempts"] = attempt + 1
+        return outcome
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _execute_job(job, cache_dir, deadline_seconds) -> JobOutcome:
+    """Dispatch one grid job: campaign jobs run their own ``execute``,
+    solve jobs go through the facade."""
+    start = time.perf_counter()
+    if hasattr(job, "execute"):
+        result, record = job.execute(cache_dir, deadline_seconds)
+        return JobOutcome(
+            job_id=job.job_id,
+            result=result,
+            wall_seconds=time.perf_counter() - start,
+            record=record,
+            tags=dict(job.tags),
+        )
     config = job.config
     if deadline_seconds is not None:
         limit = config.time_limit_seconds
@@ -162,18 +369,14 @@ def _execute_job(
             deadline_seconds if limit is None else min(limit, deadline_seconds)
         )
         config = replace(config, time_limit_seconds=capped)
-    start = time.perf_counter()
-    try:
-        result, record = solve_recorded(
-            job.app,
-            config,
-            backend=job.backend,
-            cache=cache_dir,
-            job_id=job.job_id,
-            tags=job.tags,
-        )
-    except Exception as exc:
-        return _error_outcome(job, time.perf_counter() - start, exc)
+    result, record = solve_recorded(
+        job.app,
+        config,
+        backend=job.backend,
+        cache=cache_dir,
+        job_id=job.job_id,
+        tags=job.tags,
+    )
     return JobOutcome(
         job_id=job.job_id,
         result=result,
@@ -183,27 +386,35 @@ def _execute_job(
     )
 
 
-def _outcome_or_error(job: SolveJob, future) -> JobOutcome:
-    """Harvest a future, converting executor-level failures (worker
-    death, unpicklable payloads) into ``ERROR`` outcomes."""
+def _resumed_outcome(job, record: dict) -> JobOutcome:
+    """A checkpointed job: rebuild a status-only outcome from its
+    telemetry record without re-executing anything."""
     try:
-        return future.result()
-    except Exception as exc:
-        return _error_outcome(job, 0.0, exc)
+        status = SolveStatus(record.get("status", "error"))
+    except ValueError:
+        status = SolveStatus.ERROR
+    return JobOutcome(
+        job_id=job.job_id,
+        result=AllocationResult(status=status),
+        wall_seconds=float(record.get("wall_seconds", 0.0)),
+        record=record,
+        tags=dict(job.tags),
+        resumed=True,
+    )
 
 
-def _error_outcome(job: SolveJob, wall_seconds: float, exc: Exception) -> JobOutcome:
+def _error_outcome(job, wall_seconds: float, exc: Exception) -> JobOutcome:
     record = {
         "schema_version": TELEMETRY_SCHEMA_VERSION,
-        "event": "solve",
+        "event": getattr(job, "event", "solve"),
         "job_id": job.job_id,
         "instance": "",
-        "requested_backend": job.backend,
+        "requested_backend": getattr(job, "backend", ""),
         "backend": "",
         "status": "error",
         "objective": 0.0,
         "num_transfers": 0,
-        "mip_gap": job.config.mip_gap,
+        "mip_gap": getattr(getattr(job, "config", None), "mip_gap", None),
         "wall_seconds": wall_seconds,
         "solver_seconds": 0.0,
         "cached": False,

@@ -86,6 +86,19 @@ class TelemetryWriter:
         with self.path.open("a", encoding="utf-8") as stream:
             stream.write(json.dumps(record, sort_keys=True) + "\n")
 
+    def rewrite(self, records: Iterable[dict]) -> None:
+        """Atomically replace the file with exactly ``records``.
+
+        Used when resuming a campaign: compacts away a truncated
+        trailing line left by a killed writer, so subsequent appends
+        start on a clean line instead of concatenating onto garbage.
+        """
+        staging = self.path.with_name(self.path.name + ".tmp")
+        with staging.open("w", encoding="utf-8") as stream:
+            for record in records:
+                stream.write(json.dumps(record, sort_keys=True) + "\n")
+        staging.replace(self.path)
+
     def __repr__(self) -> str:
         return f"TelemetryWriter({str(self.path)!r})"
 
@@ -124,15 +137,35 @@ def build_solve_record(
 
 
 def read_telemetry(path: str | Path) -> list[dict]:
-    """Load all records from a JSONL file or a run directory."""
+    """Load all records from a JSONL file or a run directory.
+
+    A malformed *final* line is tolerated and skipped: a writer killed
+    mid-append (power loss, SIGKILL during a chaos campaign) leaves a
+    truncated trailing record, and ``--resume`` must still be able to
+    read everything that was fully flushed.  Malformed lines anywhere
+    *before* the last one indicate real corruption and raise
+    ``ValueError`` naming the offending line number.
+    """
     path = Path(path)
     if path.is_dir():
         path = path / TELEMETRY_FILENAME
+    lines = [
+        (number, line.strip())
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        )
+        if line.strip()
+    ]
     records = []
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if line:
+    for position, (number, line) in enumerate(lines):
+        try:
             records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if position == len(lines) - 1:
+                break  # truncated trailing record from an interrupted writer
+            raise ValueError(
+                f"corrupt telemetry record at {path}:{number}: {exc}"
+            ) from exc
     return records
 
 

@@ -32,11 +32,71 @@ from repro.model.platform import DmaParameters
 __all__ = [
     "MemoryTiming",
     "BusConfig",
+    "DmaTransferHook",
     "transfer_cycles",
     "transfer_duration_us",
     "effective_copy_cost_us_per_byte",
     "calibrate_dma_parameters",
+    "degrade_dma_parameters",
+    "retried_copy_duration_us",
 ]
+
+
+class DmaTransferHook:
+    """Per-transfer extension point of the DMA device model.
+
+    The LET-DMA protocol (:class:`repro.core.protocol.LetDmaProtocol`)
+    consults an optional hook of this shape when it times each DMA
+    dispatch, so fault injection (:mod:`repro.faults`) can slow down or
+    retry individual copies without forking the protocol or the
+    simulator.  The identity implementation reproduces the nominal
+    timing exactly.
+    """
+
+    def copy_duration_us(
+        self, transfer_index: int, instant_us: int, nominal_us: float
+    ) -> float:
+        """Effective data-movement time of one dispatch.
+
+        Args:
+            transfer_index: Index of the transfer within the allocation.
+            instant_us: Release instant at which the dispatch occurs.
+            nominal_us: The fault-free copy duration (omega_c * bytes).
+        """
+        return nominal_us
+
+
+def degrade_dma_parameters(
+    params: DmaParameters, slowdown: float
+) -> DmaParameters:
+    """DMA parameters with omega_c scaled by ``slowdown`` (>= 1).
+
+    Models a DMA rate degradation fault — sustained crossbar contention
+    or a bus running below its nominal clock — while the fixed o_DP and
+    o_ISR overheads stay untouched.  ``slowdown == 1`` returns the
+    parameters unchanged (identity object, not a copy), so the
+    zero-intensity fault path is byte-identical to the baseline.
+    """
+    if slowdown < 1.0:
+        raise ValueError("DMA slowdown must be >= 1")
+    if slowdown == 1.0:
+        return params
+    return DmaParameters(
+        programming_overhead_us=params.programming_overhead_us,
+        isr_overhead_us=params.isr_overhead_us,
+        copy_cost_us_per_byte=params.copy_cost_us_per_byte * slowdown,
+    )
+
+
+def retried_copy_duration_us(nominal_us: float, failed_attempts: int) -> float:
+    """Copy time when ``failed_attempts`` transient failures precede the
+    successful attempt: every failed attempt burns a full copy before
+    the engine re-issues the transfer."""
+    if failed_attempts < 0:
+        raise ValueError("failed attempt count must be non-negative")
+    if failed_attempts == 0:
+        return nominal_us
+    return nominal_us * (1 + failed_attempts)
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,38 @@ from repro.model.application import Application
 from repro.sim.timeline import CommunicationTimeline
 from repro.sim.trace import ExecutionSegment, JobRecord, SimulationResult
 
-__all__ = ["Simulator", "simulate"]
+__all__ = ["SimulatorHooks", "Simulator", "simulate"]
+
+
+class SimulatorHooks:
+    """Extension points of the simulator, with identity defaults.
+
+    Fault injection (:mod:`repro.faults`) and degradation policies plug
+    in here instead of forking the engine: the hooks can perturb a
+    job's effective WCET and readiness, veto a job's admission, and
+    observe completions.  The default implementations change nothing —
+    a simulator constructed with ``SimulatorHooks()`` produces exactly
+    the trace of one constructed with ``hooks=None``.
+    """
+
+    def job_wcet_us(self, task: str, release_us: int, wcet_us: float) -> float:
+        """Effective execution demand of the job (WCET overrun point)."""
+        return wcet_us
+
+    def job_ready_us(self, task: str, release_us: int, ready_us: float) -> float:
+        """Effective readiness instant of the job (jitter point)."""
+        return ready_us
+
+    def admit_job(
+        self, task: str, release_us: int, ready_us: float, deadline_us: float
+    ) -> bool:
+        """Whether the job executes at all.  A refused job keeps its
+        :class:`~repro.sim.trace.JobRecord` (so the drop is observable
+        as a deadline miss) but never becomes ready."""
+        return True
+
+    def on_job_complete(self, record: JobRecord) -> None:
+        """Observation point, called once per completed job."""
 
 _COMPLETE, _BLACKOUT_END, _JOB_READY, _BLACKOUT_START = range(4)
 
@@ -55,10 +86,12 @@ class Simulator:
         timeline: CommunicationTimeline,
         horizon_us: int | None = None,
         record_execution: bool = False,
+        hooks: SimulatorHooks | None = None,
     ):
         self.app = app
         self.timeline = timeline
         self.record_execution = record_execution
+        self.hooks = hooks
         self._result: SimulationResult | None = None
         self.horizon_us = horizon_us or app.tasks.hyperperiod_us()
         self._sequence = itertools.count()
@@ -97,6 +130,10 @@ class Simulator:
                 ready = self.timeline.ready_times.get(
                     (task.name, release), float(release)
                 )
+                wcet = task.wcet_us
+                if self.hooks is not None:
+                    ready = self.hooks.job_ready_us(task.name, release, ready)
+                    wcet = self.hooks.job_wcet_us(task.name, release, wcet)
                 record = JobRecord(
                     task=task.name,
                     release_us=release,
@@ -104,10 +141,14 @@ class Simulator:
                     deadline_us=release + task.deadline_us,
                 )
                 result.jobs.append(record)
+                if self.hooks is not None and not self.hooks.admit_job(
+                    task.name, release, ready, record.deadline_us
+                ):
+                    continue  # dropped: the record stays, completion never set
                 job = _Job(
                     record=record,
                     priority=task.priority,
-                    remaining_us=task.wcet_us,
+                    remaining_us=wcet,
                     core_id=task.core_id,
                 )
                 self._push(ready, _JOB_READY, job)
@@ -147,6 +188,8 @@ class Simulator:
         job.record.completion_us = now
         core.ready.remove(job)
         core.running = None
+        if self.hooks is not None:
+            self.hooks.on_job_complete(job.record)
         self._reschedule(now, core_id)
 
     # ------------------------------------------------------------------
@@ -198,6 +241,7 @@ def simulate(
     timeline: CommunicationTimeline,
     horizon_us: int | None = None,
     record_execution: bool = False,
+    hooks: SimulatorHooks | None = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`Simulator`."""
-    return Simulator(app, timeline, horizon_us, record_execution).run()
+    return Simulator(app, timeline, horizon_us, record_execution, hooks).run()

@@ -78,12 +78,20 @@ def _core_of(app: Application, task_name: str) -> str:
 
 
 def proposed_timeline(
-    app: Application, result: AllocationResult, horizon_us: int | None = None
+    app: Application,
+    result: AllocationResult,
+    horizon_us: int | None = None,
+    transfer_hook=None,
 ) -> CommunicationTimeline:
-    """Timeline of the proposed protocol (rules R1-R3)."""
+    """Timeline of the proposed protocol (rules R1-R3).
+
+    ``transfer_hook`` (shape of
+    :class:`repro.sim.dma_device.DmaTransferHook`) optionally perturbs
+    per-dispatch copy durations; see :class:`LetDmaProtocol`.
+    """
     if horizon_us is None:
         horizon_us = app.tasks.hyperperiod_us()
-    protocol = LetDmaProtocol(app, result)
+    protocol = LetDmaProtocol(app, result, transfer_hook=transfer_hook)
     timeline = CommunicationTimeline()
     ready_defaults = {
         (task, t): float(t) for task, t in _releases(app, horizon_us)

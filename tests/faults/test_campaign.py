@@ -1,0 +1,119 @@
+"""Tests for chaos campaign grids and checkpoint/resume.
+
+The greedy backend keeps every solve sub-second; the cross-product
+grids stay tiny so the whole module runs in the fast CI subset.
+"""
+
+import pytest
+
+import repro.faults.campaign as campaign_module
+from repro.faults import ChaosConfig, chaos_grid, render_chaos_table, run_chaos
+from repro.runtime import read_telemetry
+
+TINY = ChaosConfig(
+    alphas=(0.3,),
+    intensities=(0.0, 1.0),
+    seeds=(0,),
+    policies=("stale-data", "fail-stop"),
+    backend="greedy",
+)
+
+
+class TestGrid:
+    def test_cross_product_and_unique_ids(self):
+        config = ChaosConfig(
+            alphas=(0.2, 0.3),
+            intensities=(0.0, 0.5),
+            seeds=(0, 1),
+            policies=("stale-data",),
+        )
+        jobs = chaos_grid(config)
+        assert len(jobs) == 8
+        assert len({job.job_id for job in jobs}) == 8
+
+    def test_tags_carry_grid_coordinates(self):
+        (job,) = chaos_grid(
+            ChaosConfig(
+                alphas=(0.4,), intensities=(0.5,), seeds=(2,),
+                policies=("fail-stop",),
+            )
+        )
+        assert job.tags == {
+            "alpha": 0.4,
+            "intensity": 0.5,
+            "seed": 2,
+            "policy": "fail-stop",
+            "objective": job.objective.value,
+        }
+
+
+class TestRunChaos:
+    def test_campaign_produces_chaos_records(self, tmp_path):
+        telemetry = tmp_path / "chaos.jsonl"
+        outcomes = run_chaos(TINY, telemetry=telemetry)
+        assert len(outcomes) == 4
+        records = read_telemetry(telemetry)
+        assert all(r["event"] == "chaos" for r in records)
+        assert all(r["robustness"] is not None for r in records)
+        # The zero-intensity control points are clean...
+        by_intensity = {
+            (r["tags"]["intensity"], r["tags"]["policy"]): r["robustness"]
+            for r in records
+        }
+        assert by_intensity[(0.0, "stale-data")]["clean"]
+        assert by_intensity[(0.0, "fail-stop")]["clean"]
+        # ...and full intensity degrades the greedy allocation.
+        assert not by_intensity[(1.0, "stale-data")]["clean"]
+
+    def test_killed_campaign_resumes_without_reexecuting(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance: a chaos campaign killed mid-run continues via
+        resume, re-running only the grid points that never finished."""
+        telemetry = tmp_path / "chaos.jsonl"
+        run_chaos(TINY, telemetry=telemetry)
+        # Simulate a SIGKILL mid-append: drop the last full record and
+        # leave a torn fragment of it behind.
+        lines = telemetry.read_text().splitlines()
+        assert len(lines) == 4
+        telemetry.write_text("\n".join(lines[:3]) + "\n" + lines[3][:31])
+
+        evaluated = []
+        real_evaluate = campaign_module.evaluate_robustness
+
+        def counting_evaluate(app, result, spec, **kwargs):
+            evaluated.append(spec.seed)
+            return real_evaluate(app, result, spec, **kwargs)
+
+        monkeypatch.setattr(
+            campaign_module, "evaluate_robustness", counting_evaluate
+        )
+        outcomes = run_chaos(TINY, telemetry=telemetry, resume=True)
+        assert [o.resumed for o in outcomes] == [True, True, True, False]
+        assert len(evaluated) == 1  # only the torn point re-ran
+        records = read_telemetry(telemetry)
+        assert len(records) == 4
+        assert len({r["job_id"] for r in records}) == 4
+
+    def test_rerun_with_resume_is_a_no_op(self, tmp_path, monkeypatch):
+        telemetry = tmp_path / "chaos.jsonl"
+        run_chaos(TINY, telemetry=telemetry)
+        monkeypatch.setattr(
+            campaign_module,
+            "evaluate_robustness",
+            lambda *a, **k: pytest.fail("resumed campaign re-evaluated"),
+        )
+        outcomes = run_chaos(TINY, telemetry=telemetry, resume=True)
+        assert all(o.resumed for o in outcomes)
+        assert len(read_telemetry(telemetry)) == 4
+
+
+class TestRendering:
+    def test_table_includes_resume_notes(self, tmp_path):
+        telemetry = tmp_path / "chaos.jsonl"
+        run_chaos(TINY, telemetry=telemetry)
+        outcomes = run_chaos(TINY, telemetry=telemetry, resume=True)
+        table = render_chaos_table(outcomes)
+        assert "Chaos campaign" in table
+        assert "resumed" in table
+        assert "stale-data" in table and "fail-stop" in table

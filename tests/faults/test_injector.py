@@ -1,0 +1,75 @@
+"""Tests for the deterministic fault injector."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultSpec
+
+
+class TestIdentityShortCircuits:
+    def test_null_spec_is_exact_identity(self):
+        injector = FaultInjector(FaultSpec.none())
+        assert injector.job_wcet_us("A", 0, 123.5) == 123.5
+        assert injector.job_ready_us("A", 0, 42.0) == 42.0
+        assert injector.transfer_failed_attempts(3, 1000) == 0
+        assert injector.copy_duration_us(3, 1000, 17.25) == 17.25
+
+    def test_admission_never_vetoed(self):
+        injector = FaultInjector(FaultSpec.from_intensity(1.0))
+        assert injector.admit_job("A", 0, 0.0, 10_000.0)
+
+
+class TestWcetOverrun:
+    def test_global_factor(self):
+        injector = FaultInjector(FaultSpec(wcet_factor=1.5))
+        assert injector.job_wcet_us("A", 0, 100.0) == pytest.approx(150.0)
+
+    def test_per_task_override(self):
+        spec = FaultSpec(wcet_factor=1.1, wcet_factors={"B": 3.0})
+        injector = FaultInjector(spec)
+        assert injector.job_wcet_us("A", 0, 100.0) == pytest.approx(110.0)
+        assert injector.job_wcet_us("B", 0, 100.0) == pytest.approx(300.0)
+
+
+class TestJitter:
+    def test_bounded_and_nonnegative(self):
+        injector = FaultInjector(FaultSpec(release_jitter_us=250.0))
+        for release in range(0, 100_000, 5_000):
+            delayed = injector.job_ready_us("A", release, float(release))
+            assert release <= delayed <= release + 250.0
+
+    def test_site_keyed_determinism(self):
+        a = FaultInjector(FaultSpec(release_jitter_us=250.0, seed=5))
+        b = FaultInjector(FaultSpec(release_jitter_us=250.0, seed=5))
+        draws_a = [a.job_ready_us("T", t, float(t)) for t in (0, 10, 20)]
+        draws_b = [b.job_ready_us("T", t, float(t)) for t in (20, 0, 10)]
+        assert draws_a == [draws_b[1], draws_b[2], draws_b[0]]
+
+    def test_seed_changes_draws(self):
+        a = FaultInjector(FaultSpec(release_jitter_us=250.0, seed=1))
+        b = FaultInjector(FaultSpec(release_jitter_us=250.0, seed=2))
+        assert a.job_ready_us("T", 0, 0.0) != b.job_ready_us("T", 0, 0.0)
+
+
+class TestTransferFailures:
+    def test_retries_bounded(self):
+        spec = FaultSpec(transfer_failure_rate=0.99, max_transfer_retries=3)
+        injector = FaultInjector(spec)
+        for index in range(50):
+            assert 0 <= injector.transfer_failed_attempts(index, 0) <= 3
+
+    def test_copy_duration_multiplies_by_attempts(self):
+        spec = FaultSpec(transfer_failure_rate=0.99, max_transfer_retries=3)
+        injector = FaultInjector(spec)
+        failures = injector.transfer_failed_attempts(7, 500)
+        duration = injector.copy_duration_us(7, 500, 10.0)
+        assert duration == pytest.approx(10.0 * (1 + failures))
+
+    def test_dispatch_sites_independent(self):
+        spec = FaultSpec(transfer_failure_rate=0.5, max_transfer_retries=5, seed=4)
+        injector = FaultInjector(spec)
+        draws = {
+            injector.transfer_failed_attempts(index, instant)
+            for index in range(8)
+            for instant in (0, 1_000, 2_000)
+        }
+        assert len(draws) > 1  # not all sites share one outcome

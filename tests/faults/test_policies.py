@@ -1,0 +1,139 @@
+"""Tests for the LET graceful-degradation policies."""
+
+import pytest
+
+from repro.faults import FailStopPolicy, StaleDataPolicy, make_policy
+from repro.model import Application, Label, Platform, Task, TaskSet
+from repro.sim import CommunicationTimeline, simulate
+
+
+def tight_app():
+    """Writer W feeds reader R through label x; R's acquisition
+    deadline is 500 us, so any readiness past release+500 is a miss."""
+    tasks = TaskSet(
+        [
+            Task("W", 10_000, 1_000.0, "P1", 0),
+            Task("R", 10_000, 1_000.0, "P2", 0, acquisition_deadline_us=500.0),
+        ]
+    )
+    labels = [Label("x", 64, "W", ("R",))]
+    return Application(Platform.symmetric(2), tasks, labels)
+
+
+def timeline_with_late_reader(app, horizon, late_by_us):
+    """Ready times: everything at release, except R's jobs arrive
+    ``late_by_us`` after release (mimicking delayed acquisition)."""
+    timeline = CommunicationTimeline()
+    for task in app.tasks:
+        for t in task.release_instants(horizon):
+            offset = late_by_us if task.name == "R" else 0.0
+            timeline.ready_times[(task.name, t)] = float(t) + offset
+    return timeline
+
+
+HORIZON = 40_000
+
+
+class TestStaleData:
+    def test_late_reader_runs_at_release_on_stale_value(self):
+        app = tight_app()
+        timeline = timeline_with_late_reader(app, HORIZON, late_by_us=2_000.0)
+        policy = StaleDataPolicy(app)
+        result = simulate(app, timeline, HORIZON, hooks=policy)
+        # Every R job missed acquisition but ran at its release instant
+        # on the previous instance's value: no deadline misses.
+        assert result.all_deadlines_met
+        assert policy.stats.acquisition_misses == {"R": 4}
+        assert policy.stats.total_dropped_jobs == 0
+        for job in result.jobs_of("R"):
+            assert job.ready_us == pytest.approx(job.release_us)
+
+    def test_staleness_counts_consecutive_misses(self):
+        app = tight_app()
+        timeline = timeline_with_late_reader(app, HORIZON, late_by_us=2_000.0)
+        policy = StaleDataPolicy(app)
+        simulate(app, timeline, HORIZON, hooks=policy)
+        # 4 consecutive stale reads of x -> max staleness 4.
+        assert policy.stats.max_staleness == {"x": 4}
+        assert policy.stats.stale_consumptions == {"x": 4}
+
+    def test_staleness_resets_on_fresh_acquisition(self):
+        app = tight_app()
+        timeline = timeline_with_late_reader(app, HORIZON, late_by_us=0.0)
+        # Only the second job of R is late.
+        timeline.ready_times[("R", 10_000)] = 12_000.0
+        policy = StaleDataPolicy(app)
+        simulate(app, timeline, HORIZON, hooks=policy)
+        assert policy.stats.acquisition_misses == {"R": 1}
+        assert policy.stats.max_staleness == {"x": 1}
+
+    def test_on_time_reader_untouched(self):
+        app = tight_app()
+        timeline = timeline_with_late_reader(app, HORIZON, late_by_us=400.0)
+        policy = StaleDataPolicy(app)
+        result = simulate(app, timeline, HORIZON, hooks=policy)
+        assert policy.stats.total_acquisition_misses == 0
+        assert policy.stats.max_staleness == {}
+        for job in result.jobs_of("R"):
+            assert job.ready_us == pytest.approx(job.release_us + 400.0)
+
+
+class TestFailStop:
+    def test_late_reader_dropped_as_deadline_miss(self):
+        app = tight_app()
+        timeline = timeline_with_late_reader(app, HORIZON, late_by_us=2_000.0)
+        policy = FailStopPolicy(app)
+        result = simulate(app, timeline, HORIZON, hooks=policy)
+        assert policy.stats.acquisition_misses == {"R": 4}
+        assert policy.stats.dropped_jobs == {"R": 4}
+        assert policy.stats.max_staleness == {}  # nothing stale propagates
+        misses = result.deadline_misses()
+        assert len(misses) == 4
+        assert all(job.task == "R" for job in misses)
+        assert all(job.completion_us is None for job in misses)
+
+    def test_writer_unaffected(self):
+        app = tight_app()
+        timeline = timeline_with_late_reader(app, HORIZON, late_by_us=2_000.0)
+        result = simulate(app, timeline, HORIZON, hooks=FailStopPolicy(app))
+        assert all(j.completion_us is not None for j in result.jobs_of("W"))
+
+
+class TestChaining:
+    def test_inner_hook_faults_feed_the_policy(self):
+        from repro.sim.engine import SimulatorHooks
+
+        class DelayReader(SimulatorHooks):
+            def job_ready_us(self, task, release_us, ready_us):
+                return ready_us + (2_000.0 if task == "R" else 0.0)
+
+        app = tight_app()
+        timeline = timeline_with_late_reader(app, HORIZON, late_by_us=0.0)
+        policy = StaleDataPolicy(app, inner=DelayReader())
+        result = simulate(app, timeline, HORIZON, hooks=policy)
+        assert policy.stats.acquisition_misses == {"R": 4}
+        assert result.all_deadlines_met
+
+    def test_inner_wcet_chained(self):
+        from repro.sim.engine import SimulatorHooks
+
+        class Overrun(SimulatorHooks):
+            def job_wcet_us(self, task, release_us, wcet_us):
+                return wcet_us * 2.0
+
+        app = tight_app()
+        timeline = timeline_with_late_reader(app, HORIZON, late_by_us=0.0)
+        policy = StaleDataPolicy(app, inner=Overrun())
+        result = simulate(app, timeline, HORIZON, hooks=policy)
+        assert result.worst_response_us("W") == pytest.approx(2_000.0)
+
+
+class TestRegistry:
+    def test_make_policy_by_name(self):
+        app = tight_app()
+        assert isinstance(make_policy("stale-data", app), StaleDataPolicy)
+        assert isinstance(make_policy("fail-stop", app), FailStopPolicy)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown degradation policy"):
+            make_policy("retry-forever", tight_app())

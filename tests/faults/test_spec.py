@@ -1,0 +1,73 @@
+"""Tests for the parameterized fault model."""
+
+import pytest
+
+from repro.faults import FaultSpec
+
+
+class TestValidation:
+    def test_defaults_are_null(self):
+        assert FaultSpec().is_null
+        assert FaultSpec.none().is_null
+        assert FaultSpec.none(seed=7).seed == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"wcet_factor": 0.9},
+            {"wcet_factors": {"A": 0.5}},
+            {"dma_slowdown": 0.99},
+            {"transfer_failure_rate": -0.1},
+            {"transfer_failure_rate": 1.0},
+            {"max_transfer_retries": -1},
+            {"release_jitter_us": -1.0},
+        ],
+    )
+    def test_rejects_out_of_range(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+    def test_wcet_factors_frozen_to_private_dict(self):
+        source = {"A": 2.0}
+        spec = FaultSpec(wcet_factors=source)
+        source["A"] = 0.5  # mutating the caller's dict must not leak in
+        assert spec.wcet_factor_of("A") == 2.0
+
+
+class TestFactorLookup:
+    def test_per_task_override_wins(self):
+        spec = FaultSpec(wcet_factor=1.2, wcet_factors={"A": 2.0})
+        assert spec.wcet_factor_of("A") == 2.0
+        assert spec.wcet_factor_of("B") == 1.2
+
+    def test_with_seed_keeps_mix(self):
+        spec = FaultSpec(dma_slowdown=3.0, seed=0)
+        reseeded = spec.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.dma_slowdown == 3.0
+
+
+class TestFromIntensity:
+    def test_zero_is_exactly_null(self):
+        assert FaultSpec.from_intensity(0.0) == FaultSpec.none()
+
+    def test_scales_every_axis(self):
+        spec = FaultSpec.from_intensity(1.0, seed=3)
+        assert spec.wcet_factor == pytest.approx(1.5)
+        assert spec.dma_slowdown == pytest.approx(2.0)
+        assert spec.transfer_failure_rate == pytest.approx(0.3)
+        assert spec.release_jitter_us == pytest.approx(200.0)
+        assert spec.seed == 3
+        assert not spec.is_null
+
+    @pytest.mark.parametrize("intensity", [-0.1, 1.1])
+    def test_rejects_out_of_range(self, intensity):
+        with pytest.raises(ValueError, match="intensity"):
+            FaultSpec.from_intensity(intensity)
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        spec = FaultSpec.from_intensity(0.5, seed=2)
+        loaded = json.loads(json.dumps(spec.to_dict()))
+        assert FaultSpec(**loaded) == spec

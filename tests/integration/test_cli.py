@@ -141,3 +141,51 @@ class TestMainSmoke:
         out = capsys.readouterr().out
         assert "steer" in out and "perceive" in out
         assert "reaction time" in out
+
+
+class TestChaosCommand:
+    def test_parser_registered(self):
+        args = build_parser().parse_args(
+            [
+                "chaos",
+                "--intensities", "0", "0.5",
+                "--seeds", "0", "1",
+                "--policies", "stale-data", "fail-stop",
+                "--resume",
+                "--telemetry", "chaos.jsonl",
+            ]
+        )
+        assert args.intensities == [0.0, 0.5]
+        assert args.seeds == [0, 1]
+        assert args.policies == ["stale-data", "fail-stop"]
+        assert args.resume is True
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--policies", "retry-forever"])
+
+    def test_resume_requires_telemetry(self, capsys):
+        code = main(["chaos", "--resume"])
+        assert code == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_chaos_smoke_and_resume(self, capsys, tmp_path):
+        telemetry = tmp_path / "chaos.jsonl"
+        argv = [
+            "chaos",
+            "--alphas", "0.3",
+            "--intensities", "0", "1",
+            "--seeds", "0",
+            "--backend", "greedy",
+            "--telemetry", str(telemetry),
+        ]
+        code = main(argv)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Chaos campaign" in out
+        assert "clean" in out and "degraded" in out
+
+        code = main(argv + ["--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 grid point(s) resumed" in out

@@ -1,10 +1,19 @@
 """Tests for the parallel experiment runner."""
 
+from dataclasses import dataclass, field
+from pathlib import Path
+
 import pytest
 
 from repro.core import FormulationConfig, Objective
+from repro.core.solution import AllocationResult
 from repro.milp import SolveStatus
-from repro.runtime import ExperimentRunner, SolveJob, read_telemetry
+from repro.runtime import (
+    ExperimentRunner,
+    RunInterrupted,
+    SolveJob,
+    read_telemetry,
+)
 
 pytestmark = pytest.mark.runtime
 
@@ -130,3 +139,201 @@ class TestParallel:
         ExperimentRunner(jobs=4, telemetry=tmp_path).run(grid)
         records = read_telemetry(tmp_path)
         assert [r["job_id"] for r in records] == [j.job_id for j in grid]
+
+
+@dataclass
+class FlakyJob:
+    """Duck-typed campaign job: crashes ``fail_times`` times, then
+    succeeds; every execution bumps a per-job counter file so tests can
+    assert exactly how often it really ran."""
+
+    job_id: str
+    log_dir: str
+    fail_times: int = 0
+    signal_self: bool = False
+    tags: dict = field(default_factory=dict)
+
+    event = "test"
+
+    def execute(self, cache_dir, deadline_seconds):
+        path = Path(self.log_dir) / f"{self.job_id}.count"
+        count = int(path.read_text()) if path.exists() else 0
+        count += 1
+        path.write_text(str(count))
+        if self.signal_self:
+            import os
+            import signal as signal_module
+
+            os.kill(os.getpid(), signal_module.SIGINT)
+        if count <= self.fail_times:
+            raise RuntimeError(f"boom attempt {count}")
+        result = AllocationResult(status=SolveStatus.OPTIMAL)
+        record = {
+            "schema_version": 1,
+            "event": self.event,
+            "job_id": self.job_id,
+            "status": "optimal",
+            "wall_seconds": 0.01,
+            "tags": dict(self.tags),
+        }
+        return result, record
+
+
+def executions(log_dir, job_id) -> int:
+    path = Path(log_dir) / f"{job_id}.count"
+    return int(path.read_text()) if path.exists() else 0
+
+
+class TestRetries:
+    def test_crash_then_retry_then_success(self, tmp_path):
+        job = FlakyJob("flaky", str(tmp_path), fail_times=2)
+        runner = ExperimentRunner(max_retries=2, retry_backoff_seconds=0.0)
+        (outcome,) = runner.run([job])
+        assert outcome.result.status is SolveStatus.OPTIMAL
+        assert outcome.record["attempts"] == 3
+        assert executions(tmp_path, "flaky") == 3
+
+    def test_retries_exhausted_becomes_error(self, tmp_path):
+        job = FlakyJob("doomed", str(tmp_path), fail_times=99)
+        runner = ExperimentRunner(max_retries=1, retry_backoff_seconds=0.0)
+        (outcome,) = runner.run([job])
+        assert outcome.result.status is SolveStatus.ERROR
+        assert "RuntimeError" in outcome.record["error"]
+        assert outcome.record["attempts"] == 2
+        assert executions(tmp_path, "doomed") == 2
+
+    def test_no_retries_by_default(self, tmp_path):
+        job = FlakyJob("once", str(tmp_path), fail_times=99)
+        (outcome,) = ExperimentRunner().run([job])
+        assert outcome.result.status is SolveStatus.ERROR
+        assert executions(tmp_path, "once") == 1
+
+    def test_backoff_is_exponential(self, tmp_path, monkeypatch):
+        import repro.runtime.runner as runner_module
+
+        sleeps = []
+        monkeypatch.setattr(
+            runner_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        job = FlakyJob("flaky", str(tmp_path), fail_times=3)
+        runner = ExperimentRunner(max_retries=3, retry_backoff_seconds=0.5)
+        runner.run([job])
+        assert sleeps == [0.5, 1.0, 2.0]
+
+    def test_negative_retry_settings_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(max_retries=-1)
+        with pytest.raises(ValueError):
+            ExperimentRunner(retry_backoff_seconds=-0.1)
+
+
+class TestResume:
+    def test_resume_requires_telemetry(self):
+        with pytest.raises(ValueError, match="resume"):
+            ExperimentRunner(resume=True)
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        telemetry = tmp_path / "run.jsonl"
+        grid = [
+            FlakyJob("a", str(tmp_path)),
+            FlakyJob("b", str(tmp_path)),
+            FlakyJob("c", str(tmp_path)),
+        ]
+        # First run completes only a and b (simulated partial campaign).
+        ExperimentRunner(telemetry=telemetry).run(grid[:2])
+        assert executions(tmp_path, "a") == 1
+
+        outcomes = ExperimentRunner(telemetry=telemetry, resume=True).run(grid)
+        assert [o.job_id for o in outcomes] == ["a", "b", "c"]
+        assert [o.resumed for o in outcomes] == [True, True, False]
+        # a and b were NOT re-executed; c ran once.
+        assert executions(tmp_path, "a") == 1
+        assert executions(tmp_path, "b") == 1
+        assert executions(tmp_path, "c") == 1
+        # Resumed outcomes reconstruct status from their records.
+        assert outcomes[0].result.status is SolveStatus.OPTIMAL
+        # Telemetry gains only the new record, no duplicates.
+        records = read_telemetry(telemetry)
+        assert [r["job_id"] for r in records] == ["a", "b", "c"]
+
+    def test_resume_with_missing_file_runs_everything(self, tmp_path):
+        telemetry = tmp_path / "fresh.jsonl"
+        grid = [FlakyJob("a", str(tmp_path))]
+        outcomes = ExperimentRunner(telemetry=telemetry, resume=True).run(grid)
+        assert outcomes[0].resumed is False
+        assert executions(tmp_path, "a") == 1
+
+    def test_unknown_status_string_maps_to_error(self, tmp_path):
+        import json
+
+        telemetry = tmp_path / "weird.jsonl"
+        telemetry.write_text(
+            json.dumps({"job_id": "a", "status": "from-the-future"}) + "\n"
+        )
+        grid = [FlakyJob("a", str(tmp_path))]
+        (outcome,) = ExperimentRunner(telemetry=telemetry, resume=True).run(grid)
+        assert outcome.resumed is True
+        assert outcome.result.status is SolveStatus.ERROR
+
+
+class TestGracefulInterrupt:
+    def test_sigint_flushes_partial_and_raises(self, tmp_path):
+        telemetry = tmp_path / "run.jsonl"
+        grid = [
+            FlakyJob("a", str(tmp_path)),
+            FlakyJob("b", str(tmp_path), signal_self=True),
+            FlakyJob("c", str(tmp_path)),
+        ]
+        with pytest.raises(RunInterrupted) as excinfo:
+            ExperimentRunner(telemetry=telemetry).run(grid)
+        # a and b finished (b's signal lands after its own work) and
+        # were flushed; c never started.
+        outcomes = excinfo.value.outcomes
+        assert [o.job_id for o in outcomes] == ["a", "b"]
+        assert executions(tmp_path, "c") == 0
+        records = read_telemetry(telemetry)
+        assert [r["job_id"] for r in records] == ["a", "b"]
+
+    def test_interrupted_run_is_resumable(self, tmp_path):
+        telemetry = tmp_path / "run.jsonl"
+        grid = [
+            FlakyJob("a", str(tmp_path), signal_self=True),
+            FlakyJob("b", str(tmp_path)),
+        ]
+        with pytest.raises(RunInterrupted):
+            ExperimentRunner(telemetry=telemetry).run(grid)
+        outcomes = ExperimentRunner(telemetry=telemetry, resume=True).run(grid)
+        assert [o.resumed for o in outcomes] == [True, False]
+        assert executions(tmp_path, "a") == 1
+        assert executions(tmp_path, "b") == 1
+
+    def test_run_interrupted_is_keyboard_interrupt(self):
+        assert issubclass(RunInterrupted, KeyboardInterrupt)
+
+    def test_handlers_restored_after_run(self, tmp_path):
+        import signal as signal_module
+
+        before = signal_module.getsignal(signal_module.SIGINT)
+        ExperimentRunner().run([FlakyJob("a", str(tmp_path))])
+        assert signal_module.getsignal(signal_module.SIGINT) is before
+
+    def test_resume_compacts_torn_trailing_line(self, tmp_path):
+        """A campaign killed mid-append leaves a truncated record;
+        resuming must read the intact prefix, recover the torn job by
+        re-running it, and keep the file parseable throughout."""
+        import json
+
+        telemetry = tmp_path / "run.jsonl"
+        grid = [FlakyJob("a", str(tmp_path)), FlakyJob("b", str(tmp_path))]
+        ExperimentRunner(telemetry=telemetry).run(grid)
+        lines = telemetry.read_text().splitlines()
+        telemetry.write_text(lines[0] + "\n" + lines[1][:25])  # torn tail
+
+        outcomes = ExperimentRunner(telemetry=telemetry, resume=True).run(grid)
+        assert [o.resumed for o in outcomes] == [True, False]
+        assert executions(tmp_path, "a") == 1
+        assert executions(tmp_path, "b") == 2  # torn record re-ran
+        records = [
+            json.loads(line) for line in telemetry.read_text().splitlines()
+        ]
+        assert [r["job_id"] for r in records] == ["a", "b"]

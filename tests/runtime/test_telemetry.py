@@ -98,6 +98,40 @@ class TestReader:
         target.write_text(json.dumps(record()) + "\n\n")
         assert len(read_telemetry(tmp_path)) == 1
 
+    def test_tolerates_truncated_trailing_line(self, tmp_path):
+        """A writer killed mid-append (SIGKILL, power loss) leaves a
+        truncated final record; the reader must still return everything
+        fully flushed so --resume can continue the campaign."""
+        target = tmp_path / "solves.jsonl"
+        full = json.dumps(record(job_id="a"))
+        cut = json.dumps(record(job_id="b"))[:37]
+        target.write_text(full + "\n" + cut)
+        records = read_telemetry(target)
+        assert [r["job_id"] for r in records] == ["a"]
+
+    def test_tolerates_truncated_line_without_newline_flush(self, tmp_path):
+        target = tmp_path / "solves.jsonl"
+        target.write_text(json.dumps(record(job_id="a")) + "\n{\"job_id\": ")
+        assert len(read_telemetry(target)) == 1
+
+    def test_interior_corruption_raises(self, tmp_path):
+        """Corruption anywhere before the final line is not a crash
+        artifact — refuse to silently drop records."""
+        target = tmp_path / "solves.jsonl"
+        target.write_text(
+            json.dumps(record(job_id="a"))
+            + "\n???not json???\n"
+            + json.dumps(record(job_id="c"))
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="corrupt telemetry record .*:2"):
+            read_telemetry(target)
+
+    def test_truncated_only_file_yields_no_records(self, tmp_path):
+        target = tmp_path / "solves.jsonl"
+        target.write_text('{"half": ')
+        assert read_telemetry(target) == []
+
 
 class TestSummary:
     def test_aggregates(self):

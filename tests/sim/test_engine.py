@@ -110,6 +110,56 @@ class TestBlackouts:
         timeline.add_blackout("P1", 100.0, 100.0)
         assert timeline.blackouts.get("P1", []) == []
 
+    def test_zero_length_blackout_in_engine_is_harmless(self):
+        """A degenerate interval injected around add_blackout's filter
+        (e.g. by a hand-built timeline) must not perturb the schedule:
+        its start/end events cancel at the same instant."""
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.blackouts.setdefault("P1", []).append((300.0, 300.0))
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(1_000.0)
+        assert result.all_deadlines_met
+
+    def test_blackout_starting_exactly_at_completion(self):
+        """Completion and blackout-start at the same instant: the
+        completion event (kind 0) is processed before the blackout
+        start (kind 3), so the job finishes on time."""
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P1", 1_000.0, 4_000.0)
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(1_000.0)
+
+    def test_blackout_ending_exactly_at_release(self):
+        """Blackout-end and job-ready at the same instant: the end
+        (kind 1) precedes the ready (kind 2), so the job starts
+        immediately."""
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.ready_times[("A", 0)] = 500.0
+        timeline.add_blackout("P1", 0.0, 500.0)
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(1_500.0)
+
+    def test_nested_blackouts_on_one_core(self):
+        """An interval fully contained in another must not release the
+        core early when the inner one ends (depth counting)."""
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P1", 0.0, 1_000.0)
+        timeline.add_blackout("P1", 200.0, 400.0)
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(2_000.0)
+
+    def test_identical_overlapping_blackouts(self):
+        app = make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+        timeline = empty_timeline(app, 10_000)
+        timeline.add_blackout("P1", 0.0, 500.0)
+        timeline.add_blackout("P1", 0.0, 500.0)
+        result = simulate(app, timeline, 10_000)
+        assert result.worst_response_us("A") == pytest.approx(1_500.0)
+
 
 class TestReadyTimes:
     def test_acquisition_latency_recorded(self):
@@ -160,6 +210,72 @@ class TestDeadlineDetection:
         assert job.completion_us == pytest.approx(18_999.0)
         assert job.missed_deadline
         assert not result.all_deadlines_met
+
+
+class TestHooks:
+    def app(self):
+        return make_app([Task("A", 10_000, 1_000.0, "P1", 0)])
+
+    def test_identity_hooks_change_nothing(self):
+        from repro.sim.engine import SimulatorHooks
+
+        app = self.app()
+        timeline = empty_timeline(app, 10_000)
+        baseline = simulate(app, timeline, 10_000)
+        hooked = simulate(app, timeline, 10_000, hooks=SimulatorHooks())
+        assert repr(baseline.jobs) == repr(hooked.jobs)
+
+    def test_wcet_hook_scales_demand(self):
+        from repro.sim.engine import SimulatorHooks
+
+        class Overrun(SimulatorHooks):
+            def job_wcet_us(self, task, release_us, wcet_us):
+                return wcet_us * 2.0
+
+        app = self.app()
+        result = simulate(app, empty_timeline(app, 10_000), 10_000, hooks=Overrun())
+        assert result.worst_response_us("A") == pytest.approx(2_000.0)
+
+    def test_ready_hook_delays_start(self):
+        from repro.sim.engine import SimulatorHooks
+
+        class Jitter(SimulatorHooks):
+            def job_ready_us(self, task, release_us, ready_us):
+                return ready_us + 300.0
+
+        app = self.app()
+        result = simulate(app, empty_timeline(app, 10_000), 10_000, hooks=Jitter())
+        job = result.jobs_of("A")[0]
+        assert job.ready_us == pytest.approx(300.0)
+        assert job.completion_us == pytest.approx(1_300.0)
+
+    def test_admission_veto_drops_job_as_miss(self):
+        from repro.sim.engine import SimulatorHooks
+
+        class DropAll(SimulatorHooks):
+            def admit_job(self, task, release_us, ready_us, deadline_us):
+                return False
+
+        app = self.app()
+        result = simulate(app, empty_timeline(app, 10_000), 10_000, hooks=DropAll())
+        assert len(result.jobs) == 1  # the record survives the drop
+        assert result.jobs[0].completion_us is None
+        assert not result.all_deadlines_met
+
+    def test_completion_observer_sees_every_job(self):
+        from repro.sim.engine import SimulatorHooks
+
+        class Observer(SimulatorHooks):
+            def __init__(self):
+                self.completed = []
+
+            def on_job_complete(self, record):
+                self.completed.append((record.task, record.release_us))
+
+        app = make_app([Task("A", 2_000, 500.0, "P1", 0)])
+        observer = Observer()
+        simulate(app, empty_timeline(app, 10_000), 10_000, hooks=observer)
+        assert observer.completed == [("A", t) for t in range(0, 10_000, 2_000)]
 
 
 class TestSimulatorConstruction:

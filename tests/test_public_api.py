@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.ext",
     "repro.reporting",
     "repro.runtime",
+    "repro.faults",
 ]
 
 
