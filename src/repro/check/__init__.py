@@ -37,6 +37,7 @@ from repro.check.differential import (
     DifferentialConfig,
     InstanceVerdict,
     applicable_backends,
+    base_backend,
     check_instance,
     compare_runs,
     evaluate_metric,
@@ -58,6 +59,7 @@ __all__ = [
     "DifferentialConfig",
     "InstanceVerdict",
     "applicable_backends",
+    "base_backend",
     "check_instance",
     "compare_runs",
     "evaluate_metric",

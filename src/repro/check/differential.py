@@ -18,6 +18,11 @@ applies the agreement rules:
   primal heuristic for a minimization problem).
 * if every exact backend proves INFEASIBLE but greedy's result passes
   the *strict* oracle, the infeasibility proof is wrong — disagreement.
+* **presolve differential** (``check_presolve``): every exact backend
+  is additionally run with its ``-nopresolve`` variant (the portfolio
+  rung suffix), and the variants participate in the exact-vs-exact
+  rules above.  A presolve reduction that changes a proven verdict or
+  optimal objective is therefore caught as a plain disagreement.
 
 Objectives are compared on *evaluated metrics* recomputed from the
 returned schedule (transfer counts, replayed latency ratios), never on
@@ -41,6 +46,7 @@ __all__ = [
     "DifferentialConfig",
     "BackendRun",
     "InstanceVerdict",
+    "base_backend",
     "evaluate_metric",
     "applicable_backends",
     "compare_runs",
@@ -49,6 +55,19 @@ __all__ = [
 
 #: Backends whose OPTIMAL/INFEASIBLE answers are proofs.
 EXACT_BACKENDS = ("highs", "bnb")
+
+
+def base_backend(backend: str) -> str:
+    """The backend name without a portfolio variant suffix.
+
+    ``"highs-nopresolve"`` → ``"highs"``.  Variants inherit the
+    exactness (and, for bnb, the size gate) of their base backend.
+    """
+    return backend.partition("-")[0]
+
+
+def _is_exact(backend: str) -> bool:
+    return base_backend(backend) in EXACT_BACKENDS
 
 #: Statuses that constitute a proof usable for cross-checking.
 _PROVEN = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
@@ -67,6 +86,10 @@ class DifferentialConfig:
         bnb_max_comms: Skip the pure-Python branch and bound above this
             many communications at s0 (it is exponential and exists as
             a small-model oracle).
+        check_presolve: Also run a ``-nopresolve`` variant of every
+            exact backend and cross-check it under the same rules, so
+            a presolve bug that changes a proven verdict shows up as a
+            disagreement.
     """
 
     backends: tuple[str, ...] = ("highs", "bnb", "greedy")
@@ -74,6 +97,17 @@ class DifferentialConfig:
     time_limit_seconds: float = 20.0
     mip_gap: float | None = None
     bnb_max_comms: int = 6
+    check_presolve: bool = False
+
+    def effective_backends(self) -> tuple[str, ...]:
+        """``backends`` plus nopresolve variants when requested."""
+        if not self.check_presolve:
+            return self.backends
+        expanded = list(self.backends)
+        for backend in self.backends:
+            if backend in EXACT_BACKENDS:
+                expanded.append(f"{backend}-nopresolve")
+        return tuple(expanded)
 
     @property
     def tolerance(self) -> float:
@@ -158,9 +192,9 @@ def applicable_backends(
     """(backend, skip_reason) pairs; an empty reason means "run it"."""
     num_comms = len(communications_at(app, 0))
     pairs = []
-    for backend in config.backends:
+    for backend in config.effective_backends():
         reason = ""
-        if backend == "bnb" and num_comms > config.bnb_max_comms:
+        if base_backend(backend) == "bnb" and num_comms > config.bnb_max_comms:
             reason = (
                 f"bnb gated out: {num_comms} communications > "
                 f"bnb_max_comms={config.bnb_max_comms}"
@@ -234,7 +268,7 @@ def _compare_exact_pairs(
     proven = [
         run
         for backend, run in verdict.runs.items()
-        if backend in EXACT_BACKENDS and run.proven
+        if _is_exact(backend) and run.proven
     ]
     for i, first in enumerate(proven):
         for second in proven[i + 1 :]:
@@ -270,7 +304,7 @@ def _compare_greedy(
     exact_proven = [
         run
         for backend, run in verdict.runs.items()
-        if backend in EXACT_BACKENDS and run.proven
+        if _is_exact(backend) and run.proven
     ]
     if any(
         run.result.status is not SolveStatus.INFEASIBLE for run in exact_proven

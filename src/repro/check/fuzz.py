@@ -55,6 +55,8 @@ class FuzzConfig:
             ``i % len(objectives)``).
         time_limit_seconds: Per-backend budget per instance.
         bnb_max_comms: Size gate for the pure-Python branch and bound.
+        check_presolve: Cross-check every exact backend against its
+            ``-nopresolve`` variant (presolve differential).
         telemetry: Optional JSONL sink (path or run directory).
         corpus_dir: Where shrunk reproducers are written; None disables
             writing (the failures are still reported).
@@ -73,6 +75,7 @@ class FuzzConfig:
     )
     time_limit_seconds: float = 20.0
     bnb_max_comms: int = 6
+    check_presolve: bool = False
     telemetry: "str | None" = None
     corpus_dir: "str | Path | None" = None
     shrink: bool = True
@@ -199,6 +202,7 @@ def _differential_config(
         objective=objective,
         time_limit_seconds=config.time_limit_seconds,
         bnb_max_comms=config.bnb_max_comms,
+        check_presolve=config.check_presolve,
     )
 
 

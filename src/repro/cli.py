@@ -258,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=20.0,
         help="per-backend budget per instance in seconds (default: 20)",
     )
+    p_fuzz.add_argument(
+        "--check-presolve",
+        action="store_true",
+        help="also run every exact backend without presolve and "
+        "cross-check the variants (presolve differential)",
+    )
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -307,6 +313,56 @@ def build_parser() -> argparse.ArgumentParser:
         "application", help="model file (.json or .xml, see repro.io)"
     )
     p_verify.add_argument("allocation", help="allocation file (.json)")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the tracked performance microbenchmarks "
+        "(solver + simulator hot paths) and compare against a baseline",
+    )
+    p_bench.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the CI smoke subset (sub-second scenarios)",
+    )
+    p_bench.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=3,
+        help="executions per scenario, best wall time kept (default: 3)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the session as a BENCH json file "
+        "(default: BENCH_<rev>.json in the working directory)",
+    )
+    p_bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        const="benchmarks/baselines/BENCH_baseline.json",
+        nargs="?",
+        help="compare against a baseline file and exit non-zero on "
+        "regression (default file: the tracked baseline)",
+    )
+    p_bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="relative slowdown tolerated before a scenario counts as "
+        "regressed (default: 0.5 = 50%%)",
+    )
+    p_bench.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
     return parser
 
 
@@ -542,6 +598,7 @@ def main(argv: list[str] | None = None) -> int:
                     corpus_dir=args.corpus,
                     shrink=not args.no_shrink,
                     time_limit_seconds=args.time_limit,
+                    check_presolve=args.check_presolve,
                 )
             )
         except KeyboardInterrupt:
@@ -615,6 +672,55 @@ def main(argv: list[str] | None = None) -> int:
             for violation in report.violations:
                 print(f"  {violation}")
             return 1
+    elif args.command == "bench":
+        from repro.perf import (
+            SCENARIOS,
+            compare_benchmarks,
+            load_benchmark,
+            render_comparison,
+            run_benchmarks,
+            save_benchmark,
+            to_benchmark_dict,
+        )
+
+        if args.list:
+            for scenario in SCENARIOS:
+                tag = " [quick]" if scenario.quick else ""
+                print(f"{scenario.name:<24} {scenario.description}{tag}")
+            return 0
+        try:
+            results = run_benchmarks(
+                names=args.scenario,
+                quick_only=args.quick,
+                repeat=args.repeat,
+                progress=print,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        document = to_benchmark_dict(results, repeat=args.repeat)
+        out = args.out or f"BENCH_{document['revision']}.json"
+        save_benchmark(document, out)
+        print(f"wrote {out}")
+        if args.compare is not None:
+            try:
+                baseline = load_benchmark(args.compare)
+            except FileNotFoundError:
+                print(
+                    f"error: no baseline at {args.compare!r}", file=sys.stderr
+                )
+                return 2
+            rows = compare_benchmarks(
+                document, baseline, threshold=args.threshold
+            )
+            print(render_comparison(rows))
+            if any(row.regressed for row in rows):
+                print(
+                    f"FAILED: regression beyond {args.threshold:.0%} "
+                    f"of baseline {baseline.get('revision', '?')}",
+                    file=sys.stderr,
+                )
+                return 1
     return 0
 
 

@@ -89,6 +89,14 @@ class FormulationConfig:
             source of solver defaults shared with the cache, the
             :func:`repro.solve` facade, and the CLI.
         mip_gap: Optional relative optimality gap at which to stop.
+        presolve: Run the answer-preserving MILP presolve pass before
+            the backend (:mod:`repro.milp.presolve`).  Affects solve
+            time only, never the reported objective, so it is excluded
+            from cache keys.
+        symmetry_breaking: Pin interchangeable memory slots (those in
+            no contiguity subset) to canonical tail positions.  Also
+            answer-preserving; see
+            :func:`repro.milp.presolve.pin_free_slots`.
     """
 
     objective: Objective = Objective.NONE
@@ -98,10 +106,19 @@ class FormulationConfig:
     backend: str = DEFAULT_MILP_BACKEND
     time_limit_seconds: float | None = DEFAULT_TIME_LIMIT_SECONDS
     mip_gap: float | None = DEFAULT_MIP_GAP
+    presolve: bool = True
+    symmetry_breaking: bool = True
 
 
 class LetDmaFormulation:
     """Builds (and solves) the paper's MILP for one application."""
+
+    #: Position of the first memory slot in the ``PL`` variables: the
+    #: chain encoding reserves 0 for the HEAD sentinel.  Subclasses
+    #: with a different layout encoding override this so symmetry
+    #: breaking (:func:`repro.milp.presolve.pin_free_slots`) pins free
+    #: slots into the right range.
+    slot_position_base = 1
 
     def __init__(self, app: Application, config: FormulationConfig | None = None):
         self.app = app
@@ -200,6 +217,10 @@ class LetDmaFormulation:
         self._constraint_9_latency()
         if self.config.enforce_property3:
             self._constraint_10_instant_separation()
+        if self.config.symmetry_breaking:
+            from repro.milp.presolve import pin_free_slots
+
+            pin_free_slots(self)
         self._add_objective()
 
     # -- variables ------------------------------------------------------
@@ -589,13 +610,20 @@ class LetDmaFormulation:
     # Solving
     # ------------------------------------------------------------------
 
-    def solve(self):
-        """Solve the MILP and extract an :class:`AllocationResult`."""
+    def solve(self, backend: str | None = None, presolve: bool | None = None):
+        """Solve the MILP and extract an :class:`AllocationResult`.
+
+        ``backend`` and ``presolve`` override their ``config``
+        counterparts so one built formulation (and its cached presolve
+        and standard form) can be solved by several portfolio rungs
+        without rebuilding the model.
+        """
         from repro.core.solution import extract_result
 
         solution = self.model.solve(
-            backend=self.config.backend,
+            backend=backend or self.config.backend,
             time_limit_seconds=self.config.time_limit_seconds,
             mip_gap=self.config.mip_gap,
+            presolve=self.config.presolve if presolve is None else presolve,
         )
         return extract_result(self, solution)

@@ -33,6 +33,9 @@ __all__ = ["PositionalLetDmaFormulation"]
 class PositionalLetDmaFormulation(LetDmaFormulation):
     """The formulation with assignment-based layout variables."""
 
+    #: Positions are 0-based one-hots here (no HEAD/TAIL sentinels).
+    slot_position_base = 0
+
     def _add_allocation_variables(self) -> None:
         model = self.model
         self.pos: dict[tuple[str, str, int], Var] = {}

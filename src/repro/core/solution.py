@@ -163,6 +163,11 @@ class AllocationResult:
             "greedy"); empty when solved outside the runtime layer.
         fallback_chain: Portfolio attempts leading to this result, in
             order (empty for direct single-backend solves).
+        best_bound: Solver's proven dual bound on the objective, when
+            it reported one (None for heuristic results).
+        mip_gap: Relative optimality gap the solver achieved, when
+            known (0.0 for proven optima).
+        node_count: Branch-and-bound nodes explored by the solver.
     """
 
     status: SolveStatus
@@ -175,6 +180,9 @@ class AllocationResult:
     num_constraints: int = 0
     backend: str = ""
     fallback_chain: tuple[FallbackAttempt, ...] = ()
+    best_bound: float | None = None
+    mip_gap: float | None = None
+    node_count: int = 0
 
     @property
     def feasible(self) -> bool:
@@ -277,6 +285,9 @@ def extract_result(formulation, solution: Solution) -> AllocationResult:
             runtime_seconds=solution.runtime_seconds,
             num_variables=formulation.model.num_variables,
             num_constraints=formulation.model.num_constraints,
+            best_bound=solution.best_bound,
+            mip_gap=solution.mip_gap,
+            node_count=solution.node_count,
         )
 
     app = formulation.app
@@ -290,6 +301,9 @@ def extract_result(formulation, solution: Solution) -> AllocationResult:
         transfers=tuple(transfers),
         num_variables=formulation.model.num_variables,
         num_constraints=formulation.model.num_constraints,
+        best_bound=solution.best_bound,
+        mip_gap=solution.mip_gap,
+        node_count=solution.node_count,
     )
     # The model's lambda variables are only *lower*-bounded (Constraint
     # 9) and may float above the true value when the objective does not

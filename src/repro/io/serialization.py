@@ -191,6 +191,9 @@ def result_to_dict(result: AllocationResult) -> dict:
         "objective_value": result.objective_value,
         "runtime_seconds": result.runtime_seconds,
         "backend": result.backend,
+        "best_bound": result.best_bound,
+        "mip_gap": result.mip_gap,
+        "node_count": result.node_count,
         "fallback_chain": [
             attempt.to_dict() for attempt in result.fallback_chain
         ],
@@ -268,6 +271,9 @@ def result_from_dict(data: dict) -> AllocationResult:
         transfers=transfers,
         latencies_us=dict(data.get("latencies_us", {})),
         backend=data.get("backend", ""),
+        best_bound=data.get("best_bound"),
+        mip_gap=data.get("mip_gap"),
+        node_count=int(data.get("node_count", 0)),
         fallback_chain=tuple(
             FallbackAttempt.from_dict(entry)
             for entry in data.get("fallback_chain", ())

@@ -5,17 +5,40 @@ any particular MILP backend for *small* models, and (ii) it provides an
 independent oracle for testing the HiGHS backend — both must agree on
 optimal objective values.
 
-The implementation is a textbook LP-based branch and bound: solve the
-LP relaxation with :func:`scipy.optimize.linprog` (HiGHS simplex),
-branch on the most fractional integral variable, prune by bound, and
-keep the best incumbent.  It is exponential in the worst case and is
-only intended for models with up to a few dozen integer variables.
+The solver is LP-based branch and bound with the standard machinery of
+a serious (if small) MIP code:
+
+* **best-first search** — open nodes live in a priority heap ordered by
+  their parent LP bound, so the minimum over the heap is a true global
+  dual bound at every moment.  That is what lets the solver report
+  ``Solution.best_bound``/``mip_gap`` and return ``FEASIBLE`` with a
+  proven gap on timeout instead of an unusable ``ERROR``.
+* **LP-guided diving** — before branching starts (and until a first
+  incumbent exists), a rounding heuristic walks down from the node
+  relaxation, bounding every near-integral variable to its rounded
+  value and the most fractional one to its nearest integer, re-solving
+  as it goes.  On models like the paper's formulation this finds a
+  feasible packing in a handful of LPs.
+* **pseudo-cost branching** — per-variable average objective
+  degradation per unit of fractionality, seeded by observation and
+  falling back to most-fractional until history exists.
+* **persistent bound chains** — a node stores only its chain of bound
+  changes (parent chain + one ``(index, lower, upper)`` triple);
+  materialization copies the base bound arrays once per node pop
+  instead of copying override dicts on every push.
+
+The LP relaxations are solved by :func:`scipy.optimize.linprog` (HiGHS
+simplex) over a :class:`_StandardForm` built once per model and cached
+on the model instance, so portfolio fallbacks that re-solve the same
+formulation skip the conversion.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import time
+from collections import deque
 
 import numpy as np
 from scipy import sparse
@@ -28,73 +51,393 @@ from repro.milp.result import Solution, SolveStatus
 __all__ = ["solve_with_branch_and_bound"]
 
 _INTEGRALITY_TOL = 1e-6
+#: Gap below which a bound-limited stop still counts as proven optimal.
+_PROOF_GAP = 1e-9
+#: LP budget for one diving descent.
+_DIVE_MAX_LPS = 60
+#: Total row-propagation budget for one fix-and-propagate run.
+_PROPAGATE_MAX_ROWS = 400_000
 
 
 def solve_with_branch_and_bound(
-    model: MilpModel, time_limit_seconds: float | None = None
+    model: MilpModel,
+    time_limit_seconds: float | None = None,
+    mip_gap: float | None = None,
 ) -> Solution:
-    """Solve a small :class:`MilpModel` exactly by branch and bound."""
+    """Solve a :class:`MilpModel` by LP-based branch and bound.
+
+    Exact on completion; on timeout returns the incumbent as
+    ``FEASIBLE`` with the proven ``best_bound``/``mip_gap``, or
+    ``TIMEOUT`` when no incumbent was found.
+    """
     start = time.perf_counter()
     deadline = start + time_limit_seconds if time_limit_seconds is not None else None
 
-    problem = _StandardForm(model)
-    integral_indices = [
-        var.index
-        for var in model.variables
-        if var.var_type in (VarType.INTEGER, VarType.BINARY)
-    ]
-
-    best_objective = math.inf
-    best_solution: np.ndarray | None = None
-    hit_limit = False
-
-    # Depth-first stack of (lower-bound overrides, upper-bound overrides).
-    stack: list[tuple[dict[int, float], dict[int, float]]] = [({}, {})]
-    while stack:
-        if deadline is not None and time.perf_counter() > deadline:
-            hit_limit = True
-            break
-        lower_over, upper_over = stack.pop()
-        relaxation = problem.solve_relaxation(lower_over, upper_over)
-        if relaxation is None:
-            continue  # infeasible subproblem
-        objective, values = relaxation
-        if objective >= best_objective - 1e-9:
-            continue  # pruned by bound
-        branch_var = _most_fractional(values, integral_indices)
-        if branch_var is None:
-            best_objective = objective
-            best_solution = values
-            continue
-        fractional = values[branch_var]
-        floor_val = math.floor(fractional + _INTEGRALITY_TOL)
-        # Explore the "round down" child last (popped first): downward
-        # rounding tends to reach feasible packings sooner here.
-        up_lower = dict(lower_over)
-        up_lower[branch_var] = floor_val + 1
-        stack.append((up_lower, upper_over))
-        down_upper = dict(upper_over)
-        down_upper[branch_var] = floor_val
-        stack.append((lower_over, down_upper))
-
+    problem = _standard_form(model)
+    integral = np.array(
+        [
+            var.var_type in (VarType.INTEGER, VarType.BINARY)
+            for var in model.variables
+        ],
+        dtype=bool,
+    )
+    sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0
+    counters = _Counters()
+    search = _Search(problem, integral, counters, deadline, mip_gap)
+    search.run()
     elapsed = time.perf_counter() - start
-    if best_solution is None:
-        status = SolveStatus.ERROR if hit_limit else SolveStatus.INFEASIBLE
-        return Solution(status=status, runtime_seconds=elapsed)
 
-    values_by_var = {
-        var: _snap(float(best_solution[var.index]), var.var_type)
+    dual = search.dual_bound()
+    if search.incumbent_x is None:
+        if search.hit_limit:
+            status = SolveStatus.TIMEOUT
+        else:
+            status = SolveStatus.INFEASIBLE
+        return Solution(
+            status=status,
+            runtime_seconds=elapsed,
+            message=_message(counters, search, elapsed),
+            best_bound=sign * dual if math.isfinite(dual) else None,
+            node_count=counters.nodes,
+            lp_calls=counters.lp_calls,
+        )
+
+    gap = search.current_gap()
+    proven = (not search.hit_limit and not search.open_nodes()) or gap <= _PROOF_GAP
+    status = SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE
+    values = {
+        var: _snap(float(search.incumbent_x[var.index]), var.var_type)
         for var in model.variables
     }
-    sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0
-    status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
     return Solution(
         status=status,
-        objective=sign * best_objective,
-        values=values_by_var,
+        objective=sign * search.incumbent_obj,
+        values=values,
         runtime_seconds=elapsed,
-        message="branch-and-bound",
+        message=_message(counters, search, elapsed),
+        best_bound=sign * dual,
+        mip_gap=gap,
+        node_count=counters.nodes,
+        lp_calls=counters.lp_calls,
     )
+
+
+def _message(counters: "_Counters", search: "_Search", elapsed: float) -> str:
+    parts = [
+        "branch-and-bound:",
+        f"{counters.nodes} nodes,",
+        f"{counters.lp_calls} LPs",
+    ]
+    if counters.incumbent_seconds is not None:
+        parts.append(f"first incumbent after {counters.incumbent_seconds:.2f}s")
+    if search.hit_limit:
+        parts.append("(time limit)")
+    return " ".join(parts)
+
+
+class _Counters:
+    __slots__ = ("nodes", "lp_calls", "incumbent_seconds", "started")
+
+    def __init__(self):
+        self.nodes = 0
+        self.lp_calls = 0
+        self.incumbent_seconds: float | None = None
+        self.started = time.perf_counter()
+
+    def found_incumbent(self) -> None:
+        if self.incumbent_seconds is None:
+            self.incumbent_seconds = time.perf_counter() - self.started
+
+
+class _Search:
+    """Best-first search state: heap, incumbent, pseudo-costs."""
+
+    def __init__(self, problem, integral, counters, deadline, mip_gap):
+        self.problem = problem
+        self.integral = integral
+        self.integral_indices = np.nonzero(integral)[0]
+        self.counters = counters
+        self.deadline = deadline
+        self.mip_gap = mip_gap
+        self.hit_limit = False
+        self.incumbent_obj = math.inf
+        self.incumbent_x: np.ndarray | None = None
+        #: (bound, -seq, chain, branch_info); chain is a parent-linked
+        #: tuple (parent_chain, idx, lower, upper) or None at the root.
+        self.heap: list = []
+        self.seq = 0
+        self.root_bound = -math.inf
+        self.popped_bound = -math.inf
+        n = len(integral)
+        self.pc_down_sum = np.zeros(n)
+        self.pc_down_cnt = np.zeros(n, dtype=np.int64)
+        self.pc_up_sum = np.zeros(n)
+        self.pc_up_cnt = np.zeros(n, dtype=np.int64)
+
+    # -- time/gap accounting -------------------------------------------
+
+    def _out_of_time(self) -> bool:
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            self.hit_limit = True
+            return True
+        return False
+
+    def open_nodes(self) -> bool:
+        return bool(self.heap)
+
+    def dual_bound(self) -> float:
+        """Global lower bound (internal minimize sense)."""
+        if self.heap:
+            return max(self.heap[0][0], self.popped_bound, self.root_bound)
+        if self.incumbent_x is not None and not self.hit_limit:
+            return self.incumbent_obj
+        return max(self.popped_bound, self.root_bound)
+
+    def current_gap(self) -> float:
+        if self.incumbent_x is None:
+            return math.inf
+        dual = self.dual_bound()
+        if not math.isfinite(dual):
+            return math.inf
+        return max(0.0, self.incumbent_obj - dual) / max(1.0, abs(self.incumbent_obj))
+
+    def _gap_reached(self) -> bool:
+        return self.mip_gap is not None and self.current_gap() <= self.mip_gap
+
+    def _cutoff(self) -> float:
+        """Nodes with bound above this cannot improve the incumbent."""
+        slack = 1e-9
+        if self.mip_gap is not None and self.incumbent_x is not None:
+            slack = max(slack, self.mip_gap * max(1.0, abs(self.incumbent_obj)))
+        return self.incumbent_obj - slack
+
+    # -- bound chains ---------------------------------------------------
+
+    def _materialize(self, chain):
+        lower = self.problem.base_lower.copy()
+        upper = self.problem.base_upper.copy()
+        changes = []
+        while chain is not None:
+            chain, idx, lo, hi = chain
+            changes.append((idx, lo, hi))
+        for idx, lo, hi in reversed(changes):
+            if lo is not None and lo > lower[idx]:
+                lower[idx] = lo
+            if hi is not None and hi < upper[idx]:
+                upper[idx] = hi
+        return lower, upper
+
+    def _push(self, bound, chain, branch_info):
+        self.seq += 1
+        heapq.heappush(self.heap, (bound, -self.seq, chain, branch_info))
+
+    # -- LP and heuristics ---------------------------------------------
+
+    def _solve_lp(self, lower, upper):
+        self.counters.lp_calls += 1
+        return self.problem.solve_relaxation_bounds(lower, upper)
+
+    def _fractional(self, x):
+        """(index, fractional part) pairs of non-integral variables."""
+        xi = x[self.integral_indices]
+        frac = xi - np.round(xi)
+        mask = np.abs(frac) > _INTEGRALITY_TOL
+        return self.integral_indices[mask], xi[mask] - np.floor(xi[mask])
+
+    def _accept(self, objective, x):
+        if objective < self.incumbent_obj - 1e-12:
+            self.incumbent_obj = objective
+            self.incumbent_x = x
+            self.counters.found_incumbent()
+
+    def _dive(self, lower, upper, x):
+        """LP-guided rounding descent from a node relaxation.
+
+        Pinning variables whose LP value is already integral keeps the
+        current LP point feasible, so only the fix of the fractional
+        target can fail; when it does, the opposite rounding is tried
+        once before the dive is abandoned.
+        """
+        lower = lower.copy()
+        upper = upper.copy()
+        lps = 0
+        while lps < _DIVE_MAX_LPS:
+            if self._out_of_time():
+                return
+            indices, fracs = self._fractional(x)
+            if len(indices) == 0:
+                objective = float(self.problem.cost @ x)
+                self._accept(objective, x)
+                return
+            # Pin every integral variable already at an integer value.
+            near = self.integral_indices[
+                np.abs(
+                    x[self.integral_indices] - np.round(x[self.integral_indices])
+                )
+                <= _INTEGRALITY_TOL
+            ]
+            rounded = np.round(x[near])
+            lower[near] = np.maximum(lower[near], rounded)
+            upper[near] = np.minimum(upper[near], rounded)
+            if np.any(lower > upper):
+                return
+            # Fix the most fractional variable: nearest integer first,
+            # the other side as a one-level backtrack.
+            pick = int(np.argmax(np.minimum(fracs, 1.0 - fracs)))
+            target = int(indices[pick])
+            nearest = float(np.round(x[target]))
+            other = nearest + 1.0 if nearest < x[target] else nearest - 1.0
+            solved = None
+            for value in (nearest, other):
+                if value < lower[target] or value > upper[target]:
+                    continue
+                saved = (lower[target], upper[target])
+                lower[target] = upper[target] = value
+                solved = self._solve_lp(lower, upper)
+                lps += 1
+                if solved is not None and solved[0] < self._cutoff():
+                    break
+                lower[target], upper[target] = saved
+                solved = None
+            if solved is None:
+                return
+            _, x = solved
+
+    def _fix_and_propagate(self, x):
+        """Primal heuristic: fix integral variables one by one in LP
+        confidence order, propagating bound implications through the
+        rows after each fix (no LPs), with a one-level backtrack to the
+        opposite value on conflict.  One final LP assigns the
+        continuous variables.  The one-hot equality rows of the paper's
+        formulation propagate strongly, which is what makes this land
+        feasible packings where pure LP rounding dives stall.
+        """
+        prop = self.problem.propagator(self.integral)
+        prop.visits = 0
+        lower = self.problem.base_lower.copy()
+        upper = self.problem.base_upper.copy()
+        xi = x[self.integral_indices]
+        frac = np.abs(xi - np.round(xi))
+        order = self.integral_indices[np.argsort(frac, kind="stable")]
+        for j in order:
+            j = int(j)
+            if self._out_of_time() or prop.visits > _PROPAGATE_MAX_ROWS:
+                return
+            if lower[j] >= upper[j] - _INTEGRALITY_TOL:
+                continue  # already decided by propagation
+            value = float(np.round(x[j]))
+            value = min(max(value, math.ceil(lower[j] - _INTEGRALITY_TOL)),
+                        math.floor(upper[j] + _INTEGRALITY_TOL))
+            snap_lower = lower.copy()
+            snap_upper = upper.copy()
+            lower[j] = upper[j] = value
+            if prop.propagate(lower, upper, (j,)):
+                continue
+            lower[:] = snap_lower
+            upper[:] = snap_upper
+            other = value + 1.0 if x[j] > value else value - 1.0
+            if other < lower[j] or other > upper[j]:
+                return
+            lower[j] = upper[j] = other
+            if not prop.propagate(lower, upper, (j,)):
+                return
+        solved = self._solve_lp(lower, upper)
+        if solved is None:
+            return
+        objective, xf = solved
+        indices, _ = self._fractional(xf)
+        if len(indices) == 0:
+            self._accept(objective, xf)
+
+    # -- pseudo-cost branching -----------------------------------------
+
+    def _record_pseudo_cost(self, branch_info, objective):
+        if branch_info is None:
+            return
+        idx, direction, parent_obj, frac = branch_info
+        unit = frac if direction == 0 else 1.0 - frac
+        if unit <= 1e-9:
+            return
+        per_unit = max(0.0, objective - parent_obj) / unit
+        if direction == 0:
+            self.pc_down_sum[idx] += per_unit
+            self.pc_down_cnt[idx] += 1
+        else:
+            self.pc_up_sum[idx] += per_unit
+            self.pc_up_cnt[idx] += 1
+
+    def _select_branch(self, indices, fracs):
+        total_cnt = int(self.pc_down_cnt.sum() + self.pc_up_cnt.sum())
+        if total_cnt == 0:
+            pick = int(np.argmax(np.minimum(fracs, 1.0 - fracs)))
+            return indices[pick], pick
+        total_sum = float(self.pc_down_sum.sum() + self.pc_up_sum.sum())
+        default = total_sum / total_cnt if total_cnt else 1.0
+        down_cnt = self.pc_down_cnt[indices]
+        up_cnt = self.pc_up_cnt[indices]
+        down = np.where(
+            down_cnt > 0,
+            self.pc_down_sum[indices] / np.maximum(down_cnt, 1),
+            default,
+        )
+        up = np.where(
+            up_cnt > 0, self.pc_up_sum[indices] / np.maximum(up_cnt, 1), default
+        )
+        score = np.maximum(down * fracs, 1e-6) * np.maximum(
+            up * (1.0 - fracs), 1e-6
+        )
+        pick = int(np.argmax(score))
+        return indices[pick], pick
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> None:
+        if self._out_of_time():
+            return
+        root = self._solve_lp(self.problem.base_lower, self.problem.base_upper)
+        if root is None:
+            return  # LP infeasible => MILP infeasible
+        objective, x = root
+        self.root_bound = objective
+        self._process(objective, x, None, dive=True)
+        while self.heap:
+            if self._out_of_time() or self._gap_reached():
+                return
+            bound, _, chain, branch_info = heapq.heappop(self.heap)
+            self.popped_bound = max(self.popped_bound, bound)
+            if bound >= self._cutoff():
+                continue
+            lower, upper = self._materialize(chain)
+            if np.any(lower > upper):
+                continue
+            solved = self._solve_lp(lower, upper)
+            self.counters.nodes += 1
+            if solved is None:
+                continue
+            objective, x = solved
+            self._record_pseudo_cost(branch_info, objective)
+            if objective >= self._cutoff():
+                continue
+            self._process(objective, x, chain, dive=self.incumbent_x is None)
+
+    def _process(self, objective, x, chain, dive: bool) -> None:
+        """Branch on a solved relaxation (or accept it as incumbent)."""
+        indices, fracs = self._fractional(x)
+        if len(indices) == 0:
+            self._accept(objective, x)
+            return
+        if dive:
+            if chain is None and self.incumbent_x is None:
+                self._fix_and_propagate(x)
+            lower, upper = self._materialize(chain)
+            self._dive(lower, upper, x)
+        idx, pick = self._select_branch(indices, fracs)
+        frac = float(fracs[pick])
+        floor_val = math.floor(x[idx] + _INTEGRALITY_TOL)
+        down = (chain, int(idx), None, float(floor_val))
+        up = (chain, int(idx), float(floor_val + 1), None)
+        self._push(objective, down, (int(idx), 0, objective, frac))
+        self._push(objective, up, (int(idx), 1, objective, frac))
 
 
 def _snap(value: float, var_type: VarType) -> float:
@@ -103,17 +446,16 @@ def _snap(value: float, var_type: VarType) -> float:
     return float(round(value))
 
 
-def _most_fractional(values: np.ndarray, integral_indices: list[int]) -> int | None:
-    """The integral variable farthest from an integer, or None if all
-    integral variables are (numerically) integer-valued."""
-    best_index = None
-    best_distance = _INTEGRALITY_TOL
-    for index in integral_indices:
-        distance = abs(values[index] - round(values[index]))
-        if distance > best_distance:
-            best_distance = distance
-            best_index = index
-    return best_index
+def _standard_form(model: MilpModel) -> "_StandardForm":
+    """The model's scipy arrays, cached on the model instance so
+    portfolio rungs re-solving one formulation convert it only once."""
+    key = (model.num_variables, model.num_constraints)
+    cached = model.__dict__.get("_standard_form_cache")
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    form = _StandardForm(model)
+    model.__dict__["_standard_form_cache"] = (key, form)
+    return form
 
 
 class _StandardForm:
@@ -143,21 +485,13 @@ class _StandardForm:
         self.a_ub, self.b_ub = _to_sparse(ub_rows, num_vars)
         self.a_eq, self.b_eq = _to_sparse(eq_rows, num_vars)
 
-    def solve_relaxation(
-        self, lower_over: dict[int, float], upper_over: dict[int, float]
+    def solve_relaxation_bounds(
+        self, lower: np.ndarray, upper: np.ndarray
     ) -> tuple[float, np.ndarray] | None:
-        """LP relaxation under branching bound overrides.
+        """LP relaxation under explicit bound arrays.
 
         Returns (objective, values) or None when infeasible.
         """
-        lower = self.base_lower.copy()
-        upper = self.base_upper.copy()
-        for index, bound in lower_over.items():
-            lower[index] = max(lower[index], bound)
-        for index, bound in upper_over.items():
-            upper[index] = min(upper[index], bound)
-        if np.any(lower > upper):
-            return None
         result = linprog(
             c=self.cost,
             A_ub=self.a_ub,
@@ -170,6 +504,132 @@ class _StandardForm:
         if not result.success:
             return None
         return float(result.fun), result.x
+
+    def propagator(self, integral: np.ndarray) -> "_Propagator":
+        """Row-propagation helper, built once per standard form."""
+        cached = getattr(self, "_propagator", None)
+        if cached is None:
+            cached = _Propagator(self, integral)
+            self._propagator = cached
+        return cached
+
+    def solve_relaxation(
+        self, lower_over: dict[int, float], upper_over: dict[int, float]
+    ) -> tuple[float, np.ndarray] | None:
+        """LP relaxation under branching bound overrides (dict form,
+        kept for tests and external callers)."""
+        lower = self.base_lower.copy()
+        upper = self.base_upper.copy()
+        for index, bound in lower_over.items():
+            lower[index] = max(lower[index], bound)
+        for index, bound in upper_over.items():
+            upper[index] = min(upper[index], bound)
+        if np.any(lower > upper):
+            return None
+        return self.solve_relaxation_bounds(lower, upper)
+
+
+class _Propagator:
+    """Activity-based bound propagation over the standard-form rows.
+
+    Used by the fix-and-propagate primal heuristic: after a variable is
+    fixed, the rows it appears in may imply bounds on its neighbours,
+    which cascade through their rows in turn.  All tightening happens
+    in place on the caller's bound arrays; a return of ``False`` means
+    a row became unsatisfiable (proven conflict under the fixes).
+    """
+
+    def __init__(self, form: _StandardForm, integral: np.ndarray):
+        self.is_int = integral
+        #: (indices, coefficients, rhs, is_equality) per non-empty row.
+        self.rows: list[tuple[np.ndarray, np.ndarray, float, bool]] = []
+        for matrix, rhs_vec, eq in (
+            (form.a_ub, form.b_ub, False),
+            (form.a_eq, form.b_eq, True),
+        ):
+            if matrix is None:
+                continue
+            csr = matrix.tocsr()
+            for row in range(csr.shape[0]):
+                start, end = csr.indptr[row], csr.indptr[row + 1]
+                if start == end:
+                    continue
+                self.rows.append(
+                    (
+                        csr.indices[start:end].astype(np.int64),
+                        csr.data[start:end].copy(),
+                        float(rhs_vec[row]),
+                        eq,
+                    )
+                )
+        self.var_rows: dict[int, list[int]] = {}
+        for row_id, (idx, _, _, _) in enumerate(self.rows):
+            for j in idx:
+                self.var_rows.setdefault(int(j), []).append(row_id)
+        #: Row visits consumed; reset by the caller per heuristic run.
+        self.visits = 0
+
+    def propagate(self, lower, upper, seeds) -> bool:
+        """Fixpoint propagation from the changed variables ``seeds``.
+
+        Returns False on a proven conflict, True otherwise (including
+        when the visit budget runs out — propagation only prunes, so
+        stopping early is always safe).
+        """
+        pending: deque[int] = deque()
+        queued: set[int] = set()
+
+        def enqueue(var: int) -> None:
+            for row_id in self.var_rows.get(var, ()):
+                if row_id not in queued:
+                    queued.add(row_id)
+                    pending.append(row_id)
+
+        for seed in seeds:
+            enqueue(int(seed))
+        while pending:
+            if self.visits > _PROPAGATE_MAX_ROWS:
+                return True
+            self.visits += 1
+            row_id = pending.popleft()
+            queued.discard(row_id)
+            idx, coefs, rhs, eq = self.rows[row_id]
+            changed = self._le_pass(idx, coefs, rhs, lower, upper)
+            if changed is None:
+                return False
+            if eq:
+                more = self._le_pass(idx, -coefs, -rhs, lower, upper)
+                if more is None:
+                    return False
+                changed = np.concatenate([changed, more])
+            for j in changed:
+                enqueue(int(j))
+        return True
+
+    def _le_pass(self, idx, a, rhs, lower, upper):
+        """One ``a @ x <= rhs`` propagation pass; None means conflict."""
+        lo = lower[idx]
+        hi = upper[idx]
+        contrib = np.where(a > 0, a * lo, a * hi)
+        min_sum = contrib.sum()
+        if not np.isfinite(min_sum):
+            return idx[:0]  # unbounded activity: nothing to conclude
+        if min_sum > rhs + 1e-7:
+            return None
+        candidate = (rhs - (min_sum - contrib)) / a
+        ints = self.is_int[idx]
+        positive = a > 0
+        ub_cand = np.where(ints, np.floor(candidate + _INTEGRALITY_TOL), candidate)
+        ub_mask = positive & (ub_cand < hi - 1e-7)
+        lb_cand = np.where(ints, np.ceil(candidate - _INTEGRALITY_TOL), candidate)
+        lb_mask = (~positive) & (lb_cand > lo + 1e-7)
+        if not ub_mask.any() and not lb_mask.any():
+            return idx[:0]
+        upper[idx[ub_mask]] = ub_cand[ub_mask]
+        lower[idx[lb_mask]] = lb_cand[lb_mask]
+        if np.any(lower[idx] > upper[idx] + 1e-7):
+            return None
+        return idx[ub_mask | lb_mask]
 
 
 def _to_sparse(rows, num_vars):

@@ -10,11 +10,12 @@ indicator (big-M) constraints.
 
 from __future__ import annotations
 
+import logging
 import math
 from collections.abc import Iterable, Sequence
 
 from repro.milp.expr import Constraint, LinExpr, Sense, Var, VarType, lin_sum
-from repro.milp.result import Solution
+from repro.milp.result import Solution, SolveStatus
 
 __all__ = ["MilpModel", "ObjectiveSense"]
 
@@ -229,25 +230,53 @@ class MilpModel:
         backend: str = "highs",
         time_limit_seconds: float | None = None,
         mip_gap: float | None = None,
+        presolve: bool = True,
     ) -> Solution:
         """Solve the model.
 
         Args:
             backend: ``"highs"`` (scipy/HiGHS, default) or ``"bnb"``
                 (pure-Python branch and bound; small models only).
-            time_limit_seconds: Optional wall-clock limit.  HiGHS
-                returns its incumbent as ``FEASIBLE`` when it hits it.
+            time_limit_seconds: Optional wall-clock limit.  Both
+                backends return their incumbent as ``FEASIBLE`` when
+                they hit it, or ``TIMEOUT`` when none was found.
             mip_gap: Optional relative MIP gap at which to stop.
+            presolve: Run the answer-preserving presolve pass
+                (:mod:`repro.milp.presolve`) and solve the reduced
+                model; the returned solution is always expressed over
+                this model's variables.
         """
+        if backend not in ("highs", "bnb"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if presolve:
+            from repro.milp.presolve import presolve_model
+
+            presolved = presolve_model(self)
+            logging.getLogger("repro.milp.presolve").info(
+                "%s | %s", self.stats(), presolved.stats.summary()
+            )
+            if presolved.infeasible:
+                return Solution(
+                    status=SolveStatus.INFEASIBLE,
+                    runtime_seconds=presolved.stats.seconds,
+                    message="presolve: proven infeasible",
+                )
+            if presolved.reduced.num_variables == 0:
+                return presolved.trivial_solution()
+            inner = presolved.reduced.solve(
+                backend=backend,
+                time_limit_seconds=time_limit_seconds,
+                mip_gap=mip_gap,
+                presolve=False,
+            )
+            return presolved.restore(inner)
         if backend == "highs":
             from repro.milp.scipy_backend import solve_with_highs
 
             return solve_with_highs(self, time_limit_seconds, mip_gap)
-        if backend == "bnb":
-            from repro.milp.branch_and_bound import solve_with_branch_and_bound
+        from repro.milp.branch_and_bound import solve_with_branch_and_bound
 
-            return solve_with_branch_and_bound(self, time_limit_seconds)
-        raise ValueError(f"unknown backend {backend!r}")
+        return solve_with_branch_and_bound(self, time_limit_seconds, mip_gap)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -17,6 +17,7 @@ class SolveStatus(enum.Enum):
     FEASIBLE = "feasible"  # stopped early (time limit) with an incumbent
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"  # time limit expired before any incumbent was found
     ERROR = "error"
 
     @property
@@ -35,6 +36,14 @@ class Solution:
             solution was found).
         runtime_seconds: Wall-clock solve time.
         message: Backend-specific diagnostic text.
+        best_bound: Proven dual bound on the objective in the model's
+            optimization sense (None when the backend reports none).
+        mip_gap: Achieved relative gap ``|objective - best_bound| /
+            max(1, |objective|)`` at termination (None when unknown).
+        node_count: Branch-and-bound nodes processed (0 when the
+            backend does not report it).
+        lp_calls: LP relaxations solved, including primal-heuristic
+            dives (pure-Python B&B only; 0 elsewhere).
     """
 
     status: SolveStatus
@@ -42,6 +51,10 @@ class Solution:
     values: dict[Var, float] = field(default_factory=dict)
     runtime_seconds: float = 0.0
     message: str = ""
+    best_bound: float | None = None
+    mip_gap: float | None = None
+    node_count: int = 0
+    lp_calls: int = 0
 
     def __getitem__(self, var: Var) -> float:
         return self.values[var]

@@ -66,20 +66,48 @@ def solve_with_highs(
     elapsed = time.perf_counter() - start
 
     status = _map_status(result.status, result.x is not None)
+    best_bound, gap, nodes = _solver_stats(result, sign)
     if not status.has_solution:
         return Solution(
-            status=status, runtime_seconds=elapsed, message=str(result.message)
+            status=status,
+            runtime_seconds=elapsed,
+            message=str(result.message),
+            best_bound=best_bound,
+            node_count=nodes,
         )
 
     values = {var: float(result.x[var.index]) for var in model.variables}
     objective = sign * float(result.fun) if result.fun is not None else 0.0
+    if status is SolveStatus.OPTIMAL and best_bound is None:
+        best_bound = objective
+        gap = 0.0
     return Solution(
         status=status,
         objective=objective,
         values=values,
         runtime_seconds=elapsed,
         message=str(result.message),
+        best_bound=best_bound,
+        mip_gap=gap,
+        node_count=nodes,
     )
+
+
+def _solver_stats(result, sign: float):
+    """(best_bound, mip_gap, node_count) from a scipy milp result.
+
+    The attributes only exist on MILP (not pure-LP) results and on
+    sufficiently recent scipy versions, hence the defensive getattr.
+    The dual bound is reported in the internal minimize sense and is
+    mapped back through ``sign`` like the objective.
+    """
+    dual = getattr(result, "mip_dual_bound", None)
+    gap = getattr(result, "mip_gap", None)
+    nodes = getattr(result, "mip_node_count", None)
+    best_bound = sign * float(dual) if dual is not None and np.isfinite(dual) else None
+    mip_gap = float(gap) if gap is not None and np.isfinite(gap) else None
+    node_count = int(nodes) if nodes is not None else 0
+    return best_bound, mip_gap, node_count
 
 
 def _build_constraint_matrix(model: MilpModel, num_vars: int):
@@ -116,7 +144,7 @@ def _map_status(code: int, has_incumbent: bool) -> SolveStatus:
     if code == _STATUS_OPTIMAL:
         return SolveStatus.OPTIMAL
     if code == _STATUS_LIMIT:
-        return SolveStatus.FEASIBLE if has_incumbent else SolveStatus.ERROR
+        return SolveStatus.FEASIBLE if has_incumbent else SolveStatus.TIMEOUT
     if code == _STATUS_INFEASIBLE:
         return SolveStatus.INFEASIBLE
     if code == _STATUS_UNBOUNDED:

@@ -1,0 +1,42 @@
+"""Performance benchmarking: tracked microbenchmarks of the solver and
+simulator hot paths (``letdma bench``).
+
+:mod:`repro.perf.bench` defines the deterministic scenarios and runs
+them; :mod:`repro.perf.baseline` persists sessions as
+``BENCH_<rev>.json`` files and compares them against the tracked
+baseline for regression detection.  See ``docs/performance.md``.
+"""
+
+from repro.perf.baseline import (
+    BENCH_SCHEMA_VERSION,
+    Comparison,
+    compare_benchmarks,
+    default_baseline_path,
+    load_benchmark,
+    render_comparison,
+    save_benchmark,
+    to_benchmark_dict,
+)
+from repro.perf.bench import (
+    SCENARIOS,
+    BenchResult,
+    BenchScenario,
+    run_benchmarks,
+    scenario_names,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchResult",
+    "BenchScenario",
+    "Comparison",
+    "SCENARIOS",
+    "compare_benchmarks",
+    "default_baseline_path",
+    "load_benchmark",
+    "render_comparison",
+    "run_benchmarks",
+    "save_benchmark",
+    "scenario_names",
+    "to_benchmark_dict",
+]

@@ -1,0 +1,264 @@
+"""Microbenchmark scenarios for the solver and simulator hot paths.
+
+Each scenario measures one stage in isolation — model construction,
+presolve, a backend solve, or a simulation trace — and reports its
+wall time together with stage-specific counters (branch-and-bound
+nodes, LP calls, presolve reductions, simulated jobs).  Scenarios are
+deterministic: fixed workload seeds, fixed solver budgets.
+
+``run_benchmarks`` executes a selection ``repeat`` times each and
+keeps the *minimum* wall time per scenario (the standard estimator for
+microbenchmarks: noise is strictly additive).  The result feeds
+:mod:`repro.perf.baseline` for regression tracking and the ``letdma
+bench`` command.
+
+Scenarios marked ``quick`` form the CI smoke subset; the rest are
+sized for the nightly/full run (they include multi-second MILP
+solves).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+__all__ = [
+    "BenchResult",
+    "BenchScenario",
+    "SCENARIOS",
+    "run_benchmarks",
+    "scenario_names",
+]
+
+#: Wall-clock budget handed to every solver scenario.  Generous enough
+#: that all of them finish normally on current code; a scenario that
+#: hits it still reports (status shows up in the metrics).
+_SOLVE_BUDGET_SECONDS = 120.0
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One measurable stage.
+
+    Attributes:
+        name: Stable identifier (key in benchmark files).
+        description: One line shown by ``letdma bench --list``.
+        run: Callable returning the metric dict for one execution; its
+            ``wall_seconds`` entry is the measured time.
+        quick: Whether the scenario belongs to the CI smoke subset.
+    """
+
+    name: str
+    description: str
+    run: Callable[[], dict]
+    quick: bool = False
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Best-of-``repeat`` outcome of one scenario."""
+
+    name: str
+    wall_seconds: float
+    metrics: dict
+
+    def to_dict(self) -> dict:
+        return {"wall_seconds": self.wall_seconds, "metrics": self.metrics}
+
+
+# ----------------------------------------------------------------------
+# Workload builders (shared, deterministic)
+# ----------------------------------------------------------------------
+
+
+def _waters_formulation():
+    from repro.core.formulation import FormulationConfig, LetDmaFormulation, Objective
+    from repro.waters import waters_application
+
+    return LetDmaFormulation(
+        waters_application(),
+        FormulationConfig(objective=Objective.MIN_TRANSFERS),
+    )
+
+
+def _synthetic_formulation(num_tasks: int):
+    from repro.core.formulation import FormulationConfig, LetDmaFormulation, Objective
+    from repro.workloads import WorkloadSpec, generate_application
+
+    app = generate_application(
+        WorkloadSpec(
+            num_tasks=num_tasks,
+            num_cores=2,
+            communication_density=0.5,
+            seed=11,
+        )
+    )
+    return LetDmaFormulation(
+        app, FormulationConfig(objective=Objective.MIN_TRANSFERS)
+    )
+
+
+def _solve_metrics(solution, wall: float) -> dict:
+    return {
+        "wall_seconds": wall,
+        "status": solution.status.value,
+        "objective": solution.objective,
+        "best_bound": solution.best_bound,
+        "node_count": solution.node_count,
+        "lp_calls": solution.lp_calls,
+    }
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+
+
+def _bench_model_build() -> dict:
+    start = time.perf_counter()
+    formulation = _waters_formulation()
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "num_variables": formulation.model.num_variables,
+        "num_constraints": formulation.model.num_constraints,
+    }
+
+
+def _bench_presolve_waters() -> dict:
+    from repro.milp.presolve import presolve_model
+
+    model = _waters_formulation().model  # fresh model: cold presolve cache
+    start = time.perf_counter()
+    presolved = presolve_model(model)
+    wall = time.perf_counter() - start
+    stats = presolved.stats
+    return {
+        "wall_seconds": wall,
+        "cols_after": stats.cols_after,
+        "rows_after": stats.rows_after,
+        "binaries_fixed": stats.binaries_fixed,
+        "rows_dropped": stats.rows_dropped,
+        "coefficients_tightened": stats.coefficients_tightened,
+    }
+
+
+def _bench_solve(backend: str, num_tasks: int | None) -> dict:
+    formulation = (
+        _waters_formulation()
+        if num_tasks is None
+        else _synthetic_formulation(num_tasks)
+    )
+    start = time.perf_counter()
+    solution = formulation.model.solve(
+        backend=backend, time_limit_seconds=_SOLVE_BUDGET_SECONDS
+    )
+    return _solve_metrics(solution, time.perf_counter() - start)
+
+
+def _bench_sim_waters() -> dict:
+    from repro.core.heuristic import greedy_allocation
+    from repro.sim.engine import simulate
+    from repro.sim.timeline import proposed_timeline
+    from repro.waters import waters_application
+
+    app = waters_application()
+    result = greedy_allocation(app)
+    horizon = 5 * app.tasks.hyperperiod_us()
+    timeline = proposed_timeline(app, result, horizon)
+    start = time.perf_counter()
+    trace = simulate(app, timeline, horizon)
+    wall = time.perf_counter() - start
+    return {"wall_seconds": wall, "jobs": len(trace.jobs)}
+
+
+SCENARIOS: tuple[BenchScenario, ...] = (
+    BenchScenario(
+        name="model_build_waters",
+        description="Build the WATERS MIN_TRANSFERS formulation",
+        run=_bench_model_build,
+        quick=True,
+    ),
+    BenchScenario(
+        name="presolve_waters",
+        description="Presolve the WATERS model (cold cache)",
+        run=_bench_presolve_waters,
+        quick=True,
+    ),
+    BenchScenario(
+        name="solve_bnb_synth4",
+        description="Branch and bound on a 4-task waters-like instance",
+        run=lambda: _bench_solve("bnb", 4),
+        quick=True,
+    ),
+    BenchScenario(
+        name="solve_highs_synth4",
+        description="HiGHS on the same 4-task waters-like instance",
+        run=lambda: _bench_solve("highs", 4),
+        quick=True,
+    ),
+    BenchScenario(
+        name="sim_waters_5h",
+        description="Simulate WATERS (greedy allocation) over 5 hyperperiods",
+        run=_bench_sim_waters,
+        quick=True,
+    ),
+    BenchScenario(
+        name="solve_bnb_synth5",
+        description="Branch and bound on a 5-task waters-like instance",
+        run=lambda: _bench_solve("bnb", 5),
+    ),
+    BenchScenario(
+        name="solve_highs_waters",
+        description="HiGHS on the full WATERS model",
+        run=lambda: _bench_solve("highs", None),
+    ),
+)
+
+
+def scenario_names(quick_only: bool = False) -> list[str]:
+    return [s.name for s in SCENARIOS if s.quick or not quick_only]
+
+
+def run_benchmarks(
+    names: Iterable[str] | None = None,
+    quick_only: bool = False,
+    repeat: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run the selected scenarios and keep the best wall time of each.
+
+    Args:
+        names: Scenario names to run (default: all, subject to
+            ``quick_only``).  Unknown names raise ``ValueError``.
+        quick_only: Restrict the default selection to the CI smoke
+            subset.
+        repeat: Executions per scenario; the minimum wall time wins,
+            the other metrics come from the fastest execution.
+        progress: Optional callback invoked with a line per scenario.
+    """
+    by_name = {s.name: s for s in SCENARIOS}
+    if names is None:
+        selected = [s for s in SCENARIOS if s.quick or not quick_only]
+    else:
+        missing = [n for n in names if n not in by_name]
+        if missing:
+            raise ValueError(
+                f"unknown scenario(s) {missing}; known: {sorted(by_name)}"
+            )
+        selected = [by_name[n] for n in names]
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    results = []
+    for scenario in selected:
+        best: dict | None = None
+        for _ in range(repeat):
+            metrics = scenario.run()
+            if best is None or metrics["wall_seconds"] < best["wall_seconds"]:
+                best = metrics
+        wall = best.pop("wall_seconds")
+        results.append(BenchResult(scenario.name, wall, best))
+        if progress is not None:
+            progress(f"{scenario.name}: {wall:.3f} s")
+    return results

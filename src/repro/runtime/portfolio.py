@@ -2,7 +2,7 @@
 
 The exact MILP is the tool of choice, but on large instances it can
 exhaust its wall-clock budget without even an incumbent (HiGHS and the
-pure-Python branch and bound both report ``ERROR`` in that case).  A
+pure-Python branch and bound both report ``TIMEOUT`` in that case).  A
 portfolio runs a ladder of solvers and returns the first *usable*
 outcome instead of raising or handing back an empty result:
 
@@ -13,12 +13,22 @@ outcome instead of raising or handing back an empty result:
    always returns a feasible ordering (Properties 1 and 2 hold by
    construction; deadlines/Property 3 must be re-checked).
 
+A MILP rung may carry a ``-nopresolve`` suffix (``"highs-nopresolve"``)
+to skip the answer-preserving presolve pass — mainly used by the
+differential harness (:mod:`repro.check`) to cross-check presolve
+against the untouched model.
+
 A rung's outcome is accepted when it is ``OPTIMAL``, a ``FEASIBLE``
 incumbent, or a definitive ``INFEASIBLE``; the portfolio falls through
-on a time limit without incumbent, a backend error, or an exception.
-Every attempt is recorded on the returned result's ``fallback_chain``
-(and from there into run telemetry), so a degraded answer is always
-distinguishable from an exact one.
+on a time limit without incumbent (``TIMEOUT``), a backend error, or
+an exception.  Every attempt is recorded on the returned result's
+``fallback_chain`` (and from there into run telemetry), so a degraded
+answer is always distinguishable from an exact one.
+
+The formulation (MILP model, its presolve reduction, and the standard
+form arrays) is built once and shared by every MILP rung, so falling
+from ``highs`` to ``bnb`` does not pay the model-construction cost
+twice.
 
 Each rung receives the configured ``time_limit_seconds`` as its own
 budget; use :class:`repro.runtime.ExperimentRunner`'s per-job deadline
@@ -64,11 +74,12 @@ def solve_with_portfolio(
         raise ValueError("portfolio needs at least one rung")
     attempts: list[FallbackAttempt] = []
     result: AllocationResult | None = None
+    shared: dict[str, LetDmaFormulation] = {}
     for position, rung in enumerate(rungs):
         is_last = position == len(rungs) - 1
         start = time.perf_counter()
         try:
-            result = _run_rung(app, config, rung)
+            result = _run_rung(app, config, rung, shared)
         except Exception as exc:
             elapsed = time.perf_counter() - start
             attempts.append(
@@ -102,18 +113,36 @@ def solve_with_portfolio(
 
 
 def _run_rung(
-    app: Application, config: FormulationConfig, rung: str
+    app: Application,
+    config: FormulationConfig,
+    rung: str,
+    shared: dict[str, LetDmaFormulation],
 ) -> AllocationResult:
-    """Run one rung and return its raw result (exceptions propagate)."""
+    """Run one rung and return its raw result (exceptions propagate).
+
+    MILP rungs share one formulation instance (keyed in ``shared``) so
+    the model — and its cached presolve reduction and standard form —
+    is built only once per portfolio solve.
+    """
     if rung == "greedy":
         start = time.perf_counter()
         result = greedy_allocation(app)
         result.runtime_seconds = time.perf_counter() - start
         return result
-    return LetDmaFormulation(app, replace(config, backend=rung)).solve()
+    backend, _, variant = rung.partition("-")
+    if variant not in ("", "nopresolve"):
+        raise ValueError(f"unknown portfolio rung {rung!r}")
+    formulation = shared.get("formulation")
+    if formulation is None:
+        formulation = LetDmaFormulation(app, replace(config, backend=backend))
+        shared["formulation"] = formulation
+    presolve = config.presolve and variant != "nopresolve"
+    return formulation.solve(backend=backend, presolve=presolve)
 
 
 def _fail_reason(result: AllocationResult) -> str:
+    if result.status is SolveStatus.TIMEOUT:
+        return "time limit without an incumbent"
     if result.status is SolveStatus.ERROR:
-        return "no solution within the time limit"
+        return "backend error"
     return f"status {result.status.value}"

@@ -20,6 +20,9 @@ Schema (version 1), one object per line::
       "objective": float,
       "num_transfers": int,
       "mip_gap": float | null,        # requested relative gap
+      "best_bound": float | null,     # solver's proven dual bound
+      "mip_gap_achieved": float|null, # relative gap actually reached
+      "node_count": int,              # branch-and-bound nodes explored
       "wall_seconds": float,          # end-to-end, incl. cache/build
       "solver_seconds": float,        # backend-reported solve time
       "cached": bool,                 # served from the persistent cache
@@ -126,6 +129,9 @@ def build_solve_record(
         "objective": result.objective_value,
         "num_transfers": result.num_transfers,
         "mip_gap": mip_gap,
+        "best_bound": result.best_bound,
+        "mip_gap_achieved": result.mip_gap,
+        "node_count": result.node_count,
         "wall_seconds": wall_seconds,
         "solver_seconds": result.runtime_seconds,
         "cached": cached,

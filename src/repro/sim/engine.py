@@ -60,18 +60,28 @@ class SimulatorHooks:
 _COMPLETE, _BLACKOUT_END, _JOB_READY, _BLACKOUT_START = range(4)
 
 
-@dataclass
+@dataclass(eq=False)
 class _Job:
     record: JobRecord
     priority: int
     remaining_us: float
     core_id: str
+    done: bool = False
 
 
 @dataclass
 class _CoreState:
+    """Per-core scheduler state.
+
+    ``ready`` is a min-heap of ``(priority, release_us, seq, job)``
+    entries covering every admitted, uncompleted job of the core —
+    including the one currently running.  Completed jobs are only
+    marked ``done`` and popped lazily when they surface at the heap
+    top, so dispatch is O(log n) instead of a linear scan.
+    """
+
     blackout_depth: int = 0
-    ready: list[_Job] = field(default_factory=list)
+    ready: list[tuple[int, int, int, _Job]] = field(default_factory=list)
     running: _Job | None = None
     running_since: float = 0.0
     version: int = 0
@@ -93,7 +103,8 @@ class Simulator:
         self.record_execution = record_execution
         self.hooks = hooks
         self._result: SimulationResult | None = None
-        self.horizon_us = horizon_us or app.tasks.hyperperiod_us()
+        self._hyperperiod = app.tasks.hyperperiod_us()
+        self.horizon_us = horizon_us or self._hyperperiod
         self._sequence = itertools.count()
         self._events: list[tuple[float, int, int, object]] = []
         self._cores: dict[str, _CoreState] = {
@@ -106,17 +117,22 @@ class Simulator:
         result = SimulationResult(horizon_us=self.horizon_us)
         self._result = result
         self._seed_events(result)
-        now = 0.0
-        while self._events:
-            now, kind, _, payload = heapq.heappop(self._events)
+        events = self._events
+        heappop = heapq.heappop
+        on_complete = self._on_complete
+        on_blackout_end = self._on_blackout_end
+        on_job_ready = self._on_job_ready
+        on_blackout_start = self._on_blackout_start
+        while events:
+            now, kind, _, payload = heappop(events)
             if kind == _COMPLETE:
-                self._on_complete(now, payload)
+                on_complete(now, payload)
             elif kind == _BLACKOUT_END:
-                self._on_blackout_end(now, payload)
+                on_blackout_end(now, payload)
             elif kind == _JOB_READY:
-                self._on_job_ready(now, payload)
+                on_job_ready(now, payload)
             else:
-                self._on_blackout_start(now, payload)
+                on_blackout_start(now, payload)
         return result
 
     # ------------------------------------------------------------------
@@ -124,40 +140,76 @@ class Simulator:
     def _push(self, time: float, kind: int, payload: object) -> None:
         heapq.heappush(self._events, (time, kind, next(self._sequence), payload))
 
-    def _seed_events(self, result: SimulationResult) -> None:
-        for task in self.app.tasks:
-            for release in task.release_instants(self.horizon_us):
-                ready = self.timeline.ready_times.get(
-                    (task.name, release), float(release)
+    def _release_table(self, task) -> list[tuple[int, float]]:
+        """(release, ready) pairs of one task over the horizon.
+
+        Releases and their readiness offsets repeat every hyperperiod
+        (the timeline builders shift one base schedule), so the table
+        is computed for the first hyperperiod and tiled.  Instants the
+        timeline pins explicitly still win via the dictionary hit; a
+        timeline that only covers the first hyperperiod is extended
+        periodically instead of falling back to zero latency.
+        """
+        ready_times = self.timeline.ready_times
+        name = task.name
+        period = task.period_us
+        base_span = min(self._hyperperiod, self.horizon_us)
+        base = [
+            (release, ready_times.get((name, release), float(release)) - release)
+            for release in range(0, base_span, period)
+        ]
+        table = [(release, release + delta) for release, delta in base]
+        for cycle in range(self._hyperperiod, self.horizon_us, self._hyperperiod):
+            for offset, delta in base:
+                release = cycle + offset
+                if release >= self.horizon_us:
+                    break
+                table.append(
+                    (release, ready_times.get((name, release), release + delta))
                 )
-                wcet = task.wcet_us
-                if self.hooks is not None:
-                    ready = self.hooks.job_ready_us(task.name, release, ready)
-                    wcet = self.hooks.job_wcet_us(task.name, release, wcet)
+        return table
+
+    def _seed_events(self, result: SimulationResult) -> None:
+        events = self._events
+        sequence = self._sequence
+        hooks = self.hooks
+        jobs = result.jobs
+        for task in self.app.tasks:
+            name = task.name
+            priority = task.priority
+            core_id = task.core_id
+            wcet_us = task.wcet_us
+            deadline_us = task.deadline_us
+            for release, ready in self._release_table(task):
+                wcet = wcet_us
+                if hooks is not None:
+                    ready = hooks.job_ready_us(name, release, ready)
+                    wcet = hooks.job_wcet_us(name, release, wcet)
                 record = JobRecord(
-                    task=task.name,
+                    task=name,
                     release_us=release,
                     ready_us=ready,
-                    deadline_us=release + task.deadline_us,
+                    deadline_us=release + deadline_us,
                 )
-                result.jobs.append(record)
-                if self.hooks is not None and not self.hooks.admit_job(
-                    task.name, release, ready, record.deadline_us
+                jobs.append(record)
+                if hooks is not None and not hooks.admit_job(
+                    name, release, ready, record.deadline_us
                 ):
                     continue  # dropped: the record stays, completion never set
                 job = _Job(
                     record=record,
-                    priority=task.priority,
+                    priority=priority,
                     remaining_us=wcet,
-                    core_id=task.core_id,
+                    core_id=core_id,
                 )
-                self._push(ready, _JOB_READY, job)
+                events.append((ready, _JOB_READY, next(sequence), job))
         for core_id, intervals in self.timeline.blackouts.items():
             if core_id not in self._cores:
                 continue
             for start, end in intervals:
-                self._push(start, _BLACKOUT_START, core_id)
-                self._push(end, _BLACKOUT_END, core_id)
+                events.append((start, _BLACKOUT_START, next(sequence), core_id))
+                events.append((end, _BLACKOUT_END, next(sequence), core_id))
+        heapq.heapify(events)
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -165,7 +217,10 @@ class Simulator:
 
     def _on_job_ready(self, now: float, job: _Job) -> None:
         core = self._cores[job.core_id]
-        core.ready.append(job)
+        heapq.heappush(
+            core.ready,
+            (job.priority, job.record.release_us, next(self._sequence), job),
+        )
         self._reschedule(now, job.core_id)
 
     def _on_blackout_start(self, now: float, core_id: str) -> None:
@@ -186,7 +241,7 @@ class Simulator:
         self._record_segment(job, core.running_since, now)
         job.remaining_us = 0.0
         job.record.completion_us = now
-        core.ready.remove(job)
+        job.done = True  # popped lazily when it reaches the heap top
         core.running = None
         if self.hooks is not None:
             self.hooks.on_job_complete(job.record)
@@ -198,18 +253,24 @@ class Simulator:
 
     def _reschedule(self, now: float, core_id: str) -> None:
         core = self._cores[core_id]
+        running = core.running
         # Account progress of the job that ran until now.
-        if core.running is not None:
-            self._record_segment(core.running, core.running_since, now)
-            core.running.remaining_us -= now - core.running_since
-            core.running.remaining_us = max(core.running.remaining_us, 0.0)
+        if running is not None:
+            if self.record_execution:
+                self._record_segment(running, core.running_since, now)
+            remaining = running.remaining_us - (now - core.running_since)
+            running.remaining_us = remaining if remaining > 0.0 else 0.0
         next_job = None
-        if core.blackout_depth == 0 and core.ready:
-            next_job = min(
-                core.ready,
-                key=lambda job: (job.priority, job.record.release_us),
-            )
-        if next_job is core.running and next_job is not None:
+        if core.blackout_depth == 0:
+            ready = core.ready
+            while ready:
+                job = ready[0][3]
+                if job.done:
+                    heapq.heappop(ready)
+                else:
+                    next_job = job
+                    break
+        if next_job is running and next_job is not None:
             core.running_since = now
             return
         core.version += 1

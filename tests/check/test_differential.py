@@ -8,6 +8,7 @@ import pytest
 from repro.check import (
     DifferentialConfig,
     applicable_backends,
+    base_backend,
     check_instance,
     compare_runs,
     evaluate_metric,
@@ -152,3 +153,60 @@ class TestDisagreementDetection:
         )
         assert verdict.ok
         assert any("no verdict" in note for note in verdict.notes)
+
+
+class TestPresolveDifferential:
+    def test_effective_backends_expand_exact_variants(self):
+        config = DifferentialConfig(check_presolve=True)
+        assert config.effective_backends() == (
+            "highs",
+            "bnb",
+            "greedy",
+            "highs-nopresolve",
+            "bnb-nopresolve",
+        )
+
+    def test_disabled_by_default(self):
+        config = DifferentialConfig()
+        assert config.effective_backends() == config.backends
+
+    def test_base_backend_strips_variant_suffix(self):
+        assert base_backend("highs-nopresolve") == "highs"
+        assert base_backend("bnb") == "bnb"
+
+    def test_nopresolve_variant_inherits_the_bnb_gate(self, fig1_app):
+        config = DifferentialConfig(bnb_max_comms=2, check_presolve=True)
+        pairs = dict(applicable_backends(fig1_app, config))
+        assert pairs["bnb"]
+        assert pairs["bnb-nopresolve"]
+        assert not pairs["highs-nopresolve"]
+
+    def test_variants_agree_on_simple_app(self, simple_app):
+        verdict = check_instance(
+            simple_app,
+            DifferentialConfig(
+                backends=("highs",),
+                check_presolve=True,
+                time_limit_seconds=30,
+            ),
+        )
+        assert verdict.ok, verdict.disagreements
+        assert set(verdict.runs) == {"highs", "highs-nopresolve"}
+
+    def test_variant_contradiction_detected(self, solved_simple):
+        app, good = solved_simple
+        config = DifferentialConfig(
+            backends=("highs",), check_presolve=True
+        )
+        verdict = compare_runs(
+            app,
+            config,
+            {
+                "highs": good,
+                "highs-nopresolve": AllocationResult(
+                    status=SolveStatus.INFEASIBLE
+                ),
+            },
+        )
+        assert not verdict.ok
+        assert any("nopresolve" in d for d in verdict.disagreements)

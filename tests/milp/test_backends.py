@@ -95,16 +95,49 @@ class TestBnbSpecifics:
         solution = model.solve(backend="bnb")
         assert model.check_assignment(solution.values) == []
 
-    def test_time_limit_zero_reports_error_or_solution(self):
+    def test_time_limit_zero_reports_timeout_or_solution(self):
         # With a zero budget the solver may not finish any node; the
-        # status must never claim optimality falsely.
+        # status must never claim optimality falsely, and a budget
+        # exhausted without an incumbent is TIMEOUT rather than ERROR.
         model = build_knapsack(list(range(1, 10)), list(range(1, 10)), 20)
         solution = model.solve(backend="bnb", time_limit_seconds=0.0)
         assert solution.status in (
-            SolveStatus.ERROR,
+            SolveStatus.TIMEOUT,
             SolveStatus.FEASIBLE,
             SolveStatus.OPTIMAL,
         )
+
+
+class TestSolverStats:
+    def test_bnb_reports_proven_bound_at_optimality(self):
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        solution = model.solve(backend="bnb")
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.best_bound == pytest.approx(solution.objective)
+        assert solution.mip_gap == pytest.approx(0.0, abs=1e-6)
+        assert solution.lp_calls >= 1
+
+    def test_highs_reports_proven_bound_at_optimality(self):
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        solution = model.solve(backend="highs")
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.best_bound == pytest.approx(solution.objective)
+
+    def test_bnb_mip_gap_stops_with_a_feasible_incumbent(self):
+        # A 100% gap accepts any incumbent whose bound is within 2x;
+        # whatever is returned must still be a feasible assignment.
+        model = build_knapsack(list(range(1, 12)), list(range(1, 12)), 25)
+        solution = model.solve(backend="bnb", mip_gap=1.0)
+        assert solution.status in (SolveStatus.FEASIBLE, SolveStatus.OPTIMAL)
+        assert model.check_assignment(solution.values) == []
+
+    def test_timeout_without_incumbent_carries_no_values(self):
+        model = build_knapsack(list(range(1, 10)), list(range(1, 10)), 20)
+        solution = model.solve(
+            backend="bnb", time_limit_seconds=0.0, presolve=False
+        )
+        assert solution.status is SolveStatus.TIMEOUT
+        assert solution.values == {}
 
 
 class TestHighsSpecifics:

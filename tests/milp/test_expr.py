@@ -81,6 +81,50 @@ class TestLinSum:
         assert lin_sum([x, x, x]).terms == {x: 3.0}
 
 
+class TestEdgeCases:
+    def test_radd_scalar(self, xy):
+        x, _ = xy
+        expr = 3 + x
+        assert expr.terms == {x: 1.0}
+        assert expr.constant == 3.0
+
+    def test_rsub_of_expression(self, xy):
+        x, y = xy
+        expr = 5 - (x + 2 * y)
+        assert expr.terms == {x: -1.0, y: -2.0}
+        assert expr.constant == 5.0
+
+    def test_rmul_with_negative_scalar(self, xy):
+        x, y = xy
+        expr = -2 * (x - y + 1)
+        assert expr.terms == {x: -2.0, y: 2.0}
+        assert expr.constant == -2.0
+
+    def test_constant_only_expression(self):
+        expr = lin_sum([2, 3.5])
+        assert expr.terms == {}
+        assert expr.value({}) == pytest.approx(5.5)
+
+    def test_constant_only_constraint(self):
+        assert (lin_sum([1]) <= 2).is_satisfied({})
+        assert not (lin_sum([3]) <= 2).is_satisfied({})
+
+    def test_lin_sum_accepts_generator(self, xy):
+        x, y = xy
+        expr = lin_sum(2 * v for v in (x, y))
+        assert expr.terms == {x: 2.0, y: 2.0}
+
+    def test_lin_sum_rejects_bad_item(self):
+        with pytest.raises(TypeError):
+            lin_sum(["bad"])
+
+    def test_expression_minus_expression(self, xy):
+        x, y = xy
+        expr = (2 * x + 1) - (x + y + 4)
+        assert expr.terms == {x: 1.0, y: -1.0}
+        assert expr.constant == -3.0
+
+
 class TestConstraints:
     def test_le_folds_rhs(self, xy):
         x, y = xy

@@ -88,6 +88,64 @@ class TestWriteLp:
             assert re.match(r"^\s*\w+:\s.+(<=|>=|=)\s-?[\d.e+]+$", line), line
 
 
+_TERM = re.compile(r"([+-])\s+(?:([\d.]+(?:e[+-]?\d+)?)\s+)?([A-Za-z_]\w*)")
+_ROW = re.compile(r"^\s*\w+:\s*(.+?)\s(<=|>=|=)\s(-?[\d.e+]+)$")
+
+
+def _parse_terms(expr_text: str) -> dict[str, float]:
+    terms: dict[str, float] = {}
+    for sign, magnitude, name in _TERM.findall(expr_text):
+        coef = float(magnitude) if magnitude else 1.0
+        if sign == "-":
+            coef = -coef
+        terms[name] = terms.get(name, 0.0) + coef
+    return terms
+
+
+class TestSemanticRoundTrip:
+    def test_written_text_agrees_with_the_solved_model(self, model):
+        """Parse the exported LP back and evaluate it at the optimum.
+
+        The written objective must reproduce the solver's objective
+        value and every written constraint must hold at the solution —
+        a writer that drops, flips, or mis-scales a term fails here.
+        """
+        from repro.milp.lp_writer import _sanitize_names
+
+        solution = model.solve()
+        values = {
+            name: solution.values[var]
+            for var, name in _sanitize_names(model).items()
+        }
+        text = lp_string(model)
+
+        objective_text = (
+            text.split("Maximize")[1].split("Subject To")[0].split(":", 1)[1]
+        )
+        written_objective = sum(
+            coef * values[name]
+            for name, coef in _parse_terms(objective_text).items()
+        )
+        assert written_objective == pytest.approx(solution.objective)
+
+        body = text.split("Subject To")[1].split("Bounds")[0]
+        for line in body.strip().splitlines():
+            match = _ROW.match(line)
+            assert match, line
+            lhs, op, rhs_text = match.groups()
+            value = sum(
+                coef * values[name]
+                for name, coef in _parse_terms(lhs).items()
+            )
+            rhs = float(rhs_text)
+            if op == "<=":
+                assert value <= rhs + 1e-6, line
+            elif op == ">=":
+                assert value >= rhs - 1e-6, line
+            else:
+                assert value == pytest.approx(rhs), line
+
+
 class TestHighsAgreesWithExportedModel:
     def test_objective_unchanged_by_export(self, model):
         """Exporting must not mutate the model."""

@@ -1,0 +1,132 @@
+"""Tests for the answer-preserving MILP presolve pass."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import MilpModel, SolveStatus
+from repro.milp.presolve import pin_free_slots, presolve_model
+
+from tests.milp.test_backends import build_knapsack
+
+
+class TestReductions:
+    def test_forced_binary_chain_is_fixed(self):
+        # x >= 1 fixes x; x + y <= 1 then fixes y — the whole model
+        # collapses and the trivial solution is the optimum.
+        model = MilpModel("fix")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add(x >= 1)
+        model.add(x + y <= 1)
+        model.maximize(x + 2 * y)
+        presolved = presolve_model(model)
+        assert not presolved.infeasible
+        assert presolved.fixed[x.index] == 1.0
+        assert presolved.fixed[y.index] == 0.0
+        assert presolved.reduced.num_variables == 0
+        solution = presolved.trivial_solution()
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(1.0)
+        assert solution.mip_gap == pytest.approx(0.0)
+        assert solution.values[x] == 1.0
+
+    def test_infeasibility_proven_without_a_solve(self):
+        model = MilpModel("inf")
+        x = model.add_binary("x")
+        model.add(x >= 1)
+        model.add(x <= 0)
+        assert presolve_model(model).infeasible
+        assert model.solve(backend="bnb").status is SolveStatus.INFEASIBLE
+
+    def test_vacuous_row_dropped(self):
+        # x + y <= 5 is satisfied by the binary bounds alone.
+        model = MilpModel("red")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add(x + y <= 5, name="vacuous")
+        model.maximize(x + y)
+        presolved = presolve_model(model)
+        assert presolved.stats.rows_dropped >= 1
+
+    def test_restore_covers_every_original_variable(self):
+        model = build_knapsack([3, 4, 5], [4, 5, 6], 7)
+        solution = model.solve(backend="highs", presolve=True)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert set(solution.values) == set(model.variables)
+        assert model.check_assignment(solution.values) == []
+
+    def test_objective_offset_of_fixed_variables_restored(self):
+        # x is fixed to 1 by presolve; its 5.0 objective contribution
+        # must survive the round trip through the reduced model.
+        model = MilpModel("off")
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add(x >= 1)
+        model.add(x + 2 * y <= 3)
+        model.maximize(5 * x + y)
+        for backend in ("highs", "bnb"):
+            solution = model.solve(backend=backend, presolve=True)
+            assert solution.objective == pytest.approx(6.0)
+
+    def test_stats_account_for_the_reduction(self):
+        model = build_knapsack([2, 3, 4], [3, 4, 5], 6)
+        presolved = presolve_model(model)
+        stats = presolved.stats
+        assert stats.cols_before == model.num_variables
+        assert stats.rows_before == model.num_constraints
+        assert stats.cols_after <= stats.cols_before
+        assert stats.seconds >= 0.0
+        assert "presolve:" in stats.summary()
+
+
+class TestEquivalence:
+    @given(
+        weights=st.lists(
+            st.integers(min_value=1, max_value=20), min_size=1, max_size=8
+        ),
+        values_seed=st.lists(
+            st.integers(min_value=1, max_value=30), min_size=8, max_size=8
+        ),
+        capacity=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_presolve_preserves_the_optimum(
+        self, weights, values_seed, capacity
+    ):
+        values = values_seed[: len(weights)]
+        model = build_knapsack(weights, values, capacity)
+        with_presolve = model.solve(backend="highs", presolve=True)
+        without = model.solve(backend="highs", presolve=False)
+        assert with_presolve.status is SolveStatus.OPTIMAL
+        assert without.status is SolveStatus.OPTIMAL
+        assert with_presolve.objective == pytest.approx(without.objective)
+        assert model.check_assignment(with_presolve.values) == []
+
+
+class TestPinFreeSlots:
+    def test_pinning_preserves_the_optimum(self, simple_app):
+        from repro.core import FormulationConfig, LetDmaFormulation, Objective
+
+        config = FormulationConfig(
+            objective=Objective.MIN_TRANSFERS, symmetry_breaking=False
+        )
+        base = LetDmaFormulation(simple_app, config).solve()
+        pinned_formulation = LetDmaFormulation(simple_app, config)
+        pinned = pin_free_slots(pinned_formulation)
+        result = pinned_formulation.solve()
+        assert pinned >= 0
+        assert result.status == base.status
+        assert result.num_transfers == base.num_transfers
+
+    def test_pinning_respects_the_positional_base(self, simple_app):
+        # The positional encoding's slots live at 0..n-1 (no HEAD
+        # sentinel); pinning into the chain encoding's 1..n range used
+        # to make every positional model infeasible.
+        from repro.core import FormulationConfig, Objective
+        from repro.core.positional import PositionalLetDmaFormulation
+
+        result = PositionalLetDmaFormulation(
+            simple_app, FormulationConfig(objective=Objective.MIN_TRANSFERS)
+        ).solve()
+        assert result.feasible

@@ -1,0 +1,131 @@
+"""Tests for the benchmark scenarios, files, and baseline comparison."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA_VERSION,
+    SCENARIOS,
+    BenchResult,
+    compare_benchmarks,
+    load_benchmark,
+    render_comparison,
+    run_benchmarks,
+    save_benchmark,
+    scenario_names,
+    to_benchmark_dict,
+)
+
+
+def _document(walls: dict[str, float]) -> dict:
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "revision": "test",
+        "scenarios": {
+            name: {"wall_seconds": wall, "metrics": {}}
+            for name, wall in walls.items()
+        },
+    }
+
+
+class TestScenarios:
+    def test_names_are_unique(self):
+        names = scenario_names()
+        assert len(names) == len(set(names))
+
+    def test_quick_subset_is_a_subset(self):
+        quick = scenario_names(quick_only=True)
+        assert quick
+        assert set(quick) < set(scenario_names())
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_benchmarks(names=["nope"])
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeat"):
+            run_benchmarks(names=[SCENARIOS[0].name], repeat=0)
+
+    def test_cheapest_scenario_runs(self):
+        # solve_highs_synth4 is the fastest real scenario; one run
+        # keeps this a smoke test of the measurement loop itself.
+        lines = []
+        results = run_benchmarks(
+            names=["solve_highs_synth4"], repeat=1, progress=lines.append
+        )
+        (result,) = results
+        assert result.wall_seconds > 0.0
+        assert result.metrics["status"] == "optimal"
+        assert lines and "solve_highs_synth4" in lines[0]
+
+
+class TestBenchmarkFiles:
+    def test_round_trip(self, tmp_path):
+        document = to_benchmark_dict(
+            [BenchResult("s", 1.5, {"nodes": 3})], repeat=2
+        )
+        assert document["schema_version"] == BENCH_SCHEMA_VERSION
+        assert document["repeat"] == 2
+        path = save_benchmark(document, tmp_path / "BENCH_test.json")
+        loaded = load_benchmark(path)
+        assert loaded["scenarios"]["s"]["wall_seconds"] == 1.5
+        assert loaded["scenarios"]["s"]["metrics"] == {"nodes": 3}
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 999, "scenarios": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_benchmark(path)
+
+    def test_tracked_baseline_is_loadable(self):
+        # The committed baseline must stay consumable by --compare.
+        from repro.perf import default_baseline_path
+
+        path = default_baseline_path()
+        if not path.exists():
+            pytest.skip("no tracked baseline in this checkout")
+        document = load_benchmark(path)
+        assert set(document["scenarios"]) <= set(scenario_names())
+
+
+class TestComparison:
+    def test_within_threshold_passes(self):
+        rows = compare_benchmarks(
+            _document({"a": 1.2}), _document({"a": 1.0}), threshold=0.5
+        )
+        (row,) = rows
+        assert row.ratio == pytest.approx(1.2)
+        assert not row.regressed
+
+    def test_beyond_threshold_regresses(self):
+        rows = compare_benchmarks(
+            _document({"a": 1.6}), _document({"a": 1.0}), threshold=0.5
+        )
+        assert rows[0].regressed
+        assert "REGRESSED" in rows[0].note
+        assert "REGRESSED" in render_comparison(rows)
+
+    def test_one_sided_scenarios_never_regress(self):
+        rows = compare_benchmarks(
+            _document({"new": 9.0}), _document({"old": 0.001}), threshold=0.5
+        )
+        by_name = {row.name: row for row in rows}
+        assert not by_name["new"].regressed
+        assert by_name["new"].ratio is None
+        assert "no baseline" in by_name["new"].note
+        assert not by_name["old"].regressed
+        assert "missing" in by_name["old"].note
+
+    def test_baseline_order_first(self):
+        rows = compare_benchmarks(
+            _document({"x": 1.0, "z": 1.0}),
+            _document({"b": 1.0, "a": 1.0}),
+        )
+        assert [row.name for row in rows] == ["b", "a", "x", "z"]
+
+    def test_improvement_noted(self):
+        rows = compare_benchmarks(
+            _document({"a": 0.5}), _document({"a": 1.0})
+        )
+        assert "improved 2.00x" in rows[0].note

@@ -45,19 +45,20 @@ class TestDegradation:
             "bnb",
             "greedy",
         ]
-        assert result.fallback_chain[0].status == "error"
-        assert result.fallback_chain[1].status == "error"
-        assert result.fallback_chain[0].reason
+        assert result.fallback_chain[0].status == "timeout"
+        assert result.fallback_chain[1].status == "timeout"
+        assert "time limit" in result.fallback_chain[0].reason
 
     def test_greedy_fallback_is_feasible_layout(self, timeout_app, timeout_config):
         result = solve_with_portfolio(timeout_app, timeout_config)
         assert result.num_transfers >= 1
         assert result.layouts
 
-    def test_single_rung_keeps_error_verbatim(self, timeout_app, timeout_config):
-        # Direct-backend solves keep their non-raising ERROR contract.
+    def test_single_rung_keeps_timeout_verbatim(self, timeout_app, timeout_config):
+        # Direct-backend solves keep their non-raising contract: a
+        # time limit without an incumbent is TIMEOUT, not ERROR.
         result = solve_with_portfolio(timeout_app, timeout_config, rungs=("highs",))
-        assert result.status is SolveStatus.ERROR
+        assert result.status is SolveStatus.TIMEOUT
         assert result.backend == "highs"
         assert len(result.fallback_chain) == 1
 
