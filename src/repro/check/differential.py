@@ -23,6 +23,12 @@ applies the agreement rules:
   rung suffix), and the variants participate in the exact-vs-exact
   rules above.  A presolve reduction that changes a proven verdict or
   optimal objective is therefore caught as a plain disagreement.
+* **batch-simulation differential** (``check_batch_sim``): every
+  feasible allocation's proposed timeline is simulated over a small
+  WCET-variant grid by the vectorized batch engine
+  (:mod:`repro.sim.batch`) and every variant is replayed through the
+  scalar engine; the traces must be byte-identical.  A divergence is
+  a disagreement against the producing backend.
 
 Objectives are compared on *evaluated metrics* recomputed from the
 returned schedule (transfer counts, replayed latency ratios), never on
@@ -90,6 +96,9 @@ class DifferentialConfig:
             exact backend and cross-check it under the same rules, so
             a presolve bug that changes a proven verdict shows up as a
             disagreement.
+        check_batch_sim: Also simulate every feasible allocation's
+            proposed timeline over a small WCET-variant grid with the
+            batch engine and assert byte-identical scalar replays.
     """
 
     backends: tuple[str, ...] = ("highs", "bnb", "greedy")
@@ -98,6 +107,7 @@ class DifferentialConfig:
     mip_gap: float | None = None
     bnb_max_comms: int = 6
     check_presolve: bool = False
+    check_batch_sim: bool = False
 
     def effective_backends(self) -> tuple[str, ...]:
         """``backends`` plus nopresolve variants when requested."""
@@ -259,7 +269,58 @@ def compare_runs(
 
     _compare_exact_pairs(app, config, verdict)
     _compare_greedy(app, config, verdict)
+    if config.check_batch_sim:
+        _check_batch_sim(app, verdict)
     return verdict
+
+
+#: WCET scaling grid of the batch-simulation differential: nominal
+#: plus overloads mild enough to finish fast but harsh enough to
+#: exercise gap spanning and same-task chaining in the batch engine.
+_BATCH_SIM_FACTORS = (1.0, 1.1, 1.25, 1.5)
+
+
+def _check_batch_sim(app: Application, verdict: InstanceVerdict) -> None:
+    """Batch-vs-scalar simulation differential on feasible results."""
+    try:
+        import numpy as np
+
+        from repro.sim.batch import (
+            batch_supported,
+            build_job_table,
+            simulate_batch,
+            verify_batch_differential,
+        )
+    except ImportError:
+        verdict.notes.append("batch-sim check skipped: numpy unavailable")
+        return
+    if not batch_supported(app):
+        verdict.notes.append(
+            "batch-sim check skipped: shared per-core priorities "
+            "(every variant would use the scalar fallback)"
+        )
+        return
+    from repro.sim.timeline import proposed_timeline
+
+    horizon = app.tasks.hyperperiod_us()
+    table = build_job_table(app, horizon, horizon)
+    for backend, run in verdict.runs.items():
+        result = run.result
+        if result is None or not result.feasible:
+            continue
+        timeline = proposed_timeline(app, result, horizon)
+        wcet = np.stack(
+            [table.base_wcets_us * factor for factor in _BATCH_SIM_FACTORS]
+        )
+        batch = simulate_batch(app, timeline, horizon, wcet_us=wcet)
+        try:
+            verify_batch_differential(
+                app, timeline, batch, sample=len(_BATCH_SIM_FACTORS)
+            )
+        except AssertionError as exc:
+            verdict.disagreements.append(
+                f"{backend}: batch-sim differential: {exc}"
+            )
 
 
 def _compare_exact_pairs(

@@ -57,6 +57,9 @@ class FuzzConfig:
         bnb_max_comms: Size gate for the pure-Python branch and bound.
         check_presolve: Cross-check every exact backend against its
             ``-nopresolve`` variant (presolve differential).
+        check_batch_sim: Replay every feasible allocation through the
+            vectorized batch simulator and assert byte-identical
+            scalar traces (batch-simulation differential).
         telemetry: Optional JSONL sink (path or run directory).
         corpus_dir: Where shrunk reproducers are written; None disables
             writing (the failures are still reported).
@@ -76,6 +79,7 @@ class FuzzConfig:
     time_limit_seconds: float = 20.0
     bnb_max_comms: int = 6
     check_presolve: bool = False
+    check_batch_sim: bool = False
     telemetry: "str | None" = None
     corpus_dir: "str | Path | None" = None
     shrink: bool = True
@@ -203,6 +207,7 @@ def _differential_config(
         time_limit_seconds=config.time_limit_seconds,
         bnb_max_comms=config.bnb_max_comms,
         check_presolve=config.check_presolve,
+        check_batch_sim=config.check_batch_sim,
     )
 
 

@@ -264,6 +264,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run every exact backend without presolve and "
         "cross-check the variants (presolve differential)",
     )
+    p_fuzz.add_argument(
+        "--check-batch-sim",
+        action="store_true",
+        help="also replay every feasible allocation through the "
+        "vectorized batch simulator and assert byte-identical scalar "
+        "traces (batch-simulation differential)",
+    )
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -301,6 +308,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip grid points whose records already exist in --telemetry "
         "(continue a killed campaign)",
+    )
+    p_chaos.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="evaluate every grid point as an independent scalar "
+        "simulation instead of one vectorized batch per alpha "
+        "(slower; the results are identical)",
     )
     _add_common(p_chaos)
     _add_grid(p_chaos)
@@ -599,6 +613,7 @@ def main(argv: list[str] | None = None) -> int:
                     shrink=not args.no_shrink,
                     time_limit_seconds=args.time_limit,
                     check_presolve=args.check_presolve,
+                    check_batch_sim=args.check_batch_sim,
                 )
             )
         except KeyboardInterrupt:
@@ -631,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
                 telemetry=args.telemetry,
                 cache_dir=args.cache_dir,
                 resume=args.resume,
+                batch=not args.no_batch,
             )
         except KeyboardInterrupt:
             return _interrupted_exit("chaos", args.telemetry, resumable=True)

@@ -16,6 +16,10 @@ the :class:`repro.sim.dma_device.DmaTransferHook` shape:
   in LET semantics (stale-data fallback, fail-stop);
 * :mod:`repro.faults.report` — :func:`evaluate_robustness` and the
   :class:`RobustnessReport` (simulated misses + verifier diagnostics);
+* :mod:`repro.faults.streams` — counter-hash random streams shared by
+  the scalar injector and the vectorized grid tabulation;
+* :mod:`repro.faults.batch` — :func:`evaluate_robustness_batch`, whole
+  fault grids in one vectorized simulation;
 * :mod:`repro.faults.campaign` — ``letdma chaos`` grids through the
   self-healing :class:`~repro.runtime.ExperimentRunner`.
 
@@ -23,12 +27,15 @@ See ``docs/robustness.md`` for the full fault model and CLI guide.
 """
 
 from repro.faults.campaign import (
+    BatchChaosJob,
     ChaosConfig,
     ChaosJob,
+    ChaosVariant,
     chaos_grid,
     render_chaos_table,
     run_chaos,
 )
+from repro.faults.batch import BatchRobustnessOutcome, evaluate_robustness_batch
 from repro.faults.injector import FaultInjector
 from repro.faults.policies import (
     POLICIES,
@@ -57,7 +64,11 @@ __all__ = [
     "RobustnessReport",
     "degraded_application",
     "evaluate_robustness",
+    "evaluate_robustness_batch",
+    "BatchRobustnessOutcome",
     "ChaosJob",
+    "ChaosVariant",
+    "BatchChaosJob",
     "ChaosConfig",
     "chaos_grid",
     "run_chaos",

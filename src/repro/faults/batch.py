@@ -1,0 +1,272 @@
+"""Vectorized robustness evaluation over whole fault grids.
+
+:func:`evaluate_robustness_batch` is the fleet-scale counterpart of
+:func:`repro.faults.report.evaluate_robustness`: it takes a list of
+``(FaultSpec, policy)`` grid points that share one solved allocation
+and evaluates them in a single :func:`repro.sim.batch.simulate_batch`
+call instead of one event-driven simulation per point.
+
+The scalar pipeline is replayed exactly, per variant, as array math:
+
+* **timelines** are built once per distinct fault signature
+  ``(dma_slowdown, transfer_failure_rate, seed)`` — grid points that
+  differ only in policy (or in axes that do not touch the DMA plane)
+  share the timeline object and its release tables;
+* **release jitter** uses the counter-hash streams of
+  :mod:`repro.faults.streams`, whose numpy path is bit-equal to the
+  scalar :class:`~repro.faults.injector.FaultInjector` draws;
+* **WCET overruns** scale the base WCET columns with the spec's
+  per-task factors, the same float multiply the injector performs;
+* **policies** become per-variant masks: the acquisition-miss predicate
+  is evaluated on the jittered ready times, stale-data rows fall back
+  to the release instant, fail-stop rows veto admission — and the
+  policy statistics (miss counts, drops, per-label staleness runs) are
+  reduced from the same masks.
+
+The resulting :class:`~repro.faults.report.RobustnessReport` objects
+are field-for-field equal to scalar ``evaluate_robustness`` output,
+and the underlying traces stay byte-identical (asserted by the tests
+and the ``letdma fuzz --check-batch-sim`` agreement rule).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None
+
+from repro.core.solution import AllocationResult
+from repro.core.verifier import verify_allocation
+from repro.faults.injector import FaultInjector, jitter_tag
+from repro.faults.policies import POLICIES, StaleDataPolicy
+from repro.faults.report import RobustnessReport, degraded_application
+from repro.faults.spec import FaultSpec
+from repro.faults.streams import site_uniforms_np
+from repro.let.grouping import let_groups
+from repro.model.application import Application
+from repro.sim.batch import (
+    _default_ready,
+    _task_spans,
+    build_job_table,
+    simulate_batch,
+)
+from repro.sim.dma_device import degrade_dma_parameters
+from repro.sim.timeline import proposed_timeline_skeleton
+
+__all__ = ["BatchRobustnessOutcome", "evaluate_robustness_batch"]
+
+_EPSILON_US = 1e-6
+
+
+@dataclass
+class BatchRobustnessOutcome:
+    """Everything one batched grid evaluation produced.
+
+    Attributes:
+        reports: One report per grid point, in input order; equal to
+            what scalar ``evaluate_robustness`` returns for the same
+            ``(spec, policy)``.
+        batch: The columnar simulation result backing the reports.
+        timelines: Per-variant timeline objects (shared by reference
+            within a fault signature) — exactly what
+            :func:`repro.sim.batch.verify_batch_differential` needs.
+    """
+
+    reports: list[RobustnessReport]
+    batch: object
+    timelines: list
+
+
+def _timeline_signature(spec: FaultSpec) -> tuple:
+    """Grid points with equal signatures share a communication timeline.
+
+    The timeline depends on the DMA plane only: the slowdown scales the
+    per-byte cost, and transfer-failure retries (seeded) stretch the
+    dispatched copies.  Jitter, WCET factors, and the policy never
+    touch it.
+    """
+    if spec.transfer_failure_rate == 0.0:
+        return (spec.dma_slowdown, 0.0, 0, 0)
+    return (
+        spec.dma_slowdown,
+        spec.transfer_failure_rate,
+        spec.seed,
+        spec.max_transfer_retries,
+    )
+
+
+def evaluate_robustness_batch(
+    app: Application,
+    result: AllocationResult,
+    variants: Sequence[tuple[FaultSpec, str]],
+    horizon_us: int | None = None,
+    keep_simulation: bool = False,
+) -> BatchRobustnessOutcome:
+    """Evaluate many ``(spec, policy)`` grid points in one batch."""
+    if np is None:  # pragma: no cover - the toolchain ships numpy
+        raise RuntimeError("evaluate_robustness_batch requires numpy")
+    hyperperiod = app.tasks.hyperperiod_us()
+    if horizon_us is None:
+        horizon_us = hyperperiod
+    for _spec, policy in variants:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown degradation policy {policy!r}; "
+                f"choose from {sorted(POLICIES)}"
+            )
+    V = len(variants)
+
+    # -- timelines, deduped by fault signature -------------------------
+    # The dispatch structure is fault-independent, so it is extracted
+    # once and re-timed per distinct signature.
+    skeleton = proposed_timeline_skeleton(app, result, horizon_us)
+    timeline_cache: dict[tuple, object] = {}
+    timelines = []
+    for spec, _policy in variants:
+        sig = _timeline_signature(spec)
+        timeline = timeline_cache.get(sig)
+        if timeline is None:
+            timeline = skeleton.materialize(
+                degrade_dma_parameters(app.platform.dma, spec.dma_slowdown),
+                transfer_hook=FaultInjector(spec),
+            )
+            timeline_cache[sig] = timeline
+        timelines.append(timeline)
+
+    # -- per-variant fault arrays --------------------------------------
+    table = build_job_table(app, horizon_us, hyperperiod)
+    spans = _task_spans(table)
+    ready = _default_ready(app, timelines, horizon_us, hyperperiod)
+    wcet = np.broadcast_to(table.base_wcets_us, ready.shape).copy()
+    tasks = list(app.tasks)
+    for v, (spec, _policy) in enumerate(variants):
+        bound = spec.release_jitter_us
+        for task in tasks:
+            lo, hi = spans[task.name]
+            if bound > 0.0:
+                u = site_uniforms_np(
+                    spec.seed, jitter_tag(task.name), table.releases_us[lo:hi]
+                )
+                ready[v, lo:hi] = ready[v, lo:hi] + bound * u
+            factor = spec.wcet_factor_of(task.name)
+            if factor != 1.0:
+                wcet[v, lo:hi] = wcet[v, lo:hi] * factor
+
+    # -- policy masks ---------------------------------------------------
+    stale_rows = np.array(
+        [policy == StaleDataPolicy.name for _spec, policy in variants]
+    )
+    miss = np.zeros(ready.shape, dtype=bool)
+    for task in tasks:
+        gamma = task.acquisition_deadline_us
+        if gamma is None:
+            continue
+        lo, hi = spans[task.name]
+        threshold = table.releases_us[lo:hi] + gamma + _EPSILON_US
+        miss[:, lo:hi] = ready[:, lo:hi] > threshold
+    releases_f = table.releases_us.astype(np.float64)
+    final_ready = np.where(
+        stale_rows[:, None] & miss, releases_f[None, :], ready
+    )
+    admitted = ~(~stale_rows[:, None] & miss)
+
+    # -- one batched simulation ----------------------------------------
+    batch = simulate_batch(
+        app,
+        timelines,
+        horizon_us,
+        ready_us=final_ready,
+        wcet_us=wcet,
+        admitted=admitted,
+    )
+    deadline_misses = batch.deadline_miss_counts()
+
+    # -- policy statistics ---------------------------------------------
+    miss_per_task = {
+        name: miss[:, lo:hi].sum(axis=1) for name, (lo, hi) in spans.items()
+    }
+    staleness = _staleness_runs(app, table, spans, miss, hyperperiod)
+
+    # -- verifier diagnostics, deduped by DMA slowdown ------------------
+    diagnostic_cache: dict[float, object] = {}
+    reports: list[RobustnessReport] = []
+    for v, (spec, policy) in enumerate(variants):
+        diagnostic = diagnostic_cache.get(spec.dma_slowdown)
+        if diagnostic is None:
+            diagnostic = verify_allocation(
+                degraded_application(app, spec), result, check_theorem1=False
+            )
+            diagnostic_cache[spec.dma_slowdown] = diagnostic
+        acquisition_misses = {
+            name: int(count)
+            for name, counts in miss_per_task.items()
+            if (count := counts[v])
+        }
+        stale = bool(stale_rows[v])
+        report = RobustnessReport(
+            spec=spec,
+            policy=policy,
+            total_jobs=batch.num_jobs,
+            deadline_misses=int(deadline_misses[v]),
+            acquisition_misses=sum(acquisition_misses.values()),
+            dropped_jobs=0 if stale else sum(acquisition_misses.values()),
+            max_staleness=(
+                {
+                    label: int(runs[v])
+                    for label, runs in staleness.items()
+                    if runs[v]
+                }
+                if stale
+                else {}
+            ),
+            property3_violations=diagnostic.count("property3"),
+            deadline_violations=diagnostic.count("deadline"),
+        )
+        if keep_simulation:
+            report.simulation = batch.result(v)
+            report.diagnostic = diagnostic
+        reports.append(report)
+    return BatchRobustnessOutcome(
+        reports=reports, batch=batch, timelines=timelines
+    )
+
+
+def _staleness_runs(app, table, spans, miss, hyperperiod):
+    """Per label, the per-variant longest run of consecutive stale
+    consumptions, maximized over consuming tasks.
+
+    Mirrors the scalar bookkeeping: a task's acquisition miss ages
+    every label it reads at that release slot, a hit resets them; jobs
+    whose slot does not read the label leave its age untouched.
+    """
+    runs: dict[str, "np.ndarray"] = {}
+    for task in app.tasks:
+        lo, hi = spans[task.name]
+        releases = table.releases_us[lo:hi]
+        slot_labels: dict[int, list[str]] = {}
+        label_cols: dict[str, list[int]] = {}
+        for col, release in enumerate(releases.tolist()):
+            slot = release % hyperperiod
+            labels = slot_labels.get(slot)
+            if labels is None:
+                _writes, reads = let_groups(app, slot, task.name)
+                labels = [comm.label for comm in reads]
+                slot_labels[slot] = labels
+            for label in labels:
+                label_cols.setdefault(label, []).append(col)
+        for label, cols in label_cols.items():
+            seq = miss[:, lo:hi][:, cols]
+            # Longest run of True per row: cumulative count minus its
+            # value at the last False.
+            c = np.cumsum(seq, axis=1)
+            floor = np.maximum.accumulate(np.where(seq, 0, c), axis=1)
+            longest = (c - floor).max(axis=1)
+            worst = runs.get(label)
+            runs[label] = (
+                longest if worst is None else np.maximum(worst, longest)
+            )
+    return runs

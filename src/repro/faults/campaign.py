@@ -11,12 +11,23 @@ supplies parallelism, per-job retries, incremental JSONL telemetry,
 checkpoint/resume (``--resume``), and graceful SIGINT/SIGTERM
 handling; :class:`ChaosJob` is the runner's duck-typed campaign-job
 shape (``job_id``/``tags``/``execute``).
+
+By default (``batch=True``) the grid is collapsed per alpha into one
+:class:`BatchChaosJob`: the instance is solved once, and every
+``(intensity, seed, policy)`` point riding on that allocation is
+evaluated in a single vectorized
+:func:`~repro.faults.batch.evaluate_robustness_batch` call.  Telemetry
+stays grid-point-granular — the batch job emits one ``event: "chaos"``
+line per member, with the member's own ``job_id``, so summaries,
+tables, and ``--resume`` are indistinguishable from the scalar path
+(the two modes even share job-id formats, so a campaign checkpointed
+under one mode resumes under the other).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.formulation import Objective
 from repro.defaults import DEFAULT_SOLVE_BACKEND, DEFAULT_TIME_LIMIT_SECONDS
@@ -25,7 +36,15 @@ from repro.faults.spec import FaultSpec
 from repro.runtime.runner import ExperimentRunner, JobOutcome
 from repro.runtime.telemetry import TELEMETRY_SCHEMA_VERSION
 
-__all__ = ["ChaosJob", "ChaosConfig", "chaos_grid", "run_chaos", "render_chaos_table"]
+__all__ = [
+    "ChaosJob",
+    "ChaosVariant",
+    "BatchChaosJob",
+    "ChaosConfig",
+    "chaos_grid",
+    "run_chaos",
+    "render_chaos_table",
+]
 
 
 @dataclass
@@ -97,6 +116,114 @@ class ChaosJob:
         return record
 
 
+@dataclass(frozen=True)
+class ChaosVariant:
+    """One grid point carried by a :class:`BatchChaosJob`.
+
+    ``job_id`` and ``tags`` use the exact same format as the scalar
+    :class:`ChaosJob`, so telemetry records are indistinguishable.
+    """
+
+    job_id: str
+    intensity: float
+    seed: int
+    policy: str
+    tags: dict = field(default_factory=dict)
+
+    def spec(self) -> FaultSpec:
+        return FaultSpec.from_intensity(self.intensity, seed=self.seed)
+
+
+@dataclass
+class BatchChaosJob:
+    """All chaos grid points of one alpha, evaluated as one batch.
+
+    Implements the runner's *batched* campaign-job protocol:
+    ``member_ids`` lists the grid points covered, ``narrow(ids)``
+    restricts the job to the members a resume still needs, and
+    ``execute`` solves the instance **once** and hands the whole member
+    list to :func:`~repro.faults.batch.evaluate_robustness_batch`,
+    returning one telemetry record per member.
+    """
+
+    job_id: str
+    alpha: float
+    members: list[ChaosVariant] = field(default_factory=list)
+    objective: Objective = Objective.MIN_TRANSFERS
+    backend: str = DEFAULT_SOLVE_BACKEND
+    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS
+    tags: dict = field(default_factory=dict)
+
+    event = "chaos"
+
+    @property
+    def member_ids(self) -> list[str]:
+        return [member.job_id for member in self.members]
+
+    def narrow(self, ids) -> "BatchChaosJob":
+        keep = set(ids)
+        return replace(
+            self,
+            members=[m for m in self.members if m.job_id in keep],
+        )
+
+    def execute(self, cache_dir, deadline_seconds):
+        """Worker-side body: one solve, one vectorized grid evaluation."""
+        from repro.faults.batch import evaluate_robustness_batch
+        from repro.reporting.experiments import solve_instance
+
+        start = time.perf_counter()
+        limit = self.time_limit_seconds
+        if deadline_seconds is not None:
+            limit = min(limit, deadline_seconds)
+        app, result = solve_instance(
+            self.objective,
+            self.alpha,
+            time_limit_seconds=limit,
+            backend=self.backend,
+            cache=cache_dir,
+            verify=False,
+        )
+        if not result.feasible:
+            reports = [None] * len(self.members)
+        else:
+            outcome = evaluate_robustness_batch(
+                app,
+                result,
+                [(member.spec(), member.policy) for member in self.members],
+            )
+            reports = outcome.reports
+        # The batch's wall time is attributed evenly across members so
+        # telemetry sums stay meaningful.
+        share = (time.perf_counter() - start) / max(len(self.members), 1)
+        records = [
+            self._record(member, result, report, share)
+            for member, report in zip(self.members, reports)
+        ]
+        return result, records
+
+    def _record(self, member, result, report, wall_seconds) -> dict:
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "event": self.event,
+            "job_id": member.job_id,
+            "instance": "",
+            "requested_backend": self.backend,
+            "backend": result.backend,
+            "status": result.status.value,
+            "objective": result.objective_value,
+            "num_transfers": result.num_transfers,
+            "mip_gap": None,
+            "wall_seconds": wall_seconds,
+            "solver_seconds": result.runtime_seconds,
+            "cached": False,
+            "fallback_chain": [],
+            "tags": dict(member.tags),
+            "batched": True,
+            "robustness": report.to_record() if report is not None else None,
+        }
+
+
 @dataclass
 class ChaosConfig:
     """Shape of a chaos campaign grid.
@@ -121,8 +248,52 @@ class ChaosConfig:
     time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS
 
 
-def chaos_grid(config: ChaosConfig) -> list[ChaosJob]:
-    """Expand a :class:`ChaosConfig` into its cross-product job list."""
+def chaos_grid(config: ChaosConfig, batch: bool = False) -> list:
+    """Expand a :class:`ChaosConfig` into its cross-product job list.
+
+    With ``batch=False`` (the historical shape) every grid point is its
+    own :class:`ChaosJob` and re-solves its instance (deduped only by
+    the solve cache).  With ``batch=True`` the points collapse into one
+    :class:`BatchChaosJob` per alpha: a single solve per distinct
+    instance and a single vectorized simulation for all fault variants
+    riding on it.  Both modes emit identical job ids and tags.
+    """
+    if batch:
+        jobs = []
+        for alpha in config.alphas:
+            members = [
+                ChaosVariant(
+                    job_id=f"chaos-a{alpha:g}-i{intensity:g}-s{seed}-{policy}",
+                    intensity=intensity,
+                    seed=seed,
+                    policy=policy,
+                    tags={
+                        "alpha": alpha,
+                        "intensity": intensity,
+                        "seed": seed,
+                        "policy": policy,
+                        "objective": config.objective.value,
+                    },
+                )
+                for intensity in config.intensities
+                for seed in config.seeds
+                for policy in config.policies
+            ]
+            jobs.append(
+                BatchChaosJob(
+                    job_id=f"chaos-batch-a{alpha:g}",
+                    alpha=alpha,
+                    members=members,
+                    objective=config.objective,
+                    backend=config.backend,
+                    time_limit_seconds=config.time_limit_seconds,
+                    tags={
+                        "alpha": alpha,
+                        "objective": config.objective.value,
+                    },
+                )
+            )
+        return jobs
     jobs = []
     for alpha in config.alphas:
         for intensity in config.intensities:
@@ -162,8 +333,15 @@ def run_chaos(
     resume: bool = False,
     max_retries: int = 1,
     deadline_seconds: float | None = None,
+    batch: bool = True,
 ) -> list[JobOutcome]:
     """Run the campaign grid through the experiment runner.
+
+    ``batch=True`` (default) evaluates each alpha's fault variants in
+    one vectorized batch (one solve + one ``simulate_batch`` per
+    alpha); ``batch=False`` is the scalar one-simulation-per-point
+    fallback.  Outcomes and telemetry are grid-point-granular either
+    way.
 
     Propagates :class:`~repro.runtime.runner.RunInterrupted` on
     SIGINT/SIGTERM; everything harvested before the signal is already
@@ -178,7 +356,7 @@ def run_chaos(
         max_retries=max_retries,
         resume=resume,
     )
-    return runner.run(chaos_grid(config))
+    return runner.run(chaos_grid(config, batch=batch))
 
 
 def render_chaos_table(outcomes: list[JobOutcome]) -> str:

@@ -9,19 +9,33 @@ transfer failures — from a single :class:`~repro.faults.spec.FaultSpec`.
 Every random draw is keyed on ``(spec.seed, site identity)`` rather
 than on a shared stream, so the injected faults are independent of
 event-processing order and identical across ``--jobs 1`` and parallel
-campaign runs.  A null spec short-circuits every hook to the identity,
-which keeps zero-intensity traces byte-identical to the baseline.
+campaign runs.  The draws come from the counter-hash streams of
+:mod:`repro.faults.streams`, which evaluate bit-identically in the
+vectorized grid tabulation (:mod:`repro.faults.batch`).  A null spec
+short-circuits every hook to the identity, which keeps zero-intensity
+traces byte-identical to the baseline.
 """
 
 from __future__ import annotations
 
-import random
-
 from repro.faults.spec import FaultSpec
+from repro.faults.streams import bounded_failures, mix64, site_state, site_uniform, tag64
 from repro.sim.dma_device import retried_copy_duration_us
 from repro.sim.engine import SimulatorHooks
 
 __all__ = ["FaultInjector"]
+
+_PHI = 0x9E3779B97F4A7C15
+
+
+def jitter_tag(task: str) -> int:
+    """Site-family tag of one task's release jitter stream."""
+    return tag64("jitter|" + task)
+
+
+def transfer_tag(transfer_index: int) -> int:
+    """Site-family tag of one transfer's failure stream."""
+    return mix64(tag64("transfer") + transfer_index * _PHI)
 
 
 class FaultInjector(SimulatorHooks):
@@ -35,12 +49,6 @@ class FaultInjector(SimulatorHooks):
 
     def __init__(self, spec: FaultSpec):
         self.spec = spec
-
-    # -- site-keyed determinism ----------------------------------------
-
-    def _rng(self, *site: object) -> random.Random:
-        """A private stream for one fault site (order-independent)."""
-        return random.Random(f"{self.spec.seed}|" + "|".join(map(str, site)))
 
     # -- SimulatorHooks surface ----------------------------------------
 
@@ -56,7 +64,8 @@ class FaultInjector(SimulatorHooks):
         bound = self.spec.release_jitter_us
         if bound == 0.0:
             return ready_us
-        return ready_us + self._rng("jitter", task, release_us).uniform(0.0, bound)
+        state = site_state(self.spec.seed, jitter_tag(task), release_us)
+        return ready_us + bound * site_uniform(state)
 
     # -- DmaTransferHook surface ---------------------------------------
 
@@ -69,11 +78,10 @@ class FaultInjector(SimulatorHooks):
         rate = self.spec.transfer_failure_rate
         if rate == 0.0:
             return 0
-        rng = self._rng("transfer", transfer_index, instant_us)
-        failures = 0
-        while failures < self.spec.max_transfer_retries and rng.random() < rate:
-            failures += 1
-        return failures
+        state = site_state(
+            self.spec.seed, transfer_tag(transfer_index), instant_us
+        )
+        return bounded_failures(state, rate, self.spec.max_transfer_retries)
 
     def copy_duration_us(
         self, transfer_index: int, instant_us: int, nominal_us: float

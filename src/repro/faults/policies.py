@@ -84,6 +84,9 @@ class DegradationPolicy(SimulatorHooks):
         # Per (label, consumer) age of the consumer's local copy, in
         # missed refreshes; the per-label maximum is the report metric.
         self._staleness_age: dict[tuple[str, str], int] = {}
+        # The labels a task reads repeat with the hyperperiod, so the
+        # let_groups lookups are memoized per (task, slot).
+        self._labels_cache: dict[tuple[str, int], list[str]] = {}
 
     # -- chaining ------------------------------------------------------
 
@@ -122,10 +125,13 @@ class DegradationPolicy(SimulatorHooks):
     # -- staleness bookkeeping -----------------------------------------
 
     def _labels_read_at(self, task: str, release_us: int) -> list[str]:
-        _writes, reads = let_groups(
-            self.app, release_us % self._hyperperiod, task
-        )
-        return [comm.label for comm in reads]
+        slot = release_us % self._hyperperiod
+        labels = self._labels_cache.get((task, slot))
+        if labels is None:
+            _writes, reads = let_groups(self.app, slot, task)
+            labels = [comm.label for comm in reads]
+            self._labels_cache[(task, slot)] = labels
+        return labels
 
     def _refresh_labels(self, task: str, release_us: int) -> None:
         for label in self._labels_read_at(task, release_us):

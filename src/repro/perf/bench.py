@@ -173,6 +173,108 @@ def _bench_sim_waters() -> dict:
     return {"wall_seconds": wall, "jobs": len(trace.jobs)}
 
 
+#: Variant count of the chaos-grid simulation scenarios.
+_CHAOS_VARIANTS = 100
+
+
+def _chaos_sim_inputs():
+    """A deterministic 100-variant chaos grid on the WATERS instance.
+
+    All variants share one timeline (the engine benchmark isolates
+    simulation throughput, not timeline construction) and differ in
+    release jitter and WCET factors drawn from the counter-hash fault
+    streams — the same arrays :mod:`repro.faults.batch` tabulates.
+    """
+    import numpy as np
+
+    from repro.core.heuristic import greedy_allocation
+    from repro.faults.injector import jitter_tag
+    from repro.faults.spec import FaultSpec
+    from repro.faults.streams import site_uniforms_np
+    from repro.sim.batch import _default_ready, _task_spans, build_job_table
+    from repro.sim.timeline import proposed_timeline
+    from repro.waters import waters_application
+
+    app = waters_application()
+    result = greedy_allocation(app)
+    horizon = app.tasks.hyperperiod_us()
+    timeline = proposed_timeline(app, result, horizon)
+    timelines = [timeline] * _CHAOS_VARIANTS
+    table = build_job_table(app, horizon, horizon)
+    spans = _task_spans(table)
+    ready = _default_ready(app, timelines, horizon, horizon)
+    wcet = np.broadcast_to(table.base_wcets_us, ready.shape).copy()
+    specs = [
+        FaultSpec.from_intensity(0.05 + 0.9 * (v % 20) / 19, seed=v // 20)
+        for v in range(_CHAOS_VARIANTS)
+    ]
+    for v, spec in enumerate(specs):
+        for task in app.tasks:
+            lo, hi = spans[task.name]
+            u = site_uniforms_np(
+                spec.seed, jitter_tag(task.name), table.releases_us[lo:hi]
+            )
+            ready[v, lo:hi] += spec.release_jitter_us * u
+            wcet[v, lo:hi] *= spec.wcet_factor_of(task.name)
+    return app, table, timelines, horizon, ready, wcet
+
+
+def _scalar_chaos_run(app, table, timelines, horizon, ready, wcet) -> float:
+    """Wall time of the grid as independent scalar ``Simulator.run()``
+    calls (one per variant), fed the same per-job tables via hooks."""
+    from repro.sim.batch import TabulatedHooks
+    from repro.sim.engine import Simulator
+
+    keys = list(zip(table.tasks, table.releases_us.tolist()))
+    start = time.perf_counter()
+    for v in range(len(timelines)):
+        hooks = TabulatedHooks(
+            dict(zip(keys, ready[v].tolist())),
+            dict(zip(keys, wcet[v].tolist())),
+        )
+        Simulator(app, timelines[v], horizon, hooks=hooks).run()
+    return time.perf_counter() - start
+
+
+#: Scalar reference time, memoized per process: the reference does not
+#: change between repeats, and re-measuring it would triple the smoke
+#: scenario's cost for no information.
+_scalar_chaos_cache: dict = {}
+
+
+def _bench_sim_batch_chaos() -> dict:
+    from repro.sim.batch import simulate_batch
+
+    app, table, timelines, horizon, ready, wcet = _chaos_sim_inputs()
+    start = time.perf_counter()
+    batch = simulate_batch(
+        app, timelines, horizon, ready_us=ready, wcet_us=wcet
+    )
+    wall = time.perf_counter() - start
+    if "scalar_seconds" not in _scalar_chaos_cache:
+        _scalar_chaos_cache["scalar_seconds"] = _scalar_chaos_run(
+            app, table, timelines, horizon, ready, wcet
+        )
+    scalar_seconds = _scalar_chaos_cache["scalar_seconds"]
+    return {
+        "wall_seconds": wall,
+        "variants": batch.num_variants,
+        "jobs": batch.num_variants * batch.num_jobs,
+        "scalar_fallbacks": int(batch.scalar_fallback.sum()),
+        "scalar_seconds": scalar_seconds,
+        "speedup_vs_scalar": scalar_seconds / wall,
+    }
+
+
+def _bench_sim_scalar_chaos() -> dict:
+    app, table, timelines, horizon, ready, wcet = _chaos_sim_inputs()
+    wall = _scalar_chaos_run(app, table, timelines, horizon, ready, wcet)
+    return {
+        "wall_seconds": wall,
+        "variants": len(timelines),
+    }
+
+
 SCENARIOS: tuple[BenchScenario, ...] = (
     BenchScenario(
         name="model_build_waters",
@@ -203,6 +305,17 @@ SCENARIOS: tuple[BenchScenario, ...] = (
         description="Simulate WATERS (greedy allocation) over 5 hyperperiods",
         run=_bench_sim_waters,
         quick=True,
+    ),
+    BenchScenario(
+        name="sim_batch_chaos100",
+        description="Vectorized batch simulation of a 100-variant chaos grid",
+        run=_bench_sim_batch_chaos,
+        quick=True,
+    ),
+    BenchScenario(
+        name="sim_scalar_chaos100",
+        description="The same 100-variant chaos grid as scalar simulations",
+        run=_bench_sim_scalar_chaos,
     ),
     BenchScenario(
         name="solve_bnb_synth5",

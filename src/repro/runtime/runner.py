@@ -33,6 +33,15 @@ job* exposing ``job_id``, ``tags``, and
 ``execute(cache_dir, deadline_seconds) -> (result, record)`` — that is
 how ``letdma chaos`` reuses this machinery for robustness grids.
 
+A campaign job may additionally be *batched*: exposing ``member_ids``
+(the grid-point ids it covers) and ``narrow(ids)`` (a copy restricted
+to a subset of members), with ``execute`` returning a *list* of
+records, one per member.  The runner then emits one telemetry line and
+one :class:`JobOutcome` per member — summaries and ``--resume`` stay
+grid-point-granular even when many points execute as one vectorized
+batch (a partially checkpointed batch is narrowed to its missing
+members instead of re-running whole).
+
 Results are returned in submission order regardless of completion
 order, so ``--jobs 4`` and ``--jobs 1`` produce identical outputs for
 deterministic backends.
@@ -180,19 +189,33 @@ class ExperimentRunner:
         """
         grid = list(grid)
         seen: set[str] = set()
+        order: list[str] = []
         for job in grid:
-            if job.job_id in seen:
-                raise ValueError(f"duplicate job_id {job.job_id!r} in grid")
-            seen.add(job.job_id)
+            for job_id in _ids_of(job):
+                if job_id in seen:
+                    raise ValueError(f"duplicate job_id {job_id!r} in grid")
+                seen.add(job_id)
+                order.append(job_id)
 
         completed = self._load_checkpoint(grid)
-        pending = [job for job in grid if job.job_id not in completed]
 
-        outcomes: dict[str, JobOutcome] = {
-            job.job_id: _resumed_outcome(job, completed[job.job_id])
-            for job in grid
-            if job.job_id in completed
-        }
+        outcomes: dict[str, JobOutcome] = {}
+        pending = []
+        for job in grid:
+            ids = _ids_of(job)
+            for job_id in ids:
+                if job_id in completed:
+                    outcomes[job_id] = _resumed_outcome(
+                        job_id, completed[job_id], job.tags
+                    )
+            remaining = [job_id for job_id in ids if job_id not in completed]
+            if not remaining:
+                continue
+            if len(remaining) < len(ids):
+                # Batched job with some members checkpointed: re-run
+                # only the missing ones.
+                job = job.narrow(remaining)
+            pending.append(job)
 
         self._interrupted = False
         with self._signal_guard():
@@ -202,7 +225,7 @@ class ExperimentRunner:
                 self._run_parallel(pending, outcomes)
 
         ordered = [
-            outcomes[job.job_id] for job in grid if job.job_id in outcomes
+            outcomes[job_id] for job_id in order if job_id in outcomes
         ]
         if self._interrupted:
             raise RunInterrupted(ordered)
@@ -261,10 +284,13 @@ class ExperimentRunner:
             except Exception as exc:
                 return _error_outcome(job, 0.0, exc)
 
-    def _harvest(self, outcome: JobOutcome, outcomes: dict) -> None:
-        outcomes[outcome.job_id] = outcome
-        if self.telemetry is not None:
-            self.telemetry.write(outcome.record)
+    def _harvest(self, outcome, outcomes: dict) -> None:
+        """Record one harvested result — a single outcome, or the list
+        a batched job produced (one member at a time)."""
+        for one in outcome if isinstance(outcome, list) else (outcome,):
+            outcomes[one.job_id] = one
+            if self.telemetry is not None:
+                self.telemetry.write(one.record)
 
     # ------------------------------------------------------------------
 
@@ -280,7 +306,7 @@ class ExperimentRunner:
         # can leave a torn trailing line, and appending after it would
         # corrupt the next record too.
         self.telemetry.rewrite(records)
-        wanted = {job.job_id for job in grid}
+        wanted = {job_id for job in grid for job_id in _ids_of(job)}
         return {
             record["job_id"]: record
             for record in records
@@ -314,6 +340,13 @@ class ExperimentRunner:
         return _Guard()
 
 
+def _ids_of(job) -> list[str]:
+    """The grid-point ids one job accounts for: its members when it is
+    a batched campaign job, else its own job_id."""
+    members = getattr(job, "member_ids", None)
+    return list(members) if members else [job.job_id]
+
+
 # ----------------------------------------------------------------------
 # Worker-side bodies (module-level: they are pickled into workers).
 # ----------------------------------------------------------------------
@@ -339,12 +372,14 @@ def _execute_with_retries(
         except Exception as exc:
             if attempt >= max_retries:
                 failed = _error_outcome(job, time.perf_counter() - start, exc)
-                failed.record["attempts"] = attempt + 1
+                for one in failed if isinstance(failed, list) else (failed,):
+                    one.record["attempts"] = attempt + 1
                 return failed
             time.sleep(backoff_seconds * (2**attempt))
             continue
         if attempt:
-            outcome.record["attempts"] = attempt + 1
+            for one in outcome if isinstance(outcome, list) else (outcome,):
+                one.record["attempts"] = attempt + 1
         return outcome
     raise AssertionError("unreachable")  # pragma: no cover
 
@@ -355,10 +390,23 @@ def _execute_job(job, cache_dir, deadline_seconds) -> JobOutcome:
     start = time.perf_counter()
     if hasattr(job, "execute"):
         result, record = job.execute(cache_dir, deadline_seconds)
+        wall = time.perf_counter() - start
+        if isinstance(record, list):
+            # Batched campaign job: one outcome per member record.
+            return [
+                JobOutcome(
+                    job_id=member["job_id"],
+                    result=result,
+                    wall_seconds=wall,
+                    record=member,
+                    tags=dict(member.get("tags", {})),
+                )
+                for member in record
+            ]
         return JobOutcome(
             job_id=job.job_id,
             result=result,
-            wall_seconds=time.perf_counter() - start,
+            wall_seconds=wall,
             record=record,
             tags=dict(job.tags),
         )
@@ -386,46 +434,76 @@ def _execute_job(job, cache_dir, deadline_seconds) -> JobOutcome:
     )
 
 
-def _resumed_outcome(job, record: dict) -> JobOutcome:
-    """A checkpointed job: rebuild a status-only outcome from its
-    telemetry record without re-executing anything."""
+def _resumed_outcome(job_id: str, record: dict, fallback_tags: dict) -> JobOutcome:
+    """A checkpointed grid point: rebuild a status-only outcome from
+    its telemetry record without re-executing anything."""
     try:
         status = SolveStatus(record.get("status", "error"))
     except ValueError:
         status = SolveStatus.ERROR
     return JobOutcome(
-        job_id=job.job_id,
+        job_id=job_id,
         result=AllocationResult(status=status),
         wall_seconds=float(record.get("wall_seconds", 0.0)),
         record=record,
-        tags=dict(job.tags),
+        tags=dict(record.get("tags") or fallback_tags),
         resumed=True,
     )
 
 
-def _error_outcome(job, wall_seconds: float, exc: Exception) -> JobOutcome:
+def _error_outcome(job, wall_seconds: float, exc: Exception):
+    """ERROR outcome(s) for a failed job — one per member when the job
+    is batched, so every grid point keeps a telemetry line and stays
+    individually resumable."""
+    members = getattr(job, "members", None)
+    if members:
+        return [
+            _one_error_outcome(
+                member.job_id,
+                getattr(job, "event", "solve"),
+                getattr(job, "backend", ""),
+                dict(member.tags),
+                wall_seconds / len(members),
+                exc,
+            )
+            for member in members
+        ]
+    return _one_error_outcome(
+        job.job_id,
+        getattr(job, "event", "solve"),
+        getattr(job, "backend", ""),
+        dict(job.tags),
+        wall_seconds,
+        exc,
+        mip_gap=getattr(getattr(job, "config", None), "mip_gap", None),
+    )
+
+
+def _one_error_outcome(
+    job_id, event, backend, tags, wall_seconds, exc, mip_gap=None
+) -> JobOutcome:
     record = {
         "schema_version": TELEMETRY_SCHEMA_VERSION,
-        "event": getattr(job, "event", "solve"),
-        "job_id": job.job_id,
+        "event": event,
+        "job_id": job_id,
         "instance": "",
-        "requested_backend": getattr(job, "backend", ""),
+        "requested_backend": backend,
         "backend": "",
         "status": "error",
         "objective": 0.0,
         "num_transfers": 0,
-        "mip_gap": getattr(getattr(job, "config", None), "mip_gap", None),
+        "mip_gap": mip_gap,
         "wall_seconds": wall_seconds,
         "solver_seconds": 0.0,
         "cached": False,
         "fallback_chain": [],
-        "tags": dict(job.tags),
+        "tags": tags,
         "error": f"{type(exc).__name__}: {exc}",
     }
     return JobOutcome(
-        job_id=job.job_id,
+        job_id=job_id,
         result=AllocationResult(status=SolveStatus.ERROR),
         wall_seconds=wall_seconds,
         record=record,
-        tags=dict(job.tags),
+        tags=dict(tags),
     )

@@ -7,7 +7,14 @@ from repro.sim.dma_device import (
     effective_copy_cost_us_per_byte,
     transfer_cycles,
 )
-from repro.sim.engine import Simulator, simulate
+from repro.sim.batch import (
+    TabulatedHooks,
+    batch_supported,
+    build_job_table,
+    simulate_batch,
+    verify_batch_differential,
+)
+from repro.sim.engine import Simulator, release_tables, simulate
 from repro.sim.timeline import (
     CommunicationTimeline,
     giotto_cpu_timeline,
@@ -16,7 +23,12 @@ from repro.sim.timeline import (
     proposed_timeline,
     timeline_for,
 )
-from repro.sim.trace import JobRecord, SimulationResult
+from repro.sim.trace import (
+    BatchJobTable,
+    BatchSimulationResult,
+    JobRecord,
+    SimulationResult,
+)
 
 __all__ = [
     "BusConfig",
@@ -26,6 +38,12 @@ __all__ = [
     "transfer_cycles",
     "Simulator",
     "simulate",
+    "release_tables",
+    "simulate_batch",
+    "TabulatedHooks",
+    "batch_supported",
+    "build_job_table",
+    "verify_batch_differential",
     "CommunicationTimeline",
     "giotto_cpu_timeline",
     "giotto_dma_a_timeline",
@@ -34,4 +52,6 @@ __all__ = [
     "timeline_for",
     "JobRecord",
     "SimulationResult",
+    "BatchJobTable",
+    "BatchSimulationResult",
 ]

@@ -1,0 +1,744 @@
+"""Vectorized batch simulation of many system variants at once.
+
+One call to :func:`simulate_batch` simulates ``V`` variants of the
+same application that share structure — task set, allocation, core
+layout, release tables — while differing in per-variant quantities:
+ready times (release jitter, acquisition latencies from a degraded
+timeline), effective WCETs (overrun factors), admission vetoes
+(fail-stop policies), and per-core blackout intervals.  Chaos and
+sweep grids whose points differ only in fault parameters collapse into
+one batched call instead of ``V`` independent scalar
+:class:`~repro.sim.engine.Simulator` runs.
+
+Algorithm
+---------
+
+The scalar engine is an event loop; the batch engine replays the same
+schedule by *gap filling*, vectorized across variants with numpy:
+
+1. cores are independent, so each core is processed alone;
+2. on one core, jobs are totally ordered by the scalar dispatcher's
+   heap key ``(priority, release)`` — a running job is preempted
+   exactly by jobs of lower rank — so processing tasks in priority
+   order makes every job see a fixed *occupancy* (blackouts plus the
+   execution windows of all higher-ranked jobs);
+3. a job fills the free gaps of that occupancy from its start bound
+   (its ready time, or the completion of the previous job of its
+   task), subtracting each partial window from its remaining demand
+   and completing where ``window_start + remaining`` first fits.
+
+Because the scalar engine accounts ``remaining`` once per *maximal*
+execution window (see :meth:`repro.sim.engine.Simulator._reschedule`),
+step 3 performs float-for-float the same arithmetic, and the resulting
+traces are **byte-identical** to scalar runs — asserted by
+:func:`verify_batch_differential` and the property tests.
+
+Fallback
+--------
+
+Structures the vectorized sweep cannot express are replayed, per
+variant, through the scalar engine with :class:`TabulatedHooks` (so
+the result is still exact, just not fast):
+
+* two tasks sharing a priority on one core (the heap tie-break then
+  depends on seeding order, which gap filling does not model);
+* a variant whose per-task ready times are not non-decreasing in
+  release order (a later release becoming ready before an earlier one
+  can momentarily run ahead of it);
+* non-positive effective WCETs or non-finite ready times;
+* degenerate blackout intervals (``end <= start``).
+
+The whole batch never fails over silently: fallback variants are
+flagged in :attr:`~repro.sim.trace.BatchSimulationResult.scalar_fallback`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None
+
+from repro.model.application import Application
+from repro.sim.engine import Simulator, SimulatorHooks, release_tables
+from repro.sim.timeline import CommunicationTimeline
+from repro.sim.trace import BatchJobTable, BatchSimulationResult
+
+__all__ = [
+    "TabulatedHooks",
+    "build_job_table",
+    "simulate_batch",
+    "verify_batch_differential",
+    "batch_supported",
+]
+
+
+class TabulatedHooks(SimulatorHooks):
+    """Replay precomputed per-job tables through the scalar engine.
+
+    Maps are keyed ``(task, release_us)``; missing keys fall through to
+    the engine-provided value, so empty maps are the identity hooks.
+    This is how the batch engine's inputs are fed to the scalar oracle
+    for differential checks and per-variant fallback.
+    """
+
+    def __init__(self, ready=None, wcet=None, admitted=None):
+        self._ready = {} if ready is None else ready
+        self._wcet = {} if wcet is None else wcet
+        self._admitted = {} if admitted is None else admitted
+
+    def job_wcet_us(self, task: str, release_us: int, wcet_us: float) -> float:
+        return self._wcet.get((task, release_us), wcet_us)
+
+    def job_ready_us(self, task: str, release_us: int, ready_us: float) -> float:
+        return self._ready.get((task, release_us), ready_us)
+
+    def admit_job(
+        self, task: str, release_us: int, ready_us: float, deadline_us: float
+    ) -> bool:
+        return self._admitted.get((task, release_us), True)
+
+    @classmethod
+    def from_batch(cls, batch: BatchSimulationResult, variant: int) -> "TabulatedHooks":
+        """The hooks that make the scalar engine reproduce one variant."""
+        table = batch.table
+        keys = list(zip(table.tasks, table.releases_us.tolist()))
+        ready = dict(zip(keys, batch.ready_us[variant].tolist()))
+        wcet = dict(zip(keys, batch.wcet_us[variant].tolist()))
+        admitted = dict(zip(keys, batch.admitted[variant].tolist()))
+        return cls(ready, wcet, admitted)
+
+
+def batch_supported(app: Application) -> bool:
+    """Whether the vectorized sweep can run this application at all
+    (per-core priorities must be unique; otherwise every variant would
+    fall back to the scalar engine)."""
+    by_core: dict[str, set[int]] = {}
+    for task in app.tasks:
+        seen = by_core.setdefault(task.core_id, set())
+        if task.priority in seen:
+            return False
+        seen.add(task.priority)
+    return True
+
+
+def build_job_table(
+    app: Application, horizon_us: int, hyperperiod_us: int | None = None
+) -> BatchJobTable:
+    """Static per-job columns in the scalar engine's seeding order."""
+    if hyperperiod_us is None:
+        hyperperiod_us = app.tasks.hyperperiod_us()
+    # Release instants are timeline-independent; an empty timeline
+    # yields the same (task, release) enumeration as any real one.
+    tables = release_tables(
+        app, CommunicationTimeline(), horizon_us, hyperperiod_us
+    )
+    tasks: list[str] = []
+    cores: list[str] = []
+    priorities: list[int] = []
+    releases: list[int] = []
+    deadlines: list[float] = []
+    wcets: list[float] = []
+    for task in app.tasks:
+        deadline_us = task.deadline_us
+        for release, _ready in tables[task.name]:
+            tasks.append(task.name)
+            cores.append(task.core_id)
+            priorities.append(task.priority)
+            releases.append(release)
+            deadlines.append(release + deadline_us)
+            wcets.append(task.wcet_us)
+    return BatchJobTable(
+        tasks=tuple(tasks),
+        core_ids=tuple(cores),
+        priorities=np.asarray(priorities, dtype=np.int64),
+        releases_us=np.asarray(releases, dtype=np.int64),
+        deadlines=tuple(deadlines),
+        deadlines_us=np.asarray(deadlines, dtype=np.float64),
+        base_wcets_us=np.asarray(wcets, dtype=np.float64),
+    )
+
+
+def _task_spans(table: BatchJobTable) -> dict:
+    """Per task, the contiguous [lo, hi) job-index span (release order)."""
+    spans: dict[str, tuple[int, int]] = {}
+    for j, name in enumerate(table.tasks):
+        lo, _hi = spans.get(name, (j, j))
+        spans[name] = (lo, j + 1)
+    return spans
+
+
+def _default_ready(app, timelines, horizon_us, hyperperiod_us):
+    """Per-variant ready rows straight from each timeline (rule R1)."""
+    rows = []
+    cache: dict[int, "np.ndarray"] = {}
+    for timeline in timelines:
+        key = id(timeline)
+        row = cache.get(key)
+        if row is None:
+            tables = release_tables(app, timeline, horizon_us, hyperperiod_us)
+            ready: list[float] = []
+            for task in app.tasks:
+                ready.extend(r for _release, r in tables[task.name])
+            row = np.asarray(ready, dtype=np.float64)
+            cache[key] = row
+        rows.append(row)
+    return np.stack(rows)
+
+
+def _blackout_arrays(timelines, core_id):
+    """Padded per-variant blackout (start, end) arrays for one core.
+
+    Rows are sorted by start; shorter rows are padded with
+    ``(+inf, -inf)`` sentinels (a start at ``+inf`` never caps a gap,
+    an end at ``-inf`` never raises the running maximum of ends that
+    forms gap floors).  Shared timeline objects are processed once.
+    Returns ``(starts, ends, degenerate)`` where ``degenerate`` flags
+    variants holding an ``end <= start`` interval (scalar fallback:
+    the event engine's depth counter gives such intervals inverted
+    semantics that gap filling does not model).
+    """
+    cache: dict[int, tuple] = {}
+    per_variant = []
+    degenerate = np.zeros(len(timelines), dtype=bool)
+    width = 0
+    for v, timeline in enumerate(timelines):
+        key = id(timeline)
+        entry = cache.get(key)
+        if entry is None:
+            intervals = sorted(timeline.blackouts.get(core_id, []))
+            bad = any(end <= start for start, end in intervals)
+            entry = ([] if bad else np.asarray(intervals, dtype=np.float64), bad)
+            cache[key] = entry
+        intervals, bad = entry
+        degenerate[v] = bad
+        per_variant.append(intervals)
+        width = max(width, len(intervals))
+    starts = np.full((len(timelines), width), np.inf)
+    ends = np.full((len(timelines), width), -np.inf)
+    for v, intervals in enumerate(per_variant):
+        if len(intervals):
+            starts[v, : len(intervals)] = intervals[:, 0]
+            ends[v, : len(intervals)] = intervals[:, 1]
+    return starts, ends, degenerate
+
+
+def _merge_compact(starts, ends):
+    """Merge interval soup into disjoint sorted intervals, per row.
+
+    Input rows may be unsorted and overlapping, padded with
+    ``(+inf, -inf)`` (ignored) or ``(-inf, -inf)`` (degenerate, folds
+    into one leading empty group).  Touching half-open intervals
+    ``[a, b) + [b, c)`` merge — safe because a job whose completion
+    candidate lands exactly on a gap edge always completes there (the
+    completion event outranks the preemption at equal timestamps).
+    """
+    V, M = starts.shape
+    if M == 0:
+        return starts, ends
+    order = np.argsort(starts, axis=1, kind="stable")
+    s = np.take_along_axis(starts, order, axis=1)
+    e = np.take_along_axis(ends, order, axis=1)
+    ce = np.maximum.accumulate(e, axis=1)
+    pad = s == np.inf
+    new = np.empty((V, M), dtype=bool)
+    new[:, 0] = True
+    np.greater(s[:, 1:], ce[:, :-1], out=new[:, 1:])
+    new &= ~pad
+    group = np.cumsum(new, axis=1, dtype=np.int64)
+    group -= 1
+    width = int(group[:, -1].max()) + 1
+    if width <= 0:
+        return np.empty((V, 0)), np.empty((V, 0))
+    out_s = np.full((V, width), np.inf)
+    out_e = np.full((V, width), -np.inf)
+    rows = np.broadcast_to(np.arange(V)[:, None], s.shape)
+    out_s[rows[new], group[new]] = s[new]
+    # An element closes its group when the next one opens a new group
+    # or is padding (padding sorts last), or at the row end.
+    closing = new | pad
+    last = np.empty((V, M), dtype=bool)
+    last[:, :-1] = closing[:, 1:]
+    last[:, -1] = True
+    last &= ~pad
+    out_e[rows[last], group[last]] = ce[last]
+    return out_s, out_e
+
+
+def _merge_disjoint(starts, ends):
+    """:func:`_merge_compact` for inputs whose real intervals are
+    already pairwise disjoint per row (they may touch), as the
+    per-level merges are: execution windows land in free gaps of a
+    compacted occupancy.  Disjointness means sorting starts and ends
+    *independently* pairs them back up correctly, which replaces the
+    argsort and two gathers of the general path with two adaptive
+    sorts.  Pads are ``(+inf, -inf)``.
+    """
+    V, M = starts.shape
+    if M == 0:
+        return starts, ends
+    s = np.sort(starts, axis=1, kind="stable")
+    # Real ends are positive finite, so |.| only rewrites the -inf pads
+    # to +inf — making ends sort to the same positions as their starts.
+    e = np.abs(ends)
+    e.sort(axis=1, kind="stable")
+    pad = s == np.inf
+    new = np.empty((V, M), dtype=bool)
+    new[:, 0] = True
+    np.greater(s[:, 1:], e[:, :-1], out=new[:, 1:])
+    new &= ~pad
+    group = np.cumsum(new, axis=1, dtype=np.int32)
+    group -= 1
+    width = int(group[:, -1].max()) + 1
+    if width <= 0:
+        return np.empty((V, 0)), np.empty((V, 0))
+    out_s = np.full((V, width), np.inf)
+    out_e = np.full((V, width), -np.inf)
+    rows = np.broadcast_to(np.arange(V)[:, None], s.shape)
+    out_s[rows[new], group[new]] = s[new]
+    closing = new | pad
+    last = np.empty((V, M), dtype=bool)
+    last[:, :-1] = closing[:, 1:]
+    last[:, -1] = True
+    last &= ~pad
+    out_e[rows[last], group[last]] = e[last]
+    return out_s, out_e
+
+
+def simulate_batch(
+    app: Application,
+    timelines: "CommunicationTimeline | Sequence[CommunicationTimeline]",
+    horizon_us: int | None = None,
+    *,
+    ready_us=None,
+    wcet_us=None,
+    admitted=None,
+    num_variants: int | None = None,
+) -> BatchSimulationResult:
+    """Simulate a batch of variants; see the module docstring.
+
+    Args:
+        app: The shared application (task set, priorities, cores).
+        timelines: One timeline per variant, or a single timeline
+            shared by all variants (repeated by reference; its release
+            tables are extracted once).
+        horizon_us: Simulation horizon (default: one hyperperiod).
+        ready_us: Optional ``[V, J]`` float64 override of job ready
+            times (jitter, policy fallbacks); defaults to each
+            timeline's rule-R1 readiness.
+        wcet_us: Optional ``[V, J]`` float64 override of effective
+            WCETs; defaults to the task WCETs in every variant.
+        admitted: Optional ``[V, J]`` bool override of job admission;
+            defaults to all-admitted.
+        num_variants: Required when a single shared timeline is given
+            and no override array pins the variant count.
+
+    Job columns follow :func:`build_job_table` order, which is the
+    scalar engine's seeding order.
+    """
+    if np is None:  # pragma: no cover - the toolchain ships numpy
+        raise RuntimeError("simulate_batch requires numpy")
+    hyperperiod_us = app.tasks.hyperperiod_us()
+    if horizon_us is None:
+        horizon_us = hyperperiod_us
+
+    if isinstance(timelines, CommunicationTimeline):
+        shared = timelines
+        count = num_variants
+        for array in (ready_us, wcet_us, admitted):
+            if count is None and array is not None:
+                count = len(array)
+        if count is None:
+            count = 1
+        timelines = [shared] * count
+    else:
+        timelines = list(timelines)
+    V = len(timelines)
+
+    table = build_job_table(app, horizon_us, hyperperiod_us)
+    J = table.num_jobs
+
+    if ready_us is None:
+        ready_us = _default_ready(app, timelines, horizon_us, hyperperiod_us)
+    else:
+        ready_us = np.array(ready_us, dtype=np.float64)
+    if wcet_us is None:
+        wcet_us = np.broadcast_to(table.base_wcets_us, (V, J)).copy()
+    else:
+        wcet_us = np.array(wcet_us, dtype=np.float64)
+    if admitted is None:
+        admitted = np.ones((V, J), dtype=bool)
+    else:
+        admitted = np.array(admitted, dtype=bool)
+    for name, array in (("ready_us", ready_us), ("wcet_us", wcet_us), ("admitted", admitted)):
+        if array.shape != (V, J):
+            raise ValueError(
+                f"{name} must have shape ({V}, {J}), got {array.shape}"
+            )
+
+    completion = np.full((V, J), np.nan)
+    fallback = np.zeros(V, dtype=bool)
+
+    # -- lane vetting --------------------------------------------------
+    if not batch_supported(app):
+        fallback[:] = True
+    else:
+        bad = ~np.isfinite(ready_us) | ~np.isfinite(wcet_us)
+        fallback |= bad.any(axis=1)
+        fallback |= (admitted & (wcet_us <= 0.0)).any(axis=1)
+        # Per task: admitted ready times must be non-decreasing in
+        # release order, or a later release can overtake an earlier one.
+        for lo, hi in _task_spans(table).values():
+            adm = admitted[:, lo:hi]
+            r = np.where(adm, ready_us[:, lo:hi], -np.inf)
+            running = np.maximum.accumulate(r, axis=1)
+            prev = np.concatenate(
+                [np.full((V, 1), -np.inf), running[:, :-1]], axis=1
+            )
+            fallback |= (adm & (ready_us[:, lo:hi] < prev)).any(axis=1)
+
+    live = ~fallback
+
+    # -- vectorized sweep ----------------------------------------------
+    if live.any():
+        rows = np.arange(V)
+        spans = _task_spans(table)
+        for core in app.platform.cores:
+            core_id = core.core_id
+            core_tasks = sorted(
+                (t for t in app.tasks if t.core_id == core_id),
+                key=lambda t: t.priority,
+            )
+            if not core_tasks:
+                continue
+            occ_s, occ_e, degenerate = _blackout_arrays(timelines, core_id)
+            if degenerate.any():
+                fallback |= degenerate
+                live = ~fallback
+                if not live.any():
+                    break
+            # Compact to disjoint busy intervals: blackouts may overlap
+            # (union semantics, matching the scalar depth counter), and
+            # the gap walk is fastest over true gaps only.
+            occ_s, occ_e = _merge_compact(occ_s, occ_e)
+            for level, task in enumerate(core_tasks):
+                lo, hi = spans[task.name]
+                occ_s, occ_e = _sweep_task(
+                    rows,
+                    range(lo, hi),
+                    ready_us,
+                    wcet_us,
+                    admitted,
+                    completion,
+                    occ_s,
+                    occ_e,
+                    live,
+                    # The lowest level's windows have no consumer:
+                    # skip folding them back into the occupancy.
+                    merge=level + 1 < len(core_tasks),
+                )
+
+    # -- scalar fallback lanes -----------------------------------------
+    result = BatchSimulationResult(
+        horizon_us=horizon_us,
+        table=table,
+        ready_us=ready_us,
+        wcet_us=wcet_us,
+        admitted=admitted,
+        completion_us=completion,
+        scalar_fallback=fallback,
+    )
+    for v in np.flatnonzero(fallback):
+        v = int(v)
+        scalar = Simulator(
+            app,
+            timelines[v],
+            horizon_us,
+            hooks=TabulatedHooks.from_batch(result, v),
+        ).run()
+        result._scalar_results[v] = scalar
+        # Backfill the columnar arrays so vector queries stay valid.
+        completion[v] = [
+            np.nan if job.completion_us is None else job.completion_us
+            for job in scalar.jobs
+        ]
+    return result
+
+
+def _sweep_task(
+    rows,
+    job_idx,
+    ready_us,
+    wcet_us,
+    admitted,
+    completion,
+    occ_s,
+    occ_e,
+    live,
+    merge=True,
+):
+    """Gap-fill every job of one priority level across all live lanes.
+
+    ``occ_s``/``occ_e`` hold the occupancy above this level (blackouts
+    plus higher-ranked execution windows) as disjoint intervals sorted
+    by start per lane.  Returns the occupancy including this level's
+    windows, compacted again.
+
+    The sweep is optimistic: a *first-shot* pass places every job of
+    the level in its landing gap (the first gap ending after its ready
+    time) in a handful of whole-level array operations, assuming the
+    job fits that gap and the same-task precedence chain is slack
+    (previous job done by this release).  Both assumptions hold for the
+    vast majority of jobs; a cumulative-AND prefix per lane marks where
+    they first break, and only the columns from that point on are
+    replayed with an exact scalar walk.  The scalar walk performs the
+    same float64 max/add/subtract sequence as the scalar engine, so
+    byte identity is preserved on both paths.
+    """
+    V, M = occ_s.shape
+    # Gap k (k in 0..M) is [e[k-1], s[k]) with sentinels.  The
+    # occupancy is compacted and disjoint, so real ends are ascending
+    # and every non-leading gap is genuinely free; the -inf end pads
+    # sit past the final (infinite) gap, which every walk fits into,
+    # so they are never consulted.
+    s_ext = np.concatenate([occ_s, np.full((V, 1), np.inf)], axis=1)
+    ce_ext = np.concatenate([np.full((V, 1), -np.inf), occ_e], axis=1)
+    j0 = job_idx[0]
+    J = len(job_idx)
+    j1 = j0 + J
+    ready = ready_us[:, j0:j1]
+    wcet = wcet_us[:, j0:j1]
+    adm = admitted[:, j0:j1] & live[:, None]
+    # Landing gap per (lane, job): rows of s_ext are ascending, so this
+    # is one C-level binary search pass per lane.
+    landing = np.empty((V, J), dtype=np.int64)
+    for v in range(V):
+        landing[v] = np.searchsorted(s_ext[v], ready[v], side="right")
+    lanes = rows[:, None]
+    lo = ce_ext[lanes, landing]
+    hi = s_ext[lanes, landing]
+    f = np.maximum(ready, lo)
+    cand = f + wcet
+    fits0 = adm & (f < hi) & (cand <= hi)
+    # Running maximum of tentative completions = prev_done under the
+    # optimistic assumption.  Failed/vetoed columns contribute -inf and
+    # never constrain the chain (acceptance past a failure is blocked
+    # by the prefix anyway).
+    tent = np.where(fits0, cand, -np.inf)
+    run = np.maximum.accumulate(tent, axis=1)
+    chain_ok = np.empty((V, J), dtype=bool)
+    chain_ok[:, 0] = True
+    np.less_equal(run[:, :-1], ready[:, 1:], out=chain_ok[:, 1:])
+    # A column is consistent if vetoed (nothing to do) or first-shot
+    # placed with a slack chain; acceptance requires every earlier
+    # column of the lane to be consistent too.
+    col_ok = ~adm | (chain_ok & fits0)
+    prefix_ok = np.logical_and.accumulate(col_ok, axis=1)
+    accept = prefix_ok & fits0
+    completion[:, j0:j1][accept] = cand[accept]
+    win_s = np.where(accept, f, np.inf)
+    win_e = np.where(accept, cand, -np.inf)
+
+    # -- residual sweep: columns where some lane's prefix broke --------
+    # A lane that breaks at column ``fb`` re-enters the exact walk for
+    # every later column of the level (acceptance is prefix-gated), so
+    # the residual set per column is a lane suffix.  Those lanes walk
+    # gaps in the classic vectorized loop — overload is correlated
+    # across lanes, so the loop stays wide enough to amortize — and
+    # once few enough lanes remain, per-lane scalar walks (identical
+    # IEEE arithmetic) finish the column.
+    pointer = np.zeros(V, dtype=np.int64)
+    prev_done = np.full(V, -np.inf)
+    in_resid = np.zeros(V, dtype=bool)
+    resid = adm & ~prefix_ok
+    tail_threshold = max(2, V // 8)
+    win_starts: list = []
+    win_ends: list = []
+    tail_rows: list = []
+    tail_s: list = []
+    tail_e: list = []
+    s_flat = s_ext.ravel()
+    ce_flat = ce_ext.ravel()
+    row_off = rows * s_ext.shape[1]
+    for jc in np.flatnonzero(resid.any(axis=0)):
+        jc = int(jc)
+        j = j0 + jc
+        col = resid[:, jc]
+        nact = int(np.count_nonzero(col))
+        if nact <= tail_threshold:
+            # Few lanes need this column: per-lane scalar walks beat
+            # the vector machinery (and skip all its per-column
+            # temporaries).  Same IEEE float64 arithmetic either way.
+            for v in np.flatnonzero(col):
+                v = int(v)
+                if not in_resid[v]:
+                    in_resid[v] = True
+                    pv = float(run[v, jc - 1]) if jc else -np.inf
+                    prev_done[v] = pv
+                    rv = float(ready[v, jc])
+                    lb0 = pv if pv > rv else rv
+                    pointer[v] = int(s_ext[v].searchsorted(lb0, side="right"))
+                s_row = s_ext[v]
+                ce_row = ce_ext[v]
+                rv = float(ready[v, jc])
+                pv = float(prev_done[v])
+                lb = rv if rv > pv else pv
+                p = int(pointer[v])
+                lp = int(landing[v, jc])
+                if lp > p:
+                    p = lp
+                r = float(wcet[v, jc])
+                while True:
+                    lo_v = float(ce_row[p])
+                    hi_v = float(s_row[p])
+                    f_v = lb if lb > lo_v else lo_v
+                    if f_v < hi_v:
+                        cand_v = f_v + r
+                        if cand_v <= hi_v:
+                            tail_rows.append(v)
+                            tail_s.append(f_v)
+                            tail_e.append(cand_v)
+                            completion[v, j] = cand_v
+                            prev_done[v] = cand_v
+                            break
+                        tail_rows.append(v)
+                        tail_s.append(f_v)
+                        tail_e.append(hi_v)
+                        r -= hi_v - f_v
+                    p += 1
+                pointer[v] = p
+            continue
+        active = col.copy()
+        entering = active & ~in_resid
+        if entering.any():
+            for v in np.flatnonzero(entering):
+                v = int(v)
+                pv = float(run[v, jc - 1]) if jc else -np.inf
+                prev_done[v] = pv
+                rv = float(ready[v, jc])
+                lb0 = pv if pv > rv else rv
+                pointer[v] = int(s_ext[v].searchsorted(lb0, side="right"))
+            in_resid |= entering
+        start_lb = np.maximum(ready[:, jc], prev_done)
+        rem = wcet[:, jc].copy()
+        # Only active lanes jump: a vetoed job's ready time is not
+        # covered by the monotonicity vetting and must not drag the
+        # cursor forward.
+        pointer = np.where(active, np.maximum(pointer, landing[:, jc]), pointer)
+        while True:
+            if nact <= tail_threshold:
+                for v in np.flatnonzero(active):
+                    v = int(v)
+                    s_row = s_ext[v]
+                    ce_row = ce_ext[v]
+                    p = int(pointer[v])
+                    lb = float(start_lb[v])
+                    r = float(rem[v])
+                    while True:
+                        lo_v = float(ce_row[p])
+                        hi_v = float(s_row[p])
+                        f_v = lb if lb > lo_v else lo_v
+                        if f_v < hi_v:
+                            cand_v = f_v + r
+                            if cand_v <= hi_v:
+                                tail_rows.append(v)
+                                tail_s.append(f_v)
+                                tail_e.append(cand_v)
+                                completion[v, j] = cand_v
+                                prev_done[v] = cand_v
+                                break
+                            tail_rows.append(v)
+                            tail_s.append(f_v)
+                            tail_e.append(hi_v)
+                            r -= hi_v - f_v
+                        p += 1
+                    pointer[v] = p
+                break
+            gap = row_off + pointer
+            glo = ce_flat[gap]
+            ghi = s_flat[gap]
+            gf = np.maximum(start_lb, glo)
+            placed = active & (gf < ghi)
+            if np.count_nonzero(placed):
+                gcand = gf + rem
+                fits = placed & (gcand <= ghi)
+                cut = np.where(fits, gcand, ghi)
+                # One window column per round, covering both the lanes
+                # that complete here and the ones cut off at the gap end.
+                win_starts.append(np.where(placed, gf, np.inf))
+                win_ends.append(np.where(placed, cut, -np.inf))
+                nfit = int(np.count_nonzero(fits))
+                if nfit:
+                    np.copyto(completion[:, j], gcand, where=fits)
+                    np.copyto(prev_done, gcand, where=fits)
+                    active &= ~fits
+                    nact -= nfit
+                    if not nact:
+                        break
+                np.copyto(rem, rem - (ghi - gf), where=placed & ~fits)
+            # Lanes still active either overshot this gap or consumed
+            # it partially; both resume in the next gap.
+            pointer += active
+    if merge and (accept.any() or win_starts or tail_rows):
+        pieces_s = [occ_s, win_s] + [c[:, None] for c in win_starts]
+        pieces_e = [occ_e, win_e] + [c[:, None] for c in win_ends]
+        if tail_rows:
+            counts = np.bincount(tail_rows, minlength=V)
+            width = int(counts.max())
+            ts = np.full((V, width), np.inf)
+            te = np.full((V, width), -np.inf)
+            slot = [0] * V
+            for k, v in enumerate(tail_rows):
+                ts[v, slot[v]] = tail_s[k]
+                te[v, slot[v]] = tail_e[k]
+                slot[v] += 1
+            pieces_s.append(ts)
+            pieces_e.append(te)
+        occ_s, occ_e = _merge_disjoint(
+            np.concatenate(pieces_s, axis=1), np.concatenate(pieces_e, axis=1)
+        )
+    return occ_s, occ_e
+
+
+def verify_batch_differential(
+    app: Application,
+    timelines,
+    batch: BatchSimulationResult,
+    sample: int = 20,
+) -> int:
+    """Replay sampled variants through the scalar engine and assert
+    byte-identical traces (the batch differential mode).
+
+    ``timelines`` must be the per-variant timelines the batch ran with
+    (a single shared timeline is accepted).  Returns the number of
+    variants checked; raises ``AssertionError`` on the first mismatch.
+    """
+    V = batch.num_variants
+    if isinstance(timelines, CommunicationTimeline):
+        timelines = [timelines] * V
+    count = min(sample, V)
+    if count <= 0:
+        return 0
+    # Deterministic, evenly spread sample covering both endpoints.
+    picks = sorted({int(round(i * (V - 1) / max(count - 1, 1))) for i in range(count)})
+    for v in picks:
+        scalar = Simulator(
+            app,
+            timelines[v],
+            batch.horizon_us,
+            hooks=TabulatedHooks.from_batch(batch, v),
+        ).run()
+        mine = batch.result(v)
+        if repr(mine.jobs) != repr(scalar.jobs):
+            for mine_job, scalar_job in zip(mine.jobs, scalar.jobs):
+                if repr(mine_job) != repr(scalar_job):
+                    raise AssertionError(
+                        f"batch/scalar trace divergence at variant {v}: "
+                        f"{mine_job!r} != {scalar_job!r}"
+                    )
+            raise AssertionError(
+                f"batch/scalar trace divergence at variant {v}"
+            )
+    return len(picks)

@@ -24,7 +24,52 @@ from repro.model.application import Application
 from repro.sim.timeline import CommunicationTimeline
 from repro.sim.trace import ExecutionSegment, JobRecord, SimulationResult
 
-__all__ = ["SimulatorHooks", "Simulator", "simulate"]
+__all__ = ["SimulatorHooks", "Simulator", "simulate", "release_tables"]
+
+
+def release_tables(
+    app: Application,
+    timeline: CommunicationTimeline,
+    horizon_us: int,
+    hyperperiod_us: int | None = None,
+) -> dict[str, list[tuple[int, float]]]:
+    """Per task, the (release, ready) pairs over the horizon.
+
+    Releases and their readiness offsets repeat every hyperperiod (the
+    timeline builders shift one base schedule), so each table is
+    computed for the first hyperperiod and tiled.  Instants the
+    timeline pins explicitly still win via the dictionary hit; a
+    timeline that only covers the first hyperperiod is extended
+    periodically instead of falling back to zero latency.
+
+    This is the canonical job enumeration shared by the scalar
+    :class:`Simulator` and the vectorized :mod:`repro.sim.batch`
+    engine: both seed jobs in ``app.tasks`` order with releases
+    ascending, so their traces line up index for index.
+    """
+    if hyperperiod_us is None:
+        hyperperiod_us = app.tasks.hyperperiod_us()
+    ready_times = timeline.ready_times
+    tables: dict[str, list[tuple[int, float]]] = {}
+    for task in app.tasks:
+        name = task.name
+        period = task.period_us
+        base_span = min(hyperperiod_us, horizon_us)
+        base = [
+            (release, ready_times.get((name, release), float(release)) - release)
+            for release in range(0, base_span, period)
+        ]
+        table = [(release, release + delta) for release, delta in base]
+        for cycle in range(hyperperiod_us, horizon_us, hyperperiod_us):
+            for offset, delta in base:
+                release = cycle + offset
+                if release >= horizon_us:
+                    break
+                table.append(
+                    (release, ready_times.get((name, release), release + delta))
+                )
+        tables[name] = table
+    return tables
 
 
 class SimulatorHooks:
@@ -140,47 +185,21 @@ class Simulator:
     def _push(self, time: float, kind: int, payload: object) -> None:
         heapq.heappush(self._events, (time, kind, next(self._sequence), payload))
 
-    def _release_table(self, task) -> list[tuple[int, float]]:
-        """(release, ready) pairs of one task over the horizon.
-
-        Releases and their readiness offsets repeat every hyperperiod
-        (the timeline builders shift one base schedule), so the table
-        is computed for the first hyperperiod and tiled.  Instants the
-        timeline pins explicitly still win via the dictionary hit; a
-        timeline that only covers the first hyperperiod is extended
-        periodically instead of falling back to zero latency.
-        """
-        ready_times = self.timeline.ready_times
-        name = task.name
-        period = task.period_us
-        base_span = min(self._hyperperiod, self.horizon_us)
-        base = [
-            (release, ready_times.get((name, release), float(release)) - release)
-            for release in range(0, base_span, period)
-        ]
-        table = [(release, release + delta) for release, delta in base]
-        for cycle in range(self._hyperperiod, self.horizon_us, self._hyperperiod):
-            for offset, delta in base:
-                release = cycle + offset
-                if release >= self.horizon_us:
-                    break
-                table.append(
-                    (release, ready_times.get((name, release), release + delta))
-                )
-        return table
-
     def _seed_events(self, result: SimulationResult) -> None:
         events = self._events
         sequence = self._sequence
         hooks = self.hooks
         jobs = result.jobs
+        tables = release_tables(
+            self.app, self.timeline, self.horizon_us, self._hyperperiod
+        )
         for task in self.app.tasks:
             name = task.name
             priority = task.priority
             core_id = task.core_id
             wcet_us = task.wcet_us
             deadline_us = task.deadline_us
-            for release, ready in self._release_table(task):
+            for release, ready in tables[task.name]:
                 wcet = wcet_us
                 if hooks is not None:
                     ready = hooks.job_ready_us(name, release, ready)
@@ -254,12 +273,6 @@ class Simulator:
     def _reschedule(self, now: float, core_id: str) -> None:
         core = self._cores[core_id]
         running = core.running
-        # Account progress of the job that ran until now.
-        if running is not None:
-            if self.record_execution:
-                self._record_segment(running, core.running_since, now)
-            remaining = running.remaining_us - (now - core.running_since)
-            running.remaining_us = remaining if remaining > 0.0 else 0.0
         next_job = None
         if core.blackout_depth == 0:
             ready = core.ready
@@ -271,8 +284,18 @@ class Simulator:
                     next_job = job
                     break
         if next_job is running and next_job is not None:
-            core.running_since = now
+            # The running job keeps the core: leave its window open so
+            # progress is accounted once, at the genuine stop point.
+            # (One subtraction per maximal window keeps the float
+            # arithmetic replicable by the batch engine's gap filling.)
             return
+        if running is not None:
+            # The job stops here (preemption or idle transition):
+            # account the whole maximal window [running_since, now).
+            if self.record_execution:
+                self._record_segment(running, core.running_since, now)
+            remaining = running.remaining_us - (now - core.running_since)
+            running.remaining_us = remaining if remaining > 0.0 else 0.0
         core.version += 1
         core.running = next_job
         core.running_since = now

@@ -31,12 +31,14 @@ from repro.core.protocol import LetDmaProtocol
 from repro.core.solution import AllocationResult
 from repro.let.communication import Communication
 from repro.let.giotto import giotto_order
-from repro.let.grouping import active_instants
+from repro.let.grouping import active_instants, let_groups
 from repro.model.application import Application
 
 __all__ = [
     "CommunicationTimeline",
+    "TimelineSkeleton",
     "proposed_timeline",
+    "proposed_timeline_skeleton",
     "giotto_cpu_timeline",
     "giotto_dma_a_timeline",
     "giotto_dma_b_timeline",
@@ -117,6 +119,132 @@ def proposed_timeline(
                 timeline.ready_times[(task, t + shift)] = ready + shift
     _sort_blackouts(timeline)
     return timeline
+
+
+@dataclass
+class TimelineSkeleton:
+    """The fault-independent structure behind :func:`proposed_timeline`.
+
+    Building a proposed timeline spends most of its time deriving the
+    dispatch *structure* — which transfers run at each active instant,
+    in which order, programmed by which core, and which released tasks
+    wait on which dispatches.  None of that depends on the fault axes:
+    a DMA slowdown scales the per-byte cost and transfer retries
+    stretch individual copies, but the ordering and the dependency
+    wiring are fixed by the allocation.  The skeleton captures the
+    structure once so :meth:`materialize` can re-derive the float
+    timing chain for any fault configuration in one cheap pass —
+    producing a timeline equal to what :func:`proposed_timeline` builds
+    for the same degraded parameters and transfer hook.
+
+    Attributes:
+        horizon_us: Horizon the skeleton was built for.
+        hyperperiod_us: The application hyperperiod (tiling step).
+        dma: The *nominal* DMA parameters (o_DP, o_ISR, omega_c).
+        instants: Per active instant ``t``: the dispatch skeletons as
+            ``(transfer_index, total_bytes, programming_core)`` in
+            execution order, and per released task the positions of the
+            dispatches its readiness waits on.
+        ready_defaults: ``(task, release) -> float(release)`` for every
+            release in the horizon (rule R1 default).
+    """
+
+    horizon_us: int
+    hyperperiod_us: int
+    dma: object
+    instants: list[tuple[int, list[tuple[int, int, str]], list[tuple[str, tuple[int, ...]]]]]
+    ready_defaults: dict[tuple[str, int], float]
+
+    def materialize(self, dma=None, transfer_hook=None) -> CommunicationTimeline:
+        """A timeline with the skeleton's structure and re-derived
+        timings; ``dma`` defaults to the nominal parameters."""
+        if dma is None:
+            dma = self.dma
+        o_dp = dma.programming_overhead_us
+        o_isr = dma.isr_overhead_us
+        omega = dma.copy_cost_us_per_byte
+        timeline = CommunicationTimeline()
+        timeline.ready_times.update(self.ready_defaults)
+        base = []
+        for t, dispatches, dependents in self.instants:
+            clock = float(t)
+            timings = []
+            for index, total_bytes, core in dispatches:
+                start = clock
+                copy_start = start + o_dp
+                copy_us = omega * total_bytes
+                if transfer_hook is not None:
+                    copy_us = transfer_hook.copy_duration_us(index, t, copy_us)
+                isr_start = copy_start + copy_us
+                end = isr_start + o_isr
+                timings.append((core, start, copy_start, isr_start, end))
+                clock = end
+            ready = {}
+            for task, positions in dependents:
+                value = float(t)
+                for p in positions:
+                    end = timings[p][4]
+                    if end > value:
+                        value = end
+                ready[task] = value
+            base.append((t, timings, ready))
+        for cycle_start in range(0, self.horizon_us, self.hyperperiod_us):
+            for t, timings, ready in base:
+                shift = cycle_start
+                if t + shift >= self.horizon_us:
+                    continue
+                for core, start, copy_start, isr_start, end in timings:
+                    timeline.add_blackout(core, start + shift, copy_start + shift)
+                    timeline.add_blackout(core, isr_start + shift, end + shift)
+                for task, value in ready.items():
+                    timeline.ready_times[(task, t + shift)] = value + shift
+        _sort_blackouts(timeline)
+        return timeline
+
+
+def proposed_timeline_skeleton(
+    app: Application,
+    result: AllocationResult,
+    horizon_us: int | None = None,
+) -> TimelineSkeleton:
+    """Extract the reusable structure of the proposed protocol; see
+    :class:`TimelineSkeleton`."""
+    if horizon_us is None:
+        horizon_us = app.tasks.hyperperiod_us()
+    protocol = LetDmaProtocol(app, result)
+    instants = []
+    for t in active_instants(app):
+        transfers = list(result.transfers_at(app, t))
+        dispatches = [
+            (
+                transfer.index,
+                transfer.total_bytes,
+                protocol.programming_core_of(transfer),
+            )
+            for transfer in transfers
+        ]
+        comm_sets = [set(transfer.communications) for transfer in transfers]
+        dependents = []
+        for task in app.tasks:
+            if t % task.period_us != 0:
+                continue
+            writes, reads = let_groups(app, t, task.name)
+            needed = set(writes) | set(reads)
+            positions = tuple(
+                p for p, comms in enumerate(comm_sets) if needed & comms
+            )
+            dependents.append((task.name, positions))
+        instants.append((t, dispatches, dependents))
+    ready_defaults = {
+        (task, t): float(t) for task, t in _releases(app, horizon_us)
+    }
+    return TimelineSkeleton(
+        horizon_us=horizon_us,
+        hyperperiod_us=app.tasks.hyperperiod_us(),
+        dma=app.platform.dma,
+        instants=instants,
+        ready_defaults=ready_defaults,
+    )
 
 
 def _giotto_waits(

@@ -1,10 +1,32 @@
-"""Simulation records and result queries."""
+"""Simulation records and result queries.
+
+Two trace layouts live here:
+
+* the row-oriented :class:`SimulationResult` / :class:`JobRecord` pair
+  produced by the scalar event engine — one Python object per job;
+* the columnar :class:`BatchJobTable` / :class:`BatchSimulationResult`
+  pair produced by :mod:`repro.sim.batch` — static per-job columns
+  shared by every variant, plus dense ``[variants, jobs]`` arrays for
+  the per-variant quantities.  :meth:`BatchSimulationResult.result`
+  reconstructs the row layout for any one variant, byte-identical to
+  what the scalar engine would have produced.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["JobRecord", "SimulationResult"]
+try:  # numpy backs the columnar layout; the row layout never needs it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
+
+__all__ = [
+    "JobRecord",
+    "SimulationResult",
+    "BatchJobTable",
+    "BatchSimulationResult",
+]
 
 
 @dataclass
@@ -118,3 +140,127 @@ class SimulationResult:
     def core_busy_us(self, core_id: str) -> float:
         """Total application execution time observed on one core."""
         return sum(s.duration_us for s in self.segments if s.core_id == core_id)
+
+
+# ----------------------------------------------------------------------
+# Columnar batch traces (repro.sim.batch)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchJobTable:
+    """Static per-job columns shared by every variant of a batch.
+
+    Jobs appear in the scalar engine's seeding order — ``app.tasks``
+    order, releases ascending — so index ``j`` here lines up with
+    ``SimulationResult.jobs[j]`` of any variant.  All columns are
+    length ``num_jobs``.
+
+    Attributes:
+        tasks: Task name per job.
+        core_ids: Core each job executes on.
+        priorities: Fixed priority per job (int64 array).
+        releases_us: Absolute release instant per job (int64 array).
+        deadlines: Absolute deadline per job, as the Python scalars the
+            scalar engine would store (``release + task.deadline_us``
+            keeps int-ness when the task deadline is integral).
+        deadlines_us: Absolute deadline per job (float64 array).
+        base_wcets_us: Nominal WCET per job, before any per-variant
+            overrides (float64 array).
+    """
+
+    tasks: tuple
+    core_ids: tuple
+    priorities: "object"
+    releases_us: "object"
+    deadlines: tuple
+    deadlines_us: "object"
+    base_wcets_us: "object"
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass
+class BatchSimulationResult:
+    """Columnar trace of one ``simulate_batch`` run.
+
+    Per-variant quantities are dense float64/bool arrays of shape
+    ``[num_variants, num_jobs]``; never-completed jobs (dropped by an
+    admission veto) hold NaN in ``completion_us``.
+
+    Variants the vectorized engine could not handle (see
+    :func:`repro.sim.batch.simulate_batch`) were replayed through the
+    scalar engine; their indices are flagged in ``scalar_fallback`` and
+    :meth:`result` returns the stored scalar trace directly.
+    """
+
+    horizon_us: int
+    table: BatchJobTable
+    ready_us: "object"
+    wcet_us: "object"
+    admitted: "object"
+    completion_us: "object"
+    scalar_fallback: "object"
+    _scalar_results: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def num_variants(self) -> int:
+        return int(self.ready_us.shape[0])
+
+    @property
+    def num_jobs(self) -> int:
+        return self.table.num_jobs
+
+    def result(self, variant: int) -> SimulationResult:
+        """The row-layout trace of one variant, byte-identical to the
+        scalar engine's output for the same inputs."""
+        if variant in self._scalar_results:
+            return self._scalar_results[variant]
+        table = self.table
+        releases = table.releases_us.tolist()
+        deadlines = table.deadlines
+        ready = self.ready_us[variant].tolist()
+        completion = self.completion_us[variant].tolist()
+        admitted = self.admitted[variant].tolist()
+        result = SimulationResult(horizon_us=self.horizon_us)
+        jobs = result.jobs
+        for j, task in enumerate(table.tasks):
+            done = completion[j]
+            jobs.append(
+                JobRecord(
+                    task=task,
+                    release_us=releases[j],
+                    ready_us=ready[j],
+                    deadline_us=deadlines[j],
+                    completion_us=(
+                        done if admitted[j] and done == done else None
+                    ),
+                )
+            )
+        return result
+
+    def results(self):
+        """Row-layout traces of every variant, in variant order."""
+        return [self.result(v) for v in range(self.num_variants)]
+
+    def missed_deadlines(self) -> "object":
+        """Boolean ``[variants, jobs]`` mirror of
+        :attr:`JobRecord.missed_deadline`."""
+        never = ~self.admitted | _np.isnan(self.completion_us)
+        late = self.completion_us > self.table.deadlines_us[None, :] + 1e-6
+        return never | late
+
+    def deadline_miss_counts(self) -> "object":
+        """Deadline misses per variant (dropped jobs included)."""
+        counts = self.missed_deadlines().sum(axis=1)
+        for variant, scalar in self._scalar_results.items():
+            counts[variant] = len(scalar.deadline_misses())
+        return counts
+
+    def response_times_us(self) -> "object":
+        """Per-variant response times (NaN where a job never ran)."""
+        releases = self.table.releases_us.astype(_np.float64)
+        spans = self.completion_us - releases[None, :]
+        return _np.where(self.admitted, spans, _np.nan)

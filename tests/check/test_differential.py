@@ -210,3 +210,65 @@ class TestPresolveDifferential:
         )
         assert not verdict.ok
         assert any("nopresolve" in d for d in verdict.disagreements)
+
+
+class TestBatchSimDifferential:
+    def test_disabled_by_default(self, solved_simple):
+        app, good = solved_simple
+        verdict = compare_runs(
+            app, DifferentialConfig(backends=("highs",)), {"highs": good}
+        )
+        assert not any("batch-sim" in note for note in verdict.notes)
+        assert not any("batch-sim" in d for d in verdict.disagreements)
+
+    def test_agrees_on_simple_app(self, solved_simple):
+        app, good = solved_simple
+        verdict = compare_runs(
+            app,
+            DifferentialConfig(backends=("highs",), check_batch_sim=True),
+            {"highs": good},
+        )
+        assert verdict.ok, verdict.disagreements
+
+    def test_corrupted_batch_detected(self, solved_simple, monkeypatch):
+        import repro.sim.batch as batch_mod
+
+        app, good = solved_simple
+        real = batch_mod.simulate_batch
+
+        def corrupted(*args, **kwargs):
+            batch = real(*args, **kwargs)
+            batch.completion_us[0, 0] += 1.0
+            return batch
+
+        monkeypatch.setattr(batch_mod, "simulate_batch", corrupted)
+        verdict = compare_runs(
+            app,
+            DifferentialConfig(backends=("highs",), check_batch_sim=True),
+            {"highs": good},
+        )
+        assert not verdict.ok
+        assert any(
+            "batch-sim differential" in d for d in verdict.disagreements
+        )
+
+    def test_unsupported_app_is_a_note(self, solved_simple, monkeypatch):
+        import repro.sim.batch as batch_mod
+
+        app, good = solved_simple
+        monkeypatch.setattr(batch_mod, "batch_supported", lambda _app: False)
+        verdict = compare_runs(
+            app,
+            DifferentialConfig(backends=("highs",), check_batch_sim=True),
+            {"highs": good},
+        )
+        assert verdict.ok
+        assert any("batch-sim check skipped" in n for n in verdict.notes)
+
+    def test_fuzz_config_forwards_the_flag(self):
+        from repro.check.fuzz import FuzzConfig, _differential_config
+
+        config = _differential_config(
+            FuzzConfig(check_batch_sim=True), Objective.MIN_TRANSFERS
+        )
+        assert config.check_batch_sim

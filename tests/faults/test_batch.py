@@ -1,0 +1,124 @@
+"""Tests for the vectorized robustness grid (repro.faults.batch)."""
+
+import pytest
+
+from repro.core import Objective
+from repro.faults import FaultSpec, evaluate_robustness, evaluate_robustness_batch
+from repro.reporting import solve_instance
+from repro.sim.batch import verify_batch_differential
+
+_REPORT_FIELDS = (
+    "policy",
+    "total_jobs",
+    "deadline_misses",
+    "acquisition_misses",
+    "dropped_jobs",
+    "max_staleness",
+    "property3_violations",
+    "deadline_violations",
+)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    return solve_instance(
+        Objective.MIN_TRANSFERS, 0.2, backend="greedy", verify=False
+    )
+
+
+def _grid(intensities, seeds, policies=("stale-data", "fail-stop")):
+    return [
+        (FaultSpec.from_intensity(i, seed=s), policy)
+        for i in intensities
+        for s in seeds
+        for policy in policies
+    ]
+
+
+def assert_reports_equal(batched, scalar):
+    for index, (got, want) in enumerate(zip(batched, scalar, strict=True)):
+        for fieldname in _REPORT_FIELDS:
+            assert getattr(got, fieldname) == getattr(want, fieldname), (
+                f"variant {index}: {fieldname}: "
+                f"batch={getattr(got, fieldname)!r} "
+                f"scalar={getattr(want, fieldname)!r}"
+            )
+
+
+class TestGridEqualsScalar:
+    def test_mixed_intensity_grid(self, solved):
+        app, result = solved
+        variants = _grid((0.0, 0.5, 1.0), (0, 1))
+        outcome = evaluate_robustness_batch(app, result, variants)
+        scalar = [
+            evaluate_robustness(app, result, spec, policy)
+            for spec, policy in variants
+        ]
+        assert_reports_equal(outcome.reports, scalar)
+
+    def test_traces_byte_identical(self, solved):
+        app, result = solved
+        variants = _grid((0.0, 0.7), (0, 3))
+        outcome = evaluate_robustness_batch(app, result, variants)
+        # Raises AssertionError naming the first diverging record.
+        verify_batch_differential(
+            app, outcome.timelines, outcome.batch, sample=len(variants)
+        )
+
+    def test_zero_intensity_grid_is_clean(self, solved):
+        app, result = solved
+        variants = _grid((0.0,), (0, 1, 2))
+        outcome = evaluate_robustness_batch(app, result, variants)
+        scalar = [
+            evaluate_robustness(app, result, spec, policy)
+            for spec, policy in variants
+        ]
+        assert_reports_equal(outcome.reports, scalar)
+        for report in outcome.reports:
+            assert report.deadline_misses == 0
+            assert report.acquisition_misses == 0
+
+    def test_jitter_only_grid_exercises_policies(self, solved):
+        app, result = solved
+        variants = [
+            (FaultSpec(release_jitter_us=5_000.0, seed=3), "stale-data"),
+            (FaultSpec(release_jitter_us=5_000.0, seed=3), "fail-stop"),
+        ]
+        outcome = evaluate_robustness_batch(app, result, variants)
+        scalar = [
+            evaluate_robustness(app, result, spec, policy)
+            for spec, policy in variants
+        ]
+        assert_reports_equal(outcome.reports, scalar)
+        stale, stop = outcome.reports
+        assert stale.acquisition_misses > 0
+        assert stale.worst_staleness >= 1
+        assert stop.dropped_jobs == stop.acquisition_misses
+
+
+class TestBatchOutcome:
+    def test_timelines_shared_within_signature(self, solved):
+        app, result = solved
+        spec = FaultSpec.from_intensity(0.5, seed=1)
+        variants = [(spec, "stale-data"), (spec, "fail-stop")]
+        outcome = evaluate_robustness_batch(app, result, variants)
+        # Same fault signature -> the timeline object is shared.
+        assert outcome.timelines[0] is outcome.timelines[1]
+
+    def test_keep_simulation_attaches_traces(self, solved):
+        app, result = solved
+        variants = _grid((0.3,), (0,), policies=("stale-data",))
+        light = evaluate_robustness_batch(app, result, variants)
+        full = evaluate_robustness_batch(
+            app, result, variants, keep_simulation=True
+        )
+        assert light.reports[0].simulation is None
+        assert full.reports[0].simulation is not None
+        assert full.reports[0].diagnostic is not None
+
+    def test_unknown_policy_rejected(self, solved):
+        app, result = solved
+        with pytest.raises(ValueError, match="unknown degradation policy"):
+            evaluate_robustness_batch(
+                app, result, [(FaultSpec.none(), "nope")]
+            )

@@ -6,8 +6,9 @@ grids stay tiny so the whole module runs in the fast CI subset.
 
 import pytest
 
+import repro.faults.batch as batch_module
 import repro.faults.campaign as campaign_module
-from repro.faults import ChaosConfig, chaos_grid, render_chaos_table, run_chaos
+from repro.faults import BatchChaosJob, ChaosConfig, chaos_grid, render_chaos_table, run_chaos
 from repro.runtime import read_telemetry
 
 TINY = ChaosConfig(
@@ -46,6 +47,30 @@ class TestGrid:
             "objective": job.objective.value,
         }
 
+    def test_batch_grid_collapses_per_alpha(self):
+        config = ChaosConfig(
+            alphas=(0.2, 0.3),
+            intensities=(0.0, 0.5),
+            seeds=(0, 1),
+            policies=("stale-data",),
+        )
+        batched = chaos_grid(config, batch=True)
+        assert len(batched) == 2  # one job per alpha
+        assert all(isinstance(job, BatchChaosJob) for job in batched)
+        # The members cover exactly the scalar grid's job ids.
+        scalar_ids = {job.job_id for job in chaos_grid(config)}
+        member_ids = {
+            member_id for job in batched for member_id in job.member_ids
+        }
+        assert member_ids == scalar_ids
+
+    def test_narrow_restricts_members(self):
+        (job,) = chaos_grid(TINY, batch=True)
+        keep = job.member_ids[:1]
+        narrowed = job.narrow(keep)
+        assert narrowed.member_ids == keep
+        assert len(job.member_ids) == 4  # original untouched
+
 
 class TestRunChaos:
     def test_campaign_produces_chaos_records(self, tmp_path):
@@ -65,13 +90,35 @@ class TestRunChaos:
         # ...and full intensity degrades the greedy allocation.
         assert not by_intensity[(1.0, "stale-data")]["clean"]
 
+    def test_batched_and_scalar_campaigns_agree(self, tmp_path):
+        batched = run_chaos(
+            TINY, telemetry=tmp_path / "batched.jsonl", batch=True
+        )
+        scalar = run_chaos(
+            TINY, telemetry=tmp_path / "scalar.jsonl", batch=False
+        )
+        assert [o.job_id for o in batched] == [o.job_id for o in scalar]
+        for fast, slow in zip(batched, scalar):
+            a = fast.record["robustness"]
+            b = slow.record["robustness"]
+            for key in (
+                "policy",
+                "total_jobs",
+                "deadline_misses",
+                "acquisition_misses",
+                "dropped_jobs",
+                "max_staleness",
+                "clean",
+            ):
+                assert a[key] == b[key], (fast.job_id, key)
+
     def test_killed_campaign_resumes_without_reexecuting(
         self, tmp_path, monkeypatch
     ):
         """Acceptance: a chaos campaign killed mid-run continues via
         resume, re-running only the grid points that never finished."""
         telemetry = tmp_path / "chaos.jsonl"
-        run_chaos(TINY, telemetry=telemetry)
+        run_chaos(TINY, telemetry=telemetry, batch=False)
         # Simulate a SIGKILL mid-append: drop the last full record and
         # leave a torn fragment of it behind.
         lines = telemetry.read_text().splitlines()
@@ -88,9 +135,41 @@ class TestRunChaos:
         monkeypatch.setattr(
             campaign_module, "evaluate_robustness", counting_evaluate
         )
-        outcomes = run_chaos(TINY, telemetry=telemetry, resume=True)
+        outcomes = run_chaos(
+            TINY, telemetry=telemetry, resume=True, batch=False
+        )
         assert [o.resumed for o in outcomes] == [True, True, True, False]
         assert len(evaluated) == 1  # only the torn point re-ran
+        records = read_telemetry(telemetry)
+        assert len(records) == 4
+        assert len({r["job_id"] for r in records}) == 4
+
+    def test_killed_batched_campaign_resumes_narrowed(
+        self, tmp_path, monkeypatch
+    ):
+        """A batched campaign resumes at grid-point granularity: the
+        batch job is narrowed to the members missing from telemetry."""
+        telemetry = tmp_path / "chaos.jsonl"
+        run_chaos(TINY, telemetry=telemetry, batch=True)
+        lines = telemetry.read_text().splitlines()
+        assert len(lines) == 4  # one line per member, not per batch
+        telemetry.write_text("\n".join(lines[:3]) + "\n" + lines[3][:31])
+
+        evaluated = []
+        real_evaluate = batch_module.evaluate_robustness_batch
+
+        def counting_evaluate(app, result, variants, **kwargs):
+            evaluated.extend(variants)
+            return real_evaluate(app, result, variants, **kwargs)
+
+        # BatchChaosJob.execute imports from repro.faults.batch at call
+        # time, so patching the module attribute is enough.
+        monkeypatch.setattr(
+            batch_module, "evaluate_robustness_batch", counting_evaluate
+        )
+        outcomes = run_chaos(TINY, telemetry=telemetry, resume=True)
+        assert [o.resumed for o in outcomes] == [True, True, True, False]
+        assert len(evaluated) == 1  # only the torn member re-ran
         records = read_telemetry(telemetry)
         assert len(records) == 4
         assert len({r["job_id"] for r in records}) == 4
@@ -99,6 +178,11 @@ class TestRunChaos:
         telemetry = tmp_path / "chaos.jsonl"
         run_chaos(TINY, telemetry=telemetry)
         monkeypatch.setattr(
+            batch_module,
+            "evaluate_robustness_batch",
+            lambda *a, **k: pytest.fail("resumed campaign re-evaluated"),
+        )
+        monkeypatch.setattr(
             campaign_module,
             "evaluate_robustness",
             lambda *a, **k: pytest.fail("resumed campaign re-evaluated"),
@@ -106,6 +190,16 @@ class TestRunChaos:
         outcomes = run_chaos(TINY, telemetry=telemetry, resume=True)
         assert all(o.resumed for o in outcomes)
         assert len(read_telemetry(telemetry)) == 4
+
+    def test_scalar_checkpoint_resumes_under_batch_mode(self, tmp_path):
+        """Job-id compatibility: a campaign checkpointed by the scalar
+        path is fully resumed by the batched path (and vice versa)."""
+        telemetry = tmp_path / "chaos.jsonl"
+        run_chaos(TINY, telemetry=telemetry, batch=False)
+        outcomes = run_chaos(
+            TINY, telemetry=telemetry, resume=True, batch=True
+        )
+        assert all(o.resumed for o in outcomes)
 
 
 class TestRendering:

@@ -63,6 +63,101 @@ class TestSequential:
         assert outcome.record["tags"] == {"alpha": 0.3, "seed": 1}
 
 
+@dataclass
+class FakeBatchJob:
+    """Minimal batched campaign job for protocol tests."""
+
+    job_id: str
+    member_ids: list
+    fail: bool = False
+    tags: dict = field(default_factory=dict)
+
+    event = "chaos"
+
+    def narrow(self, ids):
+        keep = [m for m in self.member_ids if m in set(ids)]
+        return FakeBatchJob(self.job_id, keep, self.fail, dict(self.tags))
+
+    @property
+    def members(self):
+        @dataclass
+        class _Member:
+            job_id: str
+            tags: dict
+
+        return [_Member(m, {"member": m}) for m in self.member_ids]
+
+    def execute(self, cache_dir, deadline_seconds):
+        if self.fail:
+            raise RuntimeError("batch exploded")
+        records = [
+            {
+                "job_id": member,
+                "status": "optimal",
+                "tags": {"member": member},
+                "wall_seconds": 0.0,
+            }
+            for member in self.member_ids
+        ]
+        return AllocationResult(status=SolveStatus.OPTIMAL), records
+
+
+class TestBatchedJobs:
+    def test_one_outcome_per_member(self, tmp_path):
+        job = FakeBatchJob("batch", ["p1", "p2", "p3"])
+        outcomes = ExperimentRunner(
+            telemetry=tmp_path / "t.jsonl"
+        ).run([job])
+        assert [o.job_id for o in outcomes] == ["p1", "p2", "p3"]
+        assert [o.tags for o in outcomes] == [
+            {"member": "p1"}, {"member": "p2"}, {"member": "p3"}
+        ]
+        records = read_telemetry(tmp_path / "t.jsonl")
+        assert [r["job_id"] for r in records] == ["p1", "p2", "p3"]
+
+    def test_member_ids_participate_in_duplicate_check(self):
+        grid = [
+            FakeBatchJob("batch", ["p1", "p2"]),
+            FakeBatchJob("other", ["p2"]),
+        ]
+        with pytest.raises(ValueError, match="duplicate job_id 'p2'"):
+            ExperimentRunner().run(grid)
+
+    def test_partial_checkpoint_narrows_the_batch(self, tmp_path):
+        telemetry = tmp_path / "t.jsonl"
+        ExperimentRunner(telemetry=telemetry).run(
+            [FakeBatchJob("batch", ["p1", "p2"])]
+        )
+        outcomes = ExperimentRunner(telemetry=telemetry, resume=True).run(
+            [FakeBatchJob("batch", ["p1", "p2", "p3"])]
+        )
+        assert [(o.job_id, o.resumed) for o in outcomes] == [
+            ("p1", True), ("p2", True), ("p3", False)
+        ]
+        assert len(read_telemetry(telemetry)) == 3
+
+    def test_batch_error_fans_out_per_member(self, tmp_path):
+        telemetry = tmp_path / "t.jsonl"
+        job = FakeBatchJob("batch", ["p1", "p2"], fail=True)
+        outcomes = ExperimentRunner(telemetry=telemetry).run([job])
+        assert [o.job_id for o in outcomes] == ["p1", "p2"]
+        for outcome in outcomes:
+            assert outcome.result.status is SolveStatus.ERROR
+            assert "batch exploded" in outcome.record["error"]
+            assert outcome.record["tags"] == {"member": outcome.job_id}
+        assert len(read_telemetry(telemetry)) == 2
+
+    def test_batched_jobs_run_in_parallel_mode(self, tmp_path):
+        grid = [
+            FakeBatchJob("b1", ["p1", "p2"]),
+            FakeBatchJob("b2", ["p3", "p4"]),
+        ]
+        outcomes = ExperimentRunner(
+            jobs=2, telemetry=tmp_path / "t.jsonl"
+        ).run(grid)
+        assert [o.job_id for o in outcomes] == ["p1", "p2", "p3", "p4"]
+
+
 class TestDeadline:
     def test_deadline_caps_rung_budget(self, timeout_app):
         # A generous per-config limit, but a microscopic per-job

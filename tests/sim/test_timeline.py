@@ -47,6 +47,47 @@ class TestProposedTimeline:
         assert len(two.blackouts["P1"]) == 2 * len(one.blackouts["P1"])
 
 
+class TestTimelineSkeleton:
+    """materialize() must rebuild exactly what proposed_timeline builds."""
+
+    def test_nominal_materialization_is_equal(self, fig1_app, result):
+        from repro.sim.timeline import proposed_timeline_skeleton
+
+        horizon = 2 * fig1_app.tasks.hyperperiod_us()
+        skeleton = proposed_timeline_skeleton(fig1_app, result, horizon)
+        fast = skeleton.materialize()
+        reference = proposed_timeline(fig1_app, result, horizon)
+        assert fast.blackouts == reference.blackouts
+        assert fast.ready_times == reference.ready_times
+
+    def test_degraded_and_hooked_materialization_is_equal(
+        self, fig1_app, result
+    ):
+        from repro.faults import FaultInjector, FaultSpec, degraded_application
+        from repro.sim.dma_device import degrade_dma_parameters
+        from repro.sim.timeline import proposed_timeline_skeleton
+
+        skeleton = proposed_timeline_skeleton(fig1_app, result)
+        for spec in (
+            FaultSpec(dma_slowdown=1.7),
+            FaultSpec(transfer_failure_rate=0.6, seed=5),
+            FaultSpec.from_intensity(0.9, seed=2),
+        ):
+            fast = skeleton.materialize(
+                degrade_dma_parameters(
+                    fig1_app.platform.dma, spec.dma_slowdown
+                ),
+                transfer_hook=FaultInjector(spec),
+            )
+            reference = proposed_timeline(
+                degraded_application(fig1_app, spec),
+                result,
+                transfer_hook=FaultInjector(spec),
+            )
+            assert fast.blackouts == reference.blackouts, spec
+            assert fast.ready_times == reference.ready_times, spec
+
+
 class TestGiottoTimelines:
     def test_cpu_blackout_equals_copy_time(self, fig1_app):
         timeline = giotto_cpu_timeline(fig1_app, 10_000)
