@@ -21,10 +21,15 @@ Quick start::
 of HiGHS → branch-and-bound → greedy with graceful degradation on
 timeouts, an optional persistent cache, and optional JSONL telemetry.
 Grids of solves run in parallel through
-:class:`repro.runtime.ExperimentRunner`.
+:class:`repro.runtime.ExperimentRunner`.  Underneath all of them is one
+contract — :class:`repro.api.SolveRequest` in,
+:class:`repro.api.SolveOutcome` out — which the resident solve service
+(:mod:`repro.service`, ``letdma serve``) also speaks.
 
 Package map:
 
+* :mod:`repro.api`       — the stable request/outcome contract every
+  solve path executes (facade, runner workers, solve service);
 * :mod:`repro.model`     — platform, tasks, labels, application;
 * :mod:`repro.let`       — LET semantics: skip rules, Algorithm 1, properties;
 * :mod:`repro.milp`      — MILP modeling layer (HiGHS via scipy + pure-Python B&B);
@@ -42,6 +47,9 @@ Package map:
 * :mod:`repro.faults`    — fault injection over the simulator's hook
   points, graceful-degradation policies, robustness reports, and the
   ``letdma chaos`` campaign grids;
+* :mod:`repro.service`   — solve-as-a-service: content-addressed job
+  queue, request dedup, sharded workers, live metrics, and the
+  in-process/socket clients behind ``letdma serve``;
 * :mod:`repro.reporting` — experiment drivers and text tables/figures.
 """
 
@@ -82,6 +90,11 @@ from repro.runtime import (
     solve_with_portfolio,
     summarize_telemetry,
 )
+
+# repro.api sits under repro.runtime.facade in the import graph; pull
+# it in after repro.runtime so the facade's own `from repro.api import`
+# never sees a partially initialized module.
+from repro.api import SolveOutcome, SolveRequest
 from repro.sim import simulate, timeline_for
 from repro.waters import waters_application
 from repro.workloads import WorkloadSpec, generate_application
@@ -112,6 +125,8 @@ __all__ = [
     "Platform",
     "Task",
     "TaskSet",
+    "SolveRequest",
+    "SolveOutcome",
     "ExperimentRunner",
     "SolveJob",
     "TelemetryWriter",

@@ -1,0 +1,306 @@
+"""The stable solve contract: :class:`SolveRequest` in,
+:class:`SolveOutcome` out.
+
+Every way of asking this library for an allocation — the one-call
+:func:`repro.solve` facade, a :class:`~repro.runtime.ExperimentRunner`
+grid, or a :class:`~repro.service.ServiceClient` talking to a running
+``letdma serve`` — is a view of the same contract:
+
+* a :class:`SolveRequest` names *what* to solve (application,
+  formulation config, backend) and *who* is asking (``job_id``,
+  ``tags``).  Its :attr:`~SolveRequest.instance` property is the
+  content hash of the answer-determining fields — the same key used by
+  the persistent cache of :mod:`repro.io.cache` and by the solve
+  service's job queue, so identical requests are identical everywhere;
+* :func:`execute` runs one request through the portfolio/cache path and
+  returns a :class:`SolveOutcome` bundling the
+  :class:`~repro.core.AllocationResult` with its telemetry record;
+* the ``*_to_dict`` / ``*_from_dict`` pairs are the wire format used by
+  the service's socket protocol, so a request round-trips bit-exactly
+  (and therefore hash-exactly) between client and server.
+
+This module is intentionally small and dependency-light: it sits above
+the solver stack and below every driver, and it is the only layer the
+drivers need to agree on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.core.formulation import FormulationConfig, Objective
+from repro.core.solution import AllocationResult
+from repro.defaults import DEFAULT_PORTFOLIO, DEFAULT_SOLVE_BACKEND
+from repro.io.cache import CACHEABLE_STATUSES, cache_key
+from repro.io.serialization import (
+    application_from_dict,
+    application_to_dict,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.model.application import Application
+from repro.runtime.portfolio import solve_with_portfolio
+from repro.runtime.telemetry import build_solve_record
+
+__all__ = [
+    "SolveRequest",
+    "SolveOutcome",
+    "execute",
+    "config_to_dict",
+    "config_from_dict",
+    "request_to_dict",
+    "request_from_dict",
+    "outcome_to_dict",
+    "outcome_from_dict",
+]
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve, fully specified.
+
+    Attributes:
+        app: The application to allocate and schedule.
+        config: Formulation tunables; ``None`` means the shared
+            defaults of :mod:`repro.defaults`.  ``config.backend`` is
+            ignored — ``backend`` below decides the solve path.
+        backend: ``"portfolio"`` (default), or a single rung
+            (``"highs"``, ``"bnb"``, ``"greedy"``).
+        job_id: Caller-chosen identifier carried into telemetry; not
+            part of the instance hash.
+        tags: Caller-defined coordinates (grid point, campaign seed,
+            ...) carried into telemetry; not part of the instance hash.
+    """
+
+    app: Application
+    config: FormulationConfig | None = None
+    backend: str = DEFAULT_SOLVE_BACKEND
+    job_id: str | None = None
+    tags: dict = field(default_factory=dict)
+
+    def resolved_config(self) -> FormulationConfig:
+        """The effective config (defaults applied)."""
+        return self.config or FormulationConfig()
+
+    @property
+    def instance(self) -> str:
+        """Content hash of the answer-determining fields.
+
+        Identical to the persistent-cache key of
+        :func:`repro.io.cache.cache_key`, so deduplication in the solve
+        service, cache hits, and telemetry ``instance`` fields all
+        agree on what "the same solve" means.
+        """
+        return cache_key(
+            self.app, replace(self.resolved_config(), backend=self.backend)
+        )
+
+
+@dataclass(frozen=True)
+class SolveOutcome:
+    """The answer to one :class:`SolveRequest`.
+
+    Attributes:
+        instance: The request's content hash (echoed).
+        result: The allocation, with portfolio provenance
+            (``backend``, ``fallback_chain``).
+        record: The schema-v1 telemetry record describing this solve
+            (see :mod:`repro.runtime.telemetry`).
+        deduped: True when this outcome was fanned out from a solve
+            another concurrent request triggered (service dedup); the
+            underlying solve ran exactly once.
+    """
+
+    instance: str
+    result: AllocationResult
+    record: dict
+    deduped: bool = False
+
+    @property
+    def status(self) -> str:
+        """The solve status as a string (``"optimal"``, ...)."""
+        return self.result.status.value
+
+    @property
+    def backend(self) -> str:
+        """The portfolio rung that produced the result."""
+        return self.result.backend
+
+    @property
+    def cached(self) -> bool:
+        """True when the result was served from the persistent cache."""
+        return bool(self.record.get("cached"))
+
+    @property
+    def wall_seconds(self) -> float:
+        """End-to-end wall-clock time of the solve (0 for cache hits)."""
+        return float(self.record.get("wall_seconds", 0.0))
+
+
+def execute(
+    request: SolveRequest,
+    *,
+    cache_dir: "str | Path | None" = None,
+    deadline_seconds: float | None = None,
+) -> SolveOutcome:
+    """Run one request through the cache + portfolio path.
+
+    This is *the* execution primitive: :func:`repro.solve`, the
+    :class:`~repro.runtime.ExperimentRunner` workers, and the solve
+    service's shards all land here.
+
+    Args:
+        request: What to solve.
+        cache_dir: Optional persistent cache directory; proven
+            outcomes (optimal/infeasible) are stored and reused by
+            :attr:`SolveRequest.instance`.
+        deadline_seconds: Optional wall-clock cap applied to each
+            portfolio rung's time budget (``min`` with the config's own
+            limit); excluded from the instance hash, like every time
+            budget.
+    """
+    config = request.resolved_config()
+    instance = request.instance
+    if deadline_seconds is not None:
+        limit = config.time_limit_seconds
+        capped = (
+            deadline_seconds if limit is None else min(limit, deadline_seconds)
+        )
+        config = replace(config, time_limit_seconds=capped)
+    start = time.perf_counter()
+
+    result: AllocationResult | None = None
+    cached = False
+    cache_path = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / f"{instance}.json"
+        result = _load_cached(cache_path)
+        cached = result is not None
+
+    if result is None:
+        if request.backend == "portfolio":
+            result = solve_with_portfolio(
+                request.app, config, rungs=DEFAULT_PORTFOLIO
+            )
+        else:
+            result = solve_with_portfolio(
+                request.app, config, rungs=(request.backend,)
+            )
+        if cache_path is not None and result.status in CACHEABLE_STATUSES:
+            cache_path.parent.mkdir(parents=True, exist_ok=True)
+            save_result(result, cache_path)
+
+    record = build_solve_record(
+        instance=instance,
+        requested_backend=request.backend,
+        result=result,
+        wall_seconds=time.perf_counter() - start,
+        mip_gap=config.mip_gap,
+        cached=cached,
+        job_id=request.job_id,
+        tags=dict(request.tags),
+    )
+    return SolveOutcome(instance=instance, result=result, record=record)
+
+
+def _load_cached(path: Path) -> AllocationResult | None:
+    """A valid cached result, or None (corrupt entries are evicted)."""
+    import json
+
+    if not path.exists():
+        return None
+    try:
+        return load_result(path)
+    except (ValueError, KeyError, json.JSONDecodeError):
+        path.unlink(missing_ok=True)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Wire format: the JSON shape the service's socket protocol speaks.
+# ----------------------------------------------------------------------
+
+
+def config_to_dict(config: FormulationConfig) -> dict:
+    """JSON-safe dump of a :class:`FormulationConfig`."""
+    return {
+        "objective": config.objective.value,
+        "max_transfers": config.max_transfers,
+        "enforce_deadlines": config.enforce_deadlines,
+        "enforce_property3": config.enforce_property3,
+        "backend": config.backend,
+        "time_limit_seconds": config.time_limit_seconds,
+        "mip_gap": config.mip_gap,
+        "presolve": config.presolve,
+        "symmetry_breaking": config.symmetry_breaking,
+    }
+
+
+def config_from_dict(data: dict) -> FormulationConfig:
+    """Rebuild a :class:`FormulationConfig` from :func:`config_to_dict`."""
+    defaults = FormulationConfig()
+    return FormulationConfig(
+        objective=Objective(data.get("objective", defaults.objective.value)),
+        max_transfers=data.get("max_transfers", defaults.max_transfers),
+        enforce_deadlines=data.get(
+            "enforce_deadlines", defaults.enforce_deadlines
+        ),
+        enforce_property3=data.get(
+            "enforce_property3", defaults.enforce_property3
+        ),
+        backend=data.get("backend", defaults.backend),
+        time_limit_seconds=data.get(
+            "time_limit_seconds", defaults.time_limit_seconds
+        ),
+        mip_gap=data.get("mip_gap", defaults.mip_gap),
+        presolve=data.get("presolve", defaults.presolve),
+        symmetry_breaking=data.get(
+            "symmetry_breaking", defaults.symmetry_breaking
+        ),
+    )
+
+
+def request_to_dict(request: SolveRequest) -> dict:
+    """JSON-safe dump of a request; round-trips hash-exactly."""
+    return {
+        "application": application_to_dict(request.app),
+        "config": config_to_dict(request.resolved_config()),
+        "backend": request.backend,
+        "job_id": request.job_id,
+        "tags": dict(request.tags),
+    }
+
+
+def request_from_dict(data: dict) -> SolveRequest:
+    """Rebuild a :class:`SolveRequest` from :func:`request_to_dict`."""
+    return SolveRequest(
+        app=application_from_dict(data["application"]),
+        config=config_from_dict(data.get("config") or {}),
+        backend=data.get("backend", DEFAULT_SOLVE_BACKEND),
+        job_id=data.get("job_id"),
+        tags=dict(data.get("tags") or {}),
+    )
+
+
+def outcome_to_dict(outcome: SolveOutcome) -> dict:
+    """JSON-safe dump of an outcome (result + telemetry record)."""
+    return {
+        "instance": outcome.instance,
+        "result": result_to_dict(outcome.result),
+        "record": outcome.record,
+        "deduped": outcome.deduped,
+    }
+
+
+def outcome_from_dict(data: dict) -> SolveOutcome:
+    """Rebuild a :class:`SolveOutcome` from :func:`outcome_to_dict`."""
+    return SolveOutcome(
+        instance=data["instance"],
+        result=result_from_dict(data["result"]),
+        record=dict(data.get("record") or {}),
+        deduped=bool(data.get("deduped")),
+    )

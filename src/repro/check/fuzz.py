@@ -61,6 +61,10 @@ class FuzzConfig:
             vectorized batch simulator and assert byte-identical
             scalar traces (batch-simulation differential).
         telemetry: Optional JSONL sink (path or run directory).
+        cache_dir: Optional persistent solve cache shared by all jobs.
+        resume: Skip solves already recorded in ``telemetry``
+            (continue a killed campaign; the campaign grid is
+            deterministic in ``seed``, so job ids are stable).
         corpus_dir: Where shrunk reproducers are written; None disables
             writing (the failures are still reported).
         shrink: Minimize failing instances before writing them.
@@ -81,6 +85,8 @@ class FuzzConfig:
     check_presolve: bool = False
     check_batch_sim: bool = False
     telemetry: "str | None" = None
+    cache_dir: "str | None" = None
+    resume: bool = False
     corpus_dir: "str | Path | None" = None
     shrink: bool = True
     shrink_attempts: int = 60
@@ -147,8 +153,12 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
-    """Run one campaign; see the module docstring for the pipeline."""
+def run_fuzz(config: FuzzConfig | None = None, *, client=None) -> FuzzReport:
+    """Run one campaign; see the module docstring for the pipeline.
+
+    ``client`` routes the campaign's solves through a running solve
+    service (see :mod:`repro.service`) instead of local workers.
+    """
     config = config or FuzzConfig()
     start = time.perf_counter()
     report = FuzzReport(config=config)
@@ -158,7 +168,13 @@ def run_fuzz(config: FuzzConfig | None = None) -> FuzzReport:
     report.skipped_backend_runs = sum(len(v) for v in skipped.values())
     report.solves = len(grid)
 
-    runner = ExperimentRunner(jobs=config.jobs, telemetry=config.telemetry)
+    runner = ExperimentRunner(
+        jobs=config.jobs,
+        telemetry=config.telemetry,
+        cache_dir=config.cache_dir,
+        resume=config.resume,
+        client=client,
+    )
     outcomes = runner.run(grid)
     by_instance: dict[int, dict[str, object]] = {}
     for outcome in outcomes:

@@ -16,14 +16,38 @@ Commands:
   corpus reproducer (see ``docs/fuzzing.md``);
 * ``chaos``   — fault-injection campaigns: sweep a fault-intensity x
   seed x policy grid over solved allocations (``--resume`` continues a
-  killed campaign from its telemetry; see ``docs/robustness.md``).
+  killed campaign from its telemetry; see ``docs/robustness.md``);
+* ``serve``   — run the resident solve service (content-addressed
+  queue, request dedup, live metrics; see ``docs/service.md``), plus
+  ``--status`` to query a running one and ``--smoke`` for the CI
+  round-trip scenario.
 
-Grid commands (``table1``, ``alphas``, ``sweep``, ``chaos``) accept
-``--jobs`` and ``--telemetry``; all solver commands share the solver
-knob defaults of :mod:`repro.defaults`.  Campaign commands (``sweep``,
-``fuzz``, ``chaos``) handle Ctrl-C gracefully: finished jobs are
-already flushed to telemetry, a partial summary is printed, and the
-exit status is 130.
+Flags are shared through argparse *parent parsers*, so every command
+spells the same knob the same way and reads its default from
+:mod:`repro.defaults`:
+
+* solver knobs — ``--time-limit``, ``--mip-gap`` (``fuzz`` keeps its
+  own tighter ``--time-limit``: per-backend budget per instance);
+* grid knobs — ``--jobs``, ``--telemetry``, ``--cache-dir``,
+  ``--resume`` (on ``table1``, ``alphas``, ``sweep``, ``fuzz``,
+  ``chaos``);
+* ``--backend`` — one flag, per-command default (``solve`` defaults to
+  the exact backend, grids to the portfolio);
+* ``--service HOST:PORT`` — submit the grid's solves to a running
+  ``letdma serve`` instead of a private worker pool, so concurrent
+  campaigns deduplicate identical instances against each other.
+
+Exit codes (one contract for every command):
+
+====  =============================================================
+   0  success (including "nothing left to do")
+   1  ran, but found a failure: fuzz disagreement, bench regression,
+      verification violation, unreachable service, failed smoke
+   2  usage error (bad flags or flag combinations; argparse itself
+      uses the same code)
+ 130  interrupted (Ctrl-C); completed jobs are already flushed to
+      telemetry and a partial summary is printed first
+====  =============================================================
 """
 
 from __future__ import annotations
@@ -33,7 +57,14 @@ import sys
 
 from repro.core import Objective
 from repro.defaults import (
+    DEFAULT_BATCH_MAX,
+    DEFAULT_CACHE_DIR,
+    DEFAULT_METRICS_INTERVAL_SECONDS,
     DEFAULT_MILP_BACKEND,
+    DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_SERVICE_HOST,
+    DEFAULT_SERVICE_PORT,
+    DEFAULT_SERVICE_SHARDS,
     DEFAULT_SOLVE_BACKEND,
     DEFAULT_TIME_LIMIT_SECONDS,
 )
@@ -47,25 +78,16 @@ from repro.reporting import (
 )
 from repro.waters import TASK_NAMES
 
+#: The one exit-code contract of every ``letdma`` command (see the
+#: module docstring for the prose version).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 130
+
 _OBJECTIVES = {obj.value.lower(): obj for obj in Objective}
 
 _BACKENDS = ("portfolio", "highs", "bnb", "greedy")
-
-
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--time-limit",
-        type=float,
-        default=DEFAULT_TIME_LIMIT_SECONDS,
-        help="MILP time limit in seconds per solver rung "
-        f"(default: {DEFAULT_TIME_LIMIT_SECONDS:g})",
-    )
-    parser.add_argument(
-        "--mip-gap",
-        type=float,
-        default=None,
-        help="relative MIP gap at which to stop (default: prove optimality)",
-    )
 
 
 def _positive_int(value: str) -> int:
@@ -78,33 +100,99 @@ def _positive_int(value: str) -> int:
     return number
 
 
-def _add_grid(parser: argparse.ArgumentParser) -> None:
-    """Flags shared by the grid-shaped commands (table1/alphas/sweep)."""
-    parser.add_argument(
+def _address(value: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` service address."""
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"{value!r} is not a HOST:PORT address"
+        )
+    return host, int(port)
+
+
+# ----------------------------------------------------------------------
+# Shared flag groups (argparse parent parsers): each knob is declared
+# once, every command that takes it inherits the same spelling, help
+# text, and default.
+# ----------------------------------------------------------------------
+
+
+def _solver_parent() -> argparse.ArgumentParser:
+    """``--time-limit`` / ``--mip-gap``: the solver knobs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--time-limit",
+        type=float,
+        default=DEFAULT_TIME_LIMIT_SECONDS,
+        help="MILP time limit in seconds per solver rung "
+        f"(default: {DEFAULT_TIME_LIMIT_SECONDS:g})",
+    )
+    parent.add_argument(
+        "--mip-gap",
+        type=float,
+        default=None,
+        help="relative MIP gap at which to stop (default: prove optimality)",
+    )
+    return parent
+
+
+def _grid_parent() -> argparse.ArgumentParser:
+    """``--jobs`` / ``--telemetry`` / ``--cache-dir`` / ``--resume``:
+    the grid-campaign knobs."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--jobs",
         type=_positive_int,
         default=1,
         help="worker processes for the solve grid (default: 1)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--telemetry",
         default=None,
         metavar="PATH",
         help="write one JSONL telemetry record per solve to PATH "
         "(a .jsonl file or a run directory)",
     )
-    parser.add_argument(
-        "--backend",
-        choices=_BACKENDS,
-        default=DEFAULT_SOLVE_BACKEND,
-        help=f"solver backend (default: {DEFAULT_SOLVE_BACKEND})",
-    )
-    parser.add_argument(
+    parent.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
         help="persistent solve cache shared by all jobs (default: off)",
     )
+    parent.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip jobs whose records already exist in --telemetry "
+        "(continue a killed campaign)",
+    )
+    return parent
+
+
+def _backend_parent(default: str = DEFAULT_SOLVE_BACKEND) -> argparse.ArgumentParser:
+    """``--backend`` with a per-command default."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--backend",
+        choices=_BACKENDS,
+        default=default,
+        help=f"solver backend (default: {default})",
+    )
+    return parent
+
+
+def _service_parent() -> argparse.ArgumentParser:
+    """``--service``: route the grid's solves through ``letdma serve``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--service",
+        type=_address,
+        default=None,
+        metavar="HOST:PORT",
+        help="submit solves to a running `letdma serve` at HOST:PORT "
+        "instead of a private worker pool (concurrent campaigns then "
+        "deduplicate identical instances against each other)",
+    )
+    return parent
 
 
 def _objective(value: str) -> Objective:
@@ -120,32 +208,41 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="letdma",
         description="LET-DMA memory allocation and scheduling (DAC 2021 reproduction)",
+        epilog="exit codes: 0 success, 1 failure found, 2 usage error, "
+        "130 interrupted",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    solver, grid, service = _solver_parent(), _grid_parent(), _service_parent()
 
-    p_table1 = sub.add_parser("table1", help="reproduce Table I")
+    p_table1 = sub.add_parser(
+        "table1",
+        help="reproduce Table I",
+        parents=[solver, grid, _backend_parent(), service],
+    )
     p_table1.add_argument(
         "--alphas", type=float, nargs="+", default=[0.2, 0.4]
     )
-    _add_common(p_table1)
-    _add_grid(p_table1)
 
-    p_fig2 = sub.add_parser("fig2", help="reproduce one Fig. 2 panel")
+    p_fig2 = sub.add_parser(
+        "fig2", help="reproduce one Fig. 2 panel", parents=[solver]
+    )
     p_fig2.add_argument("--objective", type=_objective, default=Objective.NONE)
     p_fig2.add_argument("--alpha", type=float, default=0.2)
-    _add_common(p_fig2)
 
-    p_alphas = sub.add_parser("alphas", help="alpha feasibility sweep")
+    p_alphas = sub.add_parser(
+        "alphas",
+        help="alpha feasibility sweep",
+        parents=[solver, grid, _backend_parent(), service],
+    )
     p_alphas.add_argument(
         "--alphas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4, 0.5]
     )
-    _add_common(p_alphas)
-    _add_grid(p_alphas)
 
     p_sweep = sub.add_parser(
         "sweep",
         help="run a (objective x alpha) solve grid in parallel worker "
         "processes, with portfolio fallback and telemetry",
+        parents=[solver, grid, _backend_parent(), service],
     )
     p_sweep.add_argument(
         "--objectives",
@@ -157,61 +254,157 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--alphas", type=float, nargs="+", default=[0.2, 0.4]
     )
-    _add_common(p_sweep)
-    _add_grid(p_sweep)
 
     p_telemetry = sub.add_parser(
         "telemetry", help="summarize a telemetry JSONL file or run directory"
     )
     p_telemetry.add_argument("path", help="telemetry .jsonl file or run directory")
 
-    p_solve = sub.add_parser("solve", help="solve WATERS and print the allocation")
+    p_solve = sub.add_parser(
+        "solve",
+        help="solve WATERS and print the allocation",
+        parents=[solver, _backend_parent(DEFAULT_MILP_BACKEND)],
+    )
     p_solve.add_argument("--objective", type=_objective, default=Objective.NONE)
     p_solve.add_argument("--alpha", type=float, default=0.2)
-    p_solve.add_argument(
-        "--backend", choices=_BACKENDS, default=DEFAULT_MILP_BACKEND
-    )
     p_solve.add_argument("--telemetry", default=None, metavar="PATH")
     p_solve.add_argument("--cache-dir", default=None, metavar="DIR")
-    _add_common(p_solve)
 
-    p_sim = sub.add_parser("simulate", help="simulate one approach on WATERS")
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident solve service (content-addressed queue, "
+        "request dedup, live metrics; see docs/service.md)",
+    )
+    p_serve.add_argument(
+        "--host",
+        default=DEFAULT_SERVICE_HOST,
+        help=f"interface to bind (default: {DEFAULT_SERVICE_HOST})",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVICE_PORT,
+        help=f"TCP port; 0 lets the OS pick (default: {DEFAULT_SERVICE_PORT})",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=DEFAULT_SERVICE_SHARDS,
+        help="worker lanes, each owning a slice of the instance-hash "
+        f"space (default: {DEFAULT_SERVICE_SHARDS})",
+    )
+    p_serve.add_argument(
+        "--queue-capacity",
+        type=_positive_int,
+        default=DEFAULT_QUEUE_CAPACITY,
+        help="bounded pending+running population; submissions beyond it "
+        f"are rejected (default: {DEFAULT_QUEUE_CAPACITY})",
+    )
+    p_serve.add_argument(
+        "--batch-max",
+        type=_positive_int,
+        default=DEFAULT_BATCH_MAX,
+        help="jobs one dispatch claims at once "
+        f"(default: {DEFAULT_BATCH_MAX})",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help="persistent solve cache shared by all lanes "
+        f"(default: {DEFAULT_CACHE_DIR})",
+    )
+    p_serve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="JSONL sink: one record per executed solve plus periodic "
+        "service_metrics records",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="journal directory; pending work survives a restart",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock cap on each solver rung (default: none)",
+    )
+    p_serve.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=DEFAULT_METRICS_INTERVAL_SECONDS,
+        metavar="SECONDS",
+        help="cadence of service_metrics telemetry records "
+        f"(default: {DEFAULT_METRICS_INTERVAL_SECONDS:g})",
+    )
+    p_serve.add_argument(
+        "--processes",
+        action="store_true",
+        help="execute solves in a process pool (one process per shard) "
+        "instead of dispatcher threads",
+    )
+    p_serve.add_argument(
+        "--status",
+        nargs="?",
+        type=_address,
+        const=(DEFAULT_SERVICE_HOST, DEFAULT_SERVICE_PORT),
+        default=None,
+        metavar="HOST:PORT",
+        help="query a running service's live metrics and exit "
+        "(default address: "
+        f"{DEFAULT_SERVICE_HOST}:{DEFAULT_SERVICE_PORT})",
+    )
+    p_serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the hermetic end-to-end smoke scenario (duplicate "
+        "pair, cancel, metrics, clean shutdown) and exit",
+    )
+
+    p_sim = sub.add_parser(
+        "simulate", help="simulate one approach on WATERS", parents=[solver]
+    )
     p_sim.add_argument(
         "--approach",
         choices=["proposed", "giotto-cpu", "giotto-dma-a", "giotto-dma-b"],
         default="proposed",
     )
     p_sim.add_argument("--alpha", type=float, default=0.2)
-    _add_common(p_sim)
 
     p_export = sub.add_parser(
         "export",
         help="solve WATERS and write firmware artifacts (C header, "
         "linker script, VCD trace, JSON model/result)",
+        parents=[solver],
     )
     p_export.add_argument("--objective", type=_objective, default=Objective.MIN_DELAY_RATIO)
     p_export.add_argument("--alpha", type=float, default=0.2)
     p_export.add_argument("--out", default="letdma-out", help="output directory")
-    _add_common(p_export)
 
     p_chains = sub.add_parser(
-        "chains", help="cause-effect chain latencies on WATERS"
+        "chains", help="cause-effect chain latencies on WATERS", parents=[solver]
     )
     p_chains.add_argument("--alpha", type=float, default=0.2)
-    _add_common(p_chains)
 
     p_codesign = sub.add_parser(
-        "codesign", help="iterative gamma tightening until schedulable"
+        "codesign",
+        help="iterative gamma tightening until schedulable",
+        parents=[solver],
     )
     p_codesign.add_argument("--alpha", type=float, default=0.3)
     p_codesign.add_argument("--shrink", type=float, default=0.5)
     p_codesign.add_argument("--max-iterations", type=int, default=6)
-    _add_common(p_codesign)
 
     p_fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing: random instances, every backend, "
         "cross-checked; disagreements are shrunk to reproducers",
+        parents=[grid, service],
     )
     p_fuzz.add_argument(
         "--budget",
@@ -223,23 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="campaign seed (default: 0)"
     )
     p_fuzz.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes for the solve grid (default: 1)",
-    )
-    p_fuzz.add_argument(
         "--backends",
         nargs="+",
         choices=("highs", "bnb", "greedy"),
         default=["highs", "bnb", "greedy"],
         help="backends to cross-check (default: all three)",
-    )
-    p_fuzz.add_argument(
-        "--telemetry",
-        default=None,
-        metavar="PATH",
-        help="write one JSONL telemetry record per solve to PATH",
     )
     p_fuzz.add_argument(
         "--corpus",
@@ -276,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="fault-injection campaign: sweep a fault-intensity grid "
         "over solved allocations with graceful-degradation policies",
+        parents=[solver, grid, _backend_parent(), service],
     )
     p_chaos.add_argument(
         "--alphas", type=float, nargs="+", default=[0.3],
@@ -304,20 +486,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--objective", type=_objective, default=Objective.MIN_TRANSFERS
     )
     p_chaos.add_argument(
-        "--resume",
-        action="store_true",
-        help="skip grid points whose records already exist in --telemetry "
-        "(continue a killed campaign)",
-    )
-    p_chaos.add_argument(
         "--no-batch",
         action="store_true",
         help="evaluate every grid point as an independent scalar "
         "simulation instead of one vectorized batch per alpha "
         "(slower; the results are identical)",
     )
-    _add_common(p_chaos)
-    _add_grid(p_chaos)
 
     p_verify = sub.add_parser(
         "verify",
@@ -410,8 +584,99 @@ def _interrupted_exit(command: str, telemetry, resumable: bool = False) -> int:
     return 130
 
 
+def _cmd_serve(args) -> int:
+    """The ``letdma serve`` command (and its --status / --smoke modes)."""
+    from repro.service import (
+        ServiceUnavailable,
+        SmokeFailure,
+        SocketClient,
+        SolveService,
+        render_service_metrics,
+        run_smoke,
+        serve,
+    )
+
+    if args.smoke:
+        try:
+            report = run_smoke()
+        except SmokeFailure as exc:
+            print(f"SMOKE FAILED: {exc}", file=sys.stderr)
+            return EXIT_FAILURE
+        print(render_service_metrics(report["metrics"]))
+        print(
+            f"smoke ok: duplicate pair -> 1 solve record, "
+            f"status {report['status']}, cancel {report['cancel_verdict']}, "
+            f"clean shutdown"
+        )
+        return EXIT_OK
+
+    if args.status is not None:
+        try:
+            with SocketClient(*args.status) as client:
+                print(render_service_metrics(client.metrics()))
+        except ServiceUnavailable as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_FAILURE
+        return EXIT_OK
+
+    service = SolveService(
+        shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        batch_max=args.batch_max,
+        cache_dir=args.cache_dir,
+        telemetry=args.telemetry,
+        state_dir=args.state_dir,
+        deadline_seconds=args.deadline,
+        use_processes=args.processes,
+        metrics_interval_seconds=args.metrics_interval,
+    )
+    with service:
+        server = serve(service, host=args.host, port=args.port)
+        host, port = server.address
+        print(f"letdma serve: listening on {host}:{port}", flush=True)
+        if service.restored_jobs:
+            print(
+                f"restored {service.restored_jobs} journaled job(s) "
+                f"from {args.state_dir}",
+                flush=True,
+            )
+        try:
+            while not server.stopped.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            print("serve: interrupted", file=sys.stderr)
+            return EXIT_INTERRUPTED
+        finally:
+            server.shutdown()
+            server.server_close()
+    print("serve: stopped")
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if getattr(args, "resume", False) and not getattr(args, "telemetry", None):
+        print("error: --resume needs --telemetry", file=sys.stderr)
+        return EXIT_USAGE
+    client = None
+    if getattr(args, "service", None) is not None:
+        from repro.service import ServiceUnavailable, SocketClient
+
+        try:
+            client = SocketClient(*args.service)
+        except ServiceUnavailable as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_FAILURE
+    try:
+        return _dispatch(args, client)
+    finally:
+        if client is not None:
+            client.close()
+
+
+def _dispatch(args, client) -> int:
     if args.command == "table1":
         rows = run_table1(
             alphas=tuple(args.alphas),
@@ -420,6 +685,8 @@ def main(argv: list[str] | None = None) -> int:
             telemetry=args.telemetry,
             cache_dir=args.cache_dir,
             backend=args.backend,
+            resume=args.resume,
+            client=client,
         )
         print(
             render_table(
@@ -442,6 +709,8 @@ def main(argv: list[str] | None = None) -> int:
             telemetry=args.telemetry,
             cache_dir=args.cache_dir,
             backend=args.backend,
+            resume=args.resume,
+            client=client,
         )
         rows = [
             (f"{alpha:.1f}", "feasible" if ok else "INFEASIBLE")
@@ -458,6 +727,8 @@ def main(argv: list[str] | None = None) -> int:
                 telemetry=args.telemetry,
                 cache_dir=args.cache_dir,
                 backend=args.backend,
+                resume=args.resume,
+                client=client,
             )
         except KeyboardInterrupt:
             return _interrupted_exit("sweep", args.telemetry)
@@ -609,12 +880,15 @@ def main(argv: list[str] | None = None) -> int:
                     jobs=args.jobs,
                     backends=tuple(args.backends),
                     telemetry=args.telemetry,
+                    cache_dir=args.cache_dir,
+                    resume=args.resume,
                     corpus_dir=args.corpus,
                     shrink=not args.no_shrink,
                     time_limit_seconds=args.time_limit,
                     check_presolve=args.check_presolve,
                     check_batch_sim=args.check_batch_sim,
-                )
+                ),
+                client=client,
             )
         except KeyboardInterrupt:
             return _interrupted_exit("fuzz", args.telemetry)
@@ -627,9 +901,6 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "chaos":
         from repro.faults import ChaosConfig, render_chaos_table, run_chaos
 
-        if args.resume and not args.telemetry:
-            print("error: --resume needs --telemetry", file=sys.stderr)
-            return 2
         config = ChaosConfig(
             alphas=tuple(args.alphas),
             intensities=tuple(args.intensities),
@@ -647,6 +918,7 @@ def main(argv: list[str] | None = None) -> int:
                 cache_dir=args.cache_dir,
                 resume=args.resume,
                 batch=not args.no_batch,
+                client=client,
             )
         except KeyboardInterrupt:
             return _interrupted_exit("chaos", args.telemetry, resumable=True)

@@ -22,6 +22,12 @@ __all__ = [
     "DEFAULT_SOLVE_BACKEND",
     "DEFAULT_PORTFOLIO",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_SERVICE_HOST",
+    "DEFAULT_SERVICE_PORT",
+    "DEFAULT_SERVICE_SHARDS",
+    "DEFAULT_QUEUE_CAPACITY",
+    "DEFAULT_BATCH_MAX",
+    "DEFAULT_METRICS_INTERVAL_SECONDS",
 ]
 
 #: Wall-clock budget per solver rung (the paper used a 1-hour CPLEX
@@ -46,3 +52,25 @@ DEFAULT_PORTFOLIO: tuple[str, ...] = ("highs", "bnb", "greedy")
 #: Default persistent cache directory of :func:`repro.solve` callers
 #: that enable caching without naming a directory.
 DEFAULT_CACHE_DIR: str = ".letdma-cache"
+
+#: Loopback interface the solve service binds to (``letdma serve``
+#: is a local service; remote exposure is a deliberate act).
+DEFAULT_SERVICE_HOST: str = "127.0.0.1"
+
+#: Default TCP port of ``letdma serve`` (0 = let the OS pick).
+DEFAULT_SERVICE_PORT: int = 6160
+
+#: Worker shards of the solve service; each shard owns a slice of the
+#: instance-hash space and its own dispatcher.
+DEFAULT_SERVICE_SHARDS: int = 2
+
+#: Bounded queue capacity per solve service (pending + running jobs);
+#: submissions beyond it are honestly rejected (backpressure).
+DEFAULT_QUEUE_CAPACITY: int = 256
+
+#: Maximum jobs one service worker claims per dispatch (micro-batch).
+DEFAULT_BATCH_MAX: int = 4
+
+#: How often the solve service appends a ``service_metrics`` record to
+#: its telemetry sink.
+DEFAULT_METRICS_INTERVAL_SECONDS: float = 30.0

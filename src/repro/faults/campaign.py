@@ -334,6 +334,7 @@ def run_chaos(
     max_retries: int = 1,
     deadline_seconds: float | None = None,
     batch: bool = True,
+    client=None,
 ) -> list[JobOutcome]:
     """Run the campaign grid through the experiment runner.
 
@@ -355,6 +356,7 @@ def run_chaos(
         deadline_seconds=deadline_seconds,
         max_retries=max_retries,
         resume=resume,
+        client=client,
     )
     return runner.run(chaos_grid(config, batch=batch))
 

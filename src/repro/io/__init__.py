@@ -1,6 +1,6 @@
 """Model/result serialization, embedded code generation, trace export."""
 
-from repro.io.cache import cache_key, clear_cache, solve_cached
+from repro.io.cache import cache_key, clear_cache
 from repro.io.codegen import (
     default_base_addresses,
     generate_c_header,
@@ -27,7 +27,6 @@ from repro.io.traces import VcdWriter, ascii_gantt, execution_to_vcd, protocol_t
 __all__ = [
     "cache_key",
     "clear_cache",
-    "solve_cached",
     "application_from_xml",
     "application_to_xml",
     "load_system_xml",

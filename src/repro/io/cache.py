@@ -16,26 +16,26 @@ optimal or infeasible); errors and timeout-limited incumbents (status
 ``feasible``, which might improve with more time) are returned but not
 stored, so a longer rerun is never masked by a cached weaker incumbent.
 
-.. deprecated::
-    :func:`solve_cached` is a shim over :func:`repro.solve`; call
-    ``repro.solve(app, config, cache=cache_dir)`` instead.
+Cached solving itself lives behind :func:`repro.solve` — pass
+``cache=cache_dir``; this module only owns the key scheme and the
+store.  The same content hash doubles as the job ticket of the solve
+service (:mod:`repro.service`), which is what makes queue entries and
+cache entries two lifetimes of one identity.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import warnings
 from pathlib import Path
 
 from repro.core.formulation import FormulationConfig
-from repro.core.solution import AllocationResult
 from repro.defaults import DEFAULT_CACHE_DIR
 from repro.io.serialization import application_to_dict
 from repro.milp.result import SolveStatus
 from repro.model.application import Application
 
-__all__ = ["CACHEABLE_STATUSES", "cache_key", "solve_cached", "clear_cache"]
+__all__ = ["CACHEABLE_STATUSES", "cache_key", "clear_cache"]
 
 #: Outcomes worth persisting: proven optimal or proven infeasible.
 CACHEABLE_STATUSES = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
@@ -66,30 +66,6 @@ def cache_key(app: Application, config: FormulationConfig) -> str:
         json.dumps(payload, sort_keys=True).encode()
     ).hexdigest()
     return digest[:24]
-
-
-def solve_cached(
-    app: Application,
-    config: FormulationConfig | None = None,
-    cache_dir: str | Path = DEFAULT_CACHE_DIR,
-) -> AllocationResult:
-    """Solve (or load) the MILP for ``app`` under ``config``.
-
-    .. deprecated::
-        Use ``repro.solve(app, config, backend=config.backend,
-        cache=cache_dir)`` — same behavior, plus portfolio fallback and
-        telemetry when wanted.
-    """
-    warnings.warn(
-        "solve_cached() is deprecated; use "
-        "repro.solve(app, config, cache=cache_dir) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.runtime.facade import solve
-
-    config = config or FormulationConfig()
-    return solve(app, config, backend=config.backend, cache=cache_dir)
 
 
 def clear_cache(cache_dir: str | Path = DEFAULT_CACHE_DIR) -> int:

@@ -7,7 +7,6 @@ from repro.reporting.experiments import (
     run_fig2_panel,
     run_table1,
     solve_instance,
-    solve_waters,
 )
 from repro.reporting.memory_report import (
     MemoryUsage,
@@ -33,7 +32,6 @@ __all__ = [
     "run_fig2_panel",
     "run_table1",
     "solve_instance",
-    "solve_waters",
     "render_bar_panel",
     "render_ratio_figure",
     "render_table",

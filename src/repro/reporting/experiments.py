@@ -12,14 +12,10 @@ Shared by the benchmark harness, the examples, and the CLI so that
   approach against the three Giotto baselines for one configuration;
 * :func:`run_alpha_feasibility` — the paper's observation that the
   sweep is feasible for alpha in {0.2..0.5} and which alphas fail.
-
-``solve_waters`` remains as a deprecation shim over
-:func:`solve_instance`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 
 from repro.analysis import assign_acquisition_deadlines
@@ -45,7 +41,6 @@ __all__ = [
     "run_table1",
     "run_fig2_panel",
     "run_alpha_feasibility",
-    "solve_waters",
 ]
 
 #: Fig. 2 competitor order.
@@ -91,37 +86,6 @@ def solve_instance(
     if verify and result.feasible and result.backend != "greedy":
         verify_allocation(configured, result).raise_if_failed()
     return configured, result
-
-
-def solve_waters(
-    objective: Objective,
-    alpha: float,
-    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS,
-    app: Application | None = None,
-    verify: bool = True,
-):
-    """Assign gammas for ``alpha``, solve the MILP, optionally verify.
-
-    Returns (application-with-gammas, AllocationResult).
-
-    .. deprecated::
-        Use :func:`solve_instance` (or :func:`repro.solve` directly);
-        this shim keeps the historical exact-HiGHS behavior.
-    """
-    warnings.warn(
-        "solve_waters() is deprecated; use repro.reporting.solve_instance() "
-        "or repro.solve() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return solve_instance(
-        objective,
-        alpha,
-        time_limit_seconds=time_limit_seconds,
-        app=app,
-        verify=verify,
-        backend=DEFAULT_MILP_BACKEND,
-    )
 
 
 @dataclass
@@ -186,17 +150,27 @@ def run_table1(
     telemetry=None,
     cache_dir: str | None = None,
     backend: str = DEFAULT_SOLVE_BACKEND,
+    resume: bool = False,
+    client=None,
 ) -> list[Table1Row]:
     """The Table I experiment: times and transfer counts per config.
 
     ``jobs > 1`` fans the grid across worker processes; rows come back
-    in grid order either way.
+    in grid order either way.  ``resume`` skips grid points already
+    recorded in ``telemetry``; ``client`` routes solves through a
+    running solve service (see :mod:`repro.service`).
     """
     base = app if app is not None else waters_application()
     grid = _waters_grid(
         "table1", base, objectives, tuple(alphas), time_limit_seconds, backend
     )
-    runner = ExperimentRunner(jobs=jobs, telemetry=telemetry, cache_dir=cache_dir)
+    runner = ExperimentRunner(
+        jobs=jobs,
+        telemetry=telemetry,
+        cache_dir=cache_dir,
+        resume=resume,
+        client=client,
+    )
     rows = []
     for job, outcome in zip(grid, runner.run(grid)):
         result = outcome.result
@@ -254,13 +228,21 @@ def run_alpha_feasibility(
     telemetry=None,
     cache_dir: str | None = None,
     backend: str = DEFAULT_SOLVE_BACKEND,
+    resume: bool = False,
+    client=None,
 ) -> dict[float, bool]:
     """Which alphas admit a feasible allocation (paper: 0.1 fails)."""
     base = app if app is not None else waters_application()
     grid = _waters_grid(
         "alphas", base, (Objective.NONE,), tuple(alphas), time_limit_seconds, backend
     )
-    runner = ExperimentRunner(jobs=jobs, telemetry=telemetry, cache_dir=cache_dir)
+    runner = ExperimentRunner(
+        jobs=jobs,
+        telemetry=telemetry,
+        cache_dir=cache_dir,
+        resume=resume,
+        client=client,
+    )
     return {
         job.tags["alpha"]: outcome.result.feasible
         for job, outcome in zip(grid, runner.run(grid))

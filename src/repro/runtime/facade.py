@@ -1,10 +1,14 @@
 """The one-call solve facade: :func:`repro.solve`.
 
 Historically callers reached the solver through four entrypoints
-(``LetDmaFormulation.solve``, ``solve_cached``, ``solve_waters``,
-``greedy_allocation``), each with its own defaults and no shared
-timeout/fallback/telemetry story.  This module is the single front
-door: it composes the solver portfolio of
+(``LetDmaFormulation.solve``, the since-removed ``solve_cached`` and
+``solve_waters`` shims, ``greedy_allocation``), each with its own
+defaults and no shared timeout/fallback/telemetry story.  This module
+is the single front
+door: it builds one :class:`repro.api.SolveRequest` and runs it through
+:func:`repro.api.execute` — the same contract the
+:class:`~repro.runtime.ExperimentRunner` workers and the solve service
+(:mod:`repro.service`) speak — composing the solver portfolio of
 :mod:`repro.runtime.portfolio`, the persistent cache of
 :mod:`repro.io.cache`, and the JSONL telemetry of
 :mod:`repro.runtime.telemetry` behind one call::
@@ -18,24 +22,19 @@ door: it composes the solver portfolio of
 
 The low-level entrypoints remain for building blocks
 (``LetDmaFormulation`` for model introspection, ``greedy_allocation``
-as a library primitive); ``solve_cached`` and ``solve_waters`` are
-deprecation shims over this facade.
+as a library primitive).
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import replace
 from pathlib import Path
 
+from repro.api import SolveRequest, execute
 from repro.core.formulation import FormulationConfig
 from repro.core.solution import AllocationResult
-from repro.defaults import DEFAULT_PORTFOLIO, DEFAULT_SOLVE_BACKEND
-from repro.io.cache import CACHEABLE_STATUSES, cache_key
-from repro.io.serialization import load_result, save_result
+from repro.defaults import DEFAULT_SOLVE_BACKEND
 from repro.model.application import Application
-from repro.runtime.portfolio import solve_with_portfolio
-from repro.runtime.telemetry import TelemetryWriter, build_solve_record
+from repro.runtime.telemetry import TelemetryWriter
 
 __all__ = ["solve", "solve_recorded"]
 
@@ -106,55 +105,16 @@ def solve_recorded(
     The record is *returned, not written* — this is the worker-side
     half used by :class:`~repro.runtime.ExperimentRunner`, whose parent
     process owns the telemetry file (workers never share a handle).
+    A thin view over :func:`repro.api.execute`.
     """
-    config = config or FormulationConfig()
-    keyed = replace(config, backend=backend)
-    instance = cache_key(app, keyed)
-    start = time.perf_counter()
-
-    result: AllocationResult | None = None
-    cached = False
-    cache_path = None
-    if cache is not None:
-        cache_path = Path(cache) / f"{instance}.json"
-        result = _load_cached(cache_path)
-        cached = result is not None
-
-    if result is None:
-        result = _dispatch(app, config, backend)
-        if cache_path is not None and result.status in CACHEABLE_STATUSES:
-            cache_path.parent.mkdir(parents=True, exist_ok=True)
-            save_result(result, cache_path)
-
-    record = build_solve_record(
-        instance=instance,
-        requested_backend=backend,
-        result=result,
-        wall_seconds=time.perf_counter() - start,
-        mip_gap=config.mip_gap,
-        cached=cached,
-        job_id=job_id,
-        tags=tags,
+    outcome = execute(
+        SolveRequest(
+            app=app,
+            config=config,
+            backend=backend,
+            job_id=job_id,
+            tags=dict(tags or {}),
+        ),
+        cache_dir=cache,
     )
-    return result, record
-
-
-def _dispatch(
-    app: Application, config: FormulationConfig, backend: str
-) -> AllocationResult:
-    if backend == "portfolio":
-        return solve_with_portfolio(app, config, rungs=DEFAULT_PORTFOLIO)
-    return solve_with_portfolio(app, config, rungs=(backend,))
-
-
-def _load_cached(path: Path) -> AllocationResult | None:
-    """A valid cached result, or None (corrupt entries are evicted)."""
-    import json
-
-    if not path.exists():
-        return None
-    try:
-        return load_result(path)
-    except (ValueError, KeyError, json.JSONDecodeError):
-        path.unlink(missing_ok=True)
-        return None
+    return outcome.result, outcome.record

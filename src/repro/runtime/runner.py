@@ -54,14 +54,14 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
+from repro.api import SolveRequest, execute as execute_request
 from repro.core.formulation import FormulationConfig
 from repro.core.solution import AllocationResult
 from repro.defaults import DEFAULT_SOLVE_BACKEND
 from repro.milp.result import SolveStatus
 from repro.model.application import Application
-from repro.runtime.facade import solve_recorded
 from repro.runtime.telemetry import (
     TELEMETRY_SCHEMA_VERSION,
     TelemetryWriter,
@@ -103,6 +103,18 @@ class SolveJob:
     config: FormulationConfig = field(default_factory=FormulationConfig)
     backend: str = DEFAULT_SOLVE_BACKEND
     tags: dict = field(default_factory=dict)
+
+    def to_request(self) -> SolveRequest:
+        """This grid point as the shared :class:`repro.api.SolveRequest`
+        contract (what the facade, the runner workers, and the solve
+        service all execute)."""
+        return SolveRequest(
+            app=self.app,
+            config=self.config,
+            backend=self.backend,
+            job_id=self.job_id,
+            tags=dict(self.tags),
+        )
 
 
 @dataclass
@@ -149,6 +161,12 @@ class ExperimentRunner:
             telemetry sink (requires ``telemetry``); their outcomes are
             reconstructed from the existing records and flagged
             ``resumed=True``, and their records are not rewritten.
+        client: Optional :class:`~repro.service.ServiceClient` (or any
+            object with ``submit_request``/``result``); solve jobs are
+            then submitted to the shared solve service instead of a
+            private process pool, so concurrent campaigns deduplicate
+            identical instances against each other.  Campaign jobs
+            (chaos batches, ...) still execute locally.
     """
 
     def __init__(
@@ -160,6 +178,7 @@ class ExperimentRunner:
         max_retries: int = 0,
         retry_backoff_seconds: float = 0.5,
         resume: bool = False,
+        client=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -176,6 +195,7 @@ class ExperimentRunner:
         self.max_retries = int(max_retries)
         self.retry_backoff_seconds = retry_backoff_seconds
         self.resume = resume
+        self.client = client
         self._interrupted = False
 
     # ------------------------------------------------------------------
@@ -219,10 +239,17 @@ class ExperimentRunner:
 
         self._interrupted = False
         with self._signal_guard():
-            if self.jobs == 1 or len(pending) <= 1:
-                self._run_sequential(pending, outcomes)
+            if self.client is not None:
+                remote = [job for job in pending if not hasattr(job, "execute")]
+                local = [job for job in pending if hasattr(job, "execute")]
             else:
-                self._run_parallel(pending, outcomes)
+                remote, local = [], pending
+            if self.jobs == 1 or len(local) <= 1:
+                self._run_sequential(local, outcomes)
+            else:
+                self._run_parallel(local, outcomes)
+            if remote:
+                self._run_via_client(remote, outcomes)
 
         ordered = [
             outcomes[job_id] for job_id in order if job_id in outcomes
@@ -283,6 +310,66 @@ class ExperimentRunner:
                 continue
             except Exception as exc:
                 return _error_outcome(job, 0.0, exc)
+
+    def _run_via_client(self, jobs, outcomes) -> None:
+        """Submit solve jobs to the shared solve service, then harvest.
+
+        Submissions use a sliding window: when the service applies
+        backpressure (bounded queue full), the oldest in-flight result
+        is harvested first — draining the queue is the correct response
+        to honest rejection, not erroring out.
+        """
+        from repro.service.client import ServiceRejected
+
+        inflight: list = []
+        for job in jobs:
+            if self._interrupted:
+                break
+            while not self._interrupted:
+                try:
+                    ticket = self.client.submit_request(job.to_request())
+                except ServiceRejected:
+                    if inflight:
+                        self._harvest_ticket(*inflight.pop(0), outcomes)
+                    else:
+                        time.sleep(0.05)
+                    continue
+                except Exception as exc:
+                    self._harvest(_error_outcome(job, 0.0, exc), outcomes)
+                    break
+                inflight.append((job, ticket))
+                break
+        for job, ticket in inflight:
+            if self._interrupted:
+                break
+            self._harvest_ticket(job, ticket, outcomes)
+
+    def _harvest_ticket(self, job, ticket, outcomes) -> None:
+        """Wait for one service result and record it under the job's
+        own id/tags (the service's record carries the first submitter's
+        labels; each grid point keeps its own telemetry line)."""
+        start = time.perf_counter()
+        try:
+            outcome = self.client.result(ticket, timeout=self.deadline_seconds)
+        except Exception as exc:
+            self._harvest(
+                _error_outcome(job, time.perf_counter() - start, exc), outcomes
+            )
+            return
+        record = dict(outcome.record)
+        record["job_id"] = job.job_id
+        record["tags"] = dict(job.tags)
+        record["deduped"] = outcome.deduped
+        self._harvest(
+            JobOutcome(
+                job_id=job.job_id,
+                result=outcome.result,
+                wall_seconds=time.perf_counter() - start,
+                record=record,
+                tags=dict(job.tags),
+            ),
+            outcomes,
+        )
 
     def _harvest(self, outcome, outcomes: dict) -> None:
         """Record one harvested result — a single outcome, or the list
@@ -410,26 +497,16 @@ def _execute_job(job, cache_dir, deadline_seconds) -> JobOutcome:
             record=record,
             tags=dict(job.tags),
         )
-    config = job.config
-    if deadline_seconds is not None:
-        limit = config.time_limit_seconds
-        capped = (
-            deadline_seconds if limit is None else min(limit, deadline_seconds)
-        )
-        config = replace(config, time_limit_seconds=capped)
-    result, record = solve_recorded(
-        job.app,
-        config,
-        backend=job.backend,
-        cache=cache_dir,
-        job_id=job.job_id,
-        tags=job.tags,
+    outcome = execute_request(
+        job.to_request(),
+        cache_dir=cache_dir,
+        deadline_seconds=deadline_seconds,
     )
     return JobOutcome(
         job_id=job.job_id,
-        result=result,
+        result=outcome.result,
         wall_seconds=time.perf_counter() - start,
-        record=record,
+        record=outcome.record,
         tags=dict(job.tags),
     )
 

@@ -1,0 +1,255 @@
+"""Clients of the solve service: one API, two transports.
+
+:class:`InProcessClient` wraps a live :class:`~repro.service.SolveService`
+object directly (zero-copy, for embedding and tests);
+:class:`SocketClient` speaks the newline-delimited JSON protocol of
+``letdma serve`` over local TCP.  Both expose the same surface —
+``submit`` / ``submit_request`` / ``status`` / ``result`` / ``cancel``
+/ ``metrics`` — and both traffic in the stable
+:class:`repro.api.SolveRequest` / :class:`repro.api.SolveOutcome`
+contract, so code written against one transport runs unchanged against
+the other (the :class:`~repro.runtime.ExperimentRunner` accepts either
+via its ``client=`` parameter).
+
+Error taxonomy:
+
+* :class:`ServiceRejected` — the bounded queue refused the submission
+  (backpressure); drain some results and retry.
+* :class:`ServiceUnavailable` — the socket transport could not reach
+  or talk to a server.
+* :class:`ServiceError` — everything else the server reports (failed
+  solves, unknown tickets, protocol violations).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.api import (
+    SolveOutcome,
+    SolveRequest,
+    outcome_from_dict,
+    request_to_dict,
+)
+from repro.core.formulation import FormulationConfig
+from repro.defaults import (
+    DEFAULT_SERVICE_HOST,
+    DEFAULT_SERVICE_PORT,
+    DEFAULT_SOLVE_BACKEND,
+)
+from repro.model.application import Application
+from repro.service.queue import QueueFull
+
+__all__ = [
+    "ServiceError",
+    "ServiceRejected",
+    "ServiceUnavailable",
+    "InProcessClient",
+    "SocketClient",
+]
+
+
+class ServiceError(RuntimeError):
+    """The service reported a failure for this request."""
+
+
+class ServiceRejected(ServiceError):
+    """Backpressure: the bounded queue is full; drain and retry."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The socket transport could not reach a server."""
+
+
+class _ClientBase:
+    """The transport-independent half of the client surface."""
+
+    def submit(
+        self,
+        app: Application,
+        config: "FormulationConfig | None" = None,
+        *,
+        backend: str = DEFAULT_SOLVE_BACKEND,
+        job_id: "str | None" = None,
+        tags: "dict | None" = None,
+    ) -> str:
+        """Submit one solve; returns the content-hash ticket."""
+        return self.submit_request(
+            SolveRequest(
+                app=app,
+                config=config,
+                backend=backend,
+                job_id=job_id,
+                tags=dict(tags or {}),
+            )
+        )
+
+    def solve(
+        self,
+        app: Application,
+        config: "FormulationConfig | None" = None,
+        *,
+        backend: str = DEFAULT_SOLVE_BACKEND,
+        timeout: "float | None" = None,
+    ) -> SolveOutcome:
+        """Submit and wait: the blocking one-call convenience."""
+        ticket = self.submit(app, config, backend=backend)
+        return self.result(ticket, timeout=timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # Transport-specific: submit_request / status / result / cancel /
+    # metrics / close.
+
+
+class InProcessClient(_ClientBase):
+    """Direct view of a :class:`~repro.service.SolveService` in this
+    process — no sockets, no serialization."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def submit_request(self, request: SolveRequest) -> str:
+        try:
+            return self.service.submit_request(request)
+        except QueueFull as exc:
+            raise ServiceRejected(str(exc)) from exc
+
+    def status(self, ticket: str) -> dict:
+        return self.service.status(ticket)
+
+    def result(self, ticket: str, timeout: "float | None" = None) -> SolveOutcome:
+        try:
+            return self.service.result(ticket, timeout=timeout)
+        except KeyError as exc:
+            raise ServiceError(f"unknown ticket {ticket!r}") from exc
+        except TimeoutError:
+            raise
+        except RuntimeError as exc:
+            raise ServiceError(str(exc)) from exc
+
+    def cancel(self, ticket: str) -> str:
+        return self.service.cancel(ticket)
+
+    def metrics(self) -> dict:
+        return self.service.metrics_snapshot()
+
+    def close(self) -> None:
+        """The client does not own the service; nothing to release."""
+
+
+class SocketClient(_ClientBase):
+    """JSON-lines TCP client of a running ``letdma serve`` process.
+
+    One persistent connection, requests answered in order; thread-safe
+    (a lock serializes request/response pairs).  ``timeout`` on
+    :meth:`result` is enforced server-side, with a small grace period
+    added to the socket read timeout.
+    """
+
+    def __init__(
+        self,
+        host: str = DEFAULT_SERVICE_HOST,
+        port: int = DEFAULT_SERVICE_PORT,
+        connect_timeout: float = 5.0,
+    ):
+        self.address = (host, port)
+        self._lock = threading.Lock()
+        try:
+            self._sock = socket.create_connection(
+                self.address, timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"no solve service at {host}:{port} ({exc})"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    def _call(self, message: dict, timeout: "float | None" = None) -> dict:
+        payload = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+        with self._lock:
+            try:
+                self._sock.settimeout(None if timeout is None else timeout)
+                self._file.write(payload)
+                self._file.flush()
+                line = self._file.readline()
+            except OSError as exc:
+                raise ServiceUnavailable(
+                    f"solve service at {self.address[0]}:{self.address[1]} "
+                    f"went away ({exc})"
+                ) from exc
+        if not line:
+            raise ServiceUnavailable(
+                "solve service closed the connection mid-request"
+            )
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"malformed service response: {exc}") from exc
+        return response
+
+    def _expect_ok(self, response: dict) -> dict:
+        if response.get("ok"):
+            return response
+        code = response.get("code")
+        error = response.get("error", "service error")
+        if code == "rejected":
+            raise ServiceRejected(error)
+        if code == "timeout":
+            raise TimeoutError(error)
+        raise ServiceError(error)
+
+    def ping(self) -> bool:
+        """True when a live server answers on the connection."""
+        return bool(self._expect_ok(self._call({"op": "ping"})).get("pong"))
+
+    def submit_request(self, request: SolveRequest) -> str:
+        response = self._expect_ok(
+            self._call({"op": "submit", "request": request_to_dict(request)})
+        )
+        return response["ticket"]
+
+    def status(self, ticket: str) -> dict:
+        response = self._expect_ok(self._call({"op": "status", "ticket": ticket}))
+        return {key: value for key, value in response.items() if key != "ok"}
+
+    def result(self, ticket: str, timeout: "float | None" = None) -> SolveOutcome:
+        # The server enforces `timeout`; the socket read gets a grace
+        # period on top so a slow-but-honest server is not cut off.
+        read_timeout = None if timeout is None else timeout + 5.0
+        response = self._expect_ok(
+            self._call(
+                {"op": "result", "ticket": ticket, "timeout": timeout},
+                timeout=read_timeout,
+            )
+        )
+        return outcome_from_dict(response["outcome"])
+
+    def cancel(self, ticket: str) -> str:
+        response = self._expect_ok(self._call({"op": "cancel", "ticket": ticket}))
+        return response["cancelled"]
+
+    def metrics(self) -> dict:
+        return self._expect_ok(self._call({"op": "metrics"}))["metrics"]
+
+    def shutdown_server(self) -> bool:
+        """Ask the server to stop accepting connections."""
+        return bool(
+            self._expect_ok(self._call({"op": "shutdown"})).get("stopping")
+        )
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass

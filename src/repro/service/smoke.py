@@ -1,0 +1,155 @@
+"""End-to-end smoke test of the solve service (``letdma serve --smoke``).
+
+One self-contained scenario, the same one CI runs on every push:
+
+1. start a :class:`~repro.service.SolveService` plus its socket front
+   end on an OS-assigned loopback port;
+2. submit a *duplicate pair* — the same instance from two socket
+   connections — and assert the dedup contract: two tickets, two equal
+   results, exactly **one** solve record in telemetry;
+3. submit-and-cancel a second instance and assert the waiter-scoped
+   cancel verdicts;
+4. read live metrics over the socket and sanity-check the counters;
+5. shut the server down over the protocol and verify it stops within
+   the timeout.
+
+:func:`run_smoke` raises :class:`SmokeFailure` on the first violated
+assertion and returns a JSON-safe report on success, so it serves both
+as a CI gate (exit code) and as a quick health check for humans.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core.formulation import FormulationConfig
+from repro.runtime.telemetry import read_telemetry
+from repro.service.client import SocketClient
+from repro.service.server import SolveService, serve
+from repro.workloads.generator import WorkloadSpec, generate_application
+
+__all__ = ["SmokeFailure", "run_smoke"]
+
+
+class SmokeFailure(AssertionError):
+    """One smoke-scenario assertion did not hold."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+
+
+def run_smoke(
+    *,
+    host: str = "127.0.0.1",
+    timeout_seconds: float = 60.0,
+    work_dir: "str | None" = None,
+) -> dict:
+    """Run the full service smoke scenario; returns a report dict.
+
+    Everything (cache, telemetry, journal) lives under ``work_dir`` (a
+    fresh temporary directory by default), so the scenario is hermetic
+    and repeatable.
+    """
+    if work_dir is None:
+        with tempfile.TemporaryDirectory(prefix="letdma-smoke-") as tmp:
+            return run_smoke(
+                host=host, timeout_seconds=timeout_seconds, work_dir=tmp
+            )
+
+    root = Path(work_dir)
+    telemetry_path = root / "telemetry.jsonl"
+    app = generate_application(WorkloadSpec(num_tasks=4, num_cores=2, seed=7))
+    config = FormulationConfig(time_limit_seconds=timeout_seconds)
+    other = generate_application(WorkloadSpec(num_tasks=4, num_cores=2, seed=11))
+
+    service = SolveService(
+        shards=2,
+        cache_dir=str(root / "cache"),
+        telemetry=str(telemetry_path),
+        state_dir=str(root / "state"),
+        deadline_seconds=timeout_seconds,
+    )
+    report: dict = {"host": host}
+    with service:
+        server = serve(service, host=host, port=0)
+        report["address"] = "%s:%d" % server.address
+        try:
+            first = SocketClient(*server.address)
+            second = SocketClient(*server.address)
+            try:
+                _check(first.ping(), "server did not answer ping")
+
+                # -- duplicate pair: two clients, one solve ------------
+                ticket_a = first.submit(app, config, backend="portfolio")
+                ticket_b = second.submit(app, config, backend="portfolio")
+                _check(
+                    ticket_a == ticket_b,
+                    "identical instances got different tickets "
+                    f"({ticket_a} vs {ticket_b})",
+                )
+                outcome_a = first.result(ticket_a, timeout=timeout_seconds)
+                outcome_b = second.result(ticket_b, timeout=timeout_seconds)
+                _check(
+                    outcome_a.status == outcome_b.status
+                    and outcome_a.result.objective_value
+                    == outcome_b.result.objective_value,
+                    "duplicate submissions disagree on the result",
+                )
+                report["ticket"] = ticket_a
+                report["status"] = outcome_a.status
+                report["objective"] = outcome_a.result.objective_value
+
+                # -- waiter-scoped cancel ------------------------------
+                ticket_c = first.submit(other, config, backend="greedy")
+                verdict = first.cancel(ticket_c)
+                _check(
+                    verdict in ("cancelled", "detached", "finished"),
+                    f"unexpected cancel verdict {verdict!r}",
+                )
+                report["cancel_verdict"] = verdict
+
+                # -- live metrics --------------------------------------
+                metrics = first.metrics()
+                _check(
+                    metrics["submitted"] >= 3,
+                    f"metrics lost submissions: {metrics['submitted']} < 3",
+                )
+                _check(
+                    metrics["dedup_hits"] >= 1,
+                    "duplicate pair did not register a dedup hit",
+                )
+                report["metrics"] = metrics
+
+                # -- clean protocol shutdown ---------------------------
+                _check(
+                    second.shutdown_server(),
+                    "server refused the shutdown op",
+                )
+                _check(
+                    server.stopped.wait(timeout_seconds),
+                    "server did not stop within the timeout",
+                )
+            finally:
+                first.close()
+                second.close()
+        finally:
+            server.server_close()
+
+    # -- exactly one underlying solve for the duplicate pair -----------
+    solve_records = [
+        record
+        for record in read_telemetry(telemetry_path)
+        if record.get("event") == "solve"
+        and record.get("instance") == report["ticket"]
+    ]
+    _check(
+        len(solve_records) == 1,
+        f"duplicate pair produced {len(solve_records)} solve records "
+        "(expected exactly 1)",
+    )
+    report["solve_records"] = len(solve_records)
+    report["ok"] = True
+    return report

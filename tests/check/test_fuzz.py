@@ -78,19 +78,21 @@ class TestBrokenBackendIsCaught:
         differential runner and shrunk to a corpus reproducer."""
         corpus = tmp_path / "corpus"
         real_solve = facade.solve
-        real_solve_recorded = facade.solve_recorded
+        real_execute = runner_module.execute_request
 
         def broken_solve(app, config=None, **kwargs):
             return _break_greedy(real_solve(app, config, **kwargs))
 
-        def broken_solve_recorded(app, config=None, **kwargs):
-            result, record = real_solve_recorded(app, config, **kwargs)
-            return _break_greedy(result), record
+        def broken_execute(request, **kwargs):
+            outcome = real_execute(request, **kwargs)
+            return dataclasses.replace(
+                outcome, result=_break_greedy(outcome.result)
+            )
 
         with monkeypatch.context() as patch:
             # The runner path (fuzz grid) and the facade path (shrinker
             # predicate) both go through the broken backend.
-            patch.setattr(runner_module, "solve_recorded", broken_solve_recorded)
+            patch.setattr(runner_module, "execute_request", broken_execute)
             patch.setattr(facade, "solve", broken_solve)
             report = run_fuzz(
                 FuzzConfig(

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import (
+    EXIT_FAILURE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
 
 
 class TestParser:
@@ -189,3 +196,145 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "2 grid point(s) resumed" in out
+
+
+class TestExitCodeContract:
+    """The documented exit codes: 0 ok, 1 failure, 2 usage, 130 interrupt."""
+
+    def test_constants_match_the_documented_table(self):
+        assert EXIT_OK == 0
+        assert EXIT_FAILURE == 1
+        assert EXIT_USAGE == 2
+        assert EXIT_INTERRUPTED == 130
+
+    def test_usage_errors_exit_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--backend", "cplex"])
+        assert excinfo.value.code == EXIT_USAGE
+
+    @pytest.mark.parametrize("command", ["table1", "alphas", "sweep", "chaos"])
+    def test_resume_without_telemetry_exits_2(self, command, capsys):
+        assert main([command, "--resume"]) == EXIT_USAGE
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_dead_service_address_exits_1(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(
+            ["sweep", "--service", f"127.0.0.1:{port}", "--backend", "greedy"]
+        )
+        assert code == EXIT_FAILURE
+        assert "no solve service" in capsys.readouterr().err
+
+
+class TestSharedFlagParents:
+    """One definition of --jobs/--telemetry/--cache-dir/--resume/--service,
+    inherited by every grid command (satellite: no drifting duplicates)."""
+
+    GRID_COMMANDS = ["table1", "alphas", "sweep", "chaos", "fuzz"]
+
+    @pytest.mark.parametrize("command", GRID_COMMANDS)
+    def test_grid_flags_present_everywhere(self, command, tmp_path):
+        args = build_parser().parse_args(
+            [
+                command,
+                "--jobs", "3",
+                "--telemetry", str(tmp_path / "runs"),
+                "--cache-dir", str(tmp_path / "cache"),
+                "--resume",
+            ]
+        )
+        assert args.jobs == 3
+        assert args.telemetry == str(tmp_path / "runs")
+        assert args.cache_dir == str(tmp_path / "cache")
+        assert args.resume is True
+        assert args.service is None  # --service parent is present too
+
+    @pytest.mark.parametrize("command", GRID_COMMANDS)
+    def test_service_flag_parses_host_port(self, command):
+        args = build_parser().parse_args(
+            [command, "--service", "127.0.0.1:6160"]
+        )
+        assert args.service == ("127.0.0.1", 6160)
+
+    def test_bad_service_address_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--service", "no-port-here"])
+
+    @pytest.mark.parametrize(
+        "command", ["table1", "alphas", "sweep", "chaos", "solve"]
+    )
+    def test_backend_flag_present(self, command):
+        args = build_parser().parse_args([command, "--backend", "greedy"])
+        assert args.backend == "greedy"
+
+    def test_fuzz_keeps_its_tight_default_time_limit(self):
+        # fuzz inherits grid+service parents but owns --time-limit.
+        args = build_parser().parse_args(["fuzz"])
+        assert args.time_limit == 20.0
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 6160
+        assert args.shards >= 1
+        assert args.queue_capacity >= 1
+        assert args.status is None
+        assert args.smoke is False
+
+    def test_status_with_explicit_address(self):
+        args = build_parser().parse_args(
+            ["serve", "--status", "127.0.0.1:7777"]
+        )
+        assert args.status == ("127.0.0.1", 7777)
+
+    def test_status_defaults_to_the_default_address(self):
+        args = build_parser().parse_args(["serve", "--status"])
+        assert args.status == ("127.0.0.1", 6160)
+
+    def test_status_against_dead_server_exits_1(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = main(["serve", "--status", f"127.0.0.1:{port}"])
+        assert code == EXIT_FAILURE
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServiceIntegration:
+    def test_sweep_through_a_live_service(self, capsys, tmp_path):
+        """`letdma sweep --service` routes its grid through `serve`."""
+        from repro.service import SolveService, serve
+
+        telemetry = tmp_path / "runs.jsonl"
+        with SolveService(shards=1) as service:
+            server = serve(service, port=0)
+            host, port = server.address
+            try:
+                code = main(
+                    [
+                        "sweep",
+                        "--objectives", "no-obj",
+                        "--alphas", "0.3",
+                        "--backend", "greedy",
+                        "--service", f"{host}:{port}",
+                        "--telemetry", str(telemetry),
+                    ]
+                )
+            finally:
+                server.shutdown()
+                server.server_close()
+        assert code == EXIT_OK
+        snapshot = service.metrics_snapshot()
+        assert snapshot["submitted"] >= 1
+        assert snapshot["completed"] >= 1
+        assert telemetry.exists()

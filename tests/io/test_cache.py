@@ -1,10 +1,14 @@
 """Tests for the persistent solve cache."""
 
-import pytest
-
 from repro.core import FormulationConfig, Objective
-from repro.io.cache import cache_key, clear_cache, solve_cached
+from repro.io.cache import cache_key, clear_cache
 from repro.milp import SolveStatus
+from repro.runtime import solve
+
+
+def _cached_solve(app, config, cache_dir):
+    """Solve through the public front door with the cache enabled."""
+    return solve(app, config, backend=config.backend, cache=cache_dir)
 
 
 class TestCacheKey:
@@ -39,15 +43,14 @@ class TestCacheKey:
         assert a != b
 
 
-@pytest.mark.filterwarnings("ignore::DeprecationWarning")
-class TestSolveCached:
+class TestCachedSolves:
     def test_miss_then_hit(self, tmp_path, simple_app):
         config = FormulationConfig()
-        first = solve_cached(simple_app, config, cache_dir=tmp_path)
+        first = _cached_solve(simple_app, config, tmp_path)
         assert first.status is SolveStatus.OPTIMAL
         assert len(list(tmp_path.glob("*.json"))) == 1
 
-        second = solve_cached(simple_app, config, cache_dir=tmp_path)
+        second = _cached_solve(simple_app, config, tmp_path)
         assert second.num_transfers == first.num_transfers
         assert second.layouts["MG"].order == first.layouts["MG"].order
 
@@ -55,33 +58,28 @@ class TestSolveCached:
         from repro.core import verify_allocation
 
         config = FormulationConfig()
-        solve_cached(simple_app, config, cache_dir=tmp_path)
-        cached = solve_cached(simple_app, config, cache_dir=tmp_path)
+        _cached_solve(simple_app, config, tmp_path)
+        cached = _cached_solve(simple_app, config, tmp_path)
         verify_allocation(simple_app, cached).raise_if_failed()
 
     def test_infeasible_cached(self, tmp_path, simple_app):
         config = FormulationConfig(max_transfers=1)
-        first = solve_cached(simple_app, config, cache_dir=tmp_path)
+        first = _cached_solve(simple_app, config, tmp_path)
         assert first.status is SolveStatus.INFEASIBLE
         assert len(list(tmp_path.glob("*.json"))) == 1
-        second = solve_cached(simple_app, config, cache_dir=tmp_path)
+        second = _cached_solve(simple_app, config, tmp_path)
         assert second.status is SolveStatus.INFEASIBLE
 
     def test_corrupt_entry_resolved(self, tmp_path, simple_app):
         config = FormulationConfig()
-        solve_cached(simple_app, config, cache_dir=tmp_path)
+        _cached_solve(simple_app, config, tmp_path)
         entry = next(tmp_path.glob("*.json"))
         entry.write_text("{not json")
-        result = solve_cached(simple_app, config, cache_dir=tmp_path)
+        result = _cached_solve(simple_app, config, tmp_path)
         assert result.status is SolveStatus.OPTIMAL
 
     def test_clear_cache(self, tmp_path, simple_app):
-        solve_cached(simple_app, FormulationConfig(), cache_dir=tmp_path)
+        _cached_solve(simple_app, FormulationConfig(), tmp_path)
         assert clear_cache(tmp_path) == 1
         assert clear_cache(tmp_path) == 0
         assert clear_cache(tmp_path / "missing") == 0
-
-
-def test_solve_cached_is_deprecated(tmp_path, simple_app):
-    with pytest.warns(DeprecationWarning, match="repro.solve"):
-        solve_cached(simple_app, FormulationConfig(), cache_dir=tmp_path)

@@ -9,7 +9,6 @@ from repro.reporting import (
     run_fig2_panel,
     run_table1,
     solve_instance,
-    solve_waters,
 )
 
 
@@ -57,15 +56,6 @@ class TestSolveInstance:
         )
         (record,) = read_telemetry(tmp_path)
         assert record["tags"] == {"objective": "NO-OBJ", "alpha": 0.3}
-
-
-class TestSolveWatersShim:
-    def test_warns_and_delegates(self, small_app):
-        with pytest.warns(DeprecationWarning, match="solve_instance"):
-            app, result = solve_waters(
-                Objective.NONE, 0.3, time_limit_seconds=30, app=small_app
-            )
-        assert result.feasible
 
 
 class TestRunTable1:

@@ -1,0 +1,198 @@
+"""Tests for the stable solve contract (:mod:`repro.api`).
+
+One request, one outcome, three front doors: the facade, the runner,
+and the solve service must all execute the same `SolveRequest` and mean
+the same thing by "the same solve" (the content hash).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+import repro
+from repro.api import (
+    SolveOutcome,
+    SolveRequest,
+    config_from_dict,
+    config_to_dict,
+    execute,
+    outcome_from_dict,
+    outcome_to_dict,
+    request_from_dict,
+    request_to_dict,
+)
+from repro.core import FormulationConfig, Objective
+from repro.io.cache import cache_key
+from repro.milp import SolveStatus
+from repro.runtime import ExperimentRunner, SolveJob
+from repro.service import InProcessClient, SolveService
+
+pytestmark = pytest.mark.runtime
+
+
+def fast_config(**overrides):
+    return FormulationConfig(time_limit_seconds=30, **overrides)
+
+
+class TestInstanceHash:
+    def test_instance_is_the_cache_key(self, simple_app):
+        request = SolveRequest(app=simple_app, backend="highs")
+        expected = cache_key(
+            simple_app, replace(FormulationConfig(), backend="highs")
+        )
+        assert request.instance == expected
+
+    def test_instance_is_deterministic(self, simple_app):
+        a = SolveRequest(app=simple_app, config=fast_config())
+        b = SolveRequest(app=simple_app, config=fast_config())
+        assert a.instance == b.instance
+
+    def test_labels_do_not_change_identity(self, simple_app):
+        plain = SolveRequest(app=simple_app)
+        labelled = SolveRequest(
+            app=simple_app, job_id="grid-7", tags={"alpha": 0.2}
+        )
+        assert plain.instance == labelled.instance
+
+    def test_time_limit_does_not_change_identity(self, simple_app):
+        short = SolveRequest(
+            app=simple_app, config=FormulationConfig(time_limit_seconds=1)
+        )
+        long = SolveRequest(
+            app=simple_app, config=FormulationConfig(time_limit_seconds=999)
+        )
+        assert short.instance == long.instance
+
+    def test_answer_determining_fields_change_identity(self, simple_app):
+        base = SolveRequest(app=simple_app)
+        assert base.instance != SolveRequest(
+            app=simple_app, backend="greedy"
+        ).instance
+        assert base.instance != SolveRequest(
+            app=simple_app,
+            config=FormulationConfig(objective=Objective.MIN_TRANSFERS),
+        ).instance
+        assert base.instance != SolveRequest(
+            app=simple_app, config=FormulationConfig(mip_gap=0.05)
+        ).instance
+
+
+class TestWireFormat:
+    def test_request_roundtrip_is_hash_exact(self, multirate_app):
+        request = SolveRequest(
+            app=multirate_app,
+            config=fast_config(objective=Objective.MIN_TRANSFERS),
+            backend="greedy",
+            job_id="wire-1",
+            tags={"seed": 3},
+        )
+        clone = request_from_dict(request_to_dict(request))
+        assert clone.instance == request.instance
+        assert clone.backend == "greedy"
+        assert clone.job_id == "wire-1"
+        assert clone.tags == {"seed": 3}
+
+    def test_config_roundtrip(self):
+        config = FormulationConfig(
+            objective=Objective.MIN_DELAY_RATIO,
+            max_transfers=3,
+            mip_gap=0.01,
+            backend="bnb",
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_config_from_partial_dict_applies_defaults(self):
+        assert config_from_dict({}) == FormulationConfig()
+
+    def test_outcome_roundtrip(self, simple_app):
+        outcome = execute(SolveRequest(app=simple_app, config=fast_config()))
+        clone = outcome_from_dict(outcome_to_dict(outcome))
+        assert clone.instance == outcome.instance
+        assert clone.status == outcome.status
+        assert clone.result.objective_value == outcome.result.objective_value
+        assert clone.result.layouts == outcome.result.layouts
+        assert clone.record == outcome.record
+        assert clone.deduped == outcome.deduped
+
+
+class TestExecute:
+    def test_execute_matches_the_facade(self, simple_app):
+        config = fast_config()
+        outcome = execute(SolveRequest(app=simple_app, config=config))
+        via_facade = repro.solve(simple_app, config)
+        assert outcome.result.status is via_facade.status
+        assert outcome.result.objective_value == via_facade.objective_value
+        assert outcome.result.layouts == via_facade.layouts
+
+    def test_record_carries_identity_and_labels(self, simple_app):
+        outcome = execute(
+            SolveRequest(
+                app=simple_app,
+                config=fast_config(),
+                job_id="rec-1",
+                tags={"alpha": 0.4},
+            )
+        )
+        assert outcome.record["instance"] == outcome.instance
+        assert outcome.record["job_id"] == "rec-1"
+        assert outcome.record["tags"] == {"alpha": 0.4}
+        assert outcome.wall_seconds > 0
+        assert not outcome.cached
+
+    def test_cache_dir_serves_the_second_execute(self, simple_app, tmp_path):
+        request = SolveRequest(app=simple_app, config=fast_config())
+        first = execute(request, cache_dir=tmp_path)
+        assert first.result.status is SolveStatus.OPTIMAL
+        assert not first.cached
+        second = execute(request, cache_dir=tmp_path)
+        assert second.cached
+        assert second.result.objective_value == first.result.objective_value
+
+    def test_deadline_does_not_change_identity_or_answer(self, simple_app):
+        request = SolveRequest(app=simple_app, config=fast_config())
+        free = execute(request)
+        capped = execute(request, deadline_seconds=25)
+        assert capped.instance == free.instance
+        assert capped.result.status is free.result.status
+        assert capped.result.objective_value == free.result.objective_value
+
+    def test_single_backend_request_uses_that_backend(self, simple_app):
+        outcome = execute(
+            SolveRequest(
+                app=simple_app, config=fast_config(), backend="greedy"
+            )
+        )
+        assert outcome.backend == "greedy"
+        assert outcome.record["requested_backend"] == "greedy"
+
+
+class TestRunnerClientEquivalence:
+    def test_grid_via_service_equals_local_grid(self, simple_app, multirate_app):
+        """`client=` routes through the service; answers must match."""
+        grid = [
+            SolveJob("eq-simple", simple_app, fast_config()),
+            SolveJob(
+                "eq-multirate",
+                multirate_app,
+                fast_config(),
+                backend="greedy",
+                tags={"kind": "multirate"},
+            ),
+        ]
+        local = ExperimentRunner(jobs=1).run(grid)
+        with SolveService(shards=2) as service:
+            remote = ExperimentRunner(
+                client=InProcessClient(service), deadline_seconds=120
+            ).run(grid)
+
+        assert [o.job_id for o in remote] == [o.job_id for o in local]
+        for mine, theirs in zip(local, remote):
+            assert mine.result.status is theirs.result.status
+            assert (
+                mine.result.objective_value == theirs.result.objective_value
+            )
+            assert mine.result.layouts == theirs.result.layouts
+            # The remote record keeps the grid point's own labels even
+            # when the service deduped it onto a shared solve.
+            assert theirs.record["job_id"] == mine.job_id
+            assert theirs.tags == mine.tags

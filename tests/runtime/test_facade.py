@@ -101,29 +101,3 @@ class TestTelemetryIntegration:
         json.loads(lines[0])
 
 
-class TestDeprecationShims:
-    def test_solve_cached_warns_and_matches(self, tmp_path, simple_app):
-        from repro.io.cache import solve_cached
-
-        config = FormulationConfig()
-        with pytest.warns(DeprecationWarning):
-            shimmed = solve_cached(simple_app, config, cache_dir=tmp_path)
-        fresh = repro.solve(simple_app, config, backend=config.backend)
-        assert shimmed.status is fresh.status
-        assert shimmed.num_transfers == fresh.num_transfers
-
-    def test_solve_waters_warns_and_matches(self, simple_app):
-        from repro.reporting import solve_instance, solve_waters
-
-        with pytest.warns(DeprecationWarning):
-            app_shim, shimmed = solve_waters(
-                Objective.NONE, 0.3, time_limit_seconds=30, app=simple_app
-            )
-        app_new, fresh = solve_instance(
-            Objective.NONE, 0.3, time_limit_seconds=30, app=simple_app
-        )
-        assert shimmed.status is fresh.status
-        assert shimmed.num_transfers == fresh.num_transfers
-        assert {
-            t.name: t.acquisition_deadline_us for t in app_shim.tasks
-        } == {t.name: t.acquisition_deadline_us for t in app_new.tasks}

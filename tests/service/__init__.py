@@ -1,0 +1,1 @@
+"""Tests for the solve service: queue, metrics, service, socket."""

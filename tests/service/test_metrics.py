@@ -1,0 +1,141 @@
+"""Tests for the live service metrics aggregate."""
+
+from repro.service import ServiceMetrics, render_service_metrics
+from repro.service.metrics import percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([3.0], 0.5) == 3.0
+        assert percentile([3.0], 0.95) == 3.0
+
+    def test_nearest_rank_median(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 0.5) == 3.0
+
+    def test_p95_of_hundred(self):
+        values = [float(i) for i in range(100)]
+        assert percentile(values, 0.95) == 94.0
+
+    def test_order_independent(self):
+        assert percentile([5.0, 1.0, 3.0], 0.5) == 3.0
+
+
+class TestServiceMetrics:
+    def test_fresh_snapshot_is_all_zero(self):
+        snapshot = ServiceMetrics().snapshot()
+        assert snapshot["submitted"] == 0
+        assert snapshot["dedup_hit_rate"] == 0.0
+        assert snapshot["latency_p50_seconds"] == 0.0
+        assert snapshot["backend_share"] == {}
+
+    def test_dedup_hit_rate(self):
+        metrics = ServiceMetrics()
+        metrics.record_submit(deduped=False)
+        metrics.record_submit(deduped=True)
+        metrics.record_submit(deduped=True)
+        snapshot = metrics.snapshot()
+        assert snapshot["submitted"] == 3
+        assert snapshot["dedup_hits"] == 2
+        assert snapshot["dedup_hit_rate"] == 2 / 3
+
+    def test_completions_split_by_backend_and_status(self):
+        metrics = ServiceMetrics()
+        for backend, status in (
+            ("highs", "optimal"),
+            ("highs", "optimal"),
+            ("greedy", "feasible"),
+        ):
+            metrics.record_complete(
+                backend=backend,
+                status=status,
+                latency_seconds=0.5,
+                queue_seconds=0.1,
+                cached=False,
+            )
+        snapshot = metrics.snapshot()
+        assert snapshot["completed"] == 3
+        assert snapshot["by_backend"] == {"highs": 2, "greedy": 1}
+        assert snapshot["by_status"] == {"optimal": 2, "feasible": 1}
+        assert snapshot["backend_share"]["highs"] == 2 / 3
+
+    def test_failed_counts_apart_from_completed(self):
+        metrics = ServiceMetrics()
+        metrics.record_complete(
+            backend="",
+            status="failed",
+            latency_seconds=0.1,
+            queue_seconds=0.0,
+            cached=False,
+            failed=True,
+        )
+        snapshot = metrics.snapshot()
+        assert snapshot["failed"] == 1
+        assert snapshot["completed"] == 0
+
+    def test_cache_hits_excluded_from_solve_count(self):
+        metrics = ServiceMetrics()
+        metrics.record_complete(
+            backend="highs",
+            status="optimal",
+            latency_seconds=0.2,
+            queue_seconds=0.0,
+            cached=False,
+        )
+        metrics.record_complete(
+            backend="highs",
+            status="optimal",
+            latency_seconds=0.0,
+            queue_seconds=0.0,
+            cached=True,
+        )
+        snapshot = metrics.snapshot()
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["solves"] == 1
+
+    def test_latency_window_is_bounded(self):
+        metrics = ServiceMetrics(window=4)
+        for latency in (10.0, 10.0, 1.0, 1.0, 1.0, 1.0):
+            metrics.record_complete(
+                backend="greedy",
+                status="optimal",
+                latency_seconds=latency,
+                queue_seconds=0.0,
+                cached=False,
+            )
+        # The two 10 s outliers aged out of the window.
+        assert metrics.snapshot()["latency_p95_seconds"] == 1.0
+
+    def test_rejects_and_cancels(self):
+        metrics = ServiceMetrics()
+        metrics.record_reject()
+        metrics.record_cancel()
+        snapshot = metrics.snapshot(queue_depth=7)
+        assert snapshot["rejected"] == 1
+        assert snapshot["cancelled"] == 1
+        assert snapshot["queue_depth"] == 7
+
+    def test_to_record_is_a_telemetry_event(self):
+        record = ServiceMetrics().to_record(queue_depth=0)
+        assert record["event"] == "service_metrics"
+        assert "schema_version" in record
+
+
+class TestRender:
+    def test_renders_every_headline_counter(self):
+        metrics = ServiceMetrics()
+        metrics.record_submit(deduped=True)
+        metrics.record_complete(
+            backend="highs",
+            status="optimal",
+            latency_seconds=0.25,
+            queue_seconds=0.05,
+            cached=False,
+        )
+        table = render_service_metrics(metrics.snapshot(queue_depth=3))
+        assert "Solve service" in table
+        assert "dedup hits" in table
+        assert "backend share: highs" in table
+        assert "status: optimal" in table

@@ -1,26 +1,14 @@
-"""The deprecation shims must warn, and internal callers must not use
-them: ``filterwarnings`` in pyproject.toml turns any DeprecationWarning
-raised from ``repro.*`` modules into an error, so CI surfaces internal
-callers the moment one sneaks back in."""
+"""Deprecation policy tests.
+
+The library's policy: deprecated names warn for one release cycle and
+are then *removed* — they do not linger.  ``filterwarnings`` in
+pyproject.toml turns any DeprecationWarning raised from ``repro.*``
+modules into an error, so CI surfaces an internal caller the moment
+one sneaks in.  These tests pin both halves: the escalation filter is
+active, and names whose cycle has ended are really gone.
+"""
 
 import pytest
-
-from repro.core import FormulationConfig, Objective
-from repro.io.cache import solve_cached
-from repro.reporting.experiments import solve_waters
-
-
-def test_solve_cached_warns(simple_app, tmp_path):
-    with pytest.warns(DeprecationWarning, match="solve_cached.*deprecated"):
-        result = solve_cached(simple_app, FormulationConfig(), str(tmp_path))
-    assert result.feasible
-
-
-@pytest.mark.slow
-def test_solve_waters_warns():
-    with pytest.warns(DeprecationWarning, match="solve_waters.*deprecated"):
-        app, result = solve_waters(Objective.NONE, 0.2, time_limit_seconds=60)
-    assert result.feasible
 
 
 def test_no_internal_caller_filter_is_active():
@@ -39,3 +27,25 @@ def test_no_internal_caller_filter_is_active():
             lineno=1,
             module="repro.fake_internal",
         )
+
+
+def test_solve_cached_removed():
+    """``solve_cached`` finished its deprecation cycle: callers go
+    through ``repro.solve(app, config, cache=...)``."""
+    import repro.io
+    import repro.io.cache
+
+    assert not hasattr(repro.io.cache, "solve_cached")
+    assert not hasattr(repro.io, "solve_cached")
+    assert "solve_cached" not in repro.io.__all__
+
+
+def test_solve_waters_removed():
+    """``solve_waters`` finished its deprecation cycle: callers go
+    through ``repro.reporting.solve_instance`` (or ``repro.solve``)."""
+    import repro.reporting
+    import repro.reporting.experiments
+
+    assert not hasattr(repro.reporting.experiments, "solve_waters")
+    assert not hasattr(repro.reporting, "solve_waters")
+    assert "solve_waters" not in repro.reporting.__all__

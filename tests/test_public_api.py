@@ -1,9 +1,12 @@
 """Public API hygiene: everything exported must exist, import cleanly,
-and carry a docstring; modules must declare coherent __all__ lists."""
+and carry a docstring; modules must declare coherent __all__ lists;
+the curated reference (docs/api.md) and the code must agree."""
 
 import importlib
 import inspect
 import pkgutil
+import re
+from pathlib import Path
 
 import pytest
 
@@ -11,6 +14,7 @@ import repro
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.model",
     "repro.let",
     "repro.milp",
@@ -24,6 +28,7 @@ PACKAGES = [
     "repro.reporting",
     "repro.runtime",
     "repro.faults",
+    "repro.service",
 ]
 
 
@@ -77,8 +82,80 @@ def test_top_level_reexports_cover_core_workflow():
 
 def test_version_matches_pyproject():
     import tomllib
-    from pathlib import Path
 
     pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
     data = tomllib.loads(pyproject.read_text())
     assert repro.__version__ == data["project"]["version"]
+
+
+def test_nothing_private_leaks():
+    """No exported name is underscore-prefixed, and no stray public
+    callable from another module's namespace leaks into a package's
+    ``__all__``-declared surface."""
+    for package_name in PACKAGES:
+        module = importlib.import_module(package_name)
+        for name in getattr(module, "__all__", []):
+            if name == "__version__":  # the one sanctioned dunder
+                continue
+            assert not name.startswith("_"), (
+                f"{package_name}.__all__ leaks private name {name}"
+            )
+
+
+# ----------------------------------------------------------------------
+# docs/api.md is a contract, not prose: every symbol it documents must
+# import from the module its section names.
+# ----------------------------------------------------------------------
+
+_SECTION = re.compile(r"^## .+ — (.+)$")
+_ROW = re.compile(r"^\| `([^`]+)`")
+_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*")
+
+
+def _documented_symbols():
+    """Yield (section modules, leading identifier chain) per table row."""
+    text = (
+        Path(repro.__file__).resolve().parents[2] / "docs" / "api.md"
+    ).read_text()
+    modules: list[str] = []
+    for line in text.splitlines():
+        section = _SECTION.match(line)
+        if section:
+            modules = re.findall(r"`([^`]+)`", section.group(1))
+            continue
+        row = _ROW.match(line)
+        if not row or not modules:
+            continue
+        token = _NAME.match(row.group(1).strip())
+        if token:
+            yield modules, token.group(0)
+
+
+def _resolves(module_name: str, dotted: str) -> bool:
+    """Whether ``dotted`` resolves as an attribute chain from the module
+    (or, for section titles like ``repro.solve``, from its parent)."""
+    try:
+        target = importlib.import_module(module_name)
+    except ImportError:
+        parent, _, attr = module_name.rpartition(".")
+        if not parent:
+            return False
+        target = importlib.import_module(parent)
+        if not hasattr(target, attr):
+            return False
+    for part in dotted.split("."):
+        if not hasattr(target, part):
+            return False
+        target = getattr(target, part)
+    return True
+
+
+def test_documented_api_imports():
+    rows = list(_documented_symbols())
+    assert len(rows) > 40, "docs/api.md parse found suspiciously few rows"
+    missing = []
+    for modules, symbol in rows:
+        scopes = modules + ["repro"]
+        if not any(_resolves(module, symbol) for module in scopes):
+            missing.append(f"{symbol} (documented under {modules})")
+    assert missing == [], f"docs/api.md documents unimportable names: {missing}"
