@@ -74,6 +74,13 @@ class SolveRequest:
             part of the instance hash.
         tags: Caller-defined coordinates (grid point, campaign seed,
             ...) carried into telemetry; not part of the instance hash.
+        prior: Optional :class:`repro.incremental.Prior` — a previous
+            solve offered as a warm start.  Not part of the instance
+            hash: a warm start can change solve speed, never the
+            answer (any doubtful prior degrades to a cold solve), so
+            two requests differing only in ``prior`` are the same
+            solve.  The result's ``warm_start`` field records which
+            tier was actually used.
     """
 
     app: Application
@@ -81,6 +88,7 @@ class SolveRequest:
     backend: str = DEFAULT_SOLVE_BACKEND
     job_id: str | None = None
     tags: dict = field(default_factory=dict)
+    prior: "object | None" = field(default=None, compare=False)
 
     def resolved_config(self) -> FormulationConfig:
         """The effective config (defaults applied)."""
@@ -184,11 +192,11 @@ def execute(
     if result is None:
         if request.backend == "portfolio":
             result = solve_with_portfolio(
-                request.app, config, rungs=DEFAULT_PORTFOLIO
+                request.app, config, rungs=DEFAULT_PORTFOLIO, prior=request.prior
             )
         else:
             result = solve_with_portfolio(
-                request.app, config, rungs=(request.backend,)
+                request.app, config, rungs=(request.backend,), prior=request.prior
             )
         if cache_path is not None and result.status in CACHEABLE_STATUSES:
             cache_path.parent.mkdir(parents=True, exist_ok=True)
@@ -266,23 +274,34 @@ def config_from_dict(data: dict) -> FormulationConfig:
 
 def request_to_dict(request: SolveRequest) -> dict:
     """JSON-safe dump of a request; round-trips hash-exactly."""
-    return {
+    payload = {
         "application": application_to_dict(request.app),
         "config": config_to_dict(request.resolved_config()),
         "backend": request.backend,
         "job_id": request.job_id,
         "tags": dict(request.tags),
     }
+    if request.prior is not None:
+        from repro.incremental.warm import prior_to_dict
+
+        payload["prior"] = prior_to_dict(request.prior)
+    return payload
 
 
 def request_from_dict(data: dict) -> SolveRequest:
     """Rebuild a :class:`SolveRequest` from :func:`request_to_dict`."""
+    prior = None
+    if data.get("prior") is not None:
+        from repro.incremental.warm import prior_from_dict
+
+        prior = prior_from_dict(data["prior"])
     return SolveRequest(
         app=application_from_dict(data["application"]),
         config=config_from_dict(data.get("config") or {}),
         backend=data.get("backend", DEFAULT_SOLVE_BACKEND),
         job_id=data.get("job_id"),
         tags=dict(data.get("tags") or {}),
+        prior=prior,
     )
 
 

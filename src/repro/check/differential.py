@@ -99,6 +99,12 @@ class DifferentialConfig:
         check_batch_sim: Also simulate every feasible allocation's
             proposed timeline over a small WCET-variant grid with the
             batch engine and assert byte-identical scalar replays.
+        check_warm: Also perturb the instance (one task's WCET or one
+            label's size), solve the perturbation cold and warm (with
+            the proven base run as the :class:`repro.incremental.Prior`)
+            on the same backend, and require identical proven verdicts
+            and evaluated metrics — the warm == cold guarantee of
+            :mod:`repro.incremental`.
     """
 
     backends: tuple[str, ...] = ("highs", "bnb", "greedy")
@@ -108,6 +114,7 @@ class DifferentialConfig:
     bnb_max_comms: int = 6
     check_presolve: bool = False
     check_batch_sim: bool = False
+    check_warm: bool = False
 
     def effective_backends(self) -> tuple[str, ...]:
         """``backends`` plus nopresolve variants when requested."""
@@ -271,6 +278,8 @@ def compare_runs(
     _compare_greedy(app, config, verdict)
     if config.check_batch_sim:
         _check_batch_sim(app, verdict)
+    if config.check_warm:
+        _check_warm(app, config, verdict)
     return verdict
 
 
@@ -320,6 +329,114 @@ def _check_batch_sim(app: Application, verdict: InstanceVerdict) -> None:
         except AssertionError as exc:
             verdict.disagreements.append(
                 f"{backend}: batch-sim differential: {exc}"
+            )
+
+
+def _perturb_for_warm(app: Application):
+    """A deterministic 1-element perturbation of ``app``.
+
+    Alternates (by instance shape) between a WCET bump — which leaves
+    the MILP unchanged and exercises the ``reused`` warm tier — and a
+    label-size bump, which exercises the ``repaired`` tier.  Returns
+    ``(perturbed_app, mode)`` or ``(None, "")`` when no perturbation
+    applies.
+    """
+    from dataclasses import replace as _replace
+
+    mode = (len(list(app.tasks)) + len(app.labels)) % 2
+    if mode == 1:
+        shared = app.shared_labels
+        target = shared[0] if shared else (app.labels[0] if app.labels else None)
+        if target is not None:
+            labels = [
+                _replace(label, size_bytes=label.size_bytes + 8)
+                if label.name == target.name
+                else label
+                for label in app.labels
+            ]
+            try:
+                return (
+                    Application(app.platform, app.tasks, labels),
+                    "label-size",
+                )
+            except ValueError:
+                pass  # capacity exceeded: fall through to the WCET bump
+    from repro.model.task import TaskSet
+
+    tasks = list(app.tasks)
+    if not tasks:
+        return None, ""
+    first = tasks[0]
+    bumped = min(first.wcet_us * 1.2, float(first.period_us))
+    if bumped == first.wcet_us:
+        bumped = first.wcet_us * 0.8
+    tasks[0] = _replace(first, wcet_us=bumped)
+    return Application(app.platform, TaskSet(tasks), list(app.labels)), "wcet"
+
+
+def _check_warm(
+    app: Application, config: DifferentialConfig, verdict: InstanceVerdict
+) -> None:
+    """Warm-vs-cold differential: perturb, re-solve both ways, compare."""
+    from repro.incremental.warm import Prior
+    from repro.runtime.portfolio import solve_with_portfolio
+
+    base = next(
+        (
+            run
+            for backend, run in verdict.runs.items()
+            if _is_exact(backend) and base_backend(backend) == backend and run.proven
+        ),
+        None,
+    )
+    if base is None:
+        verdict.notes.append("warm check skipped: no proven exact base run")
+        return
+    perturbed, mode = _perturb_for_warm(app)
+    if perturbed is None:
+        verdict.notes.append("warm check skipped: nothing to perturb")
+        return
+    backend = base_backend(base.backend)
+    formulation_config = config.formulation_config()
+    prior = Prior(app=app, result=base.result, config=formulation_config)
+    cold = solve_with_portfolio(perturbed, formulation_config, rungs=(backend,))
+    warm = solve_with_portfolio(
+        perturbed, formulation_config, rungs=(backend,), prior=prior
+    )
+    verdict.notes.append(
+        f"warm check ({mode}, {backend}): tier={warm.warm_start}, "
+        f"cold={cold.status.value}, warm={warm.status.value}"
+    )
+    if cold.status not in _PROVEN or warm.status not in _PROVEN:
+        return  # no verdict without proofs (timeouts are notes, not bugs)
+    if (cold.status is SolveStatus.INFEASIBLE) != (
+        warm.status is SolveStatus.INFEASIBLE
+    ):
+        verdict.disagreements.append(
+            f"warm-vs-cold ({mode}): cold says {cold.status.value}, warm "
+            f"(tier {warm.warm_start}) says {warm.status.value}"
+        )
+        return
+    if cold.status is SolveStatus.INFEASIBLE:
+        return
+    metric_cold = evaluate_metric(perturbed, cold, config.objective)
+    metric_warm = evaluate_metric(perturbed, warm, config.objective)
+    if (
+        metric_cold is not None
+        and metric_warm is not None
+        and not _close(metric_cold, metric_warm, config.tolerance)
+    ):
+        verdict.disagreements.append(
+            f"warm-vs-cold ({mode}) objectives diverge: cold={metric_cold:.6f} "
+            f"vs warm={metric_warm:.6f} (tier {warm.warm_start}, "
+            f"{config.objective.value})"
+        )
+    for label, result in (("cold", cold), ("warm", warm)):
+        report = oracle_check(perturbed, result, strict=True)
+        for violation in report.violations:
+            verdict.disagreements.append(
+                f"warm-vs-cold ({mode}): {label} result fails the oracle: "
+                f"{violation}"
             )
 
 

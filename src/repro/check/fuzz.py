@@ -60,6 +60,10 @@ class FuzzConfig:
         check_batch_sim: Replay every feasible allocation through the
             vectorized batch simulator and assert byte-identical
             scalar traces (batch-simulation differential).
+        check_warm: Perturb every instance by one element (WCET or
+            label size) and require the warm re-solve to agree with a
+            cold solve of the perturbation (warm == cold differential;
+            see :mod:`repro.incremental`).
         telemetry: Optional JSONL sink (path or run directory).
         cache_dir: Optional persistent solve cache shared by all jobs.
         resume: Skip solves already recorded in ``telemetry``
@@ -84,6 +88,7 @@ class FuzzConfig:
     bnb_max_comms: int = 6
     check_presolve: bool = False
     check_batch_sim: bool = False
+    check_warm: bool = False
     telemetry: "str | None" = None
     cache_dir: "str | None" = None
     resume: bool = False
@@ -224,6 +229,7 @@ def _differential_config(
         bnb_max_comms=config.bnb_max_comms,
         check_presolve=config.check_presolve,
         check_batch_sim=config.check_batch_sim,
+        check_warm=config.check_warm,
     )
 
 

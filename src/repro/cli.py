@@ -254,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--alphas", type=float, nargs="+", default=[0.2, 0.4]
     )
+    p_sweep.add_argument(
+        "--warm",
+        action="store_true",
+        help="solve the grid sequentially, warm-starting each alpha "
+        "from the previous solve of the same objective (incremental "
+        "re-solve; answers are identical to a cold sweep)",
+    )
 
     p_telemetry = sub.add_parser(
         "telemetry", help="summarize a telemetry JSONL file or run directory"
@@ -451,6 +458,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also replay every feasible allocation through the "
         "vectorized batch simulator and assert byte-identical scalar "
         "traces (batch-simulation differential)",
+    )
+    p_fuzz.add_argument(
+        "--check-warm",
+        action="store_true",
+        help="also perturb every instance by one element and require "
+        "the warm re-solve to agree with a cold solve of the "
+        "perturbation (warm == cold differential)",
     )
 
     p_chaos = sub.add_parser(
@@ -729,6 +743,7 @@ def _dispatch(args, client) -> int:
                 backend=args.backend,
                 resume=args.resume,
                 client=client,
+                warm=args.warm,
             )
         except KeyboardInterrupt:
             return _interrupted_exit("sweep", args.telemetry)
@@ -741,8 +756,12 @@ def _dispatch(args, client) -> int:
                     "status",
                     "# DMA transfers",
                     "backend",
+                    "warm",
                 ],
-                [row.as_tuple() + (row.backend,) for row in rows],
+                [
+                    row.as_tuple() + (row.backend, row.warm_start)
+                    for row in rows
+                ],
                 title=f"Sweep: {len(rows)} solves, jobs={args.jobs}, "
                 f"backend={args.backend}",
             )
@@ -887,6 +906,7 @@ def _dispatch(args, client) -> int:
                     time_limit_seconds=args.time_limit,
                     check_presolve=args.check_presolve,
                     check_batch_sim=args.check_batch_sim,
+                    check_warm=args.check_warm,
                 ),
                 client=client,
             )
@@ -963,6 +983,7 @@ def _dispatch(args, client) -> int:
     elif args.command == "bench":
         from repro.perf import (
             SCENARIOS,
+            check_metric_gates,
             compare_benchmarks,
             load_benchmark,
             render_comparison,
@@ -990,6 +1011,9 @@ def _dispatch(args, client) -> int:
         out = args.out or f"BENCH_{document['revision']}.json"
         save_benchmark(document, out)
         print(f"wrote {out}")
+        gate_failures = check_metric_gates(document)
+        for message in gate_failures:
+            print(f"METRIC GATE FAILED: {message}", file=sys.stderr)
         if args.compare is not None:
             try:
                 baseline = load_benchmark(args.compare)
@@ -1009,6 +1033,8 @@ def _dispatch(args, client) -> int:
                     file=sys.stderr,
                 )
                 return 1
+        if gate_failures:
+            return 1
     return 0
 
 

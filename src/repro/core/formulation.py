@@ -610,13 +610,22 @@ class LetDmaFormulation:
     # Solving
     # ------------------------------------------------------------------
 
-    def solve(self, backend: str | None = None, presolve: bool | None = None):
+    def solve(
+        self,
+        backend: str | None = None,
+        presolve: bool | None = None,
+        start: dict | None = None,
+    ):
         """Solve the MILP and extract an :class:`AllocationResult`.
 
         ``backend`` and ``presolve`` override their ``config``
         counterparts so one built formulation (and its cached presolve
         and standard form) can be solved by several portfolio rungs
-        without rebuilding the model.
+        without rebuilding the model.  ``start`` is an optional warm
+        start (a complete ``{Var: value}`` assignment, e.g. from
+        :func:`repro.incremental.build_start`) forwarded to
+        :meth:`repro.milp.MilpModel.solve`; it can affect solve speed
+        but never the answer.
         """
         from repro.core.solution import extract_result
 
@@ -625,5 +634,6 @@ class LetDmaFormulation:
             time_limit_seconds=self.config.time_limit_seconds,
             mip_gap=self.config.mip_gap,
             presolve=self.config.presolve if presolve is None else presolve,
+            start=start,
         )
         return extract_result(self, solution)

@@ -168,6 +168,12 @@ class AllocationResult:
         mip_gap: Relative optimality gap the solver achieved, when
             known (0.0 for proven optima).
         node_count: Branch-and-bound nodes explored by the solver.
+        warm_start: Incremental-re-solve provenance: ``"none"`` (cold
+            solve), ``"reused"`` (a proven prior answer to a provably
+            identical MILP was returned verbatim), or ``"repaired"``
+            (a repaired prior solution was validated and supplied to
+            the solver as a MIP start).  Warm starts affect speed only,
+            never the answer; see :mod:`repro.incremental`.
     """
 
     status: SolveStatus
@@ -183,6 +189,7 @@ class AllocationResult:
     best_bound: float | None = None
     mip_gap: float | None = None
     node_count: int = 0
+    warm_start: str = "none"
 
     @property
     def feasible(self) -> bool:

@@ -1,0 +1,47 @@
+"""Incremental re-solve: instance diffing, solution repair, warm starts.
+
+Real campaigns rarely solve unrelated instances: a sweep perturbs one
+parameter at a time, a what-if study bumps one WCET, a fuzz shrinker
+removes one label.  This package turns the *previous* answer into a
+head start for the *next* solve without ever changing the answer:
+
+* :func:`diff_apps` classifies how two applications differ
+  (WCET / period / deadline / label-size deltas, label additions, or
+  structural changes that force a cold solve);
+* :func:`repair_result` maps a prior :class:`~repro.core.AllocationResult`
+  onto the perturbed application — slot orders and transfer grouping
+  are kept, addresses and byte counts are recomputed, added labels are
+  spliced via :func:`repro.ext.extend_allocation`;
+* :class:`Prior` + :func:`prepare_warm` decide the warm tier for a new
+  solve: ``reused`` (the perturbation provably cannot change the MILP,
+  e.g. WCET-only deltas), ``repaired`` (a validated MIP start seeds the
+  solver), or ``none`` (cold).  Every tier falls back to a cold solve
+  on any doubt, so a warm solve can differ from a cold one only in
+  speed, never in outcome — the property the ``--check-warm``
+  differential mode (:mod:`repro.check.differential`) enforces in CI.
+"""
+
+from repro.incremental.diff import AppDiff, diff_apps
+from repro.incremental.repair import repair_result
+from repro.incremental.warm import (
+    Prior,
+    WarmPlan,
+    build_start,
+    model_fingerprint,
+    prepare_warm,
+    prior_from_dict,
+    prior_to_dict,
+)
+
+__all__ = [
+    "AppDiff",
+    "diff_apps",
+    "repair_result",
+    "Prior",
+    "WarmPlan",
+    "build_start",
+    "model_fingerprint",
+    "prepare_warm",
+    "prior_to_dict",
+    "prior_from_dict",
+]

@@ -1,0 +1,167 @@
+"""Instance diffing: classify how one application differs from another.
+
+The taxonomy is driven by what the MILP formulation of
+:mod:`repro.core.formulation` actually depends on:
+
+* **WCET deltas** do not appear in the formulation at all (only
+  periods, deadlines, label sizes, routes, and DMA parameters do), so
+  a WCET-only diff leaves the MILP bit-identical — the strongest
+  warm-start tier (``reused``) exploits exactly this;
+* **period / deadline / label-size deltas** change coefficients but
+  not the variable structure: a prior solution can be *repaired* and
+  revalidated (:mod:`repro.incremental.repair`);
+* **label additions** extend the structure monotonically and are
+  handled by :func:`repro.ext.extend_allocation` splicing;
+* everything else — task set, core mapping, priorities, writer/reader
+  wiring, label removals, platform changes — is **structural**: the
+  prior tells us nothing safe, and the solve goes cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.application import Application
+
+__all__ = ["AppDiff", "diff_apps"]
+
+
+@dataclass(frozen=True)
+class AppDiff:
+    """Classified differences between two applications.
+
+    Attributes:
+        wcet_changed: Tasks whose WCET differs (MILP-invariant).
+        period_changed: Tasks whose period differs.
+        gamma_changed: Tasks whose acquisition deadline differs.
+        size_changed: Labels whose size differs.
+        added_labels: Labels present only in the new application.
+        structural: Human-readable reasons the diff cannot be repaired
+            (task set, mapping, wiring, removals, platform).  Non-empty
+            means a cold solve is required.
+    """
+
+    wcet_changed: tuple[str, ...] = ()
+    period_changed: tuple[str, ...] = ()
+    gamma_changed: tuple[str, ...] = ()
+    size_changed: tuple[str, ...] = ()
+    added_labels: tuple[str, ...] = ()
+    structural: tuple[str, ...] = ()
+
+    @property
+    def is_structural(self) -> bool:
+        """True when the prior solution cannot be safely repaired."""
+        return bool(self.structural)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the applications are identical."""
+        return not (
+            self.wcet_changed
+            or self.period_changed
+            or self.gamma_changed
+            or self.size_changed
+            or self.added_labels
+            or self.structural
+        )
+
+    @property
+    def milp_invariant(self) -> bool:
+        """True when the diff provably leaves the MILP unchanged.
+
+        WCETs do not appear in the formulation, so a WCET-only (or
+        empty) diff yields the exact same model and any *proven* prior
+        answer can be reused verbatim.
+        """
+        return not (
+            self.period_changed
+            or self.gamma_changed
+            or self.size_changed
+            or self.added_labels
+            or self.structural
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable description of the diff."""
+        parts = []
+        if self.wcet_changed:
+            parts.append(f"wcet:{','.join(self.wcet_changed)}")
+        if self.period_changed:
+            parts.append(f"period:{','.join(self.period_changed)}")
+        if self.gamma_changed:
+            parts.append(f"gamma:{','.join(self.gamma_changed)}")
+        if self.size_changed:
+            parts.append(f"size:{','.join(self.size_changed)}")
+        if self.added_labels:
+            parts.append(f"added:{','.join(self.added_labels)}")
+        if self.structural:
+            parts.append(f"structural:{'; '.join(self.structural)}")
+        return " ".join(parts) if parts else "identical"
+
+
+def diff_apps(old: Application, new: Application) -> AppDiff:
+    """Classify the differences between ``old`` and ``new``.
+
+    Conservative by design: anything not provably repairable lands in
+    ``structural`` (e.g. priority changes do not enter the MILP, but
+    they change the simulated schedules the oracle replays, so they are
+    not treated as repairable).
+    """
+    structural: list[str] = []
+    structural.extend(_platform_diff(old, new))
+
+    wcet: list[str] = []
+    period: list[str] = []
+    gamma: list[str] = []
+    old_tasks = {task.name: task for task in old.tasks}
+    new_tasks = {task.name: task for task in new.tasks}
+    for name in sorted(set(old_tasks) - set(new_tasks)):
+        structural.append(f"task {name!r} removed")
+    for name in sorted(set(new_tasks) - set(old_tasks)):
+        structural.append(f"task {name!r} added")
+    for name in sorted(set(old_tasks) & set(new_tasks)):
+        a, b = old_tasks[name], new_tasks[name]
+        if a.core_id != b.core_id:
+            structural.append(f"task {name!r} moved to core {b.core_id!r}")
+        if a.priority != b.priority:
+            structural.append(f"task {name!r} priority changed")
+        if a.wcet_us != b.wcet_us:
+            wcet.append(name)
+        if a.period_us != b.period_us:
+            period.append(name)
+        if a.acquisition_deadline_us != b.acquisition_deadline_us:
+            gamma.append(name)
+
+    size: list[str] = []
+    added: list[str] = []
+    old_labels = {label.name: label for label in old.labels}
+    new_labels = {label.name: label for label in new.labels}
+    for name in sorted(set(old_labels) - set(new_labels)):
+        structural.append(f"label {name!r} removed")
+    added.extend(sorted(set(new_labels) - set(old_labels)))
+    for name in sorted(set(old_labels) & set(new_labels)):
+        a, b = old_labels[name], new_labels[name]
+        if a.writer != b.writer or tuple(a.readers) != tuple(b.readers):
+            structural.append(f"label {name!r} wiring changed")
+        if a.size_bytes != b.size_bytes:
+            size.append(name)
+
+    return AppDiff(
+        wcet_changed=tuple(wcet),
+        period_changed=tuple(period),
+        gamma_changed=tuple(gamma),
+        size_changed=tuple(size),
+        added_labels=tuple(added),
+        structural=tuple(structural),
+    )
+
+
+def _platform_diff(old: Application, new: Application) -> list[str]:
+    """Structural reasons stemming from the platform, if any."""
+    from repro.io.serialization import application_to_dict
+
+    a = application_to_dict(old)["platform"]
+    b = application_to_dict(new)["platform"]
+    if a != b:
+        return ["platform changed"]
+    return []

@@ -1,0 +1,154 @@
+"""Solution repair: map a prior allocation onto a perturbed instance.
+
+Given a feasible :class:`~repro.core.AllocationResult` solved for an
+old application and a non-structural :class:`~repro.incremental.diff.AppDiff`
+to a new one, :func:`repair_result` produces a *candidate* allocation
+for the new application:
+
+* slot orders are kept per memory; addresses are re-derived densely
+  from the new label sizes (a pure size delta shifts addresses but
+  never reorders);
+* the transfer grouping and order are kept; byte totals and start
+  addresses are recomputed, and communications inside a transfer are
+  re-sorted by their (possibly shifted) source address;
+* added labels are spliced in as singleton transfers by
+  :func:`repro.ext.extend_allocation`;
+* latencies are replayed from the repaired schedule.
+
+The returned result is a **candidate only** — it carries status
+``FEASIBLE`` and must be revalidated against the new instance (the
+warm-start layer does this via
+:meth:`repro.milp.MilpModel.check_assignment`; deadline or Property-3
+violations surface there and drop the solve to a cold start).
+``None`` is returned when repair is impossible (structural diff,
+infeasible prior, or capacity overflow on append).
+"""
+
+from __future__ import annotations
+
+from repro.core.solution import (
+    AllocationResult,
+    DmaTransfer,
+    MemoryLayout,
+    _slots_of,
+)
+from repro.incremental.diff import AppDiff, diff_apps
+from repro.milp.result import SolveStatus
+from repro.model.application import Application
+
+__all__ = ["repair_result"]
+
+
+def repair_result(
+    old_app: Application,
+    new_app: Application,
+    result: AllocationResult,
+    diff: AppDiff | None = None,
+) -> AllocationResult | None:
+    """Repair ``result`` (solved for ``old_app``) to fit ``new_app``.
+
+    Returns a candidate allocation with status ``FEASIBLE`` and
+    ``warm_start="repaired"``, or ``None`` when no safe repair exists.
+    """
+    diff = diff if diff is not None else diff_apps(old_app, new_app)
+    if diff.is_structural or not result.feasible:
+        return None
+
+    # Repair the common-label core first; splice additions afterwards.
+    if diff.added_labels:
+        added = set(diff.added_labels)
+        mid_app = Application(
+            new_app.platform,
+            new_app.tasks,
+            [label for label in new_app.labels if label.name not in added],
+        )
+    else:
+        mid_app = new_app
+
+    layouts = _readdress_layouts(mid_app, result)
+    if layouts is None:
+        return None
+    transfers = _rebuild_transfers(mid_app, result, layouts)
+    if transfers is None:
+        return None
+    repaired = AllocationResult(
+        status=SolveStatus.FEASIBLE,
+        objective_value=result.objective_value,
+        runtime_seconds=0.0,
+        layouts=layouts,
+        transfers=tuple(transfers),
+        backend=result.backend,
+        warm_start="repaired",
+    )
+
+    if diff.added_labels:
+        from repro.ext.incremental import extend_allocation
+
+        try:
+            repaired = extend_allocation(mid_app, new_app, repaired)
+        except ValueError:
+            return None  # capacity overflow or incompatible addition
+        repaired.warm_start = "repaired"
+    repaired.latencies_us = repaired.latencies_at(new_app, 0)
+    return repaired
+
+
+def _readdress_layouts(
+    app: Application, result: AllocationResult
+) -> dict[str, MemoryLayout] | None:
+    """Same slot order, new sizes, dense addresses; None on overflow."""
+    layouts: dict[str, MemoryLayout] = {}
+    for memory_id, layout in result.layouts.items():
+        addresses: dict[str, int] = {}
+        sizes: dict[str, int] = {}
+        cursor = 0
+        for slot in layout.order:
+            label_name = slot.split("@")[0]
+            try:
+                size = app.label(label_name).size_bytes
+            except KeyError:
+                return None  # slot refers to a label the new app lacks
+            addresses[slot] = cursor
+            sizes[slot] = size
+            cursor += size
+        if cursor > app.platform.memory(memory_id).size_bytes:
+            return None
+        layouts[memory_id] = MemoryLayout(
+            memory_id, tuple(layout.order), addresses, sizes
+        )
+    return layouts
+
+
+def _rebuild_transfers(
+    app: Application,
+    result: AllocationResult,
+    layouts: dict[str, MemoryLayout],
+) -> list[DmaTransfer] | None:
+    """Keep the grouping; recompute bytes/addresses under new sizes."""
+    transfers: list[DmaTransfer] = []
+    for transfer in result.transfers:
+        comms = list(transfer.communications)
+        source_layout = layouts.get(transfer.source_memory)
+        dest_layout = layouts.get(transfer.dest_memory)
+        if source_layout is None or dest_layout is None:
+            return None
+        try:
+            comms.sort(
+                key=lambda c: source_layout.addresses[_slots_of(app, c)[0]]
+            )
+            total = sum(c.size_bytes(app) for c in comms)
+            src_slot, dst_slot = _slots_of(app, comms[0])
+            transfers.append(
+                DmaTransfer(
+                    index=transfer.index,
+                    source_memory=transfer.source_memory,
+                    dest_memory=transfer.dest_memory,
+                    communications=tuple(comms),
+                    total_bytes=total,
+                    source_address=source_layout.addresses[src_slot],
+                    dest_address=dest_layout.addresses[dst_slot],
+                )
+            )
+        except KeyError:
+            return None
+    return transfers

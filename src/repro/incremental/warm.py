@@ -1,0 +1,351 @@
+"""Warm-start planning: turn a prior solve into a head start.
+
+Three tiers, strongest first, each falling back to the next on any
+doubt (a warm start may change solve *speed*, never the *answer*):
+
+1. **reused** — :func:`model_fingerprint` hashes everything the MILP
+   formulation depends on (the application with WCETs normalized out,
+   objective, transfer budget, enforcement flags, MIP gap).  Equal
+   fingerprints mean the old and new MILPs are identical, so a *proven*
+   prior outcome (OPTIMAL / INFEASIBLE) is returned verbatim.
+2. **repaired** — a non-structural diff is repaired
+   (:func:`repro.incremental.repair.repair_result`), converted into a
+   complete variable assignment over the fresh formulation by
+   :func:`build_start`, and validated with
+   :meth:`~repro.milp.MilpModel.check_assignment`.  A valid assignment
+   proves feasibility outright for the NO-OBJ objective and seeds the
+   branch-and-bound incumbent for the optimizing objectives.
+3. **none** — cold solve (structural diff, incompatible config,
+   infeasible repair, or a repaired assignment that violates the new
+   constraints, e.g. a tightened deadline).
+
+:class:`Prior` is the carrier: the old application, its result, and
+optionally the config it was solved under (``None`` = same config as
+the new request).  It rides on :class:`repro.api.SolveRequest` and
+through the solve service's wire format via :func:`prior_to_dict`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+
+from repro.core.formulation import (
+    HEAD,
+    TAIL,
+    FormulationConfig,
+    LetDmaFormulation,
+)
+from repro.core.solution import AllocationResult
+from repro.incremental.diff import diff_apps
+from repro.incremental.repair import repair_result
+from repro.milp.expr import Var
+from repro.milp.result import SolveStatus
+from repro.model.application import Application
+
+__all__ = [
+    "Prior",
+    "WarmPlan",
+    "model_fingerprint",
+    "build_start",
+    "prepare_warm",
+    "prior_to_dict",
+    "prior_from_dict",
+]
+
+#: Statuses that are proofs and may be reused verbatim.
+_PROVEN = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE)
+
+
+@dataclass(frozen=True)
+class Prior:
+    """A previous solve offered as a warm start for a new one.
+
+    Attributes:
+        app: The application the prior result was solved for.
+        result: The prior allocation (any status; only feasible or
+            proven results are actually usable).
+        config: The formulation config of the prior solve; ``None``
+            means "the same config as the new request".
+    """
+
+    app: Application
+    result: AllocationResult
+    config: FormulationConfig | None = None
+
+
+@dataclass
+class WarmPlan:
+    """The outcome of :func:`prepare_warm` (see module docstring).
+
+    Attributes:
+        tier: ``"reused"``, ``"repaired"``, or ``"none"``.
+        reused: The re-stamped prior result, for the reuse tier.
+        formulation: The freshly built formulation (shared with the
+            cold path so the model is never built twice), when one was
+            constructed.
+        start: The validated complete ``{Var: value}`` assignment, for
+            the repaired tier.
+        repaired: The validated repaired allocation itself (usable as
+            the final answer under the NO-OBJ objective).
+        note: Why a weaker tier was chosen (diagnostics only).
+    """
+
+    tier: str
+    reused: AllocationResult | None = None
+    formulation: LetDmaFormulation | None = None
+    start: "dict[Var, float] | None" = None
+    repaired: AllocationResult | None = None
+    note: str = ""
+
+
+def model_fingerprint(app: Application, config: FormulationConfig) -> str:
+    """Content hash of everything the MILP formulation depends on.
+
+    WCETs are normalized out — they appear nowhere in the formulation
+    (Constraints 1-10 use periods, deadlines, label sizes, routes, and
+    DMA parameters only), so two applications differing only in WCETs
+    build bit-identical models.  Time limits are excluded like in
+    every other answer-level hash; ``mip_gap`` is included because it
+    decides how tight a "proven" answer is.
+    """
+    from repro.io.serialization import application_to_dict
+
+    payload = application_to_dict(app)
+    for task in payload["tasks"]:
+        task["wcet_us"] = 0.0
+    data = {
+        "application": payload,
+        "objective": config.objective.value,
+        "max_transfers": config.max_transfers,
+        "enforce_deadlines": config.enforce_deadlines,
+        "enforce_property3": config.enforce_property3,
+        "mip_gap": config.mip_gap,
+    }
+    digest = hashlib.sha256(
+        json.dumps(data, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:24]
+
+
+def prepare_warm(
+    app: Application,
+    config: FormulationConfig,
+    prior: Prior,
+) -> WarmPlan:
+    """Decide the warm tier for solving ``app`` given ``prior``."""
+    prior_config = prior.config or config
+
+    if prior.result.status in _PROVEN and model_fingerprint(
+        app, config
+    ) == model_fingerprint(prior.app, prior_config):
+        reused = replace(
+            prior.result,
+            runtime_seconds=0.0,
+            warm_start="reused",
+            fallback_chain=(),
+        )
+        return WarmPlan(tier="reused", reused=reused)
+
+    if not _config_compatible(prior_config, config):
+        return WarmPlan(tier="none", note="config changed")
+    diff = diff_apps(prior.app, app)
+    if diff.is_structural:
+        return WarmPlan(tier="none", note=f"structural diff: {diff.summary()}")
+    if not prior.result.feasible:
+        return WarmPlan(tier="none", note="prior result not feasible")
+
+    repaired = repair_result(prior.app, app, prior.result, diff=diff)
+    if repaired is None:
+        return WarmPlan(tier="none", note="repair failed")
+    try:
+        formulation = LetDmaFormulation(app, config)
+    except ValueError:
+        return WarmPlan(tier="none", note="formulation rejected the instance")
+    start = build_start(formulation, repaired)
+    if start is None:
+        return WarmPlan(
+            tier="none",
+            formulation=formulation,
+            note="repaired solution violates the new constraints",
+        )
+    return WarmPlan(
+        tier="repaired",
+        formulation=formulation,
+        start=start,
+        repaired=repaired,
+    )
+
+
+def _config_compatible(old: FormulationConfig, new: FormulationConfig) -> bool:
+    """True when a repaired start from ``old``'s solve fits ``new``."""
+    return (
+        old.objective is new.objective
+        and old.max_transfers == new.max_transfers
+        and old.enforce_deadlines == new.enforce_deadlines
+        and old.enforce_property3 == new.enforce_property3
+    )
+
+
+def build_start(
+    formulation: LetDmaFormulation, result: AllocationResult
+) -> "dict[Var, float] | None":
+    """A complete, validated variable assignment encoding ``result``.
+
+    Primary variables (PL positions, AD adjacencies, CG/CGI transfer
+    memberships, U/RT usage and routes, RG/RGI last transfers, lambda
+    latencies) are derived directly from the allocation; auxiliary
+    linearization binaries (PADJ/LG and any registered conjunctions)
+    and the epigraph variable of ``minimize_max`` are then propagated
+    to their implied values.  The assignment is checked against every
+    model constraint; ``None`` is returned on any mismatch — an
+    invalid start must degrade to a cold solve, never corrupt one.
+    """
+    model = formulation.model
+    assignment: dict[Var, float] = {}
+
+    # -- layouts: PL positions and AD adjacencies -----------------------
+    positions: dict[str, dict[str, int]] = {}
+    for memory_id, slots in formulation.slots.items():
+        if not slots:
+            continue
+        layout = result.layouts.get(memory_id)
+        if layout is None or sorted(layout.order) != sorted(slots):
+            return None
+        chain = [HEAD, *layout.order, TAIL]
+        positions[memory_id] = {slot: i for i, slot in enumerate(chain)}
+    for (memory_id, slot), var in formulation.pl.items():
+        assignment[var] = float(positions[memory_id][slot])
+    for (memory_id, a, b), var in formulation.ad.items():
+        pos = positions[memory_id]
+        assignment[var] = 1.0 if pos[b] == pos[a] + 1 else 0.0
+
+    # -- transfers: CG/CGI, U, RT ---------------------------------------
+    comm_to_g: dict = {}
+    route_of_g: dict[int, tuple[str, str]] = {}
+    for transfer in result.transfers:
+        for comm in transfer.communications:
+            comm_to_g[comm] = transfer.index
+        route_of_g[transfer.index] = (
+            transfer.source_memory,
+            transfer.dest_memory,
+        )
+    G = formulation.num_transfers
+    assigned_g: list[int] = []
+    for comm in formulation.comms:
+        g = comm_to_g.get(comm)
+        if g is None or not 0 <= g < G:
+            return None
+        assigned_g.append(g)
+    used_count = max(assigned_g) + 1
+    if sorted(set(assigned_g)) != list(range(used_count)):
+        return None  # compactness: indices must be gapless from 0
+    for (z, g), var in formulation.cg.items():
+        assignment[var] = 1.0 if assigned_g[z] == g else 0.0
+    for z, var in enumerate(formulation.cgi):
+        assignment[var] = float(assigned_g[z])
+    for g, var in enumerate(formulation.used):
+        assignment[var] = 1.0 if g < used_count else 0.0
+    for (route, g), var in formulation.route_on.items():
+        on = g < used_count and route_of_g.get(g) == route
+        assignment[var] = 1.0 if on else 0.0
+
+    # -- per-task last transfer and latency -----------------------------
+    bytes_in_g = [0] * G
+    for z, g in enumerate(assigned_g):
+        bytes_in_g[g] += formulation.sizes[z]
+    prefix = 0.0
+    prefix_bytes = []
+    for g in range(G):
+        prefix += bytes_in_g[g]
+        prefix_bytes.append(prefix)
+    for task_name, zs in formulation.task_comms.items():
+        last = max(assigned_g[z] for z in zs)
+        for g in range(G):
+            assignment[formulation.rg[(task_name, g)]] = (
+                1.0 if g == last else 0.0
+            )
+        assignment[formulation.rgi[task_name]] = float(last)
+        lam = (
+            (last + 1) * formulation.lambda_overhead
+            + formulation.copy_cost * prefix_bytes[last]
+        )
+        assignment[formulation.latency[task_name]] = float(lam)
+
+    # -- auxiliary linearization binaries -------------------------------
+    global_id = formulation.app.platform.global_memory.memory_id
+    for (i, z), var in formulation._pairadj_cache.items():
+        ad_global = assignment[
+            formulation.ad[
+                (global_id, formulation.global_slot[i], formulation.global_slot[z])
+            ]
+        ]
+        ad_local = assignment[
+            formulation.ad[
+                (
+                    formulation.local_memory[i],
+                    formulation.local_slot[i],
+                    formulation.local_slot[z],
+                )
+            ]
+        ]
+        # PADJ is upper-linked only: its maximal value (the actual AND)
+        # is what Constraint 6's large side needs.
+        assignment[var] = 1.0 if ad_global > 0.5 and ad_local > 0.5 else 0.0
+    for (i, z, g), var in formulation._lg_cache.items():
+        padj = assignment[formulation._pairadj_cache[(i, z)]]
+        in_g = assignment[formulation.cg[(z, g)]]
+        assignment[var] = 1.0 if padj > 0.5 and in_g > 0.5 else 0.0
+
+    # -- generic gadgets: conjunctions, then the epigraph variable ------
+    for w, operands in model.conjunctions.items():
+        if w in assignment:
+            continue
+        if any(op not in assignment for op in operands):
+            return None
+        value = min(assignment[op] for op in operands)
+        assignment[w] = 1.0 if value > 0.5 else 0.0
+    if model.minimax is not None:
+        z_var, exprs = model.minimax
+        try:
+            value = max(expr.value(assignment) for expr in exprs)
+        except KeyError:
+            return None
+        assignment[z_var] = min(max(value, z_var.lower), z_var.upper)
+
+    if any(var not in assignment for var in model.variables):
+        return None
+    if model.check_assignment(assignment):
+        return None  # violates the new instance: degrade to cold
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# Wire format (rides on repro.api's request serialization)
+# ----------------------------------------------------------------------
+
+
+def prior_to_dict(prior: Prior) -> dict:
+    """JSON-safe dump of a :class:`Prior`."""
+    from repro.api import config_to_dict
+    from repro.io.serialization import application_to_dict, result_to_dict
+
+    return {
+        "application": application_to_dict(prior.app),
+        "result": result_to_dict(prior.result),
+        "config": None if prior.config is None else config_to_dict(prior.config),
+    }
+
+
+def prior_from_dict(data: dict) -> Prior:
+    """Rebuild a :class:`Prior` from :func:`prior_to_dict`."""
+    from repro.api import config_from_dict
+    from repro.io.serialization import application_from_dict, result_from_dict
+
+    config = data.get("config")
+    return Prior(
+        app=application_from_dict(data["application"]),
+        result=result_from_dict(data["result"]),
+        config=None if config is None else config_from_dict(config),
+    )

@@ -194,6 +194,7 @@ def result_to_dict(result: AllocationResult) -> dict:
         "best_bound": result.best_bound,
         "mip_gap": result.mip_gap,
         "node_count": result.node_count,
+        "warm_start": result.warm_start,
         "fallback_chain": [
             attempt.to_dict() for attempt in result.fallback_chain
         ],
@@ -274,6 +275,7 @@ def result_from_dict(data: dict) -> AllocationResult:
         best_bound=data.get("best_bound"),
         mip_gap=data.get("mip_gap"),
         node_count=int(data.get("node_count", 0)),
+        warm_start=data.get("warm_start", "none"),
         fallback_chain=tuple(
             FallbackAttempt.from_dict(entry)
             for entry in data.get("fallback_chain", ())

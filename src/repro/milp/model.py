@@ -49,6 +49,12 @@ class MilpModel:
         self.objective_sense: str = ObjectiveSense.MINIMIZE
         self._names: set[str] = set()
         self._gadget_counter = 0
+        #: ``w -> operands`` for every AND gadget, in creation order.
+        #: Warm-start builders (:mod:`repro.incremental.warm`) use this
+        #: to derive auxiliary values from the primary assignment.
+        self.conjunctions: dict[Var, tuple[Var, ...]] = {}
+        #: ``(epigraph var, expressions)`` of the last minimize_max call.
+        self.minimax: tuple[Var, tuple] | None = None
 
     # ------------------------------------------------------------------
     # Variables
@@ -127,6 +133,7 @@ class MilpModel:
         self.add(
             w >= lin_sum(binaries) - (len(binaries) - 1), name=f"{w.name}_ge_sum"
         )
+        self.conjunctions[w] = tuple(binaries)
         return w
 
     def add_max_equality(
@@ -223,6 +230,7 @@ class MilpModel:
         for j, expr in enumerate(exprs):
             self.add(z >= expr, name=f"{name}_ge[{j}]")
         self.minimize(z)
+        self.minimax = (z, tuple(LinExpr._coerce(e) for e in exprs))
         return z
 
     def solve(
@@ -231,6 +239,7 @@ class MilpModel:
         time_limit_seconds: float | None = None,
         mip_gap: float | None = None,
         presolve: bool = True,
+        start: dict | None = None,
     ) -> Solution:
         """Solve the model.
 
@@ -245,6 +254,13 @@ class MilpModel:
                 (:mod:`repro.milp.presolve`) and solve the reduced
                 model; the returned solution is always expressed over
                 this model's variables.
+            start: Optional warm start — a complete ``{Var: value}``
+                assignment over this model's variables.  A feasible
+                start seeds the branch-and-bound incumbent (and is
+                translated through presolve); an infeasible or stale
+                one is ignored, so ``start`` can affect speed but never
+                the answer.  The HiGHS backend accepts and ignores it
+                (scipy exposes no MIP-start channel).
         """
         if backend not in ("highs", "bnb"):
             raise ValueError(f"unknown backend {backend!r}")
@@ -268,15 +284,18 @@ class MilpModel:
                 time_limit_seconds=time_limit_seconds,
                 mip_gap=mip_gap,
                 presolve=False,
+                start=presolved.translate_start(start) if start else None,
             )
             return presolved.restore(inner)
         if backend == "highs":
             from repro.milp.scipy_backend import solve_with_highs
 
-            return solve_with_highs(self, time_limit_seconds, mip_gap)
+            return solve_with_highs(self, time_limit_seconds, mip_gap, start=start)
         from repro.milp.branch_and_bound import solve_with_branch_and_bound
 
-        return solve_with_branch_and_bound(self, time_limit_seconds, mip_gap)
+        return solve_with_branch_and_bound(
+            self, time_limit_seconds, mip_gap, start=start
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -139,6 +139,8 @@ class PresolvedModel:
                 mip_gap=solution.mip_gap,
                 node_count=solution.node_count,
                 lp_calls=solution.lp_calls,
+                incumbent_seconds=solution.incumbent_seconds,
+                seeded=solution.seeded,
             )
         values = {}
         for var in self.original.variables:
@@ -160,7 +162,37 @@ class PresolvedModel:
             mip_gap=gap,
             node_count=solution.node_count,
             lp_calls=solution.lp_calls,
+            incumbent_seconds=solution.incumbent_seconds,
+            seeded=solution.seeded,
         )
+
+    def translate_start(self, start: dict) -> "dict | None":
+        """Map a warm start over the original variables onto the
+        reduced model.
+
+        Returns None when the start is incomplete, contradicts a value
+        presolve proved fixed, or violates a tightened bound — the
+        caller then solves cold.  Presolve fixings are implied by the
+        constraints, so any genuinely feasible start must agree with
+        them; a disagreement means the start is stale.
+        """
+        tol = 1e-6
+        translated: dict = {}
+        for var in self.original.variables:
+            value = start.get(var)
+            if value is None:
+                return None
+            if var.index in self.fixed:
+                if abs(value - self.fixed[var.index]) > tol:
+                    return None
+                continue
+            reduced_var = self.var_map[var.index]
+            if value < reduced_var.lower - tol or value > reduced_var.upper + tol:
+                return None
+            translated[reduced_var] = min(
+                max(value, reduced_var.lower), reduced_var.upper
+            )
+        return translated
 
 
 def presolve_model(model: MilpModel, max_rounds: int = 10) -> PresolvedModel:

@@ -44,6 +44,12 @@ class Solution:
             backend does not report it).
         lp_calls: LP relaxations solved, including primal-heuristic
             dives (pure-Python B&B only; 0 elsewhere).
+        incumbent_seconds: Seconds into the solve at which the first
+            incumbent appeared (None when no incumbent, or when the
+            backend does not report it).  A seeded warm start reports
+            0.0 — the incumbent was *given*, not discovered.
+        seeded: Whether the first incumbent came from a caller-supplied
+            warm start rather than the search itself.
     """
 
     status: SolveStatus
@@ -55,6 +61,8 @@ class Solution:
     mip_gap: float | None = None
     node_count: int = 0
     lp_calls: int = 0
+    incumbent_seconds: float | None = None
+    seeded: bool = False
 
     def __getitem__(self, var: Var) -> float:
         return self.values[var]

@@ -30,8 +30,17 @@ def solve_with_highs(
     model: MilpModel,
     time_limit_seconds: float | None = None,
     mip_gap: float | None = None,
+    start: "dict | None" = None,
 ) -> Solution:
-    """Solve a :class:`MilpModel` with HiGHS and map back the result."""
+    """Solve a :class:`MilpModel` with HiGHS and map back the result.
+
+    ``start`` is accepted for interface symmetry with the pure-Python
+    branch and bound but ignored: :func:`scipy.optimize.milp` exposes no
+    MIP-start parameter, so a warm start cannot reach HiGHS through
+    scipy.  Warm starts therefore speed up the ``bnb`` backend and the
+    feasibility fast paths; a HiGHS rung simply solves cold.
+    """
+    del start  # no MIP-start channel in scipy.optimize.milp
     num_vars = model.num_variables
 
     sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0

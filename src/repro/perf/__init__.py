@@ -9,7 +9,9 @@ baseline for regression detection.  See ``docs/performance.md``.
 
 from repro.perf.baseline import (
     BENCH_SCHEMA_VERSION,
+    METRIC_GATES,
     Comparison,
+    check_metric_gates,
     compare_benchmarks,
     default_baseline_path,
     load_benchmark,
@@ -30,7 +32,9 @@ __all__ = [
     "BenchResult",
     "BenchScenario",
     "Comparison",
+    "METRIC_GATES",
     "SCENARIOS",
+    "check_metric_gates",
     "compare_benchmarks",
     "default_baseline_path",
     "load_benchmark",

@@ -30,7 +30,9 @@ from repro.perf.bench import BenchResult
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "METRIC_GATES",
     "Comparison",
+    "check_metric_gates",
     "compare_benchmarks",
     "default_baseline_path",
     "load_benchmark",
@@ -40,6 +42,17 @@ __all__ = [
 ]
 
 BENCH_SCHEMA_VERSION = 1
+
+#: Absolute per-scenario metric ceilings, checked by ``letdma bench``
+#: on every run that executes the scenario.  Unlike the ratio-based
+#: baseline comparison these are machine-independent invariants:
+#: ``solve_warm_waters_delta`` divides its warm wall time by a cold
+#: solve measured in the same process, so runner speed cancels out and
+#: the 10 % ceiling trips only on a genuine warm-path regression
+#: (e.g. the ``reused`` tier silently falling back to a cold solve).
+METRIC_GATES: dict[str, tuple[str, float]] = {
+    "solve_warm_waters_delta": ("fraction_of_cold", 0.10),
+}
 
 #: Repo-relative location of the tracked baseline.
 _BASELINE_RELPATH = Path("benchmarks") / "baselines" / "BENCH_baseline.json"
@@ -142,6 +155,29 @@ def compare_benchmarks(
         regressed = ratio is not None and ratio > 1.0 + threshold
         rows.append(Comparison(name, c, b, ratio, regressed))
     return rows
+
+
+def check_metric_gates(document: dict) -> list[str]:
+    """Failure messages for every violated :data:`METRIC_GATES` entry.
+
+    Scenarios absent from ``document`` (not selected this run) are
+    skipped; a gated scenario that ran but lacks the gated metric is a
+    failure — the gate must not rot silently.
+    """
+    failures = []
+    scenarios = document.get("scenarios", {})
+    for name, (metric, ceiling) in sorted(METRIC_GATES.items()):
+        entry = scenarios.get(name)
+        if entry is None:
+            continue
+        value = entry.get("metrics", {}).get(metric)
+        if value is None:
+            failures.append(f"{name}: gated metric {metric!r} missing")
+        elif value > ceiling:
+            failures.append(
+                f"{name}: {metric} = {value:.4f} exceeds ceiling {ceiling:g}"
+            )
+    return failures
 
 
 def render_comparison(rows: list[Comparison]) -> str:

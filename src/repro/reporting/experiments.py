@@ -98,6 +98,7 @@ class Table1Row:
     status: str
     num_transfers: int
     backend: str = ""
+    warm_start: str = "none"
 
     def as_tuple(self) -> tuple:
         return (
@@ -152,6 +153,7 @@ def run_table1(
     backend: str = DEFAULT_SOLVE_BACKEND,
     resume: bool = False,
     client=None,
+    warm: bool = False,
 ) -> list[Table1Row]:
     """The Table I experiment: times and transfer counts per config.
 
@@ -159,20 +161,31 @@ def run_table1(
     in grid order either way.  ``resume`` skips grid points already
     recorded in ``telemetry``; ``client`` routes solves through a
     running solve service (see :mod:`repro.service`).
+
+    ``warm`` runs the grid sequentially in-process, chaining each grid
+    point's solve as a :class:`repro.incremental.Prior` for the next
+    alpha of the same objective (see :mod:`repro.incremental`).  Warm
+    starts only change speed, never answers, so rows are interchangeable
+    with a cold sweep's; ``jobs``/``client``/``resume`` are ignored in
+    this mode because prior chaining is inherently sequential.
     """
     base = app if app is not None else waters_application()
     grid = _waters_grid(
         "table1", base, objectives, tuple(alphas), time_limit_seconds, backend
     )
-    runner = ExperimentRunner(
-        jobs=jobs,
-        telemetry=telemetry,
-        cache_dir=cache_dir,
-        resume=resume,
-        client=client,
-    )
+    if warm:
+        outcomes = _run_grid_warm(grid, telemetry, cache_dir)
+    else:
+        runner = ExperimentRunner(
+            jobs=jobs,
+            telemetry=telemetry,
+            cache_dir=cache_dir,
+            resume=resume,
+            client=client,
+        )
+        outcomes = runner.run(grid)
     rows = []
-    for job, outcome in zip(grid, runner.run(grid)):
+    for job, outcome in zip(grid, outcomes):
         result = outcome.result
         if result.feasible and result.backend != "greedy":
             verify_allocation(job.app, result).raise_if_failed()
@@ -184,9 +197,48 @@ def run_table1(
                 status=result.status.value,
                 num_transfers=result.num_transfers,
                 backend=result.backend,
+                warm_start=result.warm_start,
             )
         )
     return rows
+
+
+def _run_grid_warm(grid, telemetry, cache_dir):
+    """Solve ``grid`` sequentially, chaining priors per objective.
+
+    Each proven or feasible outcome becomes the :class:`Prior` for the
+    next grid point with the same objective tag, so a sweep over alphas
+    re-solves incrementally instead of from scratch.  Falls back to a
+    cold solve automatically whenever the prior cannot be mapped onto
+    the new instance (that is :func:`repro.incremental.prepare_warm`'s
+    contract).
+    """
+    from repro.api import SolveRequest, execute
+    from repro.incremental import Prior
+    from repro.runtime.telemetry import TelemetryWriter
+
+    writer = TelemetryWriter.coerce(telemetry)
+    priors: dict[str, Prior] = {}
+    outcomes = []
+    for job in grid:
+        key = str(job.tags.get("objective", ""))
+        request = SolveRequest(
+            app=job.app,
+            config=job.config,
+            backend=job.backend,
+            job_id=job.job_id,
+            tags=job.tags,
+            prior=priors.get(key),
+        )
+        outcome = execute(request, cache_dir=cache_dir)
+        if writer is not None:
+            writer.write(outcome.record)
+        if outcome.result.feasible or outcome.result.status.value == "infeasible":
+            priors[key] = Prior(
+                app=job.app, result=outcome.result, config=job.config
+            )
+        outcomes.append(outcome)
+    return outcomes
 
 
 def run_fig2_panel(

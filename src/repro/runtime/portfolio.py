@@ -61,6 +61,7 @@ def solve_with_portfolio(
     app: Application,
     config: FormulationConfig | None = None,
     rungs: tuple[str, ...] = DEFAULT_PORTFOLIO,
+    prior=None,
 ) -> AllocationResult:
     """Solve ``app`` down the rung ladder; see the module docstring.
 
@@ -68,13 +69,62 @@ def solve_with_portfolio(
     and ``fallback_chain`` (every attempt, in order).  A single-rung
     portfolio returns that rung's outcome verbatim — even an ``ERROR``
     — so direct-backend solves keep their non-raising contract.
+
+    ``prior`` is an optional :class:`repro.incremental.Prior` — a
+    previous solve offered as a warm start.  When the perturbation
+    provably leaves the MILP unchanged, a proven prior answer is
+    returned verbatim (``warm_start="reused"``); when the prior can be
+    repaired and revalidated, it proves feasibility outright for the
+    NO-OBJ objective and seeds the MILP rungs otherwise
+    (``warm_start="repaired"``).  Any doubt degrades to a cold solve,
+    so a warm solve can differ from a cold one only in speed.
     """
     config = config or FormulationConfig()
     if not rungs:
         raise ValueError("portfolio needs at least one rung")
     attempts: list[FallbackAttempt] = []
     result: AllocationResult | None = None
-    shared: dict[str, LetDmaFormulation] = {}
+    shared: dict = {}
+    warm_tier = "none"
+    if prior is not None:
+        from repro.core.formulation import Objective
+        from repro.incremental.warm import prepare_warm
+
+        plan_start = time.perf_counter()
+        plan = prepare_warm(app, config, prior)
+        plan_seconds = time.perf_counter() - plan_start
+        warm_tier = plan.tier
+        if plan.tier == "reused":
+            result = plan.reused
+            result.fallback_chain = (
+                FallbackAttempt(
+                    backend="warm-reuse",
+                    status=result.status.value,
+                    runtime_seconds=plan_seconds,
+                ),
+            )
+            return result
+        if plan.formulation is not None:
+            shared["formulation"] = plan.formulation
+        if plan.tier == "repaired":
+            shared["start"] = plan.start
+            if config.objective is Objective.NONE:
+                # A validated assignment *is* an optimal answer for the
+                # pure-feasibility objective: return it without solving.
+                result = plan.repaired
+                result.status = SolveStatus.OPTIMAL
+                result.objective_value = 0.0
+                result.num_variables = plan.formulation.model.num_variables
+                result.num_constraints = plan.formulation.model.num_constraints
+                result.backend = "warm-repair"
+                result.fallback_chain = (
+                    FallbackAttempt(
+                        backend="warm-repair",
+                        status=result.status.value,
+                        runtime_seconds=plan_seconds,
+                    ),
+                )
+                return result
     for position, rung in enumerate(rungs):
         is_last = position == len(rungs) - 1
         start = time.perf_counter()
@@ -109,6 +159,8 @@ def solve_with_portfolio(
         result = AllocationResult(status=SolveStatus.ERROR)
     result.backend = attempts[-1].backend
     result.fallback_chain = tuple(attempts)
+    if warm_tier == "repaired" and result.backend != "greedy":
+        result.warm_start = "repaired"
     return result
 
 
@@ -116,7 +168,7 @@ def _run_rung(
     app: Application,
     config: FormulationConfig,
     rung: str,
-    shared: dict[str, LetDmaFormulation],
+    shared: dict,
 ) -> AllocationResult:
     """Run one rung and return its raw result (exceptions propagate).
 
@@ -137,7 +189,9 @@ def _run_rung(
         formulation = LetDmaFormulation(app, replace(config, backend=backend))
         shared["formulation"] = formulation
     presolve = config.presolve and variant != "nopresolve"
-    return formulation.solve(backend=backend, presolve=presolve)
+    return formulation.solve(
+        backend=backend, presolve=presolve, start=shared.get("start")
+    )
 
 
 def _fail_reason(result: AllocationResult) -> str:

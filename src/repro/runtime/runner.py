@@ -96,6 +96,8 @@ class SolveJob:
         backend: Facade backend; defaults to the solver portfolio.
         tags: Grid coordinates (objective, alpha, seed, ...) carried
             into the telemetry record.
+        prior: Optional :class:`repro.incremental.Prior` warm start
+            forwarded to the request (speed only, never the answer).
     """
 
     job_id: str
@@ -103,6 +105,7 @@ class SolveJob:
     config: FormulationConfig = field(default_factory=FormulationConfig)
     backend: str = DEFAULT_SOLVE_BACKEND
     tags: dict = field(default_factory=dict)
+    prior: "object | None" = None
 
     def to_request(self) -> SolveRequest:
         """This grid point as the shared :class:`repro.api.SolveRequest`
@@ -114,6 +117,7 @@ class SolveJob:
             backend=self.backend,
             job_id=self.job_id,
             tags=dict(self.tags),
+            prior=self.prior,
         )
 
 

@@ -26,6 +26,7 @@ Schema (version 1), one object per line::
       "wall_seconds": float,          # end-to-end, incl. cache/build
       "solver_seconds": float,        # backend-reported solve time
       "cached": bool,                 # served from the persistent cache
+      "warm_start": str,              # "none" | "reused" | "repaired"
       "fallback_chain": [             # one entry per portfolio rung tried
         {"backend": str, "status": str,
          "runtime_seconds": float, "reason": str}, ...
@@ -135,6 +136,7 @@ def build_solve_record(
         "wall_seconds": wall_seconds,
         "solver_seconds": result.runtime_seconds,
         "cached": cached,
+        "warm_start": result.warm_start,
         "fallback_chain": [
             attempt.to_dict() for attempt in result.fallback_chain
         ],

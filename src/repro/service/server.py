@@ -28,6 +28,7 @@ See ``docs/service.md`` for the architecture and queue lifecycle.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import socketserver
 import threading
@@ -57,6 +58,36 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.queue import Job, JobQueue, JobState, QueueFull
 
 __all__ = ["SolveService", "ServiceServer", "serve"]
+
+#: Most-recent-prior families the service remembers for warm routing.
+_WARM_MEMORY_LIMIT = 64
+
+
+def _warm_family(request: SolveRequest) -> str:
+    """Structure-invariant family hash for warm-start routing.
+
+    Requests whose task/label *structure* matches (names, core mapping,
+    writer/reader wiring, objective, backend) belong to one family even
+    when WCETs, periods, deadlines, or label sizes differ — exactly the
+    perturbations :mod:`repro.incremental` can reuse or repair.  The
+    service keeps the most recent *proven* outcome per family and
+    offers it as the prior for the next family member; an unusable
+    prior simply degrades to a cold solve.
+    """
+    app = request.app
+    data = {
+        "tasks": [[task.name, task.core_id] for task in app.tasks],
+        "labels": [
+            [label.name, label.writer, list(label.readers)]
+            for label in app.labels
+        ],
+        "objective": request.resolved_config().objective.value,
+        "backend": request.backend,
+    }
+    digest = hashlib.sha256(
+        json.dumps(data, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:24]
 
 
 def _execute_many(jobs, cache_dir, deadline_seconds, max_retries, backoff):
@@ -126,6 +157,9 @@ class SolveService:
         self.use_processes = use_processes
         self.metrics_interval_seconds = metrics_interval_seconds
         self._telemetry_lock = threading.Lock()
+        self._warm_lock = threading.Lock()
+        #: family hash -> most recent proven Prior (bounded, LRU-ish).
+        self._warm_memory: dict = {}
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._pool: "ProcessPoolExecutor | None" = None
@@ -276,6 +310,7 @@ class SolveService:
                     config=entry.request.resolved_config(),
                     backend=entry.request.backend,
                     tags=dict(entry.request.tags),
+                    prior=entry.request.prior or self._recall_prior(entry.request),
                 )
                 for entry in batch
             ]
@@ -320,6 +355,32 @@ class SolveService:
                 # its own completion counted.
                 self._account(entry, shared)
                 self.queue.finish(entry, shared)
+                self._remember_prior(entry.request, outcome.result)
+
+    def _recall_prior(self, request: SolveRequest):
+        """The remembered proven prior of the request's family, if any."""
+        with self._warm_lock:
+            return self._warm_memory.get(_warm_family(request))
+
+    def _remember_prior(self, request: SolveRequest, result) -> None:
+        """Retain a proven outcome as its family's warm-start prior."""
+        from repro.io.cache import CACHEABLE_STATUSES
+
+        if result.status not in CACHEABLE_STATUSES:
+            return
+        from repro.incremental.warm import Prior
+
+        prior = Prior(
+            app=request.app,
+            result=result,
+            config=request.resolved_config(),
+        )
+        family = _warm_family(request)
+        with self._warm_lock:
+            self._warm_memory.pop(family, None)
+            self._warm_memory[family] = prior
+            while len(self._warm_memory) > _WARM_MEMORY_LIMIT:
+                self._warm_memory.pop(next(iter(self._warm_memory)))
 
     def _account(
         self, entry: Job, outcome: "SolveOutcome | None", failed: bool = False

@@ -139,3 +139,66 @@ class TestExtension:
             extend_allocation(
                 app, app, AllocationResult(status=SolveStatus.INFEASIBLE)
             )
+
+
+class TestEdgeCases:
+    def test_capacity_overflow_on_append(self, base):
+        """The allocator's own capacity check fires for hand-built
+        layouts that already sit near capacity — the only case the
+        Application-level validation cannot catch, because it sums
+        label sizes, not committed slot sizes."""
+        from dataclasses import replace
+
+        from repro.core.solution import MemoryLayout
+
+        app, result = base
+        capacity = app.platform.memory("MG").size_bytes
+        mg = result.layouts["MG"]
+        inflated_sizes = dict(mg.sizes)
+        inflated_sizes[mg.order[0]] = capacity - 500
+        layouts = dict(result.layouts)
+        layouts["MG"] = MemoryLayout(
+            "MG", mg.order, dict(mg.addresses), inflated_sizes
+        )
+        inflated = replace(result, layouts=layouts)
+        new_app = with_extra_labels(app, [Label("bc", 750, "B", ("C",))])
+        with pytest.raises(ValueError, match="cannot hold"):
+            extend_allocation(app, new_app, inflated)
+
+    def test_consumer_without_existing_transfers(self, base):
+        """A new communication whose consumer (B) appears in no
+        existing transfer: the read lands as a trailing singleton and
+        the structural properties still verify."""
+        app, result = base
+        assert all("B" not in t.tasks() for t in result.transfers)
+        new_app = with_extra_labels(app, [Label("cb", 300, "C", ("B",))])
+        extended = extend_allocation(app, new_app, result)
+        reads = [
+            t
+            for t in extended.transfers
+            if any(c.is_read and c.task == "B" for c in t.communications)
+        ]
+        assert len(reads) == 1
+        assert len(reads[0].communications) == 1
+        report = verify_allocation(new_app, extended)
+        structural = [v for v in report.violations if "Property 3" not in v]
+        assert structural == []
+
+    def test_reverification_failure_is_real_infeasibility(self, base):
+        """Tightened gammas slip past the name-only compatibility check
+        by design; the verifier, not the extender, is the authority —
+        a deadline report here is a real re-design signal."""
+        from dataclasses import replace
+
+        app, result = base
+        tight = TaskSet(
+            [replace(t, acquisition_deadline_us=0.001) for t in app.tasks]
+        )
+        new_app = Application(
+            app.platform, tight, list(app.labels) + [Label("bc", 750, "B", ("C",))]
+        )
+        extended = extend_allocation(app, new_app, result)
+        report = verify_allocation(new_app, extended)
+        assert report.count("deadline") > 0
+        with pytest.raises(AssertionError, match="deadline"):
+            report.raise_if_failed()

@@ -1,0 +1,54 @@
+"""Shared fixtures for the incremental re-solve tests: a small solved
+instance plus helpers for perturbing it one element at a time."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import FormulationConfig, Objective
+from repro.model import Application, Label, Platform, Task, TaskSet
+from repro.runtime.portfolio import solve_with_portfolio
+
+
+def make_app():
+    platform = Platform.symmetric(2)
+    tasks = TaskSet(
+        [
+            Task("A", 10_000, 500.0, "P1", 0),
+            Task("B", 10_000, 500.0, "P1", 1),
+            Task("C", 10_000, 500.0, "P2", 0),
+        ]
+    )
+    labels = [
+        Label("ac", 1_000, "A", ("C",)),
+        Label("ca", 500, "C", ("A",)),
+    ]
+    return Application(platform, tasks, labels)
+
+
+def with_wcet(app, task_name, wcet_us):
+    tasks = TaskSet(
+        [
+            replace(t, wcet_us=wcet_us) if t.name == task_name else t
+            for t in app.tasks
+        ]
+    )
+    return Application(app.platform, tasks, list(app.labels))
+
+
+def with_label_size(app, label_name, size_bytes):
+    labels = [
+        replace(l, size_bytes=size_bytes) if l.name == label_name else l
+        for l in app.labels
+    ]
+    return Application(app.platform, app.tasks, labels)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    """(app, config, proven result) solved once per module."""
+    app = make_app()
+    config = FormulationConfig(objective=Objective.MIN_TRANSFERS)
+    result = solve_with_portfolio(app, config, rungs=("highs",))
+    assert result.feasible
+    return app, config, result

@@ -1,0 +1,120 @@
+"""Tests for the instance-diff taxonomy (:mod:`repro.incremental.diff`)."""
+
+from dataclasses import replace
+
+from repro.incremental import diff_apps
+from repro.model import Application, Label, Platform, Task, TaskSet
+
+from tests.incremental.conftest import make_app, with_label_size, with_wcet
+
+
+def test_identical_apps_are_empty():
+    diff = diff_apps(make_app(), make_app())
+    assert diff.is_empty
+    assert diff.milp_invariant
+    assert not diff.is_structural
+    assert diff.summary() == "identical"
+
+
+def test_wcet_delta_is_milp_invariant():
+    app = make_app()
+    diff = diff_apps(app, with_wcet(app, "A", 600.0))
+    assert diff.wcet_changed == ("A",)
+    assert diff.milp_invariant
+    assert not diff.is_structural
+    assert "wcet:A" in diff.summary()
+
+
+def test_size_delta_is_repairable_not_invariant():
+    app = make_app()
+    diff = diff_apps(app, with_label_size(app, "ac", 1_200))
+    assert diff.size_changed == ("ac",)
+    assert not diff.milp_invariant
+    assert not diff.is_structural
+
+
+def test_period_and_gamma_deltas():
+    app = make_app()
+    tasks = TaskSet(
+        [
+            replace(t, period_us=20_000)
+            if t.name == "B"
+            else replace(t, acquisition_deadline_us=900.0)
+            if t.name == "A"
+            else t
+            for t in app.tasks
+        ]
+    )
+    diff = diff_apps(app, Application(app.platform, tasks, list(app.labels)))
+    assert diff.period_changed == ("B",)
+    assert diff.gamma_changed == ("A",)
+    assert not diff.is_structural
+
+
+def test_added_label_is_repairable():
+    app = make_app()
+    new = Application(
+        app.platform,
+        app.tasks,
+        list(app.labels) + [Label("bc", 750, "B", ("C",))],
+    )
+    diff = diff_apps(app, new)
+    assert diff.added_labels == ("bc",)
+    assert not diff.is_structural
+
+
+def test_removed_label_is_structural():
+    app = make_app()
+    new = Application(app.platform, app.tasks, list(app.labels)[:1])
+    diff = diff_apps(app, new)
+    assert diff.is_structural
+    assert any("removed" in reason for reason in diff.structural)
+
+
+def test_wiring_change_is_structural():
+    app = make_app()
+    labels = [
+        replace(l, writer="B") if l.name == "ac" else l for l in app.labels
+    ]
+    diff = diff_apps(app, Application(app.platform, app.tasks, labels))
+    assert any("wiring" in reason for reason in diff.structural)
+
+
+def test_task_set_change_is_structural():
+    app = make_app()
+    smaller = Application(
+        app.platform,
+        TaskSet([t for t in app.tasks if t.name != "B"]),
+        list(app.labels),
+    )
+    diff = diff_apps(app, smaller)
+    assert any("removed" in reason for reason in diff.structural)
+    reverse = diff_apps(smaller, app)
+    assert any("added" in reason for reason in reverse.structural)
+
+
+def test_core_move_and_priority_are_structural():
+    app = make_app()
+    moved = TaskSet(
+        [
+            replace(t, core_id="P2", priority=7) if t.name == "A" else t
+            for t in app.tasks
+        ]
+    )
+    diff = diff_apps(app, Application(app.platform, moved, list(app.labels)))
+    assert any("moved to core" in reason for reason in diff.structural)
+
+    reprioritized = TaskSet(
+        [replace(t, priority=5) if t.name == "A" else t for t in app.tasks]
+    )
+    diff = diff_apps(
+        app, Application(app.platform, reprioritized, list(app.labels))
+    )
+    assert any("priority" in reason for reason in diff.structural)
+
+
+def test_platform_change_is_structural():
+    app = make_app()
+    bigger = Platform.symmetric(2, global_memory_bytes=1 << 22)
+    diff = diff_apps(app, Application(bigger, app.tasks, list(app.labels)))
+    assert "platform changed" in diff.structural

@@ -1,0 +1,109 @@
+"""Tests for solution repair (:mod:`repro.incremental.repair`)."""
+
+from dataclasses import replace
+
+from repro.core import verify_allocation
+from repro.incremental import repair_result
+from repro.model import Application, Label
+
+from tests.incremental.conftest import with_label_size, with_wcet
+
+
+def test_wcet_delta_keeps_layouts_and_transfers(solved):
+    app, _, result = solved
+    new_app = with_wcet(app, "A", 650.0)
+    repaired = repair_result(app, new_app, result)
+    assert repaired is not None
+    assert repaired.warm_start == "repaired"
+    assert repaired.layouts == result.layouts
+    assert [t.communications for t in repaired.transfers] == [
+        t.communications for t in result.transfers
+    ]
+
+
+def test_size_delta_readdresses_densely(solved):
+    app, _, result = solved
+    new_app = with_label_size(app, "ac", 1_200)
+    repaired = repair_result(app, new_app, result)
+    assert repaired is not None
+    for memory_id, layout in repaired.layouts.items():
+        assert layout.order == result.layouts[memory_id].order
+        cursor = 0
+        for slot in layout.order:
+            assert layout.addresses[slot] == cursor
+            cursor += layout.sizes[slot]
+    report = verify_allocation(new_app, repaired, check_deadlines=False)
+    structural = [v for v in report.violations if "Property 3" not in v]
+    assert structural == []
+
+
+def test_structural_diff_returns_none(solved):
+    app, _, result = solved
+    labels = [
+        replace(l, writer="B") if l.name == "ac" else l for l in app.labels
+    ]
+    rewired = Application(app.platform, app.tasks, labels)
+    assert repair_result(app, rewired, result) is None
+
+
+def test_infeasible_prior_returns_none(solved):
+    app, _, _ = solved
+    from repro.core.solution import AllocationResult
+    from repro.milp import SolveStatus
+
+    infeasible = AllocationResult(status=SolveStatus.INFEASIBLE)
+    assert repair_result(app, app, infeasible) is None
+
+
+def test_capacity_overflow_returns_none():
+    """Re-addressing refuses layouts that no longer fit: only reachable
+    with a hand-built result (a valid Application already bounds label
+    sums), so this is the same defense-in-depth as the extender's."""
+    from repro.core.solution import AllocationResult, MemoryLayout
+    from repro.milp import SolveStatus
+    from repro.model import Application, Label, Platform, Task, TaskSet
+
+    platform = Platform.symmetric(
+        2, local_memory_bytes=2_000, global_memory_bytes=2_000
+    )
+    tasks = TaskSet(
+        [Task("A", 10_000, 500.0, "P1", 0), Task("C", 10_000, 500.0, "P2", 0)]
+    )
+    labels = [Label("ac", 1_000, "A", ("C",)), Label("ca", 500, "C", ("A",))]
+    app = Application(platform, tasks, labels)
+    # A duplicated slot makes the re-derived cursor count "ac" twice:
+    # 2500 B against a 2000 B memory.
+    doctored = AllocationResult(
+        status=SolveStatus.FEASIBLE,
+        layouts={
+            "MG": MemoryLayout(
+                "MG",
+                ("ac", "ca", "ac@dup"),
+                {"ac": 0, "ca": 1_000, "ac@dup": 1_500},
+                {"ac": 1_000, "ca": 500, "ac@dup": 1_000},
+            )
+        },
+        transfers=(),
+    )
+    assert repair_result(app, app, doctored) is None
+
+
+def test_added_label_is_spliced(solved):
+    app, _, result = solved
+    new_app = Application(
+        app.platform,
+        app.tasks,
+        list(app.labels) + [Label("bc", 750, "B", ("C",))],
+    )
+    repaired = repair_result(app, new_app, result)
+    assert repaired is not None
+    assert repaired.warm_start == "repaired"
+    slots = {
+        slot
+        for layout in repaired.layouts.values()
+        for slot in layout.order
+    }
+    assert any("bc" in slot for slot in slots)
+    report = verify_allocation(new_app, repaired, check_deadlines=False)
+    structural = [v for v in report.violations if "Property 3" not in v]
+    assert structural == []

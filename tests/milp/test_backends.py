@@ -140,6 +140,51 @@ class TestSolverStats:
         assert solution.values == {}
 
 
+class TestWarmStart:
+    def test_bnb_seeded_reports_flag_and_zero_incumbent_time(self):
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        cold = model.solve(backend="bnb")
+        seeded = model.solve(backend="bnb", start=cold.values)
+        assert seeded.status is SolveStatus.OPTIMAL
+        assert seeded.objective == pytest.approx(cold.objective)
+        assert seeded.seeded is True
+        assert seeded.incumbent_seconds == 0.0
+
+    def test_seed_survives_presolve_off(self):
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        cold = model.solve(backend="bnb")
+        seeded = model.solve(backend="bnb", start=cold.values, presolve=False)
+        assert seeded.status is SolveStatus.OPTIMAL
+        assert seeded.seeded is True
+
+    def test_infeasible_start_is_ignored(self):
+        # A start violating the capacity row must not poison the solve:
+        # the solver drops it and proves the true optimum cold.
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        bad = {var: 1.0 for var in model.variables}
+        solution = model.solve(backend="bnb", start=bad)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.seeded is False
+        cold = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10).solve(backend="bnb")
+        assert solution.objective == pytest.approx(cold.objective)
+
+    def test_incomplete_start_is_ignored(self):
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        partial = {model.variables[0]: 1.0}
+        solution = model.solve(backend="bnb", start=partial)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.seeded is False
+
+    def test_highs_accepts_and_ignores_start(self):
+        # scipy's HiGHS wrapper has no MIP-start channel; passing one
+        # must be harmless (same proven answer).
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        cold = model.solve(backend="highs")
+        warm = model.solve(backend="highs", start=cold.values)
+        assert warm.status is SolveStatus.OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective)
+
+
 class TestHighsSpecifics:
     def test_unbounded(self):
         model = MilpModel("unbounded")

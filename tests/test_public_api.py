@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.io",
     "repro.ext",
+    "repro.incremental",
     "repro.reporting",
     "repro.runtime",
     "repro.faults",
