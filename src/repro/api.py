@@ -154,6 +154,10 @@ def execute(
     *,
     cache_dir: "str | Path | None" = None,
     deadline_seconds: float | None = None,
+    sandbox=None,
+    breakers=None,
+    skip_backends: tuple[str, ...] = (),
+    fault_plan: "dict | None" = None,
 ) -> SolveOutcome:
     """Run one request through the cache + portfolio path.
 
@@ -170,6 +174,13 @@ def execute(
             portfolio rung's time budget (``min`` with the config's own
             limit); excluded from the instance hash, like every time
             budget.
+        sandbox / breakers / skip_backends / fault_plan: Resilience
+            hooks forwarded to
+            :func:`repro.runtime.solve_with_portfolio` (sandboxed rung
+            execution, circuit-breaker routing, chaos fault
+            injection); like time budgets, they shape *how* a solve
+            runs, never its answer, so none participates in the
+            instance hash.
     """
     config = request.resolved_config()
     instance = request.instance
@@ -190,14 +201,21 @@ def execute(
         cached = result is not None
 
     if result is None:
-        if request.backend == "portfolio":
-            result = solve_with_portfolio(
-                request.app, config, rungs=DEFAULT_PORTFOLIO, prior=request.prior
-            )
-        else:
-            result = solve_with_portfolio(
-                request.app, config, rungs=(request.backend,), prior=request.prior
-            )
+        rungs = (
+            DEFAULT_PORTFOLIO
+            if request.backend == "portfolio"
+            else (request.backend,)
+        )
+        result = solve_with_portfolio(
+            request.app,
+            config,
+            rungs=rungs,
+            prior=request.prior,
+            sandbox=sandbox,
+            breakers=breakers,
+            skip_backends=tuple(skip_backends),
+            fault_plan=fault_plan,
+        )
         if cache_path is not None and result.status in CACHEABLE_STATUSES:
             cache_path.parent.mkdir(parents=True, exist_ok=True)
             save_result(result, cache_path)

@@ -16,7 +16,12 @@ Commands:
   corpus reproducer (see ``docs/fuzzing.md``);
 * ``chaos``   — fault-injection campaigns: sweep a fault-intensity x
   seed x policy grid over solved allocations (``--resume`` continues a
-  killed campaign from its telemetry; see ``docs/robustness.md``);
+  killed campaign from its telemetry), or attack the solve service
+  itself with ``--target service`` — worker kills, faulty backends,
+  journal corruption, queue floods (see ``docs/robustness.md``);
+* ``fsck``    — verify journal checksums (telemetry files, service
+  state dirs), quarantining corrupt records so the rest stay
+  replayable;
 * ``serve``   — run the resident solve service (content-addressed
   queue, request dedup, live metrics; see ``docs/service.md``), plus
   ``--status`` to query a running one and ``--smoke`` for the CI
@@ -44,7 +49,9 @@ Exit codes (one contract for every command):
    1  ran, but found a failure: fuzz disagreement, bench regression,
       verification violation, unreachable service, failed smoke
    2  usage error (bad flags or flag combinations; argparse itself
-      uses the same code)
+      uses the same code) — including a service submission rejected
+      by the bounded queue (the message carries depth/capacity and a
+      retry-after hint)
  130  interrupted (Ctrl-C); completed jobs are already flushed to
       telemetry and a partial summary is printed first
 ====  =============================================================
@@ -58,10 +65,14 @@ import sys
 from repro.core import Objective
 from repro.defaults import (
     DEFAULT_BATCH_MAX,
+    DEFAULT_BREAKER_COOLDOWN_SECONDS,
+    DEFAULT_BREAKER_THRESHOLD,
     DEFAULT_CACHE_DIR,
     DEFAULT_METRICS_INTERVAL_SECONDS,
     DEFAULT_MILP_BACKEND,
     DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_SANDBOX_HEARTBEAT_SECONDS,
+    DEFAULT_SANDBOX_RSS_MB,
     DEFAULT_SERVICE_HOST,
     DEFAULT_SERVICE_PORT,
     DEFAULT_SERVICE_SHARDS,
@@ -356,6 +367,46 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of dispatcher threads",
     )
     p_serve.add_argument(
+        "--sandbox",
+        action="store_true",
+        help="run every MILP portfolio rung in a supervised child "
+        "process: hangs, crashes, OOMs, and blown deadlines degrade "
+        "the ladder instead of wedging a dispatcher",
+    )
+    p_serve.add_argument(
+        "--sandbox-rss-mb",
+        type=float,
+        default=DEFAULT_SANDBOX_RSS_MB,
+        metavar="MB",
+        help="memory headroom each sandboxed attempt may allocate "
+        f"(default: {DEFAULT_SANDBOX_RSS_MB:g})",
+    )
+    p_serve.add_argument(
+        "--sandbox-heartbeat",
+        type=float,
+        default=DEFAULT_SANDBOX_HEARTBEAT_SECONDS,
+        metavar="SECONDS",
+        help="longest tolerated heartbeat silence before a sandboxed "
+        "attempt counts as hung "
+        f"(default: {DEFAULT_SANDBOX_HEARTBEAT_SECONDS:g})",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=_positive_int,
+        default=DEFAULT_BREAKER_THRESHOLD,
+        help="consecutive backend failures that open its circuit "
+        f"breaker (default: {DEFAULT_BREAKER_THRESHOLD})",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=DEFAULT_BREAKER_COOLDOWN_SECONDS,
+        metavar="SECONDS",
+        help="how long an open breaker fences a backend off before a "
+        "half-open trial or canary probe may restore it "
+        f"(default: {DEFAULT_BREAKER_COOLDOWN_SECONDS:g})",
+    )
+    p_serve.add_argument(
         "--status",
         nargs="?",
         type=_address,
@@ -470,8 +521,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos = sub.add_parser(
         "chaos",
         help="fault-injection campaign: sweep a fault-intensity grid "
-        "over solved allocations with graceful-degradation policies",
+        "over solved allocations (--target model), or attack the solve "
+        "service itself — worker kills, faulty backends, journal "
+        "corruption, queue floods (--target service)",
         parents=[solver, grid, _backend_parent(), service],
+    )
+    p_chaos.add_argument(
+        "--target",
+        choices=("model", "service"),
+        default="model",
+        help="what to inject faults into: the modeled LET/DMA system "
+        "(default) or the solve service infrastructure "
+        "(see docs/robustness.md)",
+    )
+    p_chaos.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=6,
+        help="instances per phase of the service-chaos campaign "
+        "(--target service only; default: 6)",
+    )
+    p_chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the deterministic CI subset of the service-chaos "
+        "campaign (--target service only)",
     )
     p_chaos.add_argument(
         "--alphas", type=float, nargs="+", default=[0.3],
@@ -505,6 +579,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate every grid point as an independent scalar "
         "simulation instead of one vectorized batch per alpha "
         "(slower; the results are identical)",
+    )
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="verify journal checksums (telemetry files, service state "
+        "dirs); corrupt records are quarantined, never deleted",
+    )
+    p_fsck.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="telemetry .jsonl file, run directory, or service state dir",
     )
 
     p_verify = sub.add_parser(
@@ -633,6 +719,14 @@ def _cmd_serve(args) -> int:
             return EXIT_FAILURE
         return EXIT_OK
 
+    sandbox = None
+    if args.sandbox:
+        from repro.resilience import SandboxLimits
+
+        sandbox = SandboxLimits(
+            rss_mb=args.sandbox_rss_mb,
+            heartbeat_seconds=args.sandbox_heartbeat,
+        )
     service = SolveService(
         shards=args.shards,
         queue_capacity=args.queue_capacity,
@@ -643,6 +737,9 @@ def _cmd_serve(args) -> int:
         deadline_seconds=args.deadline,
         use_processes=args.processes,
         metrics_interval_seconds=args.metrics_interval,
+        sandbox=sandbox,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown,
     )
     with service:
         server = serve(service, host=args.host, port=args.port)
@@ -685,6 +782,29 @@ def main(argv: list[str] | None = None) -> int:
             return EXIT_FAILURE
     try:
         return _dispatch(args, client)
+    except Exception as exc:
+        from repro.service import ServiceRejected
+
+        if not isinstance(exc, ServiceRejected):
+            raise
+        # Backpressure is a usage-level condition (the campaign asked
+        # for more than the queue admits), so it exits 2 — with the
+        # queue's depth/capacity so the operator can size the retry.
+        where = (
+            f" ({exc.depth}/{exc.capacity} pending+running jobs)"
+            if exc.depth is not None and exc.capacity is not None
+            else ""
+        )
+        hint = (
+            f"; retry after {exc.retry_after_seconds:g} s"
+            if exc.retry_after_seconds is not None
+            else ""
+        )
+        print(
+            f"error: solve service rejected the submission{where}{hint}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     finally:
         if client is not None:
             client.close()
@@ -918,6 +1038,15 @@ def _dispatch(args, client) -> int:
 
             print(render_telemetry_summary(read_telemetry(args.telemetry)))
         return 0 if report.ok else 1
+    elif args.command == "chaos" and args.target == "service":
+        from repro.resilience import ServiceChaosConfig, run_service_chaos
+
+        report = run_service_chaos(
+            ServiceChaosConfig(requests=args.requests, quick=args.quick),
+            progress=print,
+        )
+        print(report.summary())
+        return EXIT_OK if report.ok else EXIT_FAILURE
     elif args.command == "chaos":
         from repro.faults import ChaosConfig, render_chaos_table, run_chaos
 
@@ -960,6 +1089,15 @@ def _dispatch(args, client) -> int:
             f"{errors} error(s)"
         )
         return 1 if errors else 0
+    elif args.command == "fsck":
+        from repro.resilience import fsck_path
+
+        dirty = 0
+        for path in args.paths:
+            report = fsck_path(path)
+            print(report.summary())
+            dirty += len(report.quarantined)
+        return EXIT_FAILURE if dirty else EXIT_OK
     elif args.command == "verify":
         from repro.core import verify_allocation
         from repro.io import load_application, load_result, load_system_xml

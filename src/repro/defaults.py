@@ -28,6 +28,14 @@ __all__ = [
     "DEFAULT_QUEUE_CAPACITY",
     "DEFAULT_BATCH_MAX",
     "DEFAULT_METRICS_INTERVAL_SECONDS",
+    "DEFAULT_SANDBOX_RSS_MB",
+    "DEFAULT_SANDBOX_HEARTBEAT_SECONDS",
+    "DEFAULT_SANDBOX_GRACE_SECONDS",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_BREAKER_COOLDOWN_SECONDS",
+    "DEFAULT_CLIENT_READ_TIMEOUT_SECONDS",
+    "DEFAULT_CLIENT_ATTEMPTS",
+    "DEFAULT_RETRY_AFTER_SECONDS",
 ]
 
 #: Wall-clock budget per solver rung (the paper used a 1-hour CPLEX
@@ -74,3 +82,35 @@ DEFAULT_BATCH_MAX: int = 4
 #: How often the solve service appends a ``service_metrics`` record to
 #: its telemetry sink.
 DEFAULT_METRICS_INTERVAL_SECONDS: float = 30.0
+
+#: RSS ceiling of one sandboxed solver attempt (``RLIMIT_AS``); a rung
+#: that allocates past it sees ``MemoryError`` instead of taking the
+#: dispatcher (or the machine) down with it.
+DEFAULT_SANDBOX_RSS_MB: float = 4096.0
+
+#: A sandboxed solver child beats this often; missing the beat marks
+#: the attempt hung (e.g. a stopped or deadlocked process).
+DEFAULT_SANDBOX_HEARTBEAT_SECONDS: float = 5.0
+
+#: Wall-clock grace a sandboxed rung gets on top of its solver time
+#: limit before the supervisor declares a timeout and kills it.
+DEFAULT_SANDBOX_GRACE_SECONDS: float = 10.0
+
+#: Consecutive sandbox failures that open a backend's circuit breaker.
+DEFAULT_BREAKER_THRESHOLD: int = 3
+
+#: Seconds an open breaker keeps a backend out of traffic before a
+#: half-open trial (canary probe or live request) may close it again.
+DEFAULT_BREAKER_COOLDOWN_SECONDS: float = 30.0
+
+#: Socket-client read timeout: how long one request/response round
+#: trip may stall before the client retries or gives up.
+DEFAULT_CLIENT_READ_TIMEOUT_SECONDS: float = 120.0
+
+#: Bounded attempts (first try + retries) a socket client makes for an
+#: idempotent operation before surfacing ``ServiceUnavailable``.
+DEFAULT_CLIENT_ATTEMPTS: int = 3
+
+#: Retry-after hint attached to backpressure rejections and transport
+#: failures (seconds).
+DEFAULT_RETRY_AFTER_SECONDS: float = 1.0

@@ -361,6 +361,48 @@ def _bench_solve_cold_delta() -> dict:
     }
 
 
+#: Memoized in-process reference solve for the sandbox-overhead
+#: scenario: the reference does not change between repeats, and the
+#: overhead fraction must compare against a number measured in the
+#: same process.
+_sandbox_overhead_cache: dict = {}
+
+
+def _bench_solve_sandboxed_waters() -> dict:
+    """Sandboxed HiGHS solve of WATERS vs an in-process reference.
+
+    ``overhead_fraction`` is the extra wall time the supervised child
+    (fork, pipe heartbeat, rlimits) costs relative to running the same
+    rung in-process — the tracked gate keeps it under 5 %, which is
+    what makes ``--sandbox`` a default-safe recommendation for
+    ``letdma serve`` rather than a trade-off.
+    """
+    from repro.core.formulation import FormulationConfig, Objective
+    from repro.milp.worker import solve_rung_entry
+    from repro.resilience.sandbox import SandboxLimits, run_rung_sandboxed
+    from repro.waters import waters_application
+
+    app = waters_application()
+    config = FormulationConfig(
+        objective=Objective.MIN_TRANSFERS,
+        time_limit_seconds=_SOLVE_BUDGET_SECONDS,
+    )
+    if "seconds" not in _sandbox_overhead_cache:
+        start = time.perf_counter()
+        solve_rung_entry({"app": app, "config": config, "rung": "highs"})
+        _sandbox_overhead_cache["seconds"] = time.perf_counter() - start
+    reference = _sandbox_overhead_cache["seconds"]
+    start = time.perf_counter()
+    result = run_rung_sandboxed(app, config, "highs", SandboxLimits())
+    wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "status": result.status.value,
+        "in_process_seconds": reference,
+        "overhead_fraction": wall / reference - 1.0 if reference else 0.0,
+    }
+
+
 def _bench_sim_scalar_chaos() -> dict:
     app, table, timelines, horizon, ready, wcet = _chaos_sim_inputs()
     wall = _scalar_chaos_run(app, table, timelines, horizon, ready, wcet)
@@ -418,6 +460,12 @@ SCENARIOS: tuple[BenchScenario, ...] = (
         name="solve_cold_waters_delta",
         description="Cold re-solve of the same 1-task WCET delta on WATERS",
         run=_bench_solve_cold_delta,
+    ),
+    BenchScenario(
+        name="solve_sandboxed_waters",
+        description="Sandboxed HiGHS solve of WATERS vs in-process "
+        "(supervision overhead; gated at 5%)",
+        run=_bench_solve_sandboxed_waters,
     ),
     BenchScenario(
         name="sim_scalar_chaos100",

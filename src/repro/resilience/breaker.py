@@ -1,0 +1,300 @@
+"""Per-backend circuit breakers for the solver portfolio.
+
+A backend that keeps hanging or crashing should stop receiving traffic
+*before* every request pays its sandbox deadline.  Each backend gets a
+classic three-state breaker:
+
+* **closed** — traffic flows; consecutive failures are counted.
+* **open** — ``failure_threshold`` consecutive failures trip it; the
+  portfolio skips the rung (recording a ``skipped`` attempt on the
+  fallback chain) for ``cooldown_seconds``.
+* **half-open** — after the cooldown, exactly one trial is let through
+  (a live request, or a canary probe on an idle service); success
+  closes the breaker, failure re-opens it for another cooldown.
+
+The last-resort ``greedy`` rung is exempt: it runs in-process, cannot
+hang, and must always be available so the ladder never bottoms out
+into "every rung skipped".
+
+:class:`BreakerBoard` is the thread-safe registry the service and the
+portfolio share; its :meth:`~BreakerBoard.snapshot` feeds
+``ServiceMetrics`` and ``letdma serve --status``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.defaults import (
+    DEFAULT_BREAKER_COOLDOWN_SECONDS,
+    DEFAULT_BREAKER_THRESHOLD,
+)
+
+__all__ = ["BreakerBoard", "run_canary_probe"]
+
+#: Fallback-chain statuses that count as a working backend.
+_HEALTHY_STATUSES = ("optimal", "feasible", "infeasible")
+
+#: Chain entries that say nothing about backend health.
+_NEUTRAL_STATUSES = ("skipped",)
+
+
+@dataclass
+class _Breaker:
+    """Mutable per-backend state (guarded by the board's lock)."""
+
+    state: str = "closed"
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+    probes: int = 0
+    changed_s: float = field(default_factory=time.monotonic)
+
+    def snapshot(self, now: float) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "probes": self.probes,
+            "state_seconds": now - self.changed_s,
+        }
+
+
+class BreakerBoard:
+    """Thread-safe circuit breakers keyed by backend name."""
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        cooldown_seconds: float = DEFAULT_BREAKER_COOLDOWN_SECONDS,
+        exempt: tuple[str, ...] = ("greedy",),
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.exempt = tuple(exempt)
+        self._lock = threading.Lock()
+        self._breakers: dict[str, _Breaker] = {}
+
+    # -- traffic decisions ---------------------------------------------
+
+    def allow(self, backend: str) -> bool:
+        """May this backend receive one attempt right now?
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open and admits exactly this one trial; a half-open
+        breaker stuck longer than another cooldown (its trial never
+        reported back) is treated the same, so a lost observation can
+        never fence a backend off permanently.
+        """
+        base = _base(backend)
+        if base in self.exempt:
+            return True
+        with self._lock:
+            breaker = self._breakers.get(base)
+            if breaker is None or breaker.state == "closed":
+                return True
+            now = time.monotonic()
+            if now - breaker.changed_s >= self.cooldown_seconds:
+                # Open past cooldown: admit the half-open trial.
+                # Half-open past cooldown: the trial was lost; re-admit.
+                breaker.state = "half_open"
+                breaker.changed_s = now
+                return True
+            return False  # open inside cooldown, or half-open trial busy
+
+    def open_backends(self) -> frozenset[str]:
+        """Backends currently fenced off (for cross-process skip lists).
+
+        Only breakers still inside their cooldown are listed — an
+        expired one must get its half-open trial, which the in-process
+        :meth:`allow` path grants.
+        """
+        now = time.monotonic()
+        with self._lock:
+            return frozenset(
+                backend
+                for backend, breaker in self._breakers.items()
+                if breaker.state == "open"
+                and now - breaker.changed_s < self.cooldown_seconds
+            )
+
+    def due_probes(self) -> list[str]:
+        """Claim the backends whose open cooldown has elapsed.
+
+        Each returned backend is atomically moved to half-open, so
+        concurrent dispatcher threads never double-probe; the caller
+        must report back via :meth:`note_probe`.
+        """
+        now = time.monotonic()
+        due = []
+        with self._lock:
+            for backend, breaker in self._breakers.items():
+                if (
+                    breaker.state == "open"
+                    and now - breaker.changed_s >= self.cooldown_seconds
+                ):
+                    breaker.state = "half_open"
+                    breaker.changed_s = now
+                    due.append(backend)
+        return due
+
+    # -- observations ---------------------------------------------------
+
+    def record_success(self, backend: str) -> None:
+        """A working attempt: reset and close the backend's breaker."""
+        base = _base(backend)
+        if base in self.exempt:
+            return
+        with self._lock:
+            breaker = self._breakers.setdefault(base, _Breaker())
+            breaker.total_successes += 1
+            breaker.consecutive_failures = 0
+            if breaker.state != "closed":
+                breaker.state = "closed"
+                breaker.changed_s = time.monotonic()
+
+    def record_failure(self, backend: str) -> None:
+        """A failed attempt: count it; trip the breaker at threshold.
+
+        A half-open trial that fails re-opens immediately (the point of
+        half-open is one cheap test, not a fresh threshold's worth of
+        failures).
+        """
+        base = _base(backend)
+        if base in self.exempt:
+            return
+        with self._lock:
+            breaker = self._breakers.setdefault(base, _Breaker())
+            breaker.total_failures += 1
+            breaker.consecutive_failures += 1
+            tripped = (
+                breaker.state == "half_open"
+                or breaker.consecutive_failures >= self.failure_threshold
+            )
+            if tripped and breaker.state != "open":
+                breaker.state = "open"
+                breaker.changed_s = time.monotonic()
+            elif tripped:
+                breaker.changed_s = time.monotonic()  # extend the cooldown
+
+    def note_probe(self, backend: str, ok: bool) -> None:
+        """Outcome of a canary probe claimed via :meth:`due_probes`."""
+        base = _base(backend)
+        with self._lock:
+            breaker = self._breakers.setdefault(base, _Breaker())
+            breaker.probes += 1
+        if ok:
+            self.record_success(base)
+        else:
+            self.record_failure(base)
+
+    def observe(self, fallback_chain) -> None:
+        """Digest one solve's fallback chain into breaker state.
+
+        This is how observations cross a process-pool boundary: the
+        worker cannot share the board, but its result's chain says
+        exactly which backends worked, failed, or were skipped.
+        """
+        for attempt in fallback_chain or ():
+            base = _base(attempt.backend)
+            if base in self.exempt or base.startswith("warm"):
+                continue
+            status = attempt.status
+            if status in _NEUTRAL_STATUSES:
+                continue
+            if status in _HEALTHY_STATUSES:
+                self.record_success(base)
+            else:
+                self.record_failure(base)
+
+    # -- introspection --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe per-backend breaker state (``--status`` payload)."""
+        now = time.monotonic()
+        with self._lock:
+            return {
+                backend: breaker.snapshot(now)
+                for backend, breaker in sorted(self._breakers.items())
+            }
+
+
+def _base(backend: str) -> str:
+    """Strip rung variants: ``highs-nopresolve`` shares ``highs``'s
+    breaker (they are the same process, the same failure domain)."""
+    return backend.partition("-")[0]
+
+
+def run_canary_probe(
+    backend: str,
+    *,
+    sandbox=None,
+    fault_plan: "dict | None" = None,
+    time_limit_seconds: float = 10.0,
+) -> bool:
+    """Health-check one backend on a tiny fixed instance.
+
+    Solves a two-task canary (milliseconds for any working backend)
+    the same way live traffic would run — sandboxed when the caller
+    sandboxes, with the caller's fault plan applied — and reports
+    whether the attempt produced a usable status.  Used by the service
+    to close an open breaker without risking a real request.
+    """
+    from repro.core.formulation import FormulationConfig
+    from repro.milp.result import SolveStatus
+
+    app = _canary_app()
+    config = FormulationConfig(time_limit_seconds=time_limit_seconds)
+    fault = (fault_plan or {}).get(_base(backend))
+    try:
+        if _base(backend) == "greedy":
+            # The greedy rung never sandboxes (mirrors the portfolio):
+            # it is the rung of last resort and must stay in-process.
+            from repro.core.heuristic import greedy_allocation
+
+            result = greedy_allocation(app)
+        elif sandbox is not None:
+            from repro.resilience.sandbox import run_rung_sandboxed
+
+            result = run_rung_sandboxed(
+                app, config, backend, sandbox, fault=fault
+            )
+        else:
+            from repro.milp.worker import solve_rung_entry
+
+            result = solve_rung_entry(
+                {"app": app, "config": config, "rung": backend, "fault": None}
+            )
+    except Exception:
+        return False
+    return result.status in (
+        SolveStatus.OPTIMAL,
+        SolveStatus.FEASIBLE,
+        SolveStatus.INFEASIBLE,
+    )
+
+
+_CANARY_CACHE: dict = {}
+
+
+def _canary_app():
+    """The fixed two-task canary instance (built once per process)."""
+    app = _CANARY_CACHE.get("app")
+    if app is None:
+        from repro.workloads import WorkloadSpec, generate_application
+
+        app = generate_application(
+            WorkloadSpec(
+                num_tasks=2,
+                num_cores=2,
+                communication_density=1.0,
+                seed=7,
+            )
+        )
+        _CANARY_CACHE["app"] = app
+    return app

@@ -1,0 +1,181 @@
+"""Journal verification and recovery (``letdma fsck``).
+
+Two kinds of journals keep the solve system honest across crashes:
+
+* **telemetry files** (JSONL, one checksummed record per line) — the
+  flight recorder of every solve, and the checkpoint ``--resume``
+  replays;
+* **queue state directories** — one ``<instance>.job.json`` file per
+  not-yet-finished service job, replayed by
+  :meth:`repro.service.JobQueue.restore` on restart.
+
+Both carry per-record CRC32 checksums
+(:func:`repro.runtime.telemetry.record_crc`).  :func:`fsck_path`
+verifies every record and **quarantines** the corrupt ones — moved to
+a ``quarantine`` sibling, never silently deleted, so an operator can
+inspect what was lost — while everything intact stays replayable.  A
+restarted service then recovers exactly the journaled work that
+survived, which is the invariant the service-chaos harness asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runtime.telemetry import TELEMETRY_FILENAME, verify_record
+
+__all__ = ["FsckReport", "fsck_path", "fsck_telemetry", "fsck_state_dir"]
+
+#: Name of the quarantine sibling (file suffix or subdirectory).
+QUARANTINE_NAME = "quarantine"
+
+
+@dataclass
+class FsckReport:
+    """Outcome of one ``fsck`` pass over a journal.
+
+    Attributes:
+        path: What was checked.
+        kind: ``"telemetry"`` or ``"state-dir"``.
+        scanned: Records (or journal files) examined.
+        kept: Records that verified and remain replayable.
+        quarantined: Corrupt records moved aside, by name/line.
+        quarantine_path: Where the quarantined material went (None when
+            nothing was quarantined).
+    """
+
+    path: str
+    kind: str
+    scanned: int = 0
+    kept: int = 0
+    quarantined: list[str] = field(default_factory=list)
+    quarantine_path: "str | None" = None
+
+    @property
+    def clean(self) -> bool:
+        """True when every scanned record verified."""
+        return not self.quarantined
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (chaos reports, scripting)."""
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "scanned": self.scanned,
+            "kept": self.kept,
+            "quarantined": list(self.quarantined),
+            "quarantine_path": self.quarantine_path,
+            "clean": self.clean,
+        }
+
+    def summary(self) -> str:
+        """One human-readable line per fsck target."""
+        if self.clean:
+            return (
+                f"{self.path}: clean ({self.scanned} {self.kind} "
+                "records verified)"
+            )
+        return (
+            f"{self.path}: quarantined {len(self.quarantined)} corrupt "
+            f"record(s) -> {self.quarantine_path}; kept {self.kept} of "
+            f"{self.scanned}"
+        )
+
+
+def fsck_path(path: "str | Path") -> FsckReport:
+    """Verify-and-repair one journal, whatever its kind.
+
+    A directory containing ``*.job.json`` files is treated as a queue
+    state directory; a ``.jsonl`` file — or a directory holding a
+    ``solves.jsonl`` — as a telemetry journal.
+    """
+    path = Path(path)
+    if path.is_dir():
+        if any(path.glob("*.job.json")):
+            return fsck_state_dir(path)
+        if (path / TELEMETRY_FILENAME).exists():
+            return fsck_telemetry(path / TELEMETRY_FILENAME)
+        # An empty state dir is a valid (clean) journal.
+        return FsckReport(path=str(path), kind="state-dir")
+    return fsck_telemetry(path)
+
+
+def fsck_telemetry(path: "str | Path") -> FsckReport:
+    """Verify a JSONL telemetry file record by record.
+
+    Lines that fail to parse or fail their checksum are appended to a
+    ``<name>.quarantine`` sibling; the surviving records are rewritten
+    atomically in place, so readers (``--resume``, ``letdma
+    telemetry``) never see the corruption again.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / TELEMETRY_FILENAME
+    report = FsckReport(path=str(path), kind="telemetry")
+    if not path.exists():
+        return report
+    kept_lines: list[str] = []
+    bad_lines: list[tuple[int, str]] = []
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        report.scanned += 1
+        try:
+            record = json.loads(line)
+            ok = not isinstance(record, dict) or verify_record(record)
+        except json.JSONDecodeError:
+            ok = False
+        if ok:
+            kept_lines.append(line)
+        else:
+            bad_lines.append((number, line))
+            report.quarantined.append(f"line {number}")
+    report.kept = len(kept_lines)
+    if bad_lines:
+        quarantine = path.with_name(path.name + f".{QUARANTINE_NAME}")
+        with quarantine.open("a", encoding="utf-8") as stream:
+            for number, line in bad_lines:
+                stream.write(line + "\n")
+        report.quarantine_path = str(quarantine)
+        staging = path.with_name(path.name + ".tmp")
+        staging.write_text(
+            "".join(line + "\n" for line in kept_lines), encoding="utf-8"
+        )
+        staging.replace(path)
+    return report
+
+
+def fsck_state_dir(state_dir: "str | Path") -> FsckReport:
+    """Verify a queue state directory journal file by journal file.
+
+    A job journal must parse, verify its checksum, and round-trip back
+    into a :class:`repro.api.SolveRequest`; anything less moves the
+    file into ``<state_dir>/quarantine/`` so a restarted service
+    replays only trustworthy work.
+    """
+    from repro.api import request_from_dict
+
+    state_dir = Path(state_dir)
+    report = FsckReport(path=str(state_dir), kind="state-dir")
+    for path in sorted(state_dir.glob("*.job.json")):
+        report.scanned += 1
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            ok = verify_record(payload)
+            if ok:
+                request_from_dict(payload["request"])
+        except (ValueError, KeyError, TypeError):
+            ok = False
+        if ok:
+            report.kept += 1
+            continue
+        quarantine_dir = state_dir / QUARANTINE_NAME
+        quarantine_dir.mkdir(exist_ok=True)
+        path.replace(quarantine_dir / path.name)
+        report.quarantined.append(path.name)
+        report.quarantine_path = str(quarantine_dir)
+    return report

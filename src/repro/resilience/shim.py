@@ -1,0 +1,75 @@
+"""Fault-wrapping backend shim for the service-chaos harness.
+
+The chaos campaign needs *real* infrastructure failures — a solver
+that hangs, one that burns its wall budget, one that blows its memory
+ceiling, one that dies — injected deterministically into chosen
+backends.  :func:`trigger_fault` produces those failures from inside a
+sandbox child, right before the solver would run, so the supervising
+parent (:mod:`repro.resilience.sandbox`) exercises its genuine
+detection paths: heartbeat loss, wall-clock deadline, ``MemoryError``
+under ``RLIMIT_AS``, and a dead child.
+
+A fault plan is a ``{backend: mode}`` mapping carried *outside* the
+solve request (it never participates in the instance hash — an
+injected fault must not change what the answer is, only whether this
+attempt survives to produce it).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+__all__ = ["FAULT_MODES", "trigger_fault", "validate_fault_plan"]
+
+#: Supported fault modes, in the order the chaos grid sweeps them:
+#: ``hang`` stops the process (heartbeats cease), ``slow`` sleeps past
+#: any wall deadline, ``oom`` allocates until ``MemoryError``,
+#: ``crash`` hard-exits without a word.
+FAULT_MODES: tuple[str, ...] = ("hang", "slow", "oom", "crash")
+
+#: ``slow`` sleeps this long; the sandbox wall deadline always fires
+#: first (it is bounded by the solver time limit plus a small grace).
+_SLOW_SLEEP_SECONDS = 3600.0
+
+#: Allocation step of the ``oom`` mode (small enough to land close to
+#: the RSS ceiling instead of overshooting in one jump).
+_OOM_CHUNK_BYTES = 16 * 1024 * 1024
+
+
+def validate_fault_plan(plan: "dict | None") -> dict:
+    """Check a ``{backend: mode}`` plan and return it as a plain dict."""
+    plan = dict(plan or {})
+    for backend, mode in plan.items():
+        if mode not in FAULT_MODES:
+            raise ValueError(
+                f"unknown fault mode {mode!r} for backend {backend!r}; "
+                f"expected one of {FAULT_MODES}"
+            )
+    return plan
+
+
+def trigger_fault(mode: str) -> None:
+    """Inflict one fault on the calling (sandbox child) process.
+
+    ``hang`` and ``slow`` never return normally; ``crash`` never
+    returns at all; ``oom`` raises ``MemoryError`` (hoarding memory
+    until the RSS rlimit refuses the next chunk).
+    """
+    if mode == "hang":
+        # A stopped process stops heartbeating but stays alive — the
+        # exact signature of a deadlocked solver.  SIGKILL (which the
+        # supervisor sends) terminates stopped processes regardless.
+        os.kill(os.getpid(), signal.SIGSTOP)
+        time.sleep(_SLOW_SLEEP_SECONDS)  # post-SIGCONT straggler guard
+    elif mode == "slow":
+        time.sleep(_SLOW_SLEEP_SECONDS)
+    elif mode == "oom":
+        hoard = []
+        while True:
+            hoard.append(bytearray(_OOM_CHUNK_BYTES))
+    elif mode == "crash":
+        os._exit(23)
+    else:
+        raise ValueError(f"unknown fault mode {mode!r}")

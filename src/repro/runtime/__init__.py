@@ -29,8 +29,10 @@ from repro.runtime.telemetry import (
     TelemetryWriter,
     build_solve_record,
     read_telemetry,
+    record_crc,
     render_telemetry_summary,
     summarize_telemetry,
+    verify_record,
 )
 
 __all__ = [
@@ -46,6 +48,8 @@ __all__ = [
     "TelemetryWriter",
     "build_solve_record",
     "read_telemetry",
+    "record_crc",
     "render_telemetry_summary",
     "summarize_telemetry",
+    "verify_record",
 ]

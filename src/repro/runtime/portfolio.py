@@ -46,6 +46,7 @@ from repro.core.solution import AllocationResult, FallbackAttempt
 from repro.defaults import DEFAULT_PORTFOLIO
 from repro.milp.result import SolveStatus
 from repro.model.application import Application
+from repro.resilience.sandbox import BackendFailure, run_rung_sandboxed
 
 __all__ = ["PORTFOLIO_RUNGS", "solve_with_portfolio"]
 
@@ -62,6 +63,11 @@ def solve_with_portfolio(
     config: FormulationConfig | None = None,
     rungs: tuple[str, ...] = DEFAULT_PORTFOLIO,
     prior=None,
+    *,
+    sandbox=None,
+    breakers=None,
+    skip_backends: tuple[str, ...] = (),
+    fault_plan: "dict | None" = None,
 ) -> AllocationResult:
     """Solve ``app`` down the rung ladder; see the module docstring.
 
@@ -78,6 +84,22 @@ def solve_with_portfolio(
     NO-OBJ objective and seeds the MILP rungs otherwise
     (``warm_start="repaired"``).  Any doubt degrades to a cold solve,
     so a warm solve can differ from a cold one only in speed.
+
+    The resilience hooks (all optional, all off by default):
+
+    * ``sandbox`` — a :class:`repro.resilience.SandboxLimits`: every
+      MILP rung runs in a supervised child process; a hang, crash,
+      OOM, or blown deadline becomes a ``sandbox-<kind>`` attempt on
+      the fallback chain and the ladder degrades to the next rung.
+      The in-process ``greedy`` rung never sandboxes — it is the
+      last-resort answer and cannot hang.
+    * ``breakers`` — a :class:`repro.resilience.BreakerBoard`: rungs
+      whose breaker is open are skipped (a ``skipped`` attempt records
+      the decision), and every attempt's outcome feeds the board.
+    * ``skip_backends`` — explicit fence list (how an open breaker
+      crosses a process-pool boundary from the service).
+    * ``fault_plan`` — chaos-shim modes per backend (testing only;
+      applied inside the sandbox child, never in-process).
     """
     config = config or FormulationConfig()
     if not rungs:
@@ -127,9 +149,42 @@ def solve_with_portfolio(
                 return result
     for position, rung in enumerate(rungs):
         is_last = position == len(rungs) - 1
+        base = rung.partition("-")[0]
+        if base != "greedy":
+            fenced = base in skip_backends
+            if not fenced and breakers is not None:
+                fenced = not breakers.allow(base)
+            if fenced:
+                attempts.append(
+                    FallbackAttempt(
+                        backend=rung,
+                        status="skipped",
+                        reason="circuit breaker open",
+                    )
+                )
+                result = None
+                continue
         start = time.perf_counter()
         try:
-            result = _run_rung(app, config, rung, shared)
+            if sandbox is not None and base != "greedy":
+                result = _run_rung_sandboxed(
+                    app, config, rung, sandbox, shared, fault_plan
+                )
+            else:
+                result = _run_rung(app, config, rung, shared)
+        except BackendFailure as exc:
+            attempts.append(
+                FallbackAttempt(
+                    backend=rung,
+                    status=f"sandbox-{exc.kind}",
+                    runtime_seconds=exc.elapsed_seconds,
+                    reason=exc.detail or str(exc),
+                )
+            )
+            if breakers is not None:
+                breakers.record_failure(base)
+            result = None
+            continue  # a last-rung sandbox failure degrades to ERROR below
         except Exception as exc:
             elapsed = time.perf_counter() - start
             attempts.append(
@@ -140,10 +195,18 @@ def solve_with_portfolio(
                     reason=f"{type(exc).__name__}: {exc}",
                 )
             )
+            if breakers is not None:
+                breakers.record_failure(base)
             if is_last:
                 raise
+            result = None
             continue
         accepted = result.status in _ACCEPTED
+        if breakers is not None:
+            if accepted:
+                breakers.record_success(base)
+            else:
+                breakers.record_failure(base)
         attempts.append(
             FallbackAttempt(
                 backend=rung,
@@ -155,7 +218,7 @@ def solve_with_portfolio(
         if accepted or is_last:
             break
         result = None
-    if result is None:  # every rung raised except a non-final error status
+    if result is None:  # no rung produced a result (raised/failed/skipped)
         result = AllocationResult(status=SolveStatus.ERROR)
     result.backend = attempts[-1].backend
     result.fallback_chain = tuple(attempts)
@@ -191,6 +254,37 @@ def _run_rung(
     presolve = config.presolve and variant != "nopresolve"
     return formulation.solve(
         backend=backend, presolve=presolve, start=shared.get("start")
+    )
+
+
+def _run_rung_sandboxed(
+    app: Application,
+    config: FormulationConfig,
+    rung: str,
+    sandbox,
+    shared: dict,
+    fault_plan: "dict | None",
+) -> AllocationResult:
+    """Run one MILP rung in a supervised child process.
+
+    The child rebuilds the formulation (model objects cannot cross a
+    process boundary), so sandboxed rungs trade the shared-formulation
+    optimization for isolation; a repaired warm start still crosses
+    over by variable name.  Raises
+    :class:`repro.resilience.BackendFailure` on timeout/hang/OOM/crash.
+    """
+    start = shared.get("start")
+    start_values = (
+        {var.name: value for var, value in start.items()} if start else None
+    )
+    fault = (fault_plan or {}).get(rung.partition("-")[0])
+    return run_rung_sandboxed(
+        app,
+        config,
+        rung,
+        sandbox,
+        start_values=start_values,
+        fault=fault,
     )
 
 

@@ -449,17 +449,30 @@ def _execute_with_retries(
     deadline_seconds: float | None,
     max_retries: int,
     backoff_seconds: float,
+    sandbox=None,
+    skip_backends: tuple[str, ...] = (),
+    fault_plan: "dict | None" = None,
 ) -> JobOutcome:
     """Run one job, retrying crashes with exponential backoff.
 
     Attempt ``n`` (0-based) sleeps ``backoff_seconds * 2**n`` before
     re-executing; once the budget is exhausted the last exception
     becomes an ``ERROR`` outcome so one bad job never aborts the grid.
+    ``sandbox`` / ``skip_backends`` / ``fault_plan`` are the service's
+    resilience hooks, forwarded to solve jobs (campaign jobs run their
+    own ``execute`` and ignore them).
     """
     start = time.perf_counter()
     for attempt in range(max_retries + 1):
         try:
-            outcome = _execute_job(job, cache_dir, deadline_seconds)
+            outcome = _execute_job(
+                job,
+                cache_dir,
+                deadline_seconds,
+                sandbox=sandbox,
+                skip_backends=skip_backends,
+                fault_plan=fault_plan,
+            )
         except Exception as exc:
             if attempt >= max_retries:
                 failed = _error_outcome(job, time.perf_counter() - start, exc)
@@ -475,7 +488,15 @@ def _execute_with_retries(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
-def _execute_job(job, cache_dir, deadline_seconds) -> JobOutcome:
+def _execute_job(
+    job,
+    cache_dir,
+    deadline_seconds,
+    *,
+    sandbox=None,
+    skip_backends: tuple[str, ...] = (),
+    fault_plan: "dict | None" = None,
+) -> JobOutcome:
     """Dispatch one grid job: campaign jobs run their own ``execute``,
     solve jobs go through the facade."""
     start = time.perf_counter()
@@ -505,6 +526,9 @@ def _execute_job(job, cache_dir, deadline_seconds) -> JobOutcome:
         job.to_request(),
         cache_dir=cache_dir,
         deadline_seconds=deadline_seconds,
+        sandbox=sandbox,
+        skip_backends=tuple(skip_backends),
+        fault_plan=fault_plan,
     )
     return JobOutcome(
         job_id=job.job_id,

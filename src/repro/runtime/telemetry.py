@@ -41,6 +41,7 @@ additively without a version bump.
 from __future__ import annotations
 
 import json
+import zlib
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
@@ -52,6 +53,8 @@ __all__ = [
     "TelemetryWriter",
     "build_solve_record",
     "read_telemetry",
+    "record_crc",
+    "verify_record",
     "summarize_telemetry",
     "render_telemetry_summary",
 ]
@@ -62,21 +65,54 @@ TELEMETRY_SCHEMA_VERSION = 1
 TELEMETRY_FILENAME = "solves.jsonl"
 
 
+def record_crc(record: dict) -> int:
+    """Content checksum of one journal/telemetry record.
+
+    CRC32 over the canonical JSON form (sorted keys, ``crc32`` field
+    excluded), so the checksum of a record read back from disk can be
+    recomputed from the parsed object.  Used by the telemetry writer,
+    the service's queue journal, and ``letdma fsck`` to detect torn or
+    bit-flipped records anywhere in a file, not just at the tail.
+    """
+    canonical = json.dumps(
+        {key: value for key, value in record.items() if key != "crc32"},
+        sort_keys=True,
+    )
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+def verify_record(record: object) -> bool:
+    """True when ``record`` carries no checksum or a matching one.
+
+    Records written before per-record CRCs existed have no ``crc32``
+    field and are accepted as-is (additive schema growth).
+    """
+    if not isinstance(record, dict):
+        return False
+    stored = record.get("crc32")
+    return stored is None or stored == record_crc(record)
+
+
 class TelemetryWriter:
     """Append-only JSONL sink for solve records.
 
     ``path`` may be a ``.jsonl`` file or a run directory (the file
     ``solves.jsonl`` is created inside it).  Writes are line-buffered
     appends, so sequential writers (the runner's parent process) never
-    interleave records.
+    interleave records.  Every appended record gains a per-record
+    ``crc32`` checksum (see :func:`record_crc`), so corruption anywhere
+    in the file is detectable, and ``max_bytes`` bounds the journal: a
+    write that would grow past it first rotates the current file to
+    ``<name>.1`` (one generation is kept).
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, max_bytes: "int | None" = None):
         path = Path(path)
         if path.suffix != ".jsonl":
             path = path / TELEMETRY_FILENAME
         path.parent.mkdir(parents=True, exist_ok=True)
         self.path = path
+        self.max_bytes = max_bytes
 
     @classmethod
     def coerce(cls, sink: "TelemetryWriter | str | Path | None") -> "TelemetryWriter | None":
@@ -86,9 +122,19 @@ class TelemetryWriter:
         return cls(sink)
 
     def write(self, record: dict) -> None:
-        """Append one record as a compact JSON line and flush."""
+        """Append one checksummed record as a JSON line and flush."""
+        payload = {k: v for k, v in record.items() if k != "crc32"}
+        payload["crc32"] = record_crc(payload)
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        if self.max_bytes is not None:
+            try:
+                size = self.path.stat().st_size
+            except OSError:
+                size = 0
+            if size and size + len(line) > self.max_bytes:
+                self.path.replace(self.path.with_name(self.path.name + ".1"))
         with self.path.open("a", encoding="utf-8") as stream:
-            stream.write(json.dumps(record, sort_keys=True) + "\n")
+            stream.write(line)
 
     def rewrite(self, records: Iterable[dict]) -> None:
         """Atomically replace the file with exactly ``records``.
@@ -100,7 +146,9 @@ class TelemetryWriter:
         staging = self.path.with_name(self.path.name + ".tmp")
         with staging.open("w", encoding="utf-8") as stream:
             for record in records:
-                stream.write(json.dumps(record, sort_keys=True) + "\n")
+                payload = {k: v for k, v in record.items() if k != "crc32"}
+                payload["crc32"] = record_crc(payload)
+                stream.write(json.dumps(payload, sort_keys=True) + "\n")
         staging.replace(self.path)
 
     def __repr__(self) -> str:
@@ -150,9 +198,10 @@ def read_telemetry(path: str | Path) -> list[dict]:
     A malformed *final* line is tolerated and skipped: a writer killed
     mid-append (power loss, SIGKILL during a chaos campaign) leaves a
     truncated trailing record, and ``--resume`` must still be able to
-    read everything that was fully flushed.  Malformed lines anywhere
-    *before* the last one indicate real corruption and raise
-    ``ValueError`` naming the offending line number.
+    read everything that was fully flushed.  Malformed or
+    checksum-failing lines anywhere *before* the last one indicate real
+    corruption and raise ``ValueError`` naming the offending line
+    number — ``letdma fsck`` quarantines such lines and keeps the rest.
     """
     path = Path(path)
     if path.is_dir():
@@ -166,14 +215,23 @@ def read_telemetry(path: str | Path) -> list[dict]:
     ]
     records = []
     for position, (number, line) in enumerate(lines):
+        last = position == len(lines) - 1
         try:
-            records.append(json.loads(line))
+            record = json.loads(line)
         except json.JSONDecodeError as exc:
-            if position == len(lines) - 1:
+            if last:
                 break  # truncated trailing record from an interrupted writer
             raise ValueError(
                 f"corrupt telemetry record at {path}:{number}: {exc}"
             ) from exc
+        if isinstance(record, dict) and not verify_record(record):
+            if last:
+                break  # torn tail that still parses; drop it the same way
+            raise ValueError(
+                f"corrupt telemetry record at {path}:{number}: "
+                "crc32 checksum mismatch"
+            )
+        records.append(record)
     return records
 
 

@@ -14,11 +14,22 @@ via its ``client=`` parameter).
 Error taxonomy:
 
 * :class:`ServiceRejected` — the bounded queue refused the submission
-  (backpressure); drain some results and retry.
+  (backpressure); carries the queue ``depth``/``capacity`` and a
+  ``retry_after_seconds`` hint; drain some results and retry.
 * :class:`ServiceUnavailable` — the socket transport could not reach
-  or talk to a server.
+  or talk to a server (including a read that stalled past the
+  client's bounded timeout); carries a ``retry_after_seconds`` hint.
 * :class:`ServiceError` — everything else the server reports (failed
   solves, unknown tickets, protocol violations).
+
+The socket client's reads are **bounded** (``read_timeout``) and its
+idempotent operations (submit/status/result/metrics/ping — all safe to
+replay because tickets are content hashes) are **retried** with
+exponential backoff over a fresh connection, up to ``max_attempts``
+total tries; a stalled or dying server therefore surfaces as a typed
+:class:`ServiceUnavailable` instead of blocking a grid campaign
+forever.  ``cancel`` and ``shutdown`` are *not* idempotent and never
+retry.
 """
 
 from __future__ import annotations
@@ -26,6 +37,7 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 
 from repro.api import (
     SolveOutcome,
@@ -35,6 +47,9 @@ from repro.api import (
 )
 from repro.core.formulation import FormulationConfig
 from repro.defaults import (
+    DEFAULT_CLIENT_ATTEMPTS,
+    DEFAULT_CLIENT_READ_TIMEOUT_SECONDS,
+    DEFAULT_RETRY_AFTER_SECONDS,
     DEFAULT_SERVICE_HOST,
     DEFAULT_SERVICE_PORT,
     DEFAULT_SOLVE_BACKEND,
@@ -56,11 +71,43 @@ class ServiceError(RuntimeError):
 
 
 class ServiceRejected(ServiceError):
-    """Backpressure: the bounded queue is full; drain and retry."""
+    """Backpressure: the bounded queue is full; drain and retry.
+
+    ``depth`` / ``capacity`` locate the rejection (how full the queue
+    was against its bound); ``retry_after_seconds`` is the server's
+    backoff hint.  All three are ``None`` when the server predates the
+    richer payload.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        depth: "int | None" = None,
+        capacity: "int | None" = None,
+        retry_after_seconds: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after_seconds = retry_after_seconds
 
 
 class ServiceUnavailable(ServiceError):
-    """The socket transport could not reach a server."""
+    """The socket transport could not reach (or keep) a server.
+
+    ``retry_after_seconds`` hints when a retry is worth attempting
+    (the client's own backoff schedule already honored it).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after_seconds: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.retry_after_seconds = retry_after_seconds
 
 
 class _ClientBase:
@@ -119,7 +166,12 @@ class InProcessClient(_ClientBase):
         try:
             return self.service.submit_request(request)
         except QueueFull as exc:
-            raise ServiceRejected(str(exc)) from exc
+            raise ServiceRejected(
+                str(exc),
+                depth=exc.depth,
+                capacity=exc.capacity,
+                retry_after_seconds=exc.retry_after_seconds,
+            ) from exc
 
     def status(self, ticket: str) -> dict:
         return self.service.status(ticket)
@@ -151,6 +203,14 @@ class SocketClient(_ClientBase):
     (a lock serializes request/response pairs).  ``timeout`` on
     :meth:`result` is enforced server-side, with a small grace period
     added to the socket read timeout.
+
+    Every read is bounded by ``read_timeout`` (a stalled server cannot
+    block the caller forever), and idempotent operations are retried up
+    to ``max_attempts`` total tries with exponential backoff
+    (``retry_backoff_seconds * 2**attempt``) over a *fresh* connection
+    — a timed-out response leaves the old connection desynchronized, so
+    reconnecting is part of the retry.  Exhausted retries raise
+    :class:`ServiceUnavailable` with a ``retry_after_seconds`` hint.
     """
 
     def __init__(
@@ -158,35 +218,93 @@ class SocketClient(_ClientBase):
         host: str = DEFAULT_SERVICE_HOST,
         port: int = DEFAULT_SERVICE_PORT,
         connect_timeout: float = 5.0,
+        read_timeout: "float | None" = DEFAULT_CLIENT_READ_TIMEOUT_SECONDS,
+        max_attempts: int = DEFAULT_CLIENT_ATTEMPTS,
+        retry_backoff_seconds: float = 0.5,
     ):
         self.address = (host, port)
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.max_attempts = max(1, int(max_attempts))
+        self.retry_backoff_seconds = retry_backoff_seconds
         self._lock = threading.Lock()
+        self._sock = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        host, port = self.address
         try:
             self._sock = socket.create_connection(
-                self.address, timeout=connect_timeout
+                self.address, timeout=self.connect_timeout
             )
         except OSError as exc:
             raise ServiceUnavailable(
-                f"no solve service at {host}:{port} ({exc})"
+                f"no solve service at {host}:{port} ({exc})",
+                retry_after_seconds=DEFAULT_RETRY_AFTER_SECONDS,
             ) from exc
         self._file = self._sock.makefile("rwb")
 
-    def _call(self, message: dict, timeout: "float | None" = None) -> dict:
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+
+    def _call(
+        self,
+        message: dict,
+        timeout: "float | None" = None,
+        retryable: bool = True,
+    ) -> dict:
+        """One request/response round trip with bounded retry.
+
+        ``retryable`` marks idempotent operations: tickets are content
+        hashes, so submit/status/result/metrics/ping can be replayed
+        safely; ``cancel`` (waiter-scoped) and ``shutdown`` cannot.
+        """
+        attempts = self.max_attempts if retryable else 1
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.retry_backoff_seconds * (2 ** (attempt - 1)))
+                try:
+                    self._reconnect()
+                except ServiceUnavailable:
+                    if attempt + 1 >= attempts:
+                        raise
+                    continue
+            try:
+                return self._roundtrip(message, timeout)
+            except ServiceUnavailable:
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _roundtrip(self, message: dict, timeout: "float | None") -> dict:
+        read_timeout = self.read_timeout if timeout is None else timeout
         payload = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
         with self._lock:
+            if self._sock is None:
+                self._connect()
             try:
-                self._sock.settimeout(None if timeout is None else timeout)
+                self._sock.settimeout(read_timeout)
                 self._file.write(payload)
                 self._file.flush()
                 line = self._file.readline()
+            except socket.timeout as exc:
+                raise ServiceUnavailable(
+                    f"solve service at {self.address[0]}:{self.address[1]} "
+                    f"stalled: no response within {read_timeout:g} s",
+                    retry_after_seconds=DEFAULT_RETRY_AFTER_SECONDS,
+                ) from exc
             except OSError as exc:
                 raise ServiceUnavailable(
                     f"solve service at {self.address[0]}:{self.address[1]} "
-                    f"went away ({exc})"
+                    f"went away ({exc})",
+                    retry_after_seconds=DEFAULT_RETRY_AFTER_SECONDS,
                 ) from exc
         if not line:
             raise ServiceUnavailable(
-                "solve service closed the connection mid-request"
+                "solve service closed the connection mid-request",
+                retry_after_seconds=DEFAULT_RETRY_AFTER_SECONDS,
             )
         try:
             response = json.loads(line.decode("utf-8"))
@@ -200,7 +318,12 @@ class SocketClient(_ClientBase):
         code = response.get("code")
         error = response.get("error", "service error")
         if code == "rejected":
-            raise ServiceRejected(error)
+            raise ServiceRejected(
+                error,
+                depth=response.get("depth"),
+                capacity=response.get("capacity"),
+                retry_after_seconds=response.get("retry_after_seconds"),
+            )
         if code == "timeout":
             raise TimeoutError(error)
         raise ServiceError(error)
@@ -232,7 +355,11 @@ class SocketClient(_ClientBase):
         return outcome_from_dict(response["outcome"])
 
     def cancel(self, ticket: str) -> str:
-        response = self._expect_ok(self._call({"op": "cancel", "ticket": ticket}))
+        # Cancellation detaches one waiter — replaying it could detach
+        # someone else's, so it gets exactly one try.
+        response = self._expect_ok(
+            self._call({"op": "cancel", "ticket": ticket}, retryable=False)
+        )
         return response["cancelled"]
 
     def metrics(self) -> dict:
@@ -241,15 +368,21 @@ class SocketClient(_ClientBase):
     def shutdown_server(self) -> bool:
         """Ask the server to stop accepting connections."""
         return bool(
-            self._expect_ok(self._call({"op": "shutdown"})).get("stopping")
+            self._expect_ok(
+                self._call({"op": "shutdown"}, retryable=False)
+            ).get("stopping")
         )
 
     def close(self) -> None:
-        try:
-            self._file.close()
-        except OSError:  # pragma: no cover - already torn down
-            pass
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover
-            pass
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None

@@ -41,19 +41,32 @@ from enum import Enum
 from pathlib import Path
 
 from repro.api import SolveOutcome, SolveRequest, request_from_dict, request_to_dict
+from repro.defaults import DEFAULT_RETRY_AFTER_SECONDS
+from repro.runtime.telemetry import record_crc, verify_record
 
 __all__ = ["JobState", "Job", "JobQueue", "QueueFull"]
 
 
 class QueueFull(RuntimeError):
-    """Submission rejected: the bounded queue is at capacity."""
+    """Submission rejected: the bounded queue is at capacity.
 
-    def __init__(self, capacity: int):
+    Attributes:
+        capacity: The queue's pending+running bound.
+        depth: Pending+running population at rejection time (normally
+            equals ``capacity``; kept separate so the error payload
+            stays honest if the bound ever becomes soft).
+        retry_after_seconds: Backoff hint surfaced to clients.
+    """
+
+    def __init__(self, capacity: int, depth: "int | None" = None):
+        depth = capacity if depth is None else depth
         super().__init__(
-            f"solve queue at capacity ({capacity} pending+running jobs); "
-            "retry after draining results"
+            f"solve queue at capacity ({depth}/{capacity} pending+running "
+            "jobs); retry after draining results"
         )
         self.capacity = capacity
+        self.depth = depth
+        self.retry_after_seconds = DEFAULT_RETRY_AFTER_SECONDS
 
 
 class JobState(str, Enum):
@@ -163,7 +176,7 @@ class JobQueue:
                     job.waiters += 1
                 return job, True
             if self._active_count() >= self.capacity:
-                raise QueueFull(self.capacity)
+                raise QueueFull(self.capacity, self._active_count())
             job = Job(
                 request=request,
                 instance=instance,
@@ -302,6 +315,7 @@ class JobQueue:
             "state": job.state.value,
             "request": request_to_dict(job.request),
         }
+        payload["crc32"] = record_crc(payload)
         staging = path.with_name(path.name + ".tmp")
         staging.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
         staging.replace(path)
@@ -317,8 +331,11 @@ class JobQueue:
         PENDING and RUNNING entries are revived as PENDING (a job that
         was mid-solve when the service died restarts from scratch —
         solves are deterministic and cache-addressed, so this is safe).
-        Returns the number of revived jobs; corrupt journal files are
-        discarded.
+        Returns the number of revived jobs.  Journal files that fail to
+        parse, fail their CRC, or do not round-trip into a request are
+        *quarantined* (moved into ``<state_dir>/quarantine/``, never
+        silently deleted) — the same treatment ``letdma fsck`` applies,
+        so an operator can inspect exactly what was lost.
         """
         if self.state_dir is None:
             return 0
@@ -326,9 +343,13 @@ class JobQueue:
         for path in sorted(self.state_dir.glob("*.job.json")):
             try:
                 payload = json.loads(path.read_text(encoding="utf-8"))
+                if not verify_record(payload):
+                    raise ValueError("crc32 checksum mismatch")
                 request = request_from_dict(payload["request"])
-            except (ValueError, KeyError, json.JSONDecodeError):
-                path.unlink(missing_ok=True)
+            except (ValueError, KeyError, TypeError):
+                quarantine_dir = self.state_dir / "quarantine"
+                quarantine_dir.mkdir(exist_ok=True)
+                path.replace(quarantine_dir / path.name)
                 continue
             path.unlink(missing_ok=True)
             try:

@@ -45,6 +45,8 @@ from repro.api import (
 from repro.core.formulation import FormulationConfig
 from repro.defaults import (
     DEFAULT_BATCH_MAX,
+    DEFAULT_BREAKER_COOLDOWN_SECONDS,
+    DEFAULT_BREAKER_THRESHOLD,
     DEFAULT_METRICS_INTERVAL_SECONDS,
     DEFAULT_QUEUE_CAPACITY,
     DEFAULT_SERVICE_HOST,
@@ -52,6 +54,8 @@ from repro.defaults import (
     DEFAULT_SOLVE_BACKEND,
 )
 from repro.model.application import Application
+from repro.resilience.breaker import BreakerBoard, run_canary_probe
+from repro.resilience.shim import validate_fault_plan
 from repro.runtime.runner import SolveJob, _execute_with_retries
 from repro.runtime.telemetry import TelemetryWriter
 from repro.service.metrics import ServiceMetrics
@@ -90,14 +94,46 @@ def _warm_family(request: SolveRequest) -> str:
     return digest[:24]
 
 
-def _execute_many(jobs, cache_dir, deadline_seconds, max_retries, backoff):
+def _execute_many(
+    jobs,
+    cache_dir,
+    deadline_seconds,
+    max_retries,
+    backoff,
+    sandbox=None,
+    skip_backends=(),
+    fault_plan=None,
+):
     """Worker-side micro-batch body: run each job through the hardened
-    runner worker (module-level so it pickles into processes)."""
+    runner worker (module-level so it pickles into processes).
+
+    ``sandbox`` / ``skip_backends`` / ``fault_plan`` carry the
+    service's resilience state across the pool boundary: the sandbox
+    limits travel by value, an open circuit breaker travels as a skip
+    list, and the resulting fallback chains travel back for the parent
+    board to :meth:`~repro.resilience.BreakerBoard.observe`.
+    """
     return [
         _execute_with_retries(
-            job, cache_dir, deadline_seconds, max_retries, backoff
+            job,
+            cache_dir,
+            deadline_seconds,
+            max_retries,
+            backoff,
+            sandbox=sandbox,
+            skip_backends=tuple(skip_backends),
+            fault_plan=fault_plan,
         )
         for job in jobs
+    ]
+
+
+def _sandbox_failure_kinds(fallback_chain) -> list[str]:
+    """Extract sandbox failure kinds from one result's fallback chain."""
+    return [
+        attempt.status.removeprefix("sandbox-")
+        for attempt in fallback_chain or ()
+        if attempt.status.startswith("sandbox-")
     ]
 
 
@@ -125,8 +161,22 @@ class SolveService:
         use_processes: Execute solves in a process pool (one process
             per lane) instead of the dispatcher threads; required for
             CPU-bound parallelism, off by default for embedding tests.
+            A worker killed mid-batch (OOM killer, operator, chaos)
+            breaks the pool; the service rebuilds it and retries the
+            batch once before failing the affected jobs typed.
         metrics_interval_seconds: Cadence of ``service_metrics``
             telemetry records (None disables the sampler thread).
+        sandbox: Optional :class:`repro.resilience.SandboxLimits`; when
+            set, every MILP portfolio rung runs in a supervised child
+            process and hang/crash/OOM/timeout degrade the ladder
+            instead of wedging a dispatcher.
+        breaker_threshold / breaker_cooldown_seconds: Circuit-breaker
+            tuning — consecutive failures that fence a backend off,
+            and how long before a half-open trial (live request or
+            idle-time canary probe) may restore it.
+        fault_plan: ``{backend: mode}`` chaos fault injection (testing
+            only; requires ``sandbox``); see
+            :mod:`repro.resilience.shim`.
     """
 
     def __init__(
@@ -143,6 +193,10 @@ class SolveService:
         retry_backoff_seconds: float = 0.2,
         use_processes: bool = False,
         metrics_interval_seconds: "float | None" = None,
+        sandbox=None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown_seconds: float = DEFAULT_BREAKER_COOLDOWN_SECONDS,
+        fault_plan: "dict | None" = None,
     ):
         self.queue = JobQueue(
             shards=shards, capacity=queue_capacity, state_dir=state_dir
@@ -156,6 +210,12 @@ class SolveService:
         self.retry_backoff_seconds = retry_backoff_seconds
         self.use_processes = use_processes
         self.metrics_interval_seconds = metrics_interval_seconds
+        self.sandbox = sandbox
+        self.breakers = BreakerBoard(
+            failure_threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown_seconds,
+        )
+        self.fault_plan = validate_fault_plan(fault_plan)
         self._telemetry_lock = threading.Lock()
         self._warm_lock = threading.Lock()
         #: family hash -> most recent proven Prior (bounded, LRU-ish).
@@ -163,6 +223,7 @@ class SolveService:
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._pool: "ProcessPoolExecutor | None" = None
+        self._pool_lock = threading.Lock()
         self._started = False
         self.restored_jobs = self.queue.restore()
 
@@ -174,7 +235,8 @@ class SolveService:
             return self
         self._started = True
         if self.use_processes:
-            self._pool = ProcessPoolExecutor(max_workers=self.queue.shards)
+            with self._pool_lock:
+                self._pool = ProcessPoolExecutor(max_workers=self.queue.shards)
         for shard in range(self.queue.shards):
             thread = threading.Thread(
                 target=self._dispatch_loop,
@@ -200,10 +262,15 @@ class SolveService:
         self.queue.close()
         for thread in self._threads:
             thread.join(timeout=timeout)
-        if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
-        self._write_telemetry(self.metrics.to_record(self.queue.depth()))
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+        self._write_telemetry(
+            self.metrics.to_record(
+                self.queue.depth(), breakers=self.breakers.snapshot()
+            )
+        )
         self._started = False
 
     def __enter__(self) -> "SolveService":
@@ -292,7 +359,9 @@ class SolveService:
 
     def metrics_snapshot(self) -> dict:
         """The live health sample (``letdma serve --status``)."""
-        return self.metrics.snapshot(queue_depth=self.queue.depth())
+        return self.metrics.snapshot(
+            queue_depth=self.queue.depth(), breakers=self.breakers.snapshot()
+        )
 
     # -- worker side ----------------------------------------------------
 
@@ -302,6 +371,7 @@ class SolveService:
                 shard, max_jobs=self.batch_max, timeout=0.2
             )
             if not batch:
+                self._probe_breakers()
                 continue
             jobs = [
                 SolveJob(
@@ -315,29 +385,17 @@ class SolveService:
                 for entry in batch
             ]
             try:
-                if self._pool is not None:
-                    outcomes = self._pool.submit(
-                        _execute_many,
-                        jobs,
-                        self.cache_dir,
-                        self.deadline_seconds,
-                        self.max_retries,
-                        self.retry_backoff_seconds,
-                    ).result()
-                else:
-                    outcomes = _execute_many(
-                        jobs,
-                        self.cache_dir,
-                        self.deadline_seconds,
-                        self.max_retries,
-                        self.retry_backoff_seconds,
-                    )
-            except Exception as exc:  # pool death, unpicklable payloads
+                outcomes = self._execute_batch(jobs)
+            except Exception as exc:  # dead pool twice, unpicklable payloads
                 for entry in batch:
                     self._account(entry, None, failed=True)
                     self.queue.fail(entry, f"{type(exc).__name__}: {exc}")
                 continue
             for entry, outcome in zip(batch, outcomes):
+                self.breakers.observe(outcome.result.fallback_chain)
+                self.metrics.record_sandbox_failures(
+                    _sandbox_failure_kinds(outcome.result.fallback_chain)
+                )
                 record = dict(outcome.record)
                 record["service"] = {
                     "shard": shard,
@@ -356,6 +414,69 @@ class SolveService:
                 self._account(entry, shared)
                 self.queue.finish(entry, shared)
                 self._remember_prior(entry.request, outcome.result)
+
+    def _execute_batch(self, jobs):
+        """Run one claimed micro-batch, in-process or in the pool.
+
+        The circuit-breaker skip list is sampled per batch and crosses
+        the pool boundary by value.  A broken pool (a worker SIGKILLed
+        mid-flight) is rebuilt and the batch retried exactly once —
+        solves are deterministic and content-addressed, so a replay is
+        always safe; a second failure propagates and the dispatcher
+        fails the batch typed.
+        """
+        args = (
+            jobs,
+            self.cache_dir,
+            self.deadline_seconds,
+            self.max_retries,
+            self.retry_backoff_seconds,
+            self.sandbox,
+            tuple(self.breakers.open_backends()),
+            dict(self.fault_plan) or None,
+        )
+        if not self.use_processes:
+            return _execute_many(*args)
+        for attempt in (0, 1):
+            with self._pool_lock:
+                pool = self._pool
+            if pool is None:
+                raise RuntimeError("service process pool is shut down")
+            try:
+                return pool.submit(_execute_many, *args).result()
+            except Exception:
+                self._rebuild_pool(pool)
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _rebuild_pool(self, broken) -> None:
+        """Replace a broken process pool (first dispatcher in wins)."""
+        if self._stop.is_set():
+            return
+        with self._pool_lock:
+            if self._pool is not broken:
+                return  # another shard already rebuilt it
+            broken.shutdown(wait=False, cancel_futures=True)
+            self._pool = ProcessPoolExecutor(max_workers=self.queue.shards)
+        self.metrics.record_pool_rebuild()
+
+    def _probe_breakers(self) -> None:
+        """Canary-probe open breakers whose cooldown elapsed (idle path).
+
+        :meth:`BreakerBoard.due_probes` atomically claims each due
+        backend (moving it half-open), so concurrent idle dispatchers
+        never double-probe.  The probe solves a tiny fixed instance the
+        same way live traffic would run; success closes the breaker.
+        """
+        for backend in self.breakers.due_probes():
+            ok = run_canary_probe(
+                backend,
+                sandbox=self.sandbox,
+                fault_plan=self.fault_plan,
+            )
+            self.breakers.note_probe(backend, ok)
+            self.metrics.record_probe(ok)
 
     def _recall_prior(self, request: SolveRequest):
         """The remembered proven prior of the request's family, if any."""
@@ -397,7 +518,11 @@ class SolveService:
     def _metrics_loop(self) -> None:
         interval = self.metrics_interval_seconds
         while not self._stop.wait(interval):
-            self._write_telemetry(self.metrics.to_record(self.queue.depth()))
+            self._write_telemetry(
+                self.metrics.to_record(
+                    self.queue.depth(), breakers=self.breakers.snapshot()
+                )
+            )
 
     def _write_telemetry(self, record: dict) -> None:
         if self.telemetry is None:
@@ -449,7 +574,14 @@ class _Handler(socketserver.StreamRequestHandler):
             try:
                 ticket = service.submit_request(request)
             except QueueFull as exc:
-                return {"ok": False, "code": "rejected", "error": str(exc)}
+                return {
+                    "ok": False,
+                    "code": "rejected",
+                    "error": str(exc),
+                    "depth": exc.depth,
+                    "capacity": exc.capacity,
+                    "retry_after_seconds": exc.retry_after_seconds,
+                }
             return {
                 "ok": True,
                 "ticket": ticket,

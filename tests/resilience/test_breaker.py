@@ -1,0 +1,102 @@
+"""Circuit-breaker state machine: trip at the threshold, fence during
+the cooldown, half-open trial, canary probes, greedy exemption."""
+
+import time
+
+from repro.core.solution import FallbackAttempt
+from repro.resilience import BreakerBoard, run_canary_probe
+
+
+def board(threshold=2, cooldown=0.2):
+    return BreakerBoard(failure_threshold=threshold, cooldown_seconds=cooldown)
+
+
+def test_trips_after_threshold_consecutive_failures():
+    breakers = board(threshold=3)
+    for _ in range(2):
+        breakers.record_failure("highs")
+        assert breakers.allow("highs")
+    breakers.record_failure("highs")
+    assert not breakers.allow("highs")
+    assert breakers.open_backends() == frozenset({"highs"})
+
+
+def test_success_resets_the_consecutive_count():
+    breakers = board(threshold=2)
+    breakers.record_failure("highs")
+    breakers.record_success("highs")
+    breakers.record_failure("highs")
+    assert breakers.allow("highs")  # never reached 2 consecutive
+
+
+def test_half_open_admits_one_trial_after_cooldown():
+    breakers = board(threshold=1, cooldown=0.05)
+    breakers.record_failure("highs")
+    assert not breakers.allow("highs")
+    time.sleep(0.06)
+    assert breakers.allow("highs")  # the half-open trial
+    assert not breakers.allow("highs")  # trial in flight: still fenced
+    breakers.record_success("highs")
+    assert breakers.allow("highs")
+    assert breakers.snapshot()["highs"]["state"] == "closed"
+
+
+def test_half_open_failure_reopens_immediately():
+    breakers = board(threshold=3, cooldown=0.05)
+    for _ in range(3):
+        breakers.record_failure("highs")
+    time.sleep(0.06)
+    assert breakers.allow("highs")
+    breakers.record_failure("highs")  # one failure, not a fresh threshold
+    assert not breakers.allow("highs")
+
+
+def test_greedy_is_exempt():
+    breakers = board(threshold=1)
+    for _ in range(10):
+        breakers.record_failure("greedy")
+    assert breakers.allow("greedy")
+    assert "greedy" not in breakers.snapshot()
+
+
+def test_variant_rungs_share_the_base_breaker():
+    breakers = board(threshold=2)
+    breakers.record_failure("highs")
+    breakers.record_failure("highs-nopresolve")
+    assert not breakers.allow("highs")
+    assert not breakers.allow("highs-nopresolve")
+    assert breakers.open_backends() == frozenset({"highs"})
+
+
+def test_observe_digests_a_fallback_chain():
+    breakers = board(threshold=2)
+    chain = [
+        FallbackAttempt(backend="highs", status="sandbox-crash", reason="x"),
+        FallbackAttempt(backend="bnb", status="skipped", reason="open"),
+        FallbackAttempt(backend="greedy", status="feasible"),
+    ]
+    breakers.observe(chain)
+    breakers.observe(chain)
+    snapshot = breakers.snapshot()
+    assert snapshot["highs"]["state"] == "open"
+    # skipped says nothing about bnb's health; greedy is exempt.
+    assert "bnb" not in snapshot
+    assert "greedy" not in snapshot
+
+
+def test_due_probes_claims_atomically():
+    breakers = board(threshold=1, cooldown=0.05)
+    breakers.record_failure("highs")
+    assert breakers.due_probes() == []  # cooldown not yet elapsed
+    time.sleep(0.06)
+    assert breakers.due_probes() == ["highs"]
+    assert breakers.due_probes() == []  # claimed: now half-open
+    breakers.note_probe("highs", True)
+    assert breakers.snapshot()["highs"]["state"] == "closed"
+    assert breakers.snapshot()["highs"]["probes"] == 1
+
+
+def test_canary_probe_reports_backend_health():
+    assert run_canary_probe("highs") is True
+    assert run_canary_probe("greedy") is True
+    assert run_canary_probe("no-such-backend") is False

@@ -1,0 +1,132 @@
+"""Journal hardening: per-record CRCs, fsck quarantine-and-replay,
+telemetry rotation."""
+
+import json
+
+import pytest
+
+from repro.resilience import fsck_path, fsck_state_dir, fsck_telemetry
+from repro.runtime.telemetry import (
+    TelemetryWriter,
+    read_telemetry,
+    record_crc,
+    verify_record,
+)
+
+
+def test_record_crc_round_trip():
+    record = {"event": "solve", "status": "optimal", "alpha": 0.3}
+    record["crc32"] = record_crc(record)
+    assert verify_record(record)
+    record["status"] = "error"
+    assert not verify_record(record)
+
+
+def test_legacy_records_without_crc_verify():
+    assert verify_record({"event": "solve", "status": "optimal"})
+
+
+def test_writer_stamps_and_reader_verifies(tmp_path):
+    path = tmp_path / "solves.jsonl"
+    writer = TelemetryWriter(path)
+    writer.write({"event": "solve", "job_id": "a"})
+    writer.write({"event": "solve", "job_id": "b"})
+    lines = path.read_text().splitlines()
+    assert all("crc32" in json.loads(line) for line in lines)
+    assert len(read_telemetry(path)) == 2
+
+
+def test_reader_rejects_mid_file_corruption(tmp_path):
+    path = tmp_path / "solves.jsonl"
+    writer = TelemetryWriter(path)
+    for job in ("a", "b", "c"):
+        writer.write({"event": "solve", "job_id": job})
+    lines = path.read_text().splitlines()
+    middle = json.loads(lines[1])
+    middle["job_id"] = "tampered"
+    lines[1] = json.dumps(middle, sort_keys=True)
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="crc32"):
+        read_telemetry(path)
+
+
+def test_reader_tolerates_torn_tail(tmp_path):
+    path = tmp_path / "solves.jsonl"
+    writer = TelemetryWriter(path)
+    writer.write({"event": "solve", "job_id": "a"})
+    writer.write({"event": "solve", "job_id": "b"})
+    raw = path.read_text()
+    path.write_text(raw[:-20])  # torn final record (crashed writer)
+    records = read_telemetry(path)
+    assert [r["job_id"] for r in records] == ["a"]
+
+
+def test_fsck_telemetry_quarantines_and_rewrites(tmp_path):
+    path = tmp_path / "solves.jsonl"
+    writer = TelemetryWriter(path)
+    for job in ("a", "b"):
+        writer.write({"event": "solve", "job_id": job})
+    with path.open("a") as stream:
+        stream.write("not json\n")
+        bad = {"event": "solve", "job_id": "c", "crc32": 1}
+        stream.write(json.dumps(bad) + "\n")
+    report = fsck_telemetry(path)
+    assert not report.clean
+    assert report.scanned == 4 and report.kept == 2
+    assert len(report.quarantined) == 2
+    # The survivors are replayable and the corruption is preserved.
+    assert [r["job_id"] for r in read_telemetry(path)] == ["a", "b"]
+    quarantine = path.with_name(path.name + ".quarantine")
+    assert len(quarantine.read_text().splitlines()) == 2
+    assert fsck_telemetry(path).clean
+
+
+def test_rotation_bounds_journal_size(tmp_path):
+    path = tmp_path / "solves.jsonl"
+    writer = TelemetryWriter(path, max_bytes=300)
+    for index in range(20):
+        writer.write({"event": "solve", "job_id": f"job-{index:02d}"})
+    rotated = path.with_name(path.name + ".1")
+    assert rotated.exists()
+    assert path.stat().st_size <= 300
+    # Both generations still verify record by record.
+    assert read_telemetry(path)
+    assert read_telemetry(rotated)
+
+
+def test_fsck_state_dir_quarantines_corrupt_journals(tmp_path):
+    from repro.api import SolveRequest, request_to_dict
+    from repro.workloads import WorkloadSpec, generate_application
+
+    state = tmp_path / "state"
+    state.mkdir()
+    for seed in range(3):
+        app = generate_application(WorkloadSpec(num_tasks=2, seed=seed))
+        request = SolveRequest(app=app)
+        payload = {
+            "instance": request.instance,
+            "state": "pending",
+            "request": request_to_dict(request),
+        }
+        payload["crc32"] = record_crc(payload)
+        (state / f"{request.instance}.job.json").write_text(
+            json.dumps(payload, sort_keys=True)
+        )
+    journals = sorted(state.glob("*.job.json"))
+    journals[0].write_text(journals[0].read_text()[:50])  # truncated
+    report = fsck_state_dir(state)
+    assert report.scanned == 3 and report.kept == 2
+    assert report.quarantined == [journals[0].name]
+    assert (state / "quarantine" / journals[0].name).exists()
+    assert fsck_state_dir(state).clean
+
+
+def test_fsck_path_dispatches_by_kind(tmp_path):
+    telemetry_dir = tmp_path / "run"
+    telemetry_dir.mkdir()
+    TelemetryWriter(telemetry_dir / "solves.jsonl").write({"event": "x"})
+    assert fsck_path(telemetry_dir).kind == "telemetry"
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    report = fsck_path(empty)
+    assert report.kind == "state-dir" and report.clean

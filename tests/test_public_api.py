@@ -30,6 +30,7 @@ PACKAGES = [
     "repro.runtime",
     "repro.faults",
     "repro.service",
+    "repro.resilience",
 ]
 
 
