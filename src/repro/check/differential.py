@@ -23,6 +23,11 @@ applies the agreement rules:
   rung suffix), and the variants participate in the exact-vs-exact
   rules above.  A presolve reduction that changes a proven verdict or
   optimal objective is therefore caught as a plain disagreement.
+* **cuts differential** (``check_cuts``): the same scheme for the cut
+  layer of :mod:`repro.milp.cuts` — every exact backend also runs its
+  ``-nocuts`` variant, so a cutting plane, symmetry row, or transfer
+  ladder stage that cuts off the true optimum (or fabricates an
+  infeasibility) shows up as an exact-vs-exact disagreement.
 * **batch-simulation differential** (``check_batch_sim``): every
   feasible allocation's proposed timeline is simulated over a small
   WCET-variant grid by the vectorized batch engine
@@ -96,6 +101,11 @@ class DifferentialConfig:
             exact backend and cross-check it under the same rules, so
             a presolve bug that changes a proven verdict shows up as a
             disagreement.
+        check_cuts: Also run a ``-nocuts`` variant of every exact
+            backend — the cut layer (separation loop, symmetry orbit
+            rows, and the transfer-ladder certificates of
+            :mod:`repro.milp.cuts`) must prove the same verdict and
+            objective as the untouched solve path.
         check_batch_sim: Also simulate every feasible allocation's
             proposed timeline over a small WCET-variant grid with the
             batch engine and assert byte-identical scalar replays.
@@ -113,17 +123,20 @@ class DifferentialConfig:
     mip_gap: float | None = None
     bnb_max_comms: int = 6
     check_presolve: bool = False
+    check_cuts: bool = False
     check_batch_sim: bool = False
     check_warm: bool = False
 
     def effective_backends(self) -> tuple[str, ...]:
-        """``backends`` plus nopresolve variants when requested."""
-        if not self.check_presolve:
-            return self.backends
+        """``backends`` plus the requested differential variants."""
         expanded = list(self.backends)
         for backend in self.backends:
-            if backend in EXACT_BACKENDS:
+            if backend not in EXACT_BACKENDS:
+                continue
+            if self.check_presolve:
                 expanded.append(f"{backend}-nopresolve")
+            if self.check_cuts:
+                expanded.append(f"{backend}-nocuts")
         return tuple(expanded)
 
     @property

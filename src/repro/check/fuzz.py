@@ -57,6 +57,10 @@ class FuzzConfig:
         bnb_max_comms: Size gate for the pure-Python branch and bound.
         check_presolve: Cross-check every exact backend against its
             ``-nopresolve`` variant (presolve differential).
+        check_cuts: Cross-check every exact backend against its
+            ``-nocuts`` variant — the cut layer of
+            :mod:`repro.milp.cuts` must not change any proven verdict
+            or optimal objective (cuts differential).
         check_batch_sim: Replay every feasible allocation through the
             vectorized batch simulator and assert byte-identical
             scalar traces (batch-simulation differential).
@@ -87,6 +91,7 @@ class FuzzConfig:
     time_limit_seconds: float = 20.0
     bnb_max_comms: int = 6
     check_presolve: bool = False
+    check_cuts: bool = False
     check_batch_sim: bool = False
     check_warm: bool = False
     telemetry: "str | None" = None
@@ -228,6 +233,7 @@ def _differential_config(
         time_limit_seconds=config.time_limit_seconds,
         bnb_max_comms=config.bnb_max_comms,
         check_presolve=config.check_presolve,
+        check_cuts=config.check_cuts,
         check_batch_sim=config.check_batch_sim,
         check_warm=config.check_warm,
     )

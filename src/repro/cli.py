@@ -287,6 +287,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--alpha", type=float, default=0.2)
     p_solve.add_argument("--telemetry", default=None, metavar="PATH")
     p_solve.add_argument("--cache-dir", default=None, metavar="DIR")
+    p_solve.add_argument(
+        "--cuts",
+        dest="cuts",
+        action="store_true",
+        default=None,
+        help="enable the cutting-plane layer on MILP rungs "
+        "(default: the repro.defaults setting)",
+    )
+    p_solve.add_argument(
+        "--no-cuts",
+        dest="cuts",
+        action="store_false",
+        help="disable the cutting-plane layer",
+    )
+    p_solve.add_argument(
+        "--parallel-bnb",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="run the bnb rung's tree search across N worker processes "
+        "(default: serial; see docs/performance.md for when this wins)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -502,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run every exact backend without presolve and "
         "cross-check the variants (presolve differential)",
+    )
+    p_fuzz.add_argument(
+        "--check-cuts",
+        action="store_true",
+        help="also run every exact backend without the cutting-plane "
+        "layer and cross-check the variants (cuts differential)",
     )
     p_fuzz.add_argument(
         "--check-batch-sim",
@@ -908,6 +936,8 @@ def _dispatch(args, client) -> int:
             mip_gap=args.mip_gap,
             cache=args.cache_dir,
             telemetry=args.telemetry,
+            cuts=args.cuts,
+            parallel=args.parallel_bnb,
         )
         print(result.summary())
         for memory_id, layout in result.layouts.items():
@@ -1025,6 +1055,7 @@ def _dispatch(args, client) -> int:
                     shrink=not args.no_shrink,
                     time_limit_seconds=args.time_limit,
                     check_presolve=args.check_presolve,
+                    check_cuts=args.check_cuts,
                     check_batch_sim=args.check_batch_sim,
                     check_warm=args.check_warm,
                 ),

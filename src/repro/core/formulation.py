@@ -41,6 +41,7 @@ import math
 from dataclasses import dataclass
 
 from repro.defaults import (
+    DEFAULT_CUTS,
     DEFAULT_MILP_BACKEND,
     DEFAULT_MIP_GAP,
     DEFAULT_TIME_LIMIT_SECONDS,
@@ -94,9 +95,18 @@ class FormulationConfig:
             time only, never the reported objective, so it is excluded
             from cache keys.
         symmetry_breaking: Pin interchangeable memory slots (those in
-            no contiguity subset) to canonical tail positions.  Also
+            no contiguity subset) to canonical tail positions, and add
+            lex-ordering rows over label permutation orbits.  Also
             answer-preserving; see
-            :func:`repro.milp.presolve.pin_free_slots`.
+            :func:`repro.milp.presolve.pin_free_slots` and
+            :func:`repro.milp.presolve.add_label_orbit_rows`.
+        cuts: Enable the structure-aware cut layer
+            (:mod:`repro.milp.cuts`): transfer-ladder optimality proofs
+            for MIN_TRANSFERS and cutting planes in the ``bnb``
+            backend.  Answer-preserving, so excluded from cache keys.
+        parallel: Worker processes for the ``bnb`` backend's
+            frontier-split tree search (None or <=1 keeps the search
+            in-process).  Affects speed only, never the answer.
     """
 
     objective: Objective = Objective.NONE
@@ -108,6 +118,8 @@ class FormulationConfig:
     mip_gap: float | None = DEFAULT_MIP_GAP
     presolve: bool = True
     symmetry_breaking: bool = True
+    cuts: bool = DEFAULT_CUTS
+    parallel: int | None = None
 
 
 class LetDmaFormulation:
@@ -119,6 +131,10 @@ class LetDmaFormulation:
     #: breaking (:func:`repro.milp.presolve.pin_free_slots`) pins free
     #: slots into the right range.
     slot_position_base = 1
+    #: Sentinel slot names bounding each memory's position chain; the
+    #: cut layer's constructive incumbent emits them explicitly.
+    slot_head = HEAD
+    slot_tail = TAIL
 
     def __init__(self, app: Application, config: FormulationConfig | None = None):
         self.app = app
@@ -206,6 +222,9 @@ class LetDmaFormulation:
 
     def _build(self) -> None:
         self._prepare_data()
+        #: Tightest Property-3 transfer-index cap per communication
+        #: (filled by Constraint 10; read by :mod:`repro.milp.cuts`).
+        self.cgi_caps: dict[int, int] = {}
         self._add_allocation_variables()
         self._add_transfer_variables()
         self._constraint_1_one_transfer_per_comm()
@@ -218,10 +237,14 @@ class LetDmaFormulation:
         if self.config.enforce_property3:
             self._constraint_10_instant_separation()
         if self.config.symmetry_breaking:
-            from repro.milp.presolve import pin_free_slots
+            from repro.milp.presolve import add_label_orbit_rows, pin_free_slots
 
             pin_free_slots(self)
+            add_label_orbit_rows(self)
         self._add_objective()
+        # Publish the formulation as structure hints so the cut layer
+        # (:mod:`repro.milp.cuts`) can reason about the model.
+        self.model.structure_hints = self
 
     # -- variables ------------------------------------------------------
 
@@ -576,6 +599,7 @@ class LetDmaFormulation:
             max_index = math.floor(budget / self.lambda_overhead + 1e-9) - 1
             cap = min(max_index, self.num_transfers - 1)
             for z in present:
+                self.cgi_caps[z] = min(self.cgi_caps.get(z, cap), cap)
                 self.model.add(
                     self.cgi[z] <= cap, name=f"C10[{t1}][{z}]"
                 )
@@ -615,15 +639,17 @@ class LetDmaFormulation:
         backend: str | None = None,
         presolve: bool | None = None,
         start: dict | None = None,
+        cuts: bool | None = None,
+        parallel: int | None = None,
     ):
         """Solve the MILP and extract an :class:`AllocationResult`.
 
-        ``backend`` and ``presolve`` override their ``config``
-        counterparts so one built formulation (and its cached presolve
-        and standard form) can be solved by several portfolio rungs
-        without rebuilding the model.  ``start`` is an optional warm
-        start (a complete ``{Var: value}`` assignment, e.g. from
-        :func:`repro.incremental.build_start`) forwarded to
+        ``backend``, ``presolve``, ``cuts``, and ``parallel`` override
+        their ``config`` counterparts so one built formulation (and its
+        cached presolve and standard form) can be solved by several
+        portfolio rungs without rebuilding the model.  ``start`` is an
+        optional warm start (a complete ``{Var: value}`` assignment,
+        e.g. from :func:`repro.incremental.build_start`) forwarded to
         :meth:`repro.milp.MilpModel.solve`; it can affect solve speed
         but never the answer.
         """
@@ -635,5 +661,7 @@ class LetDmaFormulation:
             mip_gap=self.config.mip_gap,
             presolve=self.config.presolve if presolve is None else presolve,
             start=start,
+            cuts=self.config.cuts if cuts is None else cuts,
+            parallel=self.config.parallel if parallel is None else parallel,
         )
         return extract_result(self, solution)

@@ -168,6 +168,10 @@ class AllocationResult:
         mip_gap: Relative optimality gap the solver achieved, when
             known (0.0 for proven optima).
         node_count: Branch-and-bound nodes explored by the solver.
+        cuts_added: Cutting planes added by the cut layer
+            (:mod:`repro.milp.cuts`); 0 when the layer was off or the
+            solve never separated.
+        cut_rounds: Cut-separation rounds executed (root + node).
         warm_start: Incremental-re-solve provenance: ``"none"`` (cold
             solve), ``"reused"`` (a proven prior answer to a provably
             identical MILP was returned verbatim), or ``"repaired"``
@@ -189,11 +193,21 @@ class AllocationResult:
     best_bound: float | None = None
     mip_gap: float | None = None
     node_count: int = 0
+    cuts_added: int = 0
+    cut_rounds: int = 0
     warm_start: str = "none"
 
     @property
     def feasible(self) -> bool:
         return self.status.has_solution
+
+    @property
+    def nodes_per_second(self) -> float:
+        """Tree-search throughput (0.0 when no nodes or no wall time —
+        certificate and heuristic results explore no tree)."""
+        if self.node_count <= 0 or self.runtime_seconds <= 0.0:
+            return 0.0
+        return self.node_count / self.runtime_seconds
 
     @property
     def num_transfers(self) -> int:
@@ -295,6 +309,8 @@ def extract_result(formulation, solution: Solution) -> AllocationResult:
             best_bound=solution.best_bound,
             mip_gap=solution.mip_gap,
             node_count=solution.node_count,
+            cuts_added=solution.cuts_added,
+            cut_rounds=solution.cut_rounds,
         )
 
     app = formulation.app
@@ -311,6 +327,8 @@ def extract_result(formulation, solution: Solution) -> AllocationResult:
         best_bound=solution.best_bound,
         mip_gap=solution.mip_gap,
         node_count=solution.node_count,
+        cuts_added=solution.cuts_added,
+        cut_rounds=solution.cut_rounds,
     )
     # The model's lambda variables are only *lower*-bounded (Constraint
     # 9) and may float above the true value when the objective does not

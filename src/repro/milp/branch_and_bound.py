@@ -44,7 +44,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-from repro.milp.expr import Sense, VarType
+from repro.milp.expr import Sense, VarType, bounds_signature
 from repro.milp.model import MilpModel, ObjectiveSense
 from repro.milp.result import Solution, SolveStatus
 
@@ -57,6 +57,18 @@ _PROOF_GAP = 1e-9
 _DIVE_MAX_LPS = 60
 #: Total row-propagation budget for one fix-and-propagate run.
 _PROPAGATE_MAX_ROWS = 400_000
+#: Minimum violation for a separated cut to enter the pool.
+_CUT_VIOLATION_TOL = 1e-6
+#: Separation rounds at the root LP.
+_CUT_ROOT_ROUNDS = 8
+#: Cuts accepted per separation round (violation-ranked).
+_CUT_MAX_PER_ROUND = 40
+#: Bounded cut pool: active rows stacked onto every node LP.
+_CUT_POOL_MAX = 400
+#: Node interval between separation/aging rounds once branching runs.
+_CUT_NODE_INTERVAL = 48
+#: Consecutive slack checks after which an inactive cut is dropped.
+_CUT_AGE_DROP = 20
 
 
 def solve_with_branch_and_bound(
@@ -64,6 +76,7 @@ def solve_with_branch_and_bound(
     time_limit_seconds: float | None = None,
     mip_gap: float | None = None,
     start: "dict | None" = None,
+    cut_source=None,
 ) -> Solution:
     """Solve a :class:`MilpModel` by LP-based branch and bound.
 
@@ -78,6 +91,14 @@ def solve_with_branch_and_bound(
     *discover* it) and its objective prunes the tree from node one; an
     infeasible start is silently ignored, so a stale warm start can
     never change the answer, only the speed.
+
+    ``cut_source`` is an optional separation oracle (duck-typed, see
+    :mod:`repro.milp.cuts`): ``separate_rows(x)`` returns globally
+    valid ``<=`` rows in this model's column space.  Rows are pooled,
+    violation-ranked, stacked onto the root and node LPs, and aged out
+    when inactive.  Because every row must hold for every feasible
+    integer point, adding one never changes the answer, only the LP
+    bounds.
     """
     begin = time.perf_counter()
     deadline = begin + time_limit_seconds if time_limit_seconds is not None else None
@@ -92,12 +113,22 @@ def solve_with_branch_and_bound(
     )
     sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0
     counters = _Counters()
-    search = _Search(problem, integral, counters, deadline, mip_gap)
+    search = _Search(problem, integral, counters, deadline, mip_gap, cut_source)
     if start is not None:
         search.seed_incumbent(_start_vector(model, problem, integral, start))
     search.run()
     elapsed = time.perf_counter() - begin
+    return _assemble_solution(model, search, counters, sign, elapsed)
 
+
+def _assemble_solution(
+    model: MilpModel,
+    search: "_Search",
+    counters: "_Counters",
+    sign: float,
+    elapsed: float,
+) -> Solution:
+    """Translate final search state into a :class:`Solution`."""
     dual = search.dual_bound()
     if search.incumbent_x is None:
         if search.hit_limit:
@@ -111,6 +142,8 @@ def solve_with_branch_and_bound(
             best_bound=sign * dual if math.isfinite(dual) else None,
             node_count=counters.nodes,
             lp_calls=counters.lp_calls,
+            cuts_added=counters.cuts_added,
+            cut_rounds=counters.cut_rounds,
         )
 
     gap = search.current_gap()
@@ -132,6 +165,8 @@ def solve_with_branch_and_bound(
         lp_calls=counters.lp_calls,
         incumbent_seconds=counters.incumbent_seconds,
         seeded=search.seeded,
+        cuts_added=counters.cuts_added,
+        cut_rounds=counters.cut_rounds,
     )
 
 
@@ -141,6 +176,10 @@ def _message(counters: "_Counters", search: "_Search", elapsed: float) -> str:
         f"{counters.nodes} nodes,",
         f"{counters.lp_calls} LPs",
     ]
+    if counters.cuts_added:
+        parts.append(
+            f"{counters.cuts_added} cuts in {counters.cut_rounds} rounds,"
+        )
     if search.seeded:
         parts.append("seeded incumbent")
     elif counters.incumbent_seconds is not None:
@@ -176,13 +215,22 @@ def _start_vector(model, problem, integral, start) -> "np.ndarray | None":
 
 
 class _Counters:
-    __slots__ = ("nodes", "lp_calls", "incumbent_seconds", "started")
+    __slots__ = (
+        "nodes",
+        "lp_calls",
+        "incumbent_seconds",
+        "started",
+        "cuts_added",
+        "cut_rounds",
+    )
 
     def __init__(self):
         self.nodes = 0
         self.lp_calls = 0
         self.incumbent_seconds: float | None = None
         self.started = time.perf_counter()
+        self.cuts_added = 0
+        self.cut_rounds = 0
 
     def found_incumbent(self) -> None:
         if self.incumbent_seconds is None:
@@ -192,7 +240,8 @@ class _Counters:
 class _Search:
     """Best-first search state: heap, incumbent, pseudo-costs."""
 
-    def __init__(self, problem, integral, counters, deadline, mip_gap):
+    def __init__(self, problem, integral, counters, deadline, mip_gap,
+                 cut_source=None):
         self.problem = problem
         self.integral = integral
         self.integral_indices = np.nonzero(integral)[0]
@@ -203,6 +252,10 @@ class _Search:
         self.seeded = False
         self.incumbent_obj = math.inf
         self.incumbent_x: np.ndarray | None = None
+        #: Cross-process incumbent objective (``multiprocessing.Value``
+        #: or None); set by the parallel coordinator so workers prune
+        #: against each other's incumbents.
+        self.shared_best = None
         #: (bound, -seq, chain, branch_info); chain is a parent-linked
         #: tuple (parent_chain, idx, lower, upper) or None at the root.
         self.heap: list = []
@@ -214,6 +267,12 @@ class _Search:
         self.pc_down_cnt = np.zeros(n, dtype=np.int64)
         self.pc_up_sum = np.zeros(n)
         self.pc_up_cnt = np.zeros(n, dtype=np.int64)
+        #: Separation oracle + bounded pool of active cut rows, each
+        #: entry ``[cols, coefs, rhs, name, idle]``.
+        self.cut_source = cut_source
+        self.cut_pool: list = []
+        self.cut_names: set[str] = set()
+        self._cut_stack = None  # (a_cut, b_cut) rebuilt on pool change
 
     # -- time/gap accounting -------------------------------------------
 
@@ -245,12 +304,22 @@ class _Search:
     def _gap_reached(self) -> bool:
         return self.mip_gap is not None and self.current_gap() <= self.mip_gap
 
+    def _best_obj(self) -> float:
+        """Best incumbent objective known locally or via the shared
+        cross-process incumbent (parallel subtree search)."""
+        best = self.incumbent_obj
+        shared = self.shared_best
+        if shared is not None and shared.value < best:
+            best = shared.value
+        return best
+
     def _cutoff(self) -> float:
         """Nodes with bound above this cannot improve the incumbent."""
+        best = self._best_obj()
         slack = 1e-9
-        if self.mip_gap is not None and self.incumbent_x is not None:
-            slack = max(slack, self.mip_gap * max(1.0, abs(self.incumbent_obj)))
-        return self.incumbent_obj - slack
+        if self.mip_gap is not None and math.isfinite(best):
+            slack = max(slack, self.mip_gap * max(1.0, abs(best)))
+        return best - slack
 
     # -- bound chains ---------------------------------------------------
 
@@ -276,7 +345,9 @@ class _Search:
 
     def _solve_lp(self, lower, upper):
         self.counters.lp_calls += 1
-        return self.problem.solve_relaxation_bounds(lower, upper)
+        return self.problem.solve_relaxation_bounds(
+            lower, upper, extra=self._cut_matrices()
+        )
 
     def _fractional(self, x):
         """(index, fractional part) pairs of non-integral variables."""
@@ -290,6 +361,11 @@ class _Search:
             self.incumbent_obj = objective
             self.incumbent_x = x
             self.counters.found_incumbent()
+            shared = self.shared_best
+            if shared is not None:
+                with shared.get_lock():
+                    if objective < shared.value:
+                        shared.value = objective
 
     def seed_incumbent(self, x: "np.ndarray | None") -> None:
         """Install a pre-validated warm start as the initial incumbent.
@@ -404,6 +480,100 @@ class _Search:
         if len(indices) == 0:
             self._accept(objective, xf)
 
+    # -- cutting planes -------------------------------------------------
+
+    def _cut_matrices(self):
+        """Active pool rows as one (A, b) pair, rebuilt on pool change."""
+        if not self.cut_pool:
+            return None
+        if self._cut_stack is None:
+            data, rows, cols, rhs = [], [], [], []
+            for r, (c_idx, c_coef, c_rhs, _, _) in enumerate(self.cut_pool):
+                rows.extend([r] * len(c_idx))
+                cols.extend(int(j) for j in c_idx)
+                data.extend(float(a) for a in c_coef)
+                rhs.append(c_rhs)
+            self._cut_stack = (
+                sparse.csr_matrix(
+                    (data, (rows, cols)),
+                    shape=(len(self.cut_pool), len(self.integral)),
+                ),
+                np.array(rhs),
+            )
+        return self._cut_stack
+
+    def _separate(self, x) -> int:
+        """One separation round at the LP point ``x``.
+
+        Asks the oracle for valid rows, keeps the most violated ones
+        (bounded per round and by the pool cap), and invalidates the
+        stacked matrix.  Returns the number of cuts added.
+        """
+        if self.cut_source is None:
+            return 0
+        self.counters.cut_rounds += 1
+        candidates = []
+        for cols, coefs, rhs, name in self.cut_source.separate_rows(x):
+            if name in self.cut_names:
+                continue
+            violation = float(coefs @ x[cols]) - rhs
+            if violation > _CUT_VIOLATION_TOL:
+                candidates.append((violation, cols, coefs, rhs, name))
+        candidates.sort(key=lambda c: -c[0])
+        room = min(_CUT_MAX_PER_ROUND, _CUT_POOL_MAX - len(self.cut_pool))
+        added = 0
+        for violation, cols, coefs, rhs, name in candidates[: max(0, room)]:
+            self.cut_pool.append([cols, coefs, rhs, name, 0])
+            self.cut_names.add(name)
+            added += 1
+        if added:
+            self._cut_stack = None
+            self.counters.cuts_added += added
+        return added
+
+    def _age_cuts(self, x) -> None:
+        """Drop pool rows slack at ``x`` for many consecutive checks.
+
+        A dropped cut stays in ``cut_names`` so the oracle's row is not
+        re-added the next round only to idle out again.
+        """
+        survivors = []
+        dropped = False
+        for entry in self.cut_pool:
+            cols, coefs, rhs, _, idle = entry
+            slack = rhs - float(coefs @ x[cols])
+            entry[4] = 0 if slack <= _CUT_VIOLATION_TOL else idle + 1
+            if entry[4] >= _CUT_AGE_DROP:
+                dropped = True
+            else:
+                survivors.append(entry)
+        if dropped:
+            self.cut_pool = survivors
+            self._cut_stack = None
+
+    def _root_cut_loop(self, objective, x):
+        """Separate-and-resolve rounds at the root LP.
+
+        Every pool row holds for every feasible integer point, so a
+        root LP made infeasible by cuts proves the MILP infeasible, and
+        each resolved objective is a valid global dual bound.  Returns
+        the final (objective, x), or None on infeasibility/timeout.
+        """
+        for _ in range(_CUT_ROOT_ROUNDS):
+            if self._out_of_time():
+                return objective, x
+            if self._separate(x) == 0:
+                break
+            solved = self._solve_lp(self.problem.base_lower, self.problem.base_upper)
+            if solved is None:
+                return None
+            previous = objective
+            objective, x = solved
+            self.root_bound = max(self.root_bound, objective)
+            if objective < previous + 1e-9:
+                break
+        return objective, x
+
     # -- pseudo-cost branching -----------------------------------------
 
     def _seed_pseudo_costs(self, root_objective, x) -> None:
@@ -468,19 +638,30 @@ class _Search:
 
     # -- main loop ------------------------------------------------------
 
-    def run(self) -> None:
+    def run(self, max_open: int | None = None) -> None:
+        """Run the search to completion, a limit, or — when
+        ``max_open`` is given — until the heap holds that many open
+        nodes (the parallel coordinator's frontier split point)."""
         if self._out_of_time():
             return
-        root = self._solve_lp(self.problem.base_lower, self.problem.base_upper)
-        if root is None:
-            return  # LP infeasible => MILP infeasible
-        objective, x = root
-        self.root_bound = objective
-        if self.seeded:
-            self._seed_pseudo_costs(objective, x)
-        self._process(objective, x, None, dive=self.incumbent_x is None)
+        if self.root_bound == -math.inf:
+            root = self._solve_lp(self.problem.base_lower, self.problem.base_upper)
+            if root is None:
+                return  # LP infeasible => MILP infeasible
+            objective, x = root
+            self.root_bound = objective
+            if self.cut_source is not None:
+                root = self._root_cut_loop(objective, x)
+                if root is None:
+                    return
+                objective, x = root
+            if self.seeded:
+                self._seed_pseudo_costs(objective, x)
+            self._process(objective, x, None, dive=self.incumbent_x is None)
         while self.heap:
             if self._out_of_time() or self._gap_reached():
+                return
+            if max_open is not None and len(self.heap) >= max_open:
                 return
             bound, _, chain, branch_info = heapq.heappop(self.heap)
             self.popped_bound = max(self.popped_bound, bound)
@@ -497,6 +678,12 @@ class _Search:
             self._record_pseudo_cost(branch_info, objective)
             if objective >= self._cutoff():
                 continue
+            if (
+                self.cut_source is not None
+                and self.counters.nodes % _CUT_NODE_INTERVAL == 0
+            ):
+                self._separate(x)
+                self._age_cuts(x)
             self._process(objective, x, chain, dive=self.incumbent_x is None)
 
     def _process(self, objective, x, chain, dive: bool) -> None:
@@ -525,15 +712,33 @@ def _snap(value: float, var_type: VarType) -> float:
     return float(round(value))
 
 
+#: Standard forms kept per model instance (see ``_PRESOLVE_CACHE_MAX``
+#: in :mod:`repro.milp.presolve` for the sizing rationale).
+_FORM_CACHE_MAX = 6
+
+
 def _standard_form(model: MilpModel) -> "_StandardForm":
     """The model's scipy arrays, cached on the model instance so
-    portfolio rungs re-solving one formulation convert it only once."""
-    key = (model.num_variables, model.num_constraints)
-    cached = model.__dict__.get("_standard_form_cache")
-    if cached is not None and cached[0] == key:
-        return cached[1]
+    portfolio rungs re-solving one formulation convert it only once.
+
+    Keyed by shape *and* a bounds fingerprint: the cut layer's transfer
+    ladder mutates variable bounds in place without changing the
+    model's shape, and a stale ``base_lower``/``base_upper`` snapshot
+    would silently solve the wrong relaxation.
+    """
+    key = (
+        model.num_variables,
+        model.num_constraints,
+        bounds_signature(model.variables),
+    )
+    cache = model.__dict__.setdefault("_standard_form_cache", {})
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
     form = _StandardForm(model)
-    model.__dict__["_standard_form_cache"] = (key, form)
+    while len(cache) >= _FORM_CACHE_MAX:
+        cache.pop(next(iter(cache)))
+    cache[key] = form
     return form
 
 
@@ -565,16 +770,29 @@ class _StandardForm:
         self.a_eq, self.b_eq = _to_sparse(eq_rows, num_vars)
 
     def solve_relaxation_bounds(
-        self, lower: np.ndarray, upper: np.ndarray
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        extra: "tuple | None" = None,
     ) -> tuple[float, np.ndarray] | None:
         """LP relaxation under explicit bound arrays.
 
-        Returns (objective, values) or None when infeasible.
+        ``extra`` optionally stacks additional ``(A, b)`` inequality
+        rows (the active cut pool) under the model's own.  Returns
+        (objective, values) or None when infeasible.
         """
+        a_ub, b_ub = self.a_ub, self.b_ub
+        if extra is not None:
+            a_cut, b_cut = extra
+            if a_ub is None:
+                a_ub, b_ub = a_cut, b_cut
+            else:
+                a_ub = sparse.vstack([a_ub, a_cut], format="csr")
+                b_ub = np.concatenate([b_ub, b_cut])
         result = linprog(
             c=self.cost,
-            A_ub=self.a_ub,
-            b_ub=self.b_ub,
+            A_ub=a_ub,
+            b_ub=b_ub,
             A_eq=self.a_eq,
             b_eq=self.b_eq,
             bounds=np.column_stack([lower, upper]),

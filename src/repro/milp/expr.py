@@ -12,7 +12,15 @@ import enum
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-__all__ = ["VarType", "Var", "LinExpr", "Sense", "Constraint", "lin_sum"]
+__all__ = [
+    "VarType",
+    "Var",
+    "LinExpr",
+    "Sense",
+    "Constraint",
+    "lin_sum",
+    "bounds_signature",
+]
 
 
 class VarType(enum.Enum):
@@ -230,3 +238,17 @@ def lin_sum(items: Iterable) -> LinExpr:
             result.terms[var] = result.terms.get(var, 0.0) + coef
         result.constant += item.constant
     return result
+
+
+def bounds_signature(variables) -> int:
+    """Order-sensitive hash of every variable's (lower, upper) pair.
+
+    Variable bounds are mutable in place (the cut layer's transfer
+    ladder caps and restores them between probes), so any cache keyed
+    on a model's shape must also key on this signature or it returns
+    reductions computed for different bounds.
+    """
+    h = 0x345678
+    for var in variables:
+        h = hash((h, var.lower, var.upper))
+    return h

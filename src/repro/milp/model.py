@@ -240,6 +240,9 @@ class MilpModel:
         mip_gap: float | None = None,
         presolve: bool = True,
         start: dict | None = None,
+        cuts: bool | None = None,
+        parallel: int | None = None,
+        _cut_source=None,
     ) -> Solution:
         """Solve the model.
 
@@ -261,9 +264,40 @@ class MilpModel:
                 one is ignored, so ``start`` can affect speed but never
                 the answer.  The HiGHS backend accepts and ignores it
                 (scipy exposes no MIP-start channel).
+            cuts: Enable the structure-aware cut layer
+                (:mod:`repro.milp.cuts`): the exact transfer ladder for
+                MIN_TRANSFERS formulations, plus cutting planes inside
+                the branch-and-bound.  Answer-preserving — every cut
+                holds for every feasible integer point, and the ladder
+                proves its optimum — so this defaults to
+                :data:`repro.defaults.DEFAULT_CUTS` and is excluded
+                from result cache keys.  Models without structure hints
+                solve exactly as before.
+            parallel: Worker-process count for the ``bnb`` backend's
+                frontier-split tree search (None or <=1 solves
+                in-process).  Ignored by ``highs``.
+            _cut_source: Internal — a pre-built separation adapter for
+                the recursive post-presolve call.
         """
         if backend not in ("highs", "bnb"):
             raise ValueError(f"unknown backend {backend!r}")
+        from repro.defaults import DEFAULT_CUTS
+
+        use_cuts = DEFAULT_CUTS if cuts is None else cuts
+        if use_cuts and _cut_source is None:
+            from repro.milp.cuts import solve_with_cut_layer
+
+            layered = solve_with_cut_layer(
+                self,
+                backend=backend,
+                time_limit_seconds=time_limit_seconds,
+                mip_gap=mip_gap,
+                presolve=presolve,
+                start=start,
+                parallel=parallel,
+            )
+            if layered is not None:
+                return layered
         if presolve:
             from repro.milp.presolve import presolve_model
 
@@ -279,23 +313,60 @@ class MilpModel:
                 )
             if presolved.reduced.num_variables == 0:
                 return presolved.trivial_solution()
+            cut_source = None
+            if use_cuts and backend == "bnb":
+                cut_source = self._build_cut_source(presolved)
             inner = presolved.reduced.solve(
                 backend=backend,
                 time_limit_seconds=time_limit_seconds,
                 mip_gap=mip_gap,
                 presolve=False,
                 start=presolved.translate_start(start) if start else None,
+                cuts=False,
+                parallel=parallel,
+                _cut_source=cut_source,
             )
             return presolved.restore(inner)
         if backend == "highs":
             from repro.milp.scipy_backend import solve_with_highs
 
             return solve_with_highs(self, time_limit_seconds, mip_gap, start=start)
+        cut_source = _cut_source
+        if cut_source is None and use_cuts:
+            cut_source = self._build_cut_source(None)
+        if parallel is not None and parallel > 1:
+            from repro.milp.parallel import solve_parallel_branch_and_bound
+
+            return solve_parallel_branch_and_bound(
+                self,
+                num_workers=parallel,
+                time_limit_seconds=time_limit_seconds,
+                mip_gap=mip_gap,
+                start=start,
+                cut_source=cut_source,
+            )
         from repro.milp.branch_and_bound import solve_with_branch_and_bound
 
         return solve_with_branch_and_bound(
-            self, time_limit_seconds, mip_gap, start=start
+            self, time_limit_seconds, mip_gap, start=start, cut_source=cut_source
         )
+
+    def _build_cut_source(self, presolved):
+        """A :class:`repro.milp.cuts.ReducedCutSource` for this model's
+        structure hints, or None for plain models."""
+        from repro.milp.cuts import (
+            CutEngine,
+            ReducedCutSource,
+            structure_hints,
+            transfer_lower_bound,
+            _is_min_transfers,
+        )
+
+        hints = structure_hints(self)
+        if hints is None:
+            return None
+        bound = transfer_lower_bound(hints) if _is_min_transfers(hints) else None
+        return ReducedCutSource(CutEngine(hints, bound), presolved)
 
     # ------------------------------------------------------------------
     # Introspection

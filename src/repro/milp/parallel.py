@@ -1,0 +1,274 @@
+"""Process-parallel branch-and-bound via frontier splitting.
+
+The serial solver (:mod:`repro.milp.branch_and_bound`) is a best-first
+search over a heap of open nodes.  This module parallelizes it in two
+phases:
+
+1. **Frontier phase (in-process)** — run the serial search until the
+   heap holds a depth-``k`` frontier of ``max(4, 2 * workers)`` open
+   nodes.  The root cut loop, the first incumbent dive, and the
+   pseudo-cost seeding all happen here, once, so every worker starts
+   from the same strengthened state.
+2. **Subtree phase (forked workers)** — distribute the frontier nodes
+   round-robin in bound order across a pool of forked worker processes
+   (entry point :func:`repro.milp.worker.solve_subtree_entry`).  Each
+   worker inherits the standard form, cut pool, and pseudo-cost history
+   by copy-on-write and explores its bucket to exhaustion.  Incumbents
+   are shared through a lock-guarded ``multiprocessing.Value`` read by
+   every worker's pruning cutoff, so a bound proven in one subtree
+   prunes all the others.
+
+Soundness of the merge: the frontier buckets partition the open nodes,
+so every leaf of the original tree is explored by exactly one worker
+(or pruned against an incumbent that some worker actually found —
+the shared incumbent only ever decreases, and pruning against a
+*better* incumbent than the serial search would have had at the same
+point can only remove worse subtrees).  A subtree explored to
+exhaustion contributes no dual ceiling; the global bound is the
+minimum over unfinished subtrees, exactly as the serial heap minimum.
+
+On a single-core host the two phases still compute the identical
+answer; the wall-clock benefit appears only with real cores (see
+``docs/performance.md`` — the committed bench baselines are honest
+about this).  ``fork`` is required (live search state cannot be
+pickled); platforms without it fall back to the serial solver.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import queue as queue_module
+import time
+
+import numpy as np
+
+from repro.milp.branch_and_bound import (
+    _Counters,
+    _Search,
+    _assemble_solution,
+    _standard_form,
+    _start_vector,
+)
+from repro.milp.expr import VarType
+from repro.milp.model import MilpModel, ObjectiveSense
+from repro.milp.result import Solution, SolveStatus
+
+__all__ = ["solve_parallel_branch_and_bound"]
+
+#: Seconds past the deadline the coordinator waits for worker results
+#: before declaring a worker lost (its subtree then counts as open).
+_RESULT_GRACE_SECONDS = 30.0
+
+
+def solve_parallel_branch_and_bound(
+    model: MilpModel,
+    num_workers: int = 2,
+    time_limit_seconds: "float | None" = None,
+    mip_gap: "float | None" = None,
+    start: "dict | None" = None,
+    cut_source=None,
+) -> Solution:
+    """Frontier-split parallel version of
+    :func:`repro.milp.branch_and_bound.solve_with_branch_and_bound`.
+
+    Same contract as the serial solver — exact on completion, honest
+    ``FEASIBLE``/``TIMEOUT`` with a proven ``best_bound`` otherwise.
+    ``num_workers <= 1`` (or a platform without ``fork``) degrades to
+    the serial search.
+    """
+    begin = time.perf_counter()
+    deadline = (
+        begin + time_limit_seconds if time_limit_seconds is not None else None
+    )
+    problem = _standard_form(model)
+    integral = np.array(
+        [
+            var.var_type in (VarType.INTEGER, VarType.BINARY)
+            for var in model.variables
+        ],
+        dtype=bool,
+    )
+    sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0
+    counters = _Counters()
+    search = _Search(problem, integral, counters, deadline, mip_gap, cut_source)
+    if start is not None:
+        search.seed_incumbent(_start_vector(model, problem, integral, start))
+
+    frontier_size = max(4, 2 * max(1, num_workers))
+    search.run(max_open=None if num_workers <= 1 else frontier_size)
+    if (
+        not search.heap
+        or search.hit_limit
+        or search._gap_reached()
+        or num_workers <= 1
+    ):
+        # Solved (or timed out, or effectively serial) in phase 1.
+        if search.heap and not search.hit_limit:
+            search.run()  # num_workers <= 1: finish serially
+        elapsed = time.perf_counter() - begin
+        solution = _assemble_solution(model, search, counters, sign, elapsed)
+        return _tag(solution, workers=0)
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        search.run()
+        elapsed = time.perf_counter() - begin
+        solution = _assemble_solution(model, search, counters, sign, elapsed)
+        return _tag(solution, workers=0, note="fork unavailable, ran serial")
+
+    # Distribute the frontier round-robin in bound order so every
+    # bucket gets a share of the most promising nodes.
+    nodes = sorted(search.heap)
+    num_workers = min(num_workers, len(nodes))
+    buckets: list[list] = [[] for _ in range(num_workers)]
+    for position, node in enumerate(nodes):
+        buckets[position % num_workers].append(node)
+    bucket_floor = [
+        min(entry[0] for entry in bucket) for bucket in buckets
+    ]
+
+    from repro.milp.worker import solve_subtree_entry
+
+    shared_best = ctx.Value("d", search._best_obj())
+    result_queue = ctx.Queue()
+    workers = []
+    for worker_id in range(num_workers):
+        process = ctx.Process(
+            target=solve_subtree_entry,
+            args=(
+                worker_id,
+                search,
+                buckets[worker_id],
+                shared_best,
+                result_queue,
+            ),
+            daemon=True,
+        )
+        process.start()
+        workers.append(process)
+
+    results: dict[int, dict] = {}
+    while len(results) < num_workers:
+        if deadline is None:
+            wait = None
+        else:
+            wait = max(0.1, deadline + _RESULT_GRACE_SECONDS - time.perf_counter())
+        try:
+            outcome = result_queue.get(timeout=wait)
+        except queue_module.Empty:
+            break
+        results[outcome["worker_id"]] = outcome
+    for process in workers:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+
+    return _merge(
+        model, search, counters, sign, begin, num_workers, bucket_floor, results
+    )
+
+
+def _merge(
+    model, search, counters, sign, begin, num_workers, bucket_floor, results
+) -> Solution:
+    """Fold worker reports into one :class:`Solution`."""
+    best_obj = search.incumbent_obj
+    best_x = search.incumbent_x
+    any_limit = False
+    dual = math.inf
+    total_nodes = counters.nodes
+    total_lps = counters.lp_calls
+    total_cuts = counters.cuts_added
+    total_rounds = counters.cut_rounds
+    finished = 0
+    for worker_id in range(num_workers):
+        outcome = results.get(worker_id)
+        if outcome is None:
+            # Lost worker: its whole bucket stays open — the bucket's
+            # best node bound is all we can claim for it.
+            any_limit = True
+            dual = min(dual, bucket_floor[worker_id])
+            continue
+        if (
+            outcome["incumbent_x"] is not None
+            and outcome["incumbent_obj"] < best_obj - 1e-12
+        ):
+            best_obj = outcome["incumbent_obj"]
+            best_x = np.array(outcome["incumbent_x"])
+        if outcome["hit_limit"]:
+            any_limit = True
+        if outcome["exhausted"]:
+            finished += 1
+        dual = min(dual, outcome["dual"])
+        total_nodes += outcome["nodes"]
+        total_lps += outcome["lp_calls"]
+        total_cuts += outcome["cuts_added"]
+        total_rounds += outcome["cut_rounds"]
+        search.pc_down_sum += np.array(outcome["pc_down_sum"])
+        search.pc_down_cnt += np.array(outcome["pc_down_cnt"], dtype=np.int64)
+        search.pc_up_sum += np.array(outcome["pc_up_sum"])
+        search.pc_up_cnt += np.array(outcome["pc_up_cnt"], dtype=np.int64)
+
+    elapsed = time.perf_counter() - begin
+    have_incumbent = best_x is not None
+    all_done = finished == num_workers and not any_limit
+    if math.isinf(dual):
+        dual = best_obj if have_incumbent else search.root_bound
+    dual = max(dual, search.root_bound)
+
+    message = (
+        f"parallel branch-and-bound: {num_workers} workers "
+        f"({finished} exhausted), {total_nodes} nodes, {total_lps} LPs"
+    )
+    if total_cuts:
+        message += f", {total_cuts} cuts in {total_rounds} rounds"
+    if any_limit:
+        message += " (time limit)"
+
+    if not have_incumbent:
+        return Solution(
+            status=(
+                SolveStatus.INFEASIBLE if all_done else SolveStatus.TIMEOUT
+            ),
+            runtime_seconds=elapsed,
+            message=message,
+            best_bound=sign * dual if math.isfinite(dual) else None,
+            node_count=total_nodes,
+            lp_calls=total_lps,
+            cuts_added=total_cuts,
+            cut_rounds=total_rounds,
+        )
+    gap = max(0.0, best_obj - min(dual, best_obj)) / max(1.0, abs(best_obj))
+    proven = all_done or gap <= 1e-9
+    from repro.milp.branch_and_bound import _snap
+
+    values = {
+        var: _snap(float(best_x[var.index]), var.var_type)
+        for var in model.variables
+    }
+    return Solution(
+        status=SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE,
+        objective=sign * best_obj,
+        values=values,
+        runtime_seconds=elapsed,
+        message=message,
+        best_bound=sign * (best_obj if proven else dual),
+        mip_gap=0.0 if proven else gap,
+        node_count=total_nodes,
+        lp_calls=total_lps,
+        incumbent_seconds=counters.incumbent_seconds,
+        seeded=search.seeded,
+        cuts_added=total_cuts,
+        cut_rounds=total_rounds,
+    )
+
+
+def _tag(solution: Solution, workers: int, note: "str | None" = None) -> Solution:
+    suffix = f" [parallel: phase-1 only, {workers} workers]"
+    if note:
+        suffix = f" [parallel: {note}]"
+    solution.message = solution.message + suffix
+    return solution

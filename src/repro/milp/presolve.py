@@ -40,11 +40,25 @@ import math
 import time
 from dataclasses import dataclass, field
 
-from repro.milp.expr import Constraint, LinExpr, Sense, Var, VarType
+from repro.milp.expr import (
+    Constraint,
+    LinExpr,
+    Sense,
+    Var,
+    VarType,
+    bounds_signature,
+)
 from repro.milp.model import MilpModel
 from repro.milp.result import Solution, SolveStatus
 
-__all__ = ["PresolveStats", "PresolvedModel", "presolve_model", "pin_free_slots"]
+__all__ = [
+    "PresolveStats",
+    "PresolvedModel",
+    "presolve_model",
+    "pin_free_slots",
+    "label_orbits",
+    "add_label_orbit_rows",
+]
 
 logger = logging.getLogger("repro.milp.presolve")
 
@@ -141,6 +155,8 @@ class PresolvedModel:
                 lp_calls=solution.lp_calls,
                 incumbent_seconds=solution.incumbent_seconds,
                 seeded=solution.seeded,
+                cuts_added=solution.cuts_added,
+                cut_rounds=solution.cut_rounds,
             )
         values = {}
         for var in self.original.variables:
@@ -164,6 +180,8 @@ class PresolvedModel:
             lp_calls=solution.lp_calls,
             incumbent_seconds=solution.incumbent_seconds,
             seeded=solution.seeded,
+            cuts_added=solution.cuts_added,
+            cut_rounds=solution.cut_rounds,
         )
 
     def translate_start(self, start: dict) -> "dict | None":
@@ -195,18 +213,35 @@ class PresolvedModel:
         return translated
 
 
+#: Presolve results kept per model instance.  The transfer ladder
+#: (:mod:`repro.milp.cuts`) probes a handful of bound profiles and the
+#: portfolio re-visits them across rungs, so a few entries cover the
+#: working set without holding every probe's reduction alive.
+_PRESOLVE_CACHE_MAX = 6
+
+
 def presolve_model(model: MilpModel, max_rounds: int = 10) -> PresolvedModel:
     """Run the presolve passes and return the reduced model.
 
-    The result is cached on the model instance (keyed by its current
-    size) so portfolio rungs sharing one formulation presolve once.
+    The result is cached on the model instance — keyed by its shape
+    *and* a bounds fingerprint, because variable bounds mutate in place
+    (the cut layer's transfer ladder) without changing the shape — so
+    portfolio rungs sharing one formulation presolve each bound profile
+    once.
     """
-    cache_key = (model.num_variables, model.num_constraints)
-    cached = model.__dict__.get("_presolve_cache")
-    if cached is not None and cached[0] == cache_key:
-        return cached[1]
+    cache_key = (
+        model.num_variables,
+        model.num_constraints,
+        bounds_signature(model.variables),
+    )
+    cache = model.__dict__.setdefault("_presolve_cache", {})
+    cached = cache.get(cache_key)
+    if cached is not None:
+        return cached
     presolved = _Presolver(model, max_rounds).run()
-    model.__dict__["_presolve_cache"] = (cache_key, presolved)
+    while len(cache) >= _PRESOLVE_CACHE_MAX:
+        cache.pop(next(iter(cache)))
+    cache[cache_key] = presolved
     logger.debug("%s: %s", model.name, presolved.stats.summary())
     return presolved
 
@@ -566,3 +601,79 @@ def pin_free_slots(formulation) -> int:
                     )
         pinned += len(free)
     return pinned
+
+
+def label_orbits(formulation) -> list[list[str]]:
+    """Permutation orbits of interchangeable shared labels.
+
+    Two labels are in one orbit when they have equal ``size_bytes`` and
+    the same multiset of ``(task, direction, local memory)`` over their
+    communications.  Swapping two such labels everywhere — global slot,
+    per-task local slots, and the transfer memberships of their
+    communications — maps any feasible assignment to a feasible
+    assignment with the same objective: every constraint family is
+    generated from exactly that data (variant membership depends only
+    on the tasks, Constraint 10 caps and acquisition deadlines only on
+    task identity and byte sizes).
+
+    Orbit members whose global slot is *free* (pinned by
+    :func:`pin_free_slots`) are dropped: their positions are already
+    fixed, so there is no symmetry left to break.  Only orbits with at
+    least two remaining members are returned, members sorted by name.
+    """
+    app = formulation.app
+    global_id = app.platform.global_memory.memory_id
+    constrained: set[tuple[str, str]] = set()
+    for variants in formulation._distinct_group_subsets().values():
+        for zs in variants:
+            if len(zs) < 2:
+                continue
+            for z in zs:
+                constrained.add((global_id, formulation.global_slot[z]))
+    comms_of: dict[str, list[tuple]] = {}
+    for z, comm in enumerate(formulation.comms):
+        comms_of.setdefault(comm.label, []).append(
+            (comm.task, comm.direction.value, formulation.local_memory[z])
+        )
+    fingerprints: dict[tuple, list[str]] = {}
+    for label in app.shared_labels:
+        name = label.name
+        if (global_id, name) not in constrained:
+            continue
+        key = (label.size_bytes, tuple(sorted(comms_of.get(name, []))))
+        fingerprints.setdefault(key, []).append(name)
+    return sorted(
+        sorted(members) for members in fingerprints.values() if len(members) >= 2
+    )
+
+
+def add_label_orbit_rows(formulation) -> int:
+    """Add lexicographic ordering rows for each label orbit.
+
+    For consecutive members ``a < b`` (by name) of one orbit, requires
+    ``PL[MG][a] + 1 <= PL[MG][b]``: of all assignments reachable by
+    permuting an orbit, only the one placing its members in name order
+    along the global-memory chain survives.  These are *symmetry* rows,
+    not valid inequalities — they deliberately cut feasible (symmetric)
+    integer points, which is why they are added to the formulation here
+    and never emitted through the cut pool (whose rows must preserve
+    every feasible point; see the cut property test).
+
+    Stores the orbits on the formulation (``_label_orbits``) so the
+    cut layer's constructive heuristic can canonicalize its assignment
+    to respect these rows.  Returns the number of rows added.
+    """
+    model = formulation.model
+    global_id = formulation.app.platform.global_memory.memory_id
+    orbits = label_orbits(formulation)
+    formulation._label_orbits = orbits
+    rows = 0
+    for members in orbits:
+        for a, b in zip(members, members[1:]):
+            model.add(
+                formulation.pl[(global_id, a)] + 1
+                <= formulation.pl[(global_id, b)],
+                name=f"SYM_orbit[{a}][{b}]",
+            )
+            rows += 1
+    return rows

@@ -50,6 +50,10 @@ class Solution:
             0.0 — the incumbent was *given*, not discovered.
         seeded: Whether the first incumbent came from a caller-supplied
             warm start rather than the search itself.
+        cuts_added: Cutting planes added by the cut layer
+            (:mod:`repro.milp.cuts`) across all separation rounds
+            (0 when the layer was off or found nothing to separate).
+        cut_rounds: Separation rounds executed (root + node rounds).
     """
 
     status: SolveStatus
@@ -63,6 +67,8 @@ class Solution:
     lp_calls: int = 0
     incumbent_seconds: float | None = None
     seeded: bool = False
+    cuts_added: int = 0
+    cut_rounds: int = 0
 
     def __getitem__(self, var: Var) -> float:
         return self.values[var]

@@ -3,6 +3,13 @@
 This substitutes the IBM CPLEX solver used in the paper's evaluation.
 HiGHS is an exact branch-and-cut MILP solver, so optimal solutions are
 equivalent; only solve times differ (documented in DESIGN.md §3).
+
+The constraint arrays come from the same per-model standard-form cache
+the branch and bound uses (:func:`repro.milp.branch_and_bound.
+_standard_form`), so a portfolio falling from ``highs`` to ``bnb`` —
+or a transfer-ladder stage re-solving the same model under tightened
+bounds — converts the model to sparse matrices exactly once per
+(shape, bounds) fingerprint.
 """
 
 from __future__ import annotations
@@ -10,10 +17,9 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.milp.expr import Sense, VarType
+from repro.milp.expr import VarType
 from repro.milp.model import MilpModel, ObjectiveSense
 from repro.milp.result import Solution, SolveStatus
 
@@ -41,22 +47,25 @@ def solve_with_highs(
     feasibility fast paths; a HiGHS rung simply solves cold.
     """
     del start  # no MIP-start channel in scipy.optimize.milp
-    num_vars = model.num_variables
+    from repro.milp.branch_and_bound import _standard_form
 
     sign = 1.0 if model.objective_sense == ObjectiveSense.MINIMIZE else -1.0
-    cost = np.zeros(num_vars)
-    for var, coef in model.objective.terms.items():
-        cost[var.index] += sign * coef
+    form = _standard_form(model)
 
     integrality = np.array(
         [0 if var.var_type is VarType.CONTINUOUS else 1 for var in model.variables]
     )
-    bounds = Bounds(
-        lb=np.array([var.lower for var in model.variables]),
-        ub=np.array([var.upper for var in model.variables]),
-    )
+    bounds = Bounds(lb=form.base_lower, ub=form.base_upper)
 
-    constraints = _build_constraint_matrix(model, num_vars)
+    # GE rows are already negated into the <= block by the standard
+    # form; EQ rows carry identical lower and upper sides.
+    constraints = []
+    if form.a_ub is not None:
+        constraints.append(
+            LinearConstraint(form.a_ub, -np.inf, form.b_ub)
+        )
+    if form.a_eq is not None:
+        constraints.append(LinearConstraint(form.a_eq, form.b_eq, form.b_eq))
 
     options: dict[str, object] = {"presolve": True}
     if time_limit_seconds is not None:
@@ -66,7 +75,7 @@ def solve_with_highs(
 
     start = time.perf_counter()
     result = milp(
-        c=cost,
+        c=form.cost,
         constraints=constraints,
         integrality=integrality,
         bounds=bounds,
@@ -117,36 +126,6 @@ def _solver_stats(result, sign: float):
     mip_gap = float(gap) if gap is not None and np.isfinite(gap) else None
     node_count = int(nodes) if nodes is not None else 0
     return best_bound, mip_gap, node_count
-
-
-def _build_constraint_matrix(model: MilpModel, num_vars: int):
-    """Assemble one sparse LinearConstraint covering every model row."""
-    if not model.constraints:
-        return []
-    rows: list[int] = []
-    cols: list[int] = []
-    data: list[float] = []
-    lower = []
-    upper = []
-    for row_index, constraint in enumerate(model.constraints):
-        for var, coef in constraint.expr.terms.items():
-            rows.append(row_index)
-            cols.append(var.index)
-            data.append(coef)
-        rhs = -constraint.expr.constant
-        if constraint.sense is Sense.LE:
-            lower.append(-np.inf)
-            upper.append(rhs)
-        elif constraint.sense is Sense.GE:
-            lower.append(rhs)
-            upper.append(np.inf)
-        else:
-            lower.append(rhs)
-            upper.append(rhs)
-    matrix = sparse.csr_matrix(
-        (data, (rows, cols)), shape=(len(model.constraints), num_vars)
-    )
-    return LinearConstraint(matrix, np.array(lower), np.array(upper))
 
 
 def _map_status(code: int, has_incumbent: bool) -> SolveStatus:

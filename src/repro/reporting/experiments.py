@@ -58,6 +58,8 @@ def solve_instance(
     mip_gap: float | None = None,
     cache: str | None = None,
     telemetry=None,
+    cuts: bool | None = None,
+    parallel: int | None = None,
 ):
     """Assign gammas for ``alpha``, solve via :func:`repro.solve`,
     optionally verify.
@@ -66,14 +68,22 @@ def solve_instance(
     is skipped for greedy-produced results: the heuristic guarantees
     Properties 1 and 2 by construction but does not optimize for
     deadlines/Property 3, which is exactly why it is a *degraded*
-    portfolio rung.
+    portfolio rung.  ``cuts``/``parallel`` override the formulation
+    defaults for the cut layer and the parallel tree search (None
+    keeps :mod:`repro.defaults`).
     """
     base = app if app is not None else waters_application()
     configured = assign_acquisition_deadlines(base, alpha)
+    overrides = {}
+    if cuts is not None:
+        overrides["cuts"] = cuts
+    if parallel is not None:
+        overrides["parallel"] = parallel
     config = FormulationConfig(
         objective=objective,
         time_limit_seconds=time_limit_seconds,
         mip_gap=mip_gap,
+        **overrides,
     )
     result = _facade_solve(
         configured,

@@ -13,10 +13,13 @@ outcome instead of raising or handing back an empty result:
    always returns a feasible ordering (Properties 1 and 2 hold by
    construction; deadlines/Property 3 must be re-checked).
 
-A MILP rung may carry a ``-nopresolve`` suffix (``"highs-nopresolve"``)
-to skip the answer-preserving presolve pass — mainly used by the
-differential harness (:mod:`repro.check`) to cross-check presolve
-against the untouched model.
+A MILP rung may carry a variant suffix: ``-nopresolve`` skips the
+answer-preserving presolve pass, ``-nocuts`` disables the cut layer
+(:mod:`repro.milp.cuts`), and ``-parallel`` runs the ``bnb`` rung's
+tree search across worker processes.  All variants are
+answer-preserving; the ``-no*`` forms exist mainly for the
+differential harness (:mod:`repro.check`), which cross-checks each
+optimization against the untouched solve path.
 
 A rung's outcome is accepted when it is ``OPTIMAL``, a ``FEASIBLE``
 incumbent, or a definitive ``INFEASIBLE``; the portfolio falls through
@@ -245,15 +248,25 @@ def _run_rung(
         result.runtime_seconds = time.perf_counter() - start
         return result
     backend, _, variant = rung.partition("-")
-    if variant not in ("", "nopresolve"):
+    if variant not in ("", "nopresolve", "nocuts", "parallel"):
         raise ValueError(f"unknown portfolio rung {rung!r}")
     formulation = shared.get("formulation")
     if formulation is None:
         formulation = LetDmaFormulation(app, replace(config, backend=backend))
         shared["formulation"] = formulation
     presolve = config.presolve and variant != "nopresolve"
+    cuts = False if variant == "nocuts" else None
+    parallel = None
+    if variant == "parallel":
+        from repro.defaults import DEFAULT_PARALLEL_WORKERS
+
+        parallel = DEFAULT_PARALLEL_WORKERS
     return formulation.solve(
-        backend=backend, presolve=presolve, start=shared.get("start")
+        backend=backend,
+        presolve=presolve,
+        start=shared.get("start"),
+        cuts=cuts,
+        parallel=parallel,
     )
 
 

@@ -23,6 +23,9 @@ Schema (version 1), one object per line::
       "best_bound": float | null,     # solver's proven dual bound
       "mip_gap_achieved": float|null, # relative gap actually reached
       "node_count": int,              # branch-and-bound nodes explored
+      "cuts_added": int,              # cutting planes added (all rounds)
+      "cut_rounds": int,              # separation rounds run
+      "nodes_per_second": float,      # tree-search throughput (0 if no tree)
       "wall_seconds": float,          # end-to-end, incl. cache/build
       "solver_seconds": float,        # backend-reported solve time
       "cached": bool,                 # served from the persistent cache
@@ -181,6 +184,9 @@ def build_solve_record(
         "best_bound": result.best_bound,
         "mip_gap_achieved": result.mip_gap,
         "node_count": result.node_count,
+        "cuts_added": result.cuts_added,
+        "cut_rounds": result.cut_rounds,
+        "nodes_per_second": result.nodes_per_second,
         "wall_seconds": wall_seconds,
         "solver_seconds": result.runtime_seconds,
         "cached": cached,
@@ -239,9 +245,12 @@ def summarize_telemetry(records: Iterable[dict]) -> dict:
     """Aggregate counts and times over solve records.
 
     Returns ``{"solves", "by_backend", "by_status", "cache_hits",
-    "fallbacks", "wall_seconds", "solver_seconds"}`` where
+    "fallbacks", "wall_seconds", "solver_seconds", "nodes",
+    "cuts_added", "cut_rounds", "nodes_per_second"}`` where
     ``fallbacks`` counts solves whose portfolio needed more than one
-    rung.
+    rung and ``nodes_per_second`` is the aggregate tree-search
+    throughput (total nodes over total solver time spent by solves that
+    explored at least one node).
     """
     summary = {
         "solves": 0,
@@ -251,7 +260,12 @@ def summarize_telemetry(records: Iterable[dict]) -> dict:
         "fallbacks": 0,
         "wall_seconds": 0.0,
         "solver_seconds": 0.0,
+        "nodes": 0,
+        "cuts_added": 0,
+        "cut_rounds": 0,
+        "nodes_per_second": 0.0,
     }
+    tree_seconds = 0.0
     for record in records:
         if record.get("event") != "solve":
             continue
@@ -264,6 +278,14 @@ def summarize_telemetry(records: Iterable[dict]) -> dict:
         summary["fallbacks"] += len(record.get("fallback_chain", [])) > 1
         summary["wall_seconds"] += float(record.get("wall_seconds", 0.0))
         summary["solver_seconds"] += float(record.get("solver_seconds", 0.0))
+        nodes = int(record.get("node_count", 0) or 0)
+        summary["nodes"] += nodes
+        summary["cuts_added"] += int(record.get("cuts_added", 0) or 0)
+        summary["cut_rounds"] += int(record.get("cut_rounds", 0) or 0)
+        if nodes:
+            tree_seconds += float(record.get("solver_seconds", 0.0))
+    if summary["nodes"] and tree_seconds > 0.0:
+        summary["nodes_per_second"] = summary["nodes"] / tree_seconds
     return summary
 
 
@@ -278,6 +300,10 @@ def render_telemetry_summary(records: Sequence[dict]) -> str:
         ("fallback solves", str(summary["fallbacks"])),
         ("wall time", f"{summary['wall_seconds']:.2f} s"),
         ("solver time", f"{summary['solver_seconds']:.2f} s"),
+        ("nodes explored", str(summary["nodes"])),
+        ("cuts added", str(summary["cuts_added"])),
+        ("cut rounds", str(summary["cut_rounds"])),
+        ("nodes / second", f"{summary['nodes_per_second']:.1f}"),
     ]
     for backend, count in sorted(summary["by_backend"].items()):
         rows.append((f"backend: {backend or '(none)'}", str(count)))

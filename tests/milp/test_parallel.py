@@ -1,0 +1,121 @@
+"""Tests for the frontier-split parallel branch and bound
+(:mod:`repro.milp.parallel`).
+
+The gated invariant everywhere: the parallel search proves the same
+optimum as the serial search.  Speedups are machine-dependent and
+benchmarked, never asserted here.
+"""
+
+import pytest
+
+from repro.milp import MilpModel, SolveStatus
+from tests.milp.test_backends import build_knapsack
+
+
+class TestParallelAgreement:
+    def test_knapsack_matches_serial(self):
+        model = build_knapsack(
+            list(range(1, 10)), [3, 1, 4, 1, 5, 9, 2, 6, 5], 20
+        )
+        serial = model.solve(backend="bnb")
+        parallel = model.solve(backend="bnb", parallel=2)
+        assert serial.status is SolveStatus.OPTIMAL
+        assert parallel.status is SolveStatus.OPTIMAL
+        assert parallel.objective == pytest.approx(serial.objective)
+        assert model.check_assignment(parallel.values) == []
+
+    def test_infeasible_agrees(self):
+        model = MilpModel("inf")
+        x = model.add_binary("x")
+        model.add(x >= 1)
+        model.add(x <= 0)
+        assert model.solve(backend="bnb", parallel=2).status is (
+            SolveStatus.INFEASIBLE
+        )
+
+    def test_single_worker_degrades_serially(self):
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        solution = model.solve(backend="bnb", parallel=1)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(14.0)
+        # Degraded runs stay in-process: no worker tag in the message.
+        assert "workers" not in solution.message
+
+    def test_highs_ignores_parallel(self):
+        model = build_knapsack([3, 4, 5, 6], [4, 5, 6, 9], 10)
+        solution = model.solve(backend="highs", parallel=4)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(14.0)
+
+
+@pytest.mark.slow
+class TestParallelLetDma:
+    def test_synth5_serial_and_parallel_prove_same_optimum(self):
+        from repro.core.formulation import (
+            FormulationConfig,
+            LetDmaFormulation,
+            Objective,
+        )
+        from repro.workloads import WorkloadSpec, generate_application
+
+        app = generate_application(
+            WorkloadSpec(
+                num_tasks=5,
+                num_cores=2,
+                total_utilization=0.5,
+                communication_density=0.4,
+                periods_ms=(5, 10, 20),
+                seed=5,
+            )
+        )
+
+        def formulation():
+            return LetDmaFormulation(
+                app, FormulationConfig(objective=Objective.MIN_TRANSFERS)
+            )
+
+        # cuts=False on both arms: with the cut layer on, the transfer
+        # ladder certifies this instance without any tree search.
+        serial = formulation().model.solve(
+            backend="bnb", cuts=False, time_limit_seconds=120.0
+        )
+        parallel = formulation().model.solve(
+            backend="bnb", cuts=False, parallel=2, time_limit_seconds=120.0
+        )
+        assert serial.status is SolveStatus.OPTIMAL
+        assert parallel.status is SolveStatus.OPTIMAL
+        assert parallel.objective == pytest.approx(serial.objective)
+        assert "workers" in parallel.message
+
+    def test_worker_seq_collision_regression(self):
+        # Regression: workers once reset the heap sequence counter to
+        # len(nodes), so a fresh push could tie an inherited frontier
+        # node's (bound, -seq) key and fall through to comparing bound
+        # chains — a TypeError that killed the worker and downgraded
+        # this instance's parallel solve to FEASIBLE.  The inherited
+        # phase-1 counter must be kept instead.
+        from repro.core.formulation import (
+            FormulationConfig,
+            LetDmaFormulation,
+            Objective,
+        )
+        from repro.workloads import WorkloadSpec, generate_application
+
+        app = generate_application(
+            WorkloadSpec(
+                num_tasks=4,
+                num_cores=2,
+                total_utilization=0.5,
+                communication_density=0.6,
+                periods_ms=(5, 10, 20),
+                seed=7,
+            )
+        )
+        formulation = LetDmaFormulation(
+            app, FormulationConfig(objective=Objective.MIN_TRANSFERS)
+        )
+        solution = formulation.model.solve(
+            backend="bnb", cuts=False, parallel=2, time_limit_seconds=120.0
+        )
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(3.0)
